@@ -1,0 +1,194 @@
+package eof
+
+// Benchmark harness: one benchmark per table and figure of the paper's
+// evaluation. Each runs the corresponding experiment at a reduced ("quick")
+// profile so the full suite stays tractable; the shape of every comparison
+// is asserted where the paper makes a directional claim. Paper-scale runs go
+// through cmd/experiments (see EXPERIMENTS.md).
+//
+// Run with: go test -bench . -benchtime 1x
+
+import (
+	"testing"
+	"time"
+
+	"github.com/eof-fuzz/eof/internal/experiments"
+)
+
+// benchOpts is the reduced evaluation profile used by the benchmarks.
+func benchOpts() experiments.Options {
+	return experiments.Options{Hours: 1, Runs: 1, SeedBase: 77, Parallel: 4}
+}
+
+// BenchmarkTable1 regenerates the supported-target matrix, verifying each
+// reproducible cell by booting the combination.
+func BenchmarkTable1(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t, err := experiments.Table1()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(t.Rows) == 0 {
+			b.Fatal("empty table")
+		}
+		b.Log("\n" + t.Render())
+	}
+}
+
+// BenchmarkTable2 runs the bug-detection campaigns and scores findings
+// against the planted-bug registry.
+func BenchmarkTable2(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Table2(benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.TotalFound == 0 {
+			b.Fatal("no registered bugs found")
+		}
+		b.Log("\n" + res.Table.Render())
+		b.ReportMetric(float64(res.TotalFound), "bugs")
+	}
+}
+
+// BenchmarkTable3 runs the full-system coverage comparison (EOF vs EOF-nf vs
+// Tardis/Gustave) and checks the headline direction: EOF ahead of the
+// emulator-bound tools on average.
+func BenchmarkTable3(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Table3(benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Log("\n" + res.Table.Render())
+		var eofSum, emuSum float64
+		for osName, tools := range res.Edges {
+			eofSum += avg(tools["EOF"])
+			if t, ok := tools["Tardis"]; ok && len(t) > 0 {
+				emuSum += avg(t)
+			} else {
+				emuSum += avg(tools["Gustave"])
+			}
+			_ = osName
+		}
+		b.ReportMetric(eofSum, "eof-edges")
+		b.ReportMetric(emuSum, "emulator-edges")
+	}
+}
+
+// BenchmarkFigure7 regenerates the coverage-growth panels of Figure 7.
+func BenchmarkFigure7(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Table3(benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res.Figures) == 0 {
+			b.Fatal("no figures")
+		}
+		for _, f := range res.Figures {
+			b.Log("\n" + f.Render())
+		}
+	}
+}
+
+// BenchmarkTable4 runs the application-level comparison (EOF vs GDBFuzz vs
+// SHiFT on the HTTP server and JSON modules).
+func BenchmarkTable4(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Table4(benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Log("\n" + res.Table.Render())
+		b.ReportMetric(avg(res.Edges["HTTP Server"]["EOF"]), "http-eof")
+		b.ReportMetric(avg(res.Edges["JSON"]["EOF"]), "json-eof")
+	}
+}
+
+// BenchmarkFigure8 regenerates the application-level growth curves.
+func BenchmarkFigure8(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Table4(benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, f := range res.Figures {
+			b.Log("\n" + f.Render())
+		}
+	}
+}
+
+// BenchmarkMemoryOverhead reproduces §5.5.1 (image-size inflation).
+func BenchmarkMemoryOverhead(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t, err := experiments.MemoryOverhead()
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Log("\n" + t.Render())
+	}
+}
+
+// BenchmarkExecOverhead reproduces §5.5.2 (payloads per ten minutes with and
+// without instrumentation).
+func BenchmarkExecOverhead(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t, err := experiments.ExecOverhead(experiments.Options{Hours: 1, Runs: 1, SeedBase: 7, Parallel: 4})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Log("\n" + t.Render())
+	}
+}
+
+// BenchmarkAblationWatchdogs runs the liveness-mechanism ablation (E7).
+func BenchmarkAblationWatchdogs(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t, err := experiments.AblationWatchdogs(benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Log("\n" + t.Render())
+	}
+}
+
+// BenchmarkAblationGeneration runs the generation-guidance ablation (E8).
+func BenchmarkAblationGeneration(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t, err := experiments.AblationGeneration(benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Log("\n" + t.Render())
+	}
+}
+
+// BenchmarkCampaignThroughput measures raw engine throughput: executions per
+// second of host time for a one-virtual-hour FreeRTOS campaign.
+func BenchmarkCampaignThroughput(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		c, err := NewCampaign(Options{OS: "freertos", Seed: int64(i) + 1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		rep, err := c.Run(time.Hour)
+		c.Close()
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(rep.Execs), "execs")
+		b.ReportMetric(float64(rep.Edges), "edges")
+	}
+}
+
+func avg(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}

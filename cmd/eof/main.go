@@ -1,0 +1,84 @@
+// Command eof runs one fuzzing campaign against a virtual embedded target
+// and prints the findings.
+//
+// Usage:
+//
+//	eof -os rtthread -board esp32c3 -minutes 30 -seed 7
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"github.com/eof-fuzz/eof"
+)
+
+func main() {
+	var (
+		osName  = flag.String("os", "freertos", "target OS: "+strings.Join(eof.Targets(), ", "))
+		board   = flag.String("board", "stm32h745", "board: "+strings.Join(eof.Boards(), ", "))
+		minutes = flag.Float64("minutes", 30, "campaign length in virtual minutes")
+		seed    = flag.Int64("seed", 1, "deterministic campaign seed")
+		nf      = flag.Bool("nf", false, "disable feedback guidance (EOF-nf)")
+		random  = flag.Bool("random-args", false, "disable API-aware generation")
+		apis    = flag.String("apis", "", "comma-separated API allowlist (application-level mode)")
+		modules = flag.String("modules", "", "comma-separated source prefixes to instrument")
+		verbose = flag.Bool("v", false, "print crash logs and reproducers")
+	)
+	flag.Parse()
+
+	opts := eof.Options{
+		OS:               *osName,
+		Board:            *board,
+		Seed:             *seed,
+		FeedbackDisabled: *nf,
+		APIAwareDisabled: *random,
+	}
+	if *apis != "" {
+		opts.RestrictAPIs = strings.Split(*apis, ",")
+	}
+	if *modules != "" {
+		opts.InstrumentModules = strings.Split(*modules, ",")
+	}
+
+	c, err := eof.NewCampaign(opts)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "eof:", err)
+		os.Exit(1)
+	}
+	defer c.Close()
+
+	budget := time.Duration(*minutes * float64(time.Minute))
+	fmt.Printf("fuzzing %s on %s for %v of virtual time (seed %d)\n", *osName, *board, budget, *seed)
+	rep, err := c.Run(budget)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "eof:", err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("\nexecs: %d   branches: %d   crashes: %d   restores: %d (reflashes: %d)\n",
+		rep.Execs, rep.Edges, rep.Crashes, rep.Restores, rep.Reflashes)
+	fmt.Printf("throughput: %.2f execs/s of target time\n", float64(rep.Execs)/rep.Duration.Seconds())
+	if len(rep.Bugs) == 0 {
+		fmt.Println("\nno bugs found in this window")
+		return
+	}
+	fmt.Printf("\n%d distinct bugs:\n", len(rep.Bugs))
+	for i, b := range rep.Bugs {
+		fmt.Printf("%2d. [%s/%s] %s (found at %v)\n", i+1, b.Monitor, b.Kind, b.Title, b.FoundAt.Round(time.Second))
+		if *verbose {
+			for j, fr := range b.Backtrace {
+				fmt.Printf("      Level: %d: %s\n", j+1, fr)
+			}
+			if b.Reproducer != "" {
+				fmt.Printf("      reproducer:\n")
+				for _, line := range strings.Split(strings.TrimSpace(b.Reproducer), "\n") {
+					fmt.Printf("        %s\n", line)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,136 @@
+// Command experiments regenerates the paper's tables and figures.
+//
+//	experiments -all -hours 24 -runs 5 -csv out/
+//	experiments -table 3 -hours 2 -runs 1
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"github.com/eof-fuzz/eof/internal/experiments"
+)
+
+func main() {
+	var (
+		table    = flag.Int("table", 0, "regenerate one table (1-4)")
+		figure   = flag.Int("figure", 0, "regenerate one figure (7 or 8)")
+		overhead = flag.String("overhead", "", "overhead experiment: mem or exec")
+		ablation = flag.String("ablation", "", "ablation: watchdogs or generation")
+		all      = flag.Bool("all", false, "run the full evaluation")
+		hours    = flag.Float64("hours", 24, "virtual campaign hours")
+		runs     = flag.Int("runs", 5, "repetitions per configuration")
+		parallel = flag.Int("parallel", 4, "concurrent campaigns on the host")
+		seed     = flag.Int64("seed", 1000, "seed base")
+		csvDir   = flag.String("csv", "", "also write CSV outputs into this directory")
+	)
+	flag.Parse()
+
+	opts := experiments.Options{Hours: *hours, Runs: *runs, SeedBase: *seed, Parallel: *parallel}
+
+	emitTable := func(name string, t *experiments.Table) {
+		fmt.Println(t.Render())
+		writeCSV(*csvDir, name+".csv", t.CSV())
+	}
+	emitFigures := func(name string, figs []*experiments.Figure) {
+		for i, f := range figs {
+			fmt.Println(f.Render())
+			writeCSV(*csvDir, fmt.Sprintf("%s_%d.csv", name, i+1), f.CSV())
+		}
+	}
+
+	ran := false
+	fail := func(err error) {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+
+	if *all || *table == 1 {
+		ran = true
+		t, err := experiments.Table1()
+		if err != nil {
+			fail(err)
+		}
+		emitTable("table1", t)
+	}
+	if *all || *table == 2 {
+		ran = true
+		res, err := experiments.Table2(opts)
+		if err != nil {
+			fail(err)
+		}
+		emitTable("table2", res.Table)
+	}
+	if *all || *table == 3 || *figure == 7 {
+		ran = true
+		res, err := experiments.Table3(opts)
+		if err != nil {
+			fail(err)
+		}
+		emitTable("table3", res.Table)
+		emitFigures("figure7", res.Figures)
+	}
+	if *all || *table == 4 || *figure == 8 {
+		ran = true
+		res, err := experiments.Table4(opts)
+		if err != nil {
+			fail(err)
+		}
+		emitTable("table4", res.Table)
+		emitFigures("figure8", res.Figures)
+	}
+	if *all || *overhead == "mem" {
+		ran = true
+		t, err := experiments.MemoryOverhead()
+		if err != nil {
+			fail(err)
+		}
+		emitTable("overhead_mem", t)
+	}
+	if *all || *overhead == "exec" {
+		ran = true
+		t, err := experiments.ExecOverhead(opts)
+		if err != nil {
+			fail(err)
+		}
+		emitTable("overhead_exec", t)
+	}
+	if *all || *ablation == "watchdogs" {
+		ran = true
+		t, err := experiments.AblationWatchdogs(opts)
+		if err != nil {
+			fail(err)
+		}
+		emitTable("ablation_watchdogs", t)
+	}
+	if *all || *ablation == "generation" {
+		ran = true
+		t, err := experiments.AblationGeneration(opts)
+		if err != nil {
+			fail(err)
+		}
+		emitTable("ablation_generation", t)
+	}
+	if !ran {
+		fmt.Fprintln(os.Stderr, "nothing selected; use -all, -table N, -figure N, -overhead mem|exec or -ablation watchdogs|generation")
+		os.Exit(2)
+	}
+}
+
+func writeCSV(dir, name, content string) {
+	if dir == "" {
+		return
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		return
+	}
+	path := filepath.Join(dir, name)
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		return
+	}
+	fmt.Fprintf(os.Stderr, "wrote %s (%d bytes)\n", path, len(content))
+}

@@ -1,0 +1,31 @@
+// Command specgen runs the API-specification pipeline for a target OS and
+// prints the validated Syzlang (plus any declarations dropped during
+// post-validation).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"github.com/eof-fuzz/eof"
+)
+
+func main() {
+	osName := flag.String("os", "freertos", "target OS: "+strings.Join(eof.Targets(), ", "))
+	flag.Parse()
+
+	text, dropped, err := eof.GenerateSpec(*osName)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "specgen:", err)
+		os.Exit(1)
+	}
+	fmt.Print(text)
+	if len(dropped) > 0 {
+		fmt.Fprintf(os.Stderr, "\n%d declarations dropped during validation:\n", len(dropped))
+		for _, d := range dropped {
+			fmt.Fprintln(os.Stderr, "  ", d)
+		}
+	}
+}

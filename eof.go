@@ -1,0 +1,215 @@
+// Package eof is the public API of EOF, a feedback-guided fuzzer for
+// embedded operating systems running on (virtual) hardware, reproducing
+// "Effective On-Hardware Fuzzing of Embedded Operating Systems"
+// (EuroSys 2026).
+//
+// A Campaign owns the full stack: the target OS image, a virtual development
+// board, the OpenOCD-style debug probe, the specification pipeline and the
+// fuzzing engine. All control and observation flows through the debug port,
+// exactly as on physical targets:
+//
+//	c, err := eof.NewCampaign(eof.Options{OS: "rtthread", Board: "esp32c3"})
+//	if err != nil { ... }
+//	defer c.Close()
+//	report, err := c.Run(30 * time.Minute) // virtual time
+//	for _, bug := range report.Bugs {
+//		fmt.Println(bug.Title)
+//	}
+package eof
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/eof-fuzz/eof/internal/boards"
+	"github.com/eof-fuzz/eof/internal/core"
+	"github.com/eof-fuzz/eof/internal/specgen"
+	"github.com/eof-fuzz/eof/internal/targets"
+)
+
+// Targets lists the supported embedded OS names.
+func Targets() []string { return targets.Names() }
+
+// Boards lists the catalogued board names.
+func Boards() []string {
+	all := boards.All()
+	out := make([]string, len(all))
+	for i, b := range all {
+		out[i] = b.Name
+	}
+	return out
+}
+
+// Options configures a fuzzing campaign.
+type Options struct {
+	// OS names the target embedded OS (see Targets).
+	OS string
+	// Board names the development board (see Boards). Defaults to
+	// "stm32h745".
+	Board string
+	// Seed makes the campaign deterministic. Defaults to 1.
+	Seed int64
+
+	// FeedbackDisabled turns off coverage guidance (the paper's EOF-nf).
+	FeedbackDisabled bool
+	// APIAwareDisabled degenerates argument generation to AFL-style random
+	// values (the generation-guidance ablation).
+	APIAwareDisabled bool
+	// Uninstrumented builds the image without coverage instrumentation
+	// (overhead measurements).
+	Uninstrumented bool
+
+	// RestrictAPIs limits fuzzing to the named APIs (application-level
+	// testing); empty fuzzes the full surface.
+	RestrictAPIs []string
+	// InstrumentModules confines coverage to source paths with these
+	// prefixes; empty instruments the whole image.
+	InstrumentModules []string
+
+	// SampleEvery sets the coverage time-series resolution (default 5
+	// virtual minutes).
+	SampleEvery time.Duration
+}
+
+// Bug is one deduplicated finding.
+type Bug struct {
+	// OS and Board locate the campaign.
+	OS    string
+	Board string
+	// Title is a one-line description; Signature deduplicates.
+	Title     string
+	Signature string
+	// Kind is "panic" or "assert"; Monitor is the detector that attributed
+	// it ("exception" or "log").
+	Kind    string
+	Monitor string
+	// Backtrace holds "file : function : line" frames, innermost first.
+	Backtrace []string
+	// Log is the UART context captured around the crash.
+	Log []string
+	// Reproducer is the triggering program in textual form.
+	Reproducer string
+	// FoundAt is the virtual campaign time of discovery.
+	FoundAt time.Duration
+}
+
+// Sample is one coverage-over-time point.
+type Sample struct {
+	At    time.Duration
+	Edges int
+}
+
+// Report summarises a finished campaign.
+type Report struct {
+	OS    string
+	Board string
+	// Execs counts completed test cases; Edges is distinct branch coverage.
+	Execs int
+	Edges int
+	// Crashes, Restores and Reflashes count liveness events: detected
+	// crashes, state restorations, and restorations that needed a full
+	// image reflash.
+	Crashes   int
+	Restores  int
+	Reflashes int
+	Bugs      []Bug
+	Series    []Sample
+	// Duration is the campaign's virtual runtime.
+	Duration time.Duration
+}
+
+// Campaign is one configured fuzzing run.
+type Campaign struct {
+	engine *core.Engine
+}
+
+// NewCampaign builds the full stack for the given options.
+func NewCampaign(opts Options) (*Campaign, error) {
+	info, err := targets.ByName(opts.OS)
+	if err != nil {
+		return nil, err
+	}
+	boardName := opts.Board
+	if boardName == "" {
+		boardName = boards.NameSTM32H745
+	}
+	spec := boards.ByName(boardName)
+	if spec == nil {
+		return nil, fmt.Errorf("eof: unknown board %q (have %v)", boardName, Boards())
+	}
+	cfg := core.DefaultConfig(info, spec)
+	if opts.Seed != 0 {
+		cfg.Seed = opts.Seed
+	}
+	cfg.FeedbackGuided = !opts.FeedbackDisabled
+	cfg.APIAware = !opts.APIAwareDisabled
+	cfg.Instrumented = !opts.Uninstrumented
+	cfg.CallFilter = opts.RestrictAPIs
+	cfg.CovModules = opts.InstrumentModules
+	if opts.SampleEvery > 0 {
+		cfg.SampleEvery = opts.SampleEvery
+	}
+	engine, err := core.NewEngine(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &Campaign{engine: engine}, nil
+}
+
+// Run fuzzes for the given virtual-time budget and returns the report. Run
+// may be called once per campaign.
+func (c *Campaign) Run(budget time.Duration) (*Report, error) {
+	rep, err := c.engine.Run(budget)
+	if err != nil {
+		return nil, err
+	}
+	return convertReport(rep), nil
+}
+
+// Close releases the debug link and the board.
+func (c *Campaign) Close() { c.engine.Close() }
+
+func convertReport(r *core.Report) *Report {
+	out := &Report{
+		OS:        r.OS,
+		Board:     r.Board,
+		Execs:     r.Stats.Execs,
+		Edges:     r.Edges,
+		Crashes:   r.Stats.Crashes,
+		Restores:  r.Stats.Restores,
+		Reflashes: r.Stats.Reflashes,
+		Duration:  r.Duration,
+	}
+	for _, b := range r.Bugs {
+		nb := Bug{
+			OS: b.OS, Board: b.Board, Title: b.Title, Signature: b.Sig,
+			Kind: b.Kind, Monitor: b.Monitor, Log: b.Log,
+			Reproducer: b.Prog, FoundAt: b.FoundAt,
+		}
+		if b.Fault != nil {
+			for _, fr := range b.Fault.Frames {
+				nb.Backtrace = append(nb.Backtrace, fmt.Sprintf("%s : %s : %d", fr.File, fr.Func, fr.Line))
+			}
+		}
+		out.Bugs = append(out.Bugs, nb)
+	}
+	for _, s := range r.Series {
+		out.Series = append(out.Series, Sample{At: s.At, Edges: s.Edges})
+	}
+	return out
+}
+
+// GenerateSpec runs the specification pipeline for an OS and returns the
+// validated Syzlang text plus any declarations that were dropped during
+// post-validation.
+func GenerateSpec(osName string) (text string, dropped []string, err error) {
+	info, err := targets.ByName(osName)
+	if err != nil {
+		return "", nil, err
+	}
+	res, err := specgen.Generate(info)
+	if err != nil {
+		return "", nil, err
+	}
+	return res.Text, res.Dropped, nil
+}

@@ -1,0 +1,114 @@
+package eof
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestTargetsAndBoards(t *testing.T) {
+	ts := Targets()
+	if len(ts) != 5 {
+		t.Fatalf("targets: %v", ts)
+	}
+	bs := Boards()
+	if len(bs) < 3 {
+		t.Fatalf("boards: %v", bs)
+	}
+}
+
+func TestCampaignPublicAPI(t *testing.T) {
+	c, err := NewCampaign(Options{OS: "zephyr", Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	rep, err := c.Run(5 * time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.OS != "zephyr" || rep.Board != "stm32h745" {
+		t.Fatalf("report ids: %+v", rep)
+	}
+	if rep.Execs == 0 || rep.Edges == 0 || len(rep.Series) == 0 {
+		t.Fatalf("report empty: %+v", rep)
+	}
+	if rep.Duration < 5*time.Minute {
+		t.Fatalf("duration: %v", rep.Duration)
+	}
+}
+
+func TestCampaignValidation(t *testing.T) {
+	if _, err := NewCampaign(Options{OS: "beos"}); err == nil {
+		t.Fatal("unknown OS accepted")
+	}
+	if _, err := NewCampaign(Options{OS: "zephyr", Board: "arduino"}); err == nil {
+		t.Fatal("unknown board accepted")
+	}
+	if _, err := NewCampaign(Options{OS: "freertos", RestrictAPIs: []string{"nope"}}); err == nil {
+		t.Fatal("empty call filter accepted")
+	}
+}
+
+func TestCampaignBugReporting(t *testing.T) {
+	c, err := NewCampaign(Options{OS: "rtthread", Board: "esp32c3", Seed: 1234})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	rep, err := c.Run(25 * time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Bugs) == 0 {
+		t.Skip("no bugs in this short window")
+	}
+	b := rep.Bugs[0]
+	if b.Title == "" || b.Signature == "" || b.Monitor == "" {
+		t.Fatalf("bug fields: %+v", b)
+	}
+	if b.Kind == "panic" && len(b.Backtrace) == 0 {
+		t.Fatalf("panic without backtrace: %+v", b)
+	}
+	if b.Reproducer == "" {
+		t.Fatal("no reproducer")
+	}
+}
+
+func TestGenerateSpecPublicAPI(t *testing.T) {
+	text, dropped, err := GenerateSpec("nuttx")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(text, "nxmq_timedsend(") {
+		t.Fatalf("spec missing calls:\n%s", text)
+	}
+	_ = dropped
+	if _, _, err := GenerateSpec("riot"); err == nil {
+		t.Fatal("unknown OS accepted")
+	}
+}
+
+func TestAppLevelOptions(t *testing.T) {
+	c, err := NewCampaign(Options{
+		OS:                "freertos",
+		Seed:              3,
+		RestrictAPIs:      []string{"json_parse", "json_encode", "json_free"},
+		InstrumentModules: []string{"lib/json"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	rep, err := c.Run(10 * time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Edges == 0 {
+		t.Fatal("no module coverage")
+	}
+	// Confined instrumentation keeps totals well below full-system numbers.
+	if rep.Edges > 600 {
+		t.Fatalf("module confinement leaking: %d edges", rep.Edges)
+	}
+}

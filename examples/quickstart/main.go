@@ -1,0 +1,53 @@
+// Quickstart: fuzz FreeRTOS on the virtual STM32H745 for twenty virtual
+// minutes and print what happened. Everything — board, flash image, debug
+// probe, specification extraction — is assembled by NewCampaign.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"github.com/eof-fuzz/eof"
+)
+
+func main() {
+	fmt.Println("supported targets:", eof.Targets())
+	fmt.Println("supported boards: ", eof.Boards())
+
+	c, err := eof.NewCampaign(eof.Options{
+		OS:    "freertos",
+		Board: "stm32h745",
+		Seed:  42,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer c.Close()
+
+	rep, err := c.Run(20 * time.Minute)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("\nexecuted %d test cases in %v of target time (%.2f/s)\n",
+		rep.Execs, rep.Duration.Round(time.Second), float64(rep.Execs)/rep.Duration.Seconds())
+	fmt.Printf("branch coverage: %d edges\n", rep.Edges)
+	fmt.Printf("liveness: %d restores, %d of which needed a full reflash\n",
+		rep.Restores, rep.Reflashes)
+
+	fmt.Println("\ncoverage growth:")
+	for _, s := range rep.Series {
+		fmt.Printf("  %8v  %5d edges\n", s.At.Round(time.Second), s.Edges)
+	}
+
+	for _, b := range rep.Bugs {
+		fmt.Printf("\nBUG [%s]: %s\n", b.Monitor, b.Title)
+		for i, fr := range b.Backtrace {
+			fmt.Printf("  Level: %d: %s\n", i+1, fr)
+		}
+	}
+	if len(rep.Bugs) == 0 {
+		fmt.Println("\nno bugs in this window — try a longer run or another seed")
+	}
+}

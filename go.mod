@@ -1,0 +1,3 @@
+module github.com/eof-fuzz/eof
+
+go 1.22

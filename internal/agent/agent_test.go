@@ -1,0 +1,241 @@
+package agent
+
+import (
+	"encoding/binary"
+	"testing"
+
+	"github.com/eof-fuzz/eof/internal/board"
+	"github.com/eof-fuzz/eof/internal/cpu"
+	"github.com/eof-fuzz/eof/internal/flash"
+	"github.com/eof-fuzz/eof/internal/mem"
+	"github.com/eof-fuzz/eof/internal/rtos"
+	"github.com/eof-fuzz/eof/internal/sym"
+	"github.com/eof-fuzz/eof/internal/uart"
+	"github.com/eof-fuzz/eof/internal/vtime"
+	"github.com/eof-fuzz/eof/internal/wire"
+)
+
+// miniOS exposes three handlers: add, fault, and blob-length.
+type miniOS struct {
+	k     *rtos.Kernel
+	env   *board.Env
+	calls []string
+}
+
+func (m *miniOS) Name() string         { return "mini" }
+func (m *miniOS) Kernel() *rtos.Kernel { return m.k }
+func (m *miniOS) APIs() []API {
+	return []API{
+		{Name: "add", Handler: func(a []uint64) (uint64, rtos.Errno) {
+			m.calls = append(m.calls, "add")
+			var s uint64
+			for _, v := range a {
+				s += v
+			}
+			return s, rtos.OK
+		}},
+		{Name: "boom", Handler: func(a []uint64) (uint64, rtos.Errno) {
+			m.calls = append(m.calls, "boom")
+			m.k.PanicFault(cpu.FaultUsage, "boom handler")
+			return 0, rtos.OK
+		}},
+		{Name: "bloblen", Handler: func(a []uint64) (uint64, rtos.Errno) {
+			m.calls = append(m.calls, "bloblen")
+			if a[0] == 0 {
+				return 0, rtos.ErrInval
+			}
+			return uint64(BlobLen(m.env, a[0])), rtos.OK
+		}},
+	}
+}
+
+type rig struct {
+	env   *board.Env
+	os    *miniOS
+	core  *cpu.Core
+	lay   board.Layout
+	syms  *sym.Table
+	agent *Agent
+}
+
+func newRig(t *testing.T) *rig {
+	t.Helper()
+	spec := &board.Spec{
+		Name: "t", HZ: 100_000_000, CyclesPerBlock: 4, MaxBreakpoints: 8,
+		FlashBase: 0x0800_0000, RAMBase: 0x2000_0000, RAMSize: 256 * 1024, CovEntries: 64,
+	}
+	lay := board.LayoutFor(spec)
+	clock := &vtime.Clock{}
+	core := cpu.New(clock, spec.CPUConfig())
+	mm := mem.NewMap()
+	ram := mem.NewRegion("ram", spec.RAMBase, spec.RAMSize, mem.RW)
+	mm.MustAdd(ram)
+	env := &board.Env{
+		Spec: spec, Clock: clock, Core: core, Mem: mm, RAM: ram,
+		UART: uart.New(clock), Flash: flash.NewDevice(1<<20, 4096),
+		Syms:    sym.NewTable(spec.FlashBase + 0x1000),
+		FSBAddr: lay.FSB, CovAddr: lay.Cov,
+		MailboxIn: lay.MailboxIn, MailboxOut: lay.MailboxOut, ScratchBase: lay.Scratch,
+	}
+	k := rtos.NewKernel(env, "Mini")
+	k.NewHeap(lay.Scratch+ArenaSize, 64*1024, "m_alloc", "m_free", "m_lock", "m.c")
+	o := &miniOS{k: k, env: env}
+	a := New(env, o)
+	core.Start(a.Main)
+	r := &rig{env: env, os: o, core: core, lay: lay, syms: env.Syms, agent: a}
+	// Run to executor_main.
+	if err := core.SetBreakpoint(env.Syms.Addr(SymExecutorMain)); err != nil {
+		t.Fatal(err)
+	}
+	st := core.Continue(100000)
+	if st.Kind != cpu.StopBreakpoint {
+		t.Fatalf("first stop: %+v", st)
+	}
+	t.Cleanup(core.Kill)
+	return r
+}
+
+// run delivers one wire program and pumps until back at executor_main or a
+// terminal stop; it returns the stop and the result block.
+func (r *rig) run(t *testing.T, p *wire.Prog) (cpu.Stop, wire.Result) {
+	t.Helper()
+	raw, err := p.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 4+len(raw))
+	binary.LittleEndian.PutUint32(buf, uint32(len(raw)))
+	copy(buf[4:], raw)
+	if err := r.env.Mem.Write(r.lay.MailboxIn, buf); err != nil {
+		t.Fatal(err)
+	}
+	var st cpu.Stop
+	for i := 0; i < 64; i++ {
+		st = r.core.Continue(200000)
+		if st.Kind == cpu.StopBreakpoint && st.PC == r.syms.Addr(SymExecutorMain) {
+			break
+		}
+		if st.Kind == cpu.StopFault {
+			break
+		}
+	}
+	out, err := r.env.Mem.Read(r.lay.MailboxOut, wire.ResultBytes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := wire.UnmarshalResult(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return st, res
+}
+
+func TestAgentExecutesProgram(t *testing.T) {
+	r := newRig(t)
+	p := &wire.Prog{Calls: []wire.Call{
+		{API: 0, Args: []wire.Arg{{Kind: wire.ArgImm, Val: 2}, {Kind: wire.ArgImm, Val: 3}}},
+		{API: 0, Args: []wire.Arg{{Kind: wire.ArgResult, Val: 0}, {Kind: wire.ArgImm, Val: 10}}},
+	}}
+	_, res := r.run(t, p)
+	if res.Executed != 2 || res.Faulted || res.Seq != 1 {
+		t.Fatalf("result: %+v", res)
+	}
+	if len(r.os.calls) != 2 {
+		t.Fatalf("calls: %v", r.os.calls)
+	}
+}
+
+func TestAgentResultChaining(t *testing.T) {
+	r := newRig(t)
+	// bloblen(blob) then add(result, 1).
+	p := &wire.Prog{Calls: []wire.Call{
+		{API: 2, Args: []wire.Arg{{Kind: wire.ArgBlob, Blob: []byte("sixteen bytes!!!")}}},
+		{API: 0, Args: []wire.Arg{{Kind: wire.ArgResult, Val: 0}, {Kind: wire.ArgImm, Val: 1}}},
+	}}
+	_, res := r.run(t, p)
+	if res.Executed != 2 || res.LastErr != 0 {
+		t.Fatalf("result: %+v", res)
+	}
+}
+
+func TestAgentBlobStaging(t *testing.T) {
+	r := newRig(t)
+	p := &wire.Prog{Calls: []wire.Call{
+		{API: 2, Args: []wire.Arg{{Kind: wire.ArgBlob, Blob: []byte("hello")}}},
+	}}
+	_, res := r.run(t, p)
+	if res.Executed != 1 {
+		t.Fatalf("result: %+v", res)
+	}
+	// The handler returned BlobLen(addr), which must be 5; results are not
+	// directly visible, but LastErr is OK and a second call can consume it.
+}
+
+func TestAgentFaultPath(t *testing.T) {
+	r := newRig(t)
+	p := &wire.Prog{Calls: []wire.Call{
+		{API: 0, Args: []wire.Arg{{Kind: wire.ArgImm, Val: 1}}},
+		{API: 1}, // boom
+		{API: 0}, // never reached
+	}}
+	st, _ := r.run(t, p)
+	if st.Kind != cpu.StopFault {
+		t.Fatalf("stop: %+v", st)
+	}
+	// The fault park happens inside the kernel; the agent's recovery (which
+	// writes the result block) runs only when the host resumes once more.
+	s1 := r.core.Continue(5000)
+	out, _ := r.env.Mem.Read(r.lay.MailboxOut, wire.ResultBytes)
+	res, _ := wire.UnmarshalResult(out)
+	if !res.Faulted || res.Executed != 1 {
+		t.Fatalf("result: %+v", res)
+	}
+	// After the fault the system wedges: further continues are budget stops
+	// at a stable PC (the hang loop).
+	s2 := r.core.Continue(5000)
+	if s1.Kind != cpu.StopBudget && s1.Kind != cpu.StopBreakpoint {
+		t.Fatalf("post-fault: %+v", s1)
+	}
+	if s2.Kind != cpu.StopBudget || s1.PC != s2.PC {
+		t.Fatalf("no stable wedge: %+v vs %+v", s1, s2)
+	}
+}
+
+func TestAgentRejectsGarbageMailbox(t *testing.T) {
+	r := newRig(t)
+	// Write garbage with a plausible length prefix.
+	garbage := []byte{9, 0, 0, 0, 0xDE, 0xAD, 0xBE, 0xEF, 1, 2, 3, 4, 5}
+	if err := r.env.Mem.Write(r.lay.MailboxIn, garbage); err != nil {
+		t.Fatal(err)
+	}
+	var st cpu.Stop
+	for i := 0; i < 16; i++ {
+		st = r.core.Continue(200000)
+		if st.Kind == cpu.StopBreakpoint {
+			break
+		}
+	}
+	if st.Kind != cpu.StopBreakpoint {
+		t.Fatalf("agent did not survive garbage: %+v", st)
+	}
+	out, _ := r.env.Mem.Read(r.lay.MailboxOut, wire.ResultBytes)
+	res, _ := wire.UnmarshalResult(out)
+	if res.Executed != 0 || res.LastErr == 0 {
+		t.Fatalf("garbage result: %+v", res)
+	}
+	// The agent must still execute valid programs afterwards.
+	p := &wire.Prog{Calls: []wire.Call{{API: 0, Args: []wire.Arg{{Kind: wire.ArgImm, Val: 7}}}}}
+	_, res = r.run(t, p)
+	if res.Executed != 1 {
+		t.Fatalf("after garbage: %+v", res)
+	}
+}
+
+func TestAgentBadAPIIndexRejected(t *testing.T) {
+	r := newRig(t)
+	p := &wire.Prog{Calls: []wire.Call{{API: 99}}}
+	_, res := r.run(t, p)
+	if res.Executed != 0 || res.LastErr != int32(rtos.ErrInval) {
+		t.Fatalf("bad api: %+v", res)
+	}
+}

@@ -1,0 +1,616 @@
+// Package httpd is the embedded HTTP server component of the application-
+// level evaluation: a request-line/header/body parser with static routing,
+// instrumented like any kernel module. Its structured front end is exactly
+// why AFL-style random buffers stall early (the paper's Table 4 HTTP-server
+// column) while API-aware inputs that satisfy the grammar reach the routing
+// and handler layers.
+package httpd
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"github.com/eof-fuzz/eof/internal/app/jsonlib"
+	"github.com/eof-fuzz/eof/internal/rtos"
+)
+
+// Limits of the embedded server.
+const (
+	MaxRequest = 4096
+	MaxHeaders = 24
+	MaxURILen  = 256
+	MaxBody    = 2048
+)
+
+// Server is one HTTP server instance bound to a kernel.
+type Server struct {
+	k    *rtos.Kernel
+	json *jsonlib.Lib
+
+	fnInit    *rtos.Fn
+	fnHandle  *rtos.Fn
+	fnReqLine *rtos.Fn
+	fnHeaders *rtos.Fn
+	fnRoute   *rtos.Fn
+	fnQuery   *rtos.Fn
+	fnEcho    *rtos.Fn
+	fnStatus  *rtos.Fn
+	fnJSONEP  *rtos.Fn
+	fnAuth    *rtos.Fn
+	fnCookies *rtos.Fn
+	fnChunked *rtos.Fn
+	fnDevice  *rtos.Fn
+
+	started  bool
+	port     int
+	requests int
+	served   map[int]int // status code counts
+}
+
+// New registers the server's functions; json may be nil (the /api/json
+// endpoint then 404s).
+func New(k *rtos.Kernel, json *jsonlib.Lib) *Server {
+	return &Server{
+		k:         k,
+		json:      json,
+		fnInit:    k.Fn("http_server_init", "app/http/httpd.c", 70, 8),
+		fnHandle:  k.Fn("http_server_handle", "app/http/httpd.c", 130, 10),
+		fnReqLine: k.Fn("http_parse_request_line", "app/http/parse.c", 30, 14),
+		fnHeaders: k.Fn("http_parse_headers", "app/http/parse.c", 140, 12),
+		fnRoute:   k.Fn("http_route", "app/http/route.c", 20, 10),
+		fnQuery:   k.Fn("http_parse_query", "app/http/parse.c", 250, 8),
+		fnEcho:    k.Fn("http_handle_echo", "app/http/handlers.c", 15, 6),
+		fnStatus:  k.Fn("http_handle_status", "app/http/handlers.c", 80, 5),
+		fnJSONEP:  k.Fn("http_handle_json", "app/http/handlers.c", 140, 8),
+		fnAuth:    k.Fn("http_check_auth", "app/http/auth.c", 20, 10),
+		fnCookies: k.Fn("http_parse_cookies", "app/http/parse.c", 320, 8),
+		fnChunked: k.Fn("http_decode_chunked", "app/http/parse.c", 400, 10),
+		fnDevice:  k.Fn("http_handle_device", "app/http/handlers.c", 220, 14),
+		served:    make(map[int]int),
+	}
+}
+
+// Init starts the listener on port.
+func (s *Server) Init(port int) rtos.Errno {
+	f := s.fnInit
+	f.Enter()
+	defer f.Exit()
+	if s.started {
+		f.B(1)
+		return rtos.ErrBusy
+	}
+	if !s.k.Env.Spec.HasPeripheral("socket") {
+		// No network stack on this board (QEMU models no MAC/radio): the
+		// listener cannot come up, and the whole server is unreachable.
+		f.B(5)
+		return rtos.ErrNoDev
+	}
+	if port <= 0 || port > 65535 {
+		f.B(2)
+		return rtos.ErrInval
+	}
+	if port < 1024 {
+		f.B(3) // privileged ports allowed on an RTOS, but tracked
+	}
+	f.B(4)
+	s.started = true
+	s.port = port
+	return rtos.OK
+}
+
+// Stats reports request and per-status counts.
+func (s *Server) Stats() (requests int, byStatus map[int]int) {
+	return s.requests, s.served
+}
+
+type request struct {
+	method  string
+	path    string
+	query   map[string]string
+	proto   string
+	headers map[string]string
+	cookies map[string]string
+	body    []byte
+}
+
+// Handle processes one raw request buffer and returns the response status.
+func (s *Server) Handle(raw []byte) (int, rtos.Errno) {
+	f := s.fnHandle
+	f.Enter()
+	defer f.Exit()
+	if !s.started {
+		f.B(1)
+		return 0, rtos.ErrState
+	}
+	s.requests++
+	if len(raw) == 0 || len(raw) > MaxRequest {
+		f.B(2)
+		return s.respond(400), rtos.ErrInval
+	}
+	f.B(3)
+	req, status := s.parse(raw)
+	if status != 0 {
+		f.B(4)
+		return s.respond(status), rtos.ErrInval
+	}
+	f.B(5)
+	return s.respond(s.route(req)), rtos.OK
+}
+
+func (s *Server) respond(status int) int {
+	s.served[status]++
+	return status
+}
+
+func (s *Server) parse(raw []byte) (*request, int) {
+	text := string(raw)
+	lineEnd := strings.Index(text, "\r\n")
+	if lineEnd < 0 {
+		lineEnd = strings.IndexByte(text, '\n')
+		if lineEnd < 0 {
+			return nil, 400
+		}
+	}
+	req, status := s.parseRequestLine(text[:lineEnd])
+	if status != 0 {
+		return nil, status
+	}
+	rest := text[lineEnd:]
+	rest = strings.TrimPrefix(rest, "\r\n")
+	rest = strings.TrimPrefix(rest, "\n")
+	body, status := s.parseHeaders(req, rest)
+	if status != 0 {
+		return nil, status
+	}
+	req.body = []byte(body)
+	return req, 0
+}
+
+func (s *Server) parseRequestLine(line string) (*request, int) {
+	f := s.fnReqLine
+	f.Enter()
+	defer f.Exit()
+	parts := strings.Split(line, " ")
+	if len(parts) != 3 {
+		f.B(1)
+		return nil, 400
+	}
+	req := &request{method: parts[0], proto: parts[2], query: map[string]string{}}
+	switch req.method {
+	case "GET":
+		f.B(2)
+	case "POST":
+		f.B(3)
+	case "HEAD":
+		f.B(4)
+	case "PUT", "DELETE":
+		f.B(5)
+		return nil, 405
+	default:
+		f.B(6)
+		return nil, 400
+	}
+	uri := parts[1]
+	if uri == "" || uri[0] != '/' || len(uri) > MaxURILen {
+		f.B(7)
+		return nil, 400
+	}
+	if q := strings.IndexByte(uri, '?'); q >= 0 {
+		f.B(8)
+		req.path = uri[:q]
+		if st := s.parseQuery(req, uri[q+1:]); st != 0 {
+			f.B(9)
+			return nil, st
+		}
+	} else {
+		f.B(10)
+		req.path = uri
+	}
+	if req.proto != "HTTP/1.0" && req.proto != "HTTP/1.1" {
+		f.B(11)
+		return nil, 505
+	}
+	f.B(12)
+	return req, 0
+}
+
+func (s *Server) parseQuery(req *request, qs string) int {
+	f := s.fnQuery
+	f.Enter()
+	defer f.Exit()
+	if qs == "" {
+		f.B(1)
+		return 0
+	}
+	for _, pair := range strings.Split(qs, "&") {
+		k, v, ok := strings.Cut(pair, "=")
+		if !ok || k == "" {
+			f.B(2)
+			return 400
+		}
+		if len(req.query) >= 16 {
+			f.B(3)
+			return 414
+		}
+		f.B(4)
+		req.query[k] = v
+	}
+	f.B(5)
+	return 0
+}
+
+func (s *Server) parseHeaders(req *request, rest string) (string, int) {
+	f := s.fnHeaders
+	f.Enter()
+	defer f.Exit()
+	req.headers = map[string]string{}
+	for {
+		lineEnd := strings.Index(rest, "\r\n")
+		sep := 2
+		if lineEnd < 0 {
+			lineEnd = strings.IndexByte(rest, '\n')
+			sep = 1
+		}
+		if lineEnd < 0 {
+			// No blank line terminator: headers run to EOF, no body.
+			if strings.TrimSpace(rest) == "" {
+				f.B(1)
+				return "", 0
+			}
+			f.B(2)
+			return "", 400
+		}
+		line := rest[:lineEnd]
+		rest = rest[lineEnd+sep:]
+		if line == "" {
+			f.B(3)
+			break // end of headers
+		}
+		name, value, ok := strings.Cut(line, ":")
+		if !ok || name == "" || strings.ContainsAny(name, " \t") {
+			f.B(4)
+			return "", 400
+		}
+		if len(req.headers) >= MaxHeaders {
+			f.B(5)
+			return "", 431
+		}
+		f.B(6)
+		req.headers[strings.ToLower(name)] = strings.TrimSpace(value)
+	}
+	if cs, ok := req.headers["cookie"]; ok {
+		if st := s.parseCookies(req, cs); st != 0 {
+			return "", st
+		}
+	}
+	if te, ok := req.headers["transfer-encoding"]; ok {
+		f.B(7)
+		if te != "chunked" {
+			return "", 501
+		}
+		body, st := s.decodeChunked(rest)
+		if st != 0 {
+			return "", st
+		}
+		return body, 0
+	}
+	if cl, ok := req.headers["content-length"]; ok {
+		f.B(7)
+		n, err := strconv.Atoi(cl)
+		if err != nil || n < 0 || n > MaxBody {
+			f.B(8)
+			return "", 413
+		}
+		if n > len(rest) {
+			f.B(9)
+			return "", 400
+		}
+		f.B(10)
+		return rest[:n], 0
+	}
+	f.B(11)
+	return rest, 0
+}
+
+// parseCookies splits the Cookie header into the request's cookie map.
+func (s *Server) parseCookies(req *request, header string) int {
+	f := s.fnCookies
+	f.Enter()
+	defer f.Exit()
+	req.cookies = map[string]string{}
+	for _, pair := range strings.Split(header, ";") {
+		pair = strings.TrimSpace(pair)
+		if pair == "" {
+			f.B(1)
+			continue
+		}
+		k, v, ok := strings.Cut(pair, "=")
+		if !ok || k == "" {
+			f.B(2)
+			return 400
+		}
+		if len(req.cookies) >= 8 {
+			f.B(3)
+			return 431
+		}
+		f.B(4)
+		req.cookies[k] = v
+	}
+	switch len(req.cookies) {
+	case 0:
+		f.B(5)
+	case 1:
+		f.B(6)
+	default:
+		f.B(7)
+	}
+	return 0
+}
+
+// decodeChunked implements HTTP/1.1 chunked transfer decoding.
+func (s *Server) decodeChunked(rest string) (string, int) {
+	f := s.fnChunked
+	f.Enter()
+	defer f.Exit()
+	var body strings.Builder
+	for {
+		lineEnd := strings.Index(rest, "\r\n")
+		if lineEnd < 0 {
+			f.B(1)
+			return "", 400
+		}
+		size, err := strconv.ParseUint(strings.TrimSpace(rest[:lineEnd]), 16, 32)
+		if err != nil {
+			f.B(2)
+			return "", 400
+		}
+		rest = rest[lineEnd+2:]
+		if size == 0 {
+			f.B(3)
+			break
+		}
+		if int(size) > len(rest) || body.Len()+int(size) > MaxBody {
+			f.B(4)
+			return "", 413
+		}
+		switch {
+		case size < 16:
+			f.B(5)
+		case size < 256:
+			f.B(6)
+		default:
+			f.B(7)
+		}
+		body.WriteString(rest[:size])
+		rest = rest[size:]
+		rest = strings.TrimPrefix(rest, "\r\n")
+	}
+	f.B(8)
+	return body.String(), 0
+}
+
+func (s *Server) route(req *request) int {
+	f := s.fnRoute
+	f.Enter()
+	defer f.Exit()
+	switch req.path {
+	case "/":
+		f.B(1)
+		return s.handleStatus(req, true)
+	case "/status":
+		f.B(2)
+		return s.handleStatus(req, false)
+	case "/api/echo":
+		f.B(3)
+		return s.handleEcho(req)
+	case "/api/json":
+		f.B(4)
+		return s.handleJSON(req)
+	default:
+		if strings.HasPrefix(req.path, "/api/v1/device/") {
+			f.B(8)
+			return s.handleDevice(req)
+		}
+		if strings.HasPrefix(req.path, "/static/") {
+			f.B(5)
+			if strings.Contains(req.path, "..") {
+				f.B(6)
+				return 403
+			}
+			return 200
+		}
+		f.B(7)
+		return 404
+	}
+}
+
+// checkAuth validates the Authorization header for protected routes.
+func (s *Server) checkAuth(req *request) int {
+	f := s.fnAuth
+	f.Enter()
+	defer f.Exit()
+	auth, ok := req.headers["authorization"]
+	if !ok {
+		// A session cookie is an acceptable substitute.
+		if tok, ok := req.cookies["session"]; ok && len(tok) >= 8 {
+			f.B(1)
+			return 0
+		}
+		f.B(2)
+		return 401
+	}
+	scheme, token, ok := strings.Cut(auth, " ")
+	if !ok {
+		f.B(3)
+		return 400
+	}
+	switch strings.ToLower(scheme) {
+	case "bearer":
+		f.B(4)
+		if len(token) < 8 {
+			f.B(5)
+			return 401
+		}
+		if strings.HasPrefix(token, "dev-") {
+			f.B(6) // development tokens get extra audit logging
+			s.k.Kprintf("httpd: dev token used\n")
+		}
+	case "basic":
+		f.B(7)
+		if !strings.Contains(token, ":") && len(token) < 6 {
+			f.B(8)
+			return 401
+		}
+	default:
+		f.B(9)
+		return 401
+	}
+	return 0
+}
+
+// handleDevice serves /api/v1/device/<id>[/action] with auth and per-action
+// dispatch — the deepest route in the server.
+func (s *Server) handleDevice(req *request) int {
+	f := s.fnDevice
+	f.Enter()
+	defer f.Exit()
+	if st := s.checkAuth(req); st != 0 {
+		f.B(1)
+		return st
+	}
+	rest := strings.TrimPrefix(req.path, "/api/v1/device/")
+	id, action, hasAction := strings.Cut(rest, "/")
+	if id == "" || len(id) > 16 {
+		f.B(2)
+		return 404
+	}
+	numeric := true
+	for _, c := range id {
+		if c < '0' || c > '9' {
+			numeric = false
+		}
+	}
+	if numeric {
+		f.B(3)
+	} else {
+		f.B(4)
+	}
+	if !hasAction {
+		f.B(5)
+		if req.method != "GET" {
+			return 405
+		}
+		return 200
+	}
+	switch action {
+	case "status":
+		f.B(6)
+		return 200
+	case "reset":
+		f.B(7)
+		if req.method != "POST" {
+			f.B(8)
+			return 405
+		}
+		return 202
+	case "config":
+		f.B(9)
+		if req.method != "POST" || len(req.body) == 0 {
+			f.B(10)
+			return 400
+		}
+		if s.json == nil {
+			return 404
+		}
+		h, e := s.json.Parse(req.body)
+		if e.Failed() {
+			f.B(11)
+			return 422
+		}
+		s.json.Free(h)
+		f.B(12)
+		return 200
+	default:
+		f.B(13)
+		return 404
+	}
+}
+
+func (s *Server) handleStatus(req *request, index bool) int {
+	f := s.fnStatus
+	f.Enter()
+	defer f.Exit()
+	if req.method == "POST" {
+		f.B(1)
+		return 405
+	}
+	if index {
+		f.B(2)
+	} else {
+		f.B(3)
+		if v, ok := req.query["verbose"]; ok && v == "1" {
+			f.B(4)
+			s.k.Kprintf("httpd: status verbose, %d requests served\n", s.requests)
+		}
+	}
+	return 200
+}
+
+func (s *Server) handleEcho(req *request) int {
+	f := s.fnEcho
+	f.Enter()
+	defer f.Exit()
+	if req.method != "POST" {
+		f.B(1)
+		return 405
+	}
+	if len(req.body) == 0 {
+		f.B(2)
+		return 400
+	}
+	if _, ok := req.headers["content-type"]; !ok {
+		f.B(3)
+		return 415
+	}
+	f.B(4)
+	return 200
+}
+
+func (s *Server) handleJSON(req *request) int {
+	f := s.fnJSONEP
+	f.Enter()
+	defer f.Exit()
+	if s.json == nil {
+		f.B(1)
+		return 404
+	}
+	if req.method != "POST" {
+		f.B(2)
+		return 405
+	}
+	handle, e := s.json.Parse(req.body)
+	if e.Failed() {
+		f.B(3)
+		return 422
+	}
+	f.B(4)
+	pretty := uint32(0)
+	if req.query["pretty"] == "1" {
+		f.B(5)
+		pretty = jsonlib.EncPretty
+	}
+	if _, e := s.json.Encode(handle, pretty); e.Failed() {
+		f.B(6)
+		s.json.Free(handle)
+		return 500
+	}
+	f.B(7)
+	s.json.Free(handle)
+	return 200
+}
+
+// String summarizes the server for logs.
+func (s *Server) String() string {
+	return fmt.Sprintf("httpd(port=%d, started=%v, requests=%d)", s.port, s.started, s.requests)
+}

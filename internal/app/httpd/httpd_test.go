@@ -1,0 +1,263 @@
+package httpd
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"github.com/eof-fuzz/eof/internal/app/jsonlib"
+	"github.com/eof-fuzz/eof/internal/board"
+	"github.com/eof-fuzz/eof/internal/cpu"
+	"github.com/eof-fuzz/eof/internal/mem"
+	"github.com/eof-fuzz/eof/internal/rtos"
+	"github.com/eof-fuzz/eof/internal/sym"
+	"github.com/eof-fuzz/eof/internal/uart"
+	"github.com/eof-fuzz/eof/internal/vtime"
+)
+
+// newServer builds a server on a minimal kernel whose instrumentation is
+// inert (not live), so handlers run synchronously in the test goroutine.
+func newServer(t *testing.T) *Server {
+	t.Helper()
+	clock := &vtime.Clock{}
+	mm := mem.NewMap()
+	ram := mem.NewRegion("ram", 0x2000_0000, 64*1024, mem.RW)
+	mm.MustAdd(ram)
+	env := &board.Env{
+		Spec:  &board.Spec{Name: "t", Peripherals: map[string]bool{"socket": true}},
+		Clock: clock,
+		Core:  cpu.New(clock, cpu.DefaultConfig()),
+		Mem:   mm,
+		RAM:   ram,
+		UART:  uart.New(clock),
+		Syms:  sym.NewTable(0x0800_0000),
+	}
+	k := rtos.NewKernel(env, "T")
+	srv := New(k, jsonlib.New(k))
+	if e := srv.Init(8080); e.Failed() {
+		t.Fatal(e)
+	}
+	return srv
+}
+
+func handle(t *testing.T, s *Server, req string) int {
+	t.Helper()
+	status, _ := s.Handle([]byte(req))
+	return status
+}
+
+func TestBasicRouting(t *testing.T) {
+	s := newServer(t)
+	cases := []struct {
+		req  string
+		want int
+	}{
+		{"GET / HTTP/1.1\r\n\r\n", 200},
+		{"GET /status HTTP/1.1\r\n\r\n", 200},
+		{"POST /status HTTP/1.1\r\n\r\n", 405},
+		{"GET /nope HTTP/1.1\r\n\r\n", 404},
+		{"GET /static/logo.png HTTP/1.1\r\n\r\n", 200},
+		{"GET /static/../etc HTTP/1.1\r\n\r\n", 403},
+		{"PUT / HTTP/1.1\r\n\r\n", 405},
+		{"FROB / HTTP/1.1\r\n\r\n", 400},
+		{"GET / HTTP/2.0\r\n\r\n", 505},
+		{"garbage", 400},
+		{"GET", 400},
+	}
+	for _, tc := range cases {
+		if got := handle(t, s, tc.req); got != tc.want {
+			t.Errorf("Handle(%q) = %d, want %d", tc.req, got, tc.want)
+		}
+	}
+}
+
+func TestInitValidation(t *testing.T) {
+	s := newServer(t)
+	if e := s.Init(8080); e != rtos.ErrBusy {
+		t.Errorf("double init: %v", e)
+	}
+	fresh := newServer(t) // newServer inits; build one manually for the cases
+	_ = fresh
+	clock := &vtime.Clock{}
+	mm := mem.NewMap()
+	ram := mem.NewRegion("ram", 0x2000_0000, 64*1024, mem.RW)
+	mm.MustAdd(ram)
+	env := &board.Env{
+		Spec: &board.Spec{Name: "t", Peripherals: map[string]bool{"socket": true}}, Clock: clock,
+		Core: cpu.New(clock, cpu.DefaultConfig()),
+		Mem:  mm, RAM: ram, UART: uart.New(clock), Syms: sym.NewTable(0x0900_0000),
+	}
+	k := rtos.NewKernel(env, "T")
+	raw := New(k, nil)
+	if e := raw.Init(0); e != rtos.ErrInval {
+		t.Errorf("port 0: %v", e)
+	}
+	if e := raw.Init(70000); e != rtos.ErrInval {
+		t.Errorf("port 70000: %v", e)
+	}
+	if st, e := raw.Handle([]byte("GET / HTTP/1.1\r\n\r\n")); e != rtos.ErrState || st != 0 {
+		t.Errorf("handle before init: %d %v", st, e)
+	}
+	if e := raw.Init(80); e.Failed() {
+		t.Errorf("privileged port: %v", e)
+	}
+	// json == nil: the endpoint 404s.
+	if got, _ := raw.Handle([]byte("POST /api/json HTTP/1.1\r\nContent-Length: 2\r\n\r\n{}")); got != 404 {
+		t.Errorf("json endpoint without lib: %d", got)
+	}
+}
+
+func TestEchoEndpoint(t *testing.T) {
+	s := newServer(t)
+	if got := handle(t, s, "POST /api/echo HTTP/1.1\r\nContent-Type: text/plain\r\nContent-Length: 2\r\n\r\nhi"); got != 200 {
+		t.Errorf("echo: %d", got)
+	}
+	if got := handle(t, s, "GET /api/echo HTTP/1.1\r\n\r\n"); got != 405 {
+		t.Errorf("echo GET: %d", got)
+	}
+	if got := handle(t, s, "POST /api/echo HTTP/1.1\r\nContent-Length: 2\r\n\r\nhi"); got != 415 {
+		t.Errorf("echo without content type: %d", got)
+	}
+	if got := handle(t, s, "POST /api/echo HTTP/1.1\r\nContent-Type: a\r\nContent-Length: 0\r\n\r\n"); got != 400 {
+		t.Errorf("echo empty body: %d", got)
+	}
+}
+
+func TestJSONEndpoint(t *testing.T) {
+	s := newServer(t)
+	req := "POST /api/json HTTP/1.1\r\nContent-Length: 9\r\n\r\n{\"a\":123}"
+	if got := handle(t, s, req); got != 200 {
+		t.Errorf("json: %d", got)
+	}
+	bad := "POST /api/json HTTP/1.1\r\nContent-Length: 4\r\n\r\n{{{{"
+	if got := handle(t, s, bad); got != 422 {
+		t.Errorf("bad json: %d", got)
+	}
+}
+
+func TestQueryParsing(t *testing.T) {
+	s := newServer(t)
+	if got := handle(t, s, "GET /status?verbose=1&x=2 HTTP/1.1\r\n\r\n"); got != 200 {
+		t.Errorf("query: %d", got)
+	}
+	if got := handle(t, s, "GET /status?=broken HTTP/1.1\r\n\r\n"); got != 400 {
+		t.Errorf("empty key: %d", got)
+	}
+	var sb strings.Builder
+	for i := 0; i < 17; i++ {
+		fmt.Fprintf(&sb, "k%d=v&", i)
+	}
+	long := "GET /status?" + sb.String() + "z=1 HTTP/1.1\r\n\r\n"
+	if got := handle(t, s, long); got != 414 {
+		t.Errorf("too many params: %d", got)
+	}
+}
+
+func TestAuthAndDeviceRoutes(t *testing.T) {
+	s := newServer(t)
+	cases := []struct {
+		req  string
+		want int
+	}{
+		{"GET /api/v1/device/42 HTTP/1.1\r\n\r\n", 401},
+		{"GET /api/v1/device/42 HTTP/1.1\r\nAuthorization: Bearer secret-token\r\n\r\n", 200},
+		{"GET /api/v1/device/42 HTTP/1.1\r\nAuthorization: Bearer x\r\n\r\n", 401},
+		{"GET /api/v1/device/42 HTTP/1.1\r\nAuthorization: Frob zz\r\n\r\n", 401},
+		{"GET /api/v1/device/42 HTTP/1.1\r\nAuthorization: nospace\r\n\r\n", 400},
+		{"GET /api/v1/device/42 HTTP/1.1\r\nCookie: session=abcdefgh\r\n\r\n", 200},
+		{"GET /api/v1/device/42/status HTTP/1.1\r\nAuthorization: Bearer secret-token\r\n\r\n", 200},
+		{"GET /api/v1/device/42/reset HTTP/1.1\r\nAuthorization: Bearer secret-token\r\n\r\n", 405},
+		{"POST /api/v1/device/42/reset HTTP/1.1\r\nAuthorization: Bearer secret-token\r\n\r\n", 202},
+		{"POST /api/v1/device/42/frob HTTP/1.1\r\nAuthorization: Bearer secret-token\r\n\r\n", 404},
+		{"POST /api/v1/device/ HTTP/1.1\r\nAuthorization: Bearer secret-token\r\n\r\n", 404},
+		{"POST /api/v1/device/7/config HTTP/1.1\r\nAuthorization: Bearer secret-token\r\nContent-Length: 7\r\n\r\n{\"m\":1}", 200},
+		{"POST /api/v1/device/7/config HTTP/1.1\r\nAuthorization: Bearer secret-token\r\nContent-Length: 3\r\n\r\n}{x", 422},
+	}
+	for _, tc := range cases {
+		if got := handle(t, s, tc.req); got != tc.want {
+			t.Errorf("Handle(%q) = %d, want %d", tc.req, got, tc.want)
+		}
+	}
+}
+
+func TestChunkedBodies(t *testing.T) {
+	s := newServer(t)
+	chunked := "POST /api/json HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n" +
+		"4\r\n{\"a\"\r\n4\r\n:12}\r\n0\r\n\r\n"
+	if got := handle(t, s, chunked); got != 200 {
+		t.Errorf("chunked json: %d", got)
+	}
+	bad := "POST /api/json HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\nZZ\r\nxx\r\n0\r\n\r\n"
+	if got := handle(t, s, bad); got != 400 {
+		t.Errorf("bad chunk size: %d", got)
+	}
+	gzip := "POST /api/json HTTP/1.1\r\nTransfer-Encoding: gzip\r\n\r\nxx"
+	if got := handle(t, s, gzip); got != 501 {
+		t.Errorf("unsupported TE: %d", got)
+	}
+}
+
+func TestHeadersValidation(t *testing.T) {
+	s := newServer(t)
+	if got := handle(t, s, "GET / HTTP/1.1\r\nBad Header: x\r\n\r\n"); got != 400 {
+		t.Errorf("space in header name: %d", got)
+	}
+	many := "GET / HTTP/1.1\r\n"
+	for i := 0; i < 30; i++ {
+		many += "X-A" + strings.Repeat("a", i) + ": 1\r\n"
+	}
+	many += "\r\n"
+	if got := handle(t, s, many); got != 431 {
+		t.Errorf("too many headers: %d", got)
+	}
+	if got := handle(t, s, "POST /api/echo HTTP/1.1\r\nContent-Length: 99999\r\n\r\nx"); got != 413 {
+		t.Errorf("huge content length: %d", got)
+	}
+	if got := handle(t, s, "POST /api/echo HTTP/1.1\r\nContent-Length: 10\r\n\r\nx"); got != 400 {
+		t.Errorf("short body: %d", got)
+	}
+}
+
+func TestCookieParsing(t *testing.T) {
+	s := newServer(t)
+	if got := handle(t, s, "GET / HTTP/1.1\r\nCookie: a=1; b=2\r\n\r\n"); got != 200 {
+		t.Errorf("cookies: %d", got)
+	}
+	if got := handle(t, s, "GET / HTTP/1.1\r\nCookie: broken\r\n\r\n"); got != 400 {
+		t.Errorf("bad cookie: %d", got)
+	}
+	var cb strings.Builder
+	for i := 0; i < 10; i++ {
+		fmt.Fprintf(&cb, "k%d=1; ", i)
+	}
+	many := "GET / HTTP/1.1\r\nCookie: " + strings.TrimSuffix(cb.String(), "; ") + "\r\n\r\n"
+	if got := handle(t, s, many); got != 431 {
+		t.Errorf("cookie overflow: %d (req %q)", got, many)
+	}
+}
+
+func TestRandomBuffersNeverPanic(t *testing.T) {
+	s := newServer(t)
+	rnd := rand.New(rand.NewSource(99))
+	for i := 0; i < 3000; i++ {
+		b := make([]byte, rnd.Intn(600))
+		rnd.Read(b)
+		s.Handle(b)
+	}
+	reqs, by := s.Stats()
+	if reqs < 3000 {
+		t.Fatalf("requests: %d", reqs)
+	}
+	if by[400] == 0 {
+		t.Fatal("no 400s from random input?")
+	}
+}
+
+func TestStatsAndString(t *testing.T) {
+	s := newServer(t)
+	handle(t, s, "GET / HTTP/1.1\r\n\r\n")
+	if !strings.Contains(s.String(), "port=8080") {
+		t.Fatalf("String: %s", s)
+	}
+}

@@ -1,0 +1,618 @@
+// Package jsonlib is the embedded JSON component: a real tokenizer,
+// recursive-descent parser and encoder operating on raw bytes, instrumented
+// like any other kernel module. It is the "JSON" target of the paper's
+// application-level evaluation (Table 4) and hosts Zephyr's json_obj_encode
+// bug (Table 2, bug #3) when built with the encode-bug option.
+package jsonlib
+
+import (
+	"fmt"
+	"strconv"
+
+	"github.com/eof-fuzz/eof/internal/cpu"
+	"github.com/eof-fuzz/eof/internal/rtos"
+)
+
+// Limits of the embedded parser.
+const (
+	MaxDepth   = 16
+	MaxInput   = 4096
+	MaxKeys    = 32
+	MaxEncoded = 8192
+)
+
+// Kind is a JSON value kind.
+type Kind uint8
+
+// Value kinds.
+const (
+	KindNull Kind = iota
+	KindBool
+	KindNumber
+	KindString
+	KindArray
+	KindObject
+)
+
+// Value is one parsed JSON value.
+type Value struct {
+	Kind Kind
+	Bool bool
+	Num  float64
+	Str  string
+	Arr  []*Value
+	Keys []string
+	Vals []*Value
+}
+
+// Lib is one instance of the JSON component bound to a kernel.
+type Lib struct {
+	k         *rtos.Kernel
+	encodeBug bool
+
+	fnParse  *rtos.Fn
+	fnLex    *rtos.Fn
+	fnValue  *rtos.Fn
+	fnObject *rtos.Fn
+	fnArray  *rtos.Fn
+	fnString *rtos.Fn
+	fnNumber *rtos.Fn
+	fnEncode *rtos.Fn
+	fnFree   *rtos.Fn
+
+	parses  int
+	encodes int
+}
+
+// Option configures the library build.
+type Option func(*Lib)
+
+// WithEncodeBug compiles in the Zephyr json_obj_encode defect: encoding a
+// deeply nested object in pretty mode indexes past the per-level key table.
+func WithEncodeBug() Option {
+	return func(l *Lib) { l.encodeBug = true }
+}
+
+// New registers the component's functions with the kernel.
+func New(k *rtos.Kernel, opts ...Option) *Lib {
+	l := &Lib{
+		k:        k,
+		fnParse:  k.Fn("json_parse", "lib/json/json.c", 210, 10),
+		fnLex:    k.Fn("json_lex", "lib/json/json.c", 60, 12),
+		fnValue:  k.Fn("json_parse_value", "lib/json/json.c", 300, 14),
+		fnObject: k.Fn("json_parse_object", "lib/json/json.c", 360, 17),
+		fnArray:  k.Fn("json_parse_array", "lib/json/json.c", 430, 15),
+		fnString: k.Fn("json_parse_string", "lib/json/json.c", 490, 16),
+		fnNumber: k.Fn("json_parse_number", "lib/json/json.c", 560, 12),
+		fnEncode: k.Fn("json_obj_encode", "lib/json/json_enc.c", 40, 14),
+		fnFree:   k.Fn("json_free", "lib/json/json.c", 640, 3),
+	}
+	for _, o := range opts {
+		o(l)
+	}
+	return l
+}
+
+// Stats returns operation counters.
+func (l *Lib) Stats() (parses, encodes int) { return l.parses, l.encodes }
+
+type parser struct {
+	l    *Lib
+	data []byte
+	pos  int
+}
+
+// Parse parses data into a value tree registered as a kernel object; the
+// returned handle flows back to the fuzzer as a resource.
+func (l *Lib) Parse(data []byte) (uint32, rtos.Errno) {
+	f := l.fnParse
+	f.Enter()
+	defer f.Exit()
+	l.parses++
+	if len(data) == 0 {
+		f.B(1)
+		return 0, rtos.ErrInval
+	}
+	if len(data) > MaxInput {
+		f.B(2)
+		return 0, rtos.ErrRange
+	}
+	f.B(3)
+	p := &parser{l: l, data: data}
+	p.skipWS()
+	v, e := p.value(0)
+	if e.Failed() {
+		f.B(4)
+		return 0, e
+	}
+	p.skipWS()
+	if p.pos != len(p.data) {
+		f.B(5)
+		return 0, rtos.ErrInval
+	}
+	f.B(6)
+	obj := l.k.Objects.New(rtos.ObjHeapRef, "json-ctx", v)
+	return obj.ID, rtos.OK
+}
+
+// Get resolves a parse handle back to its value tree.
+func (l *Lib) Get(handle uint32) (*Value, rtos.Errno) {
+	o, e := l.k.Objects.GetTyped(handle, rtos.ObjHeapRef)
+	if e.Failed() {
+		return nil, e
+	}
+	v, ok := o.Data.(*Value)
+	if !ok {
+		return nil, rtos.ErrType
+	}
+	return v, rtos.OK
+}
+
+// Free releases a parse context.
+func (l *Lib) Free(handle uint32) rtos.Errno {
+	f := l.fnFree
+	f.Enter()
+	defer f.Exit()
+	if _, e := l.Get(handle); e.Failed() {
+		f.B(1)
+		return e
+	}
+	f.B(2)
+	return l.k.Objects.Delete(handle)
+}
+
+func (p *parser) skipWS() {
+	for p.pos < len(p.data) {
+		switch p.data[p.pos] {
+		case ' ', '\t', '\n', '\r':
+			p.pos++
+		default:
+			return
+		}
+	}
+}
+
+func (p *parser) value(depth int) (*Value, rtos.Errno) {
+	f := p.l.fnValue
+	f.Enter()
+	defer f.Exit()
+	if depth > MaxDepth {
+		f.B(1)
+		return nil, rtos.ErrRange
+	}
+	if p.pos >= len(p.data) {
+		f.B(2)
+		return nil, rtos.ErrInval
+	}
+	switch c := p.data[p.pos]; {
+	case c == '{':
+		f.B(3)
+		return p.object(depth)
+	case c == '[':
+		f.B(4)
+		return p.array(depth)
+	case c == '"':
+		f.B(5)
+		s, e := p.str()
+		if e.Failed() {
+			return nil, e
+		}
+		return &Value{Kind: KindString, Str: s}, rtos.OK
+	case c == 't' || c == 'f':
+		f.B(6)
+		return p.boolean()
+	case c == 'n':
+		f.B(7)
+		return p.null()
+	case c == '-' || (c >= '0' && c <= '9'):
+		f.B(8)
+		return p.number()
+	default:
+		f.B(9)
+		return nil, rtos.ErrInval
+	}
+}
+
+func (p *parser) object(depth int) (*Value, rtos.Errno) {
+	f := p.l.fnObject
+	f.Enter()
+	defer f.Exit()
+	p.pos++ // '{'
+	v := &Value{Kind: KindObject}
+	p.skipWS()
+	if p.pos < len(p.data) && p.data[p.pos] == '}' {
+		f.B(1)
+		p.pos++
+		return v, rtos.OK
+	}
+	for {
+		p.skipWS()
+		if len(v.Keys) >= MaxKeys {
+			f.B(2)
+			return nil, rtos.ErrRange
+		}
+		if p.pos >= len(p.data) || p.data[p.pos] != '"' {
+			f.B(3)
+			return nil, rtos.ErrInval
+		}
+		key, e := p.str()
+		if e.Failed() {
+			f.B(4)
+			return nil, e
+		}
+		p.skipWS()
+		if p.pos >= len(p.data) || p.data[p.pos] != ':' {
+			f.B(5)
+			return nil, rtos.ErrInval
+		}
+		p.pos++
+		p.skipWS()
+		val, e := p.value(depth + 1)
+		if e.Failed() {
+			f.B(6)
+			return nil, e
+		}
+		v.Keys = append(v.Keys, key)
+		v.Vals = append(v.Vals, val)
+		p.skipWS()
+		if p.pos >= len(p.data) {
+			f.B(7)
+			return nil, rtos.ErrInval
+		}
+		switch p.data[p.pos] {
+		case ',':
+			f.B(8)
+			p.pos++
+		case '}':
+			f.B(9)
+			// Key-count and nesting-depth classes: token buffers grow and
+			// recursion frames deepen along distinct code in real parsers.
+			f.B(11 + keyClass(len(v.Keys)))
+			if depth > 3 {
+				depth = 3
+			}
+			f.B(13 + depth) // nesting-depth class blocks (clamped)
+			p.pos++
+			return v, rtos.OK
+		default:
+			f.B(10)
+			return nil, rtos.ErrInval
+		}
+	}
+}
+
+func (p *parser) array(depth int) (*Value, rtos.Errno) {
+	f := p.l.fnArray
+	f.Enter()
+	defer f.Exit()
+	p.pos++ // '['
+	v := &Value{Kind: KindArray}
+	p.skipWS()
+	if p.pos < len(p.data) && p.data[p.pos] == ']' {
+		f.B(1)
+		p.pos++
+		return v, rtos.OK
+	}
+	for {
+		p.skipWS()
+		el, e := p.value(depth + 1)
+		if e.Failed() {
+			f.B(2)
+			return nil, e
+		}
+		v.Arr = append(v.Arr, el)
+		p.skipWS()
+		if p.pos >= len(p.data) {
+			f.B(3)
+			return nil, rtos.ErrInval
+		}
+		switch p.data[p.pos] {
+		case ',':
+			f.B(4)
+			p.pos++
+		case ']':
+			f.B(5)
+			f.B(7 + keyClass(len(v.Arr)))
+			if depth > 3 {
+				depth = 3
+			}
+			f.B(11 + depth)
+			p.pos++
+			return v, rtos.OK
+		default:
+			f.B(6)
+			return nil, rtos.ErrInval
+		}
+	}
+}
+
+func (p *parser) str() (string, rtos.Errno) {
+	f := p.l.fnString
+	f.Enter()
+	defer f.Exit()
+	p.pos++ // '"'
+	out := make([]byte, 0, 16)
+	for p.pos < len(p.data) {
+		c := p.data[p.pos]
+		switch {
+		case c == '"':
+			f.B(1)
+			f.B(11 + keyClass(len(out)))
+			p.pos++
+			return string(out), rtos.OK
+		case c == '\\':
+			f.B(2)
+			p.pos++
+			if p.pos >= len(p.data) {
+				f.B(3)
+				return "", rtos.ErrInval
+			}
+			switch p.data[p.pos] {
+			case '"', '\\', '/':
+				f.B(4)
+				out = append(out, p.data[p.pos])
+			case 'n':
+				out = append(out, '\n')
+			case 't':
+				out = append(out, '\t')
+			case 'r':
+				out = append(out, '\r')
+			case 'b', 'f':
+				f.B(5)
+				out = append(out, ' ')
+			case 'u':
+				f.B(6)
+				if p.pos+4 >= len(p.data) {
+					return "", rtos.ErrInval
+				}
+				hex := string(p.data[p.pos+1 : p.pos+5])
+				n, err := strconv.ParseUint(hex, 16, 32)
+				if err != nil {
+					f.B(7)
+					return "", rtos.ErrInval
+				}
+				out = append(out, []byte(string(rune(n)))...)
+				p.pos += 4
+			default:
+				f.B(8)
+				return "", rtos.ErrInval
+			}
+			p.pos++
+		case c < 0x20:
+			f.B(9)
+			return "", rtos.ErrInval
+		default:
+			out = append(out, c)
+			p.pos++
+		}
+	}
+	f.B(10)
+	return "", rtos.ErrInval
+}
+
+// keyClass buckets a count into 0/1/few/many (0..3).
+func keyClass(n int) int {
+	switch {
+	case n == 0:
+		return 0
+	case n == 1:
+		return 1
+	case n <= 6:
+		return 2
+	default:
+		return 3
+	}
+}
+
+func (p *parser) number() (*Value, rtos.Errno) {
+	f := p.l.fnNumber
+	f.Enter()
+	defer f.Exit()
+	start := p.pos
+	if p.data[p.pos] == '-' {
+		f.B(1)
+		p.pos++
+	}
+	digits := 0
+	for p.pos < len(p.data) && p.data[p.pos] >= '0' && p.data[p.pos] <= '9' {
+		p.pos++
+		digits++
+	}
+	if digits == 0 {
+		f.B(2)
+		return nil, rtos.ErrInval
+	}
+	if p.pos < len(p.data) && p.data[p.pos] == '.' {
+		f.B(3)
+		p.pos++
+		fdigits := 0
+		for p.pos < len(p.data) && p.data[p.pos] >= '0' && p.data[p.pos] <= '9' {
+			p.pos++
+			fdigits++
+		}
+		if fdigits == 0 {
+			f.B(4)
+			return nil, rtos.ErrInval
+		}
+	}
+	if p.pos < len(p.data) && (p.data[p.pos] == 'e' || p.data[p.pos] == 'E') {
+		f.B(5)
+		p.pos++
+		if p.pos < len(p.data) && (p.data[p.pos] == '+' || p.data[p.pos] == '-') {
+			p.pos++
+		}
+		edigits := 0
+		for p.pos < len(p.data) && p.data[p.pos] >= '0' && p.data[p.pos] <= '9' {
+			p.pos++
+			edigits++
+		}
+		if edigits == 0 {
+			f.B(6)
+			return nil, rtos.ErrInval
+		}
+	}
+	num, err := strconv.ParseFloat(string(p.data[start:p.pos]), 64)
+	if err != nil {
+		f.B(7)
+		return nil, rtos.ErrRange
+	}
+	f.B(8)
+	return &Value{Kind: KindNumber, Num: num}, rtos.OK
+}
+
+func (p *parser) boolean() (*Value, rtos.Errno) {
+	f := p.l.fnLex
+	f.Enter()
+	defer f.Exit()
+	if p.match("true") {
+		f.B(1)
+		return &Value{Kind: KindBool, Bool: true}, rtos.OK
+	}
+	if p.match("false") {
+		f.B(2)
+		return &Value{Kind: KindBool, Bool: false}, rtos.OK
+	}
+	f.B(3)
+	return nil, rtos.ErrInval
+}
+
+func (p *parser) null() (*Value, rtos.Errno) {
+	f := p.l.fnLex
+	f.Enter()
+	defer f.Exit()
+	if p.match("null") {
+		f.B(4)
+		return &Value{Kind: KindNull}, rtos.OK
+	}
+	f.B(5)
+	return nil, rtos.ErrInval
+}
+
+func (p *parser) match(word string) bool {
+	if p.pos+len(word) > len(p.data) || string(p.data[p.pos:p.pos+len(word)]) != word {
+		return false
+	}
+	p.pos += len(word)
+	return true
+}
+
+// Encode flags.
+const (
+	EncPretty = 1 << 0
+	EncSorted = 1 << 1 // accepted, unimplemented sort (stable order already)
+)
+
+// Encode serializes a parsed value tree back to JSON text. With the
+// encode-bug option compiled in, pretty-encoding an object nested three or
+// more levels deep indexes past the per-level indent table and dies in
+// json_obj_encode — bug #3 of Table 2.
+func (l *Lib) Encode(handle uint32, flags uint32) ([]byte, rtos.Errno) {
+	f := l.fnEncode
+	f.Enter()
+	defer f.Exit()
+	l.encodes++
+	v, e := l.Get(handle)
+	if e.Failed() {
+		f.B(1)
+		return nil, e
+	}
+	if flags&^uint32(EncPretty|EncSorted) != 0 {
+		f.B(2)
+		return nil, rtos.ErrInval
+	}
+	f.B(3)
+	pretty := flags&EncPretty != 0
+	if pretty {
+		f.B(4)
+	}
+	out := make([]byte, 0, 64)
+	out, e = l.encodeValue(out, v, pretty, 0)
+	if e.Failed() {
+		f.B(5)
+		return nil, e
+	}
+	if len(out) > MaxEncoded {
+		f.B(6)
+		return nil, rtos.ErrRange
+	}
+	f.B(7)
+	return out, rtos.OK
+}
+
+// indentTable is the fixed per-level indent strings; the buggy build indexes
+// it with the raw depth instead of clamping.
+var indentTable = [3]string{"", "  ", "    "}
+
+func (l *Lib) encodeValue(out []byte, v *Value, pretty bool, depth int) ([]byte, rtos.Errno) {
+	f := l.fnEncode
+	switch v.Kind {
+	case KindNull:
+		return append(out, "null"...), rtos.OK
+	case KindBool:
+		if v.Bool {
+			return append(out, "true"...), rtos.OK
+		}
+		return append(out, "false"...), rtos.OK
+	case KindNumber:
+		return strconv.AppendFloat(out, v.Num, 'g', -1, 64), rtos.OK
+	case KindString:
+		return strconv.AppendQuote(out, v.Str), rtos.OK
+	case KindArray:
+		f.B(8)
+		out = append(out, '[')
+		for i, el := range v.Arr {
+			if i > 0 {
+				out = append(out, ',')
+			}
+			var e rtos.Errno
+			out, e = l.encodeValue(out, el, pretty, depth+1)
+			if e.Failed() {
+				return nil, e
+			}
+		}
+		return append(out, ']'), rtos.OK
+	case KindObject:
+		f.B(9)
+		indent := ""
+		if pretty {
+			if l.encodeBug {
+				f.B(10)
+				// BUG: raw depth indexes the 3-entry indent table; depth >= 3
+				// reads past the array, a wild read that faults.
+				if depth >= len(indentTable) {
+					f.B(11)
+					l.k.PanicFault(cpu.FaultUsage, fmt.Sprintf(
+						"json_obj_encode: indent table overrun (depth=%d)", depth))
+				}
+				indent = indentTable[depth]
+			} else {
+				f.B(12)
+				d := depth
+				if d >= len(indentTable) {
+					d = len(indentTable) - 1
+				}
+				indent = indentTable[d]
+			}
+		}
+		out = append(out, '{')
+		for i := range v.Keys {
+			if i > 0 {
+				out = append(out, ',')
+			}
+			if pretty {
+				out = append(out, '\n')
+				out = append(out, indent...)
+			}
+			out = strconv.AppendQuote(out, v.Keys[i])
+			out = append(out, ':')
+			var e rtos.Errno
+			out, e = l.encodeValue(out, v.Vals[i], pretty, depth+1)
+			if e.Failed() {
+				return nil, e
+			}
+		}
+		return append(out, '}'), rtos.OK
+	default:
+		return nil, rtos.ErrType
+	}
+}

@@ -1,0 +1,210 @@
+package jsonlib
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"github.com/eof-fuzz/eof/internal/board"
+	"github.com/eof-fuzz/eof/internal/cpu"
+	"github.com/eof-fuzz/eof/internal/mem"
+	"github.com/eof-fuzz/eof/internal/rtos"
+	"github.com/eof-fuzz/eof/internal/sym"
+	"github.com/eof-fuzz/eof/internal/uart"
+	"github.com/eof-fuzz/eof/internal/vtime"
+)
+
+func newLib(t *testing.T, opts ...Option) (*Lib, *rtos.Kernel) {
+	t.Helper()
+	clock := &vtime.Clock{}
+	mm := mem.NewMap()
+	ram := mem.NewRegion("ram", 0x2000_0000, 64*1024, mem.RW)
+	mm.MustAdd(ram)
+	env := &board.Env{
+		Spec:  &board.Spec{Name: "t"},
+		Clock: clock,
+		Core:  cpu.New(clock, cpu.DefaultConfig()),
+		Mem:   mm,
+		RAM:   ram,
+		UART:  uart.New(clock),
+		Syms:  sym.NewTable(0x0800_0000),
+	}
+	k := rtos.NewKernel(env, "T")
+	return New(k, opts...), k
+}
+
+func TestParseValidDocuments(t *testing.T) {
+	l, _ := newLib(t)
+	for _, doc := range []string{
+		`null`, `true`, `false`, `0`, `-12.5`, `1e3`, `2.5E-2`,
+		`"str"`, `"esc \" \\ \n \t A"`,
+		`[]`, `[1,2,3]`, `[[1],[2,[3]]]`,
+		`{}`, `{"a":1}`, `{"a":{"b":{"c":[true,null]}}}`,
+		`  { "ws" : [ 1 , 2 ] }  `,
+	} {
+		h, e := l.Parse([]byte(doc))
+		if e.Failed() {
+			t.Errorf("Parse(%q): %v", doc, e)
+			continue
+		}
+		if _, e := l.Get(h); e.Failed() {
+			t.Errorf("Get after Parse(%q): %v", doc, e)
+		}
+		l.Free(h)
+	}
+}
+
+func TestParseInvalidDocuments(t *testing.T) {
+	l, _ := newLib(t)
+	for _, doc := range []string{
+		``, `{`, `}`, `{"a"}`, `{"a":}`, `{"a":1,}`, `[1,]`, `[1 2]`,
+		`"unterminated`, `tru`, `nul`, `-`, `1.`, `1e`, `"bad \x"`,
+		`{"a":1}trailing`, `{1:2}`, "\"ctl\x01\"",
+	} {
+		if h, e := l.Parse([]byte(doc)); !e.Failed() {
+			t.Errorf("Parse(%q) accepted (handle %d)", doc, h)
+		}
+	}
+	// Depth limit.
+	deep := strings.Repeat("[", 40) + strings.Repeat("]", 40)
+	if _, e := l.Parse([]byte(deep)); e != rtos.ErrRange {
+		t.Errorf("deep nesting: %v", e)
+	}
+	// Size limit.
+	if _, e := l.Parse(make([]byte, MaxInput+1)); e != rtos.ErrRange {
+		t.Errorf("oversized: %v", e)
+	}
+	// Key limit.
+	var b strings.Builder
+	b.WriteByte('{')
+	for i := 0; i < MaxKeys+2; i++ {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(`"k`)
+		b.WriteByte(byte('a' + i%26))
+		b.WriteByte(byte('a' + i/26))
+		b.WriteString(`":1`)
+	}
+	b.WriteByte('}')
+	if _, e := l.Parse([]byte(b.String())); e != rtos.ErrRange {
+		t.Errorf("too many keys: %v", e)
+	}
+}
+
+func TestEncodeRoundTrip(t *testing.T) {
+	l, _ := newLib(t)
+	for _, doc := range []string{
+		`{"a":1,"b":[true,null,"s"]}`,
+		`[1,2.5,{"x":-3}]`,
+	} {
+		h, e := l.Parse([]byte(doc))
+		if e.Failed() {
+			t.Fatal(e)
+		}
+		out, e := l.Encode(h, 0)
+		if e.Failed() {
+			t.Fatalf("encode: %v", e)
+		}
+		// Re-parse the encoder's output: it must be valid JSON.
+		h2, e := l.Parse(out)
+		if e.Failed() {
+			t.Fatalf("re-parse of %q: %v", out, e)
+		}
+		l.Free(h)
+		l.Free(h2)
+	}
+	// Bad flags and bad handles.
+	h, _ := l.Parse([]byte(`{}`))
+	if _, e := l.Encode(h, 0xFF00); e != rtos.ErrInval {
+		t.Errorf("bad flags: %v", e)
+	}
+	if _, e := l.Encode(99999, 0); e.Failed() == false {
+		t.Error("bad handle accepted")
+	}
+	l.Free(h)
+	if _, e := l.Encode(h, 0); !e.Failed() {
+		t.Error("encode after free")
+	}
+	if e := l.Free(h); !e.Failed() {
+		t.Error("double free")
+	}
+}
+
+func TestEncodeBugTriggersOnlyWhenCompiledIn(t *testing.T) {
+	deep := []byte(`{"a":{"b":{"c":{"d":1}}}}`)
+
+	safe, _ := newLib(t)
+	h, e := safe.Parse(deep)
+	if e.Failed() {
+		t.Fatal(e)
+	}
+	if _, e := safe.Encode(h, EncPretty); e.Failed() {
+		t.Fatalf("safe build: %v", e)
+	}
+
+	buggy, _ := newLib(t, WithEncodeBug())
+	h2, e := buggy.Parse(deep)
+	if e.Failed() {
+		t.Fatal(e)
+	}
+	panicked := false
+	func() {
+		defer func() {
+			if r := recover(); r != nil {
+				u, ok := r.(rtos.Unwind)
+				if !ok || u.Fault.Kind != cpu.FaultUsage {
+					t.Errorf("unexpected panic: %v", r)
+				}
+				panicked = true
+			}
+		}()
+		buggy.Encode(h2, EncPretty)
+	}()
+	if !panicked {
+		t.Fatal("json_obj_encode bug did not fire on deep pretty encode")
+	}
+	// Without pretty mode the same tree encodes fine.
+	if _, e := buggy.Encode(h2, 0); e.Failed() {
+		t.Fatalf("plain encode on buggy build: %v", e)
+	}
+}
+
+func TestRandomBytesNeverPanicSafeBuild(t *testing.T) {
+	l, _ := newLib(t)
+	rnd := rand.New(rand.NewSource(7))
+	parsed := 0
+	for i := 0; i < 5000; i++ {
+		b := make([]byte, rnd.Intn(80))
+		rnd.Read(b)
+		if h, e := l.Parse(b); !e.Failed() {
+			parsed++
+			l.Free(h)
+		}
+	}
+	// Random bytes occasionally form valid scalars; that is fine.
+	t.Logf("%d/5000 random buffers parsed", parsed)
+}
+
+func TestValueTreeShape(t *testing.T) {
+	l, _ := newLib(t)
+	h, e := l.Parse([]byte(`{"k":[1,"s",false]}`))
+	if e.Failed() {
+		t.Fatal(e)
+	}
+	v, _ := l.Get(h)
+	if v.Kind != KindObject || len(v.Keys) != 1 || v.Keys[0] != "k" {
+		t.Fatalf("root: %+v", v)
+	}
+	arr := v.Vals[0]
+	if arr.Kind != KindArray || len(arr.Arr) != 3 {
+		t.Fatalf("array: %+v", arr)
+	}
+	if arr.Arr[0].Num != 1 || arr.Arr[1].Str != "s" || arr.Arr[2].Bool {
+		t.Fatalf("elements: %+v", arr.Arr)
+	}
+	parses, encodes := l.Stats()
+	if parses != 1 || encodes != 0 {
+		t.Fatalf("stats: %d %d", parses, encodes)
+	}
+}

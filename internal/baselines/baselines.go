@@ -1,0 +1,144 @@
+// Package baselines holds the comparison fuzzers of the paper's evaluation —
+// Tardis, Gustave, GDBFuzz and SHiFT — each implemented with the capabilities
+// and limitations the paper attributes to it, over the same substrates EOF
+// runs on. (EOF-nf is simply the core engine with feedback guidance off.)
+package baselines
+
+import (
+	"encoding/binary"
+	"time"
+
+	"github.com/eof-fuzz/eof/internal/core"
+	"github.com/eof-fuzz/eof/internal/cov"
+	"github.com/eof-fuzz/eof/internal/cpu"
+	"github.com/eof-fuzz/eof/internal/emul"
+	"github.com/eof-fuzz/eof/internal/wire"
+)
+
+// SMDriver drives one test case over a shared-memory (emulator) transport:
+// write the program into the guest mailbox, run the VM, and poll the result
+// sequence counter — no breakpoints, no fault introspection.
+type SMDriver struct {
+	VM           *emul.VM
+	Collector    *cov.Collector
+	Budget       int64
+	MaxContinues int
+	ExecTimeout  time.Duration
+
+	lastSeq uint32
+}
+
+// RunOne executes one marshalled program. completed is false on timeout (the
+// only liveness signal an emulator fuzzer without introspection gets);
+// fresh counts globally new coverage edges harvested from the guest buffer.
+func (d *SMDriver) RunOne(raw []byte) (completed bool, fresh int, err error) {
+	buf := make([]byte, 4+len(raw))
+	binary.LittleEndian.PutUint32(buf, uint32(len(raw)))
+	copy(buf[4:], raw)
+	if err := d.VM.WriteMem(d.VM.Layout().MailboxIn, buf); err != nil {
+		return false, 0, err
+	}
+	start := d.VM.Clock.Now()
+	for i := 0; i < d.MaxContinues; i++ {
+		st, err := d.VM.Continue(d.Budget)
+		if err != nil {
+			return false, 0, err
+		}
+		if st.Kind == cpu.StopCovFull {
+			n, err := d.DrainCov()
+			if err != nil {
+				return false, 0, err
+			}
+			fresh += n
+			continue
+		}
+		// Poll the result block for completion.
+		seq, err := d.readSeq()
+		if err != nil {
+			return false, 0, err
+		}
+		if seq != d.lastSeq {
+			d.lastSeq = seq
+			n, err := d.DrainCov()
+			if err != nil {
+				return false, 0, err
+			}
+			fresh += n
+			return true, fresh, nil
+		}
+		if d.ExecTimeout > 0 && d.VM.Clock.Now()-start > d.ExecTimeout {
+			return false, fresh, nil
+		}
+	}
+	return false, fresh, nil
+}
+
+func (d *SMDriver) readSeq() (uint32, error) {
+	raw, err := d.VM.ReadMem(d.VM.Layout().MailboxOut, wire.ResultBytes)
+	if err != nil {
+		return 0, err
+	}
+	res, err := wire.UnmarshalResult(raw)
+	if err != nil {
+		return 0, err
+	}
+	return res.Seq, nil
+}
+
+// DrainCov reads, ingests and clears the guest coverage buffer.
+func (d *SMDriver) DrainCov() (int, error) {
+	lay := d.VM.Layout()
+	header, err := d.VM.ReadMem(lay.Cov, 16)
+	if err != nil {
+		return 0, err
+	}
+	count := int(binary.LittleEndian.Uint32(header[4:]))
+	if count <= 0 || count > (lay.CovBytes-16)/4 {
+		return 0, nil
+	}
+	raw, err := d.VM.ReadMem(lay.Cov+16, count*4)
+	if err != nil {
+		return 0, err
+	}
+	entries := make([]uint32, count)
+	for i := range entries {
+		entries[i] = binary.LittleEndian.Uint32(raw[i*4:])
+	}
+	if err := d.VM.WriteMem(lay.Cov+4, []byte{0, 0, 0, 0}); err != nil {
+		return 0, err
+	}
+	return len(d.Collector.Ingest(entries)), nil
+}
+
+// ResetAndResync restores the guest from the host image file. The sequence
+// counter restarts with the fresh boot.
+func (d *SMDriver) ResetAndResync() error {
+	d.lastSeq = 0
+	return d.VM.Reset()
+}
+
+// ScanLogForCrash drains the VM console through the log patterns, recording
+// a deduplicated bug into the report on a match. This is the timeout-path
+// bug detection emulator fuzzers have.
+func ScanLogForCrash(mon *core.LogMonitor, lines []string, sigs map[string]bool, rep *core.Report, progText string, at time.Duration) {
+	sig, line, ok := mon.Scan(lines)
+	if !ok || sigs[sig] {
+		return
+	}
+	sigs[sig] = true
+	kind := "panic"
+	if len(line) >= 6 && line[:6] == "ASSERT" {
+		kind = "assert"
+	}
+	rep.Bugs = append(rep.Bugs, &core.BugReport{
+		OS:      rep.OS,
+		Board:   rep.Board,
+		Sig:     sig,
+		Title:   "log: " + line,
+		Kind:    kind,
+		Monitor: "timeout+log",
+		Log:     mon.Context(),
+		Prog:    progText,
+		FoundAt: at,
+	})
+}

@@ -1,0 +1,116 @@
+package baselines_test
+
+import (
+	"testing"
+	"time"
+
+	"github.com/eof-fuzz/eof/internal/baselines/gdbfuzz"
+	"github.com/eof-fuzz/eof/internal/baselines/gustave"
+	"github.com/eof-fuzz/eof/internal/baselines/shift"
+	"github.com/eof-fuzz/eof/internal/baselines/tardis"
+	"github.com/eof-fuzz/eof/internal/boards"
+	"github.com/eof-fuzz/eof/internal/targets"
+)
+
+func TestTardisCampaign(t *testing.T) {
+	info, err := targets.ByName("rtthread")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := tardis.DefaultConfig(info, boards.QEMUVirt())
+	rep, err := tardis.Run(cfg, 10*time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Stats.Execs < 20 {
+		t.Fatalf("too few execs: %+v", rep.Stats)
+	}
+	if rep.Edges < 50 {
+		t.Fatalf("too little coverage: %d", rep.Edges)
+	}
+	t.Logf("tardis/rtthread: %d execs, %d edges, %d bugs, %d timeouts",
+		rep.Stats.Execs, rep.Edges, len(rep.Bugs), rep.Stats.TimeoutResets)
+}
+
+func TestTardisRejectsHardwareBoard(t *testing.T) {
+	info, _ := targets.ByName("freertos")
+	cfg := tardis.DefaultConfig(info, boards.STM32H745())
+	if _, err := tardis.Run(cfg, time.Minute); err == nil {
+		t.Fatal("Tardis ran on a non-emulated board")
+	}
+}
+
+func TestGustaveCampaign(t *testing.T) {
+	info, err := targets.ByName("pokos")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := gustave.DefaultConfig(info, boards.QEMUVirt())
+	rep, err := gustave.Run(cfg, 10*time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Stats.Execs < 20 {
+		t.Fatalf("too few execs: %+v", rep.Stats)
+	}
+	t.Logf("gustave/pokos: %d execs, %d edges", rep.Stats.Execs, rep.Edges)
+}
+
+func TestGDBFuzzCampaign(t *testing.T) {
+	info, err := targets.ByName("freertos")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := gdbfuzz.Config{
+		OS:       info,
+		Board:    boards.STM32H745(),
+		Seed:     3,
+		Entry:    "http_server_handle",
+		Init:     "http_server_init",
+		InitArgs: []uint64{8080},
+		Modules:  []string{"app/http"},
+		Seeds:    [][]byte{[]byte("GET / HTTP/1.1\r\n\r\n")},
+	}
+	rep, err := gdbfuzz.Run(cfg, 10*time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Stats.Execs < 10 {
+		t.Fatalf("too few execs: %+v", rep.Stats)
+	}
+	if rep.Edges == 0 {
+		t.Fatal("no measured coverage")
+	}
+	t.Logf("gdbfuzz/http: %d execs, %d edges", rep.Stats.Execs, rep.Edges)
+}
+
+func TestShiftCampaign(t *testing.T) {
+	info, err := targets.ByName("freertos")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := shift.Config{
+		OS:      info,
+		Board:   boards.STM32H745(),
+		Seed:    5,
+		Entry:   "json_parse",
+		Modules: []string{"lib/json"},
+		Seeds:   [][]byte{[]byte(`{"a":1}`)},
+	}
+	rep, err := shift.Run(cfg, 10*time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Stats.Execs < 10 {
+		t.Fatalf("too few execs: %+v", rep.Stats)
+	}
+	t.Logf("shift/json: %d execs, %d edges", rep.Stats.Execs, rep.Edges)
+}
+
+func TestShiftRejectsOtherOSes(t *testing.T) {
+	info, _ := targets.ByName("zephyr")
+	cfg := shift.Config{OS: info, Board: boards.STM32H745(), Entry: "json_obj_parse"}
+	if _, err := shift.Run(cfg, time.Minute); err == nil {
+		t.Fatal("SHiFT ran on a non-FreeRTOS target")
+	}
+}

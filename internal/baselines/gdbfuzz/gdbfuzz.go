@@ -1,0 +1,233 @@
+// Package gdbfuzz implements the GDBFuzz baseline: on-hardware fuzzing of
+// embedded applications through the debug interface, with coverage feedback
+// approximated by rotating the MCU's scarce hardware breakpoints over
+// not-yet-covered basic blocks from the binary's CFG. Inputs are flat byte
+// buffers fed to a single application entry point — no API awareness, no
+// full-system reach. Crashes are detected from debug-port halts.
+package gdbfuzz
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"github.com/eof-fuzz/eof/internal/baselines"
+	"github.com/eof-fuzz/eof/internal/board"
+	"github.com/eof-fuzz/eof/internal/core"
+	"github.com/eof-fuzz/eof/internal/ocd"
+	"github.com/eof-fuzz/eof/internal/osinfo"
+	"github.com/eof-fuzz/eof/internal/sym"
+)
+
+// Config parameterises a GDBFuzz campaign.
+type Config struct {
+	OS    *osinfo.Info
+	Board *board.Spec
+	Seed  int64
+
+	// Entry and Init select the application surface under test.
+	Entry    string
+	Init     string
+	InitArgs []uint64
+	// Modules confines coverage measurement (and the CFG breakpoint pool)
+	// to these source prefixes.
+	Modules []string
+	// Seeds are the initial corpus inputs.
+	Seeds [][]byte
+
+	ExecTimeout time.Duration
+	SampleEvery time.Duration
+}
+
+// Run executes a GDBFuzz campaign for the virtual-time budget.
+func Run(cfg Config, budget time.Duration) (*core.Report, error) {
+	if cfg.ExecTimeout <= 0 {
+		cfg.ExecTimeout = 3 * time.Second
+	}
+	if cfg.SampleEvery <= 0 {
+		cfg.SampleEvery = 5 * time.Minute
+	}
+	rig, err := baselines.NewAppRig(cfg.OS, cfg.Board, cfg.Entry, cfg.Init, cfg.InitArgs, cfg.Modules, ocd.DefaultLatency())
+	if err != nil {
+		return nil, err
+	}
+	defer rig.Close()
+
+	// The CFG block pool: every basic block of the modules under test, from
+	// the binary's symbols (GDBFuzz disassembles the ELF for this).
+	syms, err := rig.OS.SymbolTable(cfg.Board)
+	if err != nil {
+		return nil, err
+	}
+	pool := blockPool(syms, cfg.Modules)
+	if len(pool) == 0 {
+		return nil, fmt.Errorf("gdbfuzz: no blocks in modules %v", cfg.Modules)
+	}
+
+	if err := rig.Setup(); err != nil {
+		return nil, err
+	}
+
+	rnd := rand.New(rand.NewSource(cfg.Seed ^ 0x6DBF0022))
+	rep := &core.Report{OS: cfg.OS.Name, Board: cfg.Board.Name}
+	sigs := make(map[string]bool)
+	var corpus [][]byte
+	corpus = append(corpus, cfg.Seeds...)
+	if len(corpus) == 0 {
+		corpus = append(corpus, []byte("seed"))
+	}
+
+	// Breakpoint probes: keep (comparators - 1) armed on random uncovered
+	// blocks; executor_main owns the last comparator.
+	probeBudget := cfg.Board.MaxBreakpoints - 1
+	armProbes(rig, rnd, pool, probeBudget)
+
+	started := rig.Clock.Now()
+	deadline := rig.Clock.DeadlineIn(budget)
+	lastSample := started
+
+	for !deadline.Expired(rig.Clock) {
+		var input []byte
+		if rnd.Float64() < 0.9 {
+			input = mutate(rnd, corpus[rnd.Intn(len(corpus))])
+		} else {
+			input = random(rnd)
+		}
+		outcome, _, err := rig.RunBuffer(input, cfg.ExecTimeout)
+		if err != nil {
+			return nil, err
+		}
+		rep.Stats.Execs++
+		switch outcome {
+		case baselines.AppCompleted:
+			if len(rig.LastHits) > 0 {
+				// A probe fired: new block reached → keep the input, refill
+				// the probe set.
+				corpus = append(corpus, input)
+				if len(corpus) > 256 {
+					corpus = corpus[1:]
+				}
+				for _, addr := range rig.LastHits {
+					delete(pool, addr)
+				}
+				armProbes(rig, rnd, pool, probeBudget)
+			}
+		case baselines.AppCrashed:
+			rep.Stats.Crashes++
+			rep.Stats.Restores++
+			f := rig.LastFault
+			sig := "halt"
+			title := "target halted with fault"
+			if f != nil {
+				sig = fmt.Sprintf("%v@%x", f.Kind, f.PC)
+				title = fmt.Sprintf("%v: %s", f.Kind, f.Msg)
+			}
+			if !sigs[sig] {
+				sigs[sig] = true
+				rep.Bugs = append(rep.Bugs, &core.BugReport{
+					OS: rep.OS, Board: rep.Board, Sig: sig, Title: title,
+					Kind: "panic", Monitor: "debug-halt", Fault: f,
+					FoundAt: rig.Clock.Now() - started,
+				})
+			}
+			corpus = append(corpus, input)
+			armProbes(rig, rnd, pool, probeBudget)
+		case baselines.AppHung:
+			rep.Stats.Restores++
+			armProbes(rig, rnd, pool, probeBudget)
+		}
+		if rig.Clock.Now()-lastSample >= cfg.SampleEvery {
+			lastSample = rig.Clock.Now()
+			rep.Series = append(rep.Series, core.CoverSample{At: rig.Clock.Now() - started, Edges: rig.Collector.Total()})
+		}
+	}
+	rep.Edges = rig.Collector.Total()
+	rep.Stats.Restores += rig.Restores
+	rep.Duration = rig.Clock.Now() - started
+	rep.Series = append(rep.Series, core.CoverSample{At: rep.Duration, Edges: rep.Edges})
+	return rep, nil
+}
+
+// blockPool enumerates the module blocks the probe rotation draws from.
+func blockPool(syms *sym.Table, modules []string) map[uint64]bool {
+	pool := make(map[uint64]bool)
+	for _, f := range syms.Funcs() {
+		if !matches(f.File, modules) {
+			continue
+		}
+		for i := 0; i < f.NBlocks; i++ {
+			pool[f.Block(i)] = true
+		}
+	}
+	return pool
+}
+
+func matches(file string, modules []string) bool {
+	if len(modules) == 0 {
+		return true
+	}
+	for _, m := range modules {
+		if len(file) >= len(m) && file[:len(m)] == m {
+			return true
+		}
+	}
+	return false
+}
+
+// armProbes tops the probe set back up to the comparator budget.
+func armProbes(rig *baselines.AppRig, rnd *rand.Rand, pool map[uint64]bool, budget int) {
+	if len(rig.ExtraBPs) >= budget {
+		return
+	}
+	candidates := make([]uint64, 0, len(pool))
+	for addr := range pool {
+		if !rig.ExtraBPs[addr] {
+			candidates = append(candidates, addr)
+		}
+	}
+	rnd.Shuffle(len(candidates), func(i, j int) { candidates[i], candidates[j] = candidates[j], candidates[i] })
+	for _, addr := range candidates {
+		if len(rig.ExtraBPs) >= budget {
+			break
+		}
+		if err := rig.Client().SetBreakpoint(addr); err != nil {
+			break // comparators exhausted
+		}
+		rig.ExtraBPs[addr] = true
+	}
+}
+
+func random(rnd *rand.Rand) []byte {
+	n := 1 + rnd.Intn(128)
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = byte(rnd.Intn(256))
+	}
+	return b
+}
+
+func mutate(rnd *rand.Rand, in []byte) []byte {
+	b := append([]byte(nil), in...)
+	if len(b) == 0 {
+		return random(rnd)
+	}
+	for ops := 1 + rnd.Intn(4); ops > 0; ops-- {
+		switch rnd.Intn(4) {
+		case 0:
+			b[rnd.Intn(len(b))] ^= byte(1 << uint(rnd.Intn(8)))
+		case 1:
+			b[rnd.Intn(len(b))] = byte(rnd.Intn(256))
+		case 2:
+			if len(b) < 1024 {
+				i := rnd.Intn(len(b) + 1)
+				b = append(b[:i], append([]byte{byte(rnd.Intn(256))}, b[i:]...)...)
+			}
+		case 3:
+			if len(b) > 1 {
+				i := rnd.Intn(len(b))
+				b = append(b[:i], b[i+1:]...)
+			}
+		}
+	}
+	return b
+}

@@ -1,0 +1,179 @@
+// Package gustave implements the Gustave baseline: an AFL-derived fuzzer for
+// the POK partitioned OS running under a customised QEMU. It is coverage-
+// guided (QEMU TCG instrumentation) but grammar-free: its inputs are flat
+// byte buffers that a fixed mapping turns into syscall sequences, so API
+// preconditions and resource relationships are satisfied only by luck —
+// precisely the contrast the paper draws against API-aware generation.
+package gustave
+
+import (
+	"math/rand"
+	"time"
+
+	"github.com/eof-fuzz/eof/internal/baselines"
+	"github.com/eof-fuzz/eof/internal/board"
+	"github.com/eof-fuzz/eof/internal/core"
+	"github.com/eof-fuzz/eof/internal/cov"
+	"github.com/eof-fuzz/eof/internal/emul"
+	"github.com/eof-fuzz/eof/internal/osinfo"
+	"github.com/eof-fuzz/eof/internal/wire"
+)
+
+// Config parameterises a Gustave campaign.
+type Config struct {
+	OS    *osinfo.Info
+	Board *board.Spec
+	Seed  int64
+
+	Budget       int64
+	MaxContinues int
+	ExecTimeout  time.Duration
+	SampleEvery  time.Duration
+}
+
+// DefaultConfig mirrors the paper's Gustave setup.
+func DefaultConfig(os *osinfo.Info, spec *board.Spec) Config {
+	return Config{
+		OS:           os,
+		Board:        spec,
+		Seed:         1,
+		Budget:       500_000,
+		MaxContinues: 64,
+		ExecTimeout:  3 * time.Second,
+		SampleEvery:  5 * time.Minute,
+	}
+}
+
+// maxBlob bounds one AFL input buffer.
+const maxBlob = 128
+
+// blobSeed is one retained AFL input.
+type blobSeed struct {
+	data  []byte
+	fresh int
+}
+
+// Run executes a Gustave campaign for the virtual-time budget.
+func Run(cfg Config, budget time.Duration) (*core.Report, error) {
+	if cfg.SampleEvery <= 0 {
+		cfg.SampleEvery = 5 * time.Minute
+	}
+	vm, err := emul.New(cfg.OS, cfg.Board, true)
+	if err != nil {
+		return nil, err
+	}
+	defer vm.Close()
+
+	rnd := rand.New(rand.NewSource(cfg.Seed ^ 0x605747E))
+	driver := &baselines.SMDriver{
+		VM:           vm,
+		Collector:    cov.NewCollector(),
+		Budget:       cfg.Budget,
+		MaxContinues: cfg.MaxContinues,
+		ExecTimeout:  cfg.ExecTimeout,
+	}
+	var corpus []blobSeed
+	logMon := &core.LogMonitor{}
+	sigs := make(map[string]bool)
+	rep := &core.Report{OS: cfg.OS.Name, Board: cfg.Board.Name}
+	nAPIs := len(cfg.OS.APINames)
+
+	started := vm.Clock.Now()
+	deadline := vm.Clock.DeadlineIn(budget)
+	lastSample := started
+
+	for !deadline.Expired(vm.Clock) {
+		var blob []byte
+		if len(corpus) > 0 && rnd.Float64() < 0.8 {
+			blob = mutateBlob(rnd, corpus[rnd.Intn(len(corpus))].data)
+		} else {
+			blob = randomBlob(rnd)
+		}
+		p := decode(blob, nAPIs)
+		raw, err := p.Marshal()
+		if err != nil {
+			continue // undecodable blob: AFL would just move on
+		}
+		completed, fresh, err := driver.RunOne(raw)
+		if err != nil {
+			return nil, err
+		}
+		if completed {
+			rep.Stats.Execs++
+			if fresh > 0 {
+				corpus = append(corpus, blobSeed{data: blob, fresh: fresh})
+				if len(corpus) > 256 {
+					corpus = corpus[1:]
+				}
+			}
+		} else {
+			baselines.ScanLogForCrash(logMon, vm.DrainUART(), sigs, rep, "", vm.Clock.Now()-started)
+			rep.Stats.Restores++
+			rep.Stats.TimeoutResets++
+			if err := driver.ResetAndResync(); err != nil {
+				return nil, err
+			}
+		}
+		if vm.Clock.Now()-lastSample >= cfg.SampleEvery {
+			lastSample = vm.Clock.Now()
+			rep.Series = append(rep.Series, core.CoverSample{At: vm.Clock.Now() - started, Edges: driver.Collector.Total()})
+		}
+	}
+	rep.Edges = driver.Collector.Total()
+	rep.Stats.Crashes = len(rep.Bugs)
+	rep.Duration = vm.Clock.Now() - started
+	rep.Series = append(rep.Series, core.CoverSample{At: rep.Duration, Edges: rep.Edges})
+	return rep, nil
+}
+
+// decode maps a flat byte buffer onto a syscall sequence: 10 bytes per call
+// (1 selector + 1 arg count + 4×2-byte args), Gustave's grammar-free shape.
+func decode(blob []byte, nAPIs int) *wire.Prog {
+	p := &wire.Prog{}
+	for off := 0; off+10 <= len(blob) && len(p.Calls) < wire.MaxCalls; off += 10 {
+		c := wire.Call{API: uint16(int(blob[off]) % nAPIs)}
+		nargs := int(blob[off+1]) % 5
+		for i := 0; i < nargs; i++ {
+			v := uint64(blob[off+2+2*i]) | uint64(blob[off+3+2*i])<<8
+			c.Args = append(c.Args, wire.Arg{Kind: wire.ArgImm, Val: v})
+		}
+		p.Calls = append(p.Calls, c)
+	}
+	if len(p.Calls) == 0 {
+		p.Calls = append(p.Calls, wire.Call{API: 0})
+	}
+	return p
+}
+
+func randomBlob(rnd *rand.Rand) []byte {
+	n := 10 + rnd.Intn(maxBlob-10)
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = byte(rnd.Intn(256))
+	}
+	return b
+}
+
+// mutateBlob applies classic AFL havoc operations.
+func mutateBlob(rnd *rand.Rand, in []byte) []byte {
+	b := append([]byte(nil), in...)
+	for ops := 1 + rnd.Intn(3); ops > 0; ops-- {
+		switch rnd.Intn(4) {
+		case 0:
+			b[rnd.Intn(len(b))] ^= byte(1 << uint(rnd.Intn(8)))
+		case 1:
+			b[rnd.Intn(len(b))] = byte(rnd.Intn(256))
+		case 2:
+			if len(b) < maxBlob {
+				i := rnd.Intn(len(b) + 1)
+				b = append(b[:i], append([]byte{byte(rnd.Intn(256))}, b[i:]...)...)
+			}
+		case 3:
+			if len(b) > 10 {
+				i := rnd.Intn(len(b))
+				b = append(b[:i], b[i+1:]...)
+			}
+		}
+	}
+	return b
+}

@@ -1,0 +1,165 @@
+// Package shift implements the SHiFT baseline: semi-hosted fuzz testing of
+// embedded applications on real hardware, with genuine SanCov coverage
+// feedback delivered over semihosting traps (cheaper than full GDB round
+// trips). Like GDBFuzz it feeds flat byte buffers to an application entry
+// point — its advantage over GDBFuzz is real edge feedback, its limits are
+// the FreeRTOS-only port and the absence of API awareness.
+package shift
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"github.com/eof-fuzz/eof/internal/baselines"
+	"github.com/eof-fuzz/eof/internal/board"
+	"github.com/eof-fuzz/eof/internal/core"
+	"github.com/eof-fuzz/eof/internal/ocd"
+	"github.com/eof-fuzz/eof/internal/osinfo"
+)
+
+// Config parameterises a SHiFT campaign.
+type Config struct {
+	OS    *osinfo.Info
+	Board *board.Spec
+	Seed  int64
+
+	Entry    string
+	Init     string
+	InitArgs []uint64
+	Modules  []string
+	Seeds    [][]byte
+
+	ExecTimeout time.Duration
+	SampleEvery time.Duration
+}
+
+// semihostLatency reflects semihosting's lighter per-operation cost.
+func semihostLatency() ocd.Latency {
+	return ocd.Latency{PerCommand: 18 * time.Millisecond, BytesPerSec: 1024 * 1024}
+}
+
+type seed struct {
+	data  []byte
+	fresh int
+}
+
+// Run executes a SHiFT campaign for the virtual-time budget.
+func Run(cfg Config, budget time.Duration) (*core.Report, error) {
+	if cfg.OS.Name != "freertos" {
+		return nil, fmt.Errorf("shift: only the FreeRTOS port exists (got %s)", cfg.OS.Name)
+	}
+	if cfg.ExecTimeout <= 0 {
+		cfg.ExecTimeout = 3 * time.Second
+	}
+	if cfg.SampleEvery <= 0 {
+		cfg.SampleEvery = 5 * time.Minute
+	}
+	rig, err := baselines.NewAppRig(cfg.OS, cfg.Board, cfg.Entry, cfg.Init, cfg.InitArgs, cfg.Modules, semihostLatency())
+	if err != nil {
+		return nil, err
+	}
+	defer rig.Close()
+	if err := rig.Setup(); err != nil {
+		return nil, err
+	}
+
+	rnd := rand.New(rand.NewSource(cfg.Seed ^ 0x5817F7))
+	rep := &core.Report{OS: cfg.OS.Name, Board: cfg.Board.Name}
+	sigs := make(map[string]bool)
+	var corpus []seed
+	for _, s := range cfg.Seeds {
+		corpus = append(corpus, seed{data: s})
+	}
+
+	started := rig.Clock.Now()
+	deadline := rig.Clock.DeadlineIn(budget)
+	lastSample := started
+
+	for !deadline.Expired(rig.Clock) {
+		var input []byte
+		if len(corpus) > 0 && rnd.Float64() < 0.85 {
+			input = mutate(rnd, corpus[rnd.Intn(len(corpus))].data)
+		} else {
+			input = random(rnd)
+		}
+		outcome, fresh, err := rig.RunBuffer(input, cfg.ExecTimeout)
+		if err != nil {
+			return nil, err
+		}
+		rep.Stats.Execs++
+		switch outcome {
+		case baselines.AppCompleted:
+			if fresh > 0 {
+				corpus = append(corpus, seed{data: input, fresh: fresh})
+				if len(corpus) > 256 {
+					corpus = corpus[1:]
+				}
+			}
+		case baselines.AppCrashed:
+			rep.Stats.Crashes++
+			rep.Stats.Restores++
+			f := rig.LastFault
+			sig := "halt"
+			title := "target halted with fault"
+			if f != nil {
+				sig = fmt.Sprintf("%v@%x", f.Kind, f.PC)
+				title = fmt.Sprintf("%v: %s", f.Kind, f.Msg)
+			}
+			if !sigs[sig] {
+				sigs[sig] = true
+				rep.Bugs = append(rep.Bugs, &core.BugReport{
+					OS: rep.OS, Board: rep.Board, Sig: sig, Title: title,
+					Kind: "panic", Monitor: "semihost-fault", Fault: f,
+					FoundAt: rig.Clock.Now() - started,
+				})
+			}
+		case baselines.AppHung:
+			rep.Stats.Restores++
+		}
+		if rig.Clock.Now()-lastSample >= cfg.SampleEvery {
+			lastSample = rig.Clock.Now()
+			rep.Series = append(rep.Series, core.CoverSample{At: rig.Clock.Now() - started, Edges: rig.Collector.Total()})
+		}
+	}
+	rep.Edges = rig.Collector.Total()
+	rep.Stats.Restores += rig.Restores
+	rep.Duration = rig.Clock.Now() - started
+	rep.Series = append(rep.Series, core.CoverSample{At: rep.Duration, Edges: rep.Edges})
+	return rep, nil
+}
+
+func random(rnd *rand.Rand) []byte {
+	n := 1 + rnd.Intn(128)
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = byte(rnd.Intn(256))
+	}
+	return b
+}
+
+func mutate(rnd *rand.Rand, in []byte) []byte {
+	b := append([]byte(nil), in...)
+	if len(b) == 0 {
+		return random(rnd)
+	}
+	for ops := 1 + rnd.Intn(4); ops > 0; ops-- {
+		switch rnd.Intn(4) {
+		case 0:
+			b[rnd.Intn(len(b))] ^= byte(1 << uint(rnd.Intn(8)))
+		case 1:
+			b[rnd.Intn(len(b))] = byte(rnd.Intn(256))
+		case 2:
+			if len(b) < 1024 {
+				i := rnd.Intn(len(b) + 1)
+				b = append(b[:i], append([]byte{byte(rnd.Intn(256))}, b[i:]...)...)
+			}
+		case 3:
+			if len(b) > 1 {
+				i := rnd.Intn(len(b))
+				b = append(b[:i], b[i+1:]...)
+			}
+		}
+	}
+	return b
+}

@@ -1,0 +1,131 @@
+// Package tardis implements the Tardis baseline: a Syzkaller-derived,
+// coverage-guided embedded OS fuzzer that runs its target under an emulator
+// and exchanges data through QEMU's shared-memory mechanism. Faithful to the
+// paper's characterisation, it is API-aware and coverage-guided but (a) can
+// only test what the emulated board models — hardware-only peripherals and
+// their kernel paths are unreachable — and (b) has no exception or liveness
+// introspection: its sole bug/liveness signal is the execution timeout,
+// after which it scans the console and resets the VM.
+package tardis
+
+import (
+	"math/rand"
+	"time"
+
+	"github.com/eof-fuzz/eof/internal/baselines"
+	"github.com/eof-fuzz/eof/internal/board"
+	"github.com/eof-fuzz/eof/internal/core"
+	"github.com/eof-fuzz/eof/internal/cov"
+	"github.com/eof-fuzz/eof/internal/emul"
+	"github.com/eof-fuzz/eof/internal/osinfo"
+	"github.com/eof-fuzz/eof/internal/prog"
+	"github.com/eof-fuzz/eof/internal/specgen"
+)
+
+// Config parameterises a Tardis campaign.
+type Config struct {
+	OS    *osinfo.Info
+	Board *board.Spec // must be an emulated model
+	Seed  int64
+
+	Budget       int64
+	MaxContinues int
+	ExecTimeout  time.Duration
+	SampleEvery  time.Duration
+}
+
+// DefaultConfig mirrors the paper's Tardis setup on the QEMU board.
+func DefaultConfig(os *osinfo.Info, spec *board.Spec) Config {
+	return Config{
+		OS:           os,
+		Board:        spec,
+		Seed:         1,
+		Budget:       500_000,
+		MaxContinues: 64,
+		ExecTimeout:  3 * time.Second,
+		SampleEvery:  5 * time.Minute,
+	}
+}
+
+// Run executes a Tardis campaign for the virtual-time budget.
+func Run(cfg Config, budget time.Duration) (*core.Report, error) {
+	if cfg.SampleEvery <= 0 {
+		cfg.SampleEvery = 5 * time.Minute
+	}
+	specRes, err := specgen.Generate(cfg.OS)
+	if err != nil {
+		return nil, err
+	}
+	target, err := prog.NewTarget(specRes.Spec, cfg.OS)
+	if err != nil {
+		return nil, err
+	}
+	vm, err := emul.New(cfg.OS, cfg.Board, true)
+	if err != nil {
+		return nil, err
+	}
+	defer vm.Close()
+
+	gen := prog.NewGenerator(target, cfg.Seed, nil)
+	rnd := rand.New(rand.NewSource(cfg.Seed ^ 0x7A6D15))
+	driver := &baselines.SMDriver{
+		VM:           vm,
+		Collector:    cov.NewCollector(),
+		Budget:       cfg.Budget,
+		MaxContinues: cfg.MaxContinues,
+		ExecTimeout:  cfg.ExecTimeout,
+	}
+	corpus := &core.Corpus{}
+	logMon := &core.LogMonitor{}
+	sigs := make(map[string]bool)
+	rep := &core.Report{OS: cfg.OS.Name, Board: cfg.Board.Name}
+
+	started := vm.Clock.Now()
+	deadline := vm.Clock.DeadlineIn(budget)
+	lastSample := started
+
+	for !deadline.Expired(vm.Clock) {
+		var p *prog.Prog
+		if corpus.Len() > 0 && rnd.Float64() < 0.7 {
+			p = gen.Mutate(corpus.Pick(rnd).P)
+		} else {
+			p = gen.Generate(10)
+		}
+		wp, err := target.Serialize(p)
+		if err != nil {
+			return nil, err
+		}
+		raw, err := wp.Marshal()
+		if err != nil {
+			return nil, err
+		}
+		completed, fresh, err := driver.RunOne(raw)
+		if err != nil {
+			return nil, err
+		}
+		if completed {
+			rep.Stats.Execs++
+			if fresh > 0 {
+				corpus.Add(p, fresh)
+			}
+		} else {
+			// Timeout: the only signal Tardis gets. Scan the console for a
+			// crash banner, then reset the VM.
+			baselines.ScanLogForCrash(logMon, vm.DrainUART(), sigs, rep, p.String(), vm.Clock.Now()-started)
+			rep.Stats.Restores++
+			rep.Stats.TimeoutResets++
+			if err := driver.ResetAndResync(); err != nil {
+				return nil, err
+			}
+		}
+		if vm.Clock.Now()-lastSample >= cfg.SampleEvery {
+			lastSample = vm.Clock.Now()
+			rep.Series = append(rep.Series, core.CoverSample{At: vm.Clock.Now() - started, Edges: driver.Collector.Total()})
+		}
+	}
+	rep.Edges = driver.Collector.Total()
+	rep.Stats.Crashes = len(rep.Bugs)
+	rep.Duration = vm.Clock.Now() - started
+	rep.Series = append(rep.Series, core.CoverSample{At: rep.Duration, Edges: rep.Edges})
+	return rep, nil
+}

@@ -1,0 +1,393 @@
+// Package board assembles the virtual development board: flash, RAM, UART,
+// CPU core and the firmware boot path. A Board outlives reboots — flash
+// contents (including corruption left behind by kernel bugs) persist until
+// the host reflashes partitions over the debug link, which is exactly the
+// failure/recovery surface the paper's state-restoration module targets.
+package board
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/eof-fuzz/eof/internal/cov"
+	"github.com/eof-fuzz/eof/internal/cpu"
+	"github.com/eof-fuzz/eof/internal/flash"
+	"github.com/eof-fuzz/eof/internal/mem"
+	"github.com/eof-fuzz/eof/internal/sym"
+	"github.com/eof-fuzz/eof/internal/uart"
+	"github.com/eof-fuzz/eof/internal/vtime"
+)
+
+// RAM layout offsets (from RAMBase). Fixed across boards so the host tooling
+// can locate the shared structures from the image header alone.
+const (
+	FSBOffset     = 0x40  // fault status block
+	FSBSize       = 0x2C0 // 704 bytes for fault record + frames
+	CovOffset     = 0x300 // coverage buffer header
+	MailboxAlign  = 0x100
+	MailboxInSize = 16 * 1024
+	MailboxOutLen = 256
+)
+
+// State is the board's coarse power/liveness state.
+type State int
+
+// Board states.
+const (
+	Off State = iota
+	On
+	Bricked // boot failed: image invalid until reflashed
+)
+
+func (s State) String() string {
+	switch s {
+	case Off:
+		return "off"
+	case On:
+		return "on"
+	case Bricked:
+		return "bricked"
+	default:
+		return fmt.Sprintf("State(%d)", int(s))
+	}
+}
+
+// Spec describes a board model.
+type Spec struct {
+	Name string // e.g. "stm32h745"
+	Arch string // "arm", "riscv", "xtensa"
+
+	HZ             uint64
+	CyclesPerBlock uint64
+	InstrCycles    uint64
+	MaxBreakpoints int
+
+	FlashBase  uint64
+	FlashSize  int
+	SectorSize int
+
+	RAMBase uint64
+	RAMSize int
+
+	CovEntries int
+
+	// Emulated marks QEMU-style boards; peripheral-dependent APIs behave
+	// differently there (the Tardis/Gustave comparison hinges on this).
+	Emulated bool
+	// Peripherals lists hardware blocks present on this board.
+	Peripherals map[string]bool
+
+	// Flash timing for restoration-cost modelling.
+	EraseSectorTime vtime.CycleModel // unused; kept simple below
+}
+
+// HasPeripheral reports whether the board provides the named block.
+func (s *Spec) HasPeripheral(name string) bool { return s.Peripherals[name] }
+
+// CPUConfig derives the cpu package configuration.
+func (s *Spec) CPUConfig() cpu.Config {
+	return cpu.Config{
+		Model:          vtime.CycleModel{HZ: s.HZ},
+		CyclesPerBlock: s.CyclesPerBlock,
+		InstrCycles:    s.InstrCycles,
+		MaxBreakpoints: s.MaxBreakpoints,
+	}
+}
+
+// Layout gives the addresses of the shared host/target RAM structures for a
+// board spec. Boot derives the live environment from it, and the host derives
+// mailbox/FSB/coverage addresses without asking the target.
+type Layout struct {
+	FSB        uint64
+	Cov        uint64
+	CovBytes   int
+	MailboxIn  uint64
+	MailboxOut uint64
+	Scratch    uint64
+}
+
+// LayoutFor computes the RAM layout for spec.
+func LayoutFor(spec *Spec) Layout {
+	covAddr := spec.RAMBase + CovOffset
+	covBytes := cov.BufferBytes(spec.CovEntries)
+	covEnd := covAddr + uint64(covBytes)
+	mboxIn := (covEnd + MailboxAlign - 1) &^ (MailboxAlign - 1)
+	mboxOut := mboxIn + MailboxInSize
+	scratch := (mboxOut + MailboxOutLen + MailboxAlign - 1) &^ (MailboxAlign - 1)
+	return Layout{
+		FSB:        spec.RAMBase + FSBOffset,
+		Cov:        covAddr,
+		CovBytes:   covBytes,
+		MailboxIn:  mboxIn,
+		MailboxOut: mboxOut,
+		Scratch:    scratch,
+	}
+}
+
+// Env is everything a firmware builder needs to construct the OS + agent.
+type Env struct {
+	Spec         *Spec
+	Clock        *vtime.Clock
+	Core         *cpu.Core
+	Mem          *mem.Map
+	RAM          *mem.Region
+	UART         *uart.UART
+	Flash        *flash.Device
+	Cov          *cov.Runtime // nil when the image is not instrumented
+	Instrumented bool
+	Syms         *sym.Table
+	BuildID      uint64
+
+	// Shared-structure addresses.
+	FSBAddr     uint64
+	CovAddr     uint64
+	MailboxIn   uint64
+	MailboxOut  uint64
+	ScratchBase uint64 // first RAM address free for the kernel
+}
+
+// Firmware is a built OS + agent image; Main runs on the target goroutine.
+type Firmware interface {
+	Main()
+}
+
+// Builder constructs firmware from a booted environment. It corresponds to
+// linking the OS, agent and instrumentation into one image.
+type Builder func(env *Env) (Firmware, error)
+
+// BootError reports a failed boot with the partition that failed validation.
+type BootError struct {
+	Partition string
+	Err       error
+}
+
+func (e *BootError) Error() string {
+	return fmt.Sprintf("boot: partition %q invalid: %v", e.Partition, e.Err)
+}
+
+// Board is one virtual development board.
+type Board struct {
+	Spec  *Spec
+	Clock *vtime.Clock
+
+	flashDev *flash.Device
+	table    *flash.Table
+	builder  Builder
+
+	memmap *mem.Map
+	core   *cpu.Core
+	uartd  *uart.UART
+	env    *Env
+	fw     Firmware
+
+	state     State
+	bootCount int
+	lastBoot  error
+}
+
+// New creates a powered-off board with erased flash.
+func New(spec *Spec, table *flash.Table, builder Builder, clock *vtime.Clock) (*Board, error) {
+	dev := flash.NewDevice(spec.FlashSize, spec.SectorSize)
+	if err := table.Validate(dev); err != nil {
+		return nil, err
+	}
+	return &Board{
+		Spec:     spec,
+		Clock:    clock,
+		flashDev: dev,
+		table:    table,
+		builder:  builder,
+		uartd:    uart.New(clock),
+		state:    Off,
+	}, nil
+}
+
+// Flash returns the flash device (persistent across reboots).
+func (b *Board) Flash() *flash.Device { return b.flashDev }
+
+// PartitionTable returns the board's partition table.
+func (b *Board) PartitionTable() *flash.Table { return b.table }
+
+// UART returns the serial console capture.
+func (b *Board) UART() *uart.UART { return b.uartd }
+
+// State returns the board's power/liveness state.
+func (b *Board) State() State { return b.state }
+
+// BootCount returns how many successful boots have occurred.
+func (b *Board) BootCount() int { return b.bootCount }
+
+// LastBootError returns the most recent boot failure, if any.
+func (b *Board) LastBootError() error { return b.lastBoot }
+
+// Core returns the live CPU core, or nil when the board is off/bricked.
+func (b *Board) Core() *cpu.Core {
+	if b.state != On {
+		return nil
+	}
+	return b.core
+}
+
+// Mem returns the live memory map, or nil when the board is off/bricked.
+func (b *Board) Mem() *mem.Map {
+	if b.state != On {
+		return nil
+	}
+	return b.memmap
+}
+
+// Env returns the live firmware environment, or nil when not booted.
+func (b *Board) Env() *Env {
+	if b.state != On {
+		return nil
+	}
+	return b.env
+}
+
+// Provision factory-programs a partition image, bypassing the debug link.
+func (b *Board) Provision(part string, data []byte) error {
+	p := b.table.Lookup(part)
+	if p == nil {
+		return fmt.Errorf("board: no partition %q", part)
+	}
+	if len(data) > p.Size {
+		return fmt.Errorf("board: image %d bytes exceeds partition %q (%d bytes)", len(data), part, p.Size)
+	}
+	return b.flashDev.WriteImage(p.Offset, data)
+}
+
+// bootDelay is the virtual time consumed by a cold boot.
+const bootDelay = 280 * time.Millisecond
+
+// Boot powers the board on: validates flash images, rebuilds firmware state
+// and starts the core halted at the firmware entry. On image validation
+// failure the board ends up Bricked and the error is returned.
+func (b *Board) Boot() error {
+	if b.state == On {
+		b.shutdown()
+	}
+	b.Clock.Advance(bootDelay)
+
+	kimg, err := b.validatePartition("bootloader", flash.MagicBoot)
+	if err == nil {
+		kimg, err = b.validatePartition("kernel", flash.MagicKernel)
+	}
+	if err != nil {
+		b.state = Bricked
+		b.lastBoot = err
+		return err
+	}
+
+	mm := mem.NewMap()
+	mm.MustAdd(mem.BackedRegion("flash", b.Spec.FlashBase, b.flashDev.Bytes(), mem.RX))
+	ram := mem.NewRegion("ram", b.Spec.RAMBase, b.Spec.RAMSize, mem.RW)
+	mm.MustAdd(ram)
+
+	core := cpu.New(b.Clock, b.Spec.CPUConfig())
+	core.SetInstrumented(kimg.Instrumented)
+
+	lay := LayoutFor(b.Spec)
+
+	env := &Env{
+		Spec:         b.Spec,
+		Clock:        b.Clock,
+		Core:         core,
+		Mem:          mm,
+		RAM:          ram,
+		UART:         b.uartd,
+		Flash:        b.flashDev,
+		Instrumented: kimg.Instrumented,
+		Syms:         sym.NewTable(b.Spec.FlashBase + 0x1000),
+		BuildID:      kimg.BuildID,
+		FSBAddr:      lay.FSB,
+		CovAddr:      lay.Cov,
+		MailboxIn:    lay.MailboxIn,
+		MailboxOut:   lay.MailboxOut,
+		ScratchBase:  lay.Scratch,
+	}
+	if kimg.Instrumented {
+		slab := ram.Bytes()[CovOffset : CovOffset+uint64(lay.CovBytes)]
+		env.Cov = cov.NewRuntime(slab, b.Spec.CovEntries)
+	}
+
+	fw, err := b.builder(env)
+	if err != nil {
+		b.state = Bricked
+		b.lastBoot = fmt.Errorf("boot: firmware init: %w", err)
+		return b.lastBoot
+	}
+
+	b.memmap = mm
+	b.core = core
+	b.env = env
+	b.fw = fw
+	b.state = On
+	b.bootCount++
+	b.lastBoot = nil
+	b.uartd.WriteString(fmt.Sprintf("boot: %s build %#x instrumented=%v board=%s\n",
+		kimg.OS, kimg.BuildID, kimg.Instrumented, b.Spec.Name))
+	core.Start(fw.Main)
+	return nil
+}
+
+func (b *Board) validatePartition(name string, wantMagic uint32) (*flash.Image, error) {
+	p := b.table.Lookup(name)
+	if p == nil {
+		return nil, &BootError{Partition: name, Err: fmt.Errorf("missing from partition table")}
+	}
+	raw, err := b.flashDev.Read(p.Offset, p.Size)
+	if err != nil {
+		return nil, &BootError{Partition: name, Err: err}
+	}
+	im, err := flash.ParseImage(raw)
+	if err != nil {
+		return nil, &BootError{Partition: name, Err: err}
+	}
+	if im.Magic != wantMagic {
+		return nil, &BootError{Partition: name, Err: fmt.Errorf("wrong image type %#x", im.Magic)}
+	}
+	return im, nil
+}
+
+func (b *Board) shutdown() {
+	if b.core != nil {
+		b.core.Kill()
+	}
+	b.core = nil
+	b.memmap = nil
+	b.env = nil
+	b.fw = nil
+	b.state = Off
+}
+
+// Reset power-cycles the board: kills the core and reboots from flash. If
+// flash is corrupt the board comes back Bricked.
+func (b *Board) Reset() error {
+	b.shutdown()
+	return b.Boot()
+}
+
+// Flash timing model for the debug-link flash commands.
+const (
+	eraseSectorTime  = 12 * time.Millisecond // per sector erase
+	programTimePerKB = 5 * time.Millisecond  // ~200 KiB/s program rate
+)
+
+// FlashErase erases every sector covering [off, off+n), advancing virtual
+// time by the erase cost. Allowed in any state (the probe can always reach
+// flash; that is the point of debug-port restoration).
+func (b *Board) FlashErase(off, n int) error {
+	sectors := 0
+	if n > 0 {
+		sectors = (off+n-1)/b.Spec.SectorSize - off/b.Spec.SectorSize + 1
+	}
+	b.Clock.Advance(time.Duration(sectors) * eraseSectorTime)
+	return b.flashDev.EraseRange(off, n)
+}
+
+// FlashProgram programs data at off, advancing virtual time by the program
+// cost.
+func (b *Board) FlashProgram(off int, data []byte) error {
+	b.Clock.Advance(time.Duration((len(data)+1023)/1024) * programTimePerKB)
+	return b.flashDev.Program(off, data)
+}

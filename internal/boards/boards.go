@@ -1,0 +1,115 @@
+// Package boards catalogues the development-board models the evaluation
+// runs on: the STM32H745 controller the paper's motivation names (no
+// peripheral-accurate emulator exists for it), an ESP32-C3-class RISC-V
+// board, and the QEMU-virt emulated board that Tardis/Gustave-style tools
+// require. Differences that matter to fuzzing are modelled: breakpoint
+// comparator counts, clock rates, and which peripherals exist.
+package boards
+
+import "github.com/eof-fuzz/eof/internal/board"
+
+// Board names.
+const (
+	NameSTM32H745 = "stm32h745"
+	NameESP32C3   = "esp32c3"
+	NameQEMUVirt  = "qemu-virt"
+	NameQEMURISCV = "qemu-rv32"
+)
+
+// STM32H745 is the Cortex-M7-class industrial controller: fast, 8 hardware
+// breakpoints, CAN and serial, no wireless, no usable emulator.
+func STM32H745() *board.Spec {
+	return &board.Spec{
+		Name:           NameSTM32H745,
+		Arch:           "arm",
+		HZ:             480_000_000,
+		CyclesPerBlock: 6,
+		InstrCycles:    2,
+		MaxBreakpoints: 8,
+		FlashBase:      0x0800_0000,
+		FlashSize:      8 * 1024 * 1024,
+		SectorSize:     4096,
+		RAMBase:        0x2400_0000,
+		RAMSize:        1024 * 1024,
+		CovEntries:     4096,
+		Peripherals: map[string]bool{
+			"serial": true, "gpio": true, "can": true, "adc": true, "dma": true, "socket": true,
+		},
+	}
+}
+
+// ESP32C3 is the RISC-V IoT-class board: slower clock, few breakpoint
+// comparators, wireless radio present.
+func ESP32C3() *board.Spec {
+	return &board.Spec{
+		Name:           NameESP32C3,
+		Arch:           "riscv",
+		HZ:             160_000_000,
+		CyclesPerBlock: 6,
+		InstrCycles:    2,
+		MaxBreakpoints: 4,
+		FlashBase:      0x4200_0000,
+		FlashSize:      8 * 1024 * 1024,
+		SectorSize:     4096,
+		RAMBase:        0x3FC8_0000,
+		RAMSize:        512 * 1024,
+		CovEntries:     4096,
+		Peripherals: map[string]bool{
+			"serial": true, "gpio": true, "wifi": true, "socket": true, "dma": true,
+		},
+	}
+}
+
+// QEMUVirt is the emulated board Tardis/Gustave-class tools run on:
+// effectively unlimited breakpoints and fast control, but only the
+// peripherals QEMU models (a serial port) — hardware-only peripherals and
+// their code paths are unreachable.
+func QEMUVirt() *board.Spec {
+	return &board.Spec{
+		Name:           NameQEMUVirt,
+		Arch:           "arm",
+		HZ:             200_000_000,
+		CyclesPerBlock: 6,
+		InstrCycles:    2,
+		MaxBreakpoints: 32,
+		FlashBase:      0x0000_0000,
+		FlashSize:      8 * 1024 * 1024,
+		SectorSize:     4096,
+		RAMBase:        0x4000_0000,
+		RAMSize:        1024 * 1024,
+		CovEntries:     4096,
+		Emulated:       true,
+		Peripherals: map[string]bool{
+			"serial": true,
+		},
+	}
+}
+
+// QEMUVirtRISCV is the RISC-V flavour of the emulated board.
+func QEMUVirtRISCV() *board.Spec {
+	s := QEMUVirt()
+	s.Name = NameQEMURISCV
+	s.Arch = "riscv"
+	return s
+}
+
+// ByName resolves a board spec by its catalogue name, or nil.
+func ByName(name string) *board.Spec {
+	switch name {
+	case NameSTM32H745:
+		return STM32H745()
+	case NameESP32C3:
+		return ESP32C3()
+	case NameQEMUVirt:
+		return QEMUVirt()
+	case NameQEMURISCV:
+		return QEMUVirtRISCV()
+	default:
+		return nil
+	}
+}
+
+// All returns every catalogued board.
+func All() []*board.Spec {
+	return []*board.Spec{STM32H745(), ESP32C3(), QEMUVirt(), QEMUVirtRISCV()}
+}

@@ -1,0 +1,54 @@
+package boards
+
+import "testing"
+
+func TestCatalogue(t *testing.T) {
+	all := All()
+	if len(all) != 4 {
+		t.Fatalf("boards: %d", len(all))
+	}
+	seen := map[string]bool{}
+	for _, s := range all {
+		if seen[s.Name] {
+			t.Errorf("duplicate board %s", s.Name)
+		}
+		seen[s.Name] = true
+		if s.HZ == 0 || s.FlashSize == 0 || s.RAMSize == 0 || s.CovEntries == 0 {
+			t.Errorf("%s: incomplete spec %+v", s.Name, s)
+		}
+		if s.FlashSize%s.SectorSize != 0 {
+			t.Errorf("%s: flash not sector aligned", s.Name)
+		}
+		if got := ByName(s.Name); got == nil || got.Name != s.Name {
+			t.Errorf("ByName(%s) = %v", s.Name, got)
+		}
+	}
+	if ByName("z80") != nil {
+		t.Fatal("unknown board resolved")
+	}
+}
+
+func TestHardwareVsEmulatedCapabilities(t *testing.T) {
+	if QEMUVirt().HasPeripheral("dma") || QEMUVirt().HasPeripheral("socket") {
+		t.Fatal("emulated board models hardware-only peripherals")
+	}
+	if !STM32H745().HasPeripheral("dma") || !ESP32C3().HasPeripheral("dma") {
+		t.Fatal("hardware boards missing the DMA block")
+	}
+	// Both hardware boards have a network stack (ESP32 radio, STM32
+	// Ethernet MAC); the emulated board has neither.
+	if !ESP32C3().HasPeripheral("socket") || !STM32H745().HasPeripheral("socket") {
+		t.Fatal("hardware boards missing the network stack")
+	}
+	if !QEMUVirt().Emulated || STM32H745().Emulated {
+		t.Fatal("Emulated flags wrong")
+	}
+	// The IoT-class board has fewer breakpoint comparators than the
+	// industrial controller — GDBFuzz-style probe rotation depends on this.
+	if ESP32C3().MaxBreakpoints >= STM32H745().MaxBreakpoints {
+		t.Fatal("breakpoint budgets not differentiated")
+	}
+	if QEMUVirtRISCV().Arch != "riscv" || QEMUVirt().Arch != "arm" {
+		t.Fatal("emulated arches wrong")
+	}
+}

@@ -1,0 +1,85 @@
+// Package bugdb is the ground-truth registry of the paper's Table-2 bugs as
+// planted in the OS personalities. Experiments match campaign findings
+// against it to score detection without leaking trigger conditions to the
+// fuzzer.
+package bugdb
+
+import (
+	"strings"
+
+	"github.com/eof-fuzz/eof/internal/core"
+)
+
+// Bug is one Table-2 entry.
+type Bug struct {
+	ID        int
+	OS        string
+	Scope     string
+	Kind      string // "Kernel Panic" or "Kernel Assertion"
+	Op        string // triggering operation, as the paper's Operations column
+	Confirmed bool   // maintainer-confirmed in the paper
+	// Monitor is the detector the paper attributes the find to.
+	Monitor string
+	// sigNeedle matches the campaign report's dedup signature.
+	sigNeedle string
+}
+
+// All returns the 19 planted bugs in Table-2 order.
+func All() []Bug {
+	return []Bug{
+		{1, "zephyr", "Heap", "Kernel Panic", "sys_heap_stress()", false, "exception", "@sys_heap_stress"},
+		{2, "zephyr", "Kernel", "Kernel Panic", "z_impl_k_msgq_get()", true, "exception", "@z_impl_k_msgq_get"},
+		{3, "zephyr", "JSON", "Kernel Panic", "json_obj_encode()", true, "exception", "@json_obj_encode"},
+		{4, "zephyr", "KHeap", "Kernel Panic", "k_heap_init()", true, "exception", "@k_heap_init"},
+		{5, "rtthread", "Kernel", "Kernel Assertion", "rt_object_get_type()", false, "log", "assert:obj->type != RT_Object_Class_Null"},
+		{6, "rtthread", "RTService", "Kernel Panic", "rt_list_isempty()", false, "exception", "@rt_list_isempty"},
+		{7, "rtthread", "Memory", "Kernel Panic", "rt_mp_alloc()", false, "exception", "@rt_mp_alloc"},
+		{8, "rtthread", "Kernel", "Kernel Assertion", "rt_object_init()", false, "log", "assert:type != RT_Object_Class_Null"},
+		{9, "rtthread", "Heap", "Kernel Panic", "_heap_lock()", false, "exception", "@_heap_lock"},
+		{10, "rtthread", "IPC", "Kernel Panic", "rt_event_send()", false, "exception", "@rt_event_send"},
+		{11, "rtthread", "Memory", "Kernel Panic", "rt_smem_setname()", true, "exception", "@rt_smem_setname"},
+		{12, "rtthread", "Serial", "Kernel Panic", "rt_serial_write()", false, "exception", "@_serial_poll_tx"},
+		{13, "freertos", "Kernel", "Kernel Panic", "load_partitions()", false, "exception", "@load_partitions"},
+		{14, "nuttx", "Kernel", "Kernel Panic", "setenv()", true, "exception", "@setenv"},
+		{15, "nuttx", "Libc", "Kernel Panic", "gettimeofday()", false, "exception", "@gettimeofday"},
+		{16, "nuttx", "MQueue", "Kernel Panic", "nxmq_timedsend()", false, "exception", "@nxmq_timedsend"},
+		{17, "nuttx", "Semaphore", "Kernel Assertion", "nxsem_trywait()", false, "log", "assert:sem->semcount >= SEM_VALUE_IRQ"},
+		{18, "nuttx", "Timer", "Kernel Panic", "timer_create()", false, "exception", "@timer_create"},
+		{19, "nuttx", "Libc", "Kernel Panic", "clock_getres()", false, "exception", "@clock_getres"},
+	}
+}
+
+// Match resolves a campaign finding to a registered bug, or ok=false for
+// incidental findings (generic invalid-free crashes, the extension driver
+// defect, ...).
+func Match(rep *core.BugReport) (Bug, bool) {
+	for _, b := range All() {
+		if b.OS != rep.OS {
+			continue
+		}
+		if strings.Contains(rep.Sig, b.sigNeedle) {
+			return b, true
+		}
+		// Log-monitor reports carry the assert needle in the signature; a
+		// fault report may still name the operation in its frames.
+		if rep.Fault != nil {
+			for _, fr := range rep.Fault.Frames {
+				if "@"+fr.Func == b.sigNeedle {
+					return b, true
+				}
+			}
+		}
+	}
+	return Bug{}, false
+}
+
+// ByOS returns the registered bugs for one OS.
+func ByOS(os string) []Bug {
+	var out []Bug
+	for _, b := range All() {
+		if b.OS == os {
+			out = append(out, b)
+		}
+	}
+	return out
+}

@@ -1,0 +1,93 @@
+package bugdb
+
+import (
+	"testing"
+
+	"github.com/eof-fuzz/eof/internal/core"
+	"github.com/eof-fuzz/eof/internal/cpu"
+)
+
+func TestRegistryShape(t *testing.T) {
+	all := All()
+	if len(all) != 19 {
+		t.Fatalf("registry has %d bugs", len(all))
+	}
+	perOS := map[string]int{}
+	confirmed := 0
+	for i, b := range all {
+		if b.ID != i+1 {
+			t.Errorf("bug %d out of order", b.ID)
+		}
+		perOS[b.OS]++
+		if b.Confirmed {
+			confirmed++
+		}
+	}
+	// Paper: 4 Zephyr, 8 RT-Thread, 1 FreeRTOS, 6 NuttX; 5 confirmed.
+	want := map[string]int{"zephyr": 4, "rtthread": 8, "freertos": 1, "nuttx": 6}
+	for os, n := range want {
+		if perOS[os] != n {
+			t.Errorf("%s: %d bugs, want %d", os, perOS[os], n)
+		}
+	}
+	if confirmed != 5 {
+		t.Errorf("confirmed: %d, want 5", confirmed)
+	}
+}
+
+func TestMatchBySignature(t *testing.T) {
+	rep := &core.BugReport{
+		OS:  "rtthread",
+		Sig: "BusFault@rt_event_send",
+	}
+	b, ok := Match(rep)
+	if !ok || b.ID != 10 {
+		t.Fatalf("match: %+v %v", b, ok)
+	}
+	// Wrong OS must not match.
+	rep.OS = "zephyr"
+	if _, ok := Match(rep); ok {
+		t.Fatal("cross-OS match")
+	}
+}
+
+func TestMatchByFrames(t *testing.T) {
+	rep := &core.BugReport{
+		OS:  "nuttx",
+		Sig: "KernelPanic@something_else",
+		Fault: &cpu.Fault{
+			Frames: []cpu.Frame{{Func: "timer_create", File: "x.c", Line: 1}},
+		},
+	}
+	b, ok := Match(rep)
+	if !ok || b.ID != 18 {
+		t.Fatalf("frame match: %+v %v", b, ok)
+	}
+}
+
+func TestAssertMatches(t *testing.T) {
+	rep := &core.BugReport{
+		OS:  "rtthread",
+		Sig: "assert:obj->type != RT_Object_Class_Null",
+	}
+	b, ok := Match(rep)
+	if !ok || b.ID != 5 || b.Monitor != "log" {
+		t.Fatalf("assert match: %+v %v", b, ok)
+	}
+}
+
+func TestNoMatchForIncidental(t *testing.T) {
+	rep := &core.BugReport{OS: "zephyr", Sig: "KernelPanic@sys_heap_free"}
+	if _, ok := Match(rep); ok {
+		t.Fatal("incidental crash matched the registry")
+	}
+}
+
+func TestByOS(t *testing.T) {
+	if got := ByOS("pokos"); len(got) != 0 {
+		t.Fatalf("pokos bugs: %d", len(got))
+	}
+	if got := ByOS("nuttx"); len(got) != 6 {
+		t.Fatalf("nuttx bugs: %d", len(got))
+	}
+}

@@ -1,0 +1,117 @@
+// Package core implements the EOF engine: the feedback-guided fuzzing loop
+// that drives an embedded OS on a (virtual) board purely through the debug
+// port — test-case delivery into the target mailbox, breakpoint-synchronised
+// execution, coverage collection, log and exception bug monitors, the
+// connection-timeout and PC-stall liveness watchdogs of Algorithm 1, and
+// state restoration by reflashing every partition when the image is damaged.
+package core
+
+import (
+	"time"
+
+	"github.com/eof-fuzz/eof/internal/board"
+	"github.com/eof-fuzz/eof/internal/ocd"
+	"github.com/eof-fuzz/eof/internal/osinfo"
+)
+
+// Watchdogs selects the liveness mechanisms (ablation E7 disables them
+// individually).
+type Watchdogs struct {
+	// ConnectionTimeout treats a dead debug link as a boot failure /
+	// unresponsive target (Algorithm 1, watchdog 1).
+	ConnectionTimeout bool
+	// PCStall treats repeated budget-exhausted stops at an unchanged PC as
+	// a wedged target (Algorithm 1, watchdog 2).
+	PCStall bool
+	// ExecTimeout bounds one test case's virtual runtime.
+	ExecTimeout time.Duration
+}
+
+// DefaultWatchdogs enables everything the paper describes.
+func DefaultWatchdogs() Watchdogs {
+	return Watchdogs{
+		ConnectionTimeout: true,
+		PCStall:           true,
+		ExecTimeout:       3 * time.Second,
+	}
+}
+
+// Monitors selects the bug detectors.
+type Monitors struct {
+	// Log matches crash/assert patterns in the UART stream.
+	Log bool
+	// Exception plants breakpoints at the OS's exception functions and
+	// reads the fault status block when they fire.
+	Exception bool
+}
+
+// DefaultMonitors enables both detectors.
+func DefaultMonitors() Monitors {
+	return Monitors{Log: true, Exception: true}
+}
+
+// Config parameterises one engine instance.
+type Config struct {
+	OS    *osinfo.Info
+	Board *board.Spec
+	Seed  int64
+
+	// Instrumented selects the SanCov-instrumented image (off only for the
+	// overhead experiments).
+	Instrumented bool
+	// FeedbackGuided enables corpus retention, mutation and adjacency
+	// rewards (off = the EOF-nf variant).
+	FeedbackGuided bool
+	// APIAware uses the validated specification for argument generation;
+	// off degenerates to AFL-style random arguments (ablation E8).
+	APIAware bool
+
+	Watchdogs Watchdogs
+	Monitors  Monitors
+
+	// ContinueBudget is the per-continue block budget (the debugger's
+	// halt-and-inspect interval).
+	ContinueBudget int64
+	// MaxContinues hard-caps debugger round-trips per test case so a
+	// watchdog-less configuration cannot livelock; hitting it counts as a
+	// manual intervention.
+	MaxContinues int
+	// MaxCalls bounds generated program length.
+	MaxCalls int
+	// MutateBias is the probability of mutating a corpus seed instead of
+	// generating fresh, when the corpus is non-empty.
+	MutateBias float64
+	// Latency overrides the debug-adapter cost model (zero value = default).
+	Latency ocd.Latency
+	// SampleEvery sets the coverage time-series resolution.
+	SampleEvery time.Duration
+
+	// CallFilter restricts the specification to the named calls — the
+	// application-level evaluation fuzzes only the HTTP/JSON entry points.
+	// Empty means the full API surface.
+	CallFilter []string
+	// CovModules confines instrumentation to functions whose source file
+	// starts with one of these prefixes, mirroring a build that instruments
+	// only the modules under test. Empty instruments the whole image.
+	CovModules []string
+}
+
+// DefaultConfig returns the paper's EOF configuration for an OS/board pair.
+func DefaultConfig(os *osinfo.Info, spec *board.Spec) Config {
+	return Config{
+		OS:             os,
+		Board:          spec,
+		Seed:           1,
+		Instrumented:   true,
+		FeedbackGuided: true,
+		APIAware:       true,
+		Watchdogs:      DefaultWatchdogs(),
+		Monitors:       DefaultMonitors(),
+		ContinueBudget: 500_000,
+		MaxContinues:   256,
+		MaxCalls:       10,
+		MutateBias:     0.7,
+		Latency:        ocd.DefaultLatency(),
+		SampleEvery:    5 * time.Minute,
+	}
+}

@@ -1,0 +1,71 @@
+package core
+
+import (
+	"math/rand"
+
+	"github.com/eof-fuzz/eof/internal/prog"
+)
+
+// maxCorpus bounds retained seeds; the least productive seed is evicted.
+const maxCorpus = 256
+
+// Seed is one retained interesting input.
+type Seed struct {
+	P *prog.Prog
+	// NewEdges is how many globally new edges the seed contributed.
+	NewEdges int
+	// Mutations counts how often the seed was picked for mutation.
+	Mutations int
+}
+
+func (s *Seed) weight() float64 {
+	w := 1.0 + float64(s.NewEdges)
+	// Fresh seeds get explored before battle-worn ones.
+	w /= 1.0 + float64(s.Mutations)/8.0
+	return w
+}
+
+// Corpus holds coverage-increasing inputs for further mutation.
+type Corpus struct {
+	seeds []*Seed
+}
+
+// Len returns the number of retained seeds.
+func (c *Corpus) Len() int { return len(c.seeds) }
+
+// Add retains a seed, evicting the lowest-weight one past capacity.
+func (c *Corpus) Add(p *prog.Prog, newEdges int) {
+	c.seeds = append(c.seeds, &Seed{P: p, NewEdges: newEdges})
+	if len(c.seeds) <= maxCorpus {
+		return
+	}
+	worst, worstW := 0, c.seeds[0].weight()
+	for i, s := range c.seeds[1:] {
+		if w := s.weight(); w < worstW {
+			worst, worstW = i+1, w
+		}
+	}
+	c.seeds = append(c.seeds[:worst], c.seeds[worst+1:]...)
+}
+
+// Pick samples a seed weighted by contribution, or nil when empty.
+func (c *Corpus) Pick(rnd *rand.Rand) *Seed {
+	if len(c.seeds) == 0 {
+		return nil
+	}
+	total := 0.0
+	for _, s := range c.seeds {
+		total += s.weight()
+	}
+	x := rnd.Float64() * total
+	for _, s := range c.seeds {
+		x -= s.weight()
+		if x <= 0 {
+			s.Mutations++
+			return s
+		}
+	}
+	s := c.seeds[len(c.seeds)-1]
+	s.Mutations++
+	return s
+}

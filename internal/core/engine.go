@@ -1,0 +1,654 @@
+package core
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math/rand"
+	"time"
+
+	"github.com/eof-fuzz/eof/internal/agent"
+	"github.com/eof-fuzz/eof/internal/board"
+	"github.com/eof-fuzz/eof/internal/cov"
+	"github.com/eof-fuzz/eof/internal/cpu"
+	"github.com/eof-fuzz/eof/internal/fsb"
+	"github.com/eof-fuzz/eof/internal/ocd"
+	"github.com/eof-fuzz/eof/internal/osinfo"
+	"github.com/eof-fuzz/eof/internal/prog"
+	"github.com/eof-fuzz/eof/internal/specgen"
+	"github.com/eof-fuzz/eof/internal/sym"
+	"github.com/eof-fuzz/eof/internal/syzlang"
+	"github.com/eof-fuzz/eof/internal/vtime"
+)
+
+// CoverSample is one point of the coverage-over-time series (Figures 7/8).
+type CoverSample struct {
+	At    time.Duration
+	Edges int
+}
+
+// Stats aggregates campaign counters.
+type Stats struct {
+	Execs               int
+	ExecFailures        int // deserialisation/infrastructure failures
+	Crashes             int
+	Restores            int
+	Reflashes           int
+	StallResets         int
+	TimeoutResets       int
+	ExecTimeoutResets   int
+	ManualInterventions int // watchdog-less livelocks broken by the hard cap
+	CovFullTraps        int
+}
+
+// Report is a finished campaign's outcome.
+type Report struct {
+	OS       string
+	Board    string
+	Stats    Stats
+	Edges    int
+	Bugs     []*BugReport
+	Series   []CoverSample
+	Duration time.Duration
+}
+
+// errRestart signals that the target was restored and the fuzzing loop must
+// re-synchronise at executor_main.
+var errRestart = errors.New("core: target restored")
+
+// Engine is one EOF instance attached to one board.
+type Engine struct {
+	cfg    Config
+	clock  *vtime.Clock
+	brd    *board.Board
+	client *ocd.Client
+
+	target *prog.Target
+	gen    *prog.Generator
+	ct     *prog.ChoiceTable
+	rnd    *rand.Rand
+
+	syms      *sym.Table
+	lay       board.Layout
+	images    *osinfo.Images
+	mainAddr  uint64
+	excAddrs  map[uint64]string
+	collector *cov.Collector
+	corpus    *Corpus
+	logMon    *LogMonitor
+
+	stats   Stats
+	bugs    []*BugReport
+	bugSigs map[string]bool
+	series  []CoverSample
+
+	lastBudgetPC uint64
+	stallRuns    int
+	started      time.Duration
+	lastSample   time.Duration
+}
+
+// NewEngine builds the full stack: images, board, debug server and client,
+// specification pipeline and generator. The returned engine owns the board.
+func NewEngine(cfg Config) (*Engine, error) {
+	if cfg.ContinueBudget <= 0 {
+		cfg.ContinueBudget = 500_000
+	}
+	if cfg.MaxContinues <= 0 {
+		cfg.MaxContinues = 256
+	}
+	if cfg.MaxCalls <= 0 {
+		cfg.MaxCalls = 10
+	}
+	if cfg.Latency == (ocd.Latency{}) {
+		cfg.Latency = ocd.DefaultLatency()
+	}
+	if cfg.SampleEvery <= 0 {
+		cfg.SampleEvery = 5 * time.Minute
+	}
+
+	osInfo := cfg.OS
+	if len(cfg.CovModules) > 0 {
+		osInfo = osinfo.WithCovModules(cfg.OS, cfg.CovModules)
+	}
+
+	specRes, err := specgen.Generate(osInfo)
+	if err != nil {
+		return nil, err
+	}
+	if len(cfg.CallFilter) > 0 {
+		filterSpec(specRes.Spec, cfg.CallFilter)
+		if len(specRes.Spec.Calls) == 0 {
+			return nil, fmt.Errorf("core: call filter matched nothing")
+		}
+	}
+	target, err := prog.NewTarget(specRes.Spec, osInfo)
+	if err != nil {
+		return nil, err
+	}
+	images, err := osInfo.BuildImages(cfg.Board, cfg.Instrumented)
+	if err != nil {
+		return nil, err
+	}
+	syms, err := osInfo.SymbolTable(cfg.Board)
+	if err != nil {
+		return nil, err
+	}
+	table, err := osInfo.PartTable()
+	if err != nil {
+		return nil, err
+	}
+	clock := &vtime.Clock{}
+	brd, err := board.New(cfg.Board, table, osInfo.Builder, clock)
+	if err != nil {
+		return nil, err
+	}
+
+	ct := prog.NewChoiceTable(specRes.Spec)
+	gen := prog.NewGenerator(target, cfg.Seed, ct)
+	gen.RandomOnly = !cfg.APIAware
+
+	e := &Engine{
+		cfg:       cfg,
+		clock:     clock,
+		brd:       brd,
+		target:    target,
+		gen:       gen,
+		ct:        ct,
+		rnd:       rand.New(rand.NewSource(cfg.Seed ^ 0x5EED)),
+		syms:      syms,
+		lay:       board.LayoutFor(cfg.Board),
+		images:    images,
+		collector: cov.NewCollector(),
+		corpus:    &Corpus{},
+		logMon:    &LogMonitor{},
+		bugSigs:   make(map[string]bool),
+		excAddrs:  make(map[uint64]string),
+	}
+	e.mainAddr = syms.Addr(agent.SymExecutorMain)
+	if cfg.Monitors.Exception {
+		for _, name := range osInfo.ExceptionSyms {
+			e.excAddrs[syms.Addr(name)] = name
+		}
+		e.excAddrs[syms.Addr(agent.SymHandleException)] = agent.SymHandleException
+	}
+	return e, nil
+}
+
+// filterSpec keeps only the named calls in the specification.
+func filterSpec(spec *syzlang.Spec, names []string) {
+	allowed := make(map[string]bool, len(names))
+	for _, n := range names {
+		allowed[n] = true
+	}
+	kept := spec.Calls[:0]
+	for _, c := range spec.Calls {
+		if allowed[c.Name] {
+			kept = append(kept, c)
+		}
+	}
+	spec.Calls = kept
+}
+
+// Board exposes the engine's board for in-process inspection by tests and
+// experiment harnesses (never used by the fuzzing loop itself, which talks
+// only through the debug client).
+func (e *Engine) Board() *board.Board { return e.brd }
+
+// Clock returns the campaign's virtual clock.
+func (e *Engine) Clock() *vtime.Clock { return e.clock }
+
+// Coverage returns the number of distinct edges observed so far.
+func (e *Engine) Coverage() int { return e.collector.Total() }
+
+// setup provisions flash, boots, attaches the probe and arms breakpoints.
+func (e *Engine) setup() error {
+	if err := e.provision(); err != nil {
+		return err
+	}
+	if err := e.brd.Boot(); err != nil {
+		return fmt.Errorf("core: initial boot: %w", err)
+	}
+	e.client = ocd.ConnectDirect(ocd.NewServer(e.brd, e.cfg.Latency))
+	if err := e.armBreakpoints(); err != nil {
+		return err
+	}
+	return e.runToMain()
+}
+
+func (e *Engine) provision() error {
+	tab := e.brd.PartitionTable()
+	for _, part := range []struct {
+		name string
+		data []byte
+	}{{"bootloader", e.images.Boot}, {"kernel", e.images.Kernel}} {
+		p := tab.Lookup(part.name)
+		if p == nil {
+			return fmt.Errorf("core: partition %q missing", part.name)
+		}
+		if err := e.brd.Provision(part.name, part.data); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (e *Engine) armBreakpoints() error {
+	if err := e.client.SetBreakpoint(e.mainAddr); err != nil {
+		return fmt.Errorf("core: arming executor_main: %w", err)
+	}
+	for addr := range e.excAddrs {
+		if err := e.client.SetBreakpoint(addr); err != nil {
+			// Breakpoint comparators are scarce on some boards; the engine
+			// degrades to log/stall detection for the remaining symbols.
+			break
+		}
+	}
+	return nil
+}
+
+// Close releases the debug link and kills the board.
+func (e *Engine) Close() {
+	if e.client != nil {
+		e.client.Close()
+	}
+	if e.brd.State() == board.On {
+		e.brd.Core().Kill()
+	}
+}
+
+// Run executes a campaign for the given virtual-time budget.
+func (e *Engine) Run(budget time.Duration) (*Report, error) {
+	if err := e.setup(); err != nil {
+		return nil, err
+	}
+	e.started = e.clock.Now()
+	deadline := e.clock.DeadlineIn(budget)
+	for !deadline.Expired(e.clock) {
+		if err := e.iteration(); err != nil && !errors.Is(err, errRestart) {
+			return nil, err
+		}
+		e.sample()
+	}
+	return e.report(), nil
+}
+
+func (e *Engine) report() *Report {
+	e.sampleForce()
+	return &Report{
+		OS:       e.cfg.OS.Name,
+		Board:    e.cfg.Board.Name,
+		Stats:    e.stats,
+		Edges:    e.collector.Total(),
+		Bugs:     e.bugs,
+		Series:   e.series,
+		Duration: e.clock.Now() - e.started,
+	}
+}
+
+func (e *Engine) sample() {
+	if e.clock.Now()-e.lastSample >= e.cfg.SampleEvery {
+		e.sampleForce()
+	}
+}
+
+func (e *Engine) sampleForce() {
+	e.lastSample = e.clock.Now()
+	e.series = append(e.series, CoverSample{At: e.clock.Now() - e.started, Edges: e.collector.Total()})
+}
+
+// nextProg picks the next input: mutate a corpus seed under feedback
+// guidance, otherwise generate fresh from the specification.
+func (e *Engine) nextProg() *prog.Prog {
+	if e.cfg.FeedbackGuided && e.corpus.Len() > 0 && e.rnd.Float64() < e.cfg.MutateBias {
+		if s := e.corpus.Pick(e.rnd); s != nil {
+			return e.gen.Mutate(s.P)
+		}
+	}
+	return e.gen.Generate(e.cfg.MaxCalls)
+}
+
+// iteration runs one test case end to end.
+func (e *Engine) iteration() error {
+	p := e.nextProg()
+	if err := e.sendProg(p); err != nil {
+		if errors.Is(err, ocd.ErrTimeout) {
+			return e.restore("timeout")
+		}
+		return err
+	}
+	if err := e.pumpToMain(p); err != nil {
+		return err
+	}
+	// Back at executor_main: collect feedback.
+	e.stats.Execs++
+	fresh, err := e.drainCoverage()
+	if err != nil && errors.Is(err, ocd.ErrTimeout) {
+		return e.restore("timeout")
+	}
+	if err := e.scanLog(p); err != nil {
+		return err
+	}
+	if fresh > 0 && e.cfg.FeedbackGuided {
+		e.corpus.Add(p, fresh)
+		names := p.CallNames()
+		for i := 1; i < len(names); i++ {
+			e.ct.Reward(names[i-1], names[i], 0.5)
+		}
+	}
+	return nil
+}
+
+// sendProg writes the serialized program into the inbound mailbox while the
+// target is halted at executor_main.
+func (e *Engine) sendProg(p *prog.Prog) error {
+	wp, err := e.target.Serialize(p)
+	if err != nil {
+		return err
+	}
+	raw, err := wp.Marshal()
+	if err != nil {
+		return err
+	}
+	buf := make([]byte, 4+len(raw))
+	binary.LittleEndian.PutUint32(buf, uint32(len(raw)))
+	copy(buf[4:], raw)
+	return e.client.WriteMem(e.lay.MailboxIn, buf)
+}
+
+// pumpToMain resumes the target until it parks at executor_main again,
+// handling every other stop event: coverage-buffer traps, faults, exception
+// breakpoints, stall/budget events and link timeouts.
+func (e *Engine) pumpToMain(p *prog.Prog) error {
+	start := e.clock.Now()
+	for i := 0; i < e.cfg.MaxContinues; i++ {
+		st, err := e.client.Continue(e.cfg.ContinueBudget)
+		if err != nil {
+			if errors.Is(err, ocd.ErrTimeout) && e.cfg.Watchdogs.ConnectionTimeout {
+				e.stats.TimeoutResets++
+				return e.restore("connection-timeout")
+			}
+			return err
+		}
+		switch st.Kind {
+		case cpu.StopBreakpoint:
+			if st.PC == e.mainAddr {
+				e.stallRuns = 0
+				return nil
+			}
+			if name, isExc := e.excAddrs[st.PC]; isExc {
+				e.onException(name, p)
+				e.stats.Crashes++
+				return e.restore("crash")
+			}
+			// Foreign breakpoint: fall through and resume.
+		case cpu.StopCovFull:
+			e.stats.CovFullTraps++
+			if _, err := e.drainCoverage(); err != nil {
+				if errors.Is(err, ocd.ErrTimeout) {
+					return e.restore("timeout")
+				}
+				return err
+			}
+		case cpu.StopFault:
+			// No exception breakpoint fired (monitor off or symbol not
+			// armed); the halt itself still reveals the crash on the link.
+			if e.cfg.Monitors.Exception {
+				e.onFaultStop(st, p)
+				e.stats.Crashes++
+			}
+			return e.restore("fault")
+		case cpu.StopBudget:
+			if e.cfg.Watchdogs.PCStall {
+				if st.PC == e.lastBudgetPC {
+					e.stallRuns++
+				} else {
+					e.lastBudgetPC, e.stallRuns = st.PC, 0
+				}
+				if e.stallRuns >= 2 {
+					// Degraded state: check the log first (assert hangs are
+					// bugs, plain wedges are not), then restore.
+					if err := e.scanLog(p); err != nil {
+						return err
+					}
+					e.stats.StallResets++
+					return e.restore("pc-stall")
+				}
+			}
+			if e.cfg.Watchdogs.ExecTimeout > 0 && e.clock.Now()-start > e.cfg.Watchdogs.ExecTimeout {
+				if err := e.scanLog(p); err != nil {
+					return err
+				}
+				e.stats.ExecTimeoutResets++
+				return e.restore("exec-timeout")
+			}
+		case cpu.StopExit, cpu.StopKilled:
+			return e.restore("target-exit")
+		}
+	}
+	// Without watchdogs the loop would spin forever; this is the manual
+	// intervention the paper's liveness machinery exists to avoid.
+	e.stats.ManualInterventions++
+	return e.restore("manual-intervention")
+}
+
+// drainCoverage reads, ingests and clears the target coverage buffer,
+// returning the number of globally new edges.
+func (e *Engine) drainCoverage() (int, error) {
+	if !e.cfg.Instrumented {
+		return 0, nil
+	}
+	// Speculatively read the header plus the typical entry volume in one
+	// transfer; only unusually full buffers need a second read. Probe round
+	// trips dominate drain cost, so batching matters more than bytes.
+	first := 16 + 1024*4
+	if max := 16 + e.cfg.Board.CovEntries*4; first > max {
+		first = max
+	}
+	raw, err := e.client.ReadMem(e.lay.Cov, first)
+	if err != nil {
+		return 0, err
+	}
+	count := int(binary.LittleEndian.Uint32(raw[4:]))
+	if count < 0 || count > e.cfg.Board.CovEntries {
+		return 0, fmt.Errorf("core: corrupt coverage header count=%d", count)
+	}
+	if count == 0 {
+		return 0, nil
+	}
+	if need := 16 + count*4; need > len(raw) {
+		rest, err := e.client.ReadMem(e.lay.Cov+uint64(len(raw)), need-len(raw))
+		if err != nil {
+			return 0, err
+		}
+		raw = append(raw, rest...)
+	}
+	entries := make([]uint32, count)
+	for i := range entries {
+		entries[i] = binary.LittleEndian.Uint32(raw[16+i*4:])
+	}
+	// Clear: zero the count word so the runtime reuses the buffer.
+	if err := e.client.WriteMem(e.lay.Cov+4, []byte{0, 0, 0, 0}); err != nil {
+		return 0, err
+	}
+	fresh := e.collector.Ingest(entries)
+	return len(fresh), nil
+}
+
+// scanLog drains the UART through the log monitor, recording a bug when a
+// crash pattern matches.
+func (e *Engine) scanLog(p *prog.Prog) error {
+	if e.client == nil {
+		return nil
+	}
+	lines, err := e.client.DrainUART()
+	if err != nil {
+		if errors.Is(err, ocd.ErrTimeout) {
+			return nil // UART capture is best-effort while the link is down
+		}
+		return err
+	}
+	sig, line, ok := e.logMon.Scan(lines)
+	if !ok || !e.cfg.Monitors.Log {
+		return nil
+	}
+	kind := "assert"
+	if !hasAssert(line) {
+		kind = "panic"
+	}
+	e.recordBug(&BugReport{
+		Sig:     sig,
+		Title:   "log: " + line,
+		Kind:    kind,
+		Monitor: "log",
+		Log:     e.logMon.Context(),
+		Prog:    p.String(),
+	})
+	return nil
+}
+
+func hasAssert(line string) bool {
+	return len(line) >= 6 && line[:6] == "ASSERT"
+}
+
+// onException handles a stop at an exception-function breakpoint: read the
+// fault status block over the link and attribute the crash.
+func (e *Engine) onException(symName string, p *prog.Prog) {
+	raw, err := e.client.ReadMem(e.lay.FSB, board.FSBSize)
+	if err != nil {
+		e.recordBug(&BugReport{
+			Sig:     "exc:" + symName,
+			Title:   "exception at " + symName + " (fault block unreadable)",
+			Kind:    "panic",
+			Monitor: "exception",
+			Prog:    p.String(),
+		})
+		return
+	}
+	fault, err := fsb.Decode(raw)
+	if err != nil || fault == nil {
+		e.recordBug(&BugReport{
+			Sig:     "exc:" + symName,
+			Title:   "exception at " + symName + " (no fault record)",
+			Kind:    "panic",
+			Monitor: "exception",
+			Prog:    p.String(),
+		})
+		return
+	}
+	e.scanLogQuiet()
+	e.recordBug(&BugReport{
+		Sig:     faultSig(fault),
+		Title:   faultTitle(fault),
+		Kind:    "panic",
+		Monitor: "exception",
+		Fault:   fault,
+		Log:     e.logMon.Context(),
+		Prog:    p.String(),
+	})
+}
+
+// onFaultStop handles a raw fault halt (no exception breakpoint armed).
+func (e *Engine) onFaultStop(st cpu.Stop, p *prog.Prog) {
+	f := st.Fault
+	if f == nil {
+		f = &cpu.Fault{Kind: cpu.FaultHard, PC: st.PC, Msg: "halted with fault"}
+	}
+	e.scanLogQuiet()
+	e.recordBug(&BugReport{
+		Sig:     faultSig(f),
+		Title:   faultTitle(f),
+		Kind:    "panic",
+		Monitor: "exception",
+		Fault:   f,
+		Log:     e.logMon.Context(),
+		Prog:    p.String(),
+	})
+}
+
+// scanLogQuiet pulls UART context without pattern-triggered reports (the
+// exception path owns the report).
+func (e *Engine) scanLogQuiet() {
+	lines, err := e.client.DrainUART()
+	if err != nil {
+		return
+	}
+	e.logMon.Scan(lines)
+}
+
+func (e *Engine) recordBug(b *BugReport) {
+	if e.bugSigs[b.Sig] {
+		return
+	}
+	e.bugSigs[b.Sig] = true
+	b.OS = e.cfg.OS.Name
+	b.Board = e.cfg.Board.Name
+	b.FoundAt = e.clock.Now() - e.started
+	e.bugs = append(e.bugs, b)
+}
+
+// restore is Algorithm 1's StateRestoration: reboot; if the image no longer
+// validates, reflash every partition from the build outputs and reboot
+// again. Afterwards the probe re-arms breakpoints and resynchronises at
+// executor_main.
+func (e *Engine) restore(reason string) error {
+	e.stats.Restores++
+	e.stallRuns = 0
+	e.lastBudgetPC = 0
+
+	err := e.client.Reset()
+	if err != nil {
+		// Reboot failed: the image is damaged; reflash from the partition
+		// table (GetPartitionTable(KConfig) in the paper's pseudocode).
+		e.stats.Reflashes++
+		tab := e.brd.PartitionTable()
+		for _, part := range []struct {
+			name string
+			data []byte
+		}{{"bootloader", e.images.Boot}, {"kernel", e.images.Kernel}} {
+			pt := tab.Lookup(part.name)
+			if pt == nil {
+				return fmt.Errorf("core: restore: partition %q missing", part.name)
+			}
+			if err := e.client.FlashErase(pt.Offset, pt.Size); err != nil {
+				return fmt.Errorf("core: restore erase: %w", err)
+			}
+			if err := e.client.FlashWrite(pt.Offset, part.data); err != nil {
+				return fmt.Errorf("core: restore write: %w", err)
+			}
+		}
+		if err := e.client.Reset(); err != nil {
+			return fmt.Errorf("core: restore reboot after reflash: %w", err)
+		}
+	}
+	if err := e.armBreakpoints(); err != nil {
+		return err
+	}
+	// Flush boot chatter through the monitor without reporting.
+	e.scanLogQuiet()
+	if err := e.runToMain(); err != nil {
+		return err
+	}
+	_ = reason
+	return errRestart
+}
+
+// runToMain resumes a freshly booted target until the executor_main
+// breakpoint parks it, ready for the first test case.
+func (e *Engine) runToMain() error {
+	for i := 0; i < 32; i++ {
+		st, err := e.client.Continue(e.cfg.ContinueBudget)
+		if err != nil {
+			return fmt.Errorf("core: run to executor_main: %w", err)
+		}
+		if st.Kind == cpu.StopBreakpoint && st.PC == e.mainAddr {
+			return nil
+		}
+		if st.Kind == cpu.StopCovFull {
+			if _, err := e.drainCoverage(); err != nil {
+				return err
+			}
+		}
+	}
+	return fmt.Errorf("core: target never reached executor_main")
+}

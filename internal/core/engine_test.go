@@ -1,0 +1,128 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"github.com/eof-fuzz/eof/internal/boards"
+	"github.com/eof-fuzz/eof/internal/targets"
+)
+
+// runShort runs a small campaign and returns the report.
+func runShort(t *testing.T, osName string, budget time.Duration, tweak func(*Config)) *Report {
+	t.Helper()
+	info, err := targets.ByName(osName)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig(info, boards.STM32H745())
+	cfg.SampleEvery = time.Minute
+	if tweak != nil {
+		tweak(&cfg)
+	}
+	e, err := NewEngine(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	rep, err := e.Run(budget)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rep
+}
+
+func TestCampaignFreeRTOS(t *testing.T) {
+	rep := runShort(t, "freertos", 4*time.Minute, nil)
+	if rep.Stats.Execs < 20 {
+		t.Fatalf("too few execs: %+v", rep.Stats)
+	}
+	if rep.Edges < 100 {
+		t.Fatalf("too little coverage: %d edges", rep.Edges)
+	}
+	if len(rep.Series) < 2 {
+		t.Fatalf("series too short: %d", len(rep.Series))
+	}
+	t.Logf("freertos: %d execs, %d edges, %d bugs, stats=%+v",
+		rep.Stats.Execs, rep.Edges, len(rep.Bugs), rep.Stats)
+}
+
+func TestCampaignFindsBugsRTThread(t *testing.T) {
+	rep := runShort(t, "rtthread", 20*time.Minute, func(c *Config) {
+		c.Seed = 1234
+	})
+	if len(rep.Bugs) == 0 {
+		t.Fatalf("no bugs in 20 virtual minutes on rtthread; stats=%+v edges=%d", rep.Stats, rep.Edges)
+	}
+	for _, b := range rep.Bugs {
+		t.Logf("bug: [%s/%s] %s (sig %s, found at %v)", b.Monitor, b.Kind, b.Title, b.Sig, b.FoundAt)
+	}
+	if rep.Stats.Restores == 0 {
+		t.Fatal("bugs found but no restores recorded")
+	}
+}
+
+func TestCoverageGuidanceBeatsNone(t *testing.T) {
+	budget := 30 * time.Minute
+	guided := runShort(t, "zephyr", budget, func(c *Config) { c.Seed = 7 })
+	unguided := runShort(t, "zephyr", budget, func(c *Config) {
+		c.Seed = 7
+		c.FeedbackGuided = false
+	})
+	t.Logf("guided=%d edges (%d execs), unguided=%d edges (%d execs)",
+		guided.Edges, guided.Stats.Execs, unguided.Edges, unguided.Stats.Execs)
+	if guided.Edges <= unguided.Edges*90/100 {
+		t.Fatalf("feedback guidance did not help: %d vs %d", guided.Edges, unguided.Edges)
+	}
+}
+
+func TestCampaignDeterministic(t *testing.T) {
+	a := runShort(t, "pokos", 3*time.Minute, func(c *Config) { c.Seed = 99 })
+	b := runShort(t, "pokos", 3*time.Minute, func(c *Config) { c.Seed = 99 })
+	if a.Edges != b.Edges || a.Stats.Execs != b.Stats.Execs {
+		t.Fatalf("campaigns diverged: %d/%d edges, %d/%d execs",
+			a.Edges, b.Edges, a.Stats.Execs, b.Stats.Execs)
+	}
+}
+
+func TestWatchdogsRecoverFromBrick(t *testing.T) {
+	// FreeRTOS bug #13 corrupts flash; a campaign long enough to hit it must
+	// reflash and keep going.
+	rep := runShort(t, "freertos", 45*time.Minute, func(c *Config) { c.Seed = 5 })
+	if rep.Stats.Reflashes == 0 {
+		t.Skipf("load_partitions bug not hit in this window; stats=%+v", rep.Stats)
+	}
+	if rep.Stats.Execs < 50 {
+		t.Fatalf("campaign stalled after reflash: %+v", rep.Stats)
+	}
+	found := false
+	for _, b := range rep.Bugs {
+		if b.Fault != nil && len(b.Fault.Frames) > 0 && b.Fault.Frames[0].Func == "load_partitions" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("reflash happened but load_partitions bug not attributed; bugs=%v", titles(rep.Bugs))
+	}
+}
+
+func titles(bugs []*BugReport) []string {
+	out := make([]string, len(bugs))
+	for i, b := range bugs {
+		out[i] = b.Title
+	}
+	return out
+}
+
+func TestNoWatchdogsCountsManualInterventions(t *testing.T) {
+	rep := runShort(t, "rtthread", 15*time.Minute, func(c *Config) {
+		c.Seed = 21
+		c.Watchdogs = Watchdogs{} // everything off
+	})
+	// Without watchdogs, hangs burn the hard cap; the counter must reflect
+	// the interventions a human operator would have performed.
+	t.Logf("manual interventions: %d (stats %+v)", rep.Stats.ManualInterventions, rep.Stats)
+	if rep.Stats.Execs == 0 {
+		t.Fatal("no execs at all")
+	}
+}

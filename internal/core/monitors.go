@@ -1,0 +1,114 @@
+package core
+
+import (
+	"fmt"
+	"regexp"
+	"strings"
+	"time"
+
+	"github.com/eof-fuzz/eof/internal/cpu"
+)
+
+// BugReport is one deduplicated finding.
+type BugReport struct {
+	OS      string
+	Board   string
+	Sig     string // dedup signature
+	Title   string
+	Kind    string // "panic" or "assert"
+	Monitor string // "exception" or "log"
+	Fault   *cpu.Fault
+	Log     []string
+	Prog    string
+	FoundAt time.Duration
+}
+
+// crashPatterns are the log monitor's regular expressions (§4.5.2: "output
+// matching the defined patterns is considered indicative of a crash").
+var crashPatterns = []*regexp.Regexp{
+	regexp.MustCompile(`ASSERT failed: \(([^)]*)\)`),
+	regexp.MustCompile(`\*\*\* (KernelPanic|BusFault|UsageFault|MemManage|HardFault): (.*)`),
+	regexp.MustCompile(`(?i)kernel panic`),
+	regexp.MustCompile(`(?i)oops:`),
+}
+
+// LogMonitor scans the UART stream for crash signatures.
+type LogMonitor struct {
+	recent []string // rolling context window for reports
+}
+
+// logWindow bounds the retained context lines.
+const logWindow = 24
+
+// Scan feeds drained UART lines through the pattern set; it returns the
+// first match as (signature, matchedLine) or ok=false.
+func (m *LogMonitor) Scan(lines []string) (sig, line string, ok bool) {
+	for _, l := range lines {
+		m.recent = append(m.recent, l)
+		if len(m.recent) > logWindow {
+			m.recent = m.recent[len(m.recent)-logWindow:]
+		}
+		if ok {
+			continue // keep accumulating context, report the first hit
+		}
+		for _, re := range crashPatterns {
+			match := re.FindStringSubmatch(l)
+			if match == nil {
+				continue
+			}
+			switch len(match) {
+			case 2:
+				sig = "assert:" + match[1]
+			case 3:
+				sig = match[1] + ":" + truncateSig(match[2])
+			default:
+				sig = "log:" + truncateSig(l)
+			}
+			line = l
+			ok = true
+			break
+		}
+	}
+	return sig, line, ok
+}
+
+// Context returns the recent log window for crash reports.
+func (m *LogMonitor) Context() []string {
+	out := make([]string, len(m.recent))
+	copy(out, m.recent)
+	return out
+}
+
+// truncateSig normalises a message into a stable signature: the part before
+// numbers start to vary.
+func truncateSig(msg string) string {
+	msg = strings.TrimSpace(msg)
+	// Keep the function-ish prefix: "name: description" up to punctuation
+	// that tends to precede variable data.
+	if i := strings.IndexAny(msg, "(0123456789"); i > 0 {
+		msg = strings.TrimRight(msg[:i], " :=")
+	}
+	if len(msg) > 80 {
+		msg = msg[:80]
+	}
+	return msg
+}
+
+// faultSig builds the exception monitor's dedup signature from the fault
+// status block: class plus the innermost frame.
+func faultSig(f *cpu.Fault) string {
+	top := "?"
+	if len(f.Frames) > 0 {
+		top = f.Frames[0].Func
+	}
+	return fmt.Sprintf("%v@%s", f.Kind, top)
+}
+
+// faultTitle renders a human title for a fault report.
+func faultTitle(f *cpu.Fault) string {
+	top := "unknown"
+	if len(f.Frames) > 0 {
+		top = f.Frames[0].Func
+	}
+	return fmt.Sprintf("%v in %s: %s", f.Kind, top, truncateSig(f.Msg))
+}

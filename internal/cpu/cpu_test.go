@@ -1,0 +1,230 @@
+package cpu
+
+import (
+	"testing"
+
+	"github.com/eof-fuzz/eof/internal/vtime"
+)
+
+func newCore() (*vtime.Clock, *Core) {
+	clock := &vtime.Clock{}
+	return clock, New(clock, DefaultConfig())
+}
+
+// linearFirmware steps through addrs repeatedly until killed.
+func linearFirmware(c *Core, addrs []uint64) func() {
+	return func() {
+		for {
+			for _, a := range addrs {
+				c.Step(a)
+			}
+		}
+	}
+}
+
+func TestBreakpointStopAndResume(t *testing.T) {
+	_, c := newCore()
+	c.Start(linearFirmware(c, []uint64{0x100, 0x104, 0x108}))
+	if err := c.SetBreakpoint(0x108); err != nil {
+		t.Fatal(err)
+	}
+	st := c.Continue(1_000_000)
+	if st.Kind != StopBreakpoint || st.PC != 0x108 {
+		t.Fatalf("stop = %+v", st)
+	}
+	// Resume: should come back around to the same breakpoint.
+	st = c.Continue(1_000_000)
+	if st.Kind != StopBreakpoint || st.PC != 0x108 {
+		t.Fatalf("second stop = %+v", st)
+	}
+	c.ClearBreakpoint(0x108)
+	st = c.Continue(100)
+	if st.Kind != StopBudget {
+		t.Fatalf("after clear, stop = %+v", st)
+	}
+	c.Kill()
+}
+
+func TestBudgetStopStablePC(t *testing.T) {
+	_, c := newCore()
+	// Single-block spin: the stall signature.
+	c.Start(linearFirmware(c, []uint64{0x200}))
+	st1 := c.Continue(1000)
+	st2 := c.Continue(1000)
+	if st1.Kind != StopBudget || st2.Kind != StopBudget {
+		t.Fatalf("stops = %v, %v", st1.Kind, st2.Kind)
+	}
+	if st1.PC != st2.PC {
+		t.Fatalf("spin PC moved: %#x -> %#x", st1.PC, st2.PC)
+	}
+	c.Kill()
+}
+
+func TestFaultStop(t *testing.T) {
+	_, c := newCore()
+	c.Start(func() {
+		c.Step(0x300)
+		c.RaiseFault(&Fault{Kind: FaultBus, Msg: "boom"})
+		// After resume, wedge.
+		for {
+			c.Idle(0x304, 100)
+		}
+	})
+	st := c.Continue(1_000_000)
+	if st.Kind != StopFault || st.Fault == nil || st.Fault.Msg != "boom" {
+		t.Fatalf("stop = %+v", st)
+	}
+	if st.Fault.PC != 0x300 {
+		t.Fatalf("fault PC = %#x", st.Fault.PC)
+	}
+	st = c.Continue(500)
+	if st.Kind != StopBudget || st.PC != 0x304 {
+		t.Fatalf("post-fault stop = %+v", st)
+	}
+	c.Kill()
+}
+
+func TestKillWhileParked(t *testing.T) {
+	_, c := newCore()
+	c.Start(linearFirmware(c, []uint64{0x400}))
+	c.Continue(10)
+	c.Kill()
+	if !c.Dead() {
+		t.Fatal("core alive after kill")
+	}
+	st := c.Continue(10)
+	if st.Kind != StopExit {
+		t.Fatalf("continue after kill = %+v", st)
+	}
+	// Double kill is safe.
+	c.Kill()
+}
+
+func TestKillBeforeFirstContinue(t *testing.T) {
+	_, c := newCore()
+	c.Start(linearFirmware(c, []uint64{0x500}))
+	c.Kill()
+	if !c.Dead() {
+		t.Fatal("core alive")
+	}
+}
+
+func TestExit(t *testing.T) {
+	_, c := newCore()
+	c.Start(func() { c.Step(0x600) })
+	st := c.Continue(1000)
+	if st.Kind != StopExit {
+		t.Fatalf("stop = %+v", st)
+	}
+	if !c.Dead() {
+		t.Fatal("not dead after exit")
+	}
+}
+
+func TestClockAdvancesWithSteps(t *testing.T) {
+	clock, c := newCore()
+	c.Start(linearFirmware(c, []uint64{0x700, 0x704}))
+	c.Continue(1000)
+	// 1000 blocks, each charged per-step: 6 cycles at 160MHz truncates to 37ns.
+	perStep := vtime.CycleModel{HZ: 160_000_000}.Duration(6)
+	want := 1000 * perStep
+	if got := clock.Now(); got != want {
+		t.Fatalf("clock = %v, want %v", got, want)
+	}
+	if c.TotalBlocks() != 1000 {
+		t.Fatalf("blocks = %d", c.TotalBlocks())
+	}
+	c.Kill()
+}
+
+func TestInstrumentationCostAndCovHook(t *testing.T) {
+	clock, c := newCore()
+	c.SetInstrumented(true)
+	var hits int
+	full := false
+	c.SetCovHook(func(pc uint64) bool {
+		hits++
+		return full
+	}, 0xFFF0)
+	c.Start(linearFirmware(c, []uint64{0x800}))
+	c.Continue(100)
+	if hits != 100 {
+		t.Fatalf("cov hook hits = %d", hits)
+	}
+	want := 100 * vtime.CycleModel{HZ: 160_000_000}.Duration(8)
+	if got := clock.Now(); got != want {
+		t.Fatalf("instrumented clock = %v, want %v", got, want)
+	}
+	// Trigger a buffer-full trap.
+	full = true
+	st := c.Continue(100)
+	if st.Kind != StopCovFull || st.PC != 0xFFF0 {
+		t.Fatalf("cov-full stop = %+v", st)
+	}
+	full = false
+	st = c.Continue(100)
+	if st.Kind != StopBudget || st.PC != 0x800 {
+		t.Fatalf("resume after trap = %+v", st)
+	}
+	c.Kill()
+}
+
+func TestBreakpointLimit(t *testing.T) {
+	_, c := newCore()
+	max := c.MaxBreakpoints()
+	for i := 0; i < max; i++ {
+		if err := c.SetBreakpoint(uint64(0x1000 + i*4)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := c.SetBreakpoint(0x9000); err == nil {
+		t.Fatal("exceeded breakpoint limit silently")
+	}
+	// Re-arming an existing breakpoint is free.
+	if err := c.SetBreakpoint(0x1000); err != nil {
+		t.Fatal(err)
+	}
+	c.ClearBreakpoint(0x1000)
+	if err := c.SetBreakpoint(0x9000); err != nil {
+		t.Fatal(err)
+	}
+	if c.BreakpointCount() != max {
+		t.Fatalf("count = %d", c.BreakpointCount())
+	}
+	c.ClearAllBreakpoints()
+	if c.BreakpointCount() != 0 {
+		t.Fatal("clear-all left breakpoints")
+	}
+}
+
+func TestIdleRespectsBudget(t *testing.T) {
+	_, c := newCore()
+	c.Start(func() {
+		for {
+			c.Idle(0xA00, 1<<20)
+		}
+	})
+	st := c.Continue(100)
+	if st.Kind != StopBudget || st.PC != 0xA00 {
+		t.Fatalf("idle stop = %+v", st)
+	}
+	c.Kill()
+}
+
+func TestStopKindStrings(t *testing.T) {
+	kinds := []StopKind{StopBreakpoint, StopFault, StopBudget, StopCovFull, StopExit, StopKilled}
+	seen := map[string]bool{}
+	for _, k := range kinds {
+		s := k.String()
+		if s == "" || seen[s] {
+			t.Fatalf("bad or duplicate name %q", s)
+		}
+		seen[s] = true
+	}
+	faults := []FaultKind{FaultBus, FaultUsage, FaultMemManage, FaultHard, FaultPanic}
+	for _, k := range faults {
+		if k.String() == "" {
+			t.Fatal("empty fault name")
+		}
+	}
+}

@@ -1,0 +1,131 @@
+// Package emul is the QEMU-analogue execution environment that
+// emulation-bound baselines (Tardis, Gustave) run on: the same OS image on
+// the emulated board model, controlled through VM facilities rather than a
+// debug probe — direct shared-memory access, cheap VM resets that restore
+// the image from the host-side file (so a "bricked" flash can never strand
+// the fuzzer), and a TCG-speed execution cost. What the VM cannot give is
+// the hardware peripherals QEMU does not model; the OS code behind them is
+// unreachable here.
+package emul
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/eof-fuzz/eof/internal/board"
+	"github.com/eof-fuzz/eof/internal/cpu"
+	"github.com/eof-fuzz/eof/internal/osinfo"
+	"github.com/eof-fuzz/eof/internal/vtime"
+)
+
+// sharedMemOpCost is the hypervisor-mediated shared-memory access cost.
+const sharedMemOpCost = 300 * time.Microsecond
+
+// vmResetCost is a QEMU machine reset plus image reload.
+const vmResetCost = 900 * time.Millisecond
+
+// VM hosts one emulated target.
+type VM struct {
+	Info  *osinfo.Info
+	Spec  *board.Spec
+	Clock *vtime.Clock
+
+	brd    *board.Board
+	images *osinfo.Images
+	lay    board.Layout
+}
+
+// New builds the VM: images, board, first boot. spec must be an emulated
+// board model.
+func New(info *osinfo.Info, spec *board.Spec, instrumented bool) (*VM, error) {
+	if !spec.Emulated {
+		return nil, fmt.Errorf("emul: board %s is not an emulated model", spec.Name)
+	}
+	images, err := info.BuildImages(spec, instrumented)
+	if err != nil {
+		return nil, err
+	}
+	table, err := info.PartTable()
+	if err != nil {
+		return nil, err
+	}
+	clock := &vtime.Clock{}
+	brd, err := board.New(spec, table, info.Builder, clock)
+	if err != nil {
+		return nil, err
+	}
+	vm := &VM{Info: info, Spec: spec, Clock: clock, brd: brd, images: images, lay: board.LayoutFor(spec)}
+	if err := vm.Reset(); err != nil {
+		return nil, err
+	}
+	return vm, nil
+}
+
+// Layout exposes the shared RAM structure addresses.
+func (v *VM) Layout() board.Layout { return v.lay }
+
+// Board exposes the underlying board (tests only).
+func (v *VM) Board() *board.Board { return v.brd }
+
+// Reset reloads the pristine image and reboots — the VM-snapshot-style
+// restoration emulator fuzzers enjoy; it cannot fail the way hardware
+// reflash can.
+func (v *VM) Reset() error {
+	v.Clock.Advance(vmResetCost)
+	if err := v.brd.Provision("bootloader", v.images.Boot); err != nil {
+		return err
+	}
+	if err := v.brd.Provision("kernel", v.images.Kernel); err != nil {
+		return err
+	}
+	if err := v.brd.Boot(); err != nil {
+		return fmt.Errorf("emul: boot after reset: %w", err)
+	}
+	return nil
+}
+
+// Close kills the VM.
+func (v *VM) Close() {
+	if v.brd.State() == board.On {
+		v.brd.Core().Kill()
+	}
+}
+
+// ReadMem reads guest memory through the shared-memory mapping.
+func (v *VM) ReadMem(addr uint64, n int) ([]byte, error) {
+	v.Clock.Advance(sharedMemOpCost)
+	if v.brd.State() != board.On {
+		return nil, fmt.Errorf("emul: VM not running")
+	}
+	return v.brd.Mem().Read(addr, n)
+}
+
+// WriteMem writes guest memory through the shared-memory mapping.
+func (v *VM) WriteMem(addr uint64, data []byte) error {
+	v.Clock.Advance(sharedMemOpCost)
+	if v.brd.State() != board.On {
+		return fmt.Errorf("emul: VM not running")
+	}
+	return v.brd.Mem().Write(addr, data)
+}
+
+// Continue runs the guest for up to budget blocks and returns why it
+// stopped. Emulator fuzzers have no breakpoints; they poll shared memory
+// between continues.
+func (v *VM) Continue(budget int64) (cpu.Stop, error) {
+	if v.brd.State() != board.On {
+		return cpu.Stop{}, fmt.Errorf("emul: VM not running")
+	}
+	return v.brd.Core().Continue(budget), nil
+}
+
+// DrainUART returns the guest's console lines since the previous drain (the
+// emulator's serial chardev).
+func (v *VM) DrainUART() []string {
+	lines := v.brd.UART().Drain()
+	out := make([]string, len(lines))
+	for i, l := range lines {
+		out[i] = l.Text
+	}
+	return out
+}

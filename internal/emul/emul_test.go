@@ -1,0 +1,68 @@
+package emul
+
+import (
+	"testing"
+
+	"github.com/eof-fuzz/eof/internal/boards"
+	"github.com/eof-fuzz/eof/internal/cpu"
+	"github.com/eof-fuzz/eof/internal/targets"
+)
+
+func TestVMLifecycle(t *testing.T) {
+	info, err := targets.ByName("freertos")
+	if err != nil {
+		t.Fatal(err)
+	}
+	vm, err := New(info, boards.QEMUVirt(), true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer vm.Close()
+
+	// Shared-memory access works while the guest runs.
+	if err := vm.WriteMem(vm.Layout().MailboxIn, []byte{0, 0, 0, 0}); err != nil {
+		t.Fatal(err)
+	}
+	st, err := vm.Continue(10_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Kind != cpu.StopBudget {
+		t.Fatalf("stop: %+v", st)
+	}
+	// VM reset always restores a bootable image, even after corruption.
+	vm.Board().Flash().Corrupt(0x20000, 64, 0)
+	if err := vm.Reset(); err != nil {
+		t.Fatalf("reset after corruption: %v", err)
+	}
+	if _, err := vm.Continue(10_000); err != nil {
+		t.Fatal(err)
+	}
+	lines := vm.DrainUART()
+	if len(lines) == 0 {
+		t.Fatal("no boot banner after reset")
+	}
+}
+
+func TestVMRejectsHardwareSpec(t *testing.T) {
+	info, _ := targets.ByName("freertos")
+	if _, err := New(info, boards.STM32H745(), true); err == nil {
+		t.Fatal("hardware board accepted as a VM")
+	}
+}
+
+func TestVMChargesSharedMemoryCost(t *testing.T) {
+	info, _ := targets.ByName("pokos")
+	vm, err := New(info, boards.QEMUVirt(), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer vm.Close()
+	before := vm.Clock.Now()
+	if _, err := vm.ReadMem(vm.Layout().MailboxOut, 16); err != nil {
+		t.Fatal(err)
+	}
+	if vm.Clock.Now() == before {
+		t.Fatal("shared-memory read consumed no virtual time")
+	}
+}

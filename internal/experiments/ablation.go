@@ -1,0 +1,142 @@
+package experiments
+
+import (
+	"fmt"
+
+	"github.com/eof-fuzz/eof/internal/core"
+	"github.com/eof-fuzz/eof/internal/targets"
+)
+
+// AblationWatchdogs (E7) disables the liveness mechanisms one at a time on
+// a crash-heavy target and reports execution throughput and the manual
+// interventions a human operator would have had to perform.
+func AblationWatchdogs(opts Options) (*Table, error) {
+	configs := []struct {
+		name  string
+		tweak func(*core.Config)
+	}{
+		{"full watchdogs", nil},
+		{"no PC-stall", func(c *core.Config) { c.Watchdogs.PCStall = false }},
+		{"no connection-timeout", func(c *core.Config) { c.Watchdogs.ConnectionTimeout = false }},
+		{"no exec-timeout", func(c *core.Config) { c.Watchdogs.ExecTimeout = 0 }},
+		{"none", func(c *core.Config) { c.Watchdogs = core.Watchdogs{} }},
+	}
+	t := &Table{
+		Title:   fmt.Sprintf("E7: Watchdog ablation on RT-Thread (%gh x %d runs)", opts.Hours, opts.Runs),
+		Columns: []string{"Configuration", "Execs", "Edges", "Restores", "Manual interventions", "Bugs"},
+	}
+	reports := make([]*core.Report, len(configs)*opts.Runs)
+	err := runParallel(len(reports), opts.parallel(), func(i int) error {
+		c := configs[i/opts.Runs]
+		info, err := targets.ByName("rtthread")
+		if err != nil {
+			return err
+		}
+		cfg := core.DefaultConfig(info, evalBoards()["rtthread"])
+		cfg.Seed = opts.SeedBase + int64(i%opts.Runs)
+		if c.tweak != nil {
+			c.tweak(&cfg)
+		}
+		e, err := core.NewEngine(cfg)
+		if err != nil {
+			return err
+		}
+		defer e.Close()
+		rep, err := e.Run(opts.budget())
+		if err != nil {
+			return err
+		}
+		reports[i] = rep
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for ci, c := range configs {
+		var execs, edges, restores, manual, bugs []float64
+		for r := 0; r < opts.Runs; r++ {
+			rep := reports[ci*opts.Runs+r]
+			execs = append(execs, float64(rep.Stats.Execs))
+			edges = append(edges, float64(rep.Edges))
+			restores = append(restores, float64(rep.Stats.Restores))
+			manual = append(manual, float64(rep.Stats.ManualInterventions))
+			bugs = append(bugs, float64(len(rep.Bugs)))
+		}
+		t.Rows = append(t.Rows, []string{
+			c.name,
+			fmt.Sprintf("%.1f", mean(execs)),
+			fmt.Sprintf("%.1f", mean(edges)),
+			fmt.Sprintf("%.1f", mean(restores)),
+			fmt.Sprintf("%.1f", mean(manual)),
+			fmt.Sprintf("%.1f", mean(bugs)),
+		})
+	}
+	t.Notes = append(t.Notes, "manual interventions: livelocks broken only by the hard continue cap")
+	return t, nil
+}
+
+// AblationGeneration (E8) contrasts API-aware generation against AFL-style
+// random arguments, and feedback guidance against none, on the same target.
+func AblationGeneration(opts Options) (*Table, error) {
+	configs := []struct {
+		name  string
+		tweak func(*core.Config)
+	}{
+		{"API-aware + feedback (EOF)", nil},
+		{"API-aware, no feedback (EOF-nf)", func(c *core.Config) { c.FeedbackGuided = false }},
+		{"random args + feedback", func(c *core.Config) { c.APIAware = false }},
+		{"random args, no feedback (AFL-style)", func(c *core.Config) {
+			c.APIAware = false
+			c.FeedbackGuided = false
+		}},
+	}
+	t := &Table{
+		Title:   fmt.Sprintf("E8: Generation-guidance ablation on FreeRTOS (%gh x %d runs)", opts.Hours, opts.Runs),
+		Columns: []string{"Configuration", "Execs", "Edges", "Bugs", "Restores"},
+	}
+	reports := make([]*core.Report, len(configs)*opts.Runs)
+	err := runParallel(len(reports), opts.parallel(), func(i int) error {
+		c := configs[i/opts.Runs]
+		info, err := targets.ByName("freertos")
+		if err != nil {
+			return err
+		}
+		cfg := core.DefaultConfig(info, evalBoards()["freertos"])
+		cfg.Seed = opts.SeedBase + int64(i%opts.Runs)
+		if c.tweak != nil {
+			c.tweak(&cfg)
+		}
+		e, err := core.NewEngine(cfg)
+		if err != nil {
+			return err
+		}
+		defer e.Close()
+		rep, err := e.Run(opts.budget())
+		if err != nil {
+			return err
+		}
+		reports[i] = rep
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for ci, c := range configs {
+		var execs, edges, bugs, restores []float64
+		for r := 0; r < opts.Runs; r++ {
+			rep := reports[ci*opts.Runs+r]
+			execs = append(execs, float64(rep.Stats.Execs))
+			edges = append(edges, float64(rep.Edges))
+			bugs = append(bugs, float64(len(rep.Bugs)))
+			restores = append(restores, float64(rep.Stats.Restores))
+		}
+		t.Rows = append(t.Rows, []string{
+			c.name,
+			fmt.Sprintf("%.1f", mean(execs)),
+			fmt.Sprintf("%.1f", mean(edges)),
+			fmt.Sprintf("%.1f", mean(bugs)),
+			fmt.Sprintf("%.1f", mean(restores)),
+		})
+	}
+	return t, nil
+}

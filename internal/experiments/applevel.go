@@ -1,0 +1,175 @@
+package experiments
+
+import (
+	"fmt"
+
+	"github.com/eof-fuzz/eof/internal/baselines/gdbfuzz"
+	"github.com/eof-fuzz/eof/internal/baselines/shift"
+	"github.com/eof-fuzz/eof/internal/boards"
+	"github.com/eof-fuzz/eof/internal/core"
+	"github.com/eof-fuzz/eof/internal/targets"
+)
+
+// appModule describes one application-level target of Table 4.
+type appModule struct {
+	Name       string
+	EntryAPI   string
+	InitAPI    string
+	InitArgs   []uint64
+	CallFilter []string
+	CovModules []string
+	Seeds      [][]byte
+}
+
+// appModules returns the two Table-4 targets, both FreeRTOS components.
+func appModules() []appModule {
+	return []appModule{
+		{
+			Name:       "HTTP Server",
+			EntryAPI:   "http_server_handle",
+			InitAPI:    "http_server_init",
+			InitArgs:   []uint64{8080},
+			CallFilter: []string{"http_server_init", "http_server_handle"},
+			CovModules: []string{"app/http"},
+			Seeds:      [][]byte{[]byte("GET / HTTP/1.1\r\n\r\n")},
+		},
+		{
+			Name:       "JSON",
+			EntryAPI:   "json_parse",
+			InitAPI:    "",
+			CallFilter: []string{"json_parse", "json_encode", "json_free"},
+			CovModules: []string{"lib/json"},
+			Seeds:      [][]byte{[]byte(`{"a":1}`)},
+		},
+	}
+}
+
+// AppLevelResult carries Table 4 and Figure 8.
+type AppLevelResult struct {
+	Table   *Table
+	Figures []*Figure
+	// Edges[module][tool] holds per-run final edge counts.
+	Edges map[string]map[string][]float64
+}
+
+type appJob struct {
+	mod  appModule
+	tool string
+	run  int
+}
+
+// Table4 runs the application-level comparison: EOF (restricted to the
+// module's APIs, instrumentation confined to the module), GDBFuzz and SHiFT
+// on the same hardware board.
+func Table4(opts Options) (*AppLevelResult, error) {
+	var jobs []appJob
+	for _, mod := range appModules() {
+		for _, tool := range []string{"EOF", "GDBFuzz", "SHIFT"} {
+			for r := 0; r < opts.Runs; r++ {
+				jobs = append(jobs, appJob{mod, tool, r})
+			}
+		}
+	}
+	reports := make([]*core.Report, len(jobs))
+	err := runParallel(len(jobs), opts.parallel(), func(i int) error {
+		rep, err := runAppJob(jobs[i], opts)
+		if err != nil {
+			return fmt.Errorf("%s/%s run %d: %w", jobs[i].mod.Name, jobs[i].tool, jobs[i].run, err)
+		}
+		reports[i] = rep
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	res := &AppLevelResult{Edges: make(map[string]map[string][]float64)}
+	series := make(map[string]map[string][][]Point)
+	for i, job := range jobs {
+		rep := reports[i]
+		if res.Edges[job.mod.Name] == nil {
+			res.Edges[job.mod.Name] = make(map[string][]float64)
+			series[job.mod.Name] = make(map[string][][]Point)
+		}
+		res.Edges[job.mod.Name][job.tool] = append(res.Edges[job.mod.Name][job.tool], float64(rep.Edges))
+		var pts []Point
+		for _, s := range rep.Series {
+			pts = append(pts, Point{At: s.At, Mean: float64(s.Edges)})
+		}
+		series[job.mod.Name][job.tool] = append(series[job.mod.Name][job.tool], pts)
+	}
+
+	t := &Table{
+		Title:   fmt.Sprintf("Table 4: Application-level coverage on hardware, avg branches over %d runs of %gh", opts.Runs, opts.Hours),
+		Columns: []string{"Fuzzer", "HTTP Server", "JSON", "Average"},
+	}
+	var httpEOF, jsonEOF float64
+	for _, tool := range []string{"EOF", "GDBFuzz", "SHIFT"} {
+		http := mean(res.Edges["HTTP Server"][tool])
+		json := mean(res.Edges["JSON"][tool])
+		avg := (http + json) / 2
+		row := []string{tool, fmt.Sprintf("%.1f", http), fmt.Sprintf("%.1f", json), fmt.Sprintf("%.1f", avg)}
+		if tool == "EOF" {
+			httpEOF, jsonEOF = http, json
+		} else {
+			row[1] += fmt.Sprintf(" (%s)", improvement(httpEOF, http))
+			row[2] += fmt.Sprintf(" (%s)", improvement(jsonEOF, json))
+			row[3] += fmt.Sprintf(" (%s)", improvement((httpEOF+jsonEOF)/2, avg))
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	t.Notes = append(t.Notes,
+		"instrumentation strictly confined to the module under test for every tool",
+		"parentheses: EOF's improvement over the row's tool")
+	res.Table = t
+
+	for _, mod := range appModules() {
+		fig := &Figure{Title: fmt.Sprintf("Figure 8: coverage growth on %s", mod.Name)}
+		for _, tool := range []string{"EOF", "GDBFuzz", "SHIFT"} {
+			if runs := series[mod.Name][tool]; len(runs) > 0 {
+				fig.Series = append(fig.Series, mergeSeries(tool, runs))
+			}
+		}
+		res.Figures = append(res.Figures, fig)
+	}
+	return res, nil
+}
+
+func runAppJob(job appJob, opts Options) (*core.Report, error) {
+	info, err := targets.ByName("freertos")
+	if err != nil {
+		return nil, err
+	}
+	spec := boards.STM32H745()
+	seed := opts.SeedBase + int64(job.run)*977 + int64(len(job.tool))
+	switch job.tool {
+	case "EOF":
+		cfg := core.DefaultConfig(info, spec)
+		cfg.Seed = seed
+		cfg.CallFilter = job.mod.CallFilter
+		cfg.CovModules = job.mod.CovModules
+		cfg.MaxCalls = 6
+		e, err := core.NewEngine(cfg)
+		if err != nil {
+			return nil, err
+		}
+		defer e.Close()
+		return e.Run(opts.budget())
+	case "GDBFuzz":
+		cfg := gdbfuzz.Config{
+			OS: info, Board: spec, Seed: seed,
+			Entry: job.mod.EntryAPI, Init: job.mod.InitAPI, InitArgs: job.mod.InitArgs,
+			Modules: job.mod.CovModules, Seeds: job.mod.Seeds,
+		}
+		return gdbfuzz.Run(cfg, opts.budget())
+	case "SHIFT":
+		cfg := shift.Config{
+			OS: info, Board: spec, Seed: seed,
+			Entry: job.mod.EntryAPI, Init: job.mod.InitAPI, InitArgs: job.mod.InitArgs,
+			Modules: job.mod.CovModules, Seeds: job.mod.Seeds,
+		}
+		return shift.Run(cfg, opts.budget())
+	default:
+		return nil, fmt.Errorf("unknown tool %q", job.tool)
+	}
+}

@@ -1,0 +1,191 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/eof-fuzz/eof/internal/board"
+	"github.com/eof-fuzz/eof/internal/boards"
+	"github.com/eof-fuzz/eof/internal/bugdb"
+	"github.com/eof-fuzz/eof/internal/core"
+	"github.com/eof-fuzz/eof/internal/targets"
+)
+
+// evalBoards maps each evaluated OS to the board the campaign runs on (the
+// RT-Thread networking bugs need the radio-equipped board).
+func evalBoards() map[string]*board.Spec {
+	return map[string]*board.Spec{
+		"freertos": boards.STM32H745(),
+		"rtthread": boards.ESP32C3(),
+		"nuttx":    boards.STM32H745(),
+		"zephyr":   boards.STM32H745(),
+		"pokos":    boards.STM32H745(),
+	}
+}
+
+// Table2OSes are the OSes of the bug-detection experiment.
+var Table2OSes = []string{"freertos", "rtthread", "nuttx", "zephyr"}
+
+// BugsResult carries the Table-2 reproduction.
+type BugsResult struct {
+	Table *Table
+	// Found maps bug ID → number of runs that found it.
+	Found map[int]int
+	// Extra lists findings outside the registry (incidental crashes, the
+	// extension driver defect).
+	Extra []string
+	// TotalFound is the number of distinct registered bugs detected.
+	TotalFound int
+}
+
+// Table2 runs EOF campaigns on the four evaluated OSes and scores the
+// findings against the planted-bug registry.
+func Table2(opts Options) (*BugsResult, error) {
+	res := &BugsResult{Found: make(map[int]int)}
+	monitors := make(map[int]map[string]bool)
+	extras := map[string]bool{}
+
+	type job struct {
+		os  string
+		run int
+	}
+	var jobs []job
+	for _, osName := range Table2OSes {
+		for r := 0; r < opts.Runs; r++ {
+			jobs = append(jobs, job{osName, r})
+		}
+	}
+	reports := make([]*core.Report, len(jobs))
+	err := runParallel(len(jobs), opts.parallel(), func(i int) error {
+		info, err := targets.ByName(jobs[i].os)
+		if err != nil {
+			return err
+		}
+		cfg := core.DefaultConfig(info, evalBoards()[jobs[i].os])
+		cfg.Seed = opts.SeedBase + int64(i)
+		e, err := core.NewEngine(cfg)
+		if err != nil {
+			return err
+		}
+		defer e.Close()
+		rep, err := e.Run(opts.budget())
+		if err != nil {
+			return err
+		}
+		reports[i] = rep
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	for _, rep := range reports {
+		seen := map[int]bool{}
+		for _, b := range rep.Bugs {
+			if bug, ok := bugdb.Match(b); ok {
+				if !seen[bug.ID] {
+					seen[bug.ID] = true
+					res.Found[bug.ID]++
+				}
+				if monitors[bug.ID] == nil {
+					monitors[bug.ID] = map[string]bool{}
+				}
+				monitors[bug.ID][b.Monitor] = true
+			} else {
+				extras[fmt.Sprintf("%s: %s", rep.OS, b.Title)] = true
+			}
+		}
+	}
+
+	t := &Table{
+		Title:   fmt.Sprintf("Table 2: Previously unknown bugs detected by EOF (%gh x %d runs)", opts.Hours, opts.Runs),
+		Columns: []string{"#", "Target OS", "Scope", "Bug Type", "Operations", "Confirmed", "Found(runs)", "Monitor"},
+	}
+	for _, bug := range bugdb.All() {
+		conf := ""
+		if bug.Confirmed {
+			conf = "yes"
+		}
+		found := "-"
+		mon := ""
+		if n := res.Found[bug.ID]; n > 0 {
+			found = fmt.Sprintf("%d/%d", n, opts.Runs)
+			res.TotalFound++
+			var ms []string
+			for m := range monitors[bug.ID] {
+				ms = append(ms, m)
+			}
+			sort.Strings(ms)
+			for i, m := range ms {
+				if i > 0 {
+					mon += "+"
+				}
+				mon += m
+			}
+		}
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("%d", bug.ID), bug.OS, bug.Scope, bug.Kind, bug.Op, conf, found, mon,
+		})
+	}
+	for e := range extras {
+		res.Extra = append(res.Extra, e)
+	}
+	sort.Strings(res.Extra)
+	for _, e := range res.Extra {
+		t.Notes = append(t.Notes, "additional finding: "+e)
+	}
+	t.Notes = append(t.Notes, fmt.Sprintf("distinct registered bugs found: %d/19", res.TotalFound))
+	res.Table = t
+	return res, nil
+}
+
+// BugsForVariant runs campaigns with a custom engine configuration and
+// returns the distinct registered bug IDs found (used by the EOF-nf and
+// Tardis bug-detection comparisons in §5.4.1).
+func BugsForVariant(opts Options, tweak func(*core.Config), oses []string) (map[int]bool, error) {
+	found := make(map[int]bool)
+	type job struct {
+		os  string
+		run int
+	}
+	var jobs []job
+	for _, osName := range oses {
+		for r := 0; r < opts.Runs; r++ {
+			jobs = append(jobs, job{osName, r})
+		}
+	}
+	reports := make([]*core.Report, len(jobs))
+	err := runParallel(len(jobs), opts.parallel(), func(i int) error {
+		info, err := targets.ByName(jobs[i].os)
+		if err != nil {
+			return err
+		}
+		cfg := core.DefaultConfig(info, evalBoards()[jobs[i].os])
+		cfg.Seed = opts.SeedBase + int64(i) + 7777
+		if tweak != nil {
+			tweak(&cfg)
+		}
+		e, err := core.NewEngine(cfg)
+		if err != nil {
+			return err
+		}
+		defer e.Close()
+		rep, err := e.Run(opts.budget())
+		if err != nil {
+			return err
+		}
+		reports[i] = rep
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, rep := range reports {
+		for _, b := range rep.Bugs {
+			if bug, ok := bugdb.Match(b); ok {
+				found[bug.ID] = true
+			}
+		}
+	}
+	return found, nil
+}

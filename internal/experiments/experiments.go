@@ -1,0 +1,294 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation section against the simulated hardware substrate. Each
+// experiment returns a structured result with text-table and CSV renderers;
+// cmd/experiments and the repository benchmarks drive them.
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Options scales an experiment run. The paper uses 24-hour campaigns
+// repeated 5 times; tests and benchmarks use smaller settings, which
+// preserves the comparisons' shape at lower confidence.
+type Options struct {
+	// Hours is the campaign length in virtual hours.
+	Hours float64
+	// Runs is the number of repetitions per configuration.
+	Runs int
+	// SeedBase offsets the per-run seeds.
+	SeedBase int64
+	// Parallel bounds concurrent campaigns on the host (each campaign has
+	// its own board and clock). <=0 means GOMAXPROCS-ish default of 4.
+	Parallel int
+}
+
+// PaperOptions reproduces the evaluation's scale (long host runtime).
+func PaperOptions() Options {
+	return Options{Hours: 24, Runs: 5, SeedBase: 1000, Parallel: 4}
+}
+
+// QuickOptions is a fast profile for tests and demos.
+func QuickOptions() Options {
+	return Options{Hours: 0.25, Runs: 1, SeedBase: 1, Parallel: 2}
+}
+
+func (o Options) budget() time.Duration {
+	return time.Duration(o.Hours * float64(time.Hour))
+}
+
+func (o Options) parallel() int {
+	if o.Parallel <= 0 {
+		return 4
+	}
+	return o.Parallel
+}
+
+// Table is a rendered result table.
+type Table struct {
+	Title   string
+	Columns []string
+	Rows    [][]string
+	// Notes are rendered under the table.
+	Notes []string
+}
+
+// Render prints the table with aligned columns.
+func (t *Table) Render() string {
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", t.Title)
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	line(t.Columns)
+	total := 0
+	for _, w := range widths {
+		total += w + 2
+	}
+	b.WriteString(strings.Repeat("-", total))
+	b.WriteByte('\n')
+	for _, row := range t.Rows {
+		line(row)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(&b, "note: %s\n", n)
+	}
+	return b.String()
+}
+
+// CSV renders the table as comma-separated values (quotes are not needed
+// for the cell vocabulary these tables use).
+func (t *Table) CSV() string {
+	var b strings.Builder
+	b.WriteString(strings.Join(t.Columns, ","))
+	b.WriteByte('\n')
+	for _, row := range t.Rows {
+		b.WriteString(strings.Join(row, ","))
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// Series is one coverage-over-time curve of a figure.
+type Series struct {
+	Label  string
+	Points []Point
+}
+
+// Point is one (time, coverage) sample, with min/max across runs.
+type Point struct {
+	At   time.Duration
+	Mean float64
+	Min  float64
+	Max  float64
+}
+
+// Figure is a rendered coverage-growth figure.
+type Figure struct {
+	Title  string
+	Series []Series
+}
+
+// CSV renders the figure's series in long form.
+func (f *Figure) CSV() string {
+	var b strings.Builder
+	b.WriteString("series,hours,mean,min,max\n")
+	for _, s := range f.Series {
+		for _, p := range s.Points {
+			fmt.Fprintf(&b, "%s,%.3f,%.1f,%.1f,%.1f\n", s.Label, p.At.Hours(), p.Mean, p.Min, p.Max)
+		}
+	}
+	return b.String()
+}
+
+// Render draws an ASCII chart of the figure (mean curves).
+func (f *Figure) Render() string {
+	const width, height = 72, 16
+	maxY := 1.0
+	var maxX time.Duration
+	for _, s := range f.Series {
+		for _, p := range s.Points {
+			if p.Max > maxY {
+				maxY = p.Max
+			}
+			if p.At > maxX {
+				maxX = p.At
+			}
+		}
+	}
+	if maxX == 0 {
+		maxX = time.Hour
+	}
+	grid := make([][]byte, height)
+	for i := range grid {
+		grid[i] = []byte(strings.Repeat(" ", width))
+	}
+	marks := "*+ox#@"
+	for si, s := range f.Series {
+		m := marks[si%len(marks)]
+		for _, p := range s.Points {
+			x := int(float64(p.At) / float64(maxX) * float64(width-1))
+			y := height - 1 - int(p.Mean/maxY*float64(height-1))
+			if x >= 0 && x < width && y >= 0 && y < height {
+				grid[y][x] = m
+			}
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s (y: 0..%.0f branches, x: 0..%.1fh)\n", f.Title, maxY, maxX.Hours())
+	for _, row := range grid {
+		b.WriteString("|")
+		b.Write(row)
+		b.WriteByte('\n')
+	}
+	b.WriteString("+" + strings.Repeat("-", width) + "\n")
+	for si, s := range f.Series {
+		fmt.Fprintf(&b, "  %c %s\n", marks[si%len(marks)], s.Label)
+	}
+	return b.String()
+}
+
+// mergeSeries aggregates multiple runs' coverage series into mean/min/max
+// points on a common time grid.
+func mergeSeries(label string, runs [][]Point) Series {
+	if len(runs) == 0 {
+		return Series{Label: label}
+	}
+	// Collect the union of timestamps.
+	stamps := map[time.Duration]bool{}
+	for _, r := range runs {
+		for _, p := range r {
+			stamps[p.At] = true
+		}
+	}
+	ordered := make([]time.Duration, 0, len(stamps))
+	for t := range stamps {
+		ordered = append(ordered, t)
+	}
+	sort.Slice(ordered, func(i, j int) bool { return ordered[i] < ordered[j] })
+	out := Series{Label: label}
+	for _, t := range ordered {
+		var sum, minV, maxV float64
+		minV = -1
+		for _, r := range runs {
+			v := valueAt(r, t)
+			sum += v
+			if minV < 0 || v < minV {
+				minV = v
+			}
+			if v > maxV {
+				maxV = v
+			}
+		}
+		out.Points = append(out.Points, Point{
+			At:   t,
+			Mean: sum / float64(len(runs)),
+			Min:  minV,
+			Max:  maxV,
+		})
+	}
+	return out
+}
+
+// valueAt samples a step curve at time t (last value at or before t).
+func valueAt(points []Point, t time.Duration) float64 {
+	v := 0.0
+	for _, p := range points {
+		if p.At > t {
+			break
+		}
+		v = p.Mean
+	}
+	return v
+}
+
+// mean computes the average of xs.
+func mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// improvement renders "+X%" of base over other.
+func improvement(base, other float64) string {
+	if other <= 0 {
+		return "-"
+	}
+	return fmt.Sprintf("%+.2f%%", (base-other)/other*100)
+}
+
+// runParallel executes jobs with bounded host parallelism, preserving order.
+func runParallel(n, parallel int, job func(i int) error) error {
+	if parallel <= 1 {
+		for i := 0; i < n; i++ {
+			if err := job(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	sem := make(chan struct{}, parallel)
+	errs := make([]error, n)
+	done := make(chan int, n)
+	for i := 0; i < n; i++ {
+		sem <- struct{}{}
+		go func(i int) {
+			defer func() { <-sem; done <- i }()
+			errs[i] = job(i)
+		}(i)
+	}
+	for i := 0; i < n; i++ {
+		<-done
+	}
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,116 @@
+package experiments
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+)
+
+func quick() Options {
+	return Options{Hours: 0.2, Runs: 1, SeedBase: 11, Parallel: 4}
+}
+
+func TestTableRender(t *testing.T) {
+	tab := &Table{
+		Title:   "demo",
+		Columns: []string{"a", "bb"},
+		Rows:    [][]string{{"x", "y"}, {"longer", "z"}},
+		Notes:   []string{"note text"},
+	}
+	out := tab.Render()
+	if !strings.Contains(out, "demo") || !strings.Contains(out, "longer") || !strings.Contains(out, "note:") {
+		t.Fatalf("render:\n%s", out)
+	}
+	csv := tab.CSV()
+	if !strings.HasPrefix(csv, "a,bb\n") {
+		t.Fatalf("csv:\n%s", csv)
+	}
+}
+
+func TestMergeSeries(t *testing.T) {
+	runs := [][]Point{
+		{{At: time.Minute, Mean: 10}, {At: 2 * time.Minute, Mean: 20}},
+		{{At: time.Minute, Mean: 30}, {At: 3 * time.Minute, Mean: 40}},
+	}
+	s := mergeSeries("x", runs)
+	if len(s.Points) != 3 {
+		t.Fatalf("points: %+v", s.Points)
+	}
+	if s.Points[0].Mean != 20 || s.Points[0].Min != 10 || s.Points[0].Max != 30 {
+		t.Fatalf("first point: %+v", s.Points[0])
+	}
+	// At 2min, run 2 still reads 30 (step semantics).
+	if s.Points[1].Mean != 25 {
+		t.Fatalf("second point: %+v", s.Points[1])
+	}
+}
+
+func TestFigureRenderAndCSV(t *testing.T) {
+	f := &Figure{
+		Title: "fig",
+		Series: []Series{{
+			Label:  "EOF",
+			Points: []Point{{At: time.Hour, Mean: 100, Min: 90, Max: 110}},
+		}},
+	}
+	if !strings.Contains(f.Render(), "EOF") {
+		t.Fatal("render missing series label")
+	}
+	if !strings.Contains(f.CSV(), "EOF,1.000,100.0,90.0,110.0") {
+		t.Fatalf("csv:\n%s", f.CSV())
+	}
+}
+
+func TestMemoryOverheadShape(t *testing.T) {
+	tab, err := MemoryOverhead()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 4 {
+		t.Fatalf("rows: %d", len(tab.Rows))
+	}
+	// Every OS must land in the paper's plausible band (2–15%).
+	for _, row := range tab.Rows {
+		v, err := strconv.ParseFloat(strings.TrimSuffix(row[3], "%"), 64)
+		if err != nil {
+			t.Fatalf("bad pct %q", row[3])
+		}
+		if v < 2 || v > 15 {
+			t.Errorf("%s instrumentation overhead %.2f%% outside band", row[0], v)
+		}
+	}
+	t.Logf("\n%s", tab.Render())
+}
+
+func TestExecOverheadShape(t *testing.T) {
+	tab, err := ExecOverhead(quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 4 {
+		t.Fatalf("rows: %d", len(tab.Rows))
+	}
+	// Instrumentation must slow execution down, not speed it up.
+	for _, row := range tab.Rows {
+		v, err := strconv.ParseFloat(strings.TrimSuffix(row[3], "%"), 64)
+		if err != nil {
+			t.Fatalf("bad pct %q", row[3])
+		}
+		if v < 0 {
+			t.Errorf("%s: negative execution overhead %q", row[0], row[3])
+		}
+	}
+	t.Logf("\n%s", tab.Render())
+}
+
+func TestTable2Quick(t *testing.T) {
+	res, err := Table2(Options{Hours: 0.3, Runs: 1, SeedBase: 33, Parallel: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TotalFound == 0 {
+		t.Fatal("no registered bugs found even in the quick profile")
+	}
+	t.Logf("found %d/19 registered bugs in the quick profile\n%s", res.TotalFound, res.Table.Render())
+}

@@ -1,0 +1,130 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/eof-fuzz/eof/internal/core"
+	"github.com/eof-fuzz/eof/internal/targets"
+)
+
+// OverheadOSes are the targets of the §5.5 overhead measurements.
+var OverheadOSes = []string{"nuttx", "rtthread", "zephyr", "freertos"}
+
+// MemoryOverhead reproduces §5.5.1: kernel image sizes with and without
+// instrumentation.
+func MemoryOverhead() (*Table, error) {
+	t := &Table{
+		Title:   "§5.5.1: Memory overhead of instrumentation (kernel image size)",
+		Columns: []string{"Target OS", "Plain (MB)", "Instrumented (MB)", "Overhead"},
+	}
+	var sum float64
+	for _, osName := range OverheadOSes {
+		info, err := targets.ByName(osName)
+		if err != nil {
+			return nil, err
+		}
+		spec := evalBoards()[osName]
+		plain, err := info.BuildImages(spec, false)
+		if err != nil {
+			return nil, err
+		}
+		instr, err := info.BuildImages(spec, true)
+		if err != nil {
+			return nil, err
+		}
+		p := float64(len(plain.Kernel))
+		q := float64(len(instr.Kernel))
+		ovh := (q - p) / p * 100
+		sum += ovh
+		t.Rows = append(t.Rows, []string{
+			displayName(osName),
+			fmt.Sprintf("%.3f", p/1e6),
+			fmt.Sprintf("%.3f", q/1e6),
+			fmt.Sprintf("%.2f%%", ovh),
+		})
+	}
+	t.Notes = append(t.Notes, fmt.Sprintf("average overhead: %.2f%%", sum/float64(len(OverheadOSes))))
+	return t, nil
+}
+
+// ExecWindow is the §5.5.2 measurement window.
+const ExecWindow = 10 * time.Minute
+
+// ExecOverhead reproduces §5.5.2: payloads executed in ten virtual minutes
+// with and without instrumentation.
+func ExecOverhead(opts Options) (*Table, error) {
+	t := &Table{
+		Title:   "§5.5.2: Execution overhead of instrumentation (payloads per 10 min)",
+		Columns: []string{"Target OS", "Plain", "Instrumented", "Overhead"},
+	}
+	type cell struct{ plain, instr []float64 }
+	cells := make(map[string]*cell)
+	type job struct {
+		os    string
+		instr bool
+		run   int
+	}
+	var jobs []job
+	for _, osName := range OverheadOSes {
+		cells[osName] = &cell{}
+		for _, instr := range []bool{false, true} {
+			for r := 0; r < opts.Runs; r++ {
+				jobs = append(jobs, job{osName, instr, r})
+			}
+		}
+	}
+	execs := make([]float64, len(jobs))
+	err := runParallel(len(jobs), opts.parallel(), func(i int) error {
+		info, err := targets.ByName(jobs[i].os)
+		if err != nil {
+			return err
+		}
+		cfg := core.DefaultConfig(info, evalBoards()[jobs[i].os])
+		cfg.Seed = opts.SeedBase + int64(i%opts.Runs)
+		cfg.Instrumented = jobs[i].instr
+		// Isolate the instrumentation cost: identical generation behaviour
+		// on both sides (guidance needs coverage, which the plain image
+		// cannot provide).
+		cfg.FeedbackGuided = false
+		e, err := core.NewEngine(cfg)
+		if err != nil {
+			return err
+		}
+		defer e.Close()
+		rep, err := e.Run(ExecWindow)
+		if err != nil {
+			return err
+		}
+		execs[i] = float64(rep.Stats.Execs)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, j := range jobs {
+		if j.instr {
+			cells[j.os].instr = append(cells[j.os].instr, execs[i])
+		} else {
+			cells[j.os].plain = append(cells[j.os].plain, execs[i])
+		}
+	}
+	var sum float64
+	for _, osName := range OverheadOSes {
+		p := mean(cells[osName].plain)
+		q := mean(cells[osName].instr)
+		ovh := 0.0
+		if p > 0 {
+			ovh = (p - q) / p * 100
+		}
+		sum += ovh
+		t.Rows = append(t.Rows, []string{
+			displayName(osName),
+			fmt.Sprintf("%.1f", p),
+			fmt.Sprintf("%.1f", q),
+			fmt.Sprintf("%.2f%%", ovh),
+		})
+	}
+	t.Notes = append(t.Notes, fmt.Sprintf("average overhead: %.2f%%", sum/float64(len(OverheadOSes))))
+	return t, nil
+}

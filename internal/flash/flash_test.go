@@ -1,0 +1,225 @@
+package flash
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestEraseProgramSemantics(t *testing.T) {
+	d := NewDevice(4096, 1024)
+	if got, _ := d.Read(0, 2); got[0] != Erased || got[1] != Erased {
+		t.Fatal("new device not erased")
+	}
+	if err := d.Program(0, []byte{0xF0}); err != nil {
+		t.Fatal(err)
+	}
+	// NOR: programming can only clear bits.
+	if err := d.Program(0, []byte{0x0F}); err != nil {
+		t.Fatal(err)
+	}
+	got, _ := d.Read(0, 1)
+	if got[0] != 0x00 {
+		t.Fatalf("AND semantics broken: %#x", got[0])
+	}
+	if err := d.Erase(0); err != nil {
+		t.Fatal(err)
+	}
+	got, _ = d.Read(0, 1)
+	if got[0] != Erased {
+		t.Fatalf("erase failed: %#x", got[0])
+	}
+	if d.EraseCount(0) != 1 {
+		t.Fatalf("erase count %d", d.EraseCount(0))
+	}
+}
+
+func TestEraseRangeCoversSectors(t *testing.T) {
+	d := NewDevice(4096, 1024)
+	d.Program(1000, []byte{0})
+	d.Program(1100, []byte{0})
+	if err := d.EraseRange(1000, 200); err != nil {
+		t.Fatal(err)
+	}
+	// Spans sectors 0 and 1.
+	if d.EraseCount(0) != 1 || d.EraseCount(1) != 1 {
+		t.Fatalf("erase counts %d,%d", d.EraseCount(0), d.EraseCount(1))
+	}
+	if err := d.EraseRange(0, 0); err != nil {
+		t.Fatal("zero-length erase should be a no-op")
+	}
+}
+
+func TestWriteImageRoundTrip(t *testing.T) {
+	d := NewDevice(8192, 1024)
+	data := []byte("hello firmware")
+	// Pre-dirty the area so WriteImage must erase.
+	d.Program(100, []byte{0, 0, 0})
+	if err := d.WriteImage(0, data); err != nil {
+		t.Fatal(err)
+	}
+	got, _ := d.Read(0, len(data))
+	if !bytes.Equal(got, data) {
+		t.Fatalf("got %q", got)
+	}
+}
+
+func TestBoundsErrors(t *testing.T) {
+	d := NewDevice(1024, 1024)
+	if err := d.Program(1020, []byte{1, 2, 3, 4, 5}); err == nil {
+		t.Fatal("overflow program accepted")
+	}
+	if _, err := d.Read(-1, 4); err == nil {
+		t.Fatal("negative read accepted")
+	}
+	if err := d.Erase(1); err == nil {
+		t.Fatal("bad sector erase accepted")
+	}
+}
+
+func TestPartitionTableParse(t *testing.T) {
+	text := `# name, type, offset, size
+bootloader, app, 0x0, 0x8000
+kernel, app, 0x8000, 0x40000
+nvs, data, 0x48000, 0x4000
+`
+	tab, err := ParseTable(text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Parts) != 3 {
+		t.Fatalf("%d parts", len(tab.Parts))
+	}
+	k := tab.Lookup("kernel")
+	if k == nil || k.Offset != 0x8000 || k.Size != 0x40000 {
+		t.Fatalf("kernel = %+v", k)
+	}
+	if tab.Lookup("missing") != nil {
+		t.Fatal("found missing partition")
+	}
+	// Round-trip through Format.
+	tab2, err := ParseTable(tab.Format())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab2.Parts) != 3 || *tab2.Lookup("nvs") != *tab.Lookup("nvs") {
+		t.Fatal("format round-trip mismatch")
+	}
+}
+
+func TestPartitionTableErrors(t *testing.T) {
+	for _, bad := range []string{
+		"",
+		"a, b, c\n",
+		"x, app, zz, 0x100\n",
+		"x, app, 0x0, zz\n",
+		", app, 0x0, 0x100\n",
+	} {
+		if _, err := ParseTable(bad); err == nil {
+			t.Errorf("ParseTable(%q) accepted", bad)
+		}
+	}
+}
+
+func TestPartitionValidate(t *testing.T) {
+	d := NewDevice(64*1024, 4096)
+	tab := &Table{Parts: []Partition{
+		{Name: "a", Type: "app", Offset: 0, Size: 0x4000},
+		{Name: "b", Type: "app", Offset: 0x4000, Size: 0x4000},
+	}}
+	if err := tab.Validate(d); err != nil {
+		t.Fatal(err)
+	}
+	bad := &Table{Parts: []Partition{
+		{Name: "a", Type: "app", Offset: 0, Size: 0x5000},
+		{Name: "b", Type: "app", Offset: 0x4000, Size: 0x4000},
+	}}
+	if err := bad.Validate(d); err == nil || !strings.Contains(err.Error(), "overlaps") {
+		t.Fatalf("overlap not caught: %v", err)
+	}
+	unaligned := &Table{Parts: []Partition{{Name: "a", Type: "app", Offset: 100, Size: 0x1000}}}
+	if err := unaligned.Validate(d); err == nil {
+		t.Fatal("unaligned offset accepted")
+	}
+	outside := &Table{Parts: []Partition{{Name: "a", Type: "app", Offset: 0, Size: 0x8000000}}}
+	if err := outside.Validate(d); err == nil {
+		t.Fatal("oversized partition accepted")
+	}
+}
+
+func TestImageSerializeParse(t *testing.T) {
+	im := &Image{Magic: MagicKernel, OS: "freertos", BuildID: 0xABCD, Instrumented: true, CodeSize: 2048, Entry: 0x08001000}
+	raw := im.Serialize()
+	if len(raw) != im.TotalSize() {
+		t.Fatalf("serialized %d, TotalSize %d", len(raw), im.TotalSize())
+	}
+	// Parse from a larger partition buffer.
+	part := make([]byte, len(raw)+512)
+	for i := range part {
+		part[i] = Erased
+	}
+	copy(part, raw)
+	got, err := ParseImage(part)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.OS != "freertos" || got.BuildID != 0xABCD || !got.Instrumented || got.CodeSize != 2048 || got.Entry != 0x08001000 {
+		t.Fatalf("parsed %+v", got)
+	}
+}
+
+func TestImageCorruptionDetected(t *testing.T) {
+	im := &Image{Magic: MagicKernel, OS: "zephyr", BuildID: 7, CodeSize: 1024}
+	raw := im.Serialize()
+	raw[40] ^= 0xFF
+	if _, err := ParseImage(raw); err == nil {
+		t.Fatal("corrupt image accepted")
+	}
+	// Bad magic.
+	raw2 := im.Serialize()
+	raw2[0] = 0
+	if _, err := ParseImage(raw2); err == nil {
+		t.Fatal("bad magic accepted")
+	}
+	// Truncated.
+	if _, err := ParseImage(im.Serialize()[:10]); err == nil {
+		t.Fatal("truncated image accepted")
+	}
+}
+
+func TestImageDeterministic(t *testing.T) {
+	a := (&Image{Magic: MagicKernel, OS: "nuttx", BuildID: 42, CodeSize: 4096}).Serialize()
+	b := (&Image{Magic: MagicKernel, OS: "nuttx", BuildID: 42, CodeSize: 4096}).Serialize()
+	if !bytes.Equal(a, b) {
+		t.Fatal("image serialization not deterministic")
+	}
+	c := (&Image{Magic: MagicKernel, OS: "nuttx", BuildID: 43, CodeSize: 4096}).Serialize()
+	if bytes.Equal(a, c) {
+		t.Fatal("different build IDs produced identical images")
+	}
+}
+
+func TestImagePropertyRoundTrip(t *testing.T) {
+	f := func(build uint64, size uint16, instr bool) bool {
+		im := &Image{Magic: MagicBoot, OS: "os", BuildID: build, Instrumented: instr, CodeSize: uint32(size)}
+		got, err := ParseImage(im.Serialize())
+		return err == nil && got.BuildID == build && got.Instrumented == instr && got.CodeSize == uint32(size)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCorrupt(t *testing.T) {
+	d := NewDevice(2048, 1024)
+	img := (&Image{Magic: MagicKernel, OS: "x", BuildID: 1, CodeSize: 256}).Serialize()
+	if err := d.WriteImage(0, img); err != nil {
+		t.Fatal(err)
+	}
+	d.Corrupt(20, 8, 0x00)
+	raw, _ := d.Read(0, len(img))
+	if _, err := ParseImage(raw); err == nil {
+		t.Fatal("CRC did not catch corruption")
+	}
+}

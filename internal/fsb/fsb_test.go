@@ -1,0 +1,83 @@
+package fsb
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/eof-fuzz/eof/internal/cpu"
+)
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	f := &cpu.Fault{
+		Kind: cpu.FaultBus,
+		PC:   0x0800_4242,
+		Msg:  "wild pointer dereference",
+		Frames: []cpu.Frame{
+			{File: "serial.c", Func: "rt_serial_write", Line: 917},
+			{File: "device.c", Func: "rt_device_write", Line: 396},
+		},
+	}
+	buf := make([]byte, MaxBytes)
+	n := Encode(f, buf)
+	if n <= 0 || n > MaxBytes {
+		t.Fatalf("encoded %d bytes", n)
+	}
+	got, err := Decode(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got == nil || got.Kind != f.Kind || got.PC != f.PC || got.Msg != f.Msg {
+		t.Fatalf("decoded: %+v", got)
+	}
+	if len(got.Frames) != 2 || got.Frames[0] != f.Frames[0] {
+		t.Fatalf("frames: %+v", got.Frames)
+	}
+}
+
+func TestClearInvalidates(t *testing.T) {
+	buf := make([]byte, MaxBytes)
+	Encode(&cpu.Fault{Kind: cpu.FaultPanic, Msg: "x"}, buf)
+	Clear(buf)
+	got, err := Decode(buf)
+	if err != nil || got != nil {
+		t.Fatalf("after clear: %+v %v", got, err)
+	}
+}
+
+func TestTruncation(t *testing.T) {
+	long := strings.Repeat("m", 500)
+	frames := make([]cpu.Frame, 20)
+	for i := range frames {
+		frames[i] = cpu.Frame{File: strings.Repeat("f", 100), Func: strings.Repeat("g", 100), Line: i}
+	}
+	f := &cpu.Fault{Kind: cpu.FaultHard, Msg: long, Frames: frames}
+	buf := make([]byte, MaxBytes)
+	n := Encode(f, buf)
+	if n > MaxBytes {
+		t.Fatalf("overflow: %d", n)
+	}
+	got, err := Decode(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Msg) != 160 {
+		t.Fatalf("msg len %d", len(got.Msg))
+	}
+	if len(got.Frames) != 8 {
+		t.Fatalf("frames %d", len(got.Frames))
+	}
+	// File tails survive truncation (basenames matter).
+	if !strings.HasSuffix(frames[0].File, got.Frames[0].File) {
+		t.Fatalf("file truncation kept the wrong end: %q", got.Frames[0].File)
+	}
+}
+
+func TestDecodeGarbage(t *testing.T) {
+	if _, err := Decode(make([]byte, 4)); err == nil {
+		t.Fatal("short block accepted")
+	}
+	g, err := Decode(make([]byte, 64))
+	if err != nil || g != nil {
+		t.Fatalf("zero block: %v %v", g, err)
+	}
+}

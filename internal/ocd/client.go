@@ -1,0 +1,264 @@
+package ocd
+
+import (
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"net"
+	"strconv"
+	"strings"
+
+	"github.com/eof-fuzz/eof/internal/board"
+	"github.com/eof-fuzz/eof/internal/cpu"
+	"github.com/eof-fuzz/eof/internal/rsp"
+)
+
+// ErrTimeout is returned when the target does not respond — the board failed
+// to boot, the image is corrupt, or the core is dead. This is watchdog
+// signal (1) of the paper's Algorithm 1.
+var ErrTimeout = errors.New("ocd: connection timeout")
+
+// RemoteError is a non-timeout error reported by the debug server.
+type RemoteError struct {
+	Code string // e.g. "mem", "bp", "flash", "boot", "badargs"
+	Msg  string
+}
+
+func (e *RemoteError) Error() string {
+	if e.Msg == "" {
+		return "ocd: remote error " + e.Code
+	}
+	return fmt.Sprintf("ocd: remote %s error: %s", e.Code, e.Msg)
+}
+
+// Client is the host side of the debug link.
+type Client struct {
+	conn   *rsp.Conn
+	direct *Server
+	closer func() error
+}
+
+// ConnectDirect attaches a client that dispatches commands into the server
+// in-process, bypassing the packet pipe (and its goroutine handoffs) while
+// still exercising the full command grammar and latency model. Campaign
+// engines use it; the framed transport stays covered by Connect and the
+// protocol tests.
+func ConnectDirect(srv *Server) *Client {
+	return &Client{direct: srv}
+}
+
+// NewClient wraps an established transport.
+func NewClient(rw interface {
+	Read([]byte) (int, error)
+	Write([]byte) (int, error)
+}) *Client {
+	return &Client{conn: rsp.NewConn(rw)}
+}
+
+// Connect wires a client to a server over an in-process pipe, starting the
+// server's service goroutine. Close detaches and tears the pipe down.
+func Connect(srv *Server) *Client {
+	host, probe := net.Pipe()
+	go func() {
+		_ = srv.Serve(probe)
+		probe.Close()
+	}()
+	c := NewClient(host)
+	c.closer = func() error {
+		// Best-effort detach so the server goroutine exits cleanly.
+		_ = c.conn.Send([]byte("D"))
+		_, _ = c.conn.Recv()
+		return host.Close()
+	}
+	return c
+}
+
+// Close detaches from the probe.
+func (c *Client) Close() error {
+	if c.closer != nil {
+		err := c.closer()
+		c.closer = nil
+		return err
+	}
+	return nil
+}
+
+func (c *Client) call(req string) (string, error) {
+	var s string
+	if c.direct != nil {
+		s, _ = c.direct.handle(req)
+	} else {
+		if err := c.conn.Send([]byte(req)); err != nil {
+			return "", err
+		}
+		resp, err := c.conn.Recv()
+		if err != nil {
+			return "", err
+		}
+		s = string(resp)
+	}
+	if strings.HasPrefix(s, "E") {
+		return "", decodeError(s[1:])
+	}
+	return s, nil
+}
+
+func decodeError(s string) error {
+	if s == "timeout" {
+		return ErrTimeout
+	}
+	code, rest := s, ""
+	if i := strings.IndexByte(s, ':'); i >= 0 {
+		code, rest = s[:i], s[i+1:]
+	}
+	msg := ""
+	if b, err := hex.DecodeString(rest); err == nil {
+		msg = string(b)
+	} else {
+		msg = rest
+	}
+	return &RemoteError{Code: code, Msg: msg}
+}
+
+// ReadMem reads n bytes of target memory at addr.
+func (c *Client) ReadMem(addr uint64, n int) ([]byte, error) {
+	resp, err := c.call(fmt.Sprintf("m%x,%x", addr, n))
+	if err != nil {
+		return nil, err
+	}
+	if !strings.HasPrefix(resp, "D") {
+		return nil, fmt.Errorf("ocd: bad read reply %q", resp)
+	}
+	data, err := hex.DecodeString(resp[1:])
+	if err != nil {
+		return nil, fmt.Errorf("ocd: bad read payload: %v", err)
+	}
+	if len(data) != n {
+		return nil, fmt.Errorf("ocd: short read: got %d want %d", len(data), n)
+	}
+	return data, nil
+}
+
+// WriteMem writes data into target memory at addr.
+func (c *Client) WriteMem(addr uint64, data []byte) error {
+	_, err := c.call(fmt.Sprintf("M%x,%x:%s", addr, len(data), hex.EncodeToString(data)))
+	return err
+}
+
+// SetBreakpoint arms a hardware breakpoint at addr.
+func (c *Client) SetBreakpoint(addr uint64) error {
+	_, err := c.call(fmt.Sprintf("Z0,%x", addr))
+	return err
+}
+
+// ClearBreakpoint disarms the breakpoint at addr.
+func (c *Client) ClearBreakpoint(addr uint64) error {
+	_, err := c.call(fmt.Sprintf("z0,%x", addr))
+	return err
+}
+
+// Continue resumes the target with the given step budget and returns the
+// next stop event (the GDB -exec-continue of Algorithm 1).
+func (c *Client) Continue(budget int64) (cpu.Stop, error) {
+	resp, err := c.call(fmt.Sprintf("c%d", budget))
+	if err != nil {
+		return cpu.Stop{}, err
+	}
+	return decodeStop(resp)
+}
+
+// Reset power-cycles the board; a boot failure (corrupt image) surfaces as a
+// RemoteError with code "boot".
+func (c *Client) Reset() error {
+	_, err := c.call("r")
+	return err
+}
+
+// FlashErase erases the flash range [off, off+n).
+func (c *Client) FlashErase(off, n int) error {
+	_, err := c.call(fmt.Sprintf("vFlashErase:%x,%x", off, n))
+	return err
+}
+
+// flashChunk bounds one vFlashWrite payload; larger images stream in pieces,
+// as debug probes with small adapter buffers do.
+const flashChunk = 16 * 1024
+
+// FlashWrite programs data at flash offset off (erase first), chunking the
+// transfer to fit the adapter's packet limit.
+func (c *Client) FlashWrite(off int, data []byte) error {
+	for start := 0; start < len(data); start += flashChunk {
+		end := start + flashChunk
+		if end > len(data) {
+			end = len(data)
+		}
+		_, err := c.call(fmt.Sprintf("vFlashWrite:%x:%s", off+start, hex.EncodeToString(data[start:end])))
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// DrainUART returns console lines emitted since the previous drain.
+func (c *Client) DrainUART() ([]string, error) {
+	resp, err := c.call("qUART")
+	if err != nil {
+		return nil, err
+	}
+	if !strings.HasPrefix(resp, "L") {
+		return nil, fmt.Errorf("ocd: bad uart reply %q", resp)
+	}
+	body := resp[1:]
+	if body == "" {
+		return nil, nil
+	}
+	parts := strings.Split(body, ";")
+	lines := make([]string, 0, len(parts))
+	for _, p := range parts {
+		b, err := hex.DecodeString(p)
+		if err != nil {
+			return nil, fmt.Errorf("ocd: bad uart line: %v", err)
+		}
+		lines = append(lines, string(b))
+	}
+	return lines, nil
+}
+
+// BoardState queries power/liveness state, boot count and the last boot
+// error message (empty when none).
+func (c *Client) BoardState() (st board.State, boots int, lastBoot string, err error) {
+	resp, err := c.call("?")
+	if err != nil {
+		return 0, 0, "", err
+	}
+	if !strings.HasPrefix(resp, "Qstate:") {
+		return 0, 0, "", fmt.Errorf("ocd: bad state reply %q", resp)
+	}
+	for _, f := range strings.Split(resp[1:], ";") {
+		k, v, ok := strings.Cut(f, ":")
+		if !ok {
+			continue
+		}
+		switch k {
+		case "state":
+			switch v {
+			case "off":
+				st = board.Off
+			case "on":
+				st = board.On
+			case "bricked":
+				st = board.Bricked
+			default:
+				return 0, 0, "", fmt.Errorf("ocd: unknown state %q", v)
+			}
+		case "boots":
+			boots, _ = strconv.Atoi(v)
+		case "lastboot":
+			if b, derr := hex.DecodeString(v); derr == nil {
+				lastBoot = string(b)
+			}
+		}
+	}
+	return st, boots, lastBoot, nil
+}

@@ -1,0 +1,247 @@
+package ocd
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"github.com/eof-fuzz/eof/internal/board"
+	"github.com/eof-fuzz/eof/internal/cpu"
+	"github.com/eof-fuzz/eof/internal/flash"
+	"github.com/eof-fuzz/eof/internal/vtime"
+)
+
+// testFirmware spins between two blocks and logs once at startup.
+type testFirmware struct {
+	env *board.Env
+}
+
+func (f *testFirmware) Main() {
+	f.env.UART.WriteString("fw: up\n")
+	for {
+		f.env.Core.Step(f.env.Spec.FlashBase + 0x1000)
+		f.env.Core.Step(f.env.Spec.FlashBase + 0x1004)
+	}
+}
+
+func testBoard(t *testing.T) (*board.Board, *flash.Image) {
+	t.Helper()
+	spec := &board.Spec{
+		Name: "t", Arch: "arm", HZ: 100_000_000,
+		CyclesPerBlock: 4, MaxBreakpoints: 4,
+		FlashBase: 0x0800_0000, FlashSize: 1 << 20, SectorSize: 4096,
+		RAMBase: 0x2000_0000, RAMSize: 128 * 1024, CovEntries: 64,
+	}
+	table, err := flash.ParseTable("boot, app, 0x0, 0x8000\nkernel, app, 0x8000, 0x40000\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Rename for the boot path's expectations.
+	table.Parts[0].Name = "bootloader"
+	builder := func(env *board.Env) (board.Firmware, error) {
+		return &testFirmware{env: env}, nil
+	}
+	b, err := board.New(spec, table, builder, &vtime.Clock{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	kimg := &flash.Image{Magic: flash.MagicKernel, OS: "t", BuildID: 9, CodeSize: 256}
+	bimg := &flash.Image{Magic: flash.MagicBoot, OS: "t", BuildID: 9, CodeSize: 64}
+	if err := b.Provision("bootloader", bimg.Serialize()); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Provision("kernel", kimg.Serialize()); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Boot(); err != nil {
+		t.Fatal(err)
+	}
+	return b, kimg
+}
+
+// clients returns both transports so every test runs against each.
+func clients(t *testing.T, b *board.Board) map[string]*Client {
+	srv := NewServer(b, Latency{PerCommand: time.Millisecond, BytesPerSec: 1 << 20})
+	return map[string]*Client{
+		"piped":  Connect(srv),
+		"direct": ConnectDirect(srv),
+	}
+}
+
+func TestMemoryCommands(t *testing.T) {
+	b, _ := testBoard(t)
+	defer b.Core().Kill()
+	for name, c := range clients(t, b) {
+		t.Run(name, func(t *testing.T) {
+			if err := c.WriteMem(0x2000_0100, []byte{1, 2, 3, 4}); err != nil {
+				t.Fatal(err)
+			}
+			got, err := c.ReadMem(0x2000_0100, 4)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got[0] != 1 || got[3] != 4 {
+				t.Fatalf("readback: %v", got)
+			}
+			// Bad address surfaces as a remote error, not a timeout.
+			if _, err := c.ReadMem(0xDEAD_0000, 4); err == nil || errors.Is(err, ErrTimeout) {
+				t.Fatalf("unmapped read: %v", err)
+			}
+			var re *RemoteError
+			if _, err := c.ReadMem(0xDEAD_0000, 4); !errors.As(err, &re) || re.Code != "mem" {
+				t.Fatalf("remote error: %v", err)
+			}
+		})
+	}
+}
+
+func TestBreakpointAndContinue(t *testing.T) {
+	b, _ := testBoard(t)
+	defer b.Core().Kill()
+	c := ConnectDirect(NewServer(b, DefaultLatency()))
+	addr := b.Spec.FlashBase + 0x1004
+	if err := c.SetBreakpoint(addr); err != nil {
+		t.Fatal(err)
+	}
+	st, err := c.Continue(1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Kind != cpu.StopBreakpoint || st.PC != addr {
+		t.Fatalf("stop: %+v", st)
+	}
+	if err := c.ClearBreakpoint(addr); err != nil {
+		t.Fatal(err)
+	}
+	st, err = c.Continue(100)
+	if err != nil || st.Kind != cpu.StopBudget {
+		t.Fatalf("after clear: %+v %v", st, err)
+	}
+}
+
+func TestUARTDrain(t *testing.T) {
+	b, _ := testBoard(t)
+	defer b.Core().Kill()
+	c := ConnectDirect(NewServer(b, DefaultLatency()))
+	c.Continue(10)
+	lines, err := c.DrainUART()
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, l := range lines {
+		if l == "fw: up" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("lines: %q", lines)
+	}
+	lines, _ = c.DrainUART()
+	if len(lines) != 0 {
+		t.Fatalf("drain not incremental: %q", lines)
+	}
+}
+
+func TestBoardStateQuery(t *testing.T) {
+	b, _ := testBoard(t)
+	defer func() {
+		if b.State() == board.On {
+			b.Core().Kill()
+		}
+	}()
+	c := ConnectDirect(NewServer(b, DefaultLatency()))
+	st, boots, last, err := c.BoardState()
+	if err != nil || st != board.On || boots != 1 || last != "" {
+		t.Fatalf("state: %v %d %q %v", st, boots, last, err)
+	}
+}
+
+func TestTimeoutWhenBricked(t *testing.T) {
+	b, _ := testBoard(t)
+	c := ConnectDirect(NewServer(b, DefaultLatency()))
+	// Corrupt the kernel image, then reset: boot fails, board bricked.
+	b.Flash().Corrupt(0x8000+30, 16, 0)
+	if err := c.Reset(); err == nil {
+		t.Fatal("reset succeeded on corrupt image")
+	}
+	if _, err := c.Continue(10); !errors.Is(err, ErrTimeout) {
+		t.Fatalf("continue on bricked board: %v", err)
+	}
+	if _, err := c.ReadMem(0x2000_0000, 4); !errors.Is(err, ErrTimeout) {
+		t.Fatalf("read on bricked board: %v", err)
+	}
+	// Flash access still works and revives the board.
+	kimg := &flash.Image{Magic: flash.MagicKernel, OS: "t", BuildID: 9, CodeSize: 256}
+	if err := c.FlashErase(0x8000, 0x40000); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.FlashWrite(0x8000, kimg.Serialize()); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Reset(); err != nil {
+		t.Fatalf("reset after reflash: %v", err)
+	}
+	st, boots, _, _ := c.BoardState()
+	if st != board.On || boots != 2 {
+		t.Fatalf("after revive: %v %d", st, boots)
+	}
+	b.Core().Kill()
+}
+
+func TestLatencyCharged(t *testing.T) {
+	b, _ := testBoard(t)
+	defer b.Core().Kill()
+	srv := NewServer(b, Latency{PerCommand: 10 * time.Millisecond, BytesPerSec: 1 << 20})
+	c := ConnectDirect(srv)
+	before := b.Clock.Now()
+	if _, err := c.ReadMem(0x2000_0000, 64); err != nil {
+		t.Fatal(err)
+	}
+	if d := b.Clock.Now() - before; d < 10*time.Millisecond {
+		t.Fatalf("latency not charged: %v", d)
+	}
+}
+
+func TestStopEncodingRoundTrip(t *testing.T) {
+	st := cpu.Stop{
+		Kind: cpu.StopFault,
+		PC:   0x800_1234,
+		Fault: &cpu.Fault{
+			Kind: cpu.FaultBus,
+			PC:   0x800_1234,
+			Msg:  "wild pointer; special: ;|,#$",
+			Frames: []cpu.Frame{
+				{File: "a.c", Func: "f1", Line: 10},
+				{File: "b/c.c", Func: "f2", Line: 200},
+			},
+		},
+	}
+	got, err := decodeStop(encodeStop(st))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Kind != st.Kind || got.PC != st.PC || got.Fault.Msg != st.Fault.Msg {
+		t.Fatalf("round trip: %+v", got)
+	}
+	if len(got.Fault.Frames) != 2 || got.Fault.Frames[1] != st.Fault.Frames[1] {
+		t.Fatalf("frames: %+v", got.Fault.Frames)
+	}
+	// No fault.
+	got, err = decodeStop(encodeStop(cpu.Stop{Kind: cpu.StopBudget, PC: 4}))
+	if err != nil || got.Fault != nil || got.Kind != cpu.StopBudget {
+		t.Fatalf("plain stop: %+v %v", got, err)
+	}
+}
+
+func TestBadCommands(t *testing.T) {
+	b, _ := testBoard(t)
+	defer b.Core().Kill()
+	srv := NewServer(b, DefaultLatency())
+	for _, req := range []string{"zzz", "m", "mxx,4", "Z0,zz", "cNaN", "M100", "vFlashErase:x"} {
+		resp, _ := srv.handle(req)
+		if len(resp) == 0 || resp[0] != 'E' {
+			t.Errorf("handle(%q) = %q, want error", req, resp)
+		}
+	}
+}

@@ -1,0 +1,86 @@
+// Package apiutil holds the small helpers every OS personality's API layer
+// shares: argument access, staged-buffer reads, timeout conversion, and the
+// wrapper-function registrar.
+package apiutil
+
+import (
+	"github.com/eof-fuzz/eof/internal/agent"
+	"github.com/eof-fuzz/eof/internal/rtos"
+)
+
+// Arg returns argument i, or 0 when the call site passed fewer.
+func Arg(a []uint64, i int) uint64 {
+	if i < len(a) {
+		return a[i]
+	}
+	return 0
+}
+
+// CString reads a staged NUL-terminated string; a null pointer yields the
+// fallback, a wild pointer faults like the real dereference.
+func CString(k *rtos.Kernel, ptr uint64, max int, fallback string) string {
+	if ptr == 0 {
+		return fallback
+	}
+	s := k.CString(ptr, max)
+	if s == "" {
+		return fallback
+	}
+	return s
+}
+
+// Bytes reads n bytes at ptr with a hard cap; null yields nil, wild faults.
+func Bytes(k *rtos.Kernel, ptr uint64, n, cap int) []byte {
+	if n <= 0 || ptr == 0 {
+		return nil
+	}
+	if n > cap {
+		n = cap
+	}
+	return k.ReadRAM(ptr, n)
+}
+
+// Timeout32 converts a 32-bit tick timeout where forever is the sentinel.
+func Timeout32(v uint64, forever uint32) int {
+	if uint32(v) == forever {
+		return rtos.WaitForever
+	}
+	return int(uint32(v))
+}
+
+// Registrar builds an API dispatch table with one instrumented wrapper
+// function per entry. Symbol collisions with internal functions get an _api
+// suffix; the API name stays canonical for specifications.
+type Registrar struct {
+	K     *rtos.Kernel
+	File  string
+	Table []agent.API
+	line  int
+}
+
+// Reg registers one API wrapper.
+func (r *Registrar) Reg(name string, nblocks int, h func(f *rtos.Fn, a []uint64) (uint64, rtos.Errno)) {
+	r.line += 40
+	symName := name
+	if r.K.Env.Syms.Lookup(symName) != nil {
+		symName += "_api"
+	}
+	f := r.K.Fn(symName, r.File, r.line, nblocks)
+	r.Table = append(r.Table, agent.API{
+		Name: name,
+		Handler: func(args []uint64) (uint64, rtos.Errno) {
+			f.Enter()
+			defer f.Exit()
+			return h(f, args)
+		},
+	})
+}
+
+// Names returns the registered API names in dispatch order.
+func (r *Registrar) Names() []string {
+	out := make([]string, len(r.Table))
+	for i, e := range r.Table {
+		out[i] = e.Name
+	}
+	return out
+}

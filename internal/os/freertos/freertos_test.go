@@ -1,0 +1,288 @@
+package freertos
+
+import (
+	"encoding/binary"
+	"strings"
+	"testing"
+
+	"github.com/eof-fuzz/eof/internal/agent"
+	"github.com/eof-fuzz/eof/internal/board"
+	"github.com/eof-fuzz/eof/internal/boards"
+	"github.com/eof-fuzz/eof/internal/cov"
+	"github.com/eof-fuzz/eof/internal/cpu"
+	"github.com/eof-fuzz/eof/internal/ocd"
+	"github.com/eof-fuzz/eof/internal/sym"
+	"github.com/eof-fuzz/eof/internal/vtime"
+	"github.com/eof-fuzz/eof/internal/wire"
+)
+
+// testRig is a fully provisioned board with an attached debug client.
+type testRig struct {
+	brd    *board.Board
+	client *ocd.Client
+	syms   *sym.Table
+	lay    board.Layout
+	apiIdx func(string) int
+}
+
+func newRig(t *testing.T, instrumented bool) *testRig {
+	t.Helper()
+	info := Info()
+	spec := boards.STM32H745()
+	imgs, err := info.BuildImages(spec, instrumented)
+	if err != nil {
+		t.Fatal(err)
+	}
+	table, err := info.PartTable()
+	if err != nil {
+		t.Fatal(err)
+	}
+	clock := &vtime.Clock{}
+	brd, err := board.New(spec, table, info.Builder, clock)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := brd.Provision("bootloader", imgs.Boot); err != nil {
+		t.Fatal(err)
+	}
+	if err := brd.Provision("kernel", imgs.Kernel); err != nil {
+		t.Fatal(err)
+	}
+	if err := brd.Boot(); err != nil {
+		t.Fatal(err)
+	}
+	syms, err := info.SymbolTable(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	client := ocd.Connect(ocd.NewServer(brd, ocd.DefaultLatency()))
+	t.Cleanup(func() {
+		client.Close()
+		if brd.State() == board.On {
+			brd.Core().Kill()
+		}
+	})
+	return &testRig{brd: brd, client: client, syms: syms, lay: board.LayoutFor(spec), apiIdx: info.APIIndex}
+}
+
+// runProg drives one program through the agent: waits at executor_main,
+// writes the program, resumes, and returns the stop that ends execution plus
+// the result (when the loop came back around).
+func (r *testRig) runProg(t *testing.T, p *wire.Prog) (cpu.Stop, wire.Result) {
+	t.Helper()
+	mainAddr := r.syms.Addr(agent.SymExecutorMain)
+	if err := r.client.SetBreakpoint(mainAddr); err != nil {
+		t.Fatal(err)
+	}
+	st, err := r.client.Continue(5_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Kind != cpu.StopBreakpoint || st.PC != mainAddr {
+		t.Fatalf("first stop = %+v, want executor_main %#x", st, mainAddr)
+	}
+	raw, err := p.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 4+len(raw))
+	binary.LittleEndian.PutUint32(buf, uint32(len(raw)))
+	copy(buf[4:], raw)
+	if err := r.client.WriteMem(r.lay.MailboxIn, buf); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 64; i++ {
+		st, err = r.client.Continue(5_000_000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		switch st.Kind {
+		case cpu.StopCovFull:
+			// Drain and clear the buffer, then resume.
+			if _, err := r.client.ReadMem(r.lay.Cov, r.lay.CovBytes); err != nil {
+				t.Fatal(err)
+			}
+			zero := make([]byte, 4)
+			if err := r.client.WriteMem(r.lay.Cov+4, zero); err != nil {
+				t.Fatal(err)
+			}
+			continue
+		case cpu.StopBreakpoint:
+			if st.PC == mainAddr {
+				res := r.readResult(t)
+				return st, res
+			}
+			return st, wire.Result{}
+		default:
+			return st, wire.Result{}
+		}
+	}
+	t.Fatal("program did not finish in 64 continues")
+	return cpu.Stop{}, wire.Result{}
+}
+
+func (r *testRig) readResult(t *testing.T) wire.Result {
+	t.Helper()
+	raw, err := r.client.ReadMem(r.lay.MailboxOut, wire.ResultBytes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := wire.UnmarshalResult(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func imm(v uint64) wire.Arg  { return wire.Arg{Kind: wire.ArgImm, Val: v} }
+func ref(i int) wire.Arg     { return wire.Arg{Kind: wire.ArgResult, Val: uint64(i)} }
+func blob(b []byte) wire.Arg { return wire.Arg{Kind: wire.ArgBlob, Blob: b} }
+func call(api int, args ...wire.Arg) wire.Call {
+	return wire.Call{API: uint16(api), Args: args}
+}
+
+func TestEndToEndQueueProgram(t *testing.T) {
+	r := newRig(t, true)
+	p := &wire.Prog{Calls: []wire.Call{
+		call(r.apiIdx("xQueueCreate"), imm(4), imm(8)),
+		call(r.apiIdx("xQueueSend"), ref(0), blob([]byte("payload!")), imm(10)),
+		call(r.apiIdx("xQueueReceive"), ref(0), imm(10)),
+		call(r.apiIdx("vQueueDelete"), ref(0)),
+	}}
+	st, res := r.runProg(t, p)
+	if st.Kind != cpu.StopBreakpoint {
+		t.Fatalf("stop = %+v", st)
+	}
+	if res.Executed != 4 || res.Faulted {
+		t.Fatalf("result = %+v", res)
+	}
+	if res.LastErr != 0 {
+		t.Fatalf("last errno = %d", res.LastErr)
+	}
+	// Coverage must have accumulated.
+	raw, err := r.client.ReadMem(r.lay.Cov, r.lay.CovBytes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	entries, _, err := cov.Decode(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) == 0 {
+		t.Fatal("no coverage recorded")
+	}
+}
+
+func TestEndToEndFaultAndRestore(t *testing.T) {
+	r := newRig(t, true)
+	// Plant the exception monitor breakpoint.
+	panicAddr := r.syms.Addr("panic_handler")
+	if err := r.client.SetBreakpoint(panicAddr); err != nil {
+		t.Fatal(err)
+	}
+	// load_partitions with the remap flag on the last partition: bug #13.
+	p := &wire.Prog{Calls: []wire.Call{
+		call(r.apiIdx("load_partitions"), imm(3), imm(8)),
+	}}
+	st, _ := r.runProg(t, p)
+	if st.Kind != cpu.StopBreakpoint || st.PC != panicAddr {
+		t.Fatalf("expected stop at panic_handler, got %+v", st)
+	}
+	// The kernel image in flash is now corrupt: reset must fail to boot.
+	if err := r.client.Reset(); err == nil {
+		t.Fatal("reset succeeded on a corrupted image")
+	}
+	// While bricked, execution commands time out...
+	if _, err := r.client.Continue(1000); err != ocd.ErrTimeout {
+		t.Fatalf("continue on bricked board: %v", err)
+	}
+	// ...but flash access still works: reflash both partitions and reboot.
+	info := Info()
+	imgs, err := info.BuildImages(boards.STM32H745(), true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab, _ := info.PartTable()
+	for _, part := range []struct {
+		name string
+		data []byte
+	}{{"bootloader", imgs.Boot}, {"kernel", imgs.Kernel}} {
+		pt := tab.Lookup(part.name)
+		if err := r.client.FlashErase(pt.Offset, pt.Size); err != nil {
+			t.Fatal(err)
+		}
+		if err := r.client.FlashWrite(pt.Offset, part.data); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := r.client.Reset(); err != nil {
+		t.Fatalf("reset after reflash: %v", err)
+	}
+	// The revived board executes programs again.
+	st2, res := r.runProg(t, &wire.Prog{Calls: []wire.Call{
+		call(r.apiIdx("uxTaskGetNumberOfTasks")),
+	}})
+	if st2.Kind != cpu.StopBreakpoint || res.Executed != 1 {
+		t.Fatalf("post-restore run: stop=%+v res=%+v", st2, res)
+	}
+}
+
+func TestEndToEndUARTLog(t *testing.T) {
+	r := newRig(t, false)
+	p := &wire.Prog{Calls: []wire.Call{
+		call(r.apiIdx("vLoggingPrintf"), blob([]byte("hello-from-target\x00"))),
+	}}
+	_, res := r.runProg(t, p)
+	if res.Executed != 1 {
+		t.Fatalf("result %+v", res)
+	}
+	lines, err := r.client.DrainUART()
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, l := range lines {
+		if strings.Contains(l, "hello-from-target") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("log line missing from UART drain: %q", lines)
+	}
+}
+
+func TestAPITableMatchesInfo(t *testing.T) {
+	r := newRig(t, false)
+	_ = r
+	info := Info()
+	// Build the firmware once directly to compare the agent table.
+	spec := boards.STM32H745()
+	syms, err := info.SymbolTable(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range info.APINames {
+		if syms.Lookup(name) == nil && syms.Lookup(name+"_api") == nil {
+			t.Errorf("API %s has no symbol", name)
+		}
+	}
+	if info.APIIndex("xQueueCreate") < 0 || info.APIIndex("nonsense") != -1 {
+		t.Fatal("APIIndex broken")
+	}
+}
+
+func TestHTTPAndJSONViaAgent(t *testing.T) {
+	r := newRig(t, true)
+	req := []byte("POST /api/json?pretty=1 HTTP/1.1\r\nContent-Type: application/json\r\nContent-Length: 13\r\n\r\n{\"a\":[1,2,3]}")
+	p := &wire.Prog{Calls: []wire.Call{
+		call(r.apiIdx("http_server_init"), imm(8080)),
+		call(r.apiIdx("http_server_handle"), blob(req), imm(uint64(len(req)))),
+		call(r.apiIdx("json_parse"), blob([]byte(`{"k":"v"}`)), imm(9)),
+		call(r.apiIdx("json_encode"), ref(2), imm(0)),
+		call(r.apiIdx("json_free"), ref(2)),
+	}}
+	st, res := r.runProg(t, p)
+	if st.Kind != cpu.StopBreakpoint || res.Executed != 5 || res.Faulted {
+		t.Fatalf("stop=%+v res=%+v", st, res)
+	}
+}

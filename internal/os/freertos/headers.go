@@ -1,0 +1,324 @@
+package freertos
+
+import "github.com/eof-fuzz/eof/internal/osinfo"
+
+// headers returns the C headers and API reference text the specification
+// generator extracts FreeRTOS's Syzlang from (the paper prompts GPT-4o with
+// exactly this kind of material; our extractor consumes the same inputs
+// deterministically).
+func headers() []osinfo.Header {
+	return []osinfo.Header{
+		{Path: "include/task.h", Text: taskH},
+		{Path: "include/queue.h", Text: queueH},
+		{Path: "include/semphr.h", Text: semphrH},
+		{Path: "include/event_groups.h", Text: eventH},
+		{Path: "include/timers.h", Text: timersH},
+		{Path: "include/portable.h", Text: portableH},
+		{Path: "include/partition.h", Text: partitionH},
+		{Path: "include/logging.h", Text: loggingH},
+		{Path: "include/http_server.h", Text: httpH},
+		{Path: "include/core_json.h", Text: jsonH},
+		{Path: "include/dma_ctrl.h", Text: dmaH},
+		{Path: "include/drivers.h", Text: driversH},
+	}
+}
+
+const taskH = `
+/**
+ * Create a new task and add it to the list of tasks that are ready to run.
+ * @param name task name string
+ * @param priority must be between 0 and 31
+ * @param stack must be between 128 and 65536
+ * @param behavior one of {0, 1, 2, 3}
+ * @return handle of type task_t
+ */
+TaskHandle_t xTaskCreate(const char *name, unsigned priority, unsigned stack, int behavior);
+
+/**
+ * Remove a task from the kernel's management.
+ * @param task handle of type task_t
+ */
+void vTaskDelete(TaskHandle_t task);
+
+/**
+ * Delay a task for a given number of ticks.
+ * @param ticks must be between 0 and 10000
+ */
+void vTaskDelay(unsigned ticks);
+
+/**
+ * Set the priority of a task.
+ * @param task handle of type task_t
+ * @param priority must be between 0 and 31
+ */
+void vTaskPrioritySet(TaskHandle_t task, unsigned priority);
+
+/**
+ * Suspend a task; it will not run until resumed.
+ * @param task handle of type task_t
+ */
+void vTaskSuspend(TaskHandle_t task);
+
+/**
+ * Resume a suspended task.
+ * @param task handle of type task_t
+ */
+void vTaskResume(TaskHandle_t task);
+
+/**
+ * Query the number of tasks the kernel is managing.
+ */
+unsigned uxTaskGetNumberOfTasks(void);
+`
+
+const queueH = `
+/**
+ * Create a new queue.
+ * @param depth must be between 1 and 256
+ * @param item_size must be between 1 and 1024
+ * @return handle of type queue_t
+ */
+QueueHandle_t xQueueCreate(unsigned depth, unsigned item_size);
+
+/**
+ * Post an item to the back of a queue.
+ * @param queue handle of type queue_t
+ * @param item buffer with the item bytes
+ * @param ticks timeout in ticks
+ */
+BaseType_t xQueueSend(QueueHandle_t queue, const void *item, unsigned ticks);
+
+/**
+ * Receive an item from a queue.
+ * @param queue handle of type queue_t
+ * @param ticks timeout in ticks
+ */
+BaseType_t xQueueReceive(QueueHandle_t queue, unsigned ticks);
+
+/**
+ * Delete a queue and free its storage.
+ * @param queue handle of type queue_t
+ */
+void vQueueDelete(QueueHandle_t queue);
+`
+
+const semphrH = `
+/**
+ * Create a binary semaphore.
+ * @return handle of type sem_t
+ */
+SemaphoreHandle_t xSemaphoreCreateBinary(void);
+
+/**
+ * Create a counting semaphore.
+ * @param max_count must be between 1 and 65535
+ * @param initial_count must be between 0 and 65535
+ * @return handle of type sem_t
+ */
+SemaphoreHandle_t xSemaphoreCreateCounting(unsigned max_count, unsigned initial_count);
+
+/**
+ * Create a mutex. Mutexes are taken and given through the semaphore API.
+ * @return handle of type sem_t
+ */
+SemaphoreHandle_t xSemaphoreCreateMutex(void);
+
+/**
+ * Obtain a semaphore or mutex.
+ * @param sem handle of type sem_t
+ * @param ticks timeout in ticks
+ */
+BaseType_t xSemaphoreTake(SemaphoreHandle_t sem, unsigned ticks);
+
+/**
+ * Release a semaphore or mutex.
+ * @param sem handle of type sem_t
+ */
+BaseType_t xSemaphoreGive(SemaphoreHandle_t sem);
+`
+
+const eventH = `
+/**
+ * Create an event group.
+ * @return handle of type event_t
+ */
+EventGroupHandle_t xEventGroupCreate(void);
+
+/**
+ * Set bits within an event group. Setting zero bits is invalid.
+ * @param event handle of type event_t
+ * @param bits must be between 1 and 16777215
+ */
+EventBits_t xEventGroupSetBits(EventGroupHandle_t event, unsigned bits);
+
+/**
+ * Wait for bits within an event group.
+ * @param event handle of type event_t
+ * @param bits must be between 1 and 16777215
+ * @param options bitmask of wait_opts
+ * @param ticks timeout in ticks
+ * @flags wait_opts CLEAR_ON_EXIT=1 WAIT_ALL_BITS=2
+ */
+EventBits_t xEventGroupWaitBits(EventGroupHandle_t event, unsigned bits, unsigned options, unsigned ticks);
+`
+
+const timersH = `
+/**
+ * Create a software timer.
+ * @param period must be between 1 and 1048576
+ * @param auto_reload one of {0, 1}
+ * @param behavior one of {0, 1, 2}
+ * @return handle of type timer_t
+ */
+TimerHandle_t xTimerCreate(unsigned period, int auto_reload, int behavior);
+
+/**
+ * Start a software timer.
+ * @param timer handle of type timer_t
+ */
+BaseType_t xTimerStart(TimerHandle_t timer);
+
+/**
+ * Stop a software timer.
+ * @param timer handle of type timer_t
+ */
+BaseType_t xTimerStop(TimerHandle_t timer);
+`
+
+const portableH = `
+/**
+ * Allocate a block from the FreeRTOS heap.
+ * @param size must be between 1 and 65536
+ * @return handle of type heapmem_t
+ */
+void *pvPortMalloc(unsigned size);
+
+/**
+ * Return a block to the FreeRTOS heap.
+ * @param block handle of type heapmem_t
+ */
+void vPortFree(void *block);
+
+/**
+ * Query the remaining free heap space.
+ */
+unsigned xPortGetFreeHeapSize(void);
+`
+
+const partitionH = `
+/**
+ * Mount one partition from the flash partition table.
+ * @param index must be between 0 and 3
+ * @param options bitmask of part_flags
+ * @flags part_flags PART_VERIFY=1 PART_RO=2 PART_REMAP=8
+ */
+int load_partitions(unsigned index, unsigned options);
+`
+
+const loggingH = `
+/**
+ * Write a message to the logging output (UART).
+ * @param message message string
+ */
+void vLoggingPrintf(const char *message);
+`
+
+const httpH = `
+/**
+ * Start the embedded HTTP server.
+ * @param port must be between 1 and 65535
+ */
+int http_server_init(unsigned port);
+
+/**
+ * Feed one raw HTTP request to the server.
+ * @param request buffer with the request bytes
+ * @param length length of request
+ */
+int http_server_handle(const char *request, unsigned length);
+`
+
+const jsonH = `
+/**
+ * Parse a JSON document.
+ * @param data buffer with the document bytes
+ * @param length length of data
+ * @return handle of type json_t
+ */
+JSONHandle_t json_parse(const char *data, unsigned length);
+
+/**
+ * Encode a parsed JSON document back to text.
+ * @param doc handle of type json_t
+ * @param options bitmask of json_enc_flags
+ * @flags json_enc_flags ENC_PRETTY=1 ENC_SORTED=2
+ */
+int json_encode(JSONHandle_t doc, unsigned options);
+
+/**
+ * Release a parsed JSON document.
+ * @param doc handle of type json_t
+ */
+void json_free(JSONHandle_t doc);
+`
+
+const dmaH = `
+/**
+ * Open a session on the DMA controller.
+ * @return handle of type dma_t
+ */
+int xDmaAcquire(void);
+
+/**
+ * Drive the DMA controller session state machine.
+ * @param session handle of type dma_t
+ * @param cmd one of {0, 1, 2, 3, 4, 5, 6}
+ * @param value must be between 0 and 1023
+ */
+int xDmaControl(int session, unsigned cmd, unsigned value);
+
+/**
+ * Release a DMA controller session.
+ * @param session handle of type dma_t
+ */
+int vDmaRelease(int session);
+`
+
+const driversH = `
+/**
+ * Configure the GPIO bank.
+ * @param mode bitmask of periph_mode
+ * @flags periph_mode ENABLE=1 IRQ=2 DMA=4 LOWPOWER=8 PSC1=256 PSC2=512 PSC3=768
+ */
+int xGpioConfig(unsigned mode);
+
+/**
+ * Read a channel of the GPIO bank.
+ * @param channel must be between 0 and 31
+ */
+long xGpioRead(unsigned channel);
+
+/**
+ * Configure the ADC.
+ * @param mode bitmask of periph_mode
+ */
+int xAdcConfig(unsigned mode);
+
+/**
+ * Read a channel of the ADC.
+ * @param channel must be between 0 and 31
+ */
+long xAdcRead(unsigned channel);
+
+/**
+ * Configure the CAN controller.
+ * @param mode bitmask of periph_mode
+ */
+int xCanConfig(unsigned mode);
+
+/**
+ * Read a channel of the CAN controller.
+ * @param channel must be between 0 and 31
+ */
+long xCanRead(unsigned channel);
+`

@@ -1,0 +1,264 @@
+package nuttx
+
+import "github.com/eof-fuzz/eof/internal/osinfo"
+
+// headers returns the C headers the specification generator extracts
+// NuttX's Syzlang from.
+func headers() []osinfo.Header {
+	return []osinfo.Header{
+		{Path: "include/nuttx/sched.h", Text: schedH},
+		{Path: "include/nuttx/environ.h", Text: environH},
+		{Path: "include/mqueue.h", Text: mqueueH},
+		{Path: "include/semaphore.h", Text: semH},
+		{Path: "include/time.h", Text: timeH},
+		{Path: "include/stdlib.h", Text: stdlibH},
+		{Path: "include/nuttx/dev_dma.h", Text: devH},
+		{Path: "include/nuttx/drivers.h", Text: nxdriversH},
+	}
+}
+
+const schedH = `
+/**
+ * Create a new task.
+ * @param name task name string
+ * @param priority must be between 0 and 31
+ * @param stack_size must be between 128 and 65536
+ * @param behavior one of {0, 1, 2, 3}
+ * @return handle of type nxtask_t
+ */
+int task_create(const char *name, int priority, int stack_size, int behavior);
+
+/**
+ * Delete a task.
+ * @param task handle of type nxtask_t
+ */
+int task_delete(int task);
+
+/**
+ * Sleep for some microseconds.
+ * @param usec must be between 0 and 2000000
+ */
+int usleep(unsigned usec);
+
+/**
+ * Write a message to the system log.
+ * @param message message string
+ */
+int syslog_api(const char *message);
+`
+
+const environH = `
+/**
+ * Set an environment variable.
+ * @param name variable name string
+ * @param value variable value string
+ * @param overwrite one of {0, 1}
+ */
+int setenv(const char *name, const char *value, int overwrite);
+
+/**
+ * Get an environment variable.
+ * @param name variable name string
+ */
+char *getenv(const char *name);
+
+/**
+ * Remove an environment variable.
+ * @param name variable name string
+ */
+int unsetenv(const char *name);
+`
+
+const mqueueH = `
+/**
+ * Open a POSIX message queue. Names must begin with '/'.
+ * @param name queue name string, one of "/mq0", "/mq1", "/control"
+ * @param maxmsg must be between 1 and 256
+ * @param msgsize must be between 1 and 1024
+ * @return handle of type nxmq_t
+ */
+mqd_t mq_open(const char *name, unsigned maxmsg, unsigned msgsize);
+
+/**
+ * Send a message.
+ * @param mq handle of type nxmq_t
+ * @param msg buffer with the message bytes
+ * @param prio must be between 0 and 31
+ */
+int mq_send(mqd_t mq, const char *msg, unsigned prio);
+
+/**
+ * Send a message with a timeout.
+ * @param mq handle of type nxmq_t
+ * @param msg buffer with the message bytes
+ * @param prio must be between 0 and 63
+ * @param ticks timeout in ticks
+ */
+int nxmq_timedsend(mqd_t mq, const char *msg, unsigned prio, unsigned ticks);
+
+/**
+ * Receive a message.
+ * @param mq handle of type nxmq_t
+ * @param ticks timeout in ticks
+ */
+ssize_t mq_receive(mqd_t mq, unsigned ticks);
+
+/**
+ * Close a message queue.
+ * @param mq handle of type nxmq_t
+ */
+int mq_close(mqd_t mq);
+`
+
+const semH = `
+/**
+ * Initialise a semaphore.
+ * @param value must be between 0 and 32767
+ * @return handle of type nxsem_t
+ */
+int sem_init(unsigned value);
+
+/**
+ * Wait on a semaphore with a timeout.
+ * @param sem handle of type nxsem_t
+ * @param ticks timeout in ticks
+ */
+int sem_timedwait(sem_t *sem, unsigned ticks);
+
+/**
+ * Try to take a semaphore without blocking.
+ * @param sem handle of type nxsem_t
+ */
+int nxsem_trywait(sem_t *sem);
+
+/**
+ * Post a semaphore.
+ * @param sem handle of type nxsem_t
+ */
+int sem_post(sem_t *sem);
+
+/**
+ * Destroy a semaphore.
+ * @param sem handle of type nxsem_t
+ */
+int sem_destroy(sem_t *sem);
+`
+
+const timeH = `
+/**
+ * Create a POSIX timer against a clock.
+ * @param clockid must be between 0 and 7
+ * @param behavior one of {0, 1, 2}
+ * @return handle of type nxtimer_t
+ */
+int timer_create(clockid_t clockid, int behavior);
+
+/**
+ * Arm or disarm a POSIX timer.
+ * @param timer handle of type nxtimer_t
+ * @param period must be between 0 and 1048576
+ */
+int timer_settime(timer_t timer, unsigned period);
+
+/**
+ * Delete a POSIX timer.
+ * @param timer handle of type nxtimer_t
+ */
+int timer_delete(timer_t timer);
+
+/**
+ * Get the current time of day.
+ * @param tv buffer with the timeval bytes
+ * @param tz buffer with the timezone bytes
+ */
+int gettimeofday(struct timeval *tv, struct timezone *tz);
+
+/**
+ * Read a clock.
+ * @param clockid must be between 0 and 7
+ */
+int clock_gettime(clockid_t clockid);
+
+/**
+ * Get a clock's resolution.
+ * @param clockid must be between 0 and 7
+ * @param res buffer with the timespec bytes
+ */
+int clock_getres(clockid_t clockid, struct timespec *res);
+`
+
+const stdlibH = `
+/**
+ * Allocate heap memory.
+ * @param size must be between 1 and 65536
+ * @return handle of type nxmem_t
+ */
+void *malloc(size_t size);
+
+/**
+ * Free heap memory.
+ * @param ptr handle of type nxmem_t
+ */
+void free(void *ptr);
+`
+
+const devH = `
+/**
+ * Open a session on the DMA character device.
+ * @return handle of type nxdev_t
+ */
+int nx_dev_open(void);
+
+/**
+ * Drive the DMA character device session state machine.
+ * @param session handle of type nxdev_t
+ * @param cmd one of {0, 1, 2, 3, 4, 5, 6}
+ * @param value must be between 0 and 1023
+ */
+int nx_dev_ioctl(int session, unsigned cmd, unsigned value);
+
+/**
+ * Release a DMA character device session.
+ * @param session handle of type nxdev_t
+ */
+int nx_dev_close(int session);
+`
+
+const nxdriversH = `
+/**
+ * Configure the GPIO bank.
+ * @param mode bitmask of nx_periph_mode
+ * @flags nx_periph_mode ENABLE=1 IRQ=2 DMA=4 LOWPOWER=8 PSC1=256 PSC2=512 PSC3=768
+ */
+int gpio_config(unsigned mode);
+
+/**
+ * Read a channel of the GPIO bank.
+ * @param channel must be between 0 and 31
+ */
+long gpio_read(unsigned channel);
+
+/**
+ * Configure the ADC.
+ * @param mode bitmask of nx_periph_mode
+ */
+int adc_setup(unsigned mode);
+
+/**
+ * Read a channel of the ADC.
+ * @param channel must be between 0 and 31
+ */
+long adc_sample(unsigned channel);
+
+/**
+ * Configure the CAN controller.
+ * @param mode bitmask of nx_periph_mode
+ */
+int can_ioctl_cfg(unsigned mode);
+
+/**
+ * Read a channel of the CAN controller.
+ * @param channel must be between 0 and 31
+ */
+long can_receive(unsigned channel);
+`

@@ -1,0 +1,148 @@
+package nuttx_test
+
+import (
+	"testing"
+
+	"github.com/eof-fuzz/eof/internal/boards"
+	"github.com/eof-fuzz/eof/internal/cpu"
+	"github.com/eof-fuzz/eof/internal/os/nuttx"
+	"github.com/eof-fuzz/eof/internal/ostest"
+)
+
+func rig(t *testing.T) *ostest.Rig {
+	return ostest.New(t, nuttx.Info(), boards.STM32H745())
+}
+
+func TestBug14SetenvEqualsInName(t *testing.T) {
+	r := rig(t)
+	out := r.Run(
+		r.Call("setenv", ostest.Str("PATH"), ostest.Str("/bin"), ostest.Imm(1)),
+		r.Call("setenv", ostest.Str("BAD=NAME"), ostest.Str("v"), ostest.Imm(1)),
+	)
+	out.ExpectFault(t, cpu.FaultPanic, "setenv")
+}
+
+func TestSetenvEqualsOnEmptyEnvIsTolerated(t *testing.T) {
+	r := rig(t)
+	out := r.Run(r.Call("setenv", ostest.Str("BAD=NAME"), ostest.Str("v"), ostest.Imm(1)))
+	if !out.Completed {
+		t.Fatalf("outcome: %+v", out)
+	}
+}
+
+func TestBug15GettimeofdayNullTv(t *testing.T) {
+	r := rig(t)
+	out := r.Run(r.Call("gettimeofday", ostest.Imm(0), ostest.Imm(1)))
+	out.ExpectFault(t, cpu.FaultBus, "gettimeofday")
+}
+
+func TestGettimeofdayNormal(t *testing.T) {
+	r := rig(t)
+	out := r.Run(
+		r.Call("gettimeofday", ostest.Blob(make([]byte, 16)), ostest.Imm(0)),
+		r.Call("gettimeofday", ostest.Imm(0), ostest.Imm(0)), // EINVAL path
+	)
+	if !out.Completed || out.Result.Faulted {
+		t.Fatalf("outcome: %+v", out)
+	}
+}
+
+func TestBug16TimedsendPrioOverrun(t *testing.T) {
+	r := rig(t)
+	out := r.Run(
+		r.Call("mq_open", ostest.Str("/mq0"), ostest.Imm(4), ostest.Imm(16)),
+		r.Call("nxmq_timedsend", ostest.Ref(0), ostest.Blob([]byte("msg")), ostest.Imm(40), ostest.Imm(5)),
+	)
+	out.ExpectFault(t, cpu.FaultBus, "nxmq_timedsend")
+}
+
+func TestTimedsendFastPathValidates(t *testing.T) {
+	r := rig(t)
+	out := r.Run(
+		r.Call("mq_open", ostest.Str("/mq0"), ostest.Imm(4), ostest.Imm(16)),
+		r.Call("nxmq_timedsend", ostest.Ref(0), ostest.Blob([]byte("msg")), ostest.Imm(40), ostest.Imm(0)),
+	)
+	if !out.Completed {
+		t.Fatalf("outcome: %+v", out)
+	}
+	if out.Result.LastErr == 0 {
+		t.Fatal("oversized priority accepted on the fast path")
+	}
+}
+
+func TestBug17TrywaitAfterDestroy(t *testing.T) {
+	r := rig(t)
+	out := r.Run(
+		r.Call("sem_init", ostest.Imm(1)),
+		r.Call("sem_destroy", ostest.Ref(0)),
+		r.Call("nxsem_trywait", ostest.Ref(0)),
+	)
+	out.ExpectAssertHang(t, "sem->semcount >= SEM_VALUE_IRQ")
+}
+
+func TestBug18TimerCreateClockHole(t *testing.T) {
+	r := rig(t)
+	out := r.Run(r.Call("timer_create", ostest.Imm(4), ostest.Imm(0)))
+	out.ExpectFault(t, cpu.FaultPanic, "timer_create")
+}
+
+func TestTimerCreateValidIDs(t *testing.T) {
+	r := rig(t)
+	out := r.Run(
+		r.Call("timer_create", ostest.Imm(0), ostest.Imm(0)),
+		r.Call("timer_settime", ostest.Ref(0), ostest.Imm(50)),
+		r.Call("timer_create", ostest.Imm(2), ostest.Imm(0)),  // ENOSYS, checked
+		r.Call("timer_create", ostest.Imm(99), ostest.Imm(0)), // EINVAL, checked
+		r.Call("timer_delete", ostest.Ref(0)),
+	)
+	if !out.Completed || out.Result.Faulted {
+		t.Fatalf("outcome: %+v", out)
+	}
+}
+
+func TestBug19ClockGetresNullOnProcCPU(t *testing.T) {
+	r := rig(t)
+	out := r.Run(r.Call("clock_getres", ostest.Imm(2), ostest.Imm(0)))
+	out.ExpectFault(t, cpu.FaultBus, "clock_getres")
+}
+
+func TestClockGetresChecksNullElsewhere(t *testing.T) {
+	r := rig(t)
+	out := r.Run(
+		r.Call("clock_getres", ostest.Imm(0), ostest.Imm(0)), // EINVAL, checked
+		r.Call("clock_getres", ostest.Imm(0), ostest.Blob(make([]byte, 8))),
+		r.Call("clock_gettime", ostest.Imm(1)),
+	)
+	if !out.Completed || out.Result.Faulted {
+		t.Fatalf("outcome: %+v", out)
+	}
+}
+
+func TestEnvRoundTrip(t *testing.T) {
+	r := rig(t)
+	out := r.Run(
+		r.Call("setenv", ostest.Str("HOME"), ostest.Str("/root"), ostest.Imm(0)),
+		r.Call("getenv", ostest.Str("HOME")),
+		r.Call("unsetenv", ostest.Str("HOME")),
+		r.Call("getenv", ostest.Str("HOME")),
+	)
+	if !out.Completed {
+		t.Fatalf("outcome: %+v", out)
+	}
+	if out.Result.LastErr == 0 {
+		t.Fatal("getenv after unsetenv succeeded")
+	}
+}
+
+func TestMessageQueueLifecycle(t *testing.T) {
+	r := rig(t)
+	out := r.Run(
+		r.Call("mq_open", ostest.Str("/control"), ostest.Imm(4), ostest.Imm(8)),
+		r.Call("mq_send", ostest.Ref(0), ostest.Blob([]byte("payload1")), ostest.Imm(3)),
+		r.Call("mq_receive", ostest.Ref(0), ostest.Imm(5)),
+		r.Call("mq_close", ostest.Ref(0)),
+	)
+	if !out.Completed || out.Result.Executed != 4 || out.Result.LastErr != 0 {
+		t.Fatalf("outcome: %+v", out)
+	}
+}

@@ -1,0 +1,219 @@
+package pokos
+
+import "github.com/eof-fuzz/eof/internal/osinfo"
+
+// headers returns the C headers the specification generator extracts
+// PoKOS's Syzlang from.
+func headers() []osinfo.Header {
+	return []osinfo.Header{
+		{Path: "include/core/thread.h", Text: threadH},
+		{Path: "include/core/partition.h", Text: partitionH},
+		{Path: "include/middleware/port.h", Text: portH},
+		{Path: "include/core/sync.h", Text: syncH},
+		{Path: "include/core/misc.h", Text: miscH},
+		{Path: "include/drivers/dev.h", Text: pokdevH},
+		{Path: "include/drivers/periph.h", Text: pokdriversH},
+	}
+}
+
+const threadH = `
+/**
+ * Create a partition thread (only outside NORMAL mode).
+ * @param priority must be between 0 and 31
+ * @param period must be between 0 and 1000000
+ * @param behavior one of {0, 1, 2, 3}
+ * @return handle of type pokthread_t
+ */
+pok_ret_t pok_thread_create(unsigned priority, unsigned period, int behavior);
+
+/**
+ * Sleep for some milliseconds.
+ * @param ms must be between 0 and 5000
+ */
+pok_ret_t pok_thread_sleep(unsigned ms);
+
+/**
+ * Suspend a thread.
+ * @param thread handle of type pokthread_t
+ */
+pok_ret_t pok_thread_suspend(pok_thread_id_t thread);
+
+/**
+ * Resume a suspended thread.
+ * @param thread handle of type pokthread_t
+ */
+pok_ret_t pok_thread_resume(pok_thread_id_t thread);
+`
+
+const partitionH = `
+/**
+ * Change the partition operating mode.
+ * @param mode one of {0, 1, 2, 3}
+ */
+pok_ret_t pok_partition_set_mode(unsigned mode);
+
+/**
+ * Query the partition operating mode.
+ */
+unsigned pok_partition_get_mode(void);
+`
+
+const portH = `
+/**
+ * Create a sampling port.
+ * @param name port name string
+ * @param size must be between 1 and 1024
+ * @return handle of type sport_t
+ */
+pok_ret_t pok_port_sampling_create(const char *name, unsigned size);
+
+/**
+ * Write a sampling port's message.
+ * @param port handle of type sport_t
+ * @param data buffer with the message bytes
+ * @param length length of data
+ */
+pok_ret_t pok_port_sampling_write(pok_port_id_t port, const void *data, unsigned length);
+
+/**
+ * Read a sampling port's freshness.
+ * @param port handle of type sport_t
+ */
+pok_ret_t pok_port_sampling_read(pok_port_id_t port);
+
+/**
+ * Create a queuing port.
+ * @param size must be between 1 and 1024
+ * @param depth must be between 1 and 256
+ * @return handle of type qport_t
+ */
+pok_ret_t pok_port_queuing_create(unsigned size, unsigned depth);
+
+/**
+ * Send through a queuing port.
+ * @param port handle of type qport_t
+ * @param data buffer with the message bytes
+ * @param ticks timeout in ticks
+ */
+pok_ret_t pok_port_queuing_send(pok_port_id_t port, const void *data, unsigned ticks);
+
+/**
+ * Receive from a queuing port.
+ * @param port handle of type qport_t
+ * @param ticks timeout in ticks
+ */
+pok_ret_t pok_port_queuing_receive(pok_port_id_t port, unsigned ticks);
+`
+
+const syncH = `
+/**
+ * Create a counting semaphore.
+ * @param value must be between 0 and 65535
+ * @param max must be between 1 and 65535
+ * @return handle of type poksem_t
+ */
+pok_ret_t pok_sem_create(unsigned value, unsigned max);
+
+/**
+ * Wait on a semaphore.
+ * @param sem handle of type poksem_t
+ * @param ticks timeout in ticks
+ */
+pok_ret_t pok_sem_wait(pok_sem_id_t sem, unsigned ticks);
+
+/**
+ * Signal a semaphore.
+ * @param sem handle of type poksem_t
+ */
+pok_ret_t pok_sem_signal(pok_sem_id_t sem);
+
+/**
+ * Create an event.
+ * @return handle of type pokevent_t
+ */
+pok_ret_t pok_event_create(void);
+
+/**
+ * Signal an event.
+ * @param event handle of type pokevent_t
+ * @param bits must be between 1 and 16777215
+ */
+pok_ret_t pok_event_signal(pok_event_id_t event, unsigned bits);
+
+/**
+ * Wait for an event.
+ * @param event handle of type pokevent_t
+ * @param bits must be between 1 and 16777215
+ * @param ticks timeout in ticks
+ */
+pok_ret_t pok_event_wait(pok_event_id_t event, unsigned bits, unsigned ticks);
+`
+
+const miscH = `
+/**
+ * Read the system time.
+ */
+unsigned long pok_time_get(void);
+
+/**
+ * Allocate a kernel buffer.
+ * @param size must be between 1 and 65536
+ * @return handle of type pokbuf_t
+ */
+void *pok_buffer_alloc(unsigned size);
+
+/**
+ * Release a kernel buffer.
+ * @param buf handle of type pokbuf_t
+ */
+pok_ret_t pok_buffer_free(void *buf);
+`
+
+const pokdevH = `
+/**
+ * Open a session on the device controller.
+ * @return handle of type pokdev_t
+ */
+int pok_dev_open(void);
+
+/**
+ * Drive the device controller session state machine.
+ * @param session handle of type pokdev_t
+ * @param cmd one of {0, 1, 2, 3, 4, 5, 6}
+ * @param value must be between 0 and 1023
+ */
+int pok_dev_ctl(int session, unsigned cmd, unsigned value);
+
+/**
+ * Release a device controller session.
+ * @param session handle of type pokdev_t
+ */
+int pok_dev_close(int session);
+`
+
+const pokdriversH = `
+/**
+ * Configure the GPIO bank.
+ * @param mode bitmask of pok_periph_mode
+ * @flags pok_periph_mode ENABLE=1 IRQ=2 DMA=4 LOWPOWER=8 PSC1=256 PSC2=512 PSC3=768
+ */
+int pok_gpio_config(unsigned mode);
+
+/**
+ * Read a channel of the GPIO bank.
+ * @param channel must be between 0 and 31
+ */
+long pok_gpio_read(unsigned channel);
+
+/**
+ * Configure the CAN controller.
+ * @param mode bitmask of pok_periph_mode
+ */
+int pok_can_config(unsigned mode);
+
+/**
+ * Read a channel of the CAN controller.
+ * @param channel must be between 0 and 31
+ */
+long pok_can_read(unsigned channel);
+`

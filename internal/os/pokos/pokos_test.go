@@ -1,0 +1,88 @@
+package pokos_test
+
+import (
+	"testing"
+
+	"github.com/eof-fuzz/eof/internal/boards"
+	"github.com/eof-fuzz/eof/internal/os/pokos"
+	"github.com/eof-fuzz/eof/internal/ostest"
+)
+
+func rig(t *testing.T) *ostest.Rig {
+	return ostest.New(t, pokos.Info(), boards.STM32H745())
+}
+
+func TestPartitionModeGating(t *testing.T) {
+	r := rig(t)
+	out := r.Run(
+		r.Call("pok_partition_get_mode"),
+		r.Call("pok_thread_create", ostest.Imm(5), ostest.Imm(100), ostest.Imm(0)), // cold start: OK
+		r.Call("pok_partition_set_mode", ostest.Imm(3)),                            // NORMAL
+		r.Call("pok_thread_create", ostest.Imm(5), ostest.Imm(100), ostest.Imm(0)), // forbidden now
+	)
+	if !out.Completed {
+		t.Fatalf("outcome: %+v", out)
+	}
+	if out.Result.LastErr == 0 {
+		t.Fatal("thread creation in NORMAL mode succeeded")
+	}
+	// The NORMAL transition logs over the console.
+	found := false
+	for _, l := range out.UART {
+		if l == "pok: partition entering NORMAL mode" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("mode log missing: %v", out.UART)
+	}
+}
+
+func TestSamplingPorts(t *testing.T) {
+	r := rig(t)
+	out := r.Run(
+		r.Call("pok_port_sampling_create", ostest.Str("nav"), ostest.Imm(32)),
+		r.Call("pok_port_sampling_read", ostest.Ref(0)), // empty: EEMPTY
+		r.Call("pok_port_sampling_write", ostest.Ref(0), ostest.Blob([]byte("fix")), ostest.Imm(3)),
+		r.Call("pok_port_sampling_read", ostest.Ref(0)),
+	)
+	if !out.Completed || out.Result.LastErr != 0 {
+		t.Fatalf("outcome: %+v", out)
+	}
+}
+
+func TestQueuingPortsAndSync(t *testing.T) {
+	r := rig(t)
+	out := r.Run(
+		r.Call("pok_port_queuing_create", ostest.Imm(8), ostest.Imm(2)),
+		r.Call("pok_port_queuing_send", ostest.Ref(0), ostest.Blob([]byte("aa")), ostest.Imm(2)),
+		r.Call("pok_port_queuing_receive", ostest.Ref(0), ostest.Imm(2)),
+		r.Call("pok_sem_create", ostest.Imm(1), ostest.Imm(2)),
+		r.Call("pok_sem_wait", ostest.Ref(3), ostest.Imm(2)),
+		r.Call("pok_sem_signal", ostest.Ref(3)),
+		r.Call("pok_event_create"),
+		r.Call("pok_event_signal", ostest.Ref(6), ostest.Imm(0b101)),
+		r.Call("pok_event_wait", ostest.Ref(6), ostest.Imm(0b100), ostest.Imm(2)),
+		r.Call("pok_time_get"),
+	)
+	if !out.Completed || out.Result.Executed != 10 {
+		t.Fatalf("outcome: %+v", out)
+	}
+}
+
+func TestNoPlantedBugsSurviveFuzzishSequences(t *testing.T) {
+	// PoKOS carries no Table-2 bugs; a burst of edgy sequences must either
+	// complete or fail with plain errors, never fault.
+	r := rig(t)
+	out := r.Run(
+		r.Call("pok_buffer_alloc", ostest.Imm(64)),
+		r.Call("pok_buffer_free", ostest.Ref(0)),
+		r.Call("pok_buffer_free", ostest.Imm(0)),                 // bogus free: EINVAL
+		r.Call("pok_sem_wait", ostest.Imm(12345), ostest.Imm(1)), // bogus handle
+		r.Call("pok_port_sampling_write", ostest.Imm(1), ostest.Imm(0), ostest.Imm(0)),
+		r.Call("pok_partition_set_mode", ostest.Imm(9)), // out of range
+	)
+	if !out.Completed || out.Fault != nil {
+		t.Fatalf("outcome: %+v", out)
+	}
+}

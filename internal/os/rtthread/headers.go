@@ -1,0 +1,411 @@
+package rtthread
+
+import "github.com/eof-fuzz/eof/internal/osinfo"
+
+// headers returns the C headers the specification generator extracts
+// RT-Thread's Syzlang from.
+func headers() []osinfo.Header {
+	return []osinfo.Header{
+		{Path: "include/rtthread_thread.h", Text: threadH},
+		{Path: "include/rtthread_object.h", Text: objectH},
+		{Path: "include/rtthread_ipc.h", Text: ipcH},
+		{Path: "include/rtthread_mem.h", Text: memH},
+		{Path: "include/rtthread_device.h", Text: deviceH},
+		{Path: "include/rtthread_net.h", Text: netH},
+		{Path: "include/rtthread_timer.h", Text: timerH},
+		{Path: "include/rtthread_sensor.h", Text: sensorH},
+		{Path: "include/rtthread_drivers.h", Text: rtdriversH},
+	}
+}
+
+const threadH = `
+/**
+ * Create a thread.
+ * @param name thread name string
+ * @param priority must be between 0 and 31
+ * @param stack_size must be between 128 and 65536
+ * @param behavior one of {0, 1, 2, 3}
+ * @return handle of type thread_t
+ */
+rt_thread_t rt_thread_create(const char *name, unsigned priority, unsigned stack_size, int behavior);
+
+/**
+ * Delete a thread.
+ * @param thread handle of type thread_t
+ */
+rt_err_t rt_thread_delete(rt_thread_t thread);
+
+/**
+ * Sleep for some milliseconds.
+ * @param ms must be between 0 and 5000
+ */
+rt_err_t rt_thread_mdelay(unsigned ms);
+
+/**
+ * Suspend a thread.
+ * @param thread handle of type thread_t
+ */
+rt_err_t rt_thread_suspend(rt_thread_t thread);
+
+/**
+ * Resume a suspended thread.
+ * @param thread handle of type thread_t
+ */
+rt_err_t rt_thread_resume(rt_thread_t thread);
+
+/**
+ * Control a thread.
+ * @param thread handle of type thread_t
+ * @param cmd one of {0, 1, 2}
+ * @param value must be between 0 and 31
+ */
+rt_err_t rt_thread_control(rt_thread_t thread, unsigned cmd, unsigned value);
+`
+
+const objectH = `
+/**
+ * Query the class of a kernel object.
+ * @param object handle of type thread_t
+ */
+unsigned rt_object_get_type(rt_object_t object);
+
+/**
+ * Initialise a static kernel object.
+ * @param name object name string
+ * @param class must be between 0 and 9
+ * @return handle of type thread_t
+ */
+rt_err_t rt_object_init(const char *name, unsigned class);
+
+/**
+ * Find a kernel object by name and class.
+ * @param name device name string, one of "uart0", "uart1", "spi0"
+ * @param class must be between 0 and 12
+ */
+rt_object_t rt_object_find(const char *name, unsigned class);
+`
+
+const ipcH = `
+/**
+ * Create a mailbox.
+ * @param size must be between 1 and 256
+ * @return handle of type mailbox_t
+ */
+rt_mailbox_t rt_mb_create(unsigned size);
+
+/**
+ * Send a word to a mailbox.
+ * @param mb handle of type mailbox_t
+ * @param value mailbox word
+ */
+rt_err_t rt_mb_send(rt_mailbox_t mb, unsigned long value);
+
+/**
+ * Receive a word from a mailbox.
+ * @param mb handle of type mailbox_t
+ * @param ticks timeout in ticks
+ */
+rt_err_t rt_mb_recv(rt_mailbox_t mb, unsigned ticks);
+
+/**
+ * Delete a mailbox.
+ * @param mb handle of type mailbox_t
+ */
+rt_err_t rt_mb_delete(rt_mailbox_t mb);
+
+/**
+ * Create a message queue.
+ * @param msg_size must be between 1 and 1024
+ * @param max_msgs must be between 1 and 256
+ * @return handle of type msgqueue_t
+ */
+rt_mq_t rt_mq_create(unsigned msg_size, unsigned max_msgs);
+
+/**
+ * Send a message to a queue.
+ * @param mq handle of type msgqueue_t
+ * @param buffer buffer with the message bytes
+ * @param size length of buffer
+ */
+rt_err_t rt_mq_send(rt_mq_t mq, const void *buffer, unsigned size);
+
+/**
+ * Receive a message from a queue.
+ * @param mq handle of type msgqueue_t
+ * @param ticks timeout in ticks
+ */
+rt_err_t rt_mq_recv(rt_mq_t mq, unsigned ticks);
+
+/**
+ * Delete a message queue.
+ * @param mq handle of type msgqueue_t
+ */
+rt_err_t rt_mq_delete(rt_mq_t mq);
+
+/**
+ * Create a semaphore.
+ * @param value must be between 0 and 65535
+ * @return handle of type rtsem_t
+ */
+rt_sem_t rt_sem_create(unsigned value);
+
+/**
+ * Take a semaphore.
+ * @param sem handle of type rtsem_t
+ * @param ticks timeout in ticks
+ */
+rt_err_t rt_sem_take(rt_sem_t sem, unsigned ticks);
+
+/**
+ * Release a semaphore.
+ * @param sem handle of type rtsem_t
+ */
+rt_err_t rt_sem_release(rt_sem_t sem);
+
+/**
+ * Delete a semaphore.
+ * @param sem handle of type rtsem_t
+ */
+rt_err_t rt_sem_delete(rt_sem_t sem);
+
+/**
+ * Create a mutex.
+ * @return handle of type rtmutex_t
+ */
+rt_mutex_t rt_mutex_create(void);
+
+/**
+ * Take a mutex.
+ * @param mutex handle of type rtmutex_t
+ * @param ticks timeout in ticks
+ */
+rt_err_t rt_mutex_take(rt_mutex_t mutex, unsigned ticks);
+
+/**
+ * Release a mutex.
+ * @param mutex handle of type rtmutex_t
+ */
+rt_err_t rt_mutex_release(rt_mutex_t mutex);
+
+/**
+ * Create an event set.
+ * @return handle of type rtevent_t
+ */
+rt_event_t rt_event_create(void);
+
+/**
+ * Send events.
+ * @param event handle of type rtevent_t
+ * @param set must be between 1 and 4294967295
+ */
+rt_err_t rt_event_send(rt_event_t event, unsigned set);
+
+/**
+ * Receive events.
+ * @param event handle of type rtevent_t
+ * @param set must be between 1 and 16777215
+ * @param option bitmask of rt_event_opts
+ * @param ticks timeout in ticks
+ * @flags rt_event_opts RT_EVENT_FLAG_AND=1 RT_EVENT_FLAG_CLEAR=2
+ */
+rt_err_t rt_event_recv(rt_event_t event, unsigned set, unsigned option, unsigned ticks);
+`
+
+const memH = `
+/**
+ * Create a memory pool.
+ * @param name pool name string
+ * @param block_count must be between 1 and 512
+ * @param block_size must be between 1 and 4096
+ * @return handle of type mempool_t
+ */
+rt_mp_t rt_mp_create(const char *name, unsigned block_count, unsigned block_size);
+
+/**
+ * Allocate a block from a memory pool.
+ * @param mp handle of type mempool_t
+ * @param ticks timeout in ticks
+ * @return handle of type mpblock_t
+ */
+void *rt_mp_alloc(rt_mp_t mp, unsigned ticks);
+
+/**
+ * Return a block to a memory pool.
+ * @param mp handle of type mempool_t
+ * @param block handle of type mpblock_t
+ */
+void rt_mp_free(rt_mp_t mp, void *block);
+
+/**
+ * Delete a memory pool.
+ * @param mp handle of type mempool_t
+ */
+rt_err_t rt_mp_delete(rt_mp_t mp);
+
+/**
+ * Allocate memory from the system heap.
+ * @param size must be between 1 and 65536
+ * @return handle of type rtmem_t
+ */
+void *rt_malloc(unsigned size);
+
+/**
+ * Free system heap memory.
+ * @param ptr handle of type rtmem_t
+ */
+void rt_free(void *ptr);
+
+/**
+ * Resize a heap allocation.
+ * @param ptr handle of type rtmem_t
+ * @param newsize must be between 0 and 131072
+ */
+void *rt_realloc(void *ptr, unsigned newsize);
+
+/**
+ * Attach a debug name to a heap block.
+ * @param ptr handle of type rtmem_t
+ * @param name block name string
+ */
+rt_err_t rt_smem_setname(void *ptr, const char *name);
+
+/**
+ * Query free heap space.
+ */
+unsigned rt_memory_info(void);
+`
+
+const deviceH = `
+/**
+ * Find a registered device.
+ * @param name device name string, one of "uart0", "uart1", "spi0"
+ * @return handle of type device_t
+ */
+rt_device_t rt_device_find(const char *name);
+
+/**
+ * Open a device.
+ * @param dev handle of type device_t
+ * @param oflag bitmask of rt_dev_flags
+ * @flags rt_dev_flags RT_DEVICE_FLAG_RDONLY=1 RT_DEVICE_FLAG_WRONLY=2 RT_DEVICE_FLAG_STREAM=4
+ */
+rt_err_t rt_device_open(rt_device_t dev, unsigned oflag);
+
+/**
+ * Write bytes to a device.
+ * @param dev handle of type device_t
+ * @param buffer buffer with the data bytes
+ * @param size length of buffer
+ */
+rt_ssize_t rt_device_write_api(rt_device_t dev, const void *buffer, unsigned size);
+
+/**
+ * Close a device.
+ * @param dev handle of type device_t
+ */
+rt_err_t rt_device_close(rt_device_t dev);
+
+/**
+ * Unregister a device from the system.
+ * @param name device name string, one of "uart0", "uart1", "spi0"
+ */
+rt_err_t rt_device_unregister(const char *name);
+
+/**
+ * Control the serial console port.
+ * @param cmd one of {1, 2, 3}
+ * @param value must be between 0 and 200000
+ */
+rt_err_t rt_serial_ctrl(unsigned cmd, unsigned value);
+
+/**
+ * Print a message to the kernel console.
+ * @param message message string
+ */
+int rt_kprintf_api(const char *message);
+`
+
+const netH = `
+/**
+ * Create a socket and optionally bind it to an address.
+ * @pseudo
+ * @param domain must be between 0 and 65535
+ * @param type one of {0, 1, 2, 3}
+ * @param protocol must be between 0 and 32
+ * @param sockaddr buffer with the socket address bytes
+ * @return handle of type socket_t
+ */
+long syz_create_bind_socket(long domain, long type, long protocol, const void *sockaddr);
+`
+
+const timerH = `
+/**
+ * Create a software timer.
+ * @param period must be between 1 and 1048576
+ * @param flag one of {0, 1}
+ * @param behavior one of {0, 1, 2}
+ * @return handle of type rttimer_t
+ */
+rt_timer_t rt_timer_create(unsigned period, unsigned flag, int behavior);
+
+/**
+ * Start a timer.
+ * @param timer handle of type rttimer_t
+ */
+rt_err_t rt_timer_start(rt_timer_t timer);
+
+/**
+ * Stop a timer.
+ * @param timer handle of type rttimer_t
+ */
+rt_err_t rt_timer_stop(rt_timer_t timer);
+`
+
+const sensorH = `
+/**
+ * Open a session on the sensor pipeline.
+ * @return handle of type sensor_t
+ */
+int rt_sensor_open(void);
+
+/**
+ * Drive the sensor pipeline session state machine.
+ * @param session handle of type sensor_t
+ * @param cmd one of {0, 1, 2, 3, 4, 5, 6}
+ * @param value must be between 0 and 1023
+ */
+int rt_sensor_control(int session, unsigned cmd, unsigned value);
+
+/**
+ * Release a sensor pipeline session.
+ * @param session handle of type sensor_t
+ */
+int rt_sensor_close(int session);
+`
+
+const rtdriversH = `
+/**
+ * Configure the GPIO pin bank.
+ * @param mode bitmask of rt_periph_mode
+ * @flags rt_periph_mode ENABLE=1 IRQ=2 DMA=4 LOWPOWER=8 PSC1=256 PSC2=512 PSC3=768
+ */
+int rt_pin_mode(unsigned mode);
+
+/**
+ * Read a channel of the GPIO pin bank.
+ * @param channel must be between 0 and 31
+ */
+long rt_pin_read(unsigned channel);
+
+/**
+ * Configure the WLAN radio.
+ * @param mode bitmask of rt_periph_mode
+ */
+int rt_wlan_config(unsigned mode);
+
+/**
+ * Read a channel of the WLAN radio.
+ * @param channel must be between 0 and 31
+ */
+long rt_wlan_scan(unsigned channel);
+`

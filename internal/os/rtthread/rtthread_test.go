@@ -1,0 +1,168 @@
+package rtthread_test
+
+import (
+	"testing"
+
+	"github.com/eof-fuzz/eof/internal/boards"
+	"github.com/eof-fuzz/eof/internal/cpu"
+	"github.com/eof-fuzz/eof/internal/os/rtthread"
+	"github.com/eof-fuzz/eof/internal/ostest"
+)
+
+func rig(t *testing.T) *ostest.Rig {
+	return ostest.New(t, rtthread.Info(), boards.ESP32C3())
+}
+
+// Each planted RT-Thread bug (Table 2, #5–#12) must trigger exactly under
+// its documented condition and be attributable to the expected function.
+
+func TestBug5ObjectGetTypeAssert(t *testing.T) {
+	r := rig(t)
+	out := r.Run(
+		r.Call("rt_sem_create", ostest.Imm(1)),
+		r.Call("rt_sem_delete", ostest.Ref(0)),
+		r.Call("rt_object_get_type", ostest.Ref(0)),
+	)
+	out.ExpectAssertHang(t, "obj->type != RT_Object_Class_Null")
+}
+
+func TestBug6ObjectFindWildList(t *testing.T) {
+	r := rig(t)
+	out := r.Run(r.Call("rt_object_find", ostest.Str("uart0"), ostest.Imm(11)))
+	out.ExpectFault(t, cpu.FaultBus, "rt_list_isempty")
+}
+
+func TestBug7MpAllocAfterDelete(t *testing.T) {
+	r := rig(t)
+	out := r.Run(
+		r.Call("rt_mp_create", ostest.Str("mp"), ostest.Imm(4), ostest.Imm(32)),
+		r.Call("rt_mp_delete", ostest.Ref(0)),
+		r.Call("rt_mp_alloc", ostest.Ref(0), ostest.Imm(5)),
+	)
+	out.ExpectFault(t, cpu.FaultPanic, "rt_mp_alloc")
+}
+
+func TestBug7FastPathIsSafe(t *testing.T) {
+	r := rig(t)
+	out := r.Run(
+		r.Call("rt_mp_create", ostest.Str("mp"), ostest.Imm(4), ostest.Imm(32)),
+		r.Call("rt_mp_delete", ostest.Ref(0)),
+		r.Call("rt_mp_alloc", ostest.Ref(0), ostest.Imm(0)), // non-blocking: validated
+	)
+	if !out.Completed {
+		t.Fatalf("fast path crashed: %+v", out)
+	}
+}
+
+func TestBug8ObjectInitAssert(t *testing.T) {
+	r := rig(t)
+	out := r.Run(r.Call("rt_object_init", ostest.Str("x"), ostest.Imm(0)))
+	out.ExpectAssertHang(t, "type != RT_Object_Class_Null")
+}
+
+func TestBug9ReallocLockPanic(t *testing.T) {
+	r := rig(t)
+	out := r.Run(
+		r.Call("rt_malloc", ostest.Imm(64)),
+		r.Call("rt_realloc", ostest.Ref(0), ostest.Imm(0x20000)),
+	)
+	out.ExpectFault(t, cpu.FaultPanic, "_heap_lock")
+}
+
+func TestBug10EventSendBit31(t *testing.T) {
+	r := rig(t)
+	out := r.Run(
+		r.Call("rt_event_create"),
+		r.Call("rt_event_send", ostest.Ref(0), ostest.Imm(0x80000000)),
+	)
+	out.ExpectFault(t, cpu.FaultBus, "rt_event_send")
+}
+
+func TestBug11SmemSetnameOverflow(t *testing.T) {
+	r := rig(t)
+	out := r.Run(
+		r.Call("rt_malloc", ostest.Imm(8)),
+		r.Call("rt_smem_setname", ostest.Ref(0), ostest.Str("way-too-long-name-for-8")),
+	)
+	out.ExpectFault(t, cpu.FaultUsage, "rt_smem_setname")
+}
+
+func TestBug12SerialWriteAfterUnregister(t *testing.T) {
+	r := rig(t)
+	// Unregister the console device, then create a socket: the creation log
+	// dies in _serial_poll_tx (the paper's Figure 6).
+	out := r.Run(
+		r.Call("rt_device_unregister", ostest.Str("uart0")),
+		r.Call("syz_create_bind_socket", ostest.Imm(2), ostest.Imm(1), ostest.Imm(0), ostest.Imm(0)),
+	)
+	out.ExpectFault(t, cpu.FaultBus, "_serial_poll_tx")
+	// The backtrace reproduces the Figure-6 chain.
+	want := []string{"_serial_poll_tx", "rt_serial_write", "rt_device_write", "_kputs", "rt_kprintf", "sal_socket"}
+	for i, fn := range want {
+		if i >= len(out.Fault.Frames) || out.Fault.Frames[i].Func != fn {
+			t.Fatalf("frame %d = %v, want %s (frames %v)", i, out.Fault.Frames, fn, out.Fault.Frames)
+		}
+	}
+}
+
+func TestBug12SerialCtrlBrokenBaud(t *testing.T) {
+	r := rig(t)
+	out := r.Run(
+		r.Call("rt_serial_ctrl", ostest.Imm(2), ostest.Imm(12345)), // non-standard baud
+		r.Call("rt_kprintf_api", ostest.Str("hello")),
+	)
+	out.ExpectFault(t, cpu.FaultBus, "_serial_poll_tx")
+}
+
+func TestHappyPathsComplete(t *testing.T) {
+	r := rig(t)
+	out := r.Run(
+		r.Call("rt_thread_create", ostest.Str("worker"), ostest.Imm(5), ostest.Imm(512), ostest.Imm(1)),
+		r.Call("rt_mq_create", ostest.Imm(16), ostest.Imm(4)),
+		r.Call("rt_mq_send", ostest.Ref(1), ostest.Blob([]byte("0123456789abcdef")), ostest.Imm(16)),
+		r.Call("rt_mq_recv", ostest.Ref(1), ostest.Imm(5)),
+		r.Call("rt_sem_create", ostest.Imm(2)),
+		r.Call("rt_sem_take", ostest.Ref(4), ostest.Imm(5)),
+		r.Call("rt_sem_release", ostest.Ref(4)),
+		r.Call("rt_kprintf_api", ostest.Str("alive")),
+	)
+	if !out.Completed || out.Result.Executed != 8 || out.Result.Faulted {
+		t.Fatalf("outcome: %+v", out)
+	}
+}
+
+func TestSocketRequiresRadio(t *testing.T) {
+	// On the STM32 board (socket stack present via Ethernet) creation works;
+	// Table-1 style capability checks live elsewhere — here we check the
+	// ESP32 happy path plus the invalid-family log path.
+	r := rig(t)
+	out := r.Run(r.Call("syz_create_bind_socket", ostest.Imm(0xbc78), ostest.Imm(1), ostest.Imm(0), ostest.Imm(0)))
+	if !out.Completed {
+		t.Fatalf("invalid family should complete with an error: %+v", out)
+	}
+	found := false
+	for _, l := range out.UART {
+		if l == "sal_socket: unsupported address family 0xbc78" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("sal log missing: %v", out.UART)
+	}
+}
+
+func TestRecoveryAfterCrash(t *testing.T) {
+	r := rig(t)
+	out := r.Run(
+		r.Call("rt_event_create"),
+		r.Call("rt_event_send", ostest.Ref(0), ostest.Imm(0x80000000)),
+	)
+	if out.Fault == nil {
+		t.Fatal("no crash")
+	}
+	r.Restore()
+	out = r.Run(r.Call("rt_memory_info"))
+	if !out.Completed {
+		t.Fatalf("post-restore run failed: %+v", out)
+	}
+}

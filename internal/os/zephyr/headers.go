@@ -1,0 +1,303 @@
+package zephyr
+
+import "github.com/eof-fuzz/eof/internal/osinfo"
+
+// headers returns the C headers the specification generator extracts
+// Zephyr's Syzlang from.
+func headers() []osinfo.Header {
+	return []osinfo.Header{
+		{Path: "include/zephyr/kernel_thread.h", Text: threadH},
+		{Path: "include/zephyr/kernel_msgq.h", Text: msgqH},
+		{Path: "include/zephyr/kernel_sync.h", Text: syncH},
+		{Path: "include/zephyr/kernel_heap.h", Text: heapH},
+		{Path: "include/zephyr/data/json.h", Text: jsonH},
+		{Path: "include/zephyr/drivers/spi_ll.h", Text: spiH},
+		{Path: "include/zephyr/drivers.h", Text: zdriversH},
+	}
+}
+
+const threadH = `
+/**
+ * Create a thread.
+ * @param name thread name string
+ * @param priority must be between -16 and 15
+ * @param stack must be between 128 and 65536
+ * @param behavior one of {0, 1, 2, 3}
+ * @return handle of type kthread_t
+ */
+k_tid_t k_thread_create(const char *name, int priority, unsigned stack, int behavior);
+
+/**
+ * Abort a thread.
+ * @param thread handle of type kthread_t
+ */
+void k_thread_abort(k_tid_t thread);
+
+/**
+ * Sleep for some milliseconds.
+ * @param ms must be between 0 and 5000
+ */
+int k_sleep(unsigned ms);
+
+/**
+ * Change a thread's priority.
+ * @param thread handle of type kthread_t
+ * @param priority must be between -16 and 15
+ */
+void k_thread_priority_set(k_tid_t thread, int priority);
+
+/**
+ * Print a message to the console.
+ * @param message message string
+ */
+void printk_api(const char *message);
+`
+
+const msgqH = `
+/**
+ * Allocate and initialise a message queue.
+ * @param msg_size must be between 1 and 1024
+ * @param max_msgs must be between 1 and 256
+ * @return handle of type msgq_t
+ */
+int k_msgq_alloc_init(unsigned msg_size, unsigned max_msgs);
+
+/**
+ * Put a message into a queue.
+ * @param msgq handle of type msgq_t
+ * @param data buffer with the message bytes
+ * @param ticks timeout in ticks
+ */
+int k_msgq_put(struct k_msgq *msgq, const void *data, unsigned ticks);
+
+/**
+ * Get a message from a queue.
+ * @param msgq handle of type msgq_t
+ * @param ticks timeout in ticks
+ */
+int k_msgq_get(struct k_msgq *msgq, unsigned ticks);
+
+/**
+ * Discard all messages in a queue and release waiters.
+ * @param msgq handle of type msgq_t
+ */
+void k_msgq_purge(struct k_msgq *msgq);
+
+/**
+ * Release a queue's allocated buffer.
+ * @param msgq handle of type msgq_t
+ */
+int k_msgq_cleanup(struct k_msgq *msgq);
+`
+
+const syncH = `
+/**
+ * Initialise a semaphore.
+ * @param initial must be between 0 and 65535
+ * @param limit must be between 1 and 65535
+ * @return handle of type zsem_t
+ */
+int k_sem_init(unsigned initial, unsigned limit);
+
+/**
+ * Take a semaphore.
+ * @param sem handle of type zsem_t
+ * @param ticks timeout in ticks
+ */
+int k_sem_take(struct k_sem *sem, unsigned ticks);
+
+/**
+ * Give a semaphore.
+ * @param sem handle of type zsem_t
+ */
+void k_sem_give(struct k_sem *sem);
+
+/**
+ * Initialise a mutex.
+ * @return handle of type zmutex_t
+ */
+int k_mutex_init(void);
+
+/**
+ * Lock a mutex.
+ * @param mutex handle of type zmutex_t
+ * @param ticks timeout in ticks
+ */
+int k_mutex_lock(struct k_mutex *mutex, unsigned ticks);
+
+/**
+ * Unlock a mutex.
+ * @param mutex handle of type zmutex_t
+ */
+int k_mutex_unlock(struct k_mutex *mutex);
+
+/**
+ * Initialise an event object.
+ * @return handle of type zevent_t
+ */
+int k_event_init(void);
+
+/**
+ * Post events to an event object.
+ * @param event handle of type zevent_t
+ * @param events must be between 1 and 16777215
+ */
+unsigned k_event_post(struct k_event *event, unsigned events);
+
+/**
+ * Wait for events.
+ * @param event handle of type zevent_t
+ * @param events must be between 1 and 16777215
+ * @param options bitmask of zevent_opts
+ * @param ticks timeout in ticks
+ * @flags zevent_opts K_EVENT_RESET=1
+ */
+unsigned k_event_wait(struct k_event *event, unsigned events, unsigned options, unsigned ticks);
+
+/**
+ * Initialise a kernel timer.
+ * @param period must be between 1 and 1048576
+ * @param oneshot one of {0, 1}
+ * @param behavior one of {0, 1, 2}
+ * @return handle of type ztimer_t
+ */
+int k_timer_init(unsigned period, int oneshot, int behavior);
+
+/**
+ * Start a kernel timer.
+ * @param timer handle of type ztimer_t
+ */
+void k_timer_start(struct k_timer *timer);
+
+/**
+ * Stop a kernel timer.
+ * @param timer handle of type ztimer_t
+ */
+void k_timer_stop(struct k_timer *timer);
+`
+
+const heapH = `
+/**
+ * Allocate memory from the system heap.
+ * @param size must be between 1 and 65536
+ * @return handle of type zmem_t
+ */
+void *k_malloc(unsigned size);
+
+/**
+ * Free system heap memory.
+ * @param ptr handle of type zmem_t
+ */
+void k_free(void *ptr);
+
+/**
+ * Initialise a secondary k_heap arena.
+ * @param bytes must be between 1 and 65536
+ * @return handle of type zkheap_t
+ */
+int k_heap_init(unsigned bytes);
+
+/**
+ * Allocate from a k_heap arena.
+ * @param heap handle of type zkheap_t
+ * @param size must be between 1 and 4096
+ */
+void *k_heap_alloc(struct k_heap *heap, unsigned size);
+
+/**
+ * Run the heap stress test harness.
+ * @param op_count must be between 1 and 1000
+ * @param max_size must be between 1 and 8192
+ */
+int sys_heap_stress(unsigned op_count, unsigned max_size);
+
+/**
+ * Validate system heap integrity.
+ */
+int sys_heap_validate(void);
+`
+
+const jsonH = `
+/**
+ * Parse a JSON document.
+ * @param data buffer with the document bytes
+ * @param length length of data
+ * @return handle of type zjson_t
+ */
+int json_obj_parse(const char *data, unsigned length);
+
+/**
+ * Encode a parsed JSON document back to text.
+ * @param doc handle of type zjson_t
+ * @param options bitmask of zjson_flags
+ * @flags zjson_flags JSON_PRETTY=1 JSON_SORTED=2
+ */
+int json_obj_encode(int doc, unsigned options);
+
+/**
+ * Release a parsed JSON document.
+ * @param doc handle of type zjson_t
+ */
+void json_obj_free(int doc);
+`
+
+const spiH = `
+/**
+ * Open a session on the SPI low-level controller.
+ * @return handle of type spi_t
+ */
+int drv_spi_open(void);
+
+/**
+ * Drive the SPI low-level controller session state machine.
+ * @param session handle of type spi_t
+ * @param cmd one of {0, 1, 2, 3, 4, 5, 6}
+ * @param value must be between 0 and 1023
+ */
+int drv_spi_control(int session, unsigned cmd, unsigned value);
+
+/**
+ * Release a SPI low-level controller session.
+ * @param session handle of type spi_t
+ */
+int drv_spi_release(int session);
+`
+
+const zdriversH = `
+/**
+ * Configure the GPIO bank.
+ * @param mode bitmask of z_periph_mode
+ * @flags z_periph_mode ENABLE=1 IRQ=2 DMA=4 LOWPOWER=8 PSC1=256 PSC2=512 PSC3=768
+ */
+int gpio_pin_configure(unsigned mode);
+
+/**
+ * Read a channel of the GPIO bank.
+ * @param channel must be between 0 and 31
+ */
+long gpio_pin_get(unsigned channel);
+
+/**
+ * Configure the ADC.
+ * @param mode bitmask of z_periph_mode
+ */
+int adc_channel_setup(unsigned mode);
+
+/**
+ * Read a channel of the ADC.
+ * @param channel must be between 0 and 31
+ */
+long adc_read(unsigned channel);
+
+/**
+ * Configure the CAN controller.
+ * @param mode bitmask of z_periph_mode
+ */
+int can_set_mode(unsigned mode);
+
+/**
+ * Read a channel of the CAN controller.
+ * @param channel must be between 0 and 31
+ */
+long can_recv(unsigned channel);
+`

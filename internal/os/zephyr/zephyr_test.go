@@ -1,0 +1,132 @@
+package zephyr_test
+
+import (
+	"testing"
+
+	"github.com/eof-fuzz/eof/internal/boards"
+	"github.com/eof-fuzz/eof/internal/cpu"
+	"github.com/eof-fuzz/eof/internal/os/zephyr"
+	"github.com/eof-fuzz/eof/internal/ostest"
+)
+
+func rig(t *testing.T) *ostest.Rig {
+	return ostest.New(t, zephyr.Info(), boards.STM32H745())
+}
+
+func TestBug1SysHeapStress(t *testing.T) {
+	r := rig(t)
+	out := r.Run(r.Call("sys_heap_stress", ostest.Imm(200), ostest.Imm(4096)))
+	out.ExpectFault(t, cpu.FaultPanic, "sys_heap_stress")
+}
+
+func TestBug1SmallRunsAreSafe(t *testing.T) {
+	r := rig(t)
+	out := r.Run(
+		r.Call("sys_heap_stress", ostest.Imm(40), ostest.Imm(4096)),  // ≤50 ops: fine
+		r.Call("sys_heap_stress", ostest.Imm(200), ostest.Imm(1024)), // small blocks: fine
+		r.Call("sys_heap_validate"),
+	)
+	if !out.Completed || out.Result.Faulted {
+		t.Fatalf("outcome: %+v", out)
+	}
+}
+
+func TestBug2MsgqGetAfterPurge(t *testing.T) {
+	r := rig(t)
+	out := r.Run(
+		r.Call("k_msgq_alloc_init", ostest.Imm(8), ostest.Imm(4)),
+		r.Call("k_msgq_purge", ostest.Ref(0)), // purge while empty
+		r.Call("k_msgq_get", ostest.Ref(0), ostest.Imm(5)),
+	)
+	out.ExpectFault(t, cpu.FaultBus, "z_impl_k_msgq_get")
+}
+
+func TestBug2PutHealsPurge(t *testing.T) {
+	r := rig(t)
+	out := r.Run(
+		r.Call("k_msgq_alloc_init", ostest.Imm(8), ostest.Imm(4)),
+		r.Call("k_msgq_purge", ostest.Ref(0)),
+		r.Call("k_msgq_put", ostest.Ref(0), ostest.Blob([]byte("12345678")), ostest.Imm(0)),
+		r.Call("k_msgq_get", ostest.Ref(0), ostest.Imm(5)),
+	)
+	if !out.Completed || out.Result.Faulted {
+		t.Fatalf("outcome: %+v", out)
+	}
+}
+
+func TestBug3JSONEncodeDeepPretty(t *testing.T) {
+	r := rig(t)
+	out := r.Run(
+		r.Call("json_obj_parse", ostest.Blob([]byte(`{"a":{"b":{"c":{"d":1}}}}`)), ostest.Imm(25)),
+		r.Call("json_obj_encode", ostest.Ref(0), ostest.Imm(1)), // JSON_PRETTY
+	)
+	out.ExpectFault(t, cpu.FaultUsage, "json_obj_encode")
+}
+
+func TestBug4KHeapInitTiny(t *testing.T) {
+	r := rig(t)
+	out := r.Run(r.Call("k_heap_init", ostest.Imm(17)))
+	out.ExpectFault(t, cpu.FaultMemManage, "k_heap_init")
+}
+
+func TestKHeapInitBoundaries(t *testing.T) {
+	r := rig(t)
+	out := r.Run(
+		r.Call("k_heap_init", ostest.Imm(0)),  // EINVAL, checked
+		r.Call("k_heap_init", ostest.Imm(64)), // minimum safe
+		r.Call("k_heap_alloc", ostest.Ref(1), ostest.Imm(16)),
+	)
+	if !out.Completed || out.Result.Faulted {
+		t.Fatalf("outcome: %+v", out)
+	}
+}
+
+func TestDriverChainOnHardware(t *testing.T) {
+	r := rig(t)
+	out := r.Run(
+		r.Call("drv_spi_open"),
+		r.Call("drv_spi_control", ostest.Ref(0), ostest.Imm(1), ostest.Imm(0)), // INIT
+		r.Call("drv_spi_control", ostest.Ref(0), ostest.Imm(2), ostest.Imm(1)), // CHANNEL
+		r.Call("drv_spi_control", ostest.Ref(0), ostest.Imm(2), ostest.Imm(3)),
+		r.Call("drv_spi_control", ostest.Ref(0), ostest.Imm(3), ostest.Imm(0)), // ARM
+		r.Call("drv_spi_control", ostest.Ref(0), ostest.Imm(5), ostest.Imm(6)), // CALIBRATE
+		r.Call("drv_spi_control", ostest.Ref(0), ostest.Imm(6), ostest.Imm(0)), // RUN
+		r.Call("drv_spi_release", ostest.Ref(0)),
+	)
+	if !out.Completed || out.Result.Faulted || out.Result.Executed != 8 {
+		t.Fatalf("outcome: %+v", out)
+	}
+}
+
+func TestPeripheralsOnHardware(t *testing.T) {
+	r := rig(t)
+	out := r.Run(
+		r.Call("gpio_pin_configure", ostest.Imm(1|2)), // ENABLE|IRQ
+		r.Call("gpio_pin_get", ostest.Imm(3)),
+		r.Call("adc_channel_setup", ostest.Imm(1|4|0x100)),
+		r.Call("adc_read", ostest.Imm(7)),
+		r.Call("can_set_mode", ostest.Imm(1)),
+		r.Call("can_recv", ostest.Imm(0)),
+	)
+	if !out.Completed || out.Result.LastErr != 0 {
+		t.Fatalf("outcome: %+v", out)
+	}
+}
+
+func TestThreadsAndSync(t *testing.T) {
+	r := rig(t)
+	out := r.Run(
+		r.Call("k_thread_create", ostest.Str("th"), ostest.Imm(0xFFFFFFF8), ostest.Imm(512), ostest.Imm(0)), // prio -8
+		r.Call("k_thread_priority_set", ostest.Ref(0), ostest.Imm(5)),
+		r.Call("k_sem_init", ostest.Imm(1), ostest.Imm(4)),
+		r.Call("k_sem_take", ostest.Ref(2), ostest.Imm(3)),
+		r.Call("k_sem_give", ostest.Ref(2)),
+		r.Call("k_mutex_init"),
+		r.Call("k_mutex_lock", ostest.Ref(5), ostest.Imm(3)),
+		r.Call("k_mutex_unlock", ostest.Ref(5)),
+		r.Call("k_thread_abort", ostest.Ref(0)),
+	)
+	if !out.Completed || out.Result.Executed != 9 || out.Result.LastErr != 0 {
+		t.Fatalf("outcome: %+v", out)
+	}
+}

@@ -1,0 +1,233 @@
+package prog
+
+import "github.com/eof-fuzz/eof/internal/syzlang"
+
+// Mutate returns a mutated deep copy of p. The result always validates; if a
+// structural mutation breaks consistency it is repaired or abandoned.
+func (g *Generator) Mutate(p *Prog) *Prog {
+	np := p.Clone()
+	for tries := 0; tries < 4; tries++ {
+		switch g.rnd.Intn(10) {
+		case 0, 1, 2, 3, 4: // arg mutation dominates, like syzkaller
+			g.mutateArg(np)
+		case 5, 6:
+			g.insertCall(np)
+		case 7:
+			g.removeCall(np)
+		case 8:
+			g.duplicateCall(np)
+		case 9:
+			g.swapCalls(np)
+		}
+		// One mutation is usually enough; sometimes stack a second.
+		if g.rnd.Intn(3) != 0 {
+			break
+		}
+	}
+	if err := np.Validate(); err != nil {
+		return p.Clone() // should not happen; fail safe
+	}
+	return np
+}
+
+func (g *Generator) mutateArg(p *Prog) {
+	if len(p.Calls) == 0 {
+		return
+	}
+	ci := g.rnd.Intn(len(p.Calls))
+	c := p.Calls[ci]
+	if len(c.Args) == 0 {
+		return
+	}
+	// Buffer arguments carry most of the explorable structure (parsers);
+	// weight them over scalars, the way byte-level fuzzers spend their
+	// budget.
+	ai := g.rnd.Intn(len(c.Args))
+	for tries := 0; tries < 2; tries++ {
+		if _, isBuf := c.Meta.Args[ai].Type.(*syzlang.BufferType); isBuf {
+			break
+		}
+		ai = g.rnd.Intn(len(c.Args))
+	}
+	f := c.Meta.Args[ai]
+	switch t := f.Type.(type) {
+	case *syzlang.LenType:
+		// Length fields mostly track their buffer, but lying about lengths
+		// is a classic bug trigger.
+		if g.rnd.Intn(3) == 0 {
+			c.Args[ai] = &ConstArg{Val: uint64(g.rnd.Intn(4096))}
+		} else {
+			c.Args[ai] = &ConstArg{Val: uint64(bufferLen(c.Meta, c.Args, t.Target))}
+		}
+	case *syzlang.ResourceType:
+		if idx := g.producerBefore(p, ci, t.Name); idx >= 0 && g.rnd.Intn(10) < 8 {
+			c.Args[ai] = &ResultArg{Index: idx}
+		} else {
+			c.Args[ai] = &ConstArg{Val: uint64(g.rnd.Intn(0x2000))}
+		}
+	case *syzlang.IntType:
+		c.Args[ai] = g.tweakInt(c.Args[ai], t)
+	case *syzlang.FlagsType:
+		c.Args[ai] = &ConstArg{Val: g.genFlags(t)}
+	case *syzlang.TimeoutType:
+		c.Args[ai] = &ConstArg{Val: g.genTimeout()}
+	case *syzlang.StringType:
+		c.Args[ai] = &DataArg{Data: g.genString(t)}
+	case *syzlang.BufferType:
+		if da, ok := c.Args[ai].(*DataArg); ok && len(da.Data) > 0 && g.rnd.Intn(3) != 0 {
+			c.Args[ai] = &DataArg{Data: g.mutateBytes(da.Data)}
+		} else {
+			c.Args[ai] = &DataArg{Data: g.genBuffer(t)}
+		}
+		// Keep len fields in sync most of the time.
+		for li, lf := range c.Meta.Args {
+			if lt, ok := lf.Type.(*syzlang.LenType); ok && lt.Target == f.Name && g.rnd.Intn(4) != 0 {
+				c.Args[li] = &ConstArg{Val: uint64(bufferLen(c.Meta, c.Args, lt.Target))}
+			}
+		}
+	}
+}
+
+// tweakInt nudges an integer argument rather than rerolling it, preserving
+// whatever made the seed interesting.
+func (g *Generator) tweakInt(old Arg, t *syzlang.IntType) Arg {
+	ca, ok := old.(*ConstArg)
+	if !ok {
+		return &ConstArg{Val: g.genInt(t)}
+	}
+	switch g.rnd.Intn(5) {
+	case 0:
+		return &ConstArg{Val: ca.Val + 1}
+	case 1:
+		return &ConstArg{Val: ca.Val - 1}
+	case 2:
+		return &ConstArg{Val: ca.Val ^ 1<<uint(g.rnd.Intn(t.Bits))}
+	default:
+		return &ConstArg{Val: g.genInt(t)}
+	}
+}
+
+// mutateBytes applies AFL-style byte operations.
+func (g *Generator) mutateBytes(data []byte) []byte {
+	b := append([]byte(nil), data...)
+	switch g.rnd.Intn(5) {
+	case 0: // bit flip
+		b[g.rnd.Intn(len(b))] ^= byte(1 << uint(g.rnd.Intn(8)))
+	case 1: // byte overwrite
+		b[g.rnd.Intn(len(b))] = byte(g.rnd.Intn(256))
+	case 2: // insert
+		if len(b) < 512 {
+			i := g.rnd.Intn(len(b) + 1)
+			b = append(b[:i], append([]byte{byte(g.rnd.Intn(256))}, b[i:]...)...)
+		}
+	case 3: // delete
+		if len(b) > 1 {
+			i := g.rnd.Intn(len(b))
+			b = append(b[:i], b[i+1:]...)
+		}
+	case 4: // splice a dictionary token in
+		dict := g.t.Info.Dictionary
+		if len(dict) > 0 {
+			tok := dict[g.rnd.Intn(len(dict))]
+			i := g.rnd.Intn(len(b) + 1)
+			merged := append([]byte(nil), b[:i]...)
+			merged = append(merged, tok...)
+			merged = append(merged, b[i:]...)
+			if len(merged) <= 1024 {
+				b = merged
+			}
+		} else {
+			b[g.rnd.Intn(len(b))] ^= 0xFF
+		}
+	}
+	return b
+}
+
+func (g *Generator) insertCall(p *Prog) {
+	if len(p.Calls) >= MaxGenCalls {
+		return
+	}
+	meta := g.chooseCall(p)
+	// Append-with-deps keeps references simple (only backwards).
+	g.appendWithDeps(p, meta, 1)
+	if len(p.Calls) > MaxGenCalls {
+		p.Calls = p.Calls[:MaxGenCalls]
+	}
+}
+
+func (g *Generator) removeCall(p *Prog) {
+	if len(p.Calls) <= 1 {
+		return
+	}
+	victim := g.rnd.Intn(len(p.Calls))
+	p.Calls = append(p.Calls[:victim], p.Calls[victim+1:]...)
+	// Repair references: anything pointing at or past the removed call is
+	// re-targeted or replaced with a bogus handle.
+	for ci, c := range p.Calls {
+		for ai, a := range c.Args {
+			ra, ok := a.(*ResultArg)
+			if !ok {
+				continue
+			}
+			switch {
+			case ra.Index == victim:
+				rt := c.Meta.Args[ai].Type.(*syzlang.ResourceType)
+				if idx := g.producerBefore(p, ci, rt.Name); idx >= 0 {
+					c.Args[ai] = &ResultArg{Index: idx}
+				} else {
+					c.Args[ai] = &ConstArg{Val: 0}
+				}
+			case ra.Index > victim:
+				c.Args[ai] = &ResultArg{Index: ra.Index - 1}
+			}
+		}
+	}
+}
+
+func (g *Generator) duplicateCall(p *Prog) {
+	if len(p.Calls) == 0 || len(p.Calls) >= MaxGenCalls {
+		return
+	}
+	c := p.Calls[g.rnd.Intn(len(p.Calls))].clone()
+	// All its references point strictly backwards, so appending is safe.
+	p.Calls = append(p.Calls, c)
+}
+
+// swapCalls exchanges two adjacent calls when no reference crosses them.
+func (g *Generator) swapCalls(p *Prog) {
+	if len(p.Calls) < 2 {
+		return
+	}
+	i := g.rnd.Intn(len(p.Calls) - 1)
+	j := i + 1
+	// The later call must not reference the earlier one...
+	for _, a := range p.Calls[j].Args {
+		if ra, ok := a.(*ResultArg); ok && ra.Index == i {
+			return
+		}
+	}
+	// ...and nothing after j may reference either (indices change meaning).
+	for ci := j + 1; ci < len(p.Calls); ci++ {
+		for _, a := range p.Calls[ci].Args {
+			if ra, ok := a.(*ResultArg); ok && (ra.Index == i || ra.Index == j) {
+				return
+			}
+		}
+	}
+	// References inside the moved pair to calls before i are unaffected;
+	// a reference from the (old) call j to anything in (i, j) cannot exist
+	// since j == i+1.
+	p.Calls[i], p.Calls[j] = p.Calls[j], p.Calls[i]
+	// Fix self-indices: args in the new position i (old j) referencing < i
+	// stay valid; args in new j (old i) referencing < i stay valid too.
+}
+
+// producerBefore finds the most recent producer of res strictly before ci.
+func (g *Generator) producerBefore(p *Prog, ci int, res string) int {
+	for i := ci - 1; i >= 0; i-- {
+		if p.Calls[i].Meta.Ret == res {
+			return i
+		}
+	}
+	return -1
+}

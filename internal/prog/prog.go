@@ -1,0 +1,195 @@
+// Package prog implements EOF's test-case layer: typed programs over an OS's
+// validated API specification, resource-aware generation, coverage-informed
+// adjacency scoring, mutation, and serialization to the agent wire format.
+package prog
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/eof-fuzz/eof/internal/osinfo"
+	"github.com/eof-fuzz/eof/internal/syzlang"
+	"github.com/eof-fuzz/eof/internal/wire"
+)
+
+// Target binds a validated specification to the OS's dispatch table.
+type Target struct {
+	Spec *syzlang.Spec
+	Info *osinfo.Info
+	// apiIdx caches name → wire API index.
+	apiIdx map[string]int
+}
+
+// NewTarget builds a Target, rejecting specs that reference APIs missing
+// from the dispatch table.
+func NewTarget(spec *syzlang.Spec, info *osinfo.Info) (*Target, error) {
+	t := &Target{Spec: spec, Info: info, apiIdx: make(map[string]int)}
+	for _, c := range spec.Calls {
+		idx := info.APIIndex(c.Name)
+		if idx < 0 {
+			return nil, fmt.Errorf("prog: spec call %q not in %s dispatch table", c.Name, info.Name)
+		}
+		t.apiIdx[c.Name] = idx
+	}
+	return t, nil
+}
+
+// Arg is one concrete argument value.
+type Arg interface {
+	clone() Arg
+	format() string
+}
+
+// ConstArg is an immediate scalar.
+type ConstArg struct {
+	Val uint64
+}
+
+func (a *ConstArg) clone() Arg     { return &ConstArg{Val: a.Val} }
+func (a *ConstArg) format() string { return fmt.Sprintf("%#x", a.Val) }
+
+// ResultArg references the result of an earlier call in the program.
+type ResultArg struct {
+	Index int
+}
+
+func (a *ResultArg) clone() Arg     { return &ResultArg{Index: a.Index} }
+func (a *ResultArg) format() string { return fmt.Sprintf("r%d", a.Index) }
+
+// DataArg is a byte buffer staged into the agent arena.
+type DataArg struct {
+	Data []byte
+}
+
+func (a *DataArg) clone() Arg {
+	d := make([]byte, len(a.Data))
+	copy(d, a.Data)
+	return &DataArg{Data: d}
+}
+
+func (a *DataArg) format() string {
+	if len(a.Data) <= 24 {
+		return fmt.Sprintf("%q", a.Data)
+	}
+	return fmt.Sprintf("%q…(%d)", a.Data[:24], len(a.Data))
+}
+
+// Call is one concrete API invocation.
+type Call struct {
+	Meta *syzlang.Call
+	Args []Arg
+}
+
+func (c *Call) clone() *Call {
+	nc := &Call{Meta: c.Meta, Args: make([]Arg, len(c.Args))}
+	for i, a := range c.Args {
+		nc.Args[i] = a.clone()
+	}
+	return nc
+}
+
+// Prog is one test case.
+type Prog struct {
+	Calls []*Call
+}
+
+// Clone deep-copies the program.
+func (p *Prog) Clone() *Prog {
+	np := &Prog{Calls: make([]*Call, len(p.Calls))}
+	for i, c := range p.Calls {
+		np.Calls[i] = c.clone()
+	}
+	return np
+}
+
+// String renders the program in a human-readable one-call-per-line form for
+// corpus inspection and crash reports.
+func (p *Prog) String() string {
+	var b strings.Builder
+	for i, c := range p.Calls {
+		ret := ""
+		if c.Meta.Ret != "" {
+			ret = fmt.Sprintf("r%d = ", i)
+		}
+		parts := make([]string, len(c.Args))
+		for j, a := range c.Args {
+			parts[j] = a.format()
+		}
+		fmt.Fprintf(&b, "%s%s(%s)\n", ret, c.Meta.Name, strings.Join(parts, ", "))
+	}
+	return b.String()
+}
+
+// CallNames returns the sequence of call names (crash signatures use it).
+func (p *Prog) CallNames() []string {
+	out := make([]string, len(p.Calls))
+	for i, c := range p.Calls {
+		out[i] = c.Meta.Name
+	}
+	return out
+}
+
+// Serialize converts the program to the agent wire format.
+func (t *Target) Serialize(p *Prog) (*wire.Prog, error) {
+	if len(p.Calls) == 0 {
+		return nil, fmt.Errorf("prog: empty program")
+	}
+	wp := &wire.Prog{Calls: make([]wire.Call, 0, len(p.Calls))}
+	for ci, c := range p.Calls {
+		idx, ok := t.apiIdx[c.Meta.Name]
+		if !ok {
+			return nil, fmt.Errorf("prog: call %q has no dispatch index", c.Meta.Name)
+		}
+		wc := wire.Call{API: uint16(idx)}
+		for ai, a := range c.Args {
+			switch v := a.(type) {
+			case *ConstArg:
+				wc.Args = append(wc.Args, wire.Arg{Kind: wire.ArgImm, Val: v.Val})
+			case *ResultArg:
+				if v.Index < 0 || v.Index >= ci {
+					return nil, fmt.Errorf("prog: call %d arg %d references call %d", ci, ai, v.Index)
+				}
+				wc.Args = append(wc.Args, wire.Arg{Kind: wire.ArgResult, Val: uint64(v.Index)})
+			case *DataArg:
+				data := v.Data
+				if len(data) > wire.MaxBlob {
+					data = data[:wire.MaxBlob]
+				}
+				wc.Args = append(wc.Args, wire.Arg{Kind: wire.ArgBlob, Blob: data})
+			default:
+				return nil, fmt.Errorf("prog: unknown arg kind %T", a)
+			}
+		}
+		wp.Calls = append(wp.Calls, wc)
+	}
+	return wp, nil
+}
+
+// Validate checks internal consistency (result references point backwards at
+// calls that produce the right resource kind, argument counts match the
+// spec). Mutation uses it as a post-condition.
+func (p *Prog) Validate() error {
+	for ci, c := range p.Calls {
+		if len(c.Args) != len(c.Meta.Args) {
+			return fmt.Errorf("call %d (%s): %d args, spec wants %d", ci, c.Meta.Name, len(c.Args), len(c.Meta.Args))
+		}
+		for ai, a := range c.Args {
+			ra, ok := a.(*ResultArg)
+			if !ok {
+				continue
+			}
+			if ra.Index < 0 || ra.Index >= ci {
+				return fmt.Errorf("call %d arg %d: bad result index %d", ci, ai, ra.Index)
+			}
+			rt, ok := c.Meta.Args[ai].Type.(*syzlang.ResourceType)
+			if !ok {
+				return fmt.Errorf("call %d arg %d: result arg for non-resource field", ci, ai)
+			}
+			if p.Calls[ra.Index].Meta.Ret != rt.Name {
+				return fmt.Errorf("call %d arg %d: resource %s fed by producer of %s",
+					ci, ai, rt.Name, p.Calls[ra.Index].Meta.Ret)
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,245 @@
+package prog
+
+import (
+	"testing"
+
+	"github.com/eof-fuzz/eof/internal/specgen"
+	"github.com/eof-fuzz/eof/internal/syzlang"
+	"github.com/eof-fuzz/eof/internal/targets"
+	"github.com/eof-fuzz/eof/internal/wire"
+)
+
+func testTarget(t *testing.T, os string) *Target {
+	t.Helper()
+	info, err := targets.ByName(os)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := specgen.Generate(info)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tgt, err := NewTarget(res.Spec, info)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tgt
+}
+
+func TestGenerateValidates(t *testing.T) {
+	for _, os := range targets.Names() {
+		tgt := testTarget(t, os)
+		g := NewGenerator(tgt, 1, nil)
+		for i := 0; i < 200; i++ {
+			p := g.Generate(8)
+			if len(p.Calls) == 0 {
+				t.Fatalf("%s: empty program", os)
+			}
+			if err := p.Validate(); err != nil {
+				t.Fatalf("%s: generated program invalid: %v\n%s", os, err, p)
+			}
+		}
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	tgt := testTarget(t, "freertos")
+	g1 := NewGenerator(tgt, 42, nil)
+	g2 := NewGenerator(tgt, 42, nil)
+	for i := 0; i < 20; i++ {
+		a, b := g1.Generate(8), g2.Generate(8)
+		if a.String() != b.String() {
+			t.Fatalf("iteration %d diverged:\n%s\nvs\n%s", i, a, b)
+		}
+	}
+}
+
+func TestMutatePreservesValidity(t *testing.T) {
+	for _, os := range targets.Names() {
+		tgt := testTarget(t, os)
+		g := NewGenerator(tgt, 7, nil)
+		p := g.Generate(8)
+		for i := 0; i < 300; i++ {
+			p = g.Mutate(p)
+			if err := p.Validate(); err != nil {
+				t.Fatalf("%s: mutation %d invalid: %v\n%s", os, i, err, p)
+			}
+			if len(p.Calls) == 0 || len(p.Calls) > MaxGenCalls {
+				t.Fatalf("%s: mutation %d length %d", os, i, len(p.Calls))
+			}
+		}
+	}
+}
+
+func TestMutateChangesPrograms(t *testing.T) {
+	tgt := testTarget(t, "rtthread")
+	g := NewGenerator(tgt, 3, nil)
+	p := g.Generate(8)
+	changed := 0
+	for i := 0; i < 50; i++ {
+		m := g.Mutate(p)
+		if m.String() != p.String() {
+			changed++
+		}
+	}
+	if changed < 30 {
+		t.Fatalf("only %d/50 mutations changed the program", changed)
+	}
+}
+
+func TestSerializeRoundTrip(t *testing.T) {
+	tgt := testTarget(t, "freertos")
+	g := NewGenerator(tgt, 5, nil)
+	for i := 0; i < 100; i++ {
+		p := g.Generate(8)
+		wp, err := tgt.Serialize(p)
+		if err != nil {
+			t.Fatalf("serialize: %v\n%s", err, p)
+		}
+		raw, err := wp.Marshal()
+		if err != nil {
+			t.Fatalf("marshal: %v", err)
+		}
+		back, err := wire.Unmarshal(raw)
+		if err != nil {
+			t.Fatalf("unmarshal: %v", err)
+		}
+		if len(back.Calls) != len(p.Calls) {
+			t.Fatalf("call count %d != %d", len(back.Calls), len(p.Calls))
+		}
+	}
+}
+
+func TestResourceDependenciesGenerated(t *testing.T) {
+	tgt := testTarget(t, "freertos")
+	g := NewGenerator(tgt, 11, nil)
+	withRes, withRef := 0, 0
+	for i := 0; i < 200; i++ {
+		p := g.Generate(10)
+		for _, c := range p.Calls {
+			for _, a := range c.Args {
+				if _, ok := a.(*ResultArg); ok {
+					withRef++
+				}
+			}
+			if c.Meta.Ret != "" {
+				withRes++
+			}
+		}
+	}
+	if withRes == 0 || withRef == 0 {
+		t.Fatalf("resource production %d / references %d", withRes, withRef)
+	}
+	// Most resource arguments should be satisfied by real producers.
+	if withRef < 100 {
+		t.Fatalf("too few resource references: %d", withRef)
+	}
+}
+
+func TestChoiceTableRewardShapesGeneration(t *testing.T) {
+	tgt := testTarget(t, "freertos")
+	ct := NewChoiceTable(tgt.Spec)
+	// Heavily reward xQueueCreate → load_partitions adjacency.
+	for i := 0; i < 10; i++ {
+		ct.Reward("xQueueCreate", "load_partitions", 2.0)
+	}
+	if ct.Score("xQueueCreate", "load_partitions") < 4 {
+		t.Fatal("reward not recorded")
+	}
+	// The cap stops unbounded growth.
+	for i := 0; i < 100; i++ {
+		ct.Reward("xQueueCreate", "load_partitions", 2.0)
+	}
+	if ct.Score("xQueueCreate", "load_partitions") > 20 {
+		t.Fatalf("reward uncapped: %f", ct.Score("xQueueCreate", "load_partitions"))
+	}
+}
+
+func TestRandomOnlyIgnoresConstraints(t *testing.T) {
+	tgt := testTarget(t, "freertos")
+	g := NewGenerator(tgt, 9, nil)
+	g.RandomOnly = true
+	refs := 0
+	for i := 0; i < 100; i++ {
+		p := g.Generate(8)
+		if err := p.Validate(); err != nil {
+			t.Fatalf("random-only program invalid: %v", err)
+		}
+		for _, c := range p.Calls {
+			for _, a := range c.Args {
+				if _, ok := a.(*ResultArg); ok {
+					refs++
+				}
+			}
+		}
+	}
+	if refs != 0 {
+		t.Fatalf("random-only mode produced %d resource references", refs)
+	}
+}
+
+func TestLenFieldsTrackBuffers(t *testing.T) {
+	tgt := testTarget(t, "freertos")
+	g := NewGenerator(tgt, 13, nil)
+	spec := tgt.Spec.Call("http_server_handle")
+	if spec == nil {
+		t.Fatal("no http_server_handle spec")
+	}
+	matches := 0
+	for i := 0; i < 100; i++ {
+		p := &Prog{}
+		g.appendWithDeps(p, spec, 0)
+		c := p.Calls[len(p.Calls)-1]
+		da, ok1 := c.Args[0].(*DataArg)
+		la, ok2 := c.Args[1].(*ConstArg)
+		if ok1 && ok2 && int(la.Val) == len(da.Data) {
+			matches++
+		}
+	}
+	if matches < 90 {
+		t.Fatalf("len field matched buffer only %d/100 times", matches)
+	}
+}
+
+func TestProgString(t *testing.T) {
+	tgt := testTarget(t, "freertos")
+	spec := tgt.Spec.Call("xQueueCreate")
+	p := &Prog{Calls: []*Call{{
+		Meta: spec,
+		Args: []Arg{&ConstArg{Val: 4}, &ConstArg{Val: 8}},
+	}}}
+	s := p.String()
+	if s != "r0 = xQueueCreate(0x4, 0x8)\n" {
+		t.Fatalf("String = %q", s)
+	}
+}
+
+func TestValidateCatchesBadPrograms(t *testing.T) {
+	tgt := testTarget(t, "freertos")
+	create := tgt.Spec.Call("xQueueCreate")
+	send := tgt.Spec.Call("xQueueSend")
+	// Forward reference.
+	p := &Prog{Calls: []*Call{
+		{Meta: send, Args: []Arg{&ResultArg{Index: 1}, &DataArg{Data: []byte("x")}, &ConstArg{}}},
+		{Meta: create, Args: []Arg{&ConstArg{Val: 1}, &ConstArg{Val: 1}}},
+	}}
+	if err := p.Validate(); err == nil {
+		t.Fatal("forward reference accepted")
+	}
+	// Wrong arg count.
+	p2 := &Prog{Calls: []*Call{{Meta: create, Args: []Arg{&ConstArg{}}}}}
+	if err := p2.Validate(); err == nil {
+		t.Fatal("short arg list accepted")
+	}
+}
+
+func TestTargetRejectsUnknownCalls(t *testing.T) {
+	info, _ := targets.ByName("freertos")
+	spec, err := syzlang.Parse("freertos", "bogus_call(a int32)\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewTarget(spec, info); err == nil {
+		t.Fatal("spec with unknown call accepted")
+	}
+}

@@ -1,0 +1,170 @@
+// Package rsp implements the GDB Remote-Serial-Protocol-style framing used on
+// the debug link: '$'-prefixed payloads with a mod-256 two-hex-digit
+// checksum, '+'/'-' acknowledgements and bounded retransmission. Putting a
+// real wire protocol (with corruption detection and retries) between host and
+// target keeps the fuzzer honest about operating through a narrow,
+// failure-prone channel, as it must on physical JTAG/SWD probes.
+package rsp
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// MaxPayload bounds a single packet's payload, as adapter buffers do.
+const MaxPayload = 64 * 1024
+
+// MaxRetries is how many times a sender retransmits on NAK before giving up.
+const MaxRetries = 3
+
+// ErrLinkClosed reports that the underlying transport is gone.
+var ErrLinkClosed = errors.New("rsp: link closed")
+
+// ErrChecksum reports an unrecoverable framing failure after retries.
+var ErrChecksum = errors.New("rsp: checksum failure after retries")
+
+// Checksum computes the RSP mod-256 payload checksum.
+func Checksum(payload []byte) byte {
+	var s byte
+	for _, b := range payload {
+		s += b
+	}
+	return s
+}
+
+// Conn frames packets over an io.ReadWriter.
+type Conn struct {
+	rw io.ReadWriter
+	br *bufio.Reader
+}
+
+// NewConn wraps rw with packet framing.
+func NewConn(rw io.ReadWriter) *Conn {
+	return &Conn{rw: rw, br: bufio.NewReaderSize(rw, 4096)}
+}
+
+// Send transmits one packet and waits for the ACK, retransmitting on NAK.
+func (c *Conn) Send(payload []byte) error {
+	if len(payload) > MaxPayload {
+		return fmt.Errorf("rsp: payload %d exceeds max %d", len(payload), MaxPayload)
+	}
+	frame := make([]byte, 0, len(payload)+4)
+	frame = append(frame, '$')
+	frame = append(frame, payload...)
+	frame = append(frame, '#')
+	frame = append(frame, hexDigit(Checksum(payload)>>4), hexDigit(Checksum(payload)&0xF))
+
+	for attempt := 0; attempt <= MaxRetries; attempt++ {
+		if _, err := c.rw.Write(frame); err != nil {
+			return fmt.Errorf("%w: %v", ErrLinkClosed, err)
+		}
+		ack, err := c.br.ReadByte()
+		if err != nil {
+			return fmt.Errorf("%w: %v", ErrLinkClosed, err)
+		}
+		switch ack {
+		case '+':
+			return nil
+		case '-':
+			continue
+		default:
+			return fmt.Errorf("rsp: unexpected ack byte %q", ack)
+		}
+	}
+	return ErrChecksum
+}
+
+// Recv reads one packet, verifying its checksum and emitting ACK/NAK. On
+// checksum failure it NAKs and waits for the retransmission, up to
+// MaxRetries.
+func (c *Conn) Recv() ([]byte, error) {
+	for attempt := 0; attempt <= MaxRetries; attempt++ {
+		payload, err := c.recvOnce()
+		if err == nil {
+			if _, werr := c.rw.Write([]byte{'+'}); werr != nil {
+				return nil, fmt.Errorf("%w: %v", ErrLinkClosed, werr)
+			}
+			return payload, nil
+		}
+		if errors.Is(err, errBadSum) {
+			if _, werr := c.rw.Write([]byte{'-'}); werr != nil {
+				return nil, fmt.Errorf("%w: %v", ErrLinkClosed, werr)
+			}
+			continue
+		}
+		return nil, err
+	}
+	return nil, ErrChecksum
+}
+
+var errBadSum = errors.New("rsp: bad checksum")
+
+func (c *Conn) recvOnce() ([]byte, error) {
+	// Skip to the start-of-packet marker, tolerating line noise.
+	for {
+		b, err := c.br.ReadByte()
+		if err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrLinkClosed, err)
+		}
+		if b == '$' {
+			break
+		}
+	}
+	payload := make([]byte, 0, 64)
+	for {
+		b, err := c.br.ReadByte()
+		if err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrLinkClosed, err)
+		}
+		if b == '#' {
+			break
+		}
+		if len(payload) >= MaxPayload {
+			return nil, fmt.Errorf("rsp: oversized packet")
+		}
+		payload = append(payload, b)
+	}
+	var sum [2]byte
+	if _, err := io.ReadFull(c.br, sum[:]); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrLinkClosed, err)
+	}
+	want, err := parseHexByte(sum[0], sum[1])
+	if err != nil {
+		return nil, errBadSum
+	}
+	if Checksum(payload) != want {
+		return nil, errBadSum
+	}
+	return payload, nil
+}
+
+func hexDigit(v byte) byte {
+	const digits = "0123456789abcdef"
+	return digits[v&0xF]
+}
+
+func parseHexByte(hi, lo byte) (byte, error) {
+	h, err := hexVal(hi)
+	if err != nil {
+		return 0, err
+	}
+	l, err := hexVal(lo)
+	if err != nil {
+		return 0, err
+	}
+	return h<<4 | l, nil
+}
+
+func hexVal(b byte) (byte, error) {
+	switch {
+	case b >= '0' && b <= '9':
+		return b - '0', nil
+	case b >= 'a' && b <= 'f':
+		return b - 'a' + 10, nil
+	case b >= 'A' && b <= 'F':
+		return b - 'A' + 10, nil
+	}
+	return 0, fmt.Errorf("rsp: bad hex digit %q", b)
+}

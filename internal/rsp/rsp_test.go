@@ -1,0 +1,141 @@
+package rsp
+
+import (
+	"bytes"
+	"io"
+	"net"
+	"testing"
+	"testing/quick"
+)
+
+func pipePair() (*Conn, *Conn, func()) {
+	a, b := net.Pipe()
+	return NewConn(a), NewConn(b), func() { a.Close(); b.Close() }
+}
+
+func TestSendRecvRoundTrip(t *testing.T) {
+	c1, c2, done := pipePair()
+	defer done()
+	go func() {
+		c1.Send([]byte("m1000,40"))
+	}()
+	got, err := c2.Recv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "m1000,40" {
+		t.Fatalf("got %q", got)
+	}
+}
+
+func TestChecksum(t *testing.T) {
+	if Checksum([]byte("")) != 0 {
+		t.Fatal("empty checksum")
+	}
+	if Checksum([]byte{0xFF, 0x02}) != 0x01 {
+		t.Fatalf("mod-256 wrap: %#x", Checksum([]byte{0xFF, 0x02}))
+	}
+}
+
+func TestPropertyRoundTrip(t *testing.T) {
+	f := func(payload []byte) bool {
+		// The framing disallows raw '#' and '$' only via checksum recovery;
+		// payloads are arbitrary here but filtered to the safe alphabet as
+		// the protocol layer uses hex encoding for binary data.
+		for i := range payload {
+			payload[i] = 'a' + payload[i]%26
+		}
+		if len(payload) > 1024 {
+			payload = payload[:1024]
+		}
+		c1, c2, done := pipePair()
+		defer done()
+		errc := make(chan error, 1)
+		go func() { errc <- c1.Send(payload) }()
+		got, err := c2.Recv()
+		if err != nil || <-errc != nil {
+			return false
+		}
+		return bytes.Equal(got, payload)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// corruptOnce flips a byte of the first frame that passes through.
+type corruptOnce struct {
+	io.Reader
+	w         io.Writer
+	corrupted bool
+}
+
+func (c *corruptOnce) Write(p []byte) (int, error) {
+	if !c.corrupted && len(p) > 3 && p[0] == '$' {
+		c.corrupted = true
+		q := append([]byte(nil), p...)
+		q[1] ^= 0x20 // damage payload, keep framing
+		return c.w.Write(q)
+	}
+	return c.w.Write(p)
+}
+
+func TestRetransmitOnCorruption(t *testing.T) {
+	a, b := net.Pipe()
+	defer a.Close()
+	defer b.Close()
+	sender := NewConn(&corruptOnce{Reader: a, w: a})
+	receiver := NewConn(b)
+
+	errc := make(chan error, 1)
+	go func() { errc <- sender.Send([]byte("hello")) }()
+	got, err := receiver.Recv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "hello" {
+		t.Fatalf("after retransmit got %q", got)
+	}
+	if err := <-errc; err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNoiseBeforePacket(t *testing.T) {
+	a, b := net.Pipe()
+	defer a.Close()
+	defer b.Close()
+	receiver := NewConn(b)
+	go func() {
+		a.Write([]byte("garbage++"))
+		NewConn(a).Send([]byte("real"))
+	}()
+	got, err := receiver.Recv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "real" {
+		t.Fatalf("got %q", got)
+	}
+}
+
+func TestLinkClosed(t *testing.T) {
+	a, b := net.Pipe()
+	b.Close()
+	a.Close()
+	c := NewConn(a)
+	if err := c.Send([]byte("x")); err == nil {
+		t.Fatal("send on closed link succeeded")
+	}
+	if _, err := c.Recv(); err == nil {
+		t.Fatal("recv on closed link succeeded")
+	}
+}
+
+func TestOversizedPayloadRejected(t *testing.T) {
+	c := NewConn(nil)
+	big := make([]byte, MaxPayload+1)
+	if err := c.Send(big); err == nil {
+		t.Fatal("oversized payload accepted")
+	}
+}

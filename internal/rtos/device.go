@@ -1,0 +1,131 @@
+package rtos
+
+// Device open flags (stream translation of '\n' is the flag the case-study
+// bug's code path reads).
+const (
+	DevFlagRead   = 1 << 0
+	DevFlagWrite  = 1 << 1
+	DevFlagStream = 1 << 2
+)
+
+// DeviceOps is the driver interface registered with the device layer.
+type DeviceOps interface {
+	Open(k *Kernel, flags uint32) Errno
+	Close(k *Kernel) Errno
+	Write(k *Kernel, data []byte) (int, Errno)
+	Read(k *Kernel, n int) ([]byte, Errno)
+	Control(k *Kernel, cmd, arg uint64) Errno
+}
+
+// Device is one registered device. Stale marks a device that was
+// unregistered while something (e.g. the console) still holds a pointer to
+// it — dereferencing its ops afterwards is the dangling-device failure mode
+// of the paper's case study.
+type Device struct {
+	Obj        *Object
+	Name       string
+	OpenFlag   uint32
+	OpenCount  int
+	Registered bool
+	Stale      bool
+	Ops        DeviceOps
+}
+
+// Devices is the kernel device registry.
+type Devices struct {
+	k      *Kernel
+	byName map[string]*Device
+	fnFind *Fn
+	fnOpen *Fn
+}
+
+func newDevices(k *Kernel) *Devices {
+	d := &Devices{k: k, byName: make(map[string]*Device)}
+	d.fnFind = k.Fn("__device_find", "kern/device.c", 24, 4)
+	d.fnOpen = k.Fn("__device_open", "kern/device.c", 70, 6)
+	return d
+}
+
+// Register adds a device under name.
+func (d *Devices) Register(name string, ops DeviceOps, flags uint32) (*Device, Errno) {
+	if name == "" || ops == nil {
+		return nil, ErrInval
+	}
+	if _, dup := d.byName[name]; dup {
+		return nil, ErrExist
+	}
+	dev := &Device{Name: name, OpenFlag: flags, Registered: true, Ops: ops}
+	dev.Obj = d.k.Objects.New(ObjDevice, name, dev)
+	d.byName[name] = dev
+	return dev, OK
+}
+
+// Unregister removes a device from the registry. The Device struct survives
+// (anything caching it now holds a stale pointer).
+func (d *Devices) Unregister(name string) Errno {
+	dev := d.byName[name]
+	if dev == nil {
+		return ErrNotFound
+	}
+	delete(d.byName, name)
+	dev.Registered = false
+	dev.Stale = true
+	d.k.Objects.Delete(dev.Obj.ID)
+	return OK
+}
+
+// Find looks a device up by name.
+func (d *Devices) Find(name string) *Device {
+	f := d.fnFind
+	f.Enter()
+	defer f.Exit()
+	dev := d.byName[name]
+	if dev == nil {
+		f.B(1)
+		return nil
+	}
+	f.B(2)
+	return dev
+}
+
+// Open opens a device, tracking the open count.
+func (d *Devices) Open(dev *Device, flags uint32) Errno {
+	f := d.fnOpen
+	f.Enter()
+	defer f.Exit()
+	if dev == nil || !dev.Registered {
+		f.B(1)
+		return ErrNoDev
+	}
+	if e := dev.Ops.Open(d.k, flags); e.Failed() {
+		f.B(2)
+		return e
+	}
+	f.B(3)
+	dev.OpenFlag |= flags
+	dev.OpenCount++
+	return OK
+}
+
+// Close closes a device.
+func (d *Devices) Close(dev *Device) Errno {
+	f := d.fnOpen
+	f.Enter()
+	defer f.Exit()
+	if dev == nil || dev.OpenCount == 0 {
+		f.B(4)
+		return ErrState
+	}
+	f.B(5)
+	dev.OpenCount--
+	return dev.Ops.Close(d.k)
+}
+
+// Names returns registered device names (sorted order not guaranteed).
+func (d *Devices) Names() []string {
+	out := make([]string, 0, len(d.byName))
+	for n := range d.byName {
+		out = append(out, n)
+	}
+	return out
+}

@@ -1,0 +1,71 @@
+package rtos
+
+import "fmt"
+
+// Errno is the generic kernel error code. Each OS personality maps these to
+// its own convention at the API boundary (FreeRTOS pdFAIL, Zephyr -errno,
+// NuttX POSIX errno, RT-Thread RT_Exxx), but the framework keeps one set so
+// subsystems compose.
+type Errno int32
+
+// Generic error codes (negative, POSIX-flavoured where a natural mapping
+// exists).
+const (
+	OK          Errno = 0
+	ErrPerm     Errno = -1
+	ErrNotFound Errno = -2
+	ErrNoMem    Errno = -12
+	ErrBusy     Errno = -16
+	ErrExist    Errno = -17
+	ErrNoDev    Errno = -19
+	ErrInval    Errno = -22
+	ErrRange    Errno = -34
+	ErrNoSys    Errno = -38
+	ErrFull     Errno = -105
+	ErrEmpty    Errno = -106
+	ErrTimeout  Errno = -110
+	ErrState    Errno = -117
+	ErrType     Errno = -120
+)
+
+func (e Errno) Error() string { return e.String() }
+
+// Failed reports whether e indicates an error.
+func (e Errno) Failed() bool { return e != OK }
+
+func (e Errno) String() string {
+	switch e {
+	case OK:
+		return "OK"
+	case ErrPerm:
+		return "EPERM"
+	case ErrNotFound:
+		return "ENOENT"
+	case ErrNoMem:
+		return "ENOMEM"
+	case ErrBusy:
+		return "EBUSY"
+	case ErrExist:
+		return "EEXIST"
+	case ErrNoDev:
+		return "ENODEV"
+	case ErrInval:
+		return "EINVAL"
+	case ErrRange:
+		return "ERANGE"
+	case ErrNoSys:
+		return "ENOSYS"
+	case ErrFull:
+		return "EFULL"
+	case ErrEmpty:
+		return "EEMPTY"
+	case ErrTimeout:
+		return "ETIMEDOUT"
+	case ErrState:
+		return "ESTATE"
+	case ErrType:
+		return "ETYPE"
+	default:
+		return fmt.Sprintf("Errno(%d)", int32(e))
+	}
+}

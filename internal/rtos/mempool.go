@@ -1,0 +1,95 @@
+package rtos
+
+// Memory-pool parameter bounds.
+const (
+	PoolBlockMax = 4096
+	PoolCountMax = 512
+)
+
+// Pool is a fixed-block memory pool backed by one heap allocation, the
+// rt_mp/k_mem_slab style allocator for deterministic latency.
+type Pool struct {
+	Obj       *Object
+	BlockSize int
+	Count     int
+	base      uint64
+	freeList  []int // free block indices, LIFO
+	allocated map[int]bool
+	k         *Kernel
+	fnAlloc   *Fn
+	fnFree    *Fn
+}
+
+// NewPool validates parameters, carves the backing storage from the heap and
+// registers the personality's symbols for the pool ops.
+func (k *Kernel) NewPool(name string, blockSize, count int, allocName, freeName, file string) (*Object, Errno) {
+	if blockSize <= 0 || blockSize > PoolBlockMax || count <= 0 || count > PoolCountMax {
+		return nil, ErrInval
+	}
+	base := k.Heap.Alloc(blockSize * count)
+	if base == 0 {
+		return nil, ErrNoMem
+	}
+	p := &Pool{
+		BlockSize: blockSize,
+		Count:     count,
+		base:      base,
+		allocated: make(map[int]bool),
+		k:         k,
+	}
+	if f := k.Env.Syms.Lookup(allocName); f == nil {
+		p.fnAlloc = k.Fn(allocName, file, 90, 8)
+		p.fnFree = k.Fn(freeName, file, 170, 5)
+	} else {
+		// Symbols exist from an earlier pool of this personality; reuse.
+		p.fnAlloc = &Fn{k: k, SF: f}
+		p.fnFree = &Fn{k: k, SF: k.Env.Syms.Lookup(freeName)}
+	}
+	for i := count - 1; i >= 0; i-- {
+		p.freeList = append(p.freeList, i)
+	}
+	p.Obj = k.Objects.New(ObjPool, name, p)
+	return p.Obj, OK
+}
+
+// Alloc takes one block, waiting up to timeout ticks when exhausted.
+func (p *Pool) Alloc(timeout int) (uint64, Errno) {
+	f := p.fnAlloc
+	f.Enter()
+	defer f.Exit()
+	if !p.k.waitUntil(timeout, func() bool { return len(p.freeList) > 0 }) {
+		f.B(1)
+		return 0, ErrNoMem
+	}
+	f.B(2)
+	idx := p.freeList[len(p.freeList)-1]
+	p.freeList = p.freeList[:len(p.freeList)-1]
+	p.allocated[idx] = true
+	f.B(3)
+	return p.base + uint64(idx*p.BlockSize), OK
+}
+
+// Free returns a block to the pool; a foreign or double-freed address is an
+// error.
+func (p *Pool) Free(addr uint64) Errno {
+	f := p.fnFree
+	f.Enter()
+	defer f.Exit()
+	off := int64(addr) - int64(p.base)
+	if off < 0 || off%int64(p.BlockSize) != 0 || off >= int64(p.BlockSize*p.Count) {
+		f.B(1)
+		return ErrInval
+	}
+	idx := int(off) / p.BlockSize
+	if !p.allocated[idx] {
+		f.B(2)
+		return ErrState
+	}
+	f.B(3)
+	delete(p.allocated, idx)
+	p.freeList = append(p.freeList, idx)
+	return OK
+}
+
+// Available returns the number of free blocks.
+func (p *Pool) Available() int { return len(p.freeList) }

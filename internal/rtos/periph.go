@@ -1,0 +1,118 @@
+package rtos
+
+// Periph is a simple peripheral driver (GPIO bank, ADC, CAN controller,
+// radio...): a configure/read pair whose code paths depend on the
+// accumulated configuration and usage counters. Like every real peripheral
+// driver, it exists only when the board has the hardware block — on emulated
+// boards the entire cluster is unreachable, which is the reachability gap
+// between on-hardware fuzzing and emulator-bound tools (§2.2 of the paper).
+type Periph struct {
+	k      *Kernel
+	periph string
+	fnCfg  *Fn
+	fnRead *Fn
+
+	cfg     uint32
+	enabled bool
+	reads   int
+	errs    int
+}
+
+// NewPeriph registers a peripheral driver under the personality's symbols.
+func (k *Kernel) NewPeriph(periph, cfgName, readName, file string) *Periph {
+	return &Periph{
+		k:      k,
+		periph: periph,
+		fnCfg:  k.Fn(cfgName, file, 40, 14),
+		fnRead: k.Fn(readName, file, 140, 18),
+	}
+}
+
+// Peripheral configuration mode bits.
+const (
+	PeriphEnable   = 1 << 0
+	PeriphIRQ      = 1 << 1
+	PeriphDMA      = 1 << 2
+	PeriphLowPower = 1 << 3
+)
+
+// Config programs the peripheral's mode register.
+func (p *Periph) Config(cfg uint32) Errno {
+	f := p.fnCfg
+	f.Enter()
+	defer f.Exit()
+	if !p.k.Env.Spec.HasPeripheral(p.periph) {
+		f.B(1)
+		return ErrNoDev
+	}
+	if cfg&^uint32(PeriphEnable|PeriphIRQ|PeriphDMA|PeriphLowPower|0xFF00) != 0 {
+		f.B(2)
+		return ErrInval
+	}
+	f.B(3)
+	if cfg&PeriphEnable != 0 {
+		f.B(4)
+		p.enabled = true
+	} else {
+		f.B(5)
+		p.enabled = false
+	}
+	if cfg&PeriphIRQ != 0 {
+		f.B(6)
+	}
+	if cfg&PeriphDMA != 0 {
+		f.B(7)
+		if cfg&PeriphLowPower != 0 {
+			f.B(8) // DMA in low-power mode needs the retention domain
+		}
+	}
+	if cfg&PeriphLowPower != 0 {
+		f.B(9)
+	}
+	// The prescaler byte selects one of four clock trees.
+	f.B(10 + int((cfg>>8)&3))
+	p.cfg = cfg
+	return OK
+}
+
+// Read samples a channel; paths depend on channel, configuration and the
+// driver's usage history.
+func (p *Periph) Read(channel uint32) (uint64, Errno) {
+	f := p.fnRead
+	f.Enter()
+	defer f.Exit()
+	if !p.k.Env.Spec.HasPeripheral(p.periph) {
+		f.B(1)
+		return 0, ErrNoDev
+	}
+	if !p.enabled {
+		f.B(2)
+		return 0, ErrState
+	}
+	if channel > 15 {
+		f.B(3)
+		p.errs++
+		if p.errs > 8 {
+			f.B(4) // error latch saturates
+		}
+		return 0, ErrInval
+	}
+	p.reads++
+	f.B(5 + int(channel&7))
+	if p.cfg&PeriphDMA != 0 {
+		f.B(13)
+	}
+	if p.cfg&PeriphIRQ != 0 && p.reads%4 == 0 {
+		f.B(14) // deferred IRQ acknowledgement path
+	}
+	switch {
+	case p.reads == 1:
+		f.B(15)
+	case p.reads <= 8:
+		f.B(16)
+	default:
+		f.B(17)
+	}
+	sample := p.k.Rand() & 0xFFF
+	return sample | uint64(channel)<<16, OK
+}

@@ -1,0 +1,486 @@
+package rtos
+
+import (
+	"testing"
+	"testing/quick"
+
+	"github.com/eof-fuzz/eof/internal/board"
+	"github.com/eof-fuzz/eof/internal/cpu"
+	"github.com/eof-fuzz/eof/internal/flash"
+	"github.com/eof-fuzz/eof/internal/mem"
+	"github.com/eof-fuzz/eof/internal/sym"
+	"github.com/eof-fuzz/eof/internal/uart"
+	"github.com/eof-fuzz/eof/internal/vtime"
+)
+
+// testKernel builds a kernel on a synthetic environment whose target
+// goroutine runs fn; the harness drives it to completion.
+func testKernel(t *testing.T, fn func(k *Kernel)) {
+	t.Helper()
+	clock := &vtime.Clock{}
+	core := cpu.New(clock, cpu.Config{
+		Model:          vtime.CycleModel{HZ: 100_000_000},
+		CyclesPerBlock: 4,
+		MaxBreakpoints: 8,
+	})
+	mm := mem.NewMap()
+	ram := mem.NewRegion("ram", 0x2000_0000, 512*1024, mem.RW)
+	mm.MustAdd(ram)
+	dev := flash.NewDevice(1<<20, 4096)
+	env := &board.Env{
+		Spec:        &board.Spec{Name: "test", Peripherals: map[string]bool{"dma": true}},
+		Clock:       clock,
+		Core:        core,
+		Mem:         mm,
+		RAM:         ram,
+		UART:        uart.New(clock),
+		Flash:       dev,
+		Syms:        sym.NewTable(0x0800_1000),
+		FSBAddr:     0x2000_0040,
+		ScratchBase: 0x2000_9000,
+	}
+	k := NewKernel(env, "TestOS")
+	k.NewHeap(0x2001_0000, 256*1024, "t_alloc", "t_free", "t_lock", "mem.c")
+	done := make(chan struct{})
+	core.Start(func() {
+		k.SetLive()
+		defer close(done)
+		defer func() {
+			// Faults unwind with Unwind; swallow them so the harness exits.
+			if r := recover(); r != nil {
+				if _, ok := r.(Unwind); !ok {
+					panic(r)
+				}
+			}
+		}()
+		fn(k)
+	})
+	for {
+		st := core.Continue(10_000_000)
+		switch st.Kind {
+		case cpu.StopExit, cpu.StopKilled:
+			return
+		case cpu.StopFault, cpu.StopBreakpoint, cpu.StopBudget, cpu.StopCovFull:
+			select {
+			case <-done:
+				core.Kill()
+				return
+			default:
+			}
+		}
+	}
+}
+
+func TestHeapAllocFree(t *testing.T) {
+	testKernel(t, func(k *Kernel) {
+		a := k.Heap.Alloc(100)
+		b := k.Heap.Alloc(200)
+		if a == 0 || b == 0 || a == b {
+			t.Errorf("allocs: %#x %#x", a, b)
+		}
+		// Payloads are writable RAM.
+		k.WriteRAM(a, []byte("hello"))
+		if string(k.ReadRAM(a, 5)) != "hello" {
+			t.Error("payload readback")
+		}
+		if e := k.Heap.Free(a); e.Failed() {
+			t.Errorf("free a: %v", e)
+		}
+		if e := k.Heap.Free(b); e.Failed() {
+			t.Errorf("free b: %v", e)
+		}
+		if !k.Heap.Walk() {
+			t.Error("heap corrupt after frees")
+		}
+		allocs, frees, free := k.Heap.Stats()
+		if allocs != 2 || frees != 2 {
+			t.Errorf("stats: %d/%d", allocs, frees)
+		}
+		if free < 250*1024 {
+			t.Errorf("coalescing failed: %d free", free)
+		}
+	})
+}
+
+func TestHeapChurnProperty(t *testing.T) {
+	testKernel(t, func(k *Kernel) {
+		rng := uint64(12345)
+		next := func(n int) int {
+			rng ^= rng << 13
+			rng ^= rng >> 7
+			rng ^= rng << 17
+			return int(rng % uint64(n))
+		}
+		live := map[uint64]int{}
+		for i := 0; i < 3000; i++ {
+			if next(3) == 0 && len(live) > 0 {
+				for p := range live {
+					if e := k.Heap.Free(p); e.Failed() {
+						t.Fatalf("free: %v", e)
+					}
+					delete(live, p)
+					break
+				}
+			} else {
+				n := 8 + next(600)
+				if p := k.Heap.Alloc(n); p != 0 {
+					if k.Heap.BlockPayload(p) < n {
+						t.Fatalf("payload %d < requested %d", k.Heap.BlockPayload(p), n)
+					}
+					live[p] = n
+				}
+			}
+			if i%500 == 0 && !k.Heap.Walk() {
+				t.Fatalf("heap corrupt at iteration %d", i)
+			}
+		}
+		for p := range live {
+			k.Heap.Free(p)
+		}
+		if !k.Heap.Walk() {
+			t.Fatal("heap corrupt at end")
+		}
+	})
+}
+
+func TestHeapInvalidFreePanics(t *testing.T) {
+	testKernel(t, func(k *Kernel) {
+		p := k.Heap.Alloc(64)
+		k.Heap.Free(p)
+		defer func() {
+			r := recover()
+			u, ok := r.(Unwind)
+			if !ok || u.Fault.Kind != cpu.FaultPanic {
+				t.Errorf("double free: %v", r)
+			}
+			panic(r) // let the harness swallow it
+		}()
+		k.Heap.Free(p) // double free must panic
+	})
+}
+
+func TestQueueSemantics(t *testing.T) {
+	testKernel(t, func(k *Kernel) {
+		obj, e := k.NewQueue("q", 8, 2)
+		if e.Failed() {
+			t.Fatalf("create: %v", e)
+		}
+		q := obj.Data.(*Queue)
+		if e := q.Send([]byte("a"), 0); e.Failed() {
+			t.Errorf("send1: %v", e)
+		}
+		if e := q.Send([]byte("b"), 0); e.Failed() {
+			t.Errorf("send2: %v", e)
+		}
+		if e := q.Send([]byte("c"), 2); e != ErrFull {
+			t.Errorf("send to full queue: %v", e)
+		}
+		item, e := q.Recv(0)
+		if e.Failed() || item[0] != 'a' {
+			t.Errorf("recv: %q %v", item, e)
+		}
+		q.Recv(0)
+		if _, e := q.Recv(1); e != ErrEmpty {
+			t.Errorf("recv empty: %v", e)
+		}
+		if e := q.Destroy(); e.Failed() {
+			t.Errorf("destroy: %v", e)
+		}
+		if _, e := k.Objects.GetTyped(obj.ID, ObjQueue); e != ErrState {
+			t.Errorf("dead queue resolve: %v", e)
+		}
+	})
+}
+
+func TestQueueCreateValidation(t *testing.T) {
+	testKernel(t, func(k *Kernel) {
+		for _, tc := range [][2]int{{0, 4}, {4, 0}, {QueueItemMax + 1, 4}, {4, QueueDepthMax + 1}} {
+			if _, e := k.NewQueue("bad", tc[0], tc[1]); e != ErrInval {
+				t.Errorf("NewQueue(%d,%d): %v", tc[0], tc[1], e)
+			}
+		}
+	})
+}
+
+func TestSemaphore(t *testing.T) {
+	testKernel(t, func(k *Kernel) {
+		obj, e := k.NewSemaphore("s", 1, 2)
+		if e.Failed() {
+			t.Fatal(e)
+		}
+		s := obj.Data.(*Semaphore)
+		if e := s.Take(0); e.Failed() {
+			t.Errorf("take: %v", e)
+		}
+		if e := s.Take(3); e != ErrTimeout {
+			t.Errorf("take empty: %v", e)
+		}
+		s.Give()
+		s.Give()
+		if e := s.Give(); e != ErrFull {
+			t.Errorf("give past max: %v", e)
+		}
+		if _, e := k.NewSemaphore("bad", 3, 2); e != ErrInval {
+			t.Errorf("initial > max: %v", e)
+		}
+	})
+}
+
+func TestMutexAndEvents(t *testing.T) {
+	testKernel(t, func(k *Kernel) {
+		mo, _ := k.NewMutex("m", false)
+		m := mo.Data.(*Mutex)
+		if e := m.Unlock(); e != ErrPerm {
+			t.Errorf("unlock unheld: %v", e)
+		}
+		if e := m.Lock(0); e.Failed() {
+			t.Errorf("lock: %v", e)
+		}
+		if e := m.Lock(2); e != ErrTimeout {
+			t.Errorf("relock non-recursive: %v", e)
+		}
+		m.Unlock()
+
+		eo, _ := k.NewEvent("e")
+		ev := eo.Data.(*Event)
+		if e := ev.Send(0); e != ErrInval {
+			t.Errorf("send zero bits: %v", e)
+		}
+		ev.Send(0b101)
+		got, e := ev.Recv(0b100, EvtClear, 0)
+		if e.Failed() || got != 0b100 {
+			t.Errorf("recv: %b %v", got, e)
+		}
+		if ev.Bits != 0b001 {
+			t.Errorf("clear failed: %b", ev.Bits)
+		}
+		if _, e := ev.Recv(0b110, EvtAll, 2); e != ErrTimeout {
+			t.Errorf("wait all: %v", e)
+		}
+	})
+}
+
+func TestSchedulerTasks(t *testing.T) {
+	testKernel(t, func(k *Kernel) {
+		k.InitSched("tick", "pick", "switch", "sched.c")
+		if _, e := k.Sched.Create("t", -1, 256, 0); e != ErrInval {
+			t.Errorf("bad prio: %v", e)
+		}
+		if _, e := k.Sched.Create("t", 5, 1, 0); e != ErrInval {
+			t.Errorf("bad stack: %v", e)
+		}
+		o1, _ := k.Sched.Create("hi", 1, 512, 0)
+		k.Sched.Create("lo", 20, 512, 1)
+		k.TickN(20)
+		hi := o1.Data.(*Task)
+		if hi.RunCount == 0 {
+			t.Error("high-priority task never ran")
+		}
+		if k.Sched.Current() == nil || k.Sched.Current().Prio != 1 {
+			t.Errorf("current: %+v", k.Sched.Current())
+		}
+		hi.State = TaskSuspended
+		k.TickN(5)
+		if k.Sched.Current().Prio != 20 {
+			t.Error("scheduler did not fall back to low-priority task")
+		}
+		if k.Sched.TaskCount() != 2 {
+			t.Errorf("task count: %d", k.Sched.TaskCount())
+		}
+	})
+}
+
+func TestTimers(t *testing.T) {
+	testKernel(t, func(k *Kernel) {
+		obj, e := k.NewTimer("t", 5, false, 0)
+		if e.Failed() {
+			t.Fatal(e)
+		}
+		tm := obj.Data.(*Timer)
+		if e := tm.Stop(); e != ErrState {
+			t.Errorf("stop disarmed: %v", e)
+		}
+		tm.Start()
+		if e := tm.Start(); e != ErrBusy {
+			t.Errorf("double start: %v", e)
+		}
+		k.TickN(12)
+		if tm.Fires != 2 {
+			t.Errorf("periodic fires: %d", tm.Fires)
+		}
+		tm.Stop()
+		k.TickN(10)
+		if tm.Fires != 2 {
+			t.Error("fired while stopped")
+		}
+		if _, e := k.NewTimer("bad", 0, false, 0); e != ErrInval {
+			t.Errorf("zero period: %v", e)
+		}
+	})
+}
+
+func TestPools(t *testing.T) {
+	testKernel(t, func(k *Kernel) {
+		obj, e := k.NewPool("p", 32, 4, "p_alloc", "p_free", "pool.c")
+		if e.Failed() {
+			t.Fatal(e)
+		}
+		p := obj.Data.(*Pool)
+		var blocks []uint64
+		for i := 0; i < 4; i++ {
+			b, e := p.Alloc(0)
+			if e.Failed() {
+				t.Fatalf("alloc %d: %v", i, e)
+			}
+			blocks = append(blocks, b)
+		}
+		if _, e := p.Alloc(2); e != ErrNoMem {
+			t.Errorf("alloc from empty pool: %v", e)
+		}
+		if e := p.Free(blocks[0] + 1); e != ErrInval {
+			t.Errorf("misaligned free: %v", e)
+		}
+		if e := p.Free(blocks[0]); e.Failed() {
+			t.Errorf("free: %v", e)
+		}
+		if e := p.Free(blocks[0]); e != ErrState {
+			t.Errorf("double free: %v", e)
+		}
+		if p.Available() != 1 {
+			t.Errorf("available: %d", p.Available())
+		}
+	})
+}
+
+func TestDriverStateMachine(t *testing.T) {
+	testKernel(t, func(k *Kernel) {
+		d := k.NewDriver("dma", "d_open", "d_ctl", "d_close", "drv.c")
+		h, e := d.Open()
+		if e.Failed() {
+			t.Fatal(e)
+		}
+		// Order is enforced.
+		if _, e := d.Ctl(h, DrvCmdArm, 0); e != ErrState {
+			t.Errorf("arm before init: %v", e)
+		}
+		if _, e := d.Ctl(h, DrvCmdInit, 0); e.Failed() {
+			t.Errorf("init: %v", e)
+		}
+		if _, e := d.Ctl(h, DrvCmdArm, 0); e != ErrInval {
+			t.Errorf("arm without channels: %v", e)
+		}
+		d.Ctl(h, DrvCmdChannel, 0)
+		d.Ctl(h, DrvCmdChannel, 1)
+		if _, e := d.Ctl(h, DrvCmdArm, 0); e.Failed() {
+			t.Errorf("arm: %v", e)
+		}
+		if _, e := d.Ctl(h, DrvCmdTrigger, 0); e.Failed() {
+			t.Errorf("trigger: %v", e)
+		}
+		if _, e := d.Ctl(h, DrvCmdRun, 0); e != ErrState {
+			t.Errorf("run before calibrate: %v", e)
+		}
+		d.Ctl(h, DrvCmdCalibrate, 3)
+		v, e := d.Ctl(h, DrvCmdRun, 0)
+		if e.Failed() || v != 3 {
+			t.Errorf("run: %d %v", v, e)
+		}
+		// Reset rewinds the machine.
+		d.Ctl(h, DrvCmdReset, 0)
+		if _, e := d.Ctl(h, DrvCmdRun, 0); e != ErrState {
+			t.Errorf("run after reset: %v", e)
+		}
+		if e := d.Close(h); e.Failed() {
+			t.Errorf("close: %v", e)
+		}
+		if _, e := d.Ctl(h, DrvCmdInit, 42); e != ErrState {
+			t.Errorf("ctl on closed session: %v", e)
+		}
+	})
+}
+
+func TestDriverNeedsPeripheral(t *testing.T) {
+	testKernel(t, func(k *Kernel) {
+		k.Env.Spec.Peripherals = map[string]bool{}
+		d := k.NewDriver("dma", "x_open", "x_ctl", "x_close", "drv.c")
+		if _, e := d.Open(); e != ErrNoDev {
+			t.Errorf("open without peripheral: %v", e)
+		}
+	})
+}
+
+func TestObjectsTable(t *testing.T) {
+	testKernel(t, func(k *Kernel) {
+		o := k.Objects.New(ObjSem, "s", 42)
+		if got := k.Objects.Get(o.ID); got != o {
+			t.Error("Get")
+		}
+		if _, e := k.Objects.GetTyped(o.ID, ObjQueue); e != ErrType {
+			t.Errorf("type confusion: %v", e)
+		}
+		if _, e := k.Objects.GetTyped(999999, ObjSem); e != ErrNotFound {
+			t.Errorf("missing: %v", e)
+		}
+		if e := k.Objects.Delete(o.ID); e.Failed() {
+			t.Errorf("delete: %v", e)
+		}
+		if e := k.Objects.Delete(o.ID); e != ErrState {
+			t.Errorf("double delete: %v", e)
+		}
+		if _, e := k.Objects.GetTyped(o.ID, ObjSem); e != ErrState {
+			t.Errorf("dead resolve: %v", e)
+		}
+	})
+}
+
+func TestKprintfReachesUART(t *testing.T) {
+	testKernel(t, func(k *Kernel) {
+		k.Kprintf("boot value %d\n", 7)
+		lines := k.Env.UART.Drain()
+		if len(lines) != 1 || lines[0].Text != "boot value 7" {
+			t.Errorf("uart: %+v", lines)
+		}
+	})
+}
+
+func TestPanicFaultWritesFSBAndBanner(t *testing.T) {
+	testKernel(t, func(k *Kernel) {
+		f := k.Fn("victim_fn", "src/victim.c", 10, 3)
+		defer func() {
+			r := recover()
+			u, ok := r.(Unwind)
+			if !ok {
+				t.Errorf("unwind: %v", r)
+				panic(r)
+			}
+			if u.Fault.Kind != cpu.FaultUsage || len(u.Fault.Frames) == 0 ||
+				u.Fault.Frames[0].Func != "victim_fn" {
+				t.Errorf("fault: %+v", u.Fault)
+			}
+			found := false
+			for _, l := range k.Env.UART.Drain() {
+				if l.Text == "*** UsageFault: boom" {
+					found = true
+				}
+			}
+			if !found {
+				t.Error("banner missing")
+			}
+			panic(r)
+		}()
+		f.Enter()
+		k.PanicFault(cpu.FaultUsage, "boom")
+	})
+}
+
+func TestErrnoStrings(t *testing.T) {
+	f := func(v int16) bool {
+		return Errno(v).String() != ""
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+	if OK.Failed() || !ErrInval.Failed() {
+		t.Fatal("Failed() wrong")
+	}
+}

@@ -1,0 +1,250 @@
+package rtos
+
+import "github.com/eof-fuzz/eof/internal/cpu"
+
+// Driver models a peripheral driver with session-scoped, stage-gated state —
+// the open/ioctl/close shape of real embedded drivers where each
+// configuration stage unlocks further code (init → channel setup → arm →
+// trigger → calibrate → run). Reaching the deep stages requires a correctly
+// ordered, correctly parameterised call chain against one session handle,
+// which is exactly the structure coverage-guided fuzzing climbs stage by
+// stage while unguided generation must get right in a single throw.
+//
+// The driver requires a hardware peripheral block; on emulated boards
+// (QEMU-style) Open fails with ENODEV, so this entire code region is
+// unreachable for emulation-bound tools.
+type Driver struct {
+	k          *Kernel
+	peripheral string
+	fnOpen     *Fn
+	fnCtl      *Fn
+	fnClose    *Fn
+	sessions   int
+}
+
+// Session stages.
+const (
+	stageClosed = iota
+	stageInit
+	stageArmed
+	stageCalibrated
+)
+
+// Driver control commands.
+const (
+	DrvCmdReset     = 0
+	DrvCmdInit      = 1
+	DrvCmdChannel   = 2
+	DrvCmdArm       = 3
+	DrvCmdTrigger   = 4
+	DrvCmdCalibrate = 5
+	DrvCmdRun       = 6
+)
+
+// DrvSession is one open driver session.
+type DrvSession struct {
+	Obj      *Object
+	stage    int
+	channels uint32
+	calib    uint32
+	runs     int
+	ops      int
+}
+
+// NewDriver registers a stage-gated driver under the personality's symbol
+// names. peripheral names the hardware block it needs.
+func (k *Kernel) NewDriver(peripheral, openName, ctlName, closeName, file string) *Driver {
+	return &Driver{
+		k:          k,
+		peripheral: peripheral,
+		fnOpen:     k.Fn(openName, file, 30, 6),
+		fnCtl:      k.Fn(ctlName, file, 90, 64),
+		fnClose:    k.Fn(closeName, file, 420, 4),
+	}
+}
+
+// Open creates a session. Fails with ENODEV when the board lacks the
+// peripheral, and with EBUSY past the controller's 8 session slots.
+func (d *Driver) Open() (uint32, Errno) {
+	f := d.fnOpen
+	f.Enter()
+	defer f.Exit()
+	if !d.k.Env.Spec.HasPeripheral(d.peripheral) {
+		f.B(1)
+		return 0, ErrNoDev
+	}
+	f.B(2)
+	if d.sessions >= 8 {
+		f.B(3)
+		return 0, ErrBusy
+	}
+	f.B(4)
+	s := &DrvSession{stage: stageClosed}
+	s.Obj = d.k.Objects.New(ObjHeapRef, "drvsess", s)
+	d.sessions++
+	f.B(5)
+	return s.Obj.ID, OK
+}
+
+// Close releases a session.
+func (d *Driver) Close(handle uint32) Errno {
+	f := d.fnClose
+	f.Enter()
+	defer f.Exit()
+	s, e := d.session(handle)
+	if e.Failed() {
+		f.B(1)
+		return e
+	}
+	f.B(2)
+	if s.stage >= stageArmed {
+		f.B(3) // quiesce path
+	}
+	d.sessions--
+	return d.k.Objects.Delete(handle)
+}
+
+func (d *Driver) session(handle uint32) (*DrvSession, Errno) {
+	o, e := d.k.Objects.GetTyped(handle, ObjHeapRef)
+	if e.Failed() {
+		return nil, e
+	}
+	s, ok := o.Data.(*DrvSession)
+	if !ok {
+		return nil, ErrType
+	}
+	return s, OK
+}
+
+// Ctl drives the session state machine. Progress is ordered (init →
+// channels → arm → calibrate → run) and the code reached depends on the
+// whole configuration accumulated on this session — sub-mode, channel
+// combination, calibration word, run and op counts — so long, coherent
+// command chains against one handle reach combinations short random
+// sequences never assemble.
+func (d *Driver) Ctl(handle uint32, cmd, arg uint32) (uint64, Errno) {
+	f := d.fnCtl
+	f.Enter()
+	defer f.Exit()
+	s, e := d.session(handle)
+	if e.Failed() {
+		f.B(1)
+		return 0, e
+	}
+	s.ops++
+	defer f.B(56 + opsClass(s.ops))
+	switch cmd {
+	case DrvCmdReset:
+		f.B(2)
+		s.stage, s.channels, s.calib, s.runs = stageClosed, 0, 0, 0
+		return 0, OK
+
+	case DrvCmdInit:
+		if s.stage != stageClosed {
+			f.B(3)
+			return 0, ErrState
+		}
+		s.stage = stageInit
+		f.B(4 + int(arg&3)) // clock sub-mode
+		return 1, OK
+
+	case DrvCmdChannel:
+		if s.stage < stageInit {
+			f.B(3)
+			return 0, ErrState
+		}
+		ch := arg & 3
+		s.channels |= 1 << ch
+		f.B(8 + int(ch))
+		f.B(12 + popcount4(s.channels))
+		return uint64(s.channels), OK
+
+	case DrvCmdArm:
+		if s.stage != stageInit {
+			f.B(3)
+			return 0, ErrState
+		}
+		if s.channels == 0 {
+			f.B(1)
+			return 0, ErrInval
+		}
+		s.stage = stageArmed
+		f.B(17 + popcount4(s.channels))
+		return uint64(popcount4(s.channels)), OK
+
+	case DrvCmdTrigger:
+		if s.stage < stageArmed {
+			f.B(3)
+			return 0, ErrState
+		}
+		f.B(22 + int(s.channels&0xF)) // 16 combination paths
+		return uint64(s.channels), OK
+
+	case DrvCmdCalibrate:
+		if s.stage != stageArmed {
+			f.B(3)
+			return 0, ErrState
+		}
+		s.calib = arg & 15
+		s.stage = stageCalibrated
+		f.B(38 + int(s.calib&7))
+		return uint64(s.calib), OK
+
+	case DrvCmdRun:
+		if s.stage != stageCalibrated {
+			f.B(3)
+			return 0, ErrState
+		}
+		s.runs++
+		f.B(46 + int(s.calib&7))
+		f.B(54 + min2(s.runs-1, 1))
+		// Deep liveness defect: after a long command chain the descriptor
+		// ring wraps into the controller's shadow registers. Only sustained,
+		// correctly staged sessions get here.
+		if s.ops >= 20 && s.runs >= 6 && s.calib == 7 {
+			d.k.PanicFault(cpu.FaultMemManage, "drv: descriptor ring wrapped into shadow registers")
+		}
+		return uint64(s.calib) * uint64(s.runs), OK
+
+	default:
+		f.B(2)
+		return 0, ErrNoSys
+	}
+}
+
+// opsClass buckets a session's total command count (0..7).
+func opsClass(n int) int {
+	switch {
+	case n <= 1:
+		return 0
+	case n <= 2:
+		return 1
+	case n <= 3:
+		return 2
+	case n <= 4:
+		return 3
+	case n <= 6:
+		return 4
+	case n <= 9:
+		return 5
+	case n <= 14:
+		return 6
+	default:
+		return 7
+	}
+}
+
+func min2(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func popcount4(v uint32) int {
+	n := 0
+	for b := v & 0xF; b != 0; b &= b - 1 {
+		n++
+	}
+	return n
+}

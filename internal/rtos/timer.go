@@ -1,0 +1,121 @@
+package rtos
+
+// Timer parameter bounds.
+const (
+	TimerPeriodMin = 1
+	TimerPeriodMax = 1 << 20
+)
+
+// Timer is a software timer driven by the kernel tick.
+type Timer struct {
+	Obj      *Object
+	Period   uint64
+	OneShot  bool
+	Armed    bool
+	NextFire uint64
+	Fires    uint64
+	Behavior int
+	k        *Kernel
+}
+
+// TimerWheel holds all software timers and fires them from the tick path.
+type TimerWheel struct {
+	k      *Kernel
+	timers []*Timer
+	fnTick *Fn
+	fnCb   *Fn
+}
+
+func newTimerWheel(k *Kernel) *TimerWheel {
+	w := &TimerWheel{k: k}
+	w.fnTick = k.Fn("__timer_wheel_tick", "kern/timer.c", 55, 6)
+	w.fnCb = k.Fn("__timer_callback", "kern/timer.c", 130, 5)
+	return w
+}
+
+// NewTimer validates parameters and creates a (disarmed) timer.
+func (k *Kernel) NewTimer(name string, period uint64, oneShot bool, behavior int) (*Object, Errno) {
+	if period < TimerPeriodMin || period > TimerPeriodMax {
+		return nil, ErrInval
+	}
+	t := &Timer{
+		Period:   period,
+		OneShot:  oneShot,
+		Behavior: ((behavior % 3) + 3) % 3,
+		k:        k,
+	}
+	t.Obj = k.Objects.New(ObjTimer, name, t)
+	k.Timers.timers = append(k.Timers.timers, t)
+	return t.Obj, OK
+}
+
+// Start arms the timer relative to the current tick.
+func (t *Timer) Start() Errno {
+	if t.Armed {
+		return ErrBusy
+	}
+	t.Armed = true
+	t.NextFire = t.k.Ticks + t.Period
+	return OK
+}
+
+// Stop disarms the timer.
+func (t *Timer) Stop() Errno {
+	if !t.Armed {
+		return ErrState
+	}
+	t.Armed = false
+	return OK
+}
+
+// tick fires due timers.
+func (w *TimerWheel) tick() {
+	if len(w.timers) == 0 {
+		return
+	}
+	f := w.fnTick
+	f.Enter()
+	for _, t := range w.timers {
+		if !t.Armed || t.NextFire > w.k.Ticks || !t.Obj.Alive {
+			continue
+		}
+		f.B(1)
+		t.Fires++
+		if t.OneShot {
+			f.B(2)
+			t.Armed = false
+		} else {
+			f.B(3)
+			t.NextFire = w.k.Ticks + t.Period
+		}
+		w.fire(t)
+	}
+	f.Exit()
+}
+
+// fire runs the timer callback's synthetic body.
+func (w *TimerWheel) fire(t *Timer) {
+	f := w.fnCb
+	f.Enter()
+	switch t.Behavior {
+	case 0: // lightweight bookkeeping
+		f.B(1)
+	case 1: // poke the scheduler's sleepers
+		f.B(2)
+		for _, task := range w.k.Sched.tasks {
+			if task.State == TaskSleeping {
+				f.B(3)
+				task.WakeTick = w.k.Ticks
+				break
+			}
+		}
+	case 2: // heap churn from interrupt-ish context
+		if h := w.k.Heap; h != nil {
+			f.B(4)
+			if p := h.Alloc(8); p != 0 {
+				h.Free(p)
+			}
+		}
+	}
+	f.Exit()
+}

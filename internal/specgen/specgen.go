@@ -1,0 +1,275 @@
+// Package specgen extracts API specifications from the target OS's headers
+// and reference documentation, emitting Syzlang that is then post-validated
+// by the syzlang parser/type-checker. The paper performs this extraction
+// with GPT-4o; this implementation substitutes a deterministic extractor
+// over the same inputs (C prototypes plus natural-language parameter
+// descriptions) so campaigns are reproducible. The validation pipeline —
+// parse, type-check, admit only what survives — is identical, and the
+// extractor mimics the important failure mode: declarations it cannot
+// understand are dropped and reported, never admitted.
+package specgen
+
+import (
+	"fmt"
+	"regexp"
+	"strconv"
+	"strings"
+
+	"github.com/eof-fuzz/eof/internal/osinfo"
+	"github.com/eof-fuzz/eof/internal/syzlang"
+)
+
+// Result is the outcome of specification generation for one OS.
+type Result struct {
+	Spec *syzlang.Spec
+	// Text is the emitted Syzlang source.
+	Text string
+	// Dropped lists declarations that failed extraction or validation,
+	// with reasons (the paper's rejected LLM outputs).
+	Dropped []string
+	// Extracted counts the declarations admitted.
+	Extracted int
+}
+
+// Generate extracts and validates a specification from the OS's headers.
+func Generate(info *osinfo.Info) (*Result, error) {
+	res := &Result{}
+	var (
+		resources = map[string]string{} // name -> base type
+		flagSets  = map[string][]uint64{}
+		flagOrder []string
+		resOrder  []string
+		callLines []string
+	)
+
+	for _, h := range info.Headers {
+		decls, flags := extractDecls(h.Text)
+		for _, fl := range flags {
+			if _, dup := flagSets[fl.name]; !dup {
+				flagSets[fl.name] = fl.values
+				flagOrder = append(flagOrder, fl.name)
+			}
+		}
+		for _, d := range decls {
+			line, newRes, err := emitCall(d)
+			if err != nil {
+				res.Dropped = append(res.Dropped, fmt.Sprintf("%s: %s: %v", h.Path, d.name, err))
+				continue
+			}
+			if info.APIIndex(d.name) < 0 {
+				res.Dropped = append(res.Dropped, fmt.Sprintf("%s: %s: not in the target's dispatch table", h.Path, d.name))
+				continue
+			}
+			for _, r := range newRes {
+				if _, dup := resources[r]; !dup {
+					resources[r] = "int32"
+					resOrder = append(resOrder, r)
+				}
+			}
+			callLines = append(callLines, line)
+		}
+	}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "# Generated specification for %s %s\n", info.Display, info.Version)
+	for _, r := range resOrder {
+		fmt.Fprintf(&b, "resource %s[%s]\n", r, resources[r])
+	}
+	for _, fn := range flagOrder {
+		vals := make([]string, len(flagSets[fn]))
+		for i, v := range flagSets[fn] {
+			vals[i] = strconv.FormatUint(v, 10)
+		}
+		fmt.Fprintf(&b, "%s = %s\n", fn, strings.Join(vals, ", "))
+	}
+	for _, l := range callLines {
+		b.WriteString(l)
+		b.WriteByte('\n')
+	}
+	res.Text = b.String()
+
+	spec, err := syzlang.Parse(info.Name, res.Text)
+	if err != nil {
+		return nil, fmt.Errorf("specgen: generated spec for %s failed validation: %w", info.Name, err)
+	}
+	res.Spec = spec
+	res.Extracted = len(spec.Calls)
+	return res, nil
+}
+
+// decl is one documented C declaration.
+type decl struct {
+	name   string
+	ret    string // @return description
+	pseudo bool
+	params []param
+}
+
+type param struct {
+	name  string
+	ctype string
+	desc  string
+}
+
+type flagDecl struct {
+	name   string
+	values []uint64
+}
+
+var (
+	docBlockRe = regexp.MustCompile(`(?s)/\*\*(.*?)\*/\s*([^;]+);`)
+	protoRe    = regexp.MustCompile(`([A-Za-z_][A-Za-z0-9_ \t\*]*?)\b([A-Za-z_][A-Za-z0-9_]*)\s*\(([^)]*)\)\s*$`)
+	flagsRe    = regexp.MustCompile(`@flags\s+([A-Za-z_][A-Za-z0-9_]*)((?:\s+[A-Za-z_][A-Za-z0-9_]*=\d+)+)`)
+	kvRe       = regexp.MustCompile(`([A-Za-z_][A-Za-z0-9_]*)=(\d+)`)
+)
+
+// extractDecls pulls documented declarations and flag sets out of a header.
+func extractDecls(text string) ([]decl, []flagDecl) {
+	var decls []decl
+	var flags []flagDecl
+	for _, m := range docBlockRe.FindAllStringSubmatch(text, -1) {
+		doc, proto := m[1], strings.TrimSpace(m[2])
+		for _, fm := range flagsRe.FindAllStringSubmatch(doc, -1) {
+			fd := flagDecl{name: fm[1]}
+			for _, kv := range kvRe.FindAllStringSubmatch(fm[2], -1) {
+				v, _ := strconv.ParseUint(kv[2], 10, 64)
+				fd.values = append(fd.values, v)
+			}
+			flags = append(flags, fd)
+		}
+		pm := protoRe.FindStringSubmatch(proto)
+		if pm == nil {
+			continue
+		}
+		d := decl{name: pm[2], pseudo: strings.Contains(doc, "@pseudo")}
+		d.params = parseParams(pm[3], doc)
+		if rm := regexp.MustCompile(`@return\s+(.+)`).FindStringSubmatch(doc); rm != nil {
+			d.ret = strings.TrimSpace(rm[1])
+		}
+		decls = append(decls, d)
+	}
+	return decls, flags
+}
+
+// parseParams splits the C parameter list and attaches each @param
+// description by name.
+func parseParams(list, doc string) []param {
+	descs := map[string]string{}
+	for _, pm := range regexp.MustCompile(`@param\s+([A-Za-z_][A-Za-z0-9_]*)\s+([^\n]*)`).FindAllStringSubmatch(doc, -1) {
+		descs[pm[1]] = strings.TrimSpace(pm[2])
+	}
+	var out []param
+	list = strings.TrimSpace(list)
+	if list == "" || list == "void" {
+		return out
+	}
+	for _, part := range strings.Split(list, ",") {
+		part = strings.TrimSpace(part)
+		// Strip trailing inline comments.
+		if i := strings.Index(part, "/*"); i >= 0 {
+			part = strings.TrimSpace(part[:i])
+		}
+		fields := strings.FieldsFunc(part, func(r rune) bool { return r == ' ' || r == '\t' || r == '*' })
+		if len(fields) == 0 {
+			continue
+		}
+		name := fields[len(fields)-1]
+		ctype := strings.TrimSpace(strings.TrimSuffix(part, name))
+		out = append(out, param{name: name, ctype: ctype, desc: descs[name]})
+	}
+	return out
+}
+
+// Natural-language constraint patterns the extractor understands.
+var (
+	handleRe  = regexp.MustCompile(`handle of type ([A-Za-z_][A-Za-z0-9_]*)`)
+	betweenRe = regexp.MustCompile(`must be between (-?\d+) and (-?\d+)`)
+	oneOfRe   = regexp.MustCompile(`one of \{([^}]*)\}`)
+	bitmaskRe = regexp.MustCompile(`bitmask of ([A-Za-z_][A-Za-z0-9_]*)`)
+	strSetRe  = regexp.MustCompile(`string, one of ((?:"[^"]*"(?:,\s*)?)+)`)
+	lenOfRe   = regexp.MustCompile(`length of ([A-Za-z_][A-Za-z0-9_]*)`)
+	quotedRe  = regexp.MustCompile(`"([^"]*)"`)
+)
+
+// emitCall renders one declaration as a Syzlang call line, returning any
+// resource names it introduces (from arguments or the return).
+func emitCall(d decl) (line string, resources []string, err error) {
+	var args []string
+	for _, p := range d.params {
+		t, res, err := paramType(p)
+		if err != nil {
+			return "", nil, fmt.Errorf("param %s: %w", p.name, err)
+		}
+		if res != "" {
+			resources = append(resources, res)
+		}
+		args = append(args, p.name+" "+t)
+	}
+	line = fmt.Sprintf("%s(%s)", d.name, strings.Join(args, ", "))
+	if m := handleRe.FindStringSubmatch(d.ret); m != nil {
+		line += " " + m[1]
+		resources = append(resources, m[1])
+	}
+	return line, resources, nil
+}
+
+func paramType(p param) (typ string, resource string, err error) {
+	desc := p.desc
+	isPtr := strings.Contains(p.ctype, "*")
+	switch {
+	case lenOfRe.MatchString(desc):
+		return fmt.Sprintf("len[%s]", lenOfRe.FindStringSubmatch(desc)[1]), "", nil
+	case strings.Contains(desc, "timeout in ticks"):
+		return "timeout", "", nil
+	case handleRe.MatchString(desc):
+		r := handleRe.FindStringSubmatch(desc)[1]
+		return r, r, nil
+	case bitmaskRe.MatchString(desc):
+		return fmt.Sprintf("flags[%s]", bitmaskRe.FindStringSubmatch(desc)[1]), "", nil
+	case strSetRe.MatchString(desc):
+		var vals []string
+		for _, q := range quotedRe.FindAllStringSubmatch(strSetRe.FindStringSubmatch(desc)[1], -1) {
+			vals = append(vals, strconv.Quote(q[1]))
+		}
+		return fmt.Sprintf("ptr[in, string[%s]]", strings.Join(vals, ", ")), "", nil
+	case oneOfRe.MatchString(desc):
+		raw := oneOfRe.FindStringSubmatch(desc)[1]
+		var vals []string
+		for _, tok := range strings.Split(raw, ",") {
+			tok = strings.TrimSpace(tok)
+			if _, err := strconv.ParseInt(tok, 0, 64); err != nil {
+				return "", "", fmt.Errorf("unparseable value set %q", raw)
+			}
+			vals = append(vals, tok)
+		}
+		return fmt.Sprintf("int32[%s]", strings.Join(vals, ", ")), "", nil
+	case betweenRe.MatchString(desc):
+		m := betweenRe.FindStringSubmatch(desc)
+		bits := cBits(p.ctype)
+		return fmt.Sprintf("int%d[%s:%s]", bits, m[1], m[2]), "", nil
+	case isPtr && strings.Contains(desc, "string"):
+		return "ptr[in, string]", "", nil
+	case isPtr && strings.Contains(desc, "buffer"):
+		return "ptr[in, array[int8]]", "", nil
+	case isPtr:
+		// Undocumented pointer: treat as an opaque input buffer.
+		return "ptr[in, array[int8]]", "", nil
+	default:
+		return fmt.Sprintf("int%d", cBits(p.ctype)), "", nil
+	}
+}
+
+// cBits infers the integer width from the C type text.
+func cBits(ctype string) int {
+	c := strings.ToLower(ctype)
+	switch {
+	case strings.Contains(c, "long") || strings.Contains(c, "size_t") || strings.Contains(c, "64"):
+		return 64
+	case strings.Contains(c, "short") || strings.Contains(c, "16"):
+		return 16
+	case strings.Contains(c, "char") && !strings.Contains(c, "*"):
+		return 8
+	default:
+		return 32
+	}
+}

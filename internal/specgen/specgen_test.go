@@ -1,0 +1,158 @@
+package specgen
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/eof-fuzz/eof/internal/osinfo"
+	"github.com/eof-fuzz/eof/internal/syzlang"
+	"github.com/eof-fuzz/eof/internal/targets"
+)
+
+func TestGenerateForAllTargets(t *testing.T) {
+	for _, info := range targets.All() {
+		info := info
+		t.Run(info.Name, func(t *testing.T) {
+			res, err := Generate(info)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Extracted < 10 {
+				t.Fatalf("only %d calls extracted", res.Extracted)
+			}
+			// Every extracted call must exist in the dispatch table.
+			for _, c := range res.Spec.Calls {
+				if info.APIIndex(c.Name) < 0 {
+					t.Errorf("spec call %s not in dispatch table", c.Name)
+				}
+			}
+			// The emitted text must re-parse (round trip).
+			if _, err := syzlang.Parse(info.Name, res.Text); err != nil {
+				t.Fatalf("round trip: %v", err)
+			}
+			t.Logf("%s: %d calls, %d resources, %d flag sets, %d dropped",
+				info.Name, len(res.Spec.Calls), len(res.Spec.Resources), len(res.Spec.Flags), len(res.Dropped))
+		})
+	}
+}
+
+func TestGenerateCoversMostAPIs(t *testing.T) {
+	for _, info := range targets.All() {
+		res, err := Generate(info)
+		if err != nil {
+			t.Fatal(err)
+		}
+		covered := 0
+		for _, name := range info.APINames {
+			if res.Spec.Call(name) != nil {
+				covered++
+			}
+		}
+		if ratio := float64(covered) / float64(len(info.APINames)); ratio < 0.9 {
+			missing := []string{}
+			for _, name := range info.APINames {
+				if res.Spec.Call(name) == nil {
+					missing = append(missing, name)
+				}
+			}
+			t.Errorf("%s: only %d/%d APIs specified; missing %s",
+				info.Name, covered, len(info.APINames), strings.Join(missing, ", "))
+		}
+	}
+}
+
+func TestResourceGraph(t *testing.T) {
+	res, err := Generate(mustTarget(t, "freertos"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := res.Spec
+	// queue_t must have a producer and consumers.
+	if len(spec.Producers("queue_t")) == 0 {
+		t.Fatal("no producer for queue_t")
+	}
+	if len(spec.Consumers("queue_t")) < 3 {
+		t.Fatalf("queue_t consumers = %d", len(spec.Consumers("queue_t")))
+	}
+	// xQueueSend must have a timeout argument and a buffer argument.
+	c := spec.Call("xQueueSend")
+	if c == nil {
+		t.Fatal("no xQueueSend spec")
+	}
+	var hasTimeout, hasBuffer bool
+	for _, a := range c.Args {
+		switch a.Type.(type) {
+		case *syzlang.TimeoutType:
+			hasTimeout = true
+		case *syzlang.BufferType:
+			hasBuffer = true
+		}
+	}
+	if !hasTimeout || !hasBuffer {
+		t.Fatalf("xQueueSend types wrong: %s", c.Format())
+	}
+}
+
+func TestConstraintExtraction(t *testing.T) {
+	res, err := Generate(mustTarget(t, "freertos"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := res.Spec.Call("xTaskCreate")
+	if c == nil {
+		t.Fatal("no xTaskCreate")
+	}
+	prio := c.Args[1].Type.(*syzlang.IntType)
+	if !prio.HasRange || prio.Min != 0 || prio.Max != 31 {
+		t.Fatalf("priority range = %+v", prio)
+	}
+	// Flags sets extracted from @flags annotations.
+	if _, ok := res.Spec.Flags["part_flags"]; !ok {
+		t.Fatal("part_flags not extracted")
+	}
+	lp := res.Spec.Call("load_partitions")
+	if lp == nil {
+		t.Fatal("no load_partitions")
+	}
+	if _, ok := lp.Args[1].Type.(*syzlang.FlagsType); !ok {
+		t.Fatalf("load_partitions options type = %s", lp.Args[1].Type.Format())
+	}
+}
+
+func TestPseudoSyscallMarked(t *testing.T) {
+	res, err := Generate(mustTarget(t, "rtthread"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := res.Spec.Call("syz_create_bind_socket")
+	if c == nil {
+		t.Fatal("pseudo syscall missing")
+	}
+	if !c.Pseudo {
+		t.Fatal("syz_ call not marked pseudo")
+	}
+}
+
+func TestStringCandidates(t *testing.T) {
+	res, err := Generate(mustTarget(t, "rtthread"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := res.Spec.Call("rt_device_find")
+	if c == nil {
+		t.Fatal("no rt_device_find")
+	}
+	st, ok := c.Args[0].Type.(*syzlang.StringType)
+	if !ok || len(st.Values) != 3 {
+		t.Fatalf("rt_device_find name type = %s", c.Args[0].Type.Format())
+	}
+}
+
+func mustTarget(t *testing.T, name string) *osinfo.Info {
+	t.Helper()
+	info, err := targets.ByName(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return info
+}

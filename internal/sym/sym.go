@@ -1,0 +1,113 @@
+// Package sym maintains the firmware symbol table: function names, source
+// locations and the flash addresses of their basic blocks. The host uses it
+// to plant exception-monitor breakpoints by name and to render the
+// Figure-6-style backtraces in crash reports.
+package sym
+
+import (
+	"fmt"
+	"sort"
+)
+
+// BlockStride is the byte spacing between consecutive basic-block addresses
+// within a function ("instruction" granularity of the simulated ISA).
+const BlockStride = 4
+
+// Func is one firmware function: a contiguous run of basic blocks.
+type Func struct {
+	Name    string
+	File    string
+	Line    int // line of the function definition
+	Base    uint64
+	NBlocks int
+}
+
+// End returns the first address past the function.
+func (f *Func) End() uint64 { return f.Base + uint64(f.NBlocks*BlockStride) }
+
+// Block returns the address of basic block i (0-based).
+func (f *Func) Block(i int) uint64 {
+	if i < 0 || i >= f.NBlocks {
+		panic(fmt.Sprintf("sym: block %d out of range for %s (%d blocks)", i, f.Name, f.NBlocks))
+	}
+	return f.Base + uint64(i*BlockStride)
+}
+
+// Table is the symbol table for one firmware image.
+type Table struct {
+	byName map[string]*Func
+	funcs  []*Func // sorted by Base
+	next   uint64  // bump allocator for AddFunc
+}
+
+// NewTable creates a table whose address allocator starts at base.
+func NewTable(base uint64) *Table {
+	return &Table{byName: make(map[string]*Func), next: base}
+}
+
+// AddFunc registers a function with nblocks basic blocks at the next free
+// address and returns it. Names must be unique within an image.
+func (t *Table) AddFunc(name, file string, line, nblocks int) *Func {
+	if nblocks <= 0 {
+		panic(fmt.Sprintf("sym: function %s with %d blocks", name, nblocks))
+	}
+	if _, dup := t.byName[name]; dup {
+		panic(fmt.Sprintf("sym: duplicate symbol %s", name))
+	}
+	f := &Func{Name: name, File: file, Line: line, Base: t.next, NBlocks: nblocks}
+	t.next = f.End()
+	t.byName[name] = f
+	t.funcs = append(t.funcs, f)
+	return f
+}
+
+// Lookup returns the named function, or nil.
+func (t *Table) Lookup(name string) *Func {
+	return t.byName[name]
+}
+
+// Addr returns the entry address of the named function; it panics on unknown
+// names because monitor configuration errors must fail loudly at setup.
+func (t *Table) Addr(name string) uint64 {
+	f := t.byName[name]
+	if f == nil {
+		panic(fmt.Sprintf("sym: unknown symbol %s", name))
+	}
+	return f.Base
+}
+
+// Find returns the function containing addr, or nil.
+func (t *Table) Find(addr uint64) *Func {
+	i := sort.Search(len(t.funcs), func(i int) bool { return t.funcs[i].End() > addr })
+	if i < len(t.funcs) && addr >= t.funcs[i].Base {
+		return t.funcs[i]
+	}
+	return nil
+}
+
+// Locate renders addr as "func+off" for logs, or a hex literal if unknown.
+func (t *Table) Locate(addr uint64) string {
+	if f := t.Find(addr); f != nil {
+		if off := addr - f.Base; off != 0 {
+			return fmt.Sprintf("%s+%#x", f.Name, off)
+		}
+		return f.Name
+	}
+	return fmt.Sprintf("%#x", addr)
+}
+
+// Funcs returns all functions in address order (shared slice; do not mutate).
+func (t *Table) Funcs() []*Func { return t.funcs }
+
+// TotalBlocks returns the number of basic blocks across all functions — the
+// denominator for coverage percentages and the basis of image code size.
+func (t *Table) TotalBlocks() int {
+	n := 0
+	for _, f := range t.funcs {
+		n += f.NBlocks
+	}
+	return n
+}
+
+// Extent returns the highest allocated address.
+func (t *Table) Extent() uint64 { return t.next }

@@ -1,0 +1,86 @@
+package sym
+
+import "testing"
+
+func TestAllocationAndLookup(t *testing.T) {
+	tab := NewTable(0x0800_1000)
+	f1 := tab.AddFunc("alpha", "a.c", 10, 4)
+	f2 := tab.AddFunc("beta", "b.c", 20, 2)
+	if f1.Base != 0x0800_1000 {
+		t.Fatalf("f1 base %#x", f1.Base)
+	}
+	if f2.Base != f1.End() {
+		t.Fatalf("f2 not adjacent: %#x vs %#x", f2.Base, f1.End())
+	}
+	if tab.Lookup("alpha") != f1 || tab.Lookup("nope") != nil {
+		t.Fatal("Lookup")
+	}
+	if tab.Addr("beta") != f2.Base {
+		t.Fatal("Addr")
+	}
+	if tab.TotalBlocks() != 6 {
+		t.Fatalf("total blocks %d", tab.TotalBlocks())
+	}
+	if got := tab.Extent(); got != f2.End() {
+		t.Fatalf("extent %#x", got)
+	}
+}
+
+func TestFindAndLocate(t *testing.T) {
+	tab := NewTable(0x1000)
+	f1 := tab.AddFunc("alpha", "a.c", 10, 4)
+	tab.AddFunc("beta", "b.c", 20, 2)
+	if got := tab.Find(f1.Block(2)); got != f1 {
+		t.Fatalf("Find mid-function: %v", got)
+	}
+	if tab.Find(0x0FFF) != nil {
+		t.Fatal("Find before table")
+	}
+	if tab.Find(tab.Extent()) != nil {
+		t.Fatal("Find past table")
+	}
+	if got := tab.Locate(f1.Base); got != "alpha" {
+		t.Fatalf("Locate entry: %q", got)
+	}
+	if got := tab.Locate(f1.Block(3)); got != "alpha+0xc" {
+		t.Fatalf("Locate offset: %q", got)
+	}
+	if got := tab.Locate(0x50); got != "0x50" {
+		t.Fatalf("Locate unknown: %q", got)
+	}
+}
+
+func TestBlockBounds(t *testing.T) {
+	tab := NewTable(0x1000)
+	f := tab.AddFunc("f", "f.c", 1, 3)
+	if f.Block(0) != f.Base || f.Block(2) != f.Base+2*BlockStride {
+		t.Fatal("block addressing")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("out-of-range block did not panic")
+		}
+	}()
+	f.Block(3)
+}
+
+func TestDuplicatePanics(t *testing.T) {
+	tab := NewTable(0x1000)
+	tab.AddFunc("x", "x.c", 1, 1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate symbol accepted")
+		}
+	}()
+	tab.AddFunc("x", "x.c", 2, 1)
+}
+
+func TestUnknownAddrPanics(t *testing.T) {
+	tab := NewTable(0x1000)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("unknown Addr did not panic")
+		}
+	}()
+	tab.Addr("ghost")
+}

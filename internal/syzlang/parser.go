@@ -1,0 +1,416 @@
+package syzlang
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// ParseError reports a specification syntax or type error with its line.
+type ParseError struct {
+	Line int
+	Msg  string
+}
+
+func (e *ParseError) Error() string {
+	return fmt.Sprintf("syzlang: line %d: %s", e.Line, e.Msg)
+}
+
+func errAt(line int, format string, args ...any) error {
+	return &ParseError{Line: line, Msg: fmt.Sprintf(format, args...)}
+}
+
+// Parse parses and validates a specification. Only validated specifications
+// are admitted to the fuzzer (the paper's post-validation of generated
+// specs).
+func Parse(osName, text string) (*Spec, error) {
+	s := &Spec{
+		OS:        osName,
+		Resources: make(map[string]*Resource),
+		Flags:     make(map[string]*FlagSet),
+	}
+	for ln, raw := range strings.Split(text, "\n") {
+		line := strings.TrimSpace(raw)
+		lineNo := ln + 1
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		switch {
+		case strings.HasPrefix(line, "resource "):
+			if err := s.parseResource(lineNo, line); err != nil {
+				return nil, err
+			}
+		case isFlagDecl(line):
+			if err := s.parseFlags(lineNo, line); err != nil {
+				return nil, err
+			}
+		default:
+			if err := s.parseCall(lineNo, line); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if err := s.validate(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// isFlagDecl distinguishes "name = v, v, v" from a call line.
+func isFlagDecl(line string) bool {
+	eq := strings.IndexByte(line, '=')
+	paren := strings.IndexByte(line, '(')
+	return eq > 0 && (paren < 0 || eq < paren)
+}
+
+func (s *Spec) parseResource(lineNo int, line string) error {
+	body := strings.TrimSpace(strings.TrimPrefix(line, "resource "))
+	open := strings.IndexByte(body, '[')
+	if open < 0 || !strings.HasSuffix(body, "]") {
+		return errAt(lineNo, "malformed resource declaration %q", line)
+	}
+	name := strings.TrimSpace(body[:open])
+	base := strings.TrimSpace(body[open+1 : len(body)-1])
+	if !isIdent(name) {
+		return errAt(lineNo, "bad resource name %q", name)
+	}
+	switch base {
+	case "int8", "int16", "int32", "int64":
+	default:
+		return errAt(lineNo, "bad resource base type %q", base)
+	}
+	if _, dup := s.Resources[name]; dup {
+		return errAt(lineNo, "duplicate resource %q", name)
+	}
+	s.Resources[name] = &Resource{Name: name, Base: base}
+	return nil
+}
+
+func (s *Spec) parseFlags(lineNo int, line string) error {
+	name, rest, _ := strings.Cut(line, "=")
+	name = strings.TrimSpace(name)
+	if !isIdent(name) {
+		return errAt(lineNo, "bad flag set name %q", name)
+	}
+	if _, dup := s.Flags[name]; dup {
+		return errAt(lineNo, "duplicate flag set %q", name)
+	}
+	fs := &FlagSet{Name: name}
+	for _, tok := range strings.Split(rest, ",") {
+		tok = strings.TrimSpace(tok)
+		if tok == "" {
+			return errAt(lineNo, "empty flag value in %q", line)
+		}
+		v, err := strconv.ParseUint(tok, 0, 64)
+		if err != nil {
+			return errAt(lineNo, "bad flag value %q", tok)
+		}
+		fs.Values = append(fs.Values, v)
+	}
+	if len(fs.Values) == 0 {
+		return errAt(lineNo, "flag set %q has no values", name)
+	}
+	s.Flags[name] = fs
+	return nil
+}
+
+func (s *Spec) parseCall(lineNo int, line string) error {
+	open := strings.IndexByte(line, '(')
+	if open <= 0 {
+		return errAt(lineNo, "expected declaration, got %q", line)
+	}
+	name := strings.TrimSpace(line[:open])
+	if !isIdent(name) {
+		return errAt(lineNo, "bad call name %q", name)
+	}
+	closeIdx := findMatchingParen(line, open)
+	if closeIdx < 0 {
+		return errAt(lineNo, "unbalanced parentheses in %q", line)
+	}
+	argText := line[open+1 : closeIdx]
+	ret := strings.TrimSpace(line[closeIdx+1:])
+	if ret != "" && !isIdent(ret) {
+		return errAt(lineNo, "bad return resource %q", ret)
+	}
+	c := &Call{Name: name, Ret: ret, Pseudo: strings.HasPrefix(name, "syz_")}
+	for _, part := range splitTopLevel(argText) {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		sp := strings.IndexAny(part, " \t")
+		if sp < 0 {
+			return errAt(lineNo, "argument %q missing a type", part)
+		}
+		argName := part[:sp]
+		if !isIdent(argName) {
+			return errAt(lineNo, "bad argument name %q", argName)
+		}
+		typ, err := parseType(lineNo, strings.TrimSpace(part[sp+1:]))
+		if err != nil {
+			return err
+		}
+		c.Args = append(c.Args, &Field{Name: argName, Type: typ})
+	}
+	s.Calls = append(s.Calls, c)
+	return nil
+}
+
+func parseType(lineNo int, t string) (Type, error) {
+	switch {
+	case t == "timeout":
+		return &TimeoutType{}, nil
+	case strings.HasPrefix(t, "len["):
+		if !strings.HasSuffix(t, "]") {
+			return nil, errAt(lineNo, "malformed len type %q", t)
+		}
+		target := strings.TrimSpace(t[4 : len(t)-1])
+		if !isIdent(target) {
+			return nil, errAt(lineNo, "bad len target %q", target)
+		}
+		return &LenType{Target: target}, nil
+	case strings.HasPrefix(t, "flags["):
+		if !strings.HasSuffix(t, "]") {
+			return nil, errAt(lineNo, "malformed flags type %q", t)
+		}
+		set := strings.TrimSpace(t[6 : len(t)-1])
+		if !isIdent(set) {
+			return nil, errAt(lineNo, "bad flag set reference %q", set)
+		}
+		return &FlagsType{Set: set}, nil
+	case strings.HasPrefix(t, "ptr["):
+		return parsePtrType(lineNo, t)
+	case strings.HasPrefix(t, "int"):
+		return parseIntType(lineNo, t)
+	case isIdent(t):
+		return &ResourceType{Name: t}, nil
+	default:
+		return nil, errAt(lineNo, "unknown type %q", t)
+	}
+}
+
+func parsePtrType(lineNo int, t string) (Type, error) {
+	if !strings.HasSuffix(t, "]") {
+		return nil, errAt(lineNo, "malformed ptr type %q", t)
+	}
+	inner := t[4 : len(t)-1]
+	dir, rest, ok := strings.Cut(inner, ",")
+	if !ok {
+		return nil, errAt(lineNo, "ptr type %q needs a direction and element", t)
+	}
+	if strings.TrimSpace(dir) != "in" {
+		return nil, errAt(lineNo, "only ptr[in, …] is supported, got %q", t)
+	}
+	rest = strings.TrimSpace(rest)
+	switch {
+	case rest == "string":
+		return &StringType{}, nil
+	case strings.HasPrefix(rest, "string[") && strings.HasSuffix(rest, "]"):
+		var vals []string
+		for _, q := range splitTopLevel(rest[7 : len(rest)-1]) {
+			q = strings.TrimSpace(q)
+			v, err := strconv.Unquote(q)
+			if err != nil {
+				return nil, errAt(lineNo, "bad string candidate %s", q)
+			}
+			vals = append(vals, v)
+		}
+		if len(vals) == 0 {
+			return nil, errAt(lineNo, "empty string candidate set in %q", t)
+		}
+		return &StringType{Values: vals}, nil
+	case rest == "array[int8]":
+		return &BufferType{}, nil
+	case strings.HasPrefix(rest, "array[int8,") && strings.HasSuffix(rest, "]"):
+		span := strings.TrimSpace(rest[len("array[int8,") : len(rest)-1])
+		minS, maxS, ok := strings.Cut(span, ":")
+		if !ok {
+			return nil, errAt(lineNo, "bad array bounds %q", span)
+		}
+		minV, err1 := strconv.Atoi(strings.TrimSpace(minS))
+		maxV, err2 := strconv.Atoi(strings.TrimSpace(maxS))
+		if err1 != nil || err2 != nil || minV < 0 || maxV < minV {
+			return nil, errAt(lineNo, "bad array bounds %q", span)
+		}
+		return &BufferType{MinLen: minV, MaxLen: maxV}, nil
+	default:
+		return nil, errAt(lineNo, "unsupported ptr element %q", rest)
+	}
+}
+
+func parseIntType(lineNo int, t string) (Type, error) {
+	base := t
+	var spec string
+	if open := strings.IndexByte(t, '['); open >= 0 {
+		if !strings.HasSuffix(t, "]") {
+			return nil, errAt(lineNo, "malformed int type %q", t)
+		}
+		base = t[:open]
+		spec = t[open+1 : len(t)-1]
+	}
+	bits := 0
+	switch base {
+	case "int8":
+		bits = 8
+	case "int16":
+		bits = 16
+	case "int32":
+		bits = 32
+	case "int64":
+		bits = 64
+	default:
+		return nil, errAt(lineNo, "unknown int type %q", base)
+	}
+	it := &IntType{Bits: bits}
+	if spec == "" {
+		return it, nil
+	}
+	if strings.Contains(spec, ":") {
+		minS, maxS, _ := strings.Cut(spec, ":")
+		minV, err1 := strconv.ParseInt(strings.TrimSpace(minS), 0, 64)
+		maxV, err2 := strconv.ParseInt(strings.TrimSpace(maxS), 0, 64)
+		if err1 != nil || err2 != nil || maxV < minV {
+			return nil, errAt(lineNo, "bad int range %q", spec)
+		}
+		it.HasRange = true
+		it.Min, it.Max = minV, maxV
+		return it, nil
+	}
+	for _, tok := range strings.Split(spec, ",") {
+		v, err := strconv.ParseInt(strings.TrimSpace(tok), 0, 64)
+		if err != nil {
+			return nil, errAt(lineNo, "bad int value %q", tok)
+		}
+		it.Values = append(it.Values, v)
+	}
+	return it, nil
+}
+
+// validate is the type-check pass: referenced resources and flag sets must
+// be declared, len targets must name buffer siblings, argument counts must
+// fit the wire format, and call names must be unique.
+func (s *Spec) validate() error {
+	seen := make(map[string]bool)
+	for _, c := range s.Calls {
+		if seen[c.Name] {
+			return errAt(0, "duplicate call %q", c.Name)
+		}
+		seen[c.Name] = true
+		if len(c.Args) > 8 {
+			return errAt(0, "call %q has %d arguments (max 8)", c.Name, len(c.Args))
+		}
+		if c.Ret != "" {
+			if _, ok := s.Resources[c.Ret]; !ok {
+				return errAt(0, "call %q returns undeclared resource %q", c.Name, c.Ret)
+			}
+		}
+		argNames := make(map[string]Type, len(c.Args))
+		for _, a := range c.Args {
+			if _, dup := argNames[a.Name]; dup {
+				return errAt(0, "call %q: duplicate argument %q", c.Name, a.Name)
+			}
+			argNames[a.Name] = a.Type
+		}
+		for _, a := range c.Args {
+			switch t := a.Type.(type) {
+			case *ResourceType:
+				if _, ok := s.Resources[t.Name]; !ok {
+					return errAt(0, "call %q: undeclared resource type %q", c.Name, t.Name)
+				}
+			case *FlagsType:
+				if _, ok := s.Flags[t.Set]; !ok {
+					return errAt(0, "call %q: undeclared flag set %q", c.Name, t.Set)
+				}
+			case *LenType:
+				tt, ok := argNames[t.Target]
+				if !ok {
+					return errAt(0, "call %q: len target %q is not an argument", c.Name, t.Target)
+				}
+				switch tt.(type) {
+				case *BufferType, *StringType:
+				default:
+					return errAt(0, "call %q: len target %q is not a buffer", c.Name, t.Target)
+				}
+			case *IntType:
+				if t.HasRange && t.Min > t.Max {
+					return errAt(0, "call %q: inverted range on %q", c.Name, a.Name)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+func isIdent(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, r := range s {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r == '_':
+		case r >= '0' && r <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// splitTopLevel splits on commas that are not inside brackets or quotes.
+func splitTopLevel(s string) []string {
+	var out []string
+	depth := 0
+	inStr := false
+	start := 0
+	for i := 0; i < len(s); i++ {
+		switch c := s[i]; {
+		case inStr:
+			if c == '\\' {
+				i++
+			} else if c == '"' {
+				inStr = false
+			}
+		case c == '"':
+			inStr = true
+		case c == '[' || c == '(':
+			depth++
+		case c == ']' || c == ')':
+			depth--
+		case c == ',' && depth == 0:
+			out = append(out, s[start:i])
+			start = i + 1
+		}
+	}
+	out = append(out, s[start:])
+	return out
+}
+
+// findMatchingParen returns the index of the ')' matching the '(' at open,
+// or -1.
+func findMatchingParen(s string, open int) int {
+	depth := 0
+	inStr := false
+	for i := open; i < len(s); i++ {
+		switch c := s[i]; {
+		case inStr:
+			if c == '\\' {
+				i++
+			} else if c == '"' {
+				inStr = false
+			}
+		case c == '"':
+			inStr = true
+		case c == '(' || c == '[':
+			depth++
+		case c == ')' || c == ']':
+			depth--
+			if depth == 0 && c == ')' {
+				return i
+			}
+		}
+	}
+	return -1
+}

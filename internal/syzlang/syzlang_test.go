@@ -1,0 +1,190 @@
+package syzlang
+
+import (
+	"strings"
+	"testing"
+)
+
+const sample = `
+# demo spec
+resource task_t[int32]
+resource queue_t[int32]
+wait_opts = 1, 2, 8
+xTaskCreate(name ptr[in, string], priority int32[0:31], stack int32[128:65536], behavior int32[0, 1, 2, 3]) task_t
+vTaskDelete(task task_t)
+xQueueCreate(depth int32[1:256], item_size int32[1:1024]) queue_t
+xQueueSend(queue queue_t, item ptr[in, array[int8]], ticks timeout)
+http_handle(request ptr[in, array[int8, 1:512]], length len[request])
+rt_device_find(name ptr[in, string["uart0", "uart1"]])
+syz_make_socket(domain int64, opts flags[wait_opts]) task_t
+`
+
+func TestParseSample(t *testing.T) {
+	s, err := Parse("demo", sample)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Calls) != 7 {
+		t.Fatalf("calls: %d", len(s.Calls))
+	}
+	if len(s.Resources) != 2 || len(s.Flags) != 1 {
+		t.Fatalf("resources %d flags %d", len(s.Resources), len(s.Flags))
+	}
+	c := s.Call("xTaskCreate")
+	if c == nil || c.Ret != "task_t" || len(c.Args) != 4 {
+		t.Fatalf("xTaskCreate: %+v", c)
+	}
+	if _, ok := c.Args[0].Type.(*StringType); !ok {
+		t.Fatalf("arg0 type %T", c.Args[0].Type)
+	}
+	prio := c.Args[1].Type.(*IntType)
+	if !prio.HasRange || prio.Min != 0 || prio.Max != 31 {
+		t.Fatalf("prio: %+v", prio)
+	}
+	behav := c.Args[3].Type.(*IntType)
+	if len(behav.Values) != 4 {
+		t.Fatalf("behavior values: %+v", behav.Values)
+	}
+	if !s.Call("syz_make_socket").Pseudo {
+		t.Fatal("syz_ not marked pseudo")
+	}
+	if s.Call("vTaskDelete").Pseudo {
+		t.Fatal("plain call marked pseudo")
+	}
+}
+
+func TestResourceGraphQueries(t *testing.T) {
+	s, err := Parse("demo", sample)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Producers("task_t"); len(got) != 2 {
+		t.Fatalf("task_t producers: %d", len(got))
+	}
+	if got := s.Consumers("queue_t"); len(got) != 1 || got[0].Name != "xQueueSend" {
+		t.Fatalf("queue_t consumers: %v", got)
+	}
+	if s.Call("missing") != nil {
+		t.Fatal("found missing call")
+	}
+}
+
+func TestFormatRoundTrip(t *testing.T) {
+	s, err := Parse("demo", sample)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := s.Format()
+	s2, err := Parse("demo", text)
+	if err != nil {
+		t.Fatalf("re-parse: %v\n%s", err, text)
+	}
+	if s2.Format() != text {
+		t.Fatal("Format not a fixed point")
+	}
+	if len(s2.Calls) != len(s.Calls) {
+		t.Fatal("round trip lost calls")
+	}
+}
+
+func TestLenTypeAndBufferBounds(t *testing.T) {
+	s, err := Parse("demo", sample)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := s.Call("http_handle")
+	buf := c.Args[0].Type.(*BufferType)
+	if buf.MinLen != 1 || buf.MaxLen != 512 {
+		t.Fatalf("buffer bounds: %+v", buf)
+	}
+	ln := c.Args[1].Type.(*LenType)
+	if ln.Target != "request" {
+		t.Fatalf("len target: %q", ln.Target)
+	}
+}
+
+func TestStringCandidates(t *testing.T) {
+	s, err := Parse("demo", sample)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := s.Call("rt_device_find").Args[0].Type.(*StringType)
+	if len(st.Values) != 2 || st.Values[0] != "uart0" {
+		t.Fatalf("candidates: %v", st.Values)
+	}
+}
+
+func TestValidationErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		text string
+		want string
+	}{
+		{"undeclared resource arg", "f(a task_t)\n", "undeclared resource"},
+		{"undeclared ret", "f() task_t\n", "undeclared resource"},
+		{"undeclared flags", "f(a flags[nope])\n", "undeclared flag set"},
+		{"len of non-buffer", "f(a int32, b len[a])\n", "not a buffer"},
+		{"len of missing arg", "f(b len[zzz])\n", "not an argument"},
+		{"dup call", "f(a int32)\nf(b int32)\n", "duplicate call"},
+		{"dup arg", "f(a int32, a int32)\n", "duplicate argument"},
+		{"dup resource", "resource r[int32]\nresource r[int32]\n", "duplicate resource"},
+		{"bad resource base", "resource r[float]\n", "base type"},
+		{"bad int range", "f(a int32[9:1])\n", "bad int range"},
+		{"unbalanced parens", "f(a int32\n", "unbalanced"},
+		{"unknown type", "f(a wobble[3])\n", "unknown type"},
+		{"bad flag value", "s = 1, x\n", "bad flag value"},
+		{"ptr out", "f(a ptr[out, string])\n", "only ptr[in"},
+		{"too many args", "f(a int8, b int8, c int8, d int8, e int8, g int8, h int8, i int8, j int8)\n", "max 8"},
+	}
+	for _, tc := range cases {
+		_, err := Parse("x", tc.text)
+		if err == nil {
+			t.Errorf("%s: accepted", tc.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: error %q missing %q", tc.name, err, tc.want)
+		}
+	}
+}
+
+func TestCommentsAndBlankLines(t *testing.T) {
+	s, err := Parse("x", "\n# comment only\n\nf(a int32)\n# trailing\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Calls) != 1 {
+		t.Fatalf("calls: %d", len(s.Calls))
+	}
+}
+
+func TestSplitTopLevel(t *testing.T) {
+	got := splitTopLevel(`a int32[1, 2], b ptr[in, string["x,y", "z"]], c timeout`)
+	if len(got) != 3 {
+		t.Fatalf("split: %q", got)
+	}
+	if !strings.Contains(got[1], `"x,y"`) {
+		t.Fatalf("quoted comma broken: %q", got[1])
+	}
+}
+
+func TestTypeFormat(t *testing.T) {
+	for _, tc := range []struct {
+		typ  Type
+		want string
+	}{
+		{&IntType{Bits: 32}, "int32"},
+		{&IntType{Bits: 16, HasRange: true, Min: 1, Max: 9}, "int16[1:9]"},
+		{&IntType{Bits: 8, Values: []int64{1, 2}}, "int8[1, 2]"},
+		{&FlagsType{Set: "x"}, "flags[x]"},
+		{&ResourceType{Name: "r"}, "r"},
+		{&StringType{}, "ptr[in, string]"},
+		{&BufferType{MinLen: 1, MaxLen: 4}, "ptr[in, array[int8, 1:4]]"},
+		{&LenType{Target: "buf"}, "len[buf]"},
+		{&TimeoutType{}, "timeout"},
+	} {
+		if got := tc.typ.Format(); got != tc.want {
+			t.Errorf("Format() = %q, want %q", got, tc.want)
+		}
+	}
+}

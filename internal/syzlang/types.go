@@ -1,0 +1,221 @@
+// Package syzlang implements the API-specification language EOF uses — a
+// subset of Syzkaller's Syzlang adapted to embedded OS APIs: resources,
+// flag sets, ranged integers, string/buffer pointers, length arguments,
+// tick timeouts and pseudo-syscalls. Generated specifications are parsed and
+// type-checked by this package before being admitted to the corpus (the
+// paper's post-validation step for LLM-generated specs).
+package syzlang
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Type is one argument type.
+type Type interface {
+	// Format renders the type in specification syntax.
+	Format() string
+}
+
+// IntType is a fixed-width integer, optionally constrained to a range or an
+// explicit value set.
+type IntType struct {
+	Bits     int // 8, 16, 32, 64
+	HasRange bool
+	Min, Max int64
+	Values   []int64 // non-empty for "one of {…}" sets
+}
+
+// Format implements Type.
+func (t *IntType) Format() string {
+	base := fmt.Sprintf("int%d", t.Bits)
+	if len(t.Values) > 0 {
+		parts := make([]string, len(t.Values))
+		for i, v := range t.Values {
+			parts[i] = fmt.Sprintf("%d", v)
+		}
+		return fmt.Sprintf("%s[%s]", base, strings.Join(parts, ", "))
+	}
+	if t.HasRange {
+		return fmt.Sprintf("%s[%d:%d]", base, t.Min, t.Max)
+	}
+	return base
+}
+
+// FlagsType references a named flag set; values combine bitwise.
+type FlagsType struct {
+	Set string
+}
+
+// Format implements Type.
+func (t *FlagsType) Format() string { return fmt.Sprintf("flags[%s]", t.Set) }
+
+// ResourceType consumes a previously produced resource.
+type ResourceType struct {
+	Name string
+}
+
+// Format implements Type.
+func (t *ResourceType) Format() string { return t.Name }
+
+// StringType is a pointer to an in-buffer NUL-terminated string, optionally
+// restricted to candidate values.
+type StringType struct {
+	Values []string
+}
+
+// Format implements Type.
+func (t *StringType) Format() string {
+	if len(t.Values) == 0 {
+		return "ptr[in, string]"
+	}
+	parts := make([]string, len(t.Values))
+	for i, v := range t.Values {
+		parts[i] = fmt.Sprintf("%q", v)
+	}
+	return fmt.Sprintf("ptr[in, string[%s]]", strings.Join(parts, ", "))
+}
+
+// BufferType is a pointer to an in-buffer byte array.
+type BufferType struct {
+	MinLen, MaxLen int
+}
+
+// Format implements Type.
+func (t *BufferType) Format() string {
+	if t.MinLen == 0 && t.MaxLen == 0 {
+		return "ptr[in, array[int8]]"
+	}
+	return fmt.Sprintf("ptr[in, array[int8, %d:%d]]", t.MinLen, t.MaxLen)
+}
+
+// LenType carries the byte length of a sibling buffer argument.
+type LenType struct {
+	Target string
+}
+
+// Format implements Type.
+func (t *LenType) Format() string { return fmt.Sprintf("len[%s]", t.Target) }
+
+// TimeoutType is a tick timeout: small values plus the forever sentinel.
+type TimeoutType struct{}
+
+// Format implements Type.
+func (t *TimeoutType) Format() string { return "timeout" }
+
+// Field is one named argument.
+type Field struct {
+	Name string
+	Type Type
+}
+
+// Call is one API specification.
+type Call struct {
+	Name string
+	Args []*Field
+	// Ret names the resource the call produces, or "".
+	Ret string
+	// Pseudo marks syz_* pseudo-syscalls that wrap an API sequence.
+	Pseudo bool
+}
+
+// Format renders the call in specification syntax.
+func (c *Call) Format() string {
+	parts := make([]string, len(c.Args))
+	for i, a := range c.Args {
+		parts[i] = a.Name + " " + a.Type.Format()
+	}
+	s := fmt.Sprintf("%s(%s)", c.Name, strings.Join(parts, ", "))
+	if c.Ret != "" {
+		s += " " + c.Ret
+	}
+	return s
+}
+
+// Resource is a declared resource kind.
+type Resource struct {
+	Name string
+	Base string // underlying integer type name
+}
+
+// FlagSet is a declared set of OR-able flag values.
+type FlagSet struct {
+	Name   string
+	Values []uint64
+}
+
+// Spec is one OS's parsed specification.
+type Spec struct {
+	OS        string
+	Resources map[string]*Resource
+	Flags     map[string]*FlagSet
+	Calls     []*Call
+}
+
+// Call returns the named call, or nil.
+func (s *Spec) Call(name string) *Call {
+	for _, c := range s.Calls {
+		if c.Name == name {
+			return c
+		}
+	}
+	return nil
+}
+
+// Producers returns the calls that produce the named resource.
+func (s *Spec) Producers(res string) []*Call {
+	var out []*Call
+	for _, c := range s.Calls {
+		if c.Ret == res {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// Consumers returns the calls with at least one argument of the named
+// resource type.
+func (s *Spec) Consumers(res string) []*Call {
+	var out []*Call
+	for _, c := range s.Calls {
+		for _, a := range c.Args {
+			if rt, ok := a.Type.(*ResourceType); ok && rt.Name == res {
+				out = append(out, c)
+				break
+			}
+		}
+	}
+	return out
+}
+
+// Format renders the whole specification as text that Parse accepts.
+func (s *Spec) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "# Syzlang specification for %s\n", s.OS)
+	resNames := make([]string, 0, len(s.Resources))
+	for n := range s.Resources {
+		resNames = append(resNames, n)
+	}
+	sort.Strings(resNames)
+	for _, n := range resNames {
+		fmt.Fprintf(&b, "resource %s[%s]\n", n, s.Resources[n].Base)
+	}
+	flagNames := make([]string, 0, len(s.Flags))
+	for n := range s.Flags {
+		flagNames = append(flagNames, n)
+	}
+	sort.Strings(flagNames)
+	for _, n := range flagNames {
+		vals := make([]string, len(s.Flags[n].Values))
+		for i, v := range s.Flags[n].Values {
+			vals[i] = fmt.Sprintf("%d", v)
+		}
+		fmt.Fprintf(&b, "%s = %s\n", n, strings.Join(vals, ", "))
+	}
+	for _, c := range s.Calls {
+		b.WriteString(c.Format())
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

@@ -1,0 +1,44 @@
+// Package targets is the registry of supported embedded OS builds.
+package targets
+
+import (
+	"fmt"
+
+	"github.com/eof-fuzz/eof/internal/os/freertos"
+	"github.com/eof-fuzz/eof/internal/os/nuttx"
+	"github.com/eof-fuzz/eof/internal/os/pokos"
+	"github.com/eof-fuzz/eof/internal/os/rtthread"
+	"github.com/eof-fuzz/eof/internal/os/zephyr"
+	"github.com/eof-fuzz/eof/internal/osinfo"
+)
+
+// All returns every supported OS build, in the paper's evaluation order.
+func All() []*osinfo.Info {
+	return []*osinfo.Info{
+		freertos.Info(),
+		rtthread.Info(),
+		nuttx.Info(),
+		zephyr.Info(),
+		pokos.Info(),
+	}
+}
+
+// ByName resolves an OS build by its canonical name.
+func ByName(name string) (*osinfo.Info, error) {
+	for _, i := range All() {
+		if i.Name == name {
+			return i, nil
+		}
+	}
+	return nil, fmt.Errorf("targets: unknown OS %q", name)
+}
+
+// Names returns the canonical OS names.
+func Names() []string {
+	all := All()
+	out := make([]string, len(all))
+	for i, t := range all {
+		out[i] = t.Name
+	}
+	return out
+}

@@ -1,0 +1,83 @@
+package targets
+
+import (
+	"testing"
+
+	"github.com/eof-fuzz/eof/internal/boards"
+)
+
+func TestRegistry(t *testing.T) {
+	all := All()
+	if len(all) != 5 {
+		t.Fatalf("targets: %d", len(all))
+	}
+	for _, info := range all {
+		if info.Name == "" || info.Display == "" || info.Version == "" {
+			t.Errorf("incomplete info: %+v", info)
+		}
+		if len(info.APINames) < 15 {
+			t.Errorf("%s: only %d APIs", info.Name, len(info.APINames))
+		}
+		if len(info.Headers) == 0 || len(info.ExceptionSyms) == 0 {
+			t.Errorf("%s: missing headers or exception symbols", info.Name)
+		}
+		if _, err := info.PartTable(); err != nil {
+			t.Errorf("%s: partition table: %v", info.Name, err)
+		}
+		got, err := ByName(info.Name)
+		if err != nil || got.Name != info.Name {
+			t.Errorf("ByName(%s): %v", info.Name, err)
+		}
+	}
+	if _, err := ByName("vxworks"); err == nil {
+		t.Fatal("unknown target resolved")
+	}
+}
+
+// TestEveryTargetBootsEverywhere is the adaptability smoke check: every OS
+// build must boot on every board model (the peripheral differences change
+// behaviour, not bootability).
+func TestEveryTargetBootsEverywhere(t *testing.T) {
+	for _, info := range All() {
+		for _, spec := range boards.All() {
+			syms, err := info.SymbolTable(spec)
+			if err != nil {
+				t.Errorf("%s on %s: %v", info.Name, spec.Name, err)
+				continue
+			}
+			if syms.TotalBlocks() < 100 {
+				t.Errorf("%s on %s: only %d blocks", info.Name, spec.Name, syms.TotalBlocks())
+			}
+			// Monitor symbols must exist in the build.
+			for _, s := range info.ExceptionSyms {
+				if syms.Lookup(s) == nil {
+					t.Errorf("%s: exception symbol %s missing", info.Name, s)
+				}
+			}
+		}
+	}
+}
+
+// TestImageSizesPlausible pins the §5.5.1 baseline sizes near the paper's.
+func TestImageSizesPlausible(t *testing.T) {
+	want := map[string][2]float64{ // MB plain, tolerance
+		"nuttx":    {3.36, 0.15},
+		"rtthread": {2.53, 0.15},
+		"zephyr":   {0.803, 0.05},
+		"freertos": {2.825, 0.15},
+	}
+	for name, w := range want {
+		info, err := ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		imgs, err := info.BuildImages(boards.STM32H745(), false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mb := float64(len(imgs.Kernel)) / 1e6
+		if mb < w[0]-w[1] || mb > w[0]+w[1] {
+			t.Errorf("%s plain image %.3f MB, want %.3f±%.2f", name, mb, w[0], w[1])
+		}
+	}
+}

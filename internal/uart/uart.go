@@ -1,0 +1,98 @@
+// Package uart models the target's serial console. The kernel's kprintf path
+// ends here; the host-side log monitor drains the line buffer over the debug
+// link and matches crash/assert patterns against it. A hard fault can drop
+// bytes that were still in the TX FIFO — the paper notes UART logs "may
+// vanish after a fault" — which DropTail models.
+package uart
+
+import (
+	"strings"
+	"time"
+
+	"github.com/eof-fuzz/eof/internal/vtime"
+)
+
+// FIFODepth is the modelled TX FIFO size in bytes; at most this many
+// unflushed bytes can be lost on a fault.
+const FIFODepth = 64
+
+// Line is one emitted console line with its virtual timestamp.
+type Line struct {
+	At   time.Duration
+	Text string
+}
+
+// UART is the serial device. Target code writes; the host drains.
+type UART struct {
+	clock   *vtime.Clock
+	partial strings.Builder
+	lines   []Line
+	drained int // index of first undrained line
+	written int // total bytes ever written, for stats
+}
+
+// New creates a UART stamped against the given clock.
+func New(clock *vtime.Clock) *UART {
+	return &UART{clock: clock}
+}
+
+// WriteString appends console output, splitting on newlines.
+func (u *UART) WriteString(s string) {
+	u.written += len(s)
+	for {
+		i := strings.IndexByte(s, '\n')
+		if i < 0 {
+			u.partial.WriteString(s)
+			return
+		}
+		u.partial.WriteString(s[:i])
+		u.lines = append(u.lines, Line{At: u.clock.Now(), Text: u.partial.String()})
+		u.partial.Reset()
+		s = s[i+1:]
+	}
+}
+
+// Write implements io.Writer for fmt.Fprintf convenience in kernel code.
+func (u *UART) Write(p []byte) (int, error) {
+	u.WriteString(string(p))
+	return len(p), nil
+}
+
+// Drain returns lines emitted since the previous Drain.
+func (u *UART) Drain() []Line {
+	out := u.lines[u.drained:]
+	u.drained = len(u.lines)
+	return out
+}
+
+// All returns every line since boot (for crash reports).
+func (u *UART) All() []Line { return u.lines }
+
+// Pending reports how many lines are waiting to be drained.
+func (u *UART) Pending() int { return len(u.lines) - u.drained }
+
+// BytesWritten returns the total byte count pushed through the UART.
+func (u *UART) BytesWritten() int { return u.written }
+
+// DropTail models losing the TX FIFO on a fault: the unfinished partial line
+// and up to FIFODepth bytes of the most recent *undrained* complete lines
+// disappear.
+func (u *UART) DropTail() {
+	u.partial.Reset()
+	budget := FIFODepth
+	for len(u.lines) > u.drained && budget > 0 {
+		last := u.lines[len(u.lines)-1]
+		if len(last.Text)+1 > budget {
+			return
+		}
+		budget -= len(last.Text) + 1
+		u.lines = u.lines[:len(u.lines)-1]
+	}
+}
+
+// Reset clears everything, as a power cycle would.
+func (u *UART) Reset() {
+	u.partial.Reset()
+	u.lines = nil
+	u.drained = 0
+}

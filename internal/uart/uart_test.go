@@ -1,0 +1,122 @@
+package uart
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"github.com/eof-fuzz/eof/internal/vtime"
+)
+
+func TestLineSplitting(t *testing.T) {
+	clock := &vtime.Clock{}
+	u := New(clock)
+	u.WriteString("hello ")
+	u.WriteString("world\npartial")
+	lines := u.Drain()
+	if len(lines) != 1 || lines[0].Text != "hello world" {
+		t.Fatalf("lines: %+v", lines)
+	}
+	u.WriteString(" done\n")
+	lines = u.Drain()
+	if len(lines) != 1 || lines[0].Text != "partial done" {
+		t.Fatalf("lines: %+v", lines)
+	}
+}
+
+func TestDrainIsIncremental(t *testing.T) {
+	u := New(&vtime.Clock{})
+	u.WriteString("a\nb\n")
+	if got := len(u.Drain()); got != 2 {
+		t.Fatalf("first drain: %d", got)
+	}
+	if got := len(u.Drain()); got != 0 {
+		t.Fatalf("second drain: %d", got)
+	}
+	u.WriteString("c\n")
+	if got := u.Drain(); len(got) != 1 || got[0].Text != "c" {
+		t.Fatalf("third drain: %+v", got)
+	}
+	if u.Pending() != 0 {
+		t.Fatal("pending after drain")
+	}
+}
+
+func TestTimestamps(t *testing.T) {
+	clock := &vtime.Clock{}
+	u := New(clock)
+	u.WriteString("first\n")
+	clock.Advance(5 * time.Millisecond)
+	u.WriteString("second\n")
+	lines := u.Drain()
+	if lines[0].At != 0 || lines[1].At != 5*time.Millisecond {
+		t.Fatalf("timestamps: %+v", lines)
+	}
+}
+
+func TestDropTail(t *testing.T) {
+	u := New(&vtime.Clock{})
+	u.WriteString("old line\n")
+	u.Drain() // host saw it
+	u.WriteString("banner\n")
+	u.WriteString("tail line\n")
+	u.WriteString("unfinished")
+	u.DropTail()
+	lines := u.Drain()
+	// The unfinished partial and up to FIFODepth bytes of undrained lines
+	// are lost; "banner" (older) may survive depending on budget.
+	for _, l := range lines {
+		if l.Text == "tail line" {
+			t.Fatalf("tail survived: %+v", lines)
+		}
+	}
+}
+
+func TestDropTailPreservesDrained(t *testing.T) {
+	u := New(&vtime.Clock{})
+	u.WriteString("kept\n")
+	u.Drain()
+	u.DropTail()
+	if got := u.All(); len(got) != 1 || got[0].Text != "kept" {
+		t.Fatalf("drained history damaged: %+v", got)
+	}
+}
+
+func TestDropTailBudget(t *testing.T) {
+	u := New(&vtime.Clock{})
+	// One line larger than the FIFO cannot be un-sent.
+	big := ""
+	for i := 0; i < FIFODepth+10; i++ {
+		big += "x"
+	}
+	u.WriteString(big + "\n")
+	u.DropTail()
+	if len(u.All()) != 1 {
+		t.Fatal("line larger than the FIFO was dropped")
+	}
+}
+
+func TestWriterInterface(t *testing.T) {
+	u := New(&vtime.Clock{})
+	fmt.Fprintf(u, "value=%d\n", 42)
+	lines := u.Drain()
+	if len(lines) != 1 || lines[0].Text != "value=42" {
+		t.Fatalf("fprintf: %+v", lines)
+	}
+	if u.BytesWritten() != len("value=42\n") {
+		t.Fatalf("bytes: %d", u.BytesWritten())
+	}
+}
+
+func TestReset(t *testing.T) {
+	u := New(&vtime.Clock{})
+	u.WriteString("x\nleftover")
+	u.Reset()
+	if len(u.All()) != 0 || u.Pending() != 0 {
+		t.Fatal("reset incomplete")
+	}
+	u.WriteString("fresh\n")
+	if got := u.Drain(); len(got) != 1 || got[0].Text != "fresh" {
+		t.Fatalf("after reset: %+v", got)
+	}
+}

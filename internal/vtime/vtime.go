@@ -1,0 +1,93 @@
+// Package vtime provides the virtual clock that every simulated hardware
+// component advances against. All campaign durations in this repository
+// (payloads per 10 minutes, coverage-vs-hours curves) are measured in virtual
+// time, which advances deterministically with executed target cycles and
+// debug-link operations rather than with the host wall clock.
+package vtime
+
+import (
+	"fmt"
+	"time"
+)
+
+// Clock is a monotonic virtual clock. The zero value is a clock at time zero.
+// Clock is not safe for concurrent use; the simulation's strict-handoff
+// execution model guarantees a single running goroutine at a time.
+type Clock struct {
+	now time.Duration
+}
+
+// Now returns the current virtual time as an offset from boot of the
+// simulation (not of the target board; boards keep their own uptime).
+func (c *Clock) Now() time.Duration { return c.now }
+
+// Advance moves the clock forward by d. Negative durations are ignored so a
+// miscomputed latency can never move time backwards.
+func (c *Clock) Advance(d time.Duration) {
+	if d > 0 {
+		c.now += d
+	}
+}
+
+// Deadline is a point in virtual time, used by watchdogs and campaign budgets.
+type Deadline struct {
+	at    time.Duration
+	valid bool
+}
+
+// DeadlineIn returns a deadline d from the clock's current time.
+func (c *Clock) DeadlineIn(d time.Duration) Deadline {
+	return Deadline{at: c.now + d, valid: true}
+}
+
+// Expired reports whether the deadline has passed on clock c. The zero
+// Deadline never expires.
+func (d Deadline) Expired(c *Clock) bool {
+	return d.valid && c.now >= d.at
+}
+
+// Remaining returns the time left until the deadline, or zero if expired or
+// invalid.
+func (d Deadline) Remaining(c *Clock) time.Duration {
+	if !d.valid || c.now >= d.at {
+		return 0
+	}
+	return d.at - c.now
+}
+
+// CycleModel converts CPU cycles to virtual time for a core clocked at HZ.
+type CycleModel struct {
+	// HZ is the core frequency in cycles per second.
+	HZ uint64
+}
+
+// Duration returns the virtual time consumed by n cycles.
+func (m CycleModel) Duration(n uint64) time.Duration {
+	if m.HZ == 0 {
+		return 0
+	}
+	// Split to avoid overflow for large n: seconds part plus remainder.
+	secs := n / m.HZ
+	rem := n % m.HZ
+	return time.Duration(secs)*time.Second +
+		time.Duration(rem*uint64(time.Second)/m.HZ)
+}
+
+// Cycles returns the number of cycles that elapse in d.
+func (m CycleModel) Cycles(d time.Duration) uint64 {
+	if d <= 0 {
+		return 0
+	}
+	return uint64(d) * m.HZ / uint64(time.Second)
+}
+
+func (m CycleModel) String() string {
+	switch {
+	case m.HZ >= 1e6 && m.HZ%1e6 == 0:
+		return fmt.Sprintf("%dMHz", m.HZ/1e6)
+	case m.HZ >= 1e3 && m.HZ%1e3 == 0:
+		return fmt.Sprintf("%dkHz", m.HZ/1e3)
+	default:
+		return fmt.Sprintf("%dHz", m.HZ)
+	}
+}

@@ -1,0 +1,96 @@
+package vtime
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestClockAdvance(t *testing.T) {
+	var c Clock
+	if c.Now() != 0 {
+		t.Fatalf("zero clock at %v", c.Now())
+	}
+	c.Advance(3 * time.Millisecond)
+	c.Advance(2 * time.Millisecond)
+	if got := c.Now(); got != 5*time.Millisecond {
+		t.Fatalf("Now = %v, want 5ms", got)
+	}
+	c.Advance(-time.Hour)
+	if got := c.Now(); got != 5*time.Millisecond {
+		t.Fatalf("negative advance moved clock to %v", got)
+	}
+}
+
+func TestDeadline(t *testing.T) {
+	var c Clock
+	d := c.DeadlineIn(10 * time.Millisecond)
+	if d.Expired(&c) {
+		t.Fatal("deadline expired immediately")
+	}
+	if got := d.Remaining(&c); got != 10*time.Millisecond {
+		t.Fatalf("Remaining = %v", got)
+	}
+	c.Advance(10 * time.Millisecond)
+	if !d.Expired(&c) {
+		t.Fatal("deadline not expired at its time")
+	}
+	if got := d.Remaining(&c); got != 0 {
+		t.Fatalf("Remaining after expiry = %v", got)
+	}
+	var zero Deadline
+	c.Advance(time.Hour)
+	if zero.Expired(&c) {
+		t.Fatal("zero deadline expired")
+	}
+}
+
+func TestCycleModelRoundTrip(t *testing.T) {
+	m := CycleModel{HZ: 160_000_000}
+	if d := m.Duration(160_000_000); d != time.Second {
+		t.Fatalf("1s of cycles = %v", d)
+	}
+	if n := m.Cycles(time.Second); n != 160_000_000 {
+		t.Fatalf("cycles in 1s = %d", n)
+	}
+	if d := m.Duration(16); d != 100*time.Nanosecond {
+		t.Fatalf("16 cycles = %v", d)
+	}
+}
+
+func TestCycleModelLargeNoOverflow(t *testing.T) {
+	m := CycleModel{HZ: 1_000_000_000}
+	// 10^15 cycles at 1GHz = 10^6 seconds; naive n*1e9 would overflow.
+	if d := m.Duration(1e15); d != 1_000_000*time.Second {
+		t.Fatalf("large duration = %v", d)
+	}
+}
+
+func TestCycleModelMonotone(t *testing.T) {
+	m := CycleModel{HZ: 48_000_000}
+	f := func(a, b uint32) bool {
+		x, y := uint64(a), uint64(b)
+		if x > y {
+			x, y = y, x
+		}
+		return m.Duration(x) <= m.Duration(y)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCycleModelString(t *testing.T) {
+	for _, tc := range []struct {
+		hz   uint64
+		want string
+	}{
+		{160_000_000, "160MHz"},
+		{48_000, "48kHz"},
+		{7, "7Hz"},
+	} {
+		if got := (CycleModel{HZ: tc.hz}).String(); got != tc.want {
+			t.Errorf("String(%d) = %q, want %q", tc.hz, got, tc.want)
+		}
+	}
+}

@@ -1,0 +1,257 @@
+// Package wire defines the test-case serialization format shared by the host
+// fuzzer (which marshals programs into the target mailbox over the debug
+// link) and the on-target agent (which unmarshals and executes them). The
+// format deliberately uses only primitive operations — fixed-width integers,
+// array reads — so the agent stays tiny and OS-independent, per the paper's
+// cross-platform agent requirement.
+package wire
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Format limits. The mailbox is 16 KiB; these keep any program within it.
+const (
+	ProgMagic = 0x50524F47 // "PROG"
+	MaxCalls  = 64
+	MaxArgs   = 8
+	MaxBlob   = 2048
+)
+
+// ArgKind discriminates encoded argument variants.
+type ArgKind uint8
+
+// Argument kinds.
+const (
+	// ArgImm is an immediate 64-bit scalar.
+	ArgImm ArgKind = iota
+	// ArgResult references the return value of an earlier call (a resource).
+	ArgResult
+	// ArgBlob is a byte buffer; the agent copies it into its arena and the
+	// handler receives the target address.
+	ArgBlob
+)
+
+// Arg is one encoded argument.
+type Arg struct {
+	Kind ArgKind
+	Val  uint64 // ArgImm: the value; ArgResult: the call index
+	Blob []byte // ArgBlob payload
+}
+
+// Call is one encoded API invocation.
+type Call struct {
+	API  uint16
+	Args []Arg
+}
+
+// Prog is an encoded test case: a sequence of API calls.
+type Prog struct {
+	Calls []Call
+}
+
+// Marshal renders the program into the mailbox byte format:
+//
+//	u32 magic, u16 ncalls
+//	per call: u16 api, u8 nargs
+//	  per arg: u8 kind, then
+//	    imm:    u64 value
+//	    result: u16 call index
+//	    blob:   u16 len, bytes
+func (p *Prog) Marshal() ([]byte, error) {
+	if len(p.Calls) == 0 || len(p.Calls) > MaxCalls {
+		return nil, fmt.Errorf("wire: %d calls outside [1,%d]", len(p.Calls), MaxCalls)
+	}
+	out := make([]byte, 0, 256)
+	out = binary.LittleEndian.AppendUint32(out, ProgMagic)
+	out = binary.LittleEndian.AppendUint16(out, uint16(len(p.Calls)))
+	for ci, c := range p.Calls {
+		if len(c.Args) > MaxArgs {
+			return nil, fmt.Errorf("wire: call %d has %d args (max %d)", ci, len(c.Args), MaxArgs)
+		}
+		out = binary.LittleEndian.AppendUint16(out, c.API)
+		out = append(out, byte(len(c.Args)))
+		for ai, a := range c.Args {
+			out = append(out, byte(a.Kind))
+			switch a.Kind {
+			case ArgImm:
+				out = binary.LittleEndian.AppendUint64(out, a.Val)
+			case ArgResult:
+				if a.Val >= uint64(ci) {
+					return nil, fmt.Errorf("wire: call %d arg %d references future call %d", ci, ai, a.Val)
+				}
+				out = binary.LittleEndian.AppendUint16(out, uint16(a.Val))
+			case ArgBlob:
+				if len(a.Blob) > MaxBlob {
+					return nil, fmt.Errorf("wire: call %d arg %d blob %d bytes (max %d)", ci, ai, len(a.Blob), MaxBlob)
+				}
+				out = binary.LittleEndian.AppendUint16(out, uint16(len(a.Blob)))
+				out = append(out, a.Blob...)
+			default:
+				return nil, fmt.Errorf("wire: call %d arg %d unknown kind %d", ci, ai, a.Kind)
+			}
+		}
+	}
+	return out, nil
+}
+
+// Unmarshal decodes a program from mailbox bytes. It is defensive: any
+// malformed input yields an error rather than a mis-execution, because the
+// agent must survive whatever arrives over the link.
+func Unmarshal(data []byte) (*Prog, error) {
+	r := reader{data: data}
+	magic, ok := r.u32()
+	if !ok || magic != ProgMagic {
+		return nil, fmt.Errorf("wire: bad magic")
+	}
+	ncalls, ok := r.u16()
+	if !ok || ncalls == 0 || int(ncalls) > MaxCalls {
+		return nil, fmt.Errorf("wire: bad call count %d", ncalls)
+	}
+	p := &Prog{Calls: make([]Call, 0, ncalls)}
+	for ci := 0; ci < int(ncalls); ci++ {
+		api, ok := r.u16()
+		if !ok {
+			return nil, fmt.Errorf("wire: truncated call %d", ci)
+		}
+		nargs, ok := r.u8()
+		if !ok || int(nargs) > MaxArgs {
+			return nil, fmt.Errorf("wire: bad arg count in call %d", ci)
+		}
+		c := Call{API: api, Args: make([]Arg, 0, nargs)}
+		for ai := 0; ai < int(nargs); ai++ {
+			kind, ok := r.u8()
+			if !ok {
+				return nil, fmt.Errorf("wire: truncated arg %d.%d", ci, ai)
+			}
+			var a Arg
+			a.Kind = ArgKind(kind)
+			switch a.Kind {
+			case ArgImm:
+				v, ok := r.u64()
+				if !ok {
+					return nil, fmt.Errorf("wire: truncated imm %d.%d", ci, ai)
+				}
+				a.Val = v
+			case ArgResult:
+				v, ok := r.u16()
+				if !ok {
+					return nil, fmt.Errorf("wire: truncated result ref %d.%d", ci, ai)
+				}
+				if int(v) >= ci {
+					return nil, fmt.Errorf("wire: forward result ref %d.%d", ci, ai)
+				}
+				a.Val = uint64(v)
+			case ArgBlob:
+				n, ok := r.u16()
+				if !ok || int(n) > MaxBlob {
+					return nil, fmt.Errorf("wire: bad blob len %d.%d", ci, ai)
+				}
+				b, ok := r.bytes(int(n))
+				if !ok {
+					return nil, fmt.Errorf("wire: truncated blob %d.%d", ci, ai)
+				}
+				a.Blob = b
+			default:
+				return nil, fmt.Errorf("wire: unknown arg kind %d at %d.%d", kind, ci, ai)
+			}
+			c.Args = append(c.Args, a)
+		}
+		p.Calls = append(p.Calls, c)
+	}
+	if r.off != len(r.data) {
+		return nil, fmt.Errorf("wire: %d trailing bytes", len(r.data)-r.off)
+	}
+	return p, nil
+}
+
+type reader struct {
+	data []byte
+	off  int
+}
+
+func (r *reader) u8() (byte, bool) {
+	if r.off+1 > len(r.data) {
+		return 0, false
+	}
+	v := r.data[r.off]
+	r.off++
+	return v, true
+}
+
+func (r *reader) u16() (uint16, bool) {
+	if r.off+2 > len(r.data) {
+		return 0, false
+	}
+	v := binary.LittleEndian.Uint16(r.data[r.off:])
+	r.off += 2
+	return v, true
+}
+
+func (r *reader) u32() (uint32, bool) {
+	if r.off+4 > len(r.data) {
+		return 0, false
+	}
+	v := binary.LittleEndian.Uint32(r.data[r.off:])
+	r.off += 4
+	return v, true
+}
+
+func (r *reader) u64() (uint64, bool) {
+	if r.off+8 > len(r.data) {
+		return 0, false
+	}
+	v := binary.LittleEndian.Uint64(r.data[r.off:])
+	r.off += 8
+	return v, true
+}
+
+func (r *reader) bytes(n int) ([]byte, bool) {
+	if r.off+n > len(r.data) {
+		return nil, false
+	}
+	out := make([]byte, n)
+	copy(out, r.data[r.off:r.off+n])
+	r.off += n
+	return out, true
+}
+
+// Result is the per-program execution summary the agent writes to the
+// outbound mailbox after execute_one. Seq increments monotonically per
+// program, which lets shared-memory hosts (no breakpoints) detect
+// completion by polling.
+type Result struct {
+	Executed uint32 // calls completed
+	LastErr  int32  // errno of the last completed call
+	Faulted  bool
+	Seq      uint32
+}
+
+// ResultBytes is the encoded size of a Result.
+const ResultBytes = 16
+
+// MarshalResult encodes r.
+func MarshalResult(r Result) []byte {
+	out := make([]byte, ResultBytes)
+	binary.LittleEndian.PutUint32(out[0:], r.Executed)
+	binary.LittleEndian.PutUint32(out[4:], uint32(r.LastErr))
+	if r.Faulted {
+		out[8] = 1
+	}
+	binary.LittleEndian.PutUint32(out[12:], r.Seq)
+	return out
+}
+
+// UnmarshalResult decodes a Result.
+func UnmarshalResult(data []byte) (Result, error) {
+	if len(data) < ResultBytes {
+		return Result{}, fmt.Errorf("wire: result too short (%d bytes)", len(data))
+	}
+	return Result{
+		Executed: binary.LittleEndian.Uint32(data[0:]),
+		LastErr:  int32(binary.LittleEndian.Uint32(data[4:])),
+		Faulted:  data[8] != 0,
+		Seq:      binary.LittleEndian.Uint32(data[12:]),
+	}, nil
+}

@@ -1,0 +1,119 @@
+package wire
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func sampleProg() *Prog {
+	return &Prog{Calls: []Call{
+		{API: 3, Args: []Arg{
+			{Kind: ArgImm, Val: 0xDEADBEEF12345678},
+			{Kind: ArgBlob, Blob: []byte("payload")},
+		}},
+		{API: 7, Args: []Arg{
+			{Kind: ArgResult, Val: 0},
+			{Kind: ArgImm, Val: 42},
+		}},
+	}}
+}
+
+func TestMarshalUnmarshalRoundTrip(t *testing.T) {
+	p := sampleProg()
+	raw, err := p.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Unmarshal(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Calls) != 2 || got.Calls[0].API != 3 || got.Calls[1].API != 7 {
+		t.Fatalf("calls: %+v", got.Calls)
+	}
+	if got.Calls[0].Args[0].Val != 0xDEADBEEF12345678 {
+		t.Fatalf("imm: %#x", got.Calls[0].Args[0].Val)
+	}
+	if !bytes.Equal(got.Calls[0].Args[1].Blob, []byte("payload")) {
+		t.Fatalf("blob: %q", got.Calls[0].Args[1].Blob)
+	}
+	if got.Calls[1].Args[0].Kind != ArgResult || got.Calls[1].Args[0].Val != 0 {
+		t.Fatalf("result ref: %+v", got.Calls[1].Args[0])
+	}
+}
+
+func TestMarshalRejectsInvalid(t *testing.T) {
+	if _, err := (&Prog{}).Marshal(); err == nil {
+		t.Fatal("empty prog marshalled")
+	}
+	// Forward reference.
+	p := &Prog{Calls: []Call{{API: 0, Args: []Arg{{Kind: ArgResult, Val: 0}}}}}
+	if _, err := p.Marshal(); err == nil {
+		t.Fatal("self reference marshalled")
+	}
+	// Oversized blob.
+	p = &Prog{Calls: []Call{{API: 0, Args: []Arg{{Kind: ArgBlob, Blob: make([]byte, MaxBlob+1)}}}}}
+	if _, err := p.Marshal(); err == nil {
+		t.Fatal("oversized blob marshalled")
+	}
+	// Too many calls.
+	p = &Prog{}
+	for i := 0; i < MaxCalls+1; i++ {
+		p.Calls = append(p.Calls, Call{API: 0})
+	}
+	if _, err := p.Marshal(); err == nil {
+		t.Fatal("too many calls marshalled")
+	}
+}
+
+func TestUnmarshalDefensive(t *testing.T) {
+	valid, _ := sampleProg().Marshal()
+	// Truncations at every length must error, never panic.
+	for n := 0; n < len(valid); n++ {
+		if _, err := Unmarshal(valid[:n]); err == nil {
+			t.Fatalf("truncation at %d accepted", n)
+		}
+	}
+	// Trailing garbage rejected.
+	if _, err := Unmarshal(append(append([]byte{}, valid...), 0xFF)); err == nil {
+		t.Fatal("trailing bytes accepted")
+	}
+	// Bad magic.
+	bad := append([]byte{}, valid...)
+	bad[0] ^= 0xFF
+	if _, err := Unmarshal(bad); err == nil {
+		t.Fatal("bad magic accepted")
+	}
+}
+
+func TestUnmarshalFuzzNoPanic(t *testing.T) {
+	rnd := rand.New(rand.NewSource(1))
+	for i := 0; i < 5000; i++ {
+		b := make([]byte, rnd.Intn(200))
+		rnd.Read(b)
+		Unmarshal(b) // must not panic
+	}
+	// Mutations of a valid program.
+	valid, _ := sampleProg().Marshal()
+	for i := 0; i < 5000; i++ {
+		b := append([]byte{}, valid...)
+		b[rnd.Intn(len(b))] ^= byte(1 << uint(rnd.Intn(8)))
+		Unmarshal(b)
+	}
+}
+
+func TestResultRoundTrip(t *testing.T) {
+	f := func(exec uint32, errno int32, faulted bool, seq uint32) bool {
+		r := Result{Executed: exec, LastErr: errno, Faulted: faulted, Seq: seq}
+		got, err := UnmarshalResult(MarshalResult(r))
+		return err == nil && got == r
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := UnmarshalResult([]byte{1, 2}); err == nil {
+		t.Fatal("short result accepted")
+	}
+}
