@@ -1,0 +1,23 @@
+GO ?= go
+
+.PHONY: build check test race vet bench-fleet
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+race:
+	$(GO) test -race ./...
+
+# check is the CI gate: static analysis plus the race-enabled test suite.
+check: vet race
+
+# bench-fleet runs the fleet scaling/round-trip benchmark and records the
+# results in BENCH_fleet.json.
+bench-fleet:
+	./scripts/bench_fleet.sh

@@ -182,6 +182,56 @@ func BenchmarkCampaignThroughput(b *testing.B) {
 	}
 }
 
+// BenchmarkFleet shards one campaign across a 4-board pool and compares it
+// against a solo board on the same total board-time budget. Virtual time is
+// board wall-clock in this repo, so Report.Duration for the pool is its
+// wall-clock (budget/shards) and edges per Duration second is the pool's
+// effective discovery rate; 4 boards must deliver at least 1.8x a single
+// board's. The vectored link commands must also cut debug-link round trips
+// per exec against the legacy multi-command sequences.
+func BenchmarkFleet(b *testing.B) {
+	const budget = 30 * time.Minute
+	run := func(shards int, legacy bool) *Report {
+		c, err := NewCampaign(Options{
+			OS: "freertos", Seed: 77, Shards: shards,
+			SyncEvery: 5 * time.Minute, LegacyLink: legacy,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer c.Close()
+		rep, err := c.Run(budget)
+		if err != nil {
+			b.Fatal(err)
+		}
+		return rep
+	}
+	for i := 0; i < b.N; i++ {
+		hostStart := time.Now()
+		solo := run(1, false)
+		pool := run(4, false)
+		legacy := run(1, true)
+		hostSecs := time.Since(hostStart).Seconds()
+
+		soloRate := float64(solo.Edges) / solo.Duration.Seconds()
+		poolRate := float64(pool.Edges) / pool.Duration.Seconds()
+		if poolRate < 1.8*soloRate {
+			b.Fatalf("4-shard pool rate %.2f edges/s < 1.8x solo %.2f edges/s", poolRate, soloRate)
+		}
+		vecOps := float64(solo.LinkRoundTrips) / float64(solo.Execs)
+		legOps := float64(legacy.LinkRoundTrips) / float64(legacy.Execs)
+		if vecOps >= legOps {
+			b.Fatalf("vectored link did not cut round trips: %.2f >= %.2f ops/exec", vecOps, legOps)
+		}
+		b.ReportMetric(soloRate, "solo-edges/s")
+		b.ReportMetric(poolRate, "fleet4-edges/s")
+		b.ReportMetric(poolRate/soloRate, "speedup")
+		b.ReportMetric(vecOps, "vec-ops/exec")
+		b.ReportMetric(legOps, "legacy-ops/exec")
+		b.ReportMetric(hostSecs, "host-s")
+	}
+}
+
 func avg(xs []float64) float64 {
 	if len(xs) == 0 {
 		return 0

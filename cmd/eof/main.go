@@ -26,6 +26,8 @@ func main() {
 		random  = flag.Bool("random-args", false, "disable API-aware generation")
 		apis    = flag.String("apis", "", "comma-separated API allowlist (application-level mode)")
 		modules = flag.String("modules", "", "comma-separated source prefixes to instrument")
+		shards  = flag.Int("shards", 1, "board-pool size: shard the campaign across N boards with shared feedback")
+		legacy  = flag.Bool("legacy-link", false, "disable vectored debug-link commands (older probe firmware)")
 		verbose = flag.Bool("v", false, "print crash logs and reproducers")
 	)
 	flag.Parse()
@@ -36,6 +38,8 @@ func main() {
 		Seed:             *seed,
 		FeedbackDisabled: *nf,
 		APIAwareDisabled: *random,
+		Shards:           *shards,
+		LegacyLink:       *legacy,
 	}
 	if *apis != "" {
 		opts.RestrictAPIs = strings.Split(*apis, ",")
@@ -52,7 +56,12 @@ func main() {
 	defer c.Close()
 
 	budget := time.Duration(*minutes * float64(time.Minute))
-	fmt.Printf("fuzzing %s on %s for %v of virtual time (seed %d)\n", *osName, *board, budget, *seed)
+	if *shards > 1 {
+		fmt.Printf("fuzzing %s on a pool of %d %s boards for %v of total board time (seed %d)\n",
+			*osName, *shards, *board, budget, *seed)
+	} else {
+		fmt.Printf("fuzzing %s on %s for %v of virtual time (seed %d)\n", *osName, *board, budget, *seed)
+	}
 	rep, err := c.Run(budget)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "eof:", err)
@@ -62,6 +71,13 @@ func main() {
 	fmt.Printf("\nexecs: %d   branches: %d   crashes: %d   restores: %d (reflashes: %d)\n",
 		rep.Execs, rep.Edges, rep.Crashes, rep.Restores, rep.Reflashes)
 	fmt.Printf("throughput: %.2f execs/s of target time\n", float64(rep.Execs)/rep.Duration.Seconds())
+	if rep.Execs > 0 {
+		fmt.Printf("debug link: %d round trips (%.2f per exec)\n",
+			rep.LinkRoundTrips, float64(rep.LinkRoundTrips)/float64(rep.Execs))
+	}
+	if rep.DegradedMonitors > 0 {
+		fmt.Printf("warning: %d exception symbols unarmed (out of breakpoint comparators)\n", rep.DegradedMonitors)
+	}
 	if len(rep.Bugs) == 0 {
 		fmt.Println("\nno bugs found in this window")
 		return

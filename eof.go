@@ -23,6 +23,7 @@ import (
 
 	"github.com/eof-fuzz/eof/internal/boards"
 	"github.com/eof-fuzz/eof/internal/core"
+	"github.com/eof-fuzz/eof/internal/fleet"
 	"github.com/eof-fuzz/eof/internal/specgen"
 	"github.com/eof-fuzz/eof/internal/targets"
 )
@@ -69,6 +70,18 @@ type Options struct {
 	// SampleEvery sets the coverage time-series resolution (default 5
 	// virtual minutes).
 	SampleEvery time.Duration
+
+	// Shards > 1 shards the campaign across a pool of that many virtual
+	// boards running concurrently with shared feedback (fleet mode). The
+	// budget passed to Run is total board time, split evenly; the report's
+	// Duration is the pool's wall-clock (budget/Shards).
+	Shards int
+	// SyncEvery is the fleet feedback-exchange interval (default 10
+	// virtual minutes). Ignored when Shards <= 1.
+	SyncEvery time.Duration
+	// LegacyLink disables the vectored debug-link commands, forcing the
+	// multi-round-trip sequences older probe firmware needs.
+	LegacyLink bool
 }
 
 // Bug is one deduplicated finding.
@@ -103,6 +116,8 @@ type Sample struct {
 type Report struct {
 	OS    string
 	Board string
+	// Shards is the board-pool size the campaign ran on (1 = solo).
+	Shards int
 	// Execs counts completed test cases; Edges is distinct branch coverage.
 	Execs int
 	Edges int
@@ -112,15 +127,27 @@ type Report struct {
 	Crashes   int
 	Restores  int
 	Reflashes int
-	Bugs      []Bug
-	Series    []Sample
-	// Duration is the campaign's virtual runtime.
+	// RestoresByReason breaks Restores down by trigger ("crash", "fault",
+	// "timeout", "pc-stall", ...).
+	RestoresByReason map[string]int
+	// DegradedMonitors counts exception symbols left unarmed because the
+	// board ran out of breakpoint comparators.
+	DegradedMonitors int
+	// LinkRoundTrips is the total number of debug-link commands issued;
+	// divide by Execs for the per-exec transport cost.
+	LinkRoundTrips int64
+	Bugs           []Bug
+	Series         []Sample
+	// Duration is the campaign's virtual runtime. In fleet mode shards run
+	// concurrently, so this is the pool's wall-clock, not summed board time.
 	Duration time.Duration
 }
 
 // Campaign is one configured fuzzing run.
 type Campaign struct {
-	engine *core.Engine
+	engine *core.Engine // solo mode
+	pool   *fleet.Fleet // fleet mode (Shards > 1)
+	shards int
 }
 
 // NewCampaign builds the full stack for the given options.
@@ -146,39 +173,73 @@ func NewCampaign(opts Options) (*Campaign, error) {
 	cfg.Instrumented = !opts.Uninstrumented
 	cfg.CallFilter = opts.RestrictAPIs
 	cfg.CovModules = opts.InstrumentModules
+	cfg.LegacyLink = opts.LegacyLink
 	if opts.SampleEvery > 0 {
 		cfg.SampleEvery = opts.SampleEvery
+	}
+	if opts.Shards > 1 {
+		pool, err := fleet.New(cfg, fleet.Options{
+			Shards:    opts.Shards,
+			SyncEvery: opts.SyncEvery,
+		})
+		if err != nil {
+			return nil, err
+		}
+		return &Campaign{pool: pool, shards: opts.Shards}, nil
 	}
 	engine, err := core.NewEngine(cfg)
 	if err != nil {
 		return nil, err
 	}
-	return &Campaign{engine: engine}, nil
+	return &Campaign{engine: engine, shards: 1}, nil
 }
 
-// Run fuzzes for the given virtual-time budget and returns the report. Run
-// may be called once per campaign.
+// Run fuzzes for the given virtual-time budget and returns the report. In
+// fleet mode the budget is total board time, split evenly across the pool.
+// Run may be called once per campaign.
 func (c *Campaign) Run(budget time.Duration) (*Report, error) {
-	rep, err := c.engine.Run(budget)
+	var rep *core.Report
+	var err error
+	if c.pool != nil {
+		rep, err = c.pool.Run(budget)
+	} else {
+		rep, err = c.engine.Run(budget)
+	}
 	if err != nil {
 		return nil, err
 	}
-	return convertReport(rep), nil
+	out := convertReport(rep)
+	out.Shards = c.shards
+	return out, nil
 }
 
-// Close releases the debug link and the board.
-func (c *Campaign) Close() { c.engine.Close() }
+// Close releases the debug link(s) and the board(s).
+func (c *Campaign) Close() {
+	if c.pool != nil {
+		c.pool.Close()
+		return
+	}
+	c.engine.Close()
+}
 
 func convertReport(r *core.Report) *Report {
 	out := &Report{
-		OS:        r.OS,
-		Board:     r.Board,
-		Execs:     r.Stats.Execs,
-		Edges:     r.Edges,
-		Crashes:   r.Stats.Crashes,
-		Restores:  r.Stats.Restores,
-		Reflashes: r.Stats.Reflashes,
-		Duration:  r.Duration,
+		OS:               r.OS,
+		Board:            r.Board,
+		Execs:            r.Stats.Execs,
+		Edges:            r.Edges,
+		Crashes:          r.Stats.Crashes,
+		Restores:         r.Stats.Restores,
+		Reflashes:        r.Stats.Reflashes,
+		DegradedMonitors: r.Stats.DegradedMonitors,
+		LinkRoundTrips:   r.Stats.LinkOps,
+		Duration:         r.Duration,
+	}
+	if len(r.Stats.RestoresByReason) > 0 {
+		out.RestoresByReason = make(map[string]int, len(r.Stats.RestoresByReason))
+		for k, v := range r.Stats.RestoresByReason {
+			out.RestoresByReason[k] = v
+		}
 	}
 	for _, b := range r.Bugs {
 		nb := Bug{

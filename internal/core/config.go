@@ -86,6 +86,12 @@ type Config struct {
 	// SampleEvery sets the coverage time-series resolution.
 	SampleEvery time.Duration
 
+	// LegacyLink disables the vectored debug-link commands (vCovDrain,
+	// vRun), forcing the multi-round-trip sequences older probe firmware
+	// needs. Used by the round-trip-accounting comparisons; the engine also
+	// falls back automatically when the probe rejects a vectored command.
+	LegacyLink bool
+
 	// CallFilter restricts the specification to the named calls — the
 	// application-level evaluation fuzzes only the HTTP/JSON entry points.
 	// Empty means the full API surface.

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"math/rand"
+	"sort"
 	"time"
 
 	"github.com/eof-fuzz/eof/internal/agent"
@@ -39,6 +40,68 @@ type Stats struct {
 	ExecTimeoutResets   int
 	ManualInterventions int // watchdog-less livelocks broken by the hard cap
 	CovFullTraps        int
+	// DegradedMonitors counts exception symbols left unarmed because the
+	// board ran out of breakpoint comparators; the engine silently degrades
+	// to log/stall detection for them, and this counter makes the
+	// degradation visible in reports.
+	DegradedMonitors int
+	// RestoresByReason breaks Restores down by trigger ("crash", "fault",
+	// "timeout", "pc-stall", "exec-timeout", ...).
+	RestoresByReason map[string]int
+	// LinkOps is the number of debug-link round trips the campaign issued;
+	// LinkOps/Execs is the per-exec transport cost the vectored commands cut.
+	LinkOps int64
+}
+
+// addRestoreReason records one restore attributed to reason.
+func (s *Stats) addRestoreReason(reason string) {
+	if s.RestoresByReason == nil {
+		s.RestoresByReason = make(map[string]int)
+	}
+	s.RestoresByReason[reason]++
+}
+
+// RestoreReasons renders the per-reason restore counts as a stable
+// "reason=count" list, sorted by reason, for tables and CSV cells.
+func (s *Stats) RestoreReasons() string {
+	if len(s.RestoresByReason) == 0 {
+		return "-"
+	}
+	keys := make([]string, 0, len(s.RestoresByReason))
+	for k := range s.RestoresByReason {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := ""
+	for i, k := range keys {
+		if i > 0 {
+			out += " "
+		}
+		out += fmt.Sprintf("%s=%d", k, s.RestoresByReason[k])
+	}
+	return out
+}
+
+// Merge accumulates o into s (fleet report aggregation).
+func (s *Stats) Merge(o Stats) {
+	s.Execs += o.Execs
+	s.ExecFailures += o.ExecFailures
+	s.Crashes += o.Crashes
+	s.Restores += o.Restores
+	s.Reflashes += o.Reflashes
+	s.StallResets += o.StallResets
+	s.TimeoutResets += o.TimeoutResets
+	s.ExecTimeoutResets += o.ExecTimeoutResets
+	s.ManualInterventions += o.ManualInterventions
+	s.CovFullTraps += o.CovFullTraps
+	s.DegradedMonitors += o.DegradedMonitors
+	s.LinkOps += o.LinkOps
+	for k, v := range o.RestoresByReason {
+		if s.RestoresByReason == nil {
+			s.RestoresByReason = make(map[string]int)
+		}
+		s.RestoresByReason[k] += v
+	}
 }
 
 // Report is a finished campaign's outcome.
@@ -56,11 +119,35 @@ type Report struct {
 // re-synchronise at executor_main.
 var errRestart = errors.New("core: target restored")
 
+// SeedShare is one coverage-increasing input exported for sibling shards.
+type SeedShare struct {
+	P        *prog.Prog
+	NewEdges int
+}
+
+// RewardShare is one choice-table adjacency reward exported for siblings.
+type RewardShare struct {
+	Prev, Next string
+	Amount     float64
+}
+
+// SyncDelta is the feedback a shard accumulated since the previous fleet
+// sync: the edges it found first, the seeds that found them and the
+// adjacency rewards they earned. Fleet campaigns drain deltas at epoch
+// barriers and broadcast them to sibling shards in shard order, which keeps
+// cross-pollination deterministic.
+type SyncDelta struct {
+	Edges   []uint32
+	Seeds   []SeedShare
+	Rewards []RewardShare
+}
+
 // Engine is one EOF instance attached to one board.
 type Engine struct {
 	cfg    Config
 	clock  *vtime.Clock
 	brd    *board.Board
+	srv    *ocd.Server
 	client *ocd.Client
 
 	target *prog.Target
@@ -74,6 +161,7 @@ type Engine struct {
 	mainAddr  uint64
 	excAddrs  map[uint64]string
 	collector *cov.Collector
+	shared    *cov.Collector // optional fleet-wide sink, nil when solo
 	corpus    *Corpus
 	logMon    *LogMonitor
 
@@ -81,6 +169,13 @@ type Engine struct {
 	bugs    []*BugReport
 	bugSigs map[string]bool
 	series  []CoverSample
+
+	// vectored tracks whether the probe accepts the single-round-trip
+	// commands; it latches off on the first Ebadcmd and the engine degrades
+	// to the legacy multi-round-trip sequences.
+	vectored bool
+	ready    bool
+	delta    SyncDelta
 
 	lastBudgetPC uint64
 	stallRuns    int
@@ -152,6 +247,7 @@ func NewEngine(cfg Config) (*Engine, error) {
 		cfg:       cfg,
 		clock:     clock,
 		brd:       brd,
+		vectored:  !cfg.LegacyLink,
 		target:    target,
 		gen:       gen,
 		ct:        ct,
@@ -201,19 +297,83 @@ func (e *Engine) Clock() *vtime.Clock { return e.clock }
 // Coverage returns the number of distinct edges observed so far.
 func (e *Engine) Coverage() int { return e.collector.Total() }
 
-// setup provisions flash, boots, attaches the probe and arms breakpoints.
-func (e *Engine) setup() error {
+// CollectorEdges returns the engine's observed edge set in ascending order.
+func (e *Engine) CollectorEdges() []uint32 { return e.collector.Edges() }
+
+// LinkOps returns the number of debug-link round trips issued so far.
+func (e *Engine) LinkOps() int64 {
+	if e.client == nil {
+		return 0
+	}
+	return e.client.Ops()
+}
+
+// SetSharedSink attaches a fleet-wide collector that every drained edge is
+// also ingested into. The sink is thread-safe and order-independent (set
+// union), so sibling shards can feed it concurrently without disturbing the
+// per-shard deterministic state. Must be set before Setup.
+func (e *Engine) SetSharedSink(c *cov.Collector) { e.shared = c }
+
+// SetFocus biases fresh generation toward the named calls (the fleet
+// sharder's soft search-space partitioning). Must be called before Run.
+func (e *Engine) SetFocus(names []string, boost float64) { e.gen.SetFocus(names, boost) }
+
+// SpecCalls returns the target specification's call names in spec order.
+func (e *Engine) SpecCalls() []string {
+	out := make([]string, len(e.target.Spec.Calls))
+	for i, c := range e.target.Spec.Calls {
+		out[i] = c.Name
+	}
+	return out
+}
+
+// DrainSyncDelta returns the feedback accumulated since the last drain and
+// resets the accumulator. Fleet campaigns call it at epoch barriers.
+func (e *Engine) DrainSyncDelta() SyncDelta {
+	d := e.delta
+	e.delta = SyncDelta{}
+	return d
+}
+
+// ImportSyncDelta merges a sibling shard's feedback: its new edges become
+// pre-seen (so this shard stops spending budget rediscovering them), its
+// seeds join the corpus for further mutation, and its adjacency rewards
+// shape future generation. Imports must happen between RunFor slices, in a
+// deterministic order, to keep campaigns reproducible.
+func (e *Engine) ImportSyncDelta(d SyncDelta) {
+	e.collector.Ingest(d.Edges)
+	for _, s := range d.Seeds {
+		e.corpus.Add(s.P.Clone(), s.NewEdges)
+	}
+	for _, r := range d.Rewards {
+		e.ct.Reward(r.Prev, r.Next, r.Amount)
+	}
+}
+
+// Setup provisions flash, boots, attaches the probe and arms breakpoints,
+// leaving the target parked at executor_main. It is idempotent; Run calls it
+// implicitly and fleet campaigns call it before the first epoch slice.
+func (e *Engine) Setup() error {
+	if e.ready {
+		return nil
+	}
 	if err := e.provision(); err != nil {
 		return err
 	}
 	if err := e.brd.Boot(); err != nil {
 		return fmt.Errorf("core: initial boot: %w", err)
 	}
-	e.client = ocd.ConnectDirect(ocd.NewServer(e.brd, e.cfg.Latency))
+	e.srv = ocd.NewServer(e.brd, e.cfg.Latency)
+	e.client = ocd.ConnectDirect(e.srv)
 	if err := e.armBreakpoints(); err != nil {
 		return err
 	}
-	return e.runToMain()
+	if err := e.runToMain(); err != nil {
+		return err
+	}
+	e.ready = true
+	e.started = e.clock.Now()
+	return nil
 }
 
 func (e *Engine) provision() error {
@@ -237,10 +397,20 @@ func (e *Engine) armBreakpoints() error {
 	if err := e.client.SetBreakpoint(e.mainAddr); err != nil {
 		return fmt.Errorf("core: arming executor_main: %w", err)
 	}
+	// Arm in address order: which symbols win the scarce comparators must
+	// not depend on map iteration order, or campaigns stop being
+	// reproducible.
+	addrs := make([]uint64, 0, len(e.excAddrs))
 	for addr := range e.excAddrs {
+		addrs = append(addrs, addr)
+	}
+	sort.Slice(addrs, func(i, j int) bool { return addrs[i] < addrs[j] })
+	for i, addr := range addrs {
 		if err := e.client.SetBreakpoint(addr); err != nil {
 			// Breakpoint comparators are scarce on some boards; the engine
-			// degrades to log/stall detection for the remaining symbols.
+			// degrades to log/stall detection for the remaining symbols and
+			// records how many monitors were lost.
+			e.stats.DegradedMonitors += len(addrs) - i
 			break
 		}
 	}
@@ -259,22 +429,33 @@ func (e *Engine) Close() {
 
 // Run executes a campaign for the given virtual-time budget.
 func (e *Engine) Run(budget time.Duration) (*Report, error) {
-	if err := e.setup(); err != nil {
+	if err := e.Setup(); err != nil {
 		return nil, err
 	}
-	e.started = e.clock.Now()
+	if err := e.RunFor(budget); err != nil {
+		return nil, err
+	}
+	return e.Report(), nil
+}
+
+// RunFor fuzzes for one slice of the campaign budget. Fleet campaigns call
+// it repeatedly with epoch-sized slices, exchanging feedback between calls;
+// Run calls it once with the whole budget. Setup must have succeeded first.
+func (e *Engine) RunFor(budget time.Duration) error {
 	deadline := e.clock.DeadlineIn(budget)
 	for !deadline.Expired(e.clock) {
 		if err := e.iteration(); err != nil && !errors.Is(err, errRestart) {
-			return nil, err
+			return err
 		}
 		e.sample()
 	}
-	return e.report(), nil
+	return nil
 }
 
-func (e *Engine) report() *Report {
+// Report snapshots the campaign outcome so far.
+func (e *Engine) Report() *Report {
 	e.sampleForce()
+	e.stats.LinkOps = e.LinkOps()
 	return &Report{
 		OS:       e.cfg.OS.Name,
 		Board:    e.cfg.Board.Name,
@@ -311,13 +492,11 @@ func (e *Engine) nextProg() *prog.Prog {
 // iteration runs one test case end to end.
 func (e *Engine) iteration() error {
 	p := e.nextProg()
-	if err := e.sendProg(p); err != nil {
-		if errors.Is(err, ocd.ErrTimeout) {
-			return e.restore("timeout")
-		}
+	buf, err := e.packProg(p)
+	if err != nil {
 		return err
 	}
-	if err := e.pumpToMain(p); err != nil {
+	if err := e.pumpToMain(p, buf); err != nil {
 		return err
 	}
 	// Back at executor_main: collect feedback.
@@ -331,42 +510,89 @@ func (e *Engine) iteration() error {
 	}
 	if fresh > 0 && e.cfg.FeedbackGuided {
 		e.corpus.Add(p, fresh)
+		e.delta.Seeds = append(e.delta.Seeds, SeedShare{P: p, NewEdges: fresh})
 		names := p.CallNames()
 		for i := 1; i < len(names); i++ {
 			e.ct.Reward(names[i-1], names[i], 0.5)
+			e.delta.Rewards = append(e.delta.Rewards, RewardShare{Prev: names[i-1], Next: names[i], Amount: 0.5})
 		}
 	}
 	return nil
 }
 
-// sendProg writes the serialized program into the inbound mailbox while the
-// target is halted at executor_main.
-func (e *Engine) sendProg(p *prog.Prog) error {
+// packProg serializes p into the length-prefixed mailbox wire format.
+func (e *Engine) packProg(p *prog.Prog) ([]byte, error) {
 	wp, err := e.target.Serialize(p)
 	if err != nil {
-		return err
+		return nil, err
 	}
 	raw, err := wp.Marshal()
 	if err != nil {
-		return err
+		return nil, err
 	}
 	buf := make([]byte, 4+len(raw))
 	binary.LittleEndian.PutUint32(buf, uint32(len(raw)))
 	copy(buf[4:], raw)
-	return e.client.WriteMem(e.lay.MailboxIn, buf)
+	return buf, nil
 }
 
-// pumpToMain resumes the target until it parks at executor_main again,
-// handling every other stop event: coverage-buffer traps, faults, exception
-// breakpoints, stall/budget events and link timeouts.
-func (e *Engine) pumpToMain(p *prog.Prog) error {
+// deliverAndResume places the test case into the inbound mailbox and resumes
+// the target, returning the first stop event. With a vectored-capable probe
+// the write and the continue travel as one round trip (vRun); otherwise they
+// are two commands, with the write's timeout handled as a boot failure.
+func (e *Engine) deliverAndResume(buf []byte) (cpu.Stop, bool, error) {
+	if e.vectored {
+		st, err := e.client.WriteMemContinue(e.lay.MailboxIn, buf, e.cfg.ContinueBudget)
+		if !isBadCmd(err) {
+			return st, true, err
+		}
+		e.vectored = false // probe predates vRun: degrade for the campaign
+	}
+	if err := e.client.WriteMem(e.lay.MailboxIn, buf); err != nil {
+		return cpu.Stop{}, false, err
+	}
+	st, err := e.client.Continue(e.cfg.ContinueBudget)
+	return st, true, err
+}
+
+// isBadCmd reports whether err is the probe rejecting an unknown command.
+func isBadCmd(err error) bool {
+	var re *ocd.RemoteError
+	return errors.As(err, &re) && re.Code == "badcmd"
+}
+
+// pumpToMain delivers the test case and resumes the target until it parks at
+// executor_main again, handling every other stop event: coverage-buffer
+// traps, faults, exception breakpoints, stall/budget events and link
+// timeouts.
+func (e *Engine) pumpToMain(p *prog.Prog, buf []byte) error {
 	start := e.clock.Now()
 	for i := 0; i < e.cfg.MaxContinues; i++ {
-		st, err := e.client.Continue(e.cfg.ContinueBudget)
+		var st cpu.Stop
+		var delivered bool
+		var err error
+		if i == 0 {
+			st, delivered, err = e.deliverAndResume(buf)
+			if err != nil && !delivered {
+				// The mailbox write itself failed: a dead link here means
+				// the target never came up, which restoration handles.
+				if errors.Is(err, ocd.ErrTimeout) {
+					return e.restore("timeout")
+				}
+				return err
+			}
+		} else {
+			st, err = e.client.Continue(e.cfg.ContinueBudget)
+		}
 		if err != nil {
 			if errors.Is(err, ocd.ErrTimeout) && e.cfg.Watchdogs.ConnectionTimeout {
 				e.stats.TimeoutResets++
 				return e.restore("connection-timeout")
+			}
+			if i == 0 && errors.Is(err, ocd.ErrTimeout) {
+				// Watchdog off, but the combined deliver+resume timed out:
+				// treat like the legacy mailbox-write timeout.
+				return e.restore("timeout")
 			}
 			return err
 		}
@@ -433,11 +659,31 @@ func (e *Engine) pumpToMain(p *prog.Prog) error {
 }
 
 // drainCoverage reads, ingests and clears the target coverage buffer,
-// returning the number of globally new edges.
+// returning the number of globally new edges. With a vectored-capable probe
+// the whole read-and-clear is one vCovDrain round trip; otherwise the legacy
+// three-round-trip sequence runs.
 func (e *Engine) drainCoverage() (int, error) {
 	if !e.cfg.Instrumented {
 		return 0, nil
 	}
+	if e.vectored {
+		entries, lost, err := e.client.DrainCov(e.lay.Cov, e.cfg.Board.CovEntries)
+		if !isBadCmd(err) {
+			if err != nil {
+				return 0, err
+			}
+			e.collector.AddLost(lost)
+			return e.ingestEdges(entries), nil
+		}
+		e.vectored = false // probe predates vCovDrain: degrade for the campaign
+	}
+	return e.drainCoverageLegacy()
+}
+
+// drainCoverageLegacy is the multi-round-trip drain older probe firmware
+// needs: a speculative read of header plus typical entry volume, a tail read
+// when the buffer holds more, and a write clearing the count word.
+func (e *Engine) drainCoverageLegacy() (int, error) {
 	// Speculatively read the header plus the typical entry volume in one
 	// transfer; only unusually full buffers need a second read. Probe round
 	// trips dominate drain cost, so batching matters more than bytes.
@@ -471,8 +717,20 @@ func (e *Engine) drainCoverage() (int, error) {
 	if err := e.client.WriteMem(e.lay.Cov+4, []byte{0, 0, 0, 0}); err != nil {
 		return 0, err
 	}
+	return e.ingestEdges(entries), nil
+}
+
+// ingestEdges feeds drained entries into the local collector, the pending
+// fleet sync delta, and (when fleet-attached) the shared sink.
+func (e *Engine) ingestEdges(entries []uint32) int {
 	fresh := e.collector.Ingest(entries)
-	return len(fresh), nil
+	if len(fresh) > 0 {
+		e.delta.Edges = append(e.delta.Edges, fresh...)
+	}
+	if e.shared != nil {
+		e.shared.Ingest(entries)
+	}
+	return len(fresh)
 }
 
 // scanLog drains the UART through the log monitor, recording a bug when a
@@ -593,6 +851,7 @@ func (e *Engine) recordBug(b *BugReport) {
 // executor_main.
 func (e *Engine) restore(reason string) error {
 	e.stats.Restores++
+	e.stats.addRestoreReason(reason)
 	e.stallRuns = 0
 	e.lastBudgetPC = 0
 
@@ -629,7 +888,6 @@ func (e *Engine) restore(reason string) error {
 	if err := e.runToMain(); err != nil {
 		return err
 	}
-	_ = reason
 	return errRestart
 }
 

@@ -1,10 +1,12 @@
 package core
 
 import (
+	"encoding/binary"
 	"testing"
 	"time"
 
 	"github.com/eof-fuzz/eof/internal/boards"
+	"github.com/eof-fuzz/eof/internal/cov"
 	"github.com/eof-fuzz/eof/internal/targets"
 )
 
@@ -124,5 +126,107 @@ func TestNoWatchdogsCountsManualInterventions(t *testing.T) {
 	t.Logf("manual interventions: %d (stats %+v)", rep.Stats.ManualInterventions, rep.Stats)
 	if rep.Stats.Execs == 0 {
 		t.Fatal("no execs at all")
+	}
+}
+
+// TestLegacyDrainTwoReadPath exercises the legacy (non-vectored) coverage
+// drain with a buffer holding more entries than the speculative first
+// transfer covers: the engine must issue exactly three link round trips
+// (speculative read, tail read, count-word clear), ingest every entry, and
+// leave the count word zeroed.
+func TestLegacyDrainTwoReadPath(t *testing.T) {
+	info, err := targets.ByName("freertos")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig(info, boards.STM32H745()) // 4096 cov entries
+	cfg.LegacyLink = true
+	e, err := NewEngine(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	if err := e.Setup(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Fabricate a buffer fuller than the 16+1024*4-byte speculative window.
+	const count = 1500
+	buf := make([]byte, 16+count*4)
+	binary.LittleEndian.PutUint32(buf[0:], cov.Magic)
+	binary.LittleEndian.PutUint32(buf[4:], count)
+	binary.LittleEndian.PutUint32(buf[8:], uint32(cfg.Board.CovEntries))
+	binary.LittleEndian.PutUint32(buf[12:], 0)
+	for i := 0; i < count; i++ {
+		// High values no real run produces, so every entry is fresh.
+		binary.LittleEndian.PutUint32(buf[16+i*4:], 0xE000_0000+uint32(i))
+	}
+	if err := e.client.WriteMem(e.lay.Cov, buf); err != nil {
+		t.Fatal(err)
+	}
+
+	ops := e.client.Ops()
+	fresh, err := e.drainCoverageLegacy()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fresh != count {
+		t.Fatalf("ingested %d fresh edges, want %d (tail beyond the first read lost?)", fresh, count)
+	}
+	if got := e.client.Ops() - ops; got != 3 {
+		t.Fatalf("overfull drain cost %d round trips, want 3 (read, tail read, clear)", got)
+	}
+	hdr, err := e.client.ReadMem(e.lay.Cov+4, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c := binary.LittleEndian.Uint32(hdr); c != 0 {
+		t.Fatalf("count word not cleared: %d", c)
+	}
+
+	// A buffer within the speculative window costs only two round trips.
+	binary.LittleEndian.PutUint32(buf[4:], 10)
+	if err := e.client.WriteMem(e.lay.Cov, buf[:16+10*4]); err != nil {
+		t.Fatal(err)
+	}
+	ops = e.client.Ops()
+	if _, err := e.drainCoverageLegacy(); err != nil {
+		t.Fatal(err)
+	}
+	if got := e.client.Ops() - ops; got != 2 {
+		t.Fatalf("small drain cost %d round trips, want 2 (read, clear)", got)
+	}
+}
+
+// TestVectoredFallbackToLegacy verifies the engine degrades to the legacy
+// sequences when the probe rejects vectored commands, rather than failing
+// the campaign.
+func TestVectoredFallbackToLegacy(t *testing.T) {
+	info, err := targets.ByName("freertos")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig(info, boards.STM32H745())
+	e, err := NewEngine(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	if err := e.Setup(); err != nil {
+		t.Fatal(err)
+	}
+	e.srv.NoVectored = true
+	if !e.vectored {
+		t.Fatal("engine should start vectored")
+	}
+	if err := e.RunFor(time.Minute); err != nil {
+		t.Fatal(err)
+	}
+	if e.vectored {
+		t.Fatal("engine did not latch the legacy fallback")
+	}
+	rep := e.Report()
+	if rep.Stats.Execs < 5 || rep.Edges < 50 {
+		t.Fatalf("campaign degraded badly after fallback: %+v edges=%d", rep.Stats, rep.Edges)
 	}
 }

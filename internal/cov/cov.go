@@ -14,6 +14,8 @@ package cov
 import (
 	"encoding/binary"
 	"fmt"
+	"sort"
+	"sync"
 )
 
 // Buffer layout in target RAM (little-endian):
@@ -173,8 +175,11 @@ func Decode(raw []byte) (entries []uint32, lost uint32, err error) {
 	return entries, lost, nil
 }
 
-// Collector is the host-side accumulator of global edge coverage.
+// Collector is the host-side accumulator of global edge coverage. It is safe
+// for concurrent use: fleet campaigns share one collector across shard
+// engines, each draining its own board from its own goroutine.
 type Collector struct {
+	mu   sync.Mutex
 	seen map[uint32]struct{}
 	// Lost accumulates dropped-edge counts reported by the target.
 	Lost uint64
@@ -188,6 +193,8 @@ func NewCollector() *Collector {
 // Ingest merges a batch of edges, returning how many were globally new and
 // the list of new edges (for corpus attribution).
 func (c *Collector) Ingest(entries []uint32) (fresh []uint32) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	for _, e := range entries {
 		if _, ok := c.seen[e]; !ok {
 			c.seen[e] = struct{}{}
@@ -197,12 +204,38 @@ func (c *Collector) Ingest(entries []uint32) (fresh []uint32) {
 	return fresh
 }
 
+// AddLost accumulates a dropped-edge count reported by the target.
+func (c *Collector) AddLost(n uint32) {
+	c.mu.Lock()
+	c.Lost += uint64(n)
+	c.mu.Unlock()
+}
+
 // Total returns the number of distinct edges observed — the "branches found"
 // metric of the paper's Tables 3 and 4.
-func (c *Collector) Total() int { return len(c.seen) }
+func (c *Collector) Total() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.seen)
+}
 
 // Has reports whether edge e has been observed.
 func (c *Collector) Has(e uint32) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	_, ok := c.seen[e]
 	return ok
+}
+
+// Edges returns the observed edge set in ascending order, so merged fleet
+// reports and cross-shard imports stay deterministic.
+func (c *Collector) Edges() []uint32 {
+	c.mu.Lock()
+	out := make([]uint32, 0, len(c.seen))
+	for e := range c.seen {
+		out = append(out, e)
+	}
+	c.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
 }

@@ -2,6 +2,7 @@ package cov
 
 import (
 	"encoding/binary"
+	"sync"
 	"testing"
 	"testing/quick"
 )
@@ -129,5 +130,44 @@ func TestEdgeOrderSensitive(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestCollectorConcurrentIngest hammers one collector from several
+// goroutines — the fleet's shared-sink usage — and relies on the race
+// detector to catch unsynchronised access. The final set must be the union
+// regardless of interleaving.
+func TestCollectorConcurrentIngest(t *testing.T) {
+	c := NewCollector()
+	var wg sync.WaitGroup
+	const workers = 8
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				// Half shared across workers, half unique to this one.
+				c.Ingest([]uint32{uint32(i), uint32(10_000 + w*1000 + i)})
+				c.AddLost(1)
+				c.Has(uint32(i))
+				c.Total()
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got, want := c.Total(), 200+workers*200; got != want {
+		t.Fatalf("union size %d, want %d", got, want)
+	}
+	if c.Lost != workers*200 {
+		t.Fatalf("lost %d, want %d", c.Lost, workers*200)
+	}
+	edges := c.Edges()
+	if len(edges) != c.Total() {
+		t.Fatalf("Edges() length %d != Total() %d", len(edges), c.Total())
+	}
+	for i := 1; i < len(edges); i++ {
+		if edges[i-1] >= edges[i] {
+			t.Fatal("Edges() not sorted ascending")
+		}
 	}
 }

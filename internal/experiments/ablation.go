@@ -23,7 +23,7 @@ func AblationWatchdogs(opts Options) (*Table, error) {
 	}
 	t := &Table{
 		Title:   fmt.Sprintf("E7: Watchdog ablation on RT-Thread (%gh x %d runs)", opts.Hours, opts.Runs),
-		Columns: []string{"Configuration", "Execs", "Edges", "Restores", "Manual interventions", "Bugs"},
+		Columns: []string{"Configuration", "Execs", "Edges", "Restores", "Restore reasons", "Manual interventions", "Bugs"},
 	}
 	reports := make([]*core.Report, len(configs)*opts.Runs)
 	err := runParallel(len(reports), opts.parallel(), func(i int) error {
@@ -54,6 +54,7 @@ func AblationWatchdogs(opts Options) (*Table, error) {
 	}
 	for ci, c := range configs {
 		var execs, edges, restores, manual, bugs []float64
+		var merged core.Stats
 		for r := 0; r < opts.Runs; r++ {
 			rep := reports[ci*opts.Runs+r]
 			execs = append(execs, float64(rep.Stats.Execs))
@@ -61,17 +62,21 @@ func AblationWatchdogs(opts Options) (*Table, error) {
 			restores = append(restores, float64(rep.Stats.Restores))
 			manual = append(manual, float64(rep.Stats.ManualInterventions))
 			bugs = append(bugs, float64(len(rep.Bugs)))
+			merged.Merge(rep.Stats)
 		}
 		t.Rows = append(t.Rows, []string{
 			c.name,
 			fmt.Sprintf("%.1f", mean(execs)),
 			fmt.Sprintf("%.1f", mean(edges)),
 			fmt.Sprintf("%.1f", mean(restores)),
+			merged.RestoreReasons(),
 			fmt.Sprintf("%.1f", mean(manual)),
 			fmt.Sprintf("%.1f", mean(bugs)),
 		})
 	}
-	t.Notes = append(t.Notes, "manual interventions: livelocks broken only by the hard continue cap")
+	t.Notes = append(t.Notes,
+		"manual interventions: livelocks broken only by the hard continue cap",
+		"restore reasons: reason=count totals across runs (which watchdog or monitor triggered each restoration)")
 	return t, nil
 }
 

@@ -24,6 +24,9 @@ type Options struct {
 	// Parallel bounds concurrent campaigns on the host (each campaign has
 	// its own board and clock). <=0 means GOMAXPROCS-ish default of 4.
 	Parallel int
+	// Shards > 1 runs the EOF configurations in fleet mode on a pool of
+	// that many boards (budget = total board time); baselines stay solo.
+	Shards int
 }
 
 // PaperOptions reproduces the evaluation's scale (long host runtime).

@@ -7,6 +7,7 @@ import (
 	"github.com/eof-fuzz/eof/internal/baselines/tardis"
 	"github.com/eof-fuzz/eof/internal/boards"
 	"github.com/eof-fuzz/eof/internal/core"
+	"github.com/eof-fuzz/eof/internal/fleet"
 	"github.com/eof-fuzz/eof/internal/targets"
 )
 
@@ -116,6 +117,14 @@ func runFullSystemJob(job fsJob, opts Options) (*core.Report, error) {
 		cfg := core.DefaultConfig(info, evalBoards()[job.os])
 		cfg.Seed = seed
 		cfg.FeedbackGuided = job.tool == "EOF"
+		if opts.Shards > 1 {
+			pool, err := fleet.New(cfg, fleet.Options{Shards: opts.Shards})
+			if err != nil {
+				return nil, err
+			}
+			defer pool.Close()
+			return pool.Run(opts.budget())
+		}
 		e, err := core.NewEngine(cfg)
 		if err != nil {
 			return nil, err

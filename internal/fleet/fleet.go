@@ -1,0 +1,194 @@
+// Package fleet shards one fuzzing campaign across a pool of virtual boards.
+// N engines attach to N boards and run concurrently, each on an equal slice
+// of the total board-time budget; their feedback cross-pollinates through a
+// thread-safe shared coverage collector (live, order-independent set union)
+// and an epoch-barrier corpus-sync exchange: at fixed virtual intervals every
+// shard drains the new-coverage seeds, fresh edges and choice-table rewards
+// it found, and the deltas are broadcast to sibling shards in shard order.
+// Because each shard's execution between barriers is self-contained and
+// deterministic, and the barrier exchange happens in a fixed order, the
+// merged report is reproducible run to run for a fixed seed.
+//
+// The pool models the paper's practical deployment: on-hardware fuzzing is
+// throughput-bound by the debug link and one board's execution speed, so
+// labs attach several cheap boards to one host. Virtual time in this repo is
+// board wall-clock, so a fleet report's Duration is the pool's wall-clock —
+// total board-time divided by the shard count — and edges per Duration
+// second is the pool's effective throughput.
+package fleet
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"github.com/eof-fuzz/eof/internal/core"
+	"github.com/eof-fuzz/eof/internal/cov"
+)
+
+// DefaultSyncEvery is the epoch-barrier interval when Options leaves it
+// unset: long enough that barrier overhead is negligible, short enough that
+// a shard's discovery reaches siblings while it still matters.
+const DefaultSyncEvery = 10 * time.Minute
+
+// shardSeedStride separates shard RNG streams. Shard 0 keeps the configured
+// seed, so a 1-shard fleet explores exactly like a solo engine.
+const shardSeedStride = 1_000_003
+
+// Options parameterises a fleet campaign.
+type Options struct {
+	// Shards is the number of boards in the pool (minimum 1).
+	Shards int
+	// SyncEvery is the virtual interval between feedback-exchange barriers
+	// (default DefaultSyncEvery).
+	SyncEvery time.Duration
+	// FocusBoost, when positive, soft-partitions the search space: shard i
+	// biases fresh generation toward every i-th spec call by adding this
+	// weight, without removing any call from any shard. Zero disables
+	// focus (all shards explore uniformly, differing only by seed).
+	FocusBoost float64
+}
+
+// Fleet is one sharded campaign over a board pool.
+type Fleet struct {
+	opts    Options
+	engines []*core.Engine
+	shared  *cov.Collector
+	ran     bool
+}
+
+// New builds a pool of opts.Shards engines from cfg. Shard i runs with seed
+// cfg.Seed + i*stride and feeds the fleet-wide shared collector; with
+// FocusBoost set it also receives its round-robin slice of the API surface
+// as a soft generation bias.
+func New(cfg core.Config, opts Options) (*Fleet, error) {
+	if opts.Shards <= 0 {
+		opts.Shards = 1
+	}
+	if opts.SyncEvery <= 0 {
+		opts.SyncEvery = DefaultSyncEvery
+	}
+	f := &Fleet{opts: opts, shared: cov.NewCollector()}
+	for i := 0; i < opts.Shards; i++ {
+		scfg := cfg
+		scfg.Seed = cfg.Seed + int64(i)*shardSeedStride
+		e, err := core.NewEngine(scfg)
+		if err != nil {
+			f.Close()
+			return nil, fmt.Errorf("fleet: shard %d: %w", i, err)
+		}
+		e.SetSharedSink(f.shared)
+		if opts.FocusBoost > 0 && opts.Shards > 1 {
+			var names []string
+			for j, name := range e.SpecCalls() {
+				if j%opts.Shards == i {
+					names = append(names, name)
+				}
+			}
+			e.SetFocus(names, opts.FocusBoost)
+		}
+		f.engines = append(f.engines, e)
+	}
+	return f, nil
+}
+
+// Engines exposes the pool for tests and experiment harnesses.
+func (f *Fleet) Engines() []*core.Engine { return f.engines }
+
+// SharedEdges returns the fleet-wide distinct edge count so far.
+func (f *Fleet) SharedEdges() int { return f.shared.Total() }
+
+// Run executes the campaign with the given total board-time budget, split
+// evenly across the pool: each shard fuzzes for total/N of virtual board
+// time, so the pool's wall-clock is total/N. Run may be called once.
+func (f *Fleet) Run(total time.Duration) (*core.Report, error) {
+	if f.ran {
+		return nil, fmt.Errorf("fleet: Run called twice")
+	}
+	f.ran = true
+	n := len(f.engines)
+	shardBudget := total / time.Duration(n)
+
+	// Provision and boot sequentially: board bring-up mutates no shared
+	// state, but a deterministic order keeps any setup-time bug report
+	// stable.
+	for i, e := range f.engines {
+		if err := e.Setup(); err != nil {
+			return nil, fmt.Errorf("fleet: shard %d setup: %w", i, err)
+		}
+	}
+
+	var series []core.CoverSample
+	var elapsed time.Duration
+	for remaining := shardBudget; remaining > 0; remaining -= f.opts.SyncEvery {
+		slice := f.opts.SyncEvery
+		if slice > remaining {
+			slice = remaining
+		}
+		// Run the epoch slice on every shard concurrently. Each engine owns
+		// its board, link and RNG; the only shared state is the mutex-
+		// protected collector sink, whose set union is order-independent.
+		errs := make([]error, n)
+		var wg sync.WaitGroup
+		for i, e := range f.engines {
+			wg.Add(1)
+			go func(i int, e *core.Engine) {
+				defer wg.Done()
+				errs[i] = e.RunFor(slice)
+			}(i, e)
+		}
+		wg.Wait()
+		for i, err := range errs {
+			if err != nil {
+				return nil, fmt.Errorf("fleet: shard %d: %w", i, err)
+			}
+		}
+		// Barrier: exchange feedback in fixed shard order so every shard
+		// sees the same import sequence run to run.
+		deltas := make([]core.SyncDelta, n)
+		for i, e := range f.engines {
+			deltas[i] = e.DrainSyncDelta()
+		}
+		for i := range f.engines {
+			for j, e := range f.engines {
+				if j != i {
+					e.ImportSyncDelta(deltas[i])
+				}
+			}
+		}
+		elapsed += slice
+		series = append(series, core.CoverSample{At: elapsed, Edges: f.shared.Total()})
+	}
+	return f.mergeReport(series), nil
+}
+
+// mergeReport folds the shard reports into one campaign report with stable
+// ordering: stats summed in shard order, bugs deduplicated by signature in
+// (shard, discovery) order, Duration = the longest shard's virtual runtime
+// (= the pool's wall-clock, since shards run concurrently).
+func (f *Fleet) mergeReport(series []core.CoverSample) *core.Report {
+	out := &core.Report{Series: series, Edges: f.shared.Total()}
+	seen := make(map[string]bool)
+	for _, e := range f.engines {
+		r := e.Report()
+		out.OS, out.Board = r.OS, r.Board
+		out.Stats.Merge(r.Stats)
+		for _, b := range r.Bugs {
+			if !seen[b.Sig] {
+				seen[b.Sig] = true
+				out.Bugs = append(out.Bugs, b)
+			}
+		}
+		if r.Duration > out.Duration {
+			out.Duration = r.Duration
+		}
+	}
+	return out
+}
+
+// Close releases every shard's debug link and board.
+func (f *Fleet) Close() {
+	for _, e := range f.engines {
+		e.Close()
+	}
+}

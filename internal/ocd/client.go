@@ -36,7 +36,14 @@ type Client struct {
 	conn   *rsp.Conn
 	direct *Server
 	closer func() error
+	// ops counts debug-link round trips (one per command). Probe round
+	// trips dominate per-exec cost on real adapters, so the engine and the
+	// benchmarks use this counter to account for link traffic.
+	ops int64
 }
+
+// Ops returns the number of debug-link round trips performed so far.
+func (c *Client) Ops() int64 { return c.ops }
 
 // ConnectDirect attaches a client that dispatches commands into the server
 // in-process, bypassing the packet pipe (and its goroutine handoffs) while
@@ -84,14 +91,12 @@ func (c *Client) Close() error {
 }
 
 func (c *Client) call(req string) (string, error) {
+	c.ops++
 	var s string
 	if c.direct != nil {
 		s, _ = c.direct.handle(req)
 	} else {
-		if err := c.conn.Send([]byte(req)); err != nil {
-			return "", err
-		}
-		resp, err := c.conn.Recv()
+		resp, err := c.conn.Exchange([]byte(req))
 		if err != nil {
 			return "", err
 		}
@@ -198,6 +203,54 @@ func (c *Client) FlashWrite(off int, data []byte) error {
 		}
 	}
 	return nil
+}
+
+// DrainCov atomically reads and clears the target coverage buffer at addr in
+// a single round trip: the server reads the header, transfers up to
+// maxEntries valid entries, and zeroes the count and lost words before
+// replying. The legacy sequence (speculative read, tail read, clear write)
+// costs three round trips; on probe-latency-dominated links this is the
+// single largest per-exec saving.
+func (c *Client) DrainCov(addr uint64, maxEntries int) (entries []uint32, lost uint32, err error) {
+	resp, err := c.call(fmt.Sprintf("vCovDrain:%x,%x", addr, maxEntries))
+	if err != nil {
+		return nil, 0, err
+	}
+	if !strings.HasPrefix(resp, "V") {
+		return nil, 0, fmt.Errorf("ocd: bad drain reply %q", resp)
+	}
+	body := resp[1:]
+	semi := strings.IndexByte(body, ';')
+	if semi < 0 {
+		return nil, 0, fmt.Errorf("ocd: bad drain reply %q", resp)
+	}
+	l, err := strconv.ParseUint(body[:semi], 16, 32)
+	if err != nil {
+		return nil, 0, fmt.Errorf("ocd: bad drain lost count: %v", err)
+	}
+	raw, err := hex.DecodeString(body[semi+1:])
+	if err != nil {
+		return nil, 0, fmt.Errorf("ocd: bad drain payload: %v", err)
+	}
+	if len(raw)%4 != 0 {
+		return nil, 0, fmt.Errorf("ocd: ragged drain payload (%d bytes)", len(raw))
+	}
+	entries = make([]uint32, len(raw)/4)
+	for i := range entries {
+		entries[i] = uint32(raw[i*4]) | uint32(raw[i*4+1])<<8 | uint32(raw[i*4+2])<<16 | uint32(raw[i*4+3])<<24
+	}
+	return entries, uint32(l), nil
+}
+
+// WriteMemContinue coalesces a mailbox write with the resume that follows it
+// into one round trip: the server performs the memory write, then continues
+// the target with the given step budget and replies with the stop event.
+func (c *Client) WriteMemContinue(addr uint64, data []byte, budget int64) (cpu.Stop, error) {
+	resp, err := c.call(fmt.Sprintf("vRun:%x,%d:%s", addr, budget, hex.EncodeToString(data)))
+	if err != nil {
+		return cpu.Stop{}, err
+	}
+	return decodeStop(resp)
 }
 
 // DrainUART returns console lines emitted since the previous drain.

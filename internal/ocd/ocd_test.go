@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"github.com/eof-fuzz/eof/internal/board"
+	"github.com/eof-fuzz/eof/internal/cov"
 	"github.com/eof-fuzz/eof/internal/cpu"
 	"github.com/eof-fuzz/eof/internal/flash"
 	"github.com/eof-fuzz/eof/internal/vtime"
@@ -231,6 +232,138 @@ func TestStopEncodingRoundTrip(t *testing.T) {
 	got, err = decodeStop(encodeStop(cpu.Stop{Kind: cpu.StopBudget, PC: 4}))
 	if err != nil || got.Fault != nil || got.Kind != cpu.StopBudget {
 		t.Fatalf("plain stop: %+v %v", got, err)
+	}
+}
+
+// writeCovBuffer fabricates a coverage buffer in target RAM via the debug
+// link: header (magic, count, capacity, lost) plus count LE u32 entries.
+func writeCovBuffer(t *testing.T, c *Client, addr uint64, entries []uint32, capacity int, lost uint32) {
+	t.Helper()
+	buf := make([]byte, 16+len(entries)*4)
+	put := func(off int, v uint32) {
+		buf[off] = byte(v)
+		buf[off+1] = byte(v >> 8)
+		buf[off+2] = byte(v >> 16)
+		buf[off+3] = byte(v >> 24)
+	}
+	put(0, cov.Magic)
+	put(4, uint32(len(entries)))
+	put(8, uint32(capacity))
+	put(12, lost)
+	for i, e := range entries {
+		put(16+i*4, e)
+	}
+	if err := c.WriteMem(addr, buf); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestVectoredCovDrain(t *testing.T) {
+	b, _ := testBoard(t)
+	defer b.Core().Kill()
+	const addr = 0x2000_4000
+	want := []uint32{0x11, 0x2222, 0x333333, 0x44444444, 0x5}
+	for name, c := range clients(t, b) {
+		t.Run(name, func(t *testing.T) {
+			writeCovBuffer(t, c, addr, want, 64, 2)
+			got, lost, err := c.DrainCov(addr, 64)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(got) != len(want) || lost != 2 {
+				t.Fatalf("drain: %d entries lost=%d", len(got), lost)
+			}
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("entry %d: %#x != %#x", i, got[i], want[i])
+				}
+			}
+			// The drain must have cleared the count and lost words so the
+			// runtime can refill the buffer.
+			hdr, err := c.ReadMem(addr, 16)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if cnt := uint32(hdr[4]) | uint32(hdr[5])<<8; cnt != 0 {
+				t.Fatalf("count not cleared: %d", cnt)
+			}
+			if l := uint32(hdr[12]) | uint32(hdr[13])<<8; l != 0 {
+				t.Fatalf("lost not cleared: %d", l)
+			}
+			got, lost, err = c.DrainCov(addr, 64)
+			if err != nil || len(got) != 0 || lost != 0 {
+				t.Fatalf("second drain: %d entries lost=%d err=%v", len(got), lost, err)
+			}
+		})
+	}
+}
+
+// TestVectoredDrainErrors exercises remote-error propagation of the vectored
+// commands over the framed transport (Connect), not just the in-process
+// dispatch: corrupt header -> "cov", unmapped address -> "mem", vectored
+// commands rejected by older probe firmware -> "badcmd".
+func TestVectoredDrainErrors(t *testing.T) {
+	b, _ := testBoard(t)
+	defer b.Core().Kill()
+	srv := NewServer(b, Latency{PerCommand: time.Millisecond, BytesPerSec: 1 << 20})
+	c := Connect(srv)
+	defer c.Close()
+
+	const addr = 0x2000_4000
+	// No magic at addr yet: the server must refuse to treat it as a buffer.
+	var re *RemoteError
+	if _, _, err := c.DrainCov(addr, 64); !errors.As(err, &re) || re.Code != "cov" {
+		t.Fatalf("corrupt header: %v", err)
+	}
+	// Count exceeding capacity is corruption too.
+	writeCovBuffer(t, c, addr, []uint32{1, 2, 3}, 2, 0)
+	if _, _, err := c.DrainCov(addr, 64); !errors.As(err, &re) || re.Code != "cov" {
+		t.Fatalf("count > capacity: %v", err)
+	}
+	// Unmapped address propagates the memory fault.
+	if _, _, err := c.DrainCov(0xDEAD_0000, 64); !errors.As(err, &re) || re.Code != "mem" {
+		t.Fatalf("unmapped: %v", err)
+	}
+
+	// A probe without vectored support rejects both commands with "badcmd"
+	// (the client-side engine falls back to the legacy sequences on this).
+	srv.NoVectored = true
+	if _, _, err := c.DrainCov(addr, 64); !errors.As(err, &re) || re.Code != "badcmd" {
+		t.Fatalf("novectored drain: %v", err)
+	}
+	if _, err := c.WriteMemContinue(addr, []byte{1}, 10); !errors.As(err, &re) || re.Code != "badcmd" {
+		t.Fatalf("novectored run: %v", err)
+	}
+}
+
+func TestWriteMemContinue(t *testing.T) {
+	b, _ := testBoard(t)
+	defer b.Core().Kill()
+	for name, c := range clients(t, b) {
+		t.Run(name, func(t *testing.T) {
+			payload := []byte{9, 8, 7, 6}
+			addr := uint64(0x2000_0200)
+			ops := c.Ops()
+			st, err := c.WriteMemContinue(addr, payload, 100)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if st.Kind != cpu.StopBudget {
+				t.Fatalf("stop: %+v", st)
+			}
+			if got := c.Ops() - ops; got != 1 {
+				t.Fatalf("write+continue cost %d round trips, want 1", got)
+			}
+			back, err := c.ReadMem(addr, len(payload))
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := range payload {
+				if back[i] != payload[i] {
+					t.Fatalf("readback: %v", back)
+				}
+			}
+		})
 	}
 }
 

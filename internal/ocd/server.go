@@ -19,6 +19,7 @@ import (
 	"time"
 
 	"github.com/eof-fuzz/eof/internal/board"
+	"github.com/eof-fuzz/eof/internal/cov"
 	"github.com/eof-fuzz/eof/internal/cpu"
 	"github.com/eof-fuzz/eof/internal/rsp"
 )
@@ -48,6 +49,10 @@ func (l Latency) transfer(n int) time.Duration {
 type Server struct {
 	Board *board.Board
 	Lat   Latency
+	// NoVectored rejects the vectored commands (vCovDrain, vRun) with
+	// Ebadcmd, modelling probe firmware that predates them; clients fall
+	// back to the multi-round-trip sequences.
+	NoVectored bool
 }
 
 // NewServer creates a server for b with the given latency model.
@@ -108,6 +113,16 @@ func (s *Server) handle(req string) (resp string, detach bool) {
 		return s.flashErase(req[len("vFlashErase:"):]), false
 	case strings.HasPrefix(req, "vFlashWrite:"):
 		return s.flashWrite(req[len("vFlashWrite:"):]), false
+	case strings.HasPrefix(req, "vCovDrain:"):
+		if s.NoVectored {
+			return "Ebadcmd", false
+		}
+		return s.covDrain(req[len("vCovDrain:"):]), false
+	case strings.HasPrefix(req, "vRun:"):
+		if s.NoVectored {
+			return "Ebadcmd", false
+		}
+		return s.writeRun(req[len("vRun:"):]), false
 	default:
 		return "Ebadcmd", false
 	}
@@ -252,6 +267,93 @@ func (s *Server) flashWrite(args string) string {
 		return "Eflash:" + hex.EncodeToString([]byte(err.Error()))
 	}
 	return "OK"
+}
+
+// covDrain implements vCovDrain:<addr>,<maxEntries> — the vectored
+// drain-and-clear. The probe reads the coverage header, transfers up to
+// maxEntries valid entries and zeroes the count and lost words before
+// replying, so the whole drain costs one adapter round trip instead of the
+// legacy read/tail-read/clear triple.
+func (s *Server) covDrain(args string) string {
+	if !s.live() {
+		return "Etimeout"
+	}
+	addr, maxEntries, err := parseAddrLen(args)
+	if err != nil {
+		return "Ebadargs"
+	}
+	hdr, err := s.Board.Mem().Read(addr, 16)
+	if err != nil {
+		return "Emem:" + hex.EncodeToString([]byte(err.Error()))
+	}
+	if m := le32(hdr, 0); m != cov.Magic {
+		return "Ecov:" + hex.EncodeToString([]byte(fmt.Sprintf("bad magic %#x", m)))
+	}
+	count := int(le32(hdr, 4))
+	capacity := int(le32(hdr, 8))
+	lost := le32(hdr, 12)
+	if count > capacity {
+		return "Ecov:" + hex.EncodeToString([]byte(fmt.Sprintf("corrupt header count=%d cap=%d", count, capacity)))
+	}
+	if count > maxEntries {
+		count = maxEntries
+	}
+	var raw []byte
+	if count > 0 {
+		raw, err = s.Board.Mem().Read(addr+16, count*4)
+		if err != nil {
+			return "Emem:" + hex.EncodeToString([]byte(err.Error()))
+		}
+	}
+	// Clear count and lost atomically with the read: the target resumes
+	// into an empty buffer with no host round trip in between.
+	if err := s.Board.Mem().Write(addr+4, []byte{0, 0, 0, 0}); err != nil {
+		return "Emem:" + hex.EncodeToString([]byte(err.Error()))
+	}
+	if err := s.Board.Mem().Write(addr+12, []byte{0, 0, 0, 0}); err != nil {
+		return "Emem:" + hex.EncodeToString([]byte(err.Error()))
+	}
+	s.charge(len(raw)) // response payload costs link time, as in readMem
+	return fmt.Sprintf("V%x;%s", lost, hex.EncodeToString(raw))
+}
+
+// writeRun implements vRun:<addr>,<budget>:<hexdata> — a coalesced memory
+// write plus continue. The mailbox payload and the resume that consumes it
+// always travel together, so fusing them saves one round trip per exec.
+func (s *Server) writeRun(args string) string {
+	if !s.live() {
+		return "Etimeout"
+	}
+	colon := strings.IndexByte(args, ':')
+	if colon < 0 {
+		return "Ebadargs"
+	}
+	comma := strings.IndexByte(args[:colon], ',')
+	if comma < 0 {
+		return "Ebadargs"
+	}
+	addr, err := strconv.ParseUint(args[:comma], 16, 64)
+	if err != nil {
+		return "Ebadargs"
+	}
+	budget, err := strconv.ParseInt(args[comma+1:colon], 10, 64)
+	if err != nil || budget <= 0 {
+		return "Ebadargs"
+	}
+	data, err := hex.DecodeString(args[colon+1:])
+	if err != nil {
+		return "Ebadargs"
+	}
+	if err := s.Board.Mem().Write(addr, data); err != nil {
+		return "Emem:" + hex.EncodeToString([]byte(err.Error()))
+	}
+	stop := s.Board.Core().Continue(budget)
+	return encodeStop(stop)
+}
+
+// le32 decodes a little-endian u32 at offset off.
+func le32(b []byte, off int) uint32 {
+	return uint32(b[off]) | uint32(b[off+1])<<8 | uint32(b[off+2])<<16 | uint32(b[off+3])<<24
 }
 
 func parseAddrLen(s string) (addr uint64, n int, err error) {

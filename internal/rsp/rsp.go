@@ -99,6 +99,18 @@ func (c *Conn) Recv() ([]byte, error) {
 	return nil, ErrChecksum
 }
 
+// Exchange performs one request/response round trip: it sends req and
+// returns the peer's reply. This is the client side of the strict
+// command/response discipline the debug link runs — exactly one reply per
+// command, no unsolicited traffic — and the unit the ocd.Client op counter
+// ticks on.
+func (c *Conn) Exchange(req []byte) ([]byte, error) {
+	if err := c.Send(req); err != nil {
+		return nil, err
+	}
+	return c.Recv()
+}
+
 var errBadSum = errors.New("rsp: bad checksum")
 
 func (c *Conn) recvOnce() ([]byte, error) {

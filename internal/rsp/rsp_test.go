@@ -139,3 +139,32 @@ func TestOversizedPayloadRejected(t *testing.T) {
 		t.Fatal("oversized payload accepted")
 	}
 }
+
+// TestExchange covers the request/response helper the debug client uses for
+// every command: one Send, one Recv, strict alternation.
+func TestExchange(t *testing.T) {
+	host, probe := net.Pipe()
+	defer host.Close()
+	defer probe.Close()
+	hc, pc := NewConn(host), NewConn(probe)
+	go func() {
+		for {
+			req, err := pc.Recv()
+			if err != nil {
+				return
+			}
+			if err := pc.Send(append([]byte("echo:"), req...)); err != nil {
+				return
+			}
+		}
+	}()
+	for _, msg := range []string{"a", "vCovDrain:20000000,40", ""} {
+		resp, err := hc.Exchange([]byte(msg))
+		if err != nil {
+			t.Fatalf("exchange %q: %v", msg, err)
+		}
+		if string(resp) != "echo:"+msg {
+			t.Fatalf("exchange %q -> %q", msg, resp)
+		}
+	}
+}

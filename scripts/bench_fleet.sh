@@ -1,0 +1,33 @@
+#!/bin/sh
+# Runs the fleet benchmark (solo vs 4-shard pool, vectored vs legacy link)
+# and records the reported metrics in BENCH_fleet.json next to the module
+# root. Requires only the Go toolchain.
+set -eu
+
+cd "$(dirname "$0")/.."
+out=BENCH_fleet.json
+
+raw=$(go test -run '^$' -bench '^BenchmarkFleet$' -benchtime 1x . 2>&1) || {
+    echo "$raw" >&2
+    exit 1
+}
+echo "$raw"
+
+# The benchmark line looks like:
+#   BenchmarkFleet  1  2491626561 ns/op  2.451 fleet4-edges/s  ... 3.698 speedup ...
+echo "$raw" | awk '
+/^BenchmarkFleet/ {
+    printf "{\n  \"benchmark\": \"BenchmarkFleet\",\n"
+    printf "  \"ns_per_op\": %s", $3
+    for (i = 5; i + 1 <= NF; i += 2) {
+        name = $(i + 1)
+        gsub(/[^a-zA-Z0-9_\/.-]/, "", name)
+        printf ",\n  \"%s\": %s", name, $i
+    }
+    printf "\n}\n"
+    found = 1
+}
+END { if (!found) exit 1 }
+' > "$out" || { echo "bench_fleet: no BenchmarkFleet line in output" >&2; rm -f "$out"; exit 1; }
+
+echo "wrote $out"
