@@ -28,6 +28,8 @@ func main() {
 		modules = flag.String("modules", "", "comma-separated source prefixes to instrument")
 		shards  = flag.Int("shards", 1, "board-pool size: shard the campaign across N boards with shared feedback")
 		legacy  = flag.Bool("legacy-link", false, "disable vectored debug-link commands (older probe firmware)")
+		faults  = flag.Float64("link-faults", 0, "per-command debug-link fault rate (flaky-adapter model, e.g. 0.05)")
+		retries = flag.Int("link-retries", 0, "max transparent retries per faulted command (0 = default 4, negative disables)")
 		verbose = flag.Bool("v", false, "print crash logs and reproducers")
 	)
 	flag.Parse()
@@ -40,6 +42,8 @@ func main() {
 		APIAwareDisabled: *random,
 		Shards:           *shards,
 		LegacyLink:       *legacy,
+		LinkFaultRate:    *faults,
+		LinkRetries:      *retries,
 	}
 	if *apis != "" {
 		opts.RestrictAPIs = strings.Split(*apis, ",")
@@ -74,6 +78,10 @@ func main() {
 	if rep.Execs > 0 {
 		fmt.Printf("debug link: %d round trips (%.2f per exec)\n",
 			rep.LinkRoundTrips, float64(rep.LinkRoundTrips)/float64(rep.Execs))
+	}
+	if rep.LinkRetries > 0 || rep.LinkReconnects > 0 {
+		fmt.Printf("link faults absorbed: %d retries, %d reconnects\n",
+			rep.LinkRetries, rep.LinkReconnects)
 	}
 	if rep.DegradedMonitors > 0 {
 		fmt.Printf("warning: %d exception symbols unarmed (out of breakpoint comparators)\n", rep.DegradedMonitors)

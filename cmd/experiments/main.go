@@ -18,7 +18,7 @@ func main() {
 		table    = flag.Int("table", 0, "regenerate one table (1-4)")
 		figure   = flag.Int("figure", 0, "regenerate one figure (7 or 8)")
 		overhead = flag.String("overhead", "", "overhead experiment: mem or exec")
-		ablation = flag.String("ablation", "", "ablation: watchdogs or generation")
+		ablation = flag.String("ablation", "", "ablation: watchdogs, generation or link")
 		all      = flag.Bool("all", false, "run the full evaluation")
 		hours    = flag.Float64("hours", 24, "virtual campaign hours")
 		runs     = flag.Int("runs", 5, "repetitions per configuration")
@@ -113,8 +113,16 @@ func main() {
 		}
 		emitTable("ablation_generation", t)
 	}
+	if *all || *ablation == "link" {
+		ran = true
+		t, err := experiments.AblationLinkFaults(opts)
+		if err != nil {
+			fail(err)
+		}
+		emitTable("ablation_link", t)
+	}
 	if !ran {
-		fmt.Fprintln(os.Stderr, "nothing selected; use -all, -table N, -figure N, -overhead mem|exec or -ablation watchdogs|generation")
+		fmt.Fprintln(os.Stderr, "nothing selected; use -all, -table N, -figure N, -overhead mem|exec or -ablation watchdogs|generation|link")
 		os.Exit(2)
 	}
 }

@@ -24,6 +24,7 @@ import (
 	"github.com/eof-fuzz/eof/internal/boards"
 	"github.com/eof-fuzz/eof/internal/core"
 	"github.com/eof-fuzz/eof/internal/fleet"
+	"github.com/eof-fuzz/eof/internal/link"
 	"github.com/eof-fuzz/eof/internal/specgen"
 	"github.com/eof-fuzz/eof/internal/targets"
 )
@@ -82,6 +83,17 @@ type Options struct {
 	// LegacyLink disables the vectored debug-link commands, forcing the
 	// multi-round-trip sequences older probe firmware needs.
 	LegacyLink bool
+
+	// LinkFaultRate injects deterministic debug-link faults at this
+	// per-command rate (flaky-adapter modelling): 60% dropped frames, 20%
+	// corrupt frames, 10% late frames, 10% adapter stalls. The session
+	// layer absorbs them via retries and reconnects; see the report's
+	// LinkRetries/LinkReconnects. Zero (the default) injects nothing.
+	LinkFaultRate float64
+	// LinkRetries bounds the session layer's transparent per-command
+	// retries (0 = default of 4, negative disables retries so every fault
+	// surfaces to the liveness watchdogs).
+	LinkRetries int
 }
 
 // Bug is one deduplicated finding.
@@ -133,9 +145,15 @@ type Report struct {
 	// DegradedMonitors counts exception symbols left unarmed because the
 	// board ran out of breakpoint comparators.
 	DegradedMonitors int
-	// LinkRoundTrips is the total number of debug-link commands issued;
-	// divide by Execs for the per-exec transport cost.
+	// LinkRoundTrips is the total number of debug-link commands issued
+	// (including retried attempts); divide by Execs for the per-exec
+	// transport cost.
 	LinkRoundTrips int64
+	// LinkRetries counts commands transparently re-sent after a transient
+	// link fault; LinkReconnects counts recovered link deaths (adapter
+	// revived, breakpoints re-armed). Both are zero on a healthy link.
+	LinkRetries    int64
+	LinkReconnects int64
 	Bugs           []Bug
 	Series         []Sample
 	// Duration is the campaign's virtual runtime. In fleet mode shards run
@@ -174,6 +192,12 @@ func NewCampaign(opts Options) (*Campaign, error) {
 	cfg.CallFilter = opts.RestrictAPIs
 	cfg.CovModules = opts.InstrumentModules
 	cfg.LegacyLink = opts.LegacyLink
+	if opts.LinkFaultRate > 0 {
+		// Zero fault seed: each engine (and fleet shard) derives its own
+		// deterministic fault sequence from its campaign seed.
+		cfg.LinkFaults = link.Profile(opts.LinkFaultRate, 0)
+	}
+	cfg.LinkRetries = opts.LinkRetries
 	if opts.SampleEvery > 0 {
 		cfg.SampleEvery = opts.SampleEvery
 	}
@@ -233,6 +257,8 @@ func convertReport(r *core.Report) *Report {
 		Reflashes:        r.Stats.Reflashes,
 		DegradedMonitors: r.Stats.DegradedMonitors,
 		LinkRoundTrips:   r.Stats.LinkOps,
+		LinkRetries:      r.Stats.LinkRetries,
+		LinkReconnects:   r.Stats.LinkReconnects,
 		Duration:         r.Duration,
 	}
 	if len(r.Stats.RestoresByReason) > 0 {

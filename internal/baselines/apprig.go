@@ -10,6 +10,7 @@ import (
 	"github.com/eof-fuzz/eof/internal/board"
 	"github.com/eof-fuzz/eof/internal/cov"
 	"github.com/eof-fuzz/eof/internal/cpu"
+	"github.com/eof-fuzz/eof/internal/link"
 	"github.com/eof-fuzz/eof/internal/ocd"
 	"github.com/eof-fuzz/eof/internal/osinfo"
 	"github.com/eof-fuzz/eof/internal/vtime"
@@ -44,7 +45,7 @@ type AppRig struct {
 	Collector *cov.Collector // measurement collector
 
 	brd      *board.Board
-	client   *ocd.Client
+	client   link.Link
 	images   *osinfo.Images
 	lay      board.Layout
 	mainAddr uint64
@@ -148,8 +149,8 @@ func (r *AppRig) Close() {
 	}
 }
 
-// Client exposes the debug client for tool-specific breakpoint management.
-func (r *AppRig) Client() *ocd.Client { return r.client }
+// Client exposes the debug link for tool-specific breakpoint management.
+func (r *AppRig) Client() link.Link { return r.client }
 
 func (r *AppRig) resync() error {
 	if err := r.client.SetBreakpoint(r.mainAddr); err != nil {

@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"github.com/eof-fuzz/eof/internal/board"
+	"github.com/eof-fuzz/eof/internal/link"
 	"github.com/eof-fuzz/eof/internal/ocd"
 	"github.com/eof-fuzz/eof/internal/osinfo"
 )
@@ -91,6 +92,19 @@ type Config struct {
 	// needs. Used by the round-trip-accounting comparisons; the engine also
 	// falls back automatically when the probe rejects a vectored command.
 	LegacyLink bool
+
+	// LinkFaults configures deterministic fault injection on the debug
+	// link (flaky-adapter modelling). The zero value injects nothing. A
+	// zero LinkFaults.Seed defaults to the campaign Seed, so fleet shards
+	// draw distinct fault sequences automatically.
+	LinkFaults link.FaultConfig
+	// LinkRetries bounds the session layer's transparent per-command
+	// retries of transient link faults (0 = link.DefaultRetries, negative
+	// disables retries so every fault surfaces to the watchdogs).
+	LinkRetries int
+	// LinkBackoff is the base retry backoff charged to the virtual clock,
+	// doubling per attempt (0 = link.DefaultBackoff).
+	LinkBackoff time.Duration
 
 	// CallFilter restricts the specification to the named calls — the
 	// application-level evaluation fuzzes only the HTTP/JSON entry points.

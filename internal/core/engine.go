@@ -13,6 +13,7 @@ import (
 	"github.com/eof-fuzz/eof/internal/cov"
 	"github.com/eof-fuzz/eof/internal/cpu"
 	"github.com/eof-fuzz/eof/internal/fsb"
+	"github.com/eof-fuzz/eof/internal/link"
 	"github.com/eof-fuzz/eof/internal/ocd"
 	"github.com/eof-fuzz/eof/internal/osinfo"
 	"github.com/eof-fuzz/eof/internal/prog"
@@ -48,9 +49,16 @@ type Stats struct {
 	// RestoresByReason breaks Restores down by trigger ("crash", "fault",
 	// "timeout", "pc-stall", "exec-timeout", ...).
 	RestoresByReason map[string]int
-	// LinkOps is the number of debug-link round trips the campaign issued;
-	// LinkOps/Execs is the per-exec transport cost the vectored commands cut.
+	// LinkOps is the number of debug-link round trips the campaign issued
+	// (including retried attempts); LinkOps/Execs is the per-exec transport
+	// cost the vectored commands cut.
 	LinkOps int64
+	// LinkRetries counts commands the session layer transparently re-sent
+	// after a transient link fault (dropped or corrupt frame).
+	LinkRetries int64
+	// LinkReconnects counts link deaths the session layer recovered from:
+	// adapter revived, breakpoints re-armed, capability latch refreshed.
+	LinkReconnects int64
 }
 
 // addRestoreReason records one restore attributed to reason.
@@ -96,6 +104,8 @@ func (s *Stats) Merge(o Stats) {
 	s.CovFullTraps += o.CovFullTraps
 	s.DegradedMonitors += o.DegradedMonitors
 	s.LinkOps += o.LinkOps
+	s.LinkRetries += o.LinkRetries
+	s.LinkReconnects += o.LinkReconnects
 	for k, v := range o.RestoresByReason {
 		if s.RestoresByReason == nil {
 			s.RestoresByReason = make(map[string]int)
@@ -113,6 +123,9 @@ type Report struct {
 	Bugs     []*BugReport
 	Series   []CoverSample
 	Duration time.Duration
+	// LinkPerCmd is the metrics layer's per-command round-trip accounting
+	// (counts and virtual-latency histograms), sorted by command name.
+	LinkPerCmd []link.CmdStat
 }
 
 // errRestart signals that the target was restored and the fuzzing loop must
@@ -144,11 +157,17 @@ type SyncDelta struct {
 
 // Engine is one EOF instance attached to one board.
 type Engine struct {
-	cfg    Config
-	clock  *vtime.Clock
-	brd    *board.Board
-	srv    *ocd.Server
-	client *ocd.Client
+	cfg   Config
+	clock *vtime.Clock
+	brd   *board.Board
+	srv   *ocd.Server
+	// client is the top of the layered debug-link stack the fuzzing loop
+	// speaks: session → metrics → (injector) → transport. The layers
+	// below are retained for accounting and test access.
+	client   link.Link
+	session  *link.Session
+	metrics  *link.Metrics
+	injector *link.Injector // nil unless cfg.LinkFaults is enabled
 
 	target *prog.Target
 	gen    *prog.Generator
@@ -302,11 +321,14 @@ func (e *Engine) CollectorEdges() []uint32 { return e.collector.Edges() }
 
 // LinkOps returns the number of debug-link round trips issued so far.
 func (e *Engine) LinkOps() int64 {
-	if e.client == nil {
+	if e.metrics == nil {
 		return 0
 	}
-	return e.client.Ops()
+	return e.metrics.Ops()
 }
+
+// LinkMetrics exposes the metrics middleware for reports and tests.
+func (e *Engine) LinkMetrics() *link.Metrics { return e.metrics }
 
 // SetSharedSink attaches a fleet-wide collector that every drained edge is
 // also ingested into. The sink is thread-safe and order-independent (set
@@ -364,7 +386,7 @@ func (e *Engine) Setup() error {
 		return fmt.Errorf("core: initial boot: %w", err)
 	}
 	e.srv = ocd.NewServer(e.brd, e.cfg.Latency)
-	e.client = ocd.ConnectDirect(e.srv)
+	e.client = e.buildLinkStack()
 	if err := e.armBreakpoints(); err != nil {
 		return err
 	}
@@ -374,6 +396,43 @@ func (e *Engine) Setup() error {
 	e.ready = true
 	e.started = e.clock.Now()
 	return nil
+}
+
+// buildLinkStack composes the layered debug link the fuzzing loop speaks.
+// Bottom-up: the ocd transport, an optional fault injector (flaky-adapter
+// model), the metrics layer (so faulted and retried attempts count as the
+// real round trips they cost), and on top the session layer that absorbs
+// the injector's faults via retries and reconnects.
+func (e *Engine) buildLinkStack() link.Link {
+	var l link.Link = ocd.ConnectDirect(e.srv)
+	if fcfg := e.cfg.LinkFaults; fcfg.Enabled() {
+		if fcfg.Seed == 0 {
+			fcfg.Seed = e.cfg.Seed
+		}
+		e.injector = link.NewInjector(l, fcfg, e.clock)
+		l = e.injector
+	} else {
+		e.injector = nil
+	}
+	e.metrics = link.NewMetrics(e.clock)
+	l = e.metrics.Wrap(l)
+	e.session = link.NewSession(l, link.SessionConfig{
+		MaxRetries: e.cfg.LinkRetries,
+		Backoff:    e.cfg.LinkBackoff,
+		Clock:      e.clock,
+		Reconnect: func() error {
+			if e.injector != nil {
+				e.injector.Revive()
+			}
+			return nil
+		},
+		OnReconnect: func() {
+			// A fresh adapter may speak the vectored commands even if the
+			// previous one degraded mid-campaign; re-latch capability.
+			e.vectored = !e.cfg.LegacyLink
+		},
+	})
+	return e.session
 }
 
 func (e *Engine) provision() error {
@@ -456,7 +515,11 @@ func (e *Engine) RunFor(budget time.Duration) error {
 func (e *Engine) Report() *Report {
 	e.sampleForce()
 	e.stats.LinkOps = e.LinkOps()
-	return &Report{
+	if e.session != nil {
+		e.stats.LinkRetries = e.session.Retries()
+		e.stats.LinkReconnects = e.session.Reconnects()
+	}
+	rep := &Report{
 		OS:       e.cfg.OS.Name,
 		Board:    e.cfg.Board.Name,
 		Stats:    e.stats,
@@ -465,6 +528,10 @@ func (e *Engine) Report() *Report {
 		Series:   e.series,
 		Duration: e.clock.Now() - e.started,
 	}
+	if e.metrics != nil {
+		rep.LinkPerCmd = e.metrics.Snapshot()
+	}
+	return rep
 }
 
 func (e *Engine) sample() {
@@ -557,8 +624,7 @@ func (e *Engine) deliverAndResume(buf []byte) (cpu.Stop, bool, error) {
 
 // isBadCmd reports whether err is the probe rejecting an unknown command.
 func isBadCmd(err error) bool {
-	var re *ocd.RemoteError
-	return errors.As(err, &re) && re.Code == "badcmd"
+	return ocd.IsCode(err, ocd.CodeBadCmd)
 }
 
 // pumpToMain delivers the test case and resumes the target until it parks at

@@ -165,7 +165,7 @@ func TestLegacyDrainTwoReadPath(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	ops := e.client.Ops()
+	ops := e.metrics.Ops()
 	fresh, err := e.drainCoverageLegacy()
 	if err != nil {
 		t.Fatal(err)
@@ -173,7 +173,7 @@ func TestLegacyDrainTwoReadPath(t *testing.T) {
 	if fresh != count {
 		t.Fatalf("ingested %d fresh edges, want %d (tail beyond the first read lost?)", fresh, count)
 	}
-	if got := e.client.Ops() - ops; got != 3 {
+	if got := e.metrics.Ops() - ops; got != 3 {
 		t.Fatalf("overfull drain cost %d round trips, want 3 (read, tail read, clear)", got)
 	}
 	hdr, err := e.client.ReadMem(e.lay.Cov+4, 4)
@@ -189,11 +189,11 @@ func TestLegacyDrainTwoReadPath(t *testing.T) {
 	if err := e.client.WriteMem(e.lay.Cov, buf[:16+10*4]); err != nil {
 		t.Fatal(err)
 	}
-	ops = e.client.Ops()
+	ops = e.metrics.Ops()
 	if _, err := e.drainCoverageLegacy(); err != nil {
 		t.Fatal(err)
 	}
-	if got := e.client.Ops() - ops; got != 2 {
+	if got := e.metrics.Ops() - ops; got != 2 {
 		t.Fatalf("small drain cost %d round trips, want 2 (read, clear)", got)
 	}
 }

@@ -1,0 +1,134 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"github.com/eof-fuzz/eof/internal/boards"
+	"github.com/eof-fuzz/eof/internal/link"
+	"github.com/eof-fuzz/eof/internal/targets"
+)
+
+// TestCampaignSurvivesLinkFaults is the flaky-adapter acceptance check: with
+// 5% of commands faulted, a FreeRTOS campaign must complete with every fault
+// absorbed by the session layer (zero exec failures, no error out of RunFor)
+// while keeping at least 70% of the fault-free edge throughput.
+func TestCampaignSurvivesLinkFaults(t *testing.T) {
+	budget := 4 * time.Minute
+	clean := runShort(t, "freertos", budget, func(c *Config) { c.Seed = 11 })
+	faulty := runShort(t, "freertos", budget, func(c *Config) {
+		c.Seed = 11
+		c.LinkFaults = link.Profile(0.05, 0) // zero seed: defaults to campaign seed
+	})
+
+	if faulty.Stats.ExecFailures != 0 {
+		t.Fatalf("link faults leaked into exec failures: %+v", faulty.Stats)
+	}
+	if faulty.Stats.LinkRetries == 0 {
+		t.Fatalf("5%% fault rate caused no retries: %+v", faulty.Stats)
+	}
+	t.Logf("clean: %d edges %d execs %d ops; faulty: %d edges %d execs %d ops (%d retries, %d reconnects)",
+		clean.Edges, clean.Stats.Execs, clean.Stats.LinkOps,
+		faulty.Edges, faulty.Stats.Execs, faulty.Stats.LinkOps,
+		faulty.Stats.LinkRetries, faulty.Stats.LinkReconnects)
+
+	// Same virtual budget, so edge totals compare directly as edges/sec.
+	if faulty.Edges*10 < clean.Edges*7 {
+		t.Fatalf("faulty campaign kept %d/%d edges, below the 70%% floor",
+			faulty.Edges, clean.Edges)
+	}
+	// Faulted attempts cost extra round trips, never fewer.
+	if faulty.Stats.LinkOps < clean.Stats.LinkOps {
+		t.Fatalf("faulty campaign issued fewer round trips (%d) than clean (%d)",
+			faulty.Stats.LinkOps, clean.Stats.LinkOps)
+	}
+}
+
+// TestCampaignLinkFaultsDeterministic pins the injected-fault path to the
+// same reproducibility bar as fault-free campaigns.
+func TestCampaignLinkFaultsDeterministic(t *testing.T) {
+	run := func() *Report {
+		return runShort(t, "pokos", 3*time.Minute, func(c *Config) {
+			c.Seed = 99
+			c.LinkFaults = link.Profile(0.05, 0)
+		})
+	}
+	a, b := run(), run()
+	if a.Edges != b.Edges || a.Stats.Execs != b.Stats.Execs ||
+		a.Stats.LinkRetries != b.Stats.LinkRetries ||
+		a.Stats.LinkReconnects != b.Stats.LinkReconnects {
+		t.Fatalf("faulty campaigns diverged: %d/%d edges, %d/%d execs, %d/%d retries, %d/%d reconnects",
+			a.Edges, b.Edges, a.Stats.Execs, b.Stats.Execs,
+			a.Stats.LinkRetries, b.Stats.LinkRetries,
+			a.Stats.LinkReconnects, b.Stats.LinkReconnects)
+	}
+}
+
+// TestReconnectRearmsAndRelatches drops the link mid-campaign and checks the
+// session restores the full debug state: the same breakpoint set re-armed,
+// vectored-command support re-detected, and the campaign still running.
+func TestReconnectRearmsAndRelatches(t *testing.T) {
+	info, err := targets.ByName("freertos")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig(info, boards.STM32H745())
+	cfg.SampleEvery = time.Minute
+	// Delay with zero DelayBy forces the injector into the stack without
+	// perturbing behaviour, so StallNow is the only fault that ever fires.
+	cfg.LinkFaults = link.FaultConfig{Delay: 1, DelayBy: 0}
+	e, err := NewEngine(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	if err := e.Setup(); err != nil {
+		t.Fatal(err)
+	}
+	if e.injector == nil {
+		t.Fatal("injector missing from the stack")
+	}
+	armedBefore := e.session.Breakpoints()
+	degradedBefore := e.stats.DegradedMonitors
+
+	// Simulate a mid-campaign capability downgrade, then yank the cable.
+	e.vectored = false
+	e.injector.StallNow()
+	if _, err := e.client.ReadMem(e.lay.Cov, 16); err != nil {
+		t.Fatalf("command across link death not absorbed: %v", err)
+	}
+
+	if got := e.session.Reconnects(); got != 1 {
+		t.Fatalf("Reconnects = %d, want 1", got)
+	}
+	if !e.vectored {
+		t.Fatal("vectored capability not re-latched after reconnect")
+	}
+	armedAfter := e.session.Breakpoints()
+	if len(armedAfter) != len(armedBefore) {
+		t.Fatalf("breakpoint set changed across reconnect: %v -> %v", armedBefore, armedAfter)
+	}
+	for i := range armedBefore {
+		if armedAfter[i] != armedBefore[i] {
+			t.Fatalf("breakpoint set changed across reconnect: %v -> %v", armedBefore, armedAfter)
+		}
+	}
+	if e.stats.DegradedMonitors != degradedBefore {
+		t.Fatalf("reconnect changed DegradedMonitors: %d -> %d", degradedBefore, e.stats.DegradedMonitors)
+	}
+
+	// The campaign keeps fuzzing on the revived link.
+	if err := e.RunFor(time.Minute); err != nil {
+		t.Fatalf("RunFor after reconnect: %v", err)
+	}
+	rep := e.Report()
+	if rep.Stats.Execs == 0 {
+		t.Fatalf("no execs after reconnect: %+v", rep.Stats)
+	}
+	if rep.Stats.LinkReconnects != 1 {
+		t.Fatalf("report LinkReconnects = %d, want 1", rep.Stats.LinkReconnects)
+	}
+	if len(rep.LinkPerCmd) == 0 {
+		t.Fatal("report missing per-command link metrics")
+	}
+}

@@ -114,3 +114,21 @@ func TestTable2Quick(t *testing.T) {
 	}
 	t.Logf("found %d/19 registered bugs in the quick profile\n%s", res.TotalFound, res.Table.Render())
 }
+
+func TestAblationLinkFaultsShape(t *testing.T) {
+	tab, err := AblationLinkFaults(quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 4 {
+		t.Fatalf("rows: %d", len(tab.Rows))
+	}
+	clean, faulty := tab.Rows[0], tab.Rows[len(tab.Rows)-1]
+	if clean[5] != "0.0" || clean[6] != "0.0" {
+		t.Fatalf("fault-free row reports retries/reconnects: %v", clean)
+	}
+	if faulty[5] == "0.0" {
+		t.Fatalf("10%% fault row absorbed nothing: %v", faulty)
+	}
+	t.Logf("\n%s", tab.Render())
+}

@@ -60,7 +60,9 @@ type Fleet struct {
 // New builds a pool of opts.Shards engines from cfg. Shard i runs with seed
 // cfg.Seed + i*stride and feeds the fleet-wide shared collector; with
 // FocusBoost set it also receives its round-robin slice of the API surface
-// as a soft generation bias.
+// as a soft generation bias. The shard seed also feeds each shard's
+// link-fault injector (when cfg.LinkFaults leaves its Seed at zero), so
+// every board in the pool sees its own deterministic flaky-adapter sequence.
 func New(cfg core.Config, opts Options) (*Fleet, error) {
 	if opts.Shards <= 0 {
 		opts.Shards = 1

@@ -6,6 +6,7 @@ import (
 
 	"github.com/eof-fuzz/eof/internal/boards"
 	"github.com/eof-fuzz/eof/internal/core"
+	"github.com/eof-fuzz/eof/internal/link"
 	"github.com/eof-fuzz/eof/internal/targets"
 )
 
@@ -156,4 +157,22 @@ func TestFleetVectoredLinkCutsRoundTrips(t *testing.T) {
 	if vecOps > legOps-1.5 {
 		t.Fatalf("vectored link saving too small: %.2f vs %.2f ops/exec", vecOps, legOps)
 	}
+}
+
+func TestFleetSurvivesLinkFaults(t *testing.T) {
+	cfg := fleetConfig(t, "freertos", 21)
+	cfg.LinkFaults = link.Profile(0.05, 0) // zero seed: each shard uses its own
+	rep := runFleet(t, cfg, Options{Shards: 3, SyncEvery: 2 * time.Minute}, 12*time.Minute)
+
+	if rep.Stats.ExecFailures != 0 {
+		t.Fatalf("link faults leaked into exec failures: %+v", rep.Stats)
+	}
+	if rep.Stats.LinkRetries == 0 {
+		t.Fatalf("5%% fault rate across 3 shards caused no retries: %+v", rep.Stats)
+	}
+	if rep.Stats.Execs < 30 || rep.Edges < 100 {
+		t.Fatalf("faulty fleet barely fuzzed: %d execs, %d edges", rep.Stats.Execs, rep.Edges)
+	}
+	t.Logf("faulty fleet: %d execs, %d edges, %d retries, %d reconnects",
+		rep.Stats.Execs, rep.Edges, rep.Stats.LinkRetries, rep.Stats.LinkReconnects)
 }

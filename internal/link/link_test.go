@@ -1,0 +1,314 @@
+package link
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"github.com/eof-fuzz/eof/internal/board"
+	"github.com/eof-fuzz/eof/internal/cpu"
+	"github.com/eof-fuzz/eof/internal/ocd"
+	"github.com/eof-fuzz/eof/internal/vtime"
+)
+
+// fakeLink is a scripted transport: each command pops the next error from its
+// script (nil = success) and records the call. A clock charge per call makes
+// latency observable to the metrics layer.
+type fakeLink struct {
+	script  []error // consumed front-to-back; empty = always succeed
+	calls   []string
+	bps     []uint64 // SetBreakpoint addresses, in call order
+	clock   *vtime.Clock
+	perCall time.Duration
+}
+
+func (f *fakeLink) next(cmd string) error {
+	f.calls = append(f.calls, cmd)
+	if f.clock != nil {
+		f.clock.Advance(f.perCall)
+	}
+	if len(f.script) == 0 {
+		return nil
+	}
+	err := f.script[0]
+	f.script = f.script[1:]
+	return err
+}
+
+func (f *fakeLink) ReadMem(addr uint64, n int) ([]byte, error) {
+	if err := f.next("ReadMem"); err != nil {
+		return nil, err
+	}
+	return make([]byte, n), nil
+}
+func (f *fakeLink) WriteMem(addr uint64, data []byte) error { return f.next("WriteMem") }
+func (f *fakeLink) SetBreakpoint(addr uint64) error {
+	if err := f.next("SetBreakpoint"); err != nil {
+		return err
+	}
+	f.bps = append(f.bps, addr)
+	return nil
+}
+func (f *fakeLink) ClearBreakpoint(addr uint64) error { return f.next("ClearBreakpoint") }
+func (f *fakeLink) Continue(budget int64) (cpu.Stop, error) {
+	return cpu.Stop{Kind: cpu.StopBudget}, f.next("Continue")
+}
+func (f *fakeLink) Reset() error                { return f.next("Reset") }
+func (f *fakeLink) FlashErase(off, n int) error { return f.next("FlashErase") }
+func (f *fakeLink) FlashWrite(off int, data []byte) error {
+	return f.next("FlashWrite")
+}
+func (f *fakeLink) DrainCov(addr uint64, maxEntries int) ([]uint32, uint32, error) {
+	return nil, 0, f.next("DrainCov")
+}
+func (f *fakeLink) WriteMemContinue(addr uint64, data []byte, budget int64) (cpu.Stop, error) {
+	return cpu.Stop{Kind: cpu.StopBudget}, f.next("WriteMemContinue")
+}
+func (f *fakeLink) DrainUART() ([]string, error) { return nil, f.next("DrainUART") }
+func (f *fakeLink) BoardState() (board.State, int, string, error) {
+	return 0, 0, "", f.next("BoardState")
+}
+func (f *fakeLink) Close() error { return nil }
+
+var _ Link = (*fakeLink)(nil)
+
+func drop(cmd string) error    { return &FaultError{Kind: FaultDrop, Cmd: cmd} }
+func corrupt(cmd string) error { return &FaultError{Kind: FaultCorrupt, Cmd: cmd} }
+func stall(cmd string) error   { return &FaultError{Kind: FaultStall, Cmd: cmd} }
+
+func TestSessionRetriesTransient(t *testing.T) {
+	clock := &vtime.Clock{}
+	fk := &fakeLink{script: []error{drop("WriteMem"), corrupt("WriteMem"), nil}}
+	s := NewSession(fk, SessionConfig{Clock: clock})
+	if err := s.WriteMem(0x100, []byte{1}); err != nil {
+		t.Fatalf("WriteMem after transient faults: %v", err)
+	}
+	if got := s.Retries(); got != 2 {
+		t.Fatalf("Retries = %d, want 2", got)
+	}
+	// Exponential backoff charged to the clock: 2ms + 4ms.
+	if want := 6 * time.Millisecond; clock.Now() != want {
+		t.Fatalf("backoff charged %v, want %v", clock.Now(), want)
+	}
+	if len(fk.calls) != 3 {
+		t.Fatalf("transport saw %d attempts, want 3", len(fk.calls))
+	}
+}
+
+func TestSessionRetryExhaustionSurfacesAsTimeout(t *testing.T) {
+	fk := &fakeLink{script: []error{
+		drop("Continue"), drop("Continue"), drop("Continue"), drop("Continue"), drop("Continue"),
+	}}
+	s := NewSession(fk, SessionConfig{MaxRetries: 4})
+	_, err := s.Continue(1000)
+	if err == nil {
+		t.Fatal("want error after exhausted retries")
+	}
+	if !errors.Is(err, ocd.ErrTimeout) {
+		t.Fatalf("exhaustion error %v does not wrap ocd.ErrTimeout", err)
+	}
+	if got := s.Retries(); got != 4 {
+		t.Fatalf("Retries = %d, want 4", got)
+	}
+}
+
+func TestSessionRetriesDisabled(t *testing.T) {
+	fk := &fakeLink{script: []error{drop("ReadMem")}}
+	s := NewSession(fk, SessionConfig{MaxRetries: -1})
+	_, err := s.ReadMem(0, 4)
+	if !errors.Is(err, ocd.ErrTimeout) {
+		t.Fatalf("with retries disabled the first fault must surface as timeout, got %v", err)
+	}
+	if len(fk.calls) != 1 {
+		t.Fatalf("transport saw %d attempts, want 1", len(fk.calls))
+	}
+}
+
+func TestSessionTargetErrorsPassThrough(t *testing.T) {
+	remote := &ocd.RemoteError{Code: ocd.CodeBP, Msg: "no comparators"}
+	fk := &fakeLink{script: []error{remote}}
+	s := NewSession(fk, SessionConfig{})
+	err := s.SetBreakpoint(0x2000)
+	var re *ocd.RemoteError
+	if !errors.As(err, &re) || re != remote {
+		t.Fatalf("remote error did not pass through: %v", err)
+	}
+	if s.Retries() != 0 {
+		t.Fatal("remote error must not be retried")
+	}
+	if got := s.Breakpoints(); len(got) != 0 {
+		t.Fatalf("failed arm must not enter the shadow set: %v", got)
+	}
+
+	fk2 := &fakeLink{script: []error{ocd.ErrTimeout}}
+	s2 := NewSession(fk2, SessionConfig{})
+	if _, err := s2.Continue(1); !errors.Is(err, ocd.ErrTimeout) {
+		t.Fatalf("timeout did not pass through: %v", err)
+	}
+	if len(fk2.calls) != 1 {
+		t.Fatal("timeout must not be retried")
+	}
+}
+
+func TestSessionReconnectRearmsBreakpoints(t *testing.T) {
+	fk := &fakeLink{}
+	var onReconnect int
+	s := NewSession(fk, SessionConfig{
+		Reconnect:   func() error { return nil },
+		OnReconnect: func() { onReconnect++ },
+	})
+	// Arm out of order; the shadow set must re-arm sorted.
+	for _, addr := range []uint64{0x300, 0x100, 0x200} {
+		if err := s.SetBreakpoint(addr); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.ClearBreakpoint(0x200); err != nil {
+		t.Fatal(err)
+	}
+	fk.bps = nil // forget the initial arms; watch only the re-arm
+	fk.script = []error{stall("Continue")}
+	if _, err := s.Continue(1000); err != nil {
+		t.Fatalf("Continue across reconnect: %v", err)
+	}
+	if got := s.Reconnects(); got != 1 {
+		t.Fatalf("Reconnects = %d, want 1", got)
+	}
+	if onReconnect != 1 {
+		t.Fatalf("OnReconnect fired %d times, want 1", onReconnect)
+	}
+	want := []uint64{0x100, 0x300}
+	if len(fk.bps) != len(want) {
+		t.Fatalf("re-armed %v, want %v", fk.bps, want)
+	}
+	for i, addr := range want {
+		if fk.bps[i] != addr {
+			t.Fatalf("re-armed %v, want %v (sorted order)", fk.bps, want)
+		}
+	}
+}
+
+func TestSessionStallWithoutReconnectPath(t *testing.T) {
+	fk := &fakeLink{script: []error{stall("Reset")}}
+	s := NewSession(fk, SessionConfig{})
+	if err := s.Reset(); !errors.Is(err, ocd.ErrTimeout) {
+		t.Fatalf("unrecoverable stall must surface as timeout, got %v", err)
+	}
+}
+
+func TestInjectorDeterministic(t *testing.T) {
+	run := func(seed int64) ([4]int64, []string) {
+		fk := &fakeLink{}
+		inj := NewInjector(fk, FaultConfig{Drop: 0.3, Corrupt: 0.2, Delay: 0.1, Seed: seed}, nil)
+		var outcomes []string
+		for i := 0; i < 500; i++ {
+			err := inj.WriteMem(0, nil)
+			var fe *FaultError
+			if errors.As(err, &fe) {
+				outcomes = append(outcomes, fe.Kind.String())
+			} else {
+				outcomes = append(outcomes, "ok")
+			}
+		}
+		var counts [4]int64
+		for k := FaultDrop; k <= FaultDelay; k++ {
+			counts[k] = inj.Injected(k)
+		}
+		return counts, outcomes
+	}
+	c1, o1 := run(7)
+	c2, o2 := run(7)
+	if c1 != c2 {
+		t.Fatalf("same seed, different fault counts: %v vs %v", c1, c2)
+	}
+	for i := range o1 {
+		if o1[i] != o2[i] {
+			t.Fatalf("same seed, sequences diverge at %d: %s vs %s", i, o1[i], o2[i])
+		}
+	}
+	if c1[FaultDrop] == 0 || c1[FaultCorrupt] == 0 {
+		t.Fatalf("500 draws at 30%%/20%% injected nothing: %v", c1)
+	}
+	c3, _ := run(8)
+	if c1 == c3 {
+		t.Fatalf("different seeds produced identical fault counts: %v", c1)
+	}
+}
+
+func TestInjectorStallPersistsUntilRevive(t *testing.T) {
+	clock := &vtime.Clock{}
+	fk := &fakeLink{}
+	inj := NewInjector(fk, FaultConfig{Delay: 1, DelayBy: 0}, clock)
+	inj.StallNow()
+	for i := 0; i < 3; i++ {
+		err := inj.Reset()
+		var fe *FaultError
+		if !errors.As(err, &fe) || fe.Kind != FaultStall {
+			t.Fatalf("stalled adapter returned %v, want stall fault", err)
+		}
+	}
+	if len(fk.calls) != 0 {
+		t.Fatalf("stalled adapter forwarded %d commands", len(fk.calls))
+	}
+	// Each failed command burns the detection penalty.
+	if want := 3 * DefaultPenalty; clock.Now() != want {
+		t.Fatalf("stall penalties charged %v, want %v", clock.Now(), want)
+	}
+	inj.Revive()
+	if err := inj.Reset(); err != nil {
+		t.Fatalf("revived adapter still failing: %v", err)
+	}
+}
+
+func TestMetricsCountsAndHistograms(t *testing.T) {
+	clock := &vtime.Clock{}
+	fk := &fakeLink{clock: clock, perCall: 3 * time.Millisecond}
+	m := NewMetrics(clock)
+	l := m.Wrap(fk)
+	for i := 0; i < 5; i++ {
+		if _, err := l.ReadMem(0, 4); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.WriteMem(0, nil); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Ops(); got != 6 {
+		t.Fatalf("Ops = %d, want 6", got)
+	}
+	snap := m.Snapshot()
+	if len(snap) != 2 || snap[0].Cmd != "ReadMem" || snap[1].Cmd != "WriteMem" {
+		t.Fatalf("snapshot = %+v, want sorted ReadMem/WriteMem", snap)
+	}
+	rd := snap[0]
+	if rd.Count != 5 || rd.Mean() != 3*time.Millisecond {
+		t.Fatalf("ReadMem count=%d mean=%v, want 5 and 3ms", rd.Count, rd.Mean())
+	}
+	// 3ms lands in the (1ms, 5ms] bucket (index 1).
+	if rd.Buckets[1] != 5 {
+		t.Fatalf("ReadMem buckets = %v, want 5 in bucket 1", rd.Buckets)
+	}
+}
+
+// TestStackAbsorbsFaults wires session→metrics→injector over the fake and
+// checks the composed behaviour: faults absorbed, attempts all counted.
+func TestStackAbsorbsFaults(t *testing.T) {
+	clock := &vtime.Clock{}
+	fk := &fakeLink{}
+	inj := NewInjector(fk, FaultConfig{Drop: 0.2, Seed: 42}, clock)
+	m := NewMetrics(clock)
+	s := NewSession(m.Wrap(inj), SessionConfig{Clock: clock, Reconnect: func() error { inj.Revive(); return nil }})
+	const n = 300
+	for i := 0; i < n; i++ {
+		if err := s.WriteMem(0, nil); err != nil {
+			t.Fatalf("command %d surfaced %v despite session layer", i, err)
+		}
+	}
+	if s.Retries() == 0 {
+		t.Fatal("20% drop rate over 300 commands caused no retries")
+	}
+	// Metrics sits below the session: every retried attempt is a round trip.
+	if got := m.Ops(); got != int64(n)+s.Retries() {
+		t.Fatalf("Ops = %d, want %d successes + %d retries", got, n, s.Retries())
+	}
+}

@@ -20,30 +20,25 @@ var ErrTimeout = errors.New("ocd: connection timeout")
 
 // RemoteError is a non-timeout error reported by the debug server.
 type RemoteError struct {
-	Code string // e.g. "mem", "bp", "flash", "boot", "badargs"
+	Code Code
 	Msg  string
 }
 
 func (e *RemoteError) Error() string {
 	if e.Msg == "" {
-		return "ocd: remote error " + e.Code
+		return "ocd: remote error " + string(e.Code)
 	}
 	return fmt.Sprintf("ocd: remote %s error: %s", e.Code, e.Msg)
 }
 
-// Client is the host side of the debug link.
+// Client is the host side of the debug link. It is the transport layer of
+// the internal/link stack: round-trip accounting and latency histograms live
+// in the link.Metrics middleware, retries and reconnection in link.Session.
 type Client struct {
 	conn   *rsp.Conn
 	direct *Server
 	closer func() error
-	// ops counts debug-link round trips (one per command). Probe round
-	// trips dominate per-exec cost on real adapters, so the engine and the
-	// benchmarks use this counter to account for link traffic.
-	ops int64
 }
-
-// Ops returns the number of debug-link round trips performed so far.
-func (c *Client) Ops() int64 { return c.ops }
 
 // ConnectDirect attaches a client that dispatches commands into the server
 // in-process, bypassing the packet pipe (and its goroutine handoffs) while
@@ -91,7 +86,6 @@ func (c *Client) Close() error {
 }
 
 func (c *Client) call(req string) (string, error) {
-	c.ops++
 	var s string
 	if c.direct != nil {
 		s, _ = c.direct.handle(req)
@@ -109,7 +103,7 @@ func (c *Client) call(req string) (string, error) {
 }
 
 func decodeError(s string) error {
-	if s == "timeout" {
+	if s == string(CodeTimeout) {
 		return ErrTimeout
 	}
 	code, rest := s, ""
@@ -122,7 +116,7 @@ func decodeError(s string) error {
 	} else {
 		msg = rest
 	}
-	return &RemoteError{Code: code, Msg: msg}
+	return &RemoteError{Code: Code(code), Msg: msg}
 }
 
 // ReadMem reads n bytes of target memory at addr.

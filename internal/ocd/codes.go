@@ -1,0 +1,43 @@
+package ocd
+
+import "errors"
+
+// Code is a typed debug-server error code. The server emits codes on the wire
+// as "E<code>[:<hex msg>]" and the client decodes them back into RemoteError
+// values, so both sides of the link share one taxonomy and layered middleware
+// (the session layer's transient/fatal classification, the engine's vectored
+// fallback) can match on constants instead of string literals.
+type Code string
+
+// The debug-server error taxonomy. Every code describes target or probe
+// state, not link health: a command that earns one of these was delivered,
+// parsed and answered, so retrying it verbatim cannot help. Link-level
+// failures (dropped frames, a dead adapter) surface as ErrTimeout or as
+// internal/link fault errors instead, and only those are retried.
+const (
+	// CodeTimeout is the wire form of ErrTimeout: the target did not
+	// respond (dead core, boot failure). decodeError maps it to ErrTimeout
+	// rather than a RemoteError so the watchdog machinery sees one type.
+	CodeTimeout Code = "timeout"
+	// CodeBadCmd rejects a command the probe firmware does not know; the
+	// engine latches the legacy fallback for vectored commands on it.
+	CodeBadCmd Code = "badcmd"
+	// CodeBadArgs rejects a malformed command payload.
+	CodeBadArgs Code = "badargs"
+	// CodeMem reports a target memory fault (unmapped address, permission).
+	CodeMem Code = "mem"
+	// CodeBP reports a breakpoint failure (comparator bank exhausted).
+	CodeBP Code = "bp"
+	// CodeFlash reports a flash erase/program failure.
+	CodeFlash Code = "flash"
+	// CodeBoot reports a boot failure after reset (corrupt image).
+	CodeBoot Code = "boot"
+	// CodeCov reports a corrupt coverage buffer header.
+	CodeCov Code = "cov"
+)
+
+// IsCode reports whether err is a RemoteError carrying code c.
+func IsCode(err error, c Code) bool {
+	var re *RemoteError
+	return errors.As(err, &re) && re.Code == c
+}

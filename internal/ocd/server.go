@@ -88,6 +88,14 @@ func (s *Server) charge(payloadBytes int) {
 	s.Board.Clock.Advance(s.Lat.PerCommand + s.Lat.transfer(payloadBytes))
 }
 
+// ereply renders a bare error reply for code c.
+func ereply(c Code) string { return "E" + string(c) }
+
+// ereplyMsg renders an error reply carrying a hex-encoded message.
+func ereplyMsg(c Code, msg string) string {
+	return "E" + string(c) + ":" + hex.EncodeToString([]byte(msg))
+}
+
 func (s *Server) handle(req string) (resp string, detach bool) {
 	s.charge(len(req))
 	switch {
@@ -115,16 +123,16 @@ func (s *Server) handle(req string) (resp string, detach bool) {
 		return s.flashWrite(req[len("vFlashWrite:"):]), false
 	case strings.HasPrefix(req, "vCovDrain:"):
 		if s.NoVectored {
-			return "Ebadcmd", false
+			return ereply(CodeBadCmd), false
 		}
 		return s.covDrain(req[len("vCovDrain:"):]), false
 	case strings.HasPrefix(req, "vRun:"):
 		if s.NoVectored {
-			return "Ebadcmd", false
+			return ereply(CodeBadCmd), false
 		}
 		return s.writeRun(req[len("vRun:"):]), false
 	default:
-		return "Ebadcmd", false
+		return ereply(CodeBadCmd), false
 	}
 }
 
@@ -154,15 +162,15 @@ func (s *Server) live() bool {
 
 func (s *Server) readMem(args string) string {
 	if !s.live() {
-		return "Etimeout"
+		return ereply(CodeTimeout)
 	}
 	addr, n, err := parseAddrLen(args)
 	if err != nil {
-		return "Ebadargs"
+		return ereply(CodeBadArgs)
 	}
 	data, err := s.Board.Mem().Read(addr, n)
 	if err != nil {
-		return "Emem:" + hex.EncodeToString([]byte(err.Error()))
+		return ereplyMsg(CodeMem, err.Error())
 	}
 	s.charge(n) // response payload costs link time too
 	return "D" + hex.EncodeToString(data)
@@ -170,47 +178,47 @@ func (s *Server) readMem(args string) string {
 
 func (s *Server) writeMem(args string) string {
 	if !s.live() {
-		return "Etimeout"
+		return ereply(CodeTimeout)
 	}
 	colon := strings.IndexByte(args, ':')
 	if colon < 0 {
-		return "Ebadargs"
+		return ereply(CodeBadArgs)
 	}
 	addr, n, err := parseAddrLen(args[:colon])
 	if err != nil {
-		return "Ebadargs"
+		return ereply(CodeBadArgs)
 	}
 	data, err := hex.DecodeString(args[colon+1:])
 	if err != nil || len(data) != n {
-		return "Ebadargs"
+		return ereply(CodeBadArgs)
 	}
 	if err := s.Board.Mem().Write(addr, data); err != nil {
-		return "Emem:" + hex.EncodeToString([]byte(err.Error()))
+		return ereplyMsg(CodeMem, err.Error())
 	}
 	return "OK"
 }
 
 func (s *Server) setBP(arg string) string {
 	if !s.live() {
-		return "Etimeout"
+		return ereply(CodeTimeout)
 	}
 	addr, err := strconv.ParseUint(arg, 16, 64)
 	if err != nil {
-		return "Ebadargs"
+		return ereply(CodeBadArgs)
 	}
 	if err := s.Board.Core().SetBreakpoint(addr); err != nil {
-		return "Ebp:" + hex.EncodeToString([]byte(err.Error()))
+		return ereplyMsg(CodeBP, err.Error())
 	}
 	return "OK"
 }
 
 func (s *Server) clearBP(arg string) string {
 	if !s.live() {
-		return "Etimeout"
+		return ereply(CodeTimeout)
 	}
 	addr, err := strconv.ParseUint(arg, 16, 64)
 	if err != nil {
-		return "Ebadargs"
+		return ereply(CodeBadArgs)
 	}
 	s.Board.Core().ClearBreakpoint(addr)
 	return "OK"
@@ -218,13 +226,13 @@ func (s *Server) clearBP(arg string) string {
 
 func (s *Server) cont(arg string) string {
 	if !s.live() {
-		return "Etimeout"
+		return ereply(CodeTimeout)
 	}
 	budget := int64(2_000_000)
 	if arg != "" {
 		b, err := strconv.ParseInt(arg, 10, 64)
 		if err != nil || b <= 0 {
-			return "Ebadargs"
+			return ereply(CodeBadArgs)
 		}
 		budget = b
 	}
@@ -234,7 +242,7 @@ func (s *Server) cont(arg string) string {
 
 func (s *Server) reset() string {
 	if err := s.Board.Reset(); err != nil {
-		return "Eboot:" + hex.EncodeToString([]byte(err.Error()))
+		return ereplyMsg(CodeBoot, err.Error())
 	}
 	return "OK"
 }
@@ -242,10 +250,10 @@ func (s *Server) reset() string {
 func (s *Server) flashErase(args string) string {
 	off, n, err := parseAddrLen(args)
 	if err != nil {
-		return "Ebadargs"
+		return ereply(CodeBadArgs)
 	}
 	if err := s.Board.FlashErase(int(off), n); err != nil {
-		return "Eflash:" + hex.EncodeToString([]byte(err.Error()))
+		return ereplyMsg(CodeFlash, err.Error())
 	}
 	return "OK"
 }
@@ -253,18 +261,18 @@ func (s *Server) flashErase(args string) string {
 func (s *Server) flashWrite(args string) string {
 	colon := strings.IndexByte(args, ':')
 	if colon < 0 {
-		return "Ebadargs"
+		return ereply(CodeBadArgs)
 	}
 	off, err := strconv.ParseUint(args[:colon], 16, 64)
 	if err != nil {
-		return "Ebadargs"
+		return ereply(CodeBadArgs)
 	}
 	data, err := hex.DecodeString(args[colon+1:])
 	if err != nil {
-		return "Ebadargs"
+		return ereply(CodeBadArgs)
 	}
 	if err := s.Board.FlashProgram(int(off), data); err != nil {
-		return "Eflash:" + hex.EncodeToString([]byte(err.Error()))
+		return ereplyMsg(CodeFlash, err.Error())
 	}
 	return "OK"
 }
@@ -276,24 +284,24 @@ func (s *Server) flashWrite(args string) string {
 // legacy read/tail-read/clear triple.
 func (s *Server) covDrain(args string) string {
 	if !s.live() {
-		return "Etimeout"
+		return ereply(CodeTimeout)
 	}
 	addr, maxEntries, err := parseAddrLen(args)
 	if err != nil {
-		return "Ebadargs"
+		return ereply(CodeBadArgs)
 	}
 	hdr, err := s.Board.Mem().Read(addr, 16)
 	if err != nil {
-		return "Emem:" + hex.EncodeToString([]byte(err.Error()))
+		return ereplyMsg(CodeMem, err.Error())
 	}
 	if m := le32(hdr, 0); m != cov.Magic {
-		return "Ecov:" + hex.EncodeToString([]byte(fmt.Sprintf("bad magic %#x", m)))
+		return ereplyMsg(CodeCov, fmt.Sprintf("bad magic %#x", m))
 	}
 	count := int(le32(hdr, 4))
 	capacity := int(le32(hdr, 8))
 	lost := le32(hdr, 12)
 	if count > capacity {
-		return "Ecov:" + hex.EncodeToString([]byte(fmt.Sprintf("corrupt header count=%d cap=%d", count, capacity)))
+		return ereplyMsg(CodeCov, fmt.Sprintf("corrupt header count=%d cap=%d", count, capacity))
 	}
 	if count > maxEntries {
 		count = maxEntries
@@ -302,16 +310,16 @@ func (s *Server) covDrain(args string) string {
 	if count > 0 {
 		raw, err = s.Board.Mem().Read(addr+16, count*4)
 		if err != nil {
-			return "Emem:" + hex.EncodeToString([]byte(err.Error()))
+			return ereplyMsg(CodeMem, err.Error())
 		}
 	}
 	// Clear count and lost atomically with the read: the target resumes
 	// into an empty buffer with no host round trip in between.
 	if err := s.Board.Mem().Write(addr+4, []byte{0, 0, 0, 0}); err != nil {
-		return "Emem:" + hex.EncodeToString([]byte(err.Error()))
+		return ereplyMsg(CodeMem, err.Error())
 	}
 	if err := s.Board.Mem().Write(addr+12, []byte{0, 0, 0, 0}); err != nil {
-		return "Emem:" + hex.EncodeToString([]byte(err.Error()))
+		return ereplyMsg(CodeMem, err.Error())
 	}
 	s.charge(len(raw)) // response payload costs link time, as in readMem
 	return fmt.Sprintf("V%x;%s", lost, hex.EncodeToString(raw))
@@ -322,30 +330,30 @@ func (s *Server) covDrain(args string) string {
 // always travel together, so fusing them saves one round trip per exec.
 func (s *Server) writeRun(args string) string {
 	if !s.live() {
-		return "Etimeout"
+		return ereply(CodeTimeout)
 	}
 	colon := strings.IndexByte(args, ':')
 	if colon < 0 {
-		return "Ebadargs"
+		return ereply(CodeBadArgs)
 	}
 	comma := strings.IndexByte(args[:colon], ',')
 	if comma < 0 {
-		return "Ebadargs"
+		return ereply(CodeBadArgs)
 	}
 	addr, err := strconv.ParseUint(args[:comma], 16, 64)
 	if err != nil {
-		return "Ebadargs"
+		return ereply(CodeBadArgs)
 	}
 	budget, err := strconv.ParseInt(args[comma+1:colon], 10, 64)
 	if err != nil || budget <= 0 {
-		return "Ebadargs"
+		return ereply(CodeBadArgs)
 	}
 	data, err := hex.DecodeString(args[colon+1:])
 	if err != nil {
-		return "Ebadargs"
+		return ereply(CodeBadArgs)
 	}
 	if err := s.Board.Mem().Write(addr, data); err != nil {
-		return "Emem:" + hex.EncodeToString([]byte(err.Error()))
+		return ereplyMsg(CodeMem, err.Error())
 	}
 	stop := s.Board.Core().Continue(budget)
 	return encodeStop(stop)

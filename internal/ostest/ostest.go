@@ -13,6 +13,7 @@ import (
 	"github.com/eof-fuzz/eof/internal/board"
 	"github.com/eof-fuzz/eof/internal/cpu"
 	"github.com/eof-fuzz/eof/internal/fsb"
+	"github.com/eof-fuzz/eof/internal/link"
 	"github.com/eof-fuzz/eof/internal/ocd"
 	"github.com/eof-fuzz/eof/internal/osinfo"
 	"github.com/eof-fuzz/eof/internal/sym"
@@ -25,7 +26,7 @@ type Rig struct {
 	T      *testing.T
 	Info   *osinfo.Info
 	Board  *board.Board
-	Client *ocd.Client
+	Client link.Link
 	Syms   *sym.Table
 	Lay    board.Layout
 }
