@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build check test race vet bench-fleet
+.PHONY: build check test race vet bench-fleet bench-trace
 
 build:
 	$(GO) build ./...
@@ -21,3 +21,8 @@ check: vet race
 # results in BENCH_fleet.json.
 bench-fleet:
 	./scripts/bench_fleet.sh
+
+# bench-trace runs the tracer-overhead benchmark (nop sink vs JSONL journal)
+# and records the results in BENCH_trace.json.
+bench-trace:
+	./scripts/bench_trace.sh

@@ -9,6 +9,7 @@ package eof
 // Run with: go test -bench . -benchtime 1x
 
 import (
+	"io"
 	"testing"
 	"time"
 
@@ -229,6 +230,57 @@ func BenchmarkFleet(b *testing.B) {
 		b.ReportMetric(vecOps, "vec-ops/exec")
 		b.ReportMetric(legOps, "legacy-ops/exec")
 		b.ReportMetric(hostSecs, "host-s")
+	}
+}
+
+// BenchmarkTraceOverhead measures what the observability layer costs the
+// campaign: identical FreeRTOS runs with the default nop sink and with the
+// JSONL journal streaming to io.Discard, compared on host time. Virtual
+// throughput is sink-independent (trace emission burns no virtual time), so
+// host time is the honest metric; best-of-3 pairs damp host noise. The JSONL
+// journal must cost at most 5% over the nop sink.
+func BenchmarkTraceOverhead(b *testing.B) {
+	const budget = 2 * time.Hour
+	run := func(journal io.Writer) (*Report, float64) {
+		c, err := NewCampaign(Options{OS: "freertos", Seed: 42, TraceJSONL: journal})
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer c.Close()
+		hostStart := time.Now()
+		rep, err := c.Run(budget)
+		host := time.Since(hostStart).Seconds()
+		if err != nil {
+			b.Fatal(err)
+		}
+		return rep, host
+	}
+	run(nil) // warm caches so round 0 doesn't penalise whichever sink goes first
+	for i := 0; i < b.N; i++ {
+		nopBest, jsonlBest := -1.0, -1.0
+		var nopRep, jsonlRep *Report
+		for round := 0; round < 3; round++ {
+			rep, host := run(nil)
+			if nopBest < 0 || host < nopBest {
+				nopBest, nopRep = host, rep
+			}
+			rep, host = run(io.Discard)
+			if jsonlBest < 0 || host < jsonlBest {
+				jsonlBest, jsonlRep = host, rep
+			}
+		}
+		if nopRep.Execs != jsonlRep.Execs || nopRep.Edges != jsonlRep.Edges {
+			b.Fatalf("journal changed campaign behaviour: %d/%d execs, %d/%d edges",
+				nopRep.Execs, jsonlRep.Execs, nopRep.Edges, jsonlRep.Edges)
+		}
+		overhead := 100 * (jsonlBest - nopBest) / nopBest
+		if overhead > 5 {
+			b.Fatalf("JSONL journal costs %.1f%% host time (nop %.3fs, jsonl %.3fs), budget is 5%%",
+				overhead, nopBest, jsonlBest)
+		}
+		b.ReportMetric(float64(nopRep.Execs)/nopBest, "nop-execs/host-s")
+		b.ReportMetric(float64(jsonlRep.Execs)/jsonlBest, "jsonl-execs/host-s")
+		b.ReportMetric(overhead, "overhead-%")
 	}
 }
 

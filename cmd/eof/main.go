@@ -7,9 +7,11 @@
 package main
 
 import (
+	"bufio"
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 	"strings"
 	"time"
 
@@ -18,19 +20,21 @@ import (
 
 func main() {
 	var (
-		osName  = flag.String("os", "freertos", "target OS: "+strings.Join(eof.Targets(), ", "))
-		board   = flag.String("board", "stm32h745", "board: "+strings.Join(eof.Boards(), ", "))
-		minutes = flag.Float64("minutes", 30, "campaign length in virtual minutes")
-		seed    = flag.Int64("seed", 1, "deterministic campaign seed")
-		nf      = flag.Bool("nf", false, "disable feedback guidance (EOF-nf)")
-		random  = flag.Bool("random-args", false, "disable API-aware generation")
-		apis    = flag.String("apis", "", "comma-separated API allowlist (application-level mode)")
-		modules = flag.String("modules", "", "comma-separated source prefixes to instrument")
-		shards  = flag.Int("shards", 1, "board-pool size: shard the campaign across N boards with shared feedback")
-		legacy  = flag.Bool("legacy-link", false, "disable vectored debug-link commands (older probe firmware)")
-		faults  = flag.Float64("link-faults", 0, "per-command debug-link fault rate (flaky-adapter model, e.g. 0.05)")
-		retries = flag.Int("link-retries", 0, "max transparent retries per faulted command (0 = default 4, negative disables)")
-		verbose = flag.Bool("v", false, "print crash logs and reproducers")
+		osName    = flag.String("os", "freertos", "target OS: "+strings.Join(eof.Targets(), ", "))
+		board     = flag.String("board", "stm32h745", "board: "+strings.Join(eof.Boards(), ", "))
+		minutes   = flag.Float64("minutes", 30, "campaign length in virtual minutes")
+		seed      = flag.Int64("seed", 1, "deterministic campaign seed")
+		nf        = flag.Bool("nf", false, "disable feedback guidance (EOF-nf)")
+		random    = flag.Bool("random-args", false, "disable API-aware generation")
+		apis      = flag.String("apis", "", "comma-separated API allowlist (application-level mode)")
+		modules   = flag.String("modules", "", "comma-separated source prefixes to instrument")
+		shards    = flag.Int("shards", 1, "board-pool size: shard the campaign across N boards with shared feedback")
+		legacy    = flag.Bool("legacy-link", false, "disable vectored debug-link commands (older probe firmware)")
+		faults    = flag.Float64("link-faults", 0, "per-command debug-link fault rate (flaky-adapter model, e.g. 0.05)")
+		retries   = flag.Int("link-retries", 0, "max transparent retries per faulted command (0 = default 4, negative disables)")
+		traceOut  = flag.String("trace", "", "write the structured trace journal to this file as JSON Lines")
+		statusDur = flag.Duration("status-every", 0, "print a live progress line at this host interval (e.g. 10s)")
+		verbose   = flag.Bool("v", false, "print crash logs and reproducers")
 	)
 	flag.Parse()
 
@@ -44,12 +48,26 @@ func main() {
 		LegacyLink:       *legacy,
 		LinkFaultRate:    *faults,
 		LinkRetries:      *retries,
+		StatusEvery:      *statusDur,
 	}
 	if *apis != "" {
 		opts.RestrictAPIs = strings.Split(*apis, ",")
 	}
 	if *modules != "" {
 		opts.InstrumentModules = strings.Split(*modules, ",")
+	}
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "eof:", err)
+			os.Exit(1)
+		}
+		bw := bufio.NewWriter(f)
+		defer func() {
+			bw.Flush()
+			f.Close()
+		}()
+		opts.TraceJSONL = bw
 	}
 
 	c, err := eof.NewCampaign(opts)
@@ -74,7 +92,22 @@ func main() {
 
 	fmt.Printf("\nexecs: %d   branches: %d   crashes: %d   restores: %d (reflashes: %d)\n",
 		rep.Execs, rep.Edges, rep.Crashes, rep.Restores, rep.Reflashes)
-	fmt.Printf("throughput: %.2f execs/s of target time\n", float64(rep.Execs)/rep.Duration.Seconds())
+	if rep.Duration > 0 {
+		fmt.Printf("throughput: %.2f execs/s of target time\n", float64(rep.Execs)/rep.Duration.Seconds())
+	}
+	if len(rep.RestoresByReason) > 0 {
+		reasons := make([]string, 0, len(rep.RestoresByReason))
+		for r := range rep.RestoresByReason {
+			reasons = append(reasons, r)
+		}
+		sort.Strings(reasons)
+		parts := make([]string, 0, len(reasons))
+		for _, r := range reasons {
+			parts = append(parts, fmt.Sprintf("%s=%d", r, rep.RestoresByReason[r]))
+		}
+		fmt.Printf("restores by reason: %s\n", strings.Join(parts, " "))
+	}
+	fmt.Printf("board time: %s\n", rep.TimeBy)
 	if rep.Execs > 0 {
 		fmt.Printf("debug link: %d round trips (%.2f per exec)\n",
 			rep.LinkRoundTrips, float64(rep.LinkRoundTrips)/float64(rep.Execs))
@@ -100,6 +133,16 @@ func main() {
 			if b.Reproducer != "" {
 				fmt.Printf("      reproducer:\n")
 				for _, line := range strings.Split(strings.TrimSpace(b.Reproducer), "\n") {
+					fmt.Printf("        %s\n", line)
+				}
+			}
+			if len(b.Trace) > 0 {
+				fmt.Printf("      flight recorder (last %d events):\n", len(b.Trace))
+				for _, ev := range b.Trace {
+					line := fmt.Sprintf("t=%v shard=%d %s", ev.At.Round(time.Millisecond), ev.Shard, ev.Kind)
+					if ev.Reason != "" {
+						line += " " + ev.Reason
+					}
 					fmt.Printf("        %s\n", line)
 				}
 			}

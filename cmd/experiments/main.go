@@ -19,6 +19,7 @@ func main() {
 		figure   = flag.Int("figure", 0, "regenerate one figure (7 or 8)")
 		overhead = flag.String("overhead", "", "overhead experiment: mem or exec")
 		ablation = flag.String("ablation", "", "ablation: watchdogs, generation or link")
+		acct     = flag.Bool("accounting", false, "board-time accounting breakdown (E-time)")
 		all      = flag.Bool("all", false, "run the full evaluation")
 		hours    = flag.Float64("hours", 24, "virtual campaign hours")
 		runs     = flag.Int("runs", 5, "repetitions per configuration")
@@ -121,8 +122,16 @@ func main() {
 		}
 		emitTable("ablation_link", t)
 	}
+	if *all || *acct {
+		ran = true
+		t, err := experiments.TimeAccounting(opts)
+		if err != nil {
+			fail(err)
+		}
+		emitTable("time_accounting", t)
+	}
 	if !ran {
-		fmt.Fprintln(os.Stderr, "nothing selected; use -all, -table N, -figure N, -overhead mem|exec or -ablation watchdogs|generation|link")
+		fmt.Fprintln(os.Stderr, "nothing selected; use -all, -table N, -figure N, -overhead mem|exec, -ablation watchdogs|generation|link or -accounting")
 		os.Exit(2)
 	}
 }

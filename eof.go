@@ -19,6 +19,8 @@ package eof
 
 import (
 	"fmt"
+	"io"
+	"os"
 	"time"
 
 	"github.com/eof-fuzz/eof/internal/boards"
@@ -27,6 +29,7 @@ import (
 	"github.com/eof-fuzz/eof/internal/link"
 	"github.com/eof-fuzz/eof/internal/specgen"
 	"github.com/eof-fuzz/eof/internal/targets"
+	"github.com/eof-fuzz/eof/internal/trace"
 )
 
 // Targets lists the supported embedded OS names.
@@ -94,6 +97,22 @@ type Options struct {
 	// retries (0 = default of 4, negative disables retries so every fault
 	// surfaces to the liveness watchdogs).
 	LinkRetries int
+
+	// TraceJSONL, when non-nil, streams the campaign's structured trace
+	// journal to the writer as JSON Lines — one event per line, stamped
+	// with virtual time, shard and sequence number. In fleet mode events
+	// are merged in shard order at every sync barrier, so the journal is
+	// deterministic for a fixed seed.
+	TraceJSONL io.Writer
+	// StatusEvery, when positive, prints a live one-line progress summary
+	// (execs/s, edges, restore rate, link health) every host-time interval
+	// to StatusWriter.
+	StatusEvery time.Duration
+	// StatusWriter receives the live status lines (default os.Stderr).
+	StatusWriter io.Writer
+	// FlightRecorder overrides the size of the pre-crash event ring
+	// attached to every Bug (0 = the default of 64 events).
+	FlightRecorder int
 }
 
 // Bug is one deduplicated finding.
@@ -116,6 +135,9 @@ type Bug struct {
 	Reproducer string
 	// FoundAt is the virtual campaign time of discovery.
 	FoundAt time.Duration
+	// Trace is the flight recorder: the last trace events the finding
+	// shard emitted before detection, oldest first.
+	Trace []trace.Event
 }
 
 // Sample is one coverage-over-time point.
@@ -154,8 +176,17 @@ type Report struct {
 	// revived, breakpoints re-armed). Both are zero on a healthy link.
 	LinkRetries    int64
 	LinkReconnects int64
-	Bugs           []Bug
-	Series         []Sample
+	// LinkPerCmd is the per-command round-trip accounting from the link
+	// metrics layer: count, total and mean virtual latency per command,
+	// sorted by command name.
+	LinkPerCmd []link.CmdStat
+	// TimeBy breaks board time down by activity: executing, restoring,
+	// reflashing, link overhead and (fleet) sync-barrier idling. Solo it
+	// sums to Duration exactly; in fleet mode it sums shard board time,
+	// i.e. Shards x Duration.
+	TimeBy trace.TimeBy
+	Bugs   []Bug
+	Series []Sample
 	// Duration is the campaign's virtual runtime. In fleet mode shards run
 	// concurrently, so this is the pool's wall-clock, not summed board time.
 	Duration time.Duration
@@ -200,6 +231,17 @@ func NewCampaign(opts Options) (*Campaign, error) {
 	cfg.LinkRetries = opts.LinkRetries
 	if opts.SampleEvery > 0 {
 		cfg.SampleEvery = opts.SampleEvery
+	}
+	cfg.FlightRecorder = opts.FlightRecorder
+	if opts.TraceJSONL != nil {
+		cfg.TraceSink = trace.NewJSONL(opts.TraceJSONL)
+	}
+	if opts.StatusEvery > 0 {
+		w := opts.StatusWriter
+		if w == nil {
+			w = os.Stderr
+		}
+		cfg.StatusSink = trace.NewStatus(w, opts.StatusEvery)
 	}
 	if opts.Shards > 1 {
 		pool, err := fleet.New(cfg, fleet.Options{
@@ -259,6 +301,8 @@ func convertReport(r *core.Report) *Report {
 		LinkRoundTrips:   r.Stats.LinkOps,
 		LinkRetries:      r.Stats.LinkRetries,
 		LinkReconnects:   r.Stats.LinkReconnects,
+		LinkPerCmd:       r.LinkPerCmd,
+		TimeBy:           r.TimeBy,
 		Duration:         r.Duration,
 	}
 	if len(r.Stats.RestoresByReason) > 0 {
@@ -271,7 +315,7 @@ func convertReport(r *core.Report) *Report {
 		nb := Bug{
 			OS: b.OS, Board: b.Board, Title: b.Title, Signature: b.Sig,
 			Kind: b.Kind, Monitor: b.Monitor, Log: b.Log,
-			Reproducer: b.Prog, FoundAt: b.FoundAt,
+			Reproducer: b.Prog, FoundAt: b.FoundAt, Trace: b.Trace,
 		}
 		if b.Fault != nil {
 			for _, fr := range b.Fault.Frames {

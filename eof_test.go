@@ -1,6 +1,8 @@
 package eof
 
 import (
+	"bytes"
+	"encoding/json"
 	"strings"
 	"testing"
 	"time"
@@ -110,5 +112,89 @@ func TestAppLevelOptions(t *testing.T) {
 	// Confined instrumentation keeps totals well below full-system numbers.
 	if rep.Edges > 600 {
 		t.Fatalf("module confinement leaking: %d edges", rep.Edges)
+	}
+}
+
+func TestObservabilityPublicAPI(t *testing.T) {
+	var journal, status bytes.Buffer
+	c, err := NewCampaign(Options{
+		OS:           "freertos",
+		Seed:         7,
+		TraceJSONL:   &journal,
+		StatusEvery:  time.Nanosecond,
+		StatusWriter: &status,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	rep, err := c.Run(5 * time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if len(rep.LinkPerCmd) == 0 {
+		t.Fatal("LinkPerCmd missing from the public report")
+	}
+	var total int64
+	for _, st := range rep.LinkPerCmd {
+		if st.Cmd == "" || st.Count <= 0 {
+			t.Fatalf("bad per-command stat: %+v", st)
+		}
+		total += st.Count
+	}
+	if total != rep.LinkRoundTrips {
+		t.Fatalf("per-command counts sum to %d, report says %d round trips", total, rep.LinkRoundTrips)
+	}
+
+	if rep.TimeBy.Sum() != rep.Duration {
+		t.Fatalf("public TimeBy %v sums to %v, want Duration %v", rep.TimeBy, rep.TimeBy.Sum(), rep.Duration)
+	}
+
+	lines := strings.Split(strings.TrimSpace(journal.String()), "\n")
+	if len(lines) < 10 {
+		t.Fatalf("journal too short: %d lines", len(lines))
+	}
+	execEnds := 0
+	for i, l := range lines {
+		var ev map[string]any
+		if err := json.Unmarshal([]byte(l), &ev); err != nil {
+			t.Fatalf("journal line %d is not JSON: %v\n%s", i, err, l)
+		}
+		for _, key := range []string{"seq", "at_ns", "shard", "kind"} {
+			if _, ok := ev[key]; !ok {
+				t.Fatalf("journal line %d missing %q: %s", i, key, l)
+			}
+		}
+		if ev["kind"] == "exec-end" {
+			execEnds++
+		}
+	}
+	if execEnds != rep.Execs {
+		t.Fatalf("journal has %d exec-end lines, report says %d execs", execEnds, rep.Execs)
+	}
+
+	if !strings.Contains(status.String(), "[eof] t=") {
+		t.Fatalf("no live status lines: %q", status.String())
+	}
+}
+
+func TestPublicBugCarriesTrace(t *testing.T) {
+	c, err := NewCampaign(Options{OS: "rtthread", Board: "esp32c3", Seed: 1234})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	rep, err := c.Run(25 * time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Bugs) == 0 {
+		t.Skip("no bugs in this short window")
+	}
+	for _, b := range rep.Bugs {
+		if len(b.Trace) == 0 {
+			t.Fatalf("bug %q lost its flight-recorder trace in the public API", b.Signature)
+		}
 	}
 }

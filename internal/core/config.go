@@ -13,6 +13,7 @@ import (
 	"github.com/eof-fuzz/eof/internal/link"
 	"github.com/eof-fuzz/eof/internal/ocd"
 	"github.com/eof-fuzz/eof/internal/osinfo"
+	"github.com/eof-fuzz/eof/internal/trace"
 )
 
 // Watchdogs selects the liveness mechanisms (ablation E7 disables them
@@ -105,6 +106,23 @@ type Config struct {
 	// LinkBackoff is the base retry backoff charged to the virtual clock,
 	// doubling per attempt (0 = link.DefaultBackoff).
 	LinkBackoff time.Duration
+
+	// Shard tags this engine's trace events with its fleet shard index
+	// (0 in solo mode).
+	Shard int
+	// TraceSink receives the engine's structured trace journal (exec,
+	// coverage, restore, link and sync events). Nil discards events. In
+	// fleet mode the fleet substitutes per-shard buffers and merges them
+	// into the configured sink in shard order at every epoch barrier, so
+	// the journal stays deterministic.
+	TraceSink trace.Sink
+	// StatusSink receives the same events live (unbuffered, concurrently
+	// from every fleet shard — implementations must be thread-safe). Used
+	// by the -status-every progress display.
+	StatusSink trace.Sink
+	// FlightRecorder sets the size of the pre-crash event ring attached to
+	// every bug report (0 = trace.DefaultRingSize).
+	FlightRecorder int
 
 	// CallFilter restricts the specification to the named calls — the
 	// application-level evaluation fuzzes only the HTTP/JSON entry points.

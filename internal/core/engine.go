@@ -20,6 +20,7 @@ import (
 	"github.com/eof-fuzz/eof/internal/specgen"
 	"github.com/eof-fuzz/eof/internal/sym"
 	"github.com/eof-fuzz/eof/internal/syzlang"
+	"github.com/eof-fuzz/eof/internal/trace"
 	"github.com/eof-fuzz/eof/internal/vtime"
 )
 
@@ -126,6 +127,11 @@ type Report struct {
 	// LinkPerCmd is the metrics layer's per-command round-trip accounting
 	// (counts and virtual-latency histograms), sorted by command name.
 	LinkPerCmd []link.CmdStat
+	// TimeBy breaks the board-time budget into executing / restoring /
+	// reflashing / link-overhead / sync-barrier. For a solo engine it sums
+	// to Duration exactly; a merged fleet report sums shard board time
+	// (Shards x the pool's wall-clock Duration).
+	TimeBy trace.TimeBy
 }
 
 // errRestart signals that the target was restored and the fuzzing loop must
@@ -188,6 +194,15 @@ type Engine struct {
 	bugs    []*BugReport
 	bugSigs map[string]bool
 	series  []CoverSample
+
+	// tracer is the engine's trace emission point (flight-recorder ring
+	// plus optional journal/status sinks); acct attributes every virtual-
+	// clock delta of the link stack to a board-time category. restoring
+	// and reflashing are the mode flags the timed link wrapper reads.
+	tracer     *trace.Tracer
+	acct       *trace.Accountant
+	restoring  bool
+	reflashing bool
 
 	// vectored tracks whether the probe accepts the single-round-trip
 	// commands; it latches off on the first Ebadcmd and the engine degrades
@@ -280,6 +295,10 @@ func NewEngine(cfg Config) (*Engine, error) {
 		bugSigs:   make(map[string]bool),
 		excAddrs:  make(map[uint64]string),
 	}
+	e.acct = trace.NewAccountant(clock)
+	e.tracer = trace.New(cfg.Shard, clock, cfg.FlightRecorder)
+	e.tracer.SetSink(cfg.TraceSink)
+	e.tracer.SetLive(cfg.StatusSink)
 	e.mainAddr = syms.Addr(agent.SymExecutorMain)
 	if cfg.Monitors.Exception {
 		for _, name := range osInfo.ExceptionSyms {
@@ -329,6 +348,14 @@ func (e *Engine) LinkOps() int64 {
 
 // LinkMetrics exposes the metrics middleware for reports and tests.
 func (e *Engine) LinkMetrics() *link.Metrics { return e.metrics }
+
+// Tracer exposes the engine's trace emission point; the fleet uses it to
+// emit sync-epoch events into each shard's journal, and tests to inspect the
+// flight recorder.
+func (e *Engine) Tracer() *trace.Tracer { return e.tracer }
+
+// TimeBy returns the board-time budget accounted so far.
+func (e *Engine) TimeBy() trace.TimeBy { return e.acct.Snapshot() }
 
 // SetSharedSink attaches a fleet-wide collector that every drained edge is
 // also ingested into. The sink is thread-safe and order-independent (set
@@ -395,6 +422,10 @@ func (e *Engine) Setup() error {
 	}
 	e.ready = true
 	e.started = e.clock.Now()
+	// Accounting starts at `started`, so setup round trips (provisioning,
+	// first boot, initial arm and resync) stay outside the reported budget
+	// and TimeBy sums to the report's Duration exactly.
+	e.acct.Reset()
 	return nil
 }
 
@@ -410,6 +441,9 @@ func (e *Engine) buildLinkStack() link.Link {
 			fcfg.Seed = e.cfg.Seed
 		}
 		e.injector = link.NewInjector(l, fcfg, e.clock)
+		e.injector.SetOnFault(func(k link.FaultKind, cmd string) {
+			e.tracer.Emit(trace.Event{Kind: trace.LinkFault, Reason: k.String() + ":" + cmd})
+		})
 		l = e.injector
 	} else {
 		e.injector = nil
@@ -426,13 +460,25 @@ func (e *Engine) buildLinkStack() link.Link {
 			}
 			return nil
 		},
+		OnRetry: func(cmd string) {
+			e.tracer.Emit(trace.Event{Kind: trace.LinkRetry, Reason: cmd})
+		},
 		OnReconnect: func() {
 			// A fresh adapter may speak the vectored commands even if the
 			// previous one degraded mid-campaign; re-latch capability.
 			e.vectored = !e.cfg.LegacyLink
+			e.tracer.Emit(trace.Event{Kind: trace.LinkReconnect})
 		},
 	})
-	return e.session
+	// The timed wrapper tops the stack so its categories include everything
+	// below: session backoff, injected fault penalties, adapter latency,
+	// payload transfer and executed target cycles.
+	return &timedLink{
+		inner:      e.session,
+		acct:       e.acct,
+		restoring:  &e.restoring,
+		reflashing: &e.reflashing,
+	}
 }
 
 func (e *Engine) provision() error {
@@ -531,6 +577,7 @@ func (e *Engine) Report() *Report {
 	if e.metrics != nil {
 		rep.LinkPerCmd = e.metrics.Snapshot()
 	}
+	rep.TimeBy = e.acct.Snapshot()
 	return rep
 }
 
@@ -563,6 +610,7 @@ func (e *Engine) iteration() error {
 	if err != nil {
 		return err
 	}
+	e.tracer.Emit(trace.Event{Kind: trace.ExecBegin, Exec: e.stats.Execs + 1})
 	if err := e.pumpToMain(p, buf); err != nil {
 		return err
 	}
@@ -572,11 +620,15 @@ func (e *Engine) iteration() error {
 	if err != nil && errors.Is(err, ocd.ErrTimeout) {
 		return e.restore("timeout")
 	}
+	if fresh > 0 {
+		e.tracer.Emit(trace.Event{Kind: trace.CovGain, Exec: e.stats.Execs, Edges: fresh})
+	}
 	if err := e.scanLog(p); err != nil {
 		return err
 	}
 	if fresh > 0 && e.cfg.FeedbackGuided {
 		e.corpus.Add(p, fresh)
+		e.tracer.Emit(trace.Event{Kind: trace.CorpusAdd, Exec: e.stats.Execs, Edges: fresh})
 		e.delta.Seeds = append(e.delta.Seeds, SeedShare{P: p, NewEdges: fresh})
 		names := p.CallNames()
 		for i := 1; i < len(names); i++ {
@@ -584,6 +636,7 @@ func (e *Engine) iteration() error {
 			e.delta.Rewards = append(e.delta.Rewards, RewardShare{Prev: names[i-1], Next: names[i], Amount: 0.5})
 		}
 	}
+	e.tracer.Emit(trace.Event{Kind: trace.ExecEnd, Exec: e.stats.Execs})
 	return nil
 }
 
@@ -908,7 +961,11 @@ func (e *Engine) recordBug(b *BugReport) {
 	b.OS = e.cfg.OS.Name
 	b.Board = e.cfg.Board.Name
 	b.FoundAt = e.clock.Now() - e.started
+	// Flight recorder: attach the last events leading up to the detection,
+	// then journal the detection itself.
+	b.Trace = e.tracer.Recent()
 	e.bugs = append(e.bugs, b)
+	e.tracer.Emit(trace.Event{Kind: trace.Bug, Exec: e.stats.Execs, Reason: b.Sig})
 }
 
 // restore is Algorithm 1's StateRestoration: reboot; if the image no longer
@@ -921,11 +978,17 @@ func (e *Engine) restore(reason string) error {
 	e.stallRuns = 0
 	e.lastBudgetPC = 0
 
+	restoreStart := e.clock.Now()
+	e.tracer.Emit(trace.Event{Kind: trace.RestoreBegin, Exec: e.stats.Execs, Reason: reason})
+	e.restoring = true
+	defer func() { e.restoring = false }()
+
 	err := e.client.Reset()
 	if err != nil {
 		// Reboot failed: the image is damaged; reflash from the partition
 		// table (GetPartitionTable(KConfig) in the paper's pseudocode).
 		e.stats.Reflashes++
+		e.reflashing = true
 		tab := e.brd.PartitionTable()
 		for _, part := range []struct {
 			name string
@@ -933,15 +996,20 @@ func (e *Engine) restore(reason string) error {
 		}{{"bootloader", e.images.Boot}, {"kernel", e.images.Kernel}} {
 			pt := tab.Lookup(part.name)
 			if pt == nil {
+				e.reflashing = false
 				return fmt.Errorf("core: restore: partition %q missing", part.name)
 			}
 			if err := e.client.FlashErase(pt.Offset, pt.Size); err != nil {
+				e.reflashing = false
 				return fmt.Errorf("core: restore erase: %w", err)
 			}
 			if err := e.client.FlashWrite(pt.Offset, part.data); err != nil {
+				e.reflashing = false
 				return fmt.Errorf("core: restore write: %w", err)
 			}
 		}
+		e.reflashing = false
+		e.tracer.Emit(trace.Event{Kind: trace.Reflash, Exec: e.stats.Execs, Reason: reason})
 		if err := e.client.Reset(); err != nil {
 			return fmt.Errorf("core: restore reboot after reflash: %w", err)
 		}
@@ -954,6 +1022,12 @@ func (e *Engine) restore(reason string) error {
 	if err := e.runToMain(); err != nil {
 		return err
 	}
+	e.tracer.Emit(trace.Event{
+		Kind:   trace.RestoreEnd,
+		Exec:   e.stats.Execs,
+		Reason: reason,
+		Dur:    e.clock.Now() - restoreStart,
+	})
 	return errRestart
 }
 

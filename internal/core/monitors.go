@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"github.com/eof-fuzz/eof/internal/cpu"
+	"github.com/eof-fuzz/eof/internal/trace"
 )
 
 // BugReport is one deduplicated finding.
@@ -21,6 +22,9 @@ type BugReport struct {
 	Log     []string
 	Prog    string
 	FoundAt time.Duration
+	// Trace is the flight recorder: the last trace events leading up to
+	// detection, oldest first.
+	Trace []trace.Event
 }
 
 // crashPatterns are the log monitor's regular expressions (§4.5.2: "output

@@ -1,0 +1,110 @@
+package core
+
+import (
+	"github.com/eof-fuzz/eof/internal/board"
+	"github.com/eof-fuzz/eof/internal/cpu"
+	"github.com/eof-fuzz/eof/internal/link"
+	"github.com/eof-fuzz/eof/internal/trace"
+)
+
+// timedLink sits at the very top of the debug-link stack (above the session
+// layer, so retry backoff and fault penalties are included) and attributes
+// every command's virtual-clock delta to a board-time category. Defaults:
+// resume commands are target execution, flash transfers are reflashing, and
+// everything else is link overhead — but while the engine is inside a
+// restoration the engine's mode flags coerce non-reflash commands to the
+// restoring category, so restoration's reboot/re-arm/resync round trips are
+// charged to restoration as the paper accounts them.
+type timedLink struct {
+	inner      link.Link
+	acct       *trace.Accountant
+	restoring  *bool // engine's in-restore flag
+	reflashing *bool // engine's in-reflash flag (within restore)
+}
+
+// cat resolves the category for a command whose default is def.
+func (w *timedLink) cat(def trace.Category) trace.Category {
+	if *w.reflashing {
+		return trace.CatReflash
+	}
+	if *w.restoring {
+		return trace.CatRestore
+	}
+	return def
+}
+
+func (w *timedLink) ReadMem(addr uint64, n int) ([]byte, error) {
+	start := w.acct.Begin()
+	defer w.acct.End(w.cat(trace.CatLink), start)
+	return w.inner.ReadMem(addr, n)
+}
+
+func (w *timedLink) WriteMem(addr uint64, data []byte) error {
+	start := w.acct.Begin()
+	defer w.acct.End(w.cat(trace.CatLink), start)
+	return w.inner.WriteMem(addr, data)
+}
+
+func (w *timedLink) SetBreakpoint(addr uint64) error {
+	start := w.acct.Begin()
+	defer w.acct.End(w.cat(trace.CatLink), start)
+	return w.inner.SetBreakpoint(addr)
+}
+
+func (w *timedLink) ClearBreakpoint(addr uint64) error {
+	start := w.acct.Begin()
+	defer w.acct.End(w.cat(trace.CatLink), start)
+	return w.inner.ClearBreakpoint(addr)
+}
+
+func (w *timedLink) Continue(budget int64) (cpu.Stop, error) {
+	start := w.acct.Begin()
+	defer w.acct.End(w.cat(trace.CatExec), start)
+	return w.inner.Continue(budget)
+}
+
+func (w *timedLink) Reset() error {
+	start := w.acct.Begin()
+	defer w.acct.End(w.cat(trace.CatRestore), start)
+	return w.inner.Reset()
+}
+
+func (w *timedLink) FlashErase(off, n int) error {
+	start := w.acct.Begin()
+	defer w.acct.End(trace.CatReflash, start)
+	return w.inner.FlashErase(off, n)
+}
+
+func (w *timedLink) FlashWrite(off int, data []byte) error {
+	start := w.acct.Begin()
+	defer w.acct.End(trace.CatReflash, start)
+	return w.inner.FlashWrite(off, data)
+}
+
+func (w *timedLink) DrainCov(addr uint64, maxEntries int) ([]uint32, uint32, error) {
+	start := w.acct.Begin()
+	defer w.acct.End(w.cat(trace.CatLink), start)
+	return w.inner.DrainCov(addr, maxEntries)
+}
+
+func (w *timedLink) WriteMemContinue(addr uint64, data []byte, budget int64) (cpu.Stop, error) {
+	start := w.acct.Begin()
+	defer w.acct.End(w.cat(trace.CatExec), start)
+	return w.inner.WriteMemContinue(addr, data, budget)
+}
+
+func (w *timedLink) DrainUART() ([]string, error) {
+	start := w.acct.Begin()
+	defer w.acct.End(w.cat(trace.CatLink), start)
+	return w.inner.DrainUART()
+}
+
+func (w *timedLink) BoardState() (board.State, int, string, error) {
+	start := w.acct.Begin()
+	defer w.acct.End(w.cat(trace.CatLink), start)
+	return w.inner.BoardState()
+}
+
+func (w *timedLink) Close() error { return w.inner.Close() }
+
+var _ link.Link = (*timedLink)(nil)

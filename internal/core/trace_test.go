@@ -1,0 +1,161 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"github.com/eof-fuzz/eof/internal/trace"
+)
+
+// checkReportInvariants asserts the accounting identities every campaign
+// report must satisfy.
+func checkReportInvariants(t *testing.T, rep *Report) {
+	t.Helper()
+	sum := 0
+	for reason, n := range rep.Stats.RestoresByReason {
+		if n <= 0 {
+			t.Fatalf("restore reason %q has non-positive count %d", reason, n)
+		}
+		sum += n
+	}
+	if sum != rep.Stats.Restores {
+		t.Fatalf("sum(RestoresByReason)=%d != Restores=%d (%v)",
+			sum, rep.Stats.Restores, rep.Stats.RestoresByReason)
+	}
+	for i := 1; i < len(rep.Series); i++ {
+		if rep.Series[i].At <= rep.Series[i-1].At {
+			t.Fatalf("series At not increasing at %d: %v then %v",
+				i, rep.Series[i-1].At, rep.Series[i].At)
+		}
+		if rep.Series[i].Edges < rep.Series[i-1].Edges {
+			t.Fatalf("series Edges decreased at %d: %d then %d",
+				i, rep.Series[i-1].Edges, rep.Series[i].Edges)
+		}
+	}
+}
+
+func TestTimeBySumsToDuration(t *testing.T) {
+	rep := runShort(t, "freertos", 5*time.Minute, func(c *Config) { c.Seed = 7 })
+	checkReportInvariants(t, rep)
+	if rep.TimeBy.Sum() != rep.Duration {
+		t.Fatalf("TimeBy %v sums to %v, want Duration %v exactly",
+			rep.TimeBy, rep.TimeBy.Sum(), rep.Duration)
+	}
+	if rep.TimeBy.SyncBarrier != 0 {
+		t.Fatalf("solo campaign charged sync-barrier time: %v", rep.TimeBy.SyncBarrier)
+	}
+	if rep.TimeBy.Executing <= 0 || rep.TimeBy.LinkOverhead <= 0 {
+		t.Fatalf("empty core buckets: %v", rep.TimeBy)
+	}
+	t.Logf("time accounting: %s", rep.TimeBy)
+}
+
+func TestTimeByCoversLinkFaultCosts(t *testing.T) {
+	// Retry backoff and fault penalties advance the clock inside the session
+	// layer; the timed wrapper sits above it, so the identity must survive a
+	// heavily faulted link too.
+	rep := runShort(t, "freertos", 5*time.Minute, func(c *Config) {
+		c.Seed = 7
+		c.LinkFaults.Drop = 0.05
+		c.LinkFaults.Stall = 0.01
+	})
+	if rep.Stats.LinkRetries == 0 {
+		t.Fatal("fault config injected nothing")
+	}
+	if rep.TimeBy.Sum() != rep.Duration {
+		t.Fatalf("faulted link broke accounting: %v != %v", rep.TimeBy.Sum(), rep.Duration)
+	}
+}
+
+func TestBugsCarryFlightRecorderTrace(t *testing.T) {
+	rep := runShort(t, "rtthread", 20*time.Minute, func(c *Config) { c.Seed = 1234 })
+	if len(rep.Bugs) == 0 {
+		t.Fatal("campaign found no bugs to attach traces to")
+	}
+	for _, b := range rep.Bugs {
+		if len(b.Trace) == 0 {
+			t.Fatalf("bug %q has an empty flight-recorder trace", b.Sig)
+		}
+		for i := 1; i < len(b.Trace); i++ {
+			if b.Trace[i].Seq != b.Trace[i-1].Seq+1 {
+				t.Fatalf("bug %q trace not contiguous at %d: seq %d then %d",
+					b.Sig, i, b.Trace[i-1].Seq, b.Trace[i].Seq)
+			}
+		}
+		last := b.Trace[len(b.Trace)-1]
+		if last.At > b.FoundAt+time.Minute {
+			t.Fatalf("bug %q trace extends past detection: %v vs found at %v",
+				b.Sig, last.At, b.FoundAt)
+		}
+	}
+}
+
+func TestJournalConsistentWithReport(t *testing.T) {
+	buf := trace.NewBuffer()
+	rep := runShort(t, "freertos", 5*time.Minute, func(c *Config) {
+		c.Seed = 7
+		c.TraceSink = buf
+	})
+	evs := buf.Events()
+	if len(evs) == 0 {
+		t.Fatal("journal empty")
+	}
+	counts := map[trace.Kind]int{}
+	edges := 0
+	var lastAt time.Duration
+	var lastSeq uint64
+	for i, ev := range evs {
+		counts[ev.Kind]++
+		if ev.Kind == trace.CovGain {
+			edges += ev.Edges
+		}
+		if i > 0 {
+			if ev.At < lastAt {
+				t.Fatalf("journal time went backward at %d: %v then %v", i, lastAt, ev.At)
+			}
+			if ev.Seq != lastSeq+1 {
+				t.Fatalf("journal seq gap at %d: %d then %d", i, lastSeq, ev.Seq)
+			}
+		}
+		lastAt, lastSeq = ev.At, ev.Seq
+	}
+	if counts[trace.ExecEnd] != rep.Stats.Execs {
+		t.Fatalf("journal has %d exec-end events, report says %d execs",
+			counts[trace.ExecEnd], rep.Stats.Execs)
+	}
+	if counts[trace.RestoreBegin] != rep.Stats.Restores {
+		t.Fatalf("journal has %d restore-begin events, report says %d restores",
+			counts[trace.RestoreBegin], rep.Stats.Restores)
+	}
+	if counts[trace.Reflash] != rep.Stats.Reflashes {
+		t.Fatalf("journal has %d reflash events, report says %d reflashes",
+			counts[trace.Reflash], rep.Stats.Reflashes)
+	}
+	if counts[trace.Bug] != len(rep.Bugs) {
+		t.Fatalf("journal has %d bug events, report has %d bugs",
+			counts[trace.Bug], len(rep.Bugs))
+	}
+	if edges != rep.Edges {
+		t.Fatalf("journal cov-gain edges sum to %d, report has %d", edges, rep.Edges)
+	}
+}
+
+func TestSoloJournalDeterministic(t *testing.T) {
+	run := func() []trace.Event {
+		buf := trace.NewBuffer()
+		runShort(t, "freertos", 4*time.Minute, func(c *Config) {
+			c.Seed = 99
+			c.TraceSink = buf
+		})
+		return buf.Events()
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatalf("journal lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("journal event %d differs:\n%+v\n%+v", i, a[i], b[i])
+		}
+	}
+}

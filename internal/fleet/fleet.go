@@ -24,6 +24,7 @@ import (
 
 	"github.com/eof-fuzz/eof/internal/core"
 	"github.com/eof-fuzz/eof/internal/cov"
+	"github.com/eof-fuzz/eof/internal/trace"
 )
 
 // DefaultSyncEvery is the epoch-barrier interval when Options leaves it
@@ -55,6 +56,15 @@ type Fleet struct {
 	engines []*core.Engine
 	shared  *cov.Collector
 	ran     bool
+
+	// journal is the campaign-level trace sink (cfg.TraceSink); each shard
+	// writes into its own buffer, drained into the journal in shard order at
+	// every epoch barrier so the merged stream is deterministic even though
+	// shards run concurrently.
+	journal trace.Sink
+	buffers []*trace.Buffer
+
+	shardReports []*core.Report
 }
 
 // New builds a pool of opts.Shards engines from cfg. Shard i runs with seed
@@ -71,9 +81,21 @@ func New(cfg core.Config, opts Options) (*Fleet, error) {
 		opts.SyncEvery = DefaultSyncEvery
 	}
 	f := &Fleet{opts: opts, shared: cov.NewCollector()}
+	if cfg.TraceSink != nil {
+		f.journal = cfg.TraceSink
+	}
 	for i := 0; i < opts.Shards; i++ {
 		scfg := cfg
 		scfg.Seed = cfg.Seed + int64(i)*shardSeedStride
+		scfg.Shard = i
+		if f.journal != nil {
+			// Buffer per shard; the Run loop merges in shard order at each
+			// barrier so the journal stays deterministic. The live StatusSink
+			// (thread-safe by contract) stays attached directly.
+			buf := trace.NewBuffer()
+			f.buffers = append(f.buffers, buf)
+			scfg.TraceSink = buf
+		}
 		e, err := core.NewEngine(scfg)
 		if err != nil {
 			f.Close()
@@ -122,6 +144,7 @@ func (f *Fleet) Run(total time.Duration) (*core.Report, error) {
 
 	var series []core.CoverSample
 	var elapsed time.Duration
+	epochs := 0
 	for remaining := shardBudget; remaining > 0; remaining -= f.opts.SyncEvery {
 		slice := f.opts.SyncEvery
 		if slice > remaining {
@@ -159,20 +182,45 @@ func (f *Fleet) Run(total time.Duration) (*core.Report, error) {
 			}
 		}
 		elapsed += slice
+		epochs++
+		// Journal the barrier and flush each shard's buffered slice in shard
+		// order — the step that keeps a concurrent fleet's journal
+		// deterministic for a fixed seed.
+		for i, e := range f.engines {
+			e.Tracer().Emit(trace.Event{Kind: trace.SyncEpoch, Exec: epochs, Edges: f.shared.Total()})
+			if f.journal != nil {
+				for _, ev := range f.buffers[i].Drain() {
+					f.journal.Emit(ev)
+				}
+			}
+		}
 		series = append(series, core.CoverSample{At: elapsed, Edges: f.shared.Total()})
 	}
 	return f.mergeReport(series), nil
 }
 
+// ShardReports returns each shard's individual report from the finished
+// campaign, in shard order, with fleet sync-barrier idle time already
+// attributed (shard i's SyncBarrier is how much longer the slowest sibling
+// ran). Nil before Run completes.
+func (f *Fleet) ShardReports() []*core.Report { return f.shardReports }
+
 // mergeReport folds the shard reports into one campaign report with stable
 // ordering: stats summed in shard order, bugs deduplicated by signature in
 // (shard, discovery) order, Duration = the longest shard's virtual runtime
-// (= the pool's wall-clock, since shards run concurrently).
+// (= the pool's wall-clock, since shards run concurrently). Board-time
+// accounting: a shard that finished its slices early sat idle at epoch
+// barriers waiting for the slowest sibling, so the gap to the pool Duration
+// is charged to its SyncBarrier bucket — after which every shard's TimeBy
+// sums to the pool Duration and the merged TimeBy sums to Shards x Duration
+// (total board-time, not wall-clock).
 func (f *Fleet) mergeReport(series []core.CoverSample) *core.Report {
 	out := &core.Report{Series: series, Edges: f.shared.Total()}
 	seen := make(map[string]bool)
+	f.shardReports = make([]*core.Report, 0, len(f.engines))
 	for _, e := range f.engines {
 		r := e.Report()
+		f.shardReports = append(f.shardReports, r)
 		out.OS, out.Board = r.OS, r.Board
 		out.Stats.Merge(r.Stats)
 		for _, b := range r.Bugs {
@@ -184,6 +232,10 @@ func (f *Fleet) mergeReport(series []core.CoverSample) *core.Report {
 		if r.Duration > out.Duration {
 			out.Duration = r.Duration
 		}
+	}
+	for _, r := range f.shardReports {
+		r.TimeBy.SyncBarrier += out.Duration - r.Duration
+		out.TimeBy.Merge(r.TimeBy)
 	}
 	return out
 }

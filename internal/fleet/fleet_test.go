@@ -8,6 +8,7 @@ import (
 	"github.com/eof-fuzz/eof/internal/core"
 	"github.com/eof-fuzz/eof/internal/link"
 	"github.com/eof-fuzz/eof/internal/targets"
+	"github.com/eof-fuzz/eof/internal/trace"
 )
 
 // fleetConfig builds a fast campaign config for tests.
@@ -175,4 +176,91 @@ func TestFleetSurvivesLinkFaults(t *testing.T) {
 	}
 	t.Logf("faulty fleet: %d execs, %d edges, %d retries, %d reconnects",
 		rep.Stats.Execs, rep.Edges, rep.Stats.LinkRetries, rep.Stats.LinkReconnects)
+}
+
+func TestFleetTimeAccounting(t *testing.T) {
+	cfg := fleetConfig(t, "freertos", 11)
+	f, err := New(cfg, Options{Shards: 3, SyncEvery: 2 * time.Minute})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	rep, err := f.Run(12 * time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shardReps := f.ShardReports()
+	if len(shardReps) != 3 {
+		t.Fatalf("ShardReports returned %d reports, want 3", len(shardReps))
+	}
+	// With barrier idle time attributed, every shard's budget sums to the
+	// pool's wall-clock Duration exactly.
+	for i, sr := range shardReps {
+		if sr.TimeBy.Sum() != rep.Duration {
+			t.Fatalf("shard %d TimeBy sums to %v, want pool Duration %v (%s)",
+				i, sr.TimeBy.Sum(), rep.Duration, sr.TimeBy)
+		}
+	}
+	// And the merged budget is total board time: Shards x Duration.
+	if want := rep.Duration * 3; rep.TimeBy.Sum() != want {
+		t.Fatalf("merged TimeBy sums to %v, want %v (3 x %v)", rep.TimeBy.Sum(), want, rep.Duration)
+	}
+	t.Logf("pool time accounting: %s", rep.TimeBy)
+}
+
+func TestFleetJournalDeterministic(t *testing.T) {
+	run := func() []trace.Event {
+		cfg := fleetConfig(t, "rtthread", 42)
+		buf := trace.NewBuffer()
+		cfg.TraceSink = buf
+		runFleet(t, cfg, Options{Shards: 3, SyncEvery: 2 * time.Minute}, 18*time.Minute)
+		return buf.Events()
+	}
+	a, b := run(), run()
+	if len(a) == 0 {
+		t.Fatal("fleet journal empty")
+	}
+	if len(a) != len(b) {
+		t.Fatalf("journal lengths differ across identical runs: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("journal event %d differs:\n%+v\n%+v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestFleetJournalMergesInShardOrder(t *testing.T) {
+	cfg := fleetConfig(t, "freertos", 11)
+	buf := trace.NewBuffer()
+	cfg.TraceSink = buf
+	runFleet(t, cfg, Options{Shards: 3, SyncEvery: 2 * time.Minute}, 12*time.Minute)
+
+	evs := buf.Events()
+	if len(evs) == 0 {
+		t.Fatal("fleet journal empty")
+	}
+	// The journal is a sequence of epochs; within each epoch, shard streams
+	// appear in shard order, each ending with that shard's sync-epoch event.
+	epochs := 0
+	shard := 0
+	for i, ev := range evs {
+		if ev.Shard != shard {
+			t.Fatalf("event %d from shard %d, expected shard %d's stream (kind %s)",
+				i, ev.Shard, shard, ev.Kind)
+		}
+		if ev.Kind == trace.SyncEpoch {
+			if ev.Exec != epochs/3+1 {
+				t.Fatalf("sync-epoch %d numbered %d, want %d", i, ev.Exec, epochs/3+1)
+			}
+			epochs++
+			shard = (shard + 1) % 3
+		}
+	}
+	if epochs == 0 {
+		t.Fatal("no sync-epoch events in the fleet journal")
+	}
+	if epochs%3 != 0 {
+		t.Fatalf("sync-epoch events (%d) not a multiple of the shard count", epochs)
+	}
 }

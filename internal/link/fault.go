@@ -70,6 +70,18 @@ type Injector struct {
 	clock   *vtime.Clock
 	stalled bool
 	counts  [4]int64 // indexed by FaultKind
+	onFault func(FaultKind, string)
+}
+
+// SetOnFault installs a callback fired once per freshly injected fault (not
+// for commands rejected because the adapter is already stalled). The engine
+// journals these as link-fault trace events.
+func (f *Injector) SetOnFault(fn func(k FaultKind, cmd string)) { f.onFault = fn }
+
+func (f *Injector) notify(k FaultKind, cmd string) {
+	if f.onFault != nil {
+		f.onFault(k, cmd)
+	}
 }
 
 // NewInjector wraps inner with fault injection. clock (optional) is charged
@@ -123,19 +135,23 @@ func (f *Injector) before(cmd string) error {
 	case r < f.cfg.Drop:
 		f.counts[FaultDrop]++
 		f.charge(f.cfg.Penalty)
+		f.notify(FaultDrop, cmd)
 		return &FaultError{Kind: FaultDrop, Cmd: cmd}
 	case r < f.cfg.Drop+f.cfg.Corrupt:
 		f.counts[FaultCorrupt]++
 		f.charge(f.cfg.Penalty)
+		f.notify(FaultCorrupt, cmd)
 		return &FaultError{Kind: FaultCorrupt, Cmd: cmd}
 	case r < f.cfg.Drop+f.cfg.Corrupt+f.cfg.Stall:
 		f.counts[FaultStall]++
 		f.stalled = true
 		f.charge(f.cfg.Penalty)
+		f.notify(FaultStall, cmd)
 		return &FaultError{Kind: FaultStall, Cmd: cmd}
 	case r < f.cfg.Drop+f.cfg.Corrupt+f.cfg.Stall+f.cfg.Delay:
 		f.counts[FaultDelay]++
 		f.charge(f.cfg.DelayBy)
+		f.notify(FaultDelay, cmd)
 		return nil
 	}
 	return nil

@@ -40,6 +40,10 @@ type SessionConfig struct {
 	// (the fresh adapter may speak vCovDrain/vRun even if the old one
 	// degraded mid-campaign).
 	OnReconnect func()
+	// OnRetry is notified each time a command is transparently re-sent
+	// after a transient fault, with the command name. The engine journals
+	// these as link-retry trace events.
+	OnRetry func(cmd string)
 }
 
 // Session is the retry/reconnect middleware. It absorbs the transient link
@@ -128,6 +132,9 @@ func (s *Session) do(cmd string, op func() error) error {
 			return fmt.Errorf("link: %s: %d retries exhausted (last: %v): %w", cmd, s.cfg.MaxRetries, fe, ocd.ErrTimeout)
 		}
 		s.retries.Add(1)
+		if s.cfg.OnRetry != nil {
+			s.cfg.OnRetry(cmd)
+		}
 		s.backoff(attempt)
 	}
 }
@@ -183,6 +190,9 @@ func (s *Session) rearm() bool {
 				return false
 			}
 			s.retries.Add(1)
+			if s.cfg.OnRetry != nil {
+				s.cfg.OnRetry("SetBreakpoint")
+			}
 			s.backoff(attempt + 1)
 		}
 		if !armed {

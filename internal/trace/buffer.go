@@ -1,0 +1,31 @@
+package trace
+
+// Buffer accumulates events in memory. The fleet gives each shard's engine a
+// Buffer as its journal sink and drains them in shard order at every epoch
+// barrier, which is what makes a fleet journal deterministic: each shard's
+// stream is deterministic on its own, and the merge order is fixed.
+//
+// A Buffer is not safe for concurrent use; each engine goroutine owns its
+// own, and the fleet only drains between epochs (after the barrier join).
+type Buffer struct {
+	evs []Event
+}
+
+// NewBuffer returns an empty buffer.
+func NewBuffer() *Buffer { return &Buffer{} }
+
+// Emit appends ev.
+func (b *Buffer) Emit(ev Event) { b.evs = append(b.evs, ev) }
+
+// Drain returns the accumulated events and resets the buffer.
+func (b *Buffer) Drain() []Event {
+	out := b.evs
+	b.evs = nil
+	return out
+}
+
+// Events returns the accumulated events without draining them.
+func (b *Buffer) Events() []Event { return b.evs }
+
+// Len returns the number of buffered events.
+func (b *Buffer) Len() int { return len(b.evs) }

@@ -1,0 +1,74 @@
+package trace
+
+import (
+	"io"
+	"strconv"
+	"sync"
+)
+
+// JSONL writes every event as one JSON object per line — the `-trace <file>`
+// journal format. Serialisation is hand-rolled (no reflection, one buffer
+// reused across events) so an attached journal costs a few percent of
+// campaign host time at most. The first write error latches and suppresses
+// further writes; check Err after the campaign.
+type JSONL struct {
+	mu  sync.Mutex
+	w   io.Writer
+	buf []byte
+	err error
+}
+
+// NewJSONL builds a journal sink over w. Callers own w's buffering and
+// closing (cmd/eof wraps the file in a bufio.Writer and flushes at exit).
+func NewJSONL(w io.Writer) *JSONL {
+	return &JSONL{w: w, buf: make([]byte, 0, 160)}
+}
+
+// Emit writes ev as one JSON line.
+func (j *JSONL) Emit(ev Event) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.err != nil {
+		return
+	}
+	j.buf = AppendJSON(j.buf[:0], ev)
+	_, j.err = j.w.Write(j.buf)
+}
+
+// Err returns the first write error, if any.
+func (j *JSONL) Err() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.err
+}
+
+// AppendJSON appends ev's JSON-line form (including the trailing newline)
+// to b. Zero-valued payload fields are omitted.
+func AppendJSON(b []byte, ev Event) []byte {
+	b = append(b, `{"seq":`...)
+	b = strconv.AppendUint(b, ev.Seq, 10)
+	b = append(b, `,"at_ns":`...)
+	b = strconv.AppendInt(b, int64(ev.At), 10)
+	b = append(b, `,"shard":`...)
+	b = strconv.AppendInt(b, int64(ev.Shard), 10)
+	b = append(b, `,"kind":"`...)
+	b = append(b, ev.Kind.String()...)
+	b = append(b, '"')
+	if ev.Exec != 0 {
+		b = append(b, `,"exec":`...)
+		b = strconv.AppendInt(b, int64(ev.Exec), 10)
+	}
+	if ev.Edges != 0 {
+		b = append(b, `,"edges":`...)
+		b = strconv.AppendInt(b, int64(ev.Edges), 10)
+	}
+	if ev.Reason != "" {
+		b = append(b, `,"reason":`...)
+		b = strconv.AppendQuote(b, ev.Reason)
+	}
+	if ev.Dur != 0 {
+		b = append(b, `,"dur_ns":`...)
+		b = strconv.AppendInt(b, int64(ev.Dur), 10)
+	}
+	return append(b, '}', '\n')
+}

@@ -1,0 +1,107 @@
+package trace
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"time"
+)
+
+// Status is the live consumer behind `-status-every`: it folds the event
+// stream into campaign counters and prints a one-line summary whenever the
+// configured host interval has elapsed. Unlike the journal path it is
+// attached directly to every shard (mutex-guarded), so the operator sees
+// progress while a fleet epoch is still running; its output is host-time
+// paced and therefore not part of the deterministic trace.
+type Status struct {
+	mu    sync.Mutex
+	w     io.Writer
+	every time.Duration
+	now   func() time.Time // injectable for tests
+	next  time.Time
+
+	execs      int
+	edges      int // sum of per-shard fresh edges (exact in solo mode)
+	sharedMax  int // fleet-wide total carried by sync-epoch events
+	restores   int
+	bugs       int
+	faults     int64
+	retries    int64
+	reconnects int64
+	maxAt      time.Duration
+
+	lastExecs int
+	lastAt    time.Duration
+}
+
+// NewStatus builds a status sink printing to w every host interval (values
+// below a second still print at most once per event).
+func NewStatus(w io.Writer, every time.Duration) *Status {
+	if every <= 0 {
+		every = 10 * time.Second
+	}
+	return &Status{w: w, every: every, now: time.Now}
+}
+
+// Emit folds ev into the counters and prints when the interval is due.
+func (s *Status) Emit(ev Event) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	switch ev.Kind {
+	case ExecEnd:
+		s.execs++
+	case CovGain:
+		s.edges += ev.Edges
+	case RestoreBegin:
+		s.restores++
+	case Bug:
+		s.bugs++
+	case LinkFault:
+		s.faults++
+	case LinkRetry:
+		s.retries++
+	case LinkReconnect:
+		s.reconnects++
+	case SyncEpoch:
+		if ev.Edges > s.sharedMax {
+			s.sharedMax = ev.Edges
+		}
+	}
+	if ev.At > s.maxAt {
+		s.maxAt = ev.At
+	}
+	now := s.now()
+	if s.next.IsZero() {
+		s.next = now.Add(s.every)
+		return
+	}
+	if now.Before(s.next) {
+		return
+	}
+	s.next = now.Add(s.every)
+	s.print()
+}
+
+// print renders one status line. Callers hold the mutex.
+func (s *Status) print() {
+	rate := 0.0
+	if dt := (s.maxAt - s.lastAt).Seconds(); dt > 0 {
+		rate = float64(s.execs-s.lastExecs) / dt
+	}
+	restorePct := 0.0
+	if s.execs > 0 {
+		restorePct = 100 * float64(s.restores) / float64(s.execs)
+	}
+	edges := s.edges
+	if s.sharedMax > edges {
+		edges = s.sharedMax
+	}
+	link := "ok"
+	if s.faults > 0 || s.retries > 0 || s.reconnects > 0 {
+		link = fmt.Sprintf("%d faults, %d retries, %d reconnects", s.faults, s.retries, s.reconnects)
+	}
+	fmt.Fprintf(s.w, "[eof] t=%v execs=%d (%.1f/s) edges=%d restores=%d (%.1f%%/exec) bugs=%d link: %s\n",
+		s.maxAt.Round(time.Second), s.execs, rate, edges, s.restores, restorePct, s.bugs, link)
+	s.lastExecs = s.execs
+	s.lastAt = s.maxAt
+}

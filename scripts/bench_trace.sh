@@ -1,0 +1,33 @@
+#!/bin/sh
+# Runs the tracer-overhead benchmark (nop sink vs JSONL journal on identical
+# campaigns) and records the reported metrics in BENCH_trace.json next to the
+# module root. Requires only the Go toolchain.
+set -eu
+
+cd "$(dirname "$0")/.."
+out=BENCH_trace.json
+
+raw=$(go test -run '^$' -bench '^BenchmarkTraceOverhead$' -benchtime 1x . 2>&1) || {
+    echo "$raw" >&2
+    exit 1
+}
+echo "$raw"
+
+# The benchmark line looks like:
+#   BenchmarkTraceOverhead  1  4571234567 ns/op  2411 nop-execs/host-s  2389 jsonl-execs/host-s  0.92 overhead-%
+echo "$raw" | awk '
+/^BenchmarkTraceOverhead/ {
+    printf "{\n  \"benchmark\": \"BenchmarkTraceOverhead\",\n"
+    printf "  \"ns_per_op\": %s", $3
+    for (i = 5; i + 1 <= NF; i += 2) {
+        name = $(i + 1)
+        gsub(/[^a-zA-Z0-9_\/.-]/, "", name)
+        printf ",\n  \"%s\": %s", name, $i
+    }
+    printf "\n}\n"
+    found = 1
+}
+END { if (!found) exit 1 }
+' > "$out" || { echo "bench_trace: no BenchmarkTraceOverhead line in output" >&2; rm -f "$out"; exit 1; }
+
+echo "wrote $out"
