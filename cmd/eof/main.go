@@ -29,12 +29,25 @@ func main() {
 		apis      = flag.String("apis", "", "comma-separated API allowlist (application-level mode)")
 		modules   = flag.String("modules", "", "comma-separated source prefixes to instrument")
 		shards    = flag.Int("shards", 1, "board-pool size: shard the campaign across N boards with shared feedback")
+		spares    = flag.Int("spares", 0, "hot-spare boards held in reserve for fleet failover (needs -shards > 1)")
 		legacy    = flag.Bool("legacy-link", false, "disable vectored debug-link commands (older probe firmware)")
 		faults    = flag.Float64("link-faults", 0, "per-command debug-link fault rate (flaky-adapter model, e.g. 0.05)")
 		retries   = flag.Int("link-retries", 0, "max transparent retries per faulted command (0 = default 4, negative disables)")
 		traceOut  = flag.String("trace", "", "write the structured trace journal to this file as JSON Lines")
 		statusDur = flag.Duration("status-every", 0, "print a live progress line at this host interval (e.g. 10s)")
 		verbose   = flag.Bool("v", false, "print crash logs and reproducers")
+
+		healthResets  = flag.Int("health-reset-attempts", 0, "recovery-ladder reset-rung attempts (0 = default 1)")
+		healthReflash = flag.Int("health-reflash-attempts", 0, "recovery-ladder reflash-rung attempts (0 = default 1)")
+		healthCycles  = flag.Int("health-cycle-attempts", 0, "recovery-ladder power-cycle-rung attempts (0 = default 2)")
+		healthResumes = flag.Int("health-resumes", 0, "max post-boot resumes before the ladder escalates (0 = default 32)")
+		healthDecay   = flag.Float64("health-decay", 0, "EWMA weight of the newest restore outcome (0 = default 0.25)")
+		healthSick    = flag.Float64("health-sick", 0, "health score below which a fleet board is quarantined (0 = default 0.3)")
+
+		boardWear     = flag.Int("board-wear", 0, "flash sector erase-cycle wear limit (0 = no wear)")
+		boardBootfail = flag.Float64("board-bootfail", 0, "per-boot transient failure probability")
+		boardDeath    = flag.Float64("board-death", 0, "per-boot permanent death probability")
+		boardDieAfter = flag.Int("board-die-after", 0, "kill the board on its Nth boot attempt (0 = never)")
 	)
 	flag.Parse()
 
@@ -45,10 +58,25 @@ func main() {
 		FeedbackDisabled: *nf,
 		APIAwareDisabled: *random,
 		Shards:           *shards,
+		Spares:           *spares,
 		LegacyLink:       *legacy,
 		LinkFaultRate:    *faults,
 		LinkRetries:      *retries,
 		StatusEvery:      *statusDur,
+		Health: eof.HealthOptions{
+			ResetAttempts:      *healthResets,
+			ReflashAttempts:    *healthReflash,
+			PowerCycleAttempts: *healthCycles,
+			MaxResumes:         *healthResumes,
+			Decay:              *healthDecay,
+			SickThreshold:      *healthSick,
+		},
+		Degrade: eof.DegradeOptions{
+			WearLimit:     *boardWear,
+			BootFailRate:  *boardBootfail,
+			DeathRate:     *boardDeath,
+			DieAfterBoots: *boardDieAfter,
+		},
 	}
 	if *apis != "" {
 		opts.RestrictAPIs = strings.Split(*apis, ",")
@@ -115,6 +143,22 @@ func main() {
 	if rep.LinkRetries > 0 || rep.LinkReconnects > 0 {
 		fmt.Printf("link faults absorbed: %d retries, %d reconnects\n",
 			rep.LinkRetries, rep.LinkReconnects)
+	}
+	if rep.RungEscalations > 0 || rep.PowerCycles > 0 || rep.Health.Dead {
+		state := "ok"
+		if rep.Health.Dead {
+			state = "DEAD"
+		}
+		fmt.Printf("board health: score %.2f (%s), %d ladder escalations, %d power cycles\n",
+			rep.Health.Score, state, rep.RungEscalations, rep.PowerCycles)
+	}
+	for _, q := range rep.Quarantines {
+		repl := "no spare left, slot unmanned"
+		if q.Spare >= 0 {
+			repl = fmt.Sprintf("spare board %d promoted", q.Spare)
+		}
+		fmt.Printf("quarantine: board %d (slot %d) retired %s at %v — %s\n",
+			q.Board, q.Slot, q.Reason, q.At.Round(time.Second), repl)
 	}
 	if rep.DegradedMonitors > 0 {
 		fmt.Printf("warning: %d exception symbols unarmed (out of breakpoint comparators)\n", rep.DegradedMonitors)

@@ -18,7 +18,7 @@ func main() {
 		table    = flag.Int("table", 0, "regenerate one table (1-4)")
 		figure   = flag.Int("figure", 0, "regenerate one figure (7 or 8)")
 		overhead = flag.String("overhead", "", "overhead experiment: mem or exec")
-		ablation = flag.String("ablation", "", "ablation: watchdogs, generation or link")
+		ablation = flag.String("ablation", "", "ablation: watchdogs, generation, link or resilience")
 		acct     = flag.Bool("accounting", false, "board-time accounting breakdown (E-time)")
 		all      = flag.Bool("all", false, "run the full evaluation")
 		hours    = flag.Float64("hours", 24, "virtual campaign hours")
@@ -122,6 +122,14 @@ func main() {
 		}
 		emitTable("ablation_link", t)
 	}
+	if *all || *ablation == "resilience" {
+		ran = true
+		t, err := experiments.AblationResilience(opts)
+		if err != nil {
+			fail(err)
+		}
+		emitTable("ablation_resilience", t)
+	}
 	if *all || *acct {
 		ran = true
 		t, err := experiments.TimeAccounting(opts)
@@ -131,7 +139,7 @@ func main() {
 		emitTable("time_accounting", t)
 	}
 	if !ran {
-		fmt.Fprintln(os.Stderr, "nothing selected; use -all, -table N, -figure N, -overhead mem|exec, -ablation watchdogs|generation|link or -accounting")
+		fmt.Fprintln(os.Stderr, "nothing selected; use -all, -table N, -figure N, -overhead mem|exec, -ablation watchdogs|generation|link|resilience or -accounting")
 		os.Exit(2)
 	}
 }

@@ -23,6 +23,7 @@ import (
 	"os"
 	"time"
 
+	"github.com/eof-fuzz/eof/internal/board"
 	"github.com/eof-fuzz/eof/internal/boards"
 	"github.com/eof-fuzz/eof/internal/core"
 	"github.com/eof-fuzz/eof/internal/fleet"
@@ -83,6 +84,11 @@ type Options struct {
 	// SyncEvery is the fleet feedback-exchange interval (default 10
 	// virtual minutes). Ignored when Shards <= 1.
 	SyncEvery time.Duration
+	// Spares is the fleet's hot-spare pool size: extra boards held in
+	// reserve and promoted into the slot of a board that dies or turns
+	// chronically sick, re-seeded from the shared corpus at the next sync
+	// barrier. Ignored when Shards <= 1.
+	Spares int
 	// LegacyLink disables the vectored debug-link commands, forcing the
 	// multi-round-trip sequences older probe firmware needs.
 	LegacyLink bool
@@ -113,6 +119,59 @@ type Options struct {
 	// FlightRecorder overrides the size of the pre-crash event ring
 	// attached to every Bug (0 = the default of 64 events).
 	FlightRecorder int
+
+	// Health tunes the escalating recovery ladder and the per-board health
+	// score; zero fields take the documented defaults.
+	Health HealthOptions
+	// Degrade configures the virtual board's degradation model; the zero
+	// value is a perfect board.
+	Degrade DegradeOptions
+}
+
+// HealthOptions tunes the escalating recovery ladder (reset -> reflash ->
+// power-cycle) and the per-board health score. Zero fields take the
+// defaults noted per field.
+type HealthOptions struct {
+	// ResetAttempts, ReflashAttempts and PowerCycleAttempts budget the
+	// three ladder rungs (defaults 1, 1, 2). Exhausting every rung marks
+	// the board dead.
+	ResetAttempts      int
+	ReflashAttempts    int
+	PowerCycleAttempts int
+	// MaxResumes bounds the post-boot resume loop that re-synchronises at
+	// the executor entry point (default 32); exhaustion escalates the
+	// ladder instead of failing the campaign.
+	MaxResumes int
+	// Decay is the EWMA weight of the newest restore outcome in the health
+	// score (default 0.25).
+	Decay float64
+	// SickThreshold is the health score below which a fleet supervisor
+	// quarantines the board when a spare is available (default 0.3).
+	SickThreshold float64
+}
+
+// DegradeOptions makes the virtual board age and fail like real hardware:
+// wear-limited flash sectors, intermittent boot failures and permanent
+// death. The zero value is a perfect board; all failures are drawn from a
+// seeded RNG, so campaigns stay deterministic.
+type DegradeOptions struct {
+	// WearLimit fails a flash sector's erase/program once its erase count
+	// exceeds this limit (0 = no wear). WearFailStreak is how many
+	// consecutive operations on a worn sector fail before it recovers
+	// (default 1).
+	WearLimit      int
+	WearFailStreak int
+	// BootFailRate is the probability a boot transiently fails (board
+	// stays off, a retry may succeed). A cold power-cycle boot halves it.
+	BootFailRate float64
+	// DeathRate is the per-boot probability of permanent hardware death;
+	// DieAfterBoots kills the board deterministically on its Nth boot
+	// attempt (0 = never).
+	DeathRate     float64
+	DieAfterBoots int
+	// Seed decouples the degradation RNG from the campaign seed
+	// (0 = derive from the campaign seed).
+	Seed int64
 }
 
 // Bug is one deduplicated finding.
@@ -164,6 +223,10 @@ type Report struct {
 	// RestoresByReason breaks Restores down by trigger ("crash", "fault",
 	// "timeout", "pc-stall", ...).
 	RestoresByReason map[string]int
+	// RungEscalations counts recovery-ladder climbs past a failed rung;
+	// PowerCycles counts full power cycles (the ladder's last rung).
+	RungEscalations int
+	PowerCycles     int
 	// DegradedMonitors counts exception symbols left unarmed because the
 	// board ran out of breakpoint comparators.
 	DegradedMonitors int
@@ -190,6 +253,48 @@ type Report struct {
 	// Duration is the campaign's virtual runtime. In fleet mode shards run
 	// concurrently, so this is the pool's wall-clock, not summed board time.
 	Duration time.Duration
+	// Health is the board's final condition (in fleet mode, the pool's
+	// sickest board); BoardHealth lists every activated board in
+	// physical-pool order (nil in solo mode).
+	Health      HealthReport
+	BoardHealth []HealthReport
+	// Quarantines lists the boards the fleet supervisor retired, in
+	// supervision order (nil in solo mode or on a healthy fleet).
+	Quarantines []QuarantineEvent
+}
+
+// HealthReport is one board's accumulated condition record.
+type HealthReport struct {
+	// Score is an EWMA over restore outcomes in [0, 1], starting at 1; a
+	// board that keeps needing the deeper recovery rungs drifts toward 0.
+	Score float64
+	// Restores, Reflashes and PowerCycles count recovery actions;
+	// Escalations counts ladder climbs past a failed rung.
+	Restores    int
+	Reflashes   int
+	PowerCycles int
+	Escalations int
+	// Dead marks permanent hardware death.
+	Dead bool
+}
+
+// QuarantineEvent records one board the fleet supervisor removed from the
+// pool, and the hot spare (if any) promoted into its slot.
+type QuarantineEvent struct {
+	// Slot is the shard slot the board was serving; Board is its physical
+	// pool index (spares start at Shards).
+	Slot  int
+	Board int
+	// Spare is the physical index of the promoted replacement, or -1 when
+	// the spare pool was empty and the slot went unmanned.
+	Spare int
+	// Reason is "dead" (permanent hardware death) or "sick" (health score
+	// below the configured threshold).
+	Reason string
+	// At is the pool wall-clock time of the quarantine.
+	At time.Duration
+	// Health is the board's final health record.
+	Health HealthReport
 }
 
 // Campaign is one configured fuzzing run.
@@ -229,6 +334,24 @@ func NewCampaign(opts Options) (*Campaign, error) {
 		cfg.LinkFaults = link.Profile(opts.LinkFaultRate, 0)
 	}
 	cfg.LinkRetries = opts.LinkRetries
+	cfg.Health = core.HealthConfig{
+		ResetAttempts:      opts.Health.ResetAttempts,
+		ReflashAttempts:    opts.Health.ReflashAttempts,
+		PowerCycleAttempts: opts.Health.PowerCycleAttempts,
+		MaxResumes:         opts.Health.MaxResumes,
+		Decay:              opts.Health.Decay,
+		SickThreshold:      opts.Health.SickThreshold,
+	}
+	cfg.Degrade = board.DegradeConfig{
+		// Zero degrade seed: each engine (and fleet shard) ages under its
+		// own deterministic sequence derived from its campaign seed.
+		Seed:           opts.Degrade.Seed,
+		WearLimit:      opts.Degrade.WearLimit,
+		WearFailStreak: opts.Degrade.WearFailStreak,
+		BootFailRate:   opts.Degrade.BootFailRate,
+		DeathRate:      opts.Degrade.DeathRate,
+		DieAfterBoots:  opts.Degrade.DieAfterBoots,
+	}
 	if opts.SampleEvery > 0 {
 		cfg.SampleEvery = opts.SampleEvery
 	}
@@ -247,6 +370,7 @@ func NewCampaign(opts Options) (*Campaign, error) {
 		pool, err := fleet.New(cfg, fleet.Options{
 			Shards:    opts.Shards,
 			SyncEvery: opts.SyncEvery,
+			Spares:    opts.Spares,
 		})
 		if err != nil {
 			return nil, err
@@ -304,6 +428,18 @@ func convertReport(r *core.Report) *Report {
 		LinkPerCmd:       r.LinkPerCmd,
 		TimeBy:           r.TimeBy,
 		Duration:         r.Duration,
+		RungEscalations:  r.Stats.RungEscalations,
+		PowerCycles:      r.Stats.PowerCycles,
+		Health:           convertHealth(r.Health),
+	}
+	for _, h := range r.BoardHealth {
+		out.BoardHealth = append(out.BoardHealth, convertHealth(h))
+	}
+	for _, q := range r.Quarantines {
+		out.Quarantines = append(out.Quarantines, QuarantineEvent{
+			Slot: q.Slot, Board: q.Board, Spare: q.Spare,
+			Reason: q.Reason, At: q.At, Health: convertHealth(q.Health),
+		})
 	}
 	if len(r.Stats.RestoresByReason) > 0 {
 		out.RestoresByReason = make(map[string]int, len(r.Stats.RestoresByReason))
@@ -328,6 +464,13 @@ func convertReport(r *core.Report) *Report {
 		out.Series = append(out.Series, Sample{At: s.At, Edges: s.Edges})
 	}
 	return out
+}
+
+func convertHealth(h core.Health) HealthReport {
+	return HealthReport{
+		Score: h.Score, Restores: h.Restores, Reflashes: h.Reflashes,
+		PowerCycles: h.PowerCycles, Escalations: h.Escalations, Dead: h.Dead,
+	}
 }
 
 // GenerateSpec runs the specification pipeline for an OS and returns the

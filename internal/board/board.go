@@ -6,6 +6,7 @@
 package board
 
 import (
+	"errors"
 	"fmt"
 	"time"
 
@@ -37,6 +38,7 @@ const (
 	Off State = iota
 	On
 	Bricked // boot failed: image invalid until reflashed
+	Dead    // permanent hardware death: no recovery rung brings it back
 )
 
 func (s State) String() string {
@@ -47,6 +49,8 @@ func (s State) String() string {
 		return "on"
 	case Bricked:
 		return "bricked"
+	case Dead:
+		return "dead"
 	default:
 		return fmt.Sprintf("State(%d)", int(s))
 	}
@@ -183,6 +187,8 @@ type Board struct {
 	state     State
 	bootCount int
 	lastBoot  error
+
+	degrade *degrader // nil = perfect board
 }
 
 // New creates a powered-off board with erased flash.
@@ -200,6 +206,16 @@ func New(spec *Spec, table *flash.Table, builder Builder, clock *vtime.Clock) (*
 		uartd:    uart.New(clock),
 		state:    Off,
 	}, nil
+}
+
+// SetDegrade installs the degradation model. Call before the first boot; a
+// config with no modes enabled leaves the board perfect.
+func (b *Board) SetDegrade(cfg DegradeConfig) {
+	if !cfg.Enabled() {
+		b.degrade = nil
+		return
+	}
+	b.degrade = newDegrader(cfg)
 }
 
 // Flash returns the flash device (persistent across reboots).
@@ -246,6 +262,9 @@ func (b *Board) Env() *Env {
 
 // Provision factory-programs a partition image, bypassing the debug link.
 func (b *Board) Provision(part string, data []byte) error {
+	if b.state == Dead {
+		return fmt.Errorf("board: provision: %w", ErrDead)
+	}
 	p := b.table.Lookup(part)
 	if p == nil {
 		return fmt.Errorf("board: no partition %q", part)
@@ -256,17 +275,59 @@ func (b *Board) Provision(part string, data []byte) error {
 	return b.flashDev.WriteImage(p.Offset, data)
 }
 
-// bootDelay is the virtual time consumed by a cold boot.
-const bootDelay = 280 * time.Millisecond
+// Virtual time consumed by boots. A power cycle pays an extra settle delay on
+// top of the boot: discharging the rails and re-enumerating the probe is far
+// slower than a warm reset, which is why it is the recovery ladder's last
+// resort before declaring the board dead.
+const (
+	bootDelay       = 280 * time.Millisecond
+	powerCycleDelay = 750 * time.Millisecond
+)
 
 // Boot powers the board on: validates flash images, rebuilds firmware state
 // and starts the core halted at the firmware entry. On image validation
-// failure the board ends up Bricked and the error is returned.
-func (b *Board) Boot() error {
+// failure the board ends up Bricked and the error is returned. With a
+// degradation model installed the attempt may also fail transiently (board
+// stays Off) or kill the board for good (ErrDead).
+func (b *Board) Boot() error { return b.boot(false) }
+
+// PowerCycle fully powers the board down, waits for the rails to settle and
+// cold-boots. Functionally a Reset, but it costs more virtual time and its
+// cold start clears marginal conditions a warm reset cannot (the degradation
+// model halves the transient boot-failure rate for cold boots).
+func (b *Board) PowerCycle() error {
+	if b.state == Dead {
+		return fmt.Errorf("board: power-cycle: %w", ErrDead)
+	}
+	b.shutdown()
+	b.Clock.Advance(powerCycleDelay)
+	return b.boot(true)
+}
+
+func (b *Board) boot(cold bool) error {
+	if b.state == Dead {
+		return fmt.Errorf("board: boot: %w", ErrDead)
+	}
 	if b.state == On {
 		b.shutdown()
 	}
 	b.Clock.Advance(bootDelay)
+
+	if b.degrade != nil {
+		if err := b.degrade.bootFate(cold); err != nil {
+			if errors.Is(err, ErrDead) {
+				b.shutdown()
+				b.state = Dead
+				b.lastBoot = fmt.Errorf("board: %w", err)
+				return b.lastBoot
+			}
+			// Transient power-on failure: the board stays off, not bricked —
+			// a later attempt (or a cold boot) may well succeed.
+			b.state = Off
+			b.lastBoot = fmt.Errorf("board: %w", err)
+			return b.lastBoot
+		}
+	}
 
 	kimg, err := b.validatePartition("bootloader", flash.MagicBoot)
 	if err == nil {
@@ -357,12 +418,17 @@ func (b *Board) shutdown() {
 	b.memmap = nil
 	b.env = nil
 	b.fw = nil
-	b.state = Off
+	if b.state != Dead {
+		b.state = Off
+	}
 }
 
-// Reset power-cycles the board: kills the core and reboots from flash. If
-// flash is corrupt the board comes back Bricked.
+// Reset warm-resets the board: kills the core and reboots from flash without
+// dropping power. If flash is corrupt the board comes back Bricked.
 func (b *Board) Reset() error {
+	if b.state == Dead {
+		return fmt.Errorf("board: reset: %w", ErrDead)
+	}
 	b.shutdown()
 	return b.Boot()
 }
@@ -374,20 +440,51 @@ const (
 )
 
 // FlashErase erases every sector covering [off, off+n), advancing virtual
-// time by the erase cost. Allowed in any state (the probe can always reach
-// flash; that is the point of debug-port restoration).
+// time by the erase cost. Allowed in any state short of Dead (the probe can
+// always reach flash; that is the point of debug-port restoration). Sectors
+// erase one at a time: a worn sector failing mid-range leaves the earlier
+// sectors erased, exactly the torn state a real NOR part produces.
 func (b *Board) FlashErase(off, n int) error {
-	sectors := 0
-	if n > 0 {
-		sectors = (off+n-1)/b.Spec.SectorSize - off/b.Spec.SectorSize + 1
+	if b.state == Dead {
+		return fmt.Errorf("board: flash erase: %w", ErrDead)
 	}
-	b.Clock.Advance(time.Duration(sectors) * eraseSectorTime)
-	return b.flashDev.EraseRange(off, n)
+	if n <= 0 || off < 0 || off+n > b.flashDev.Size() {
+		// Delegate no-ops and range errors without charging erase time for
+		// sectors that were never touched.
+		return b.flashDev.EraseRange(off, n)
+	}
+	for s := off / b.Spec.SectorSize; s <= (off+n-1)/b.Spec.SectorSize; s++ {
+		b.Clock.Advance(eraseSectorTime)
+		if b.degrade != nil && b.degrade.wearFail(s, b.flashDev.EraseCount(s)) {
+			return fmt.Errorf("board: sector %d erase failed after %d cycles (worn)",
+				s, b.flashDev.EraseCount(s))
+		}
+		if err := b.flashDev.Erase(s); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // FlashProgram programs data at off, advancing virtual time by the program
-// cost.
+// cost. A worn sector in the range fails the write mid-way: bytes before the
+// failing sector land, the rest do not — the torn-image case the recovery
+// ladder must dig the board out of.
 func (b *Board) FlashProgram(off int, data []byte) error {
+	if b.state == Dead {
+		return fmt.Errorf("board: flash program: %w", ErrDead)
+	}
 	b.Clock.Advance(time.Duration((len(data)+1023)/1024) * programTimePerKB)
+	if b.degrade != nil && len(data) > 0 && off >= 0 && off+len(data) <= b.flashDev.Size() {
+		for s := off / b.Spec.SectorSize; s <= (off+len(data)-1)/b.Spec.SectorSize; s++ {
+			if b.degrade.wearFail(s, b.flashDev.EraseCount(s)) {
+				if pre := s*b.Spec.SectorSize - off; pre > 0 {
+					_ = b.flashDev.Program(off, data[:pre])
+				}
+				return fmt.Errorf("board: sector %d program failed after %d cycles (worn)",
+					s, b.flashDev.EraseCount(s))
+			}
+		}
+	}
 	return b.flashDev.Program(off, data)
 }

@@ -1,0 +1,103 @@
+package board
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+)
+
+// ErrDead marks permanent hardware death: the board will never boot again,
+// no matter which recovery rung is tried. Callers detect it with errors.Is.
+var ErrDead = errors.New("board: permanent hardware death")
+
+// DegradeConfig parameterises the board degradation model. The zero value is
+// a perfect board; any non-zero field enables the model. All randomness is
+// drawn from a dedicated seeded stream so degraded campaigns replay exactly.
+type DegradeConfig struct {
+	// Seed feeds the degradation RNG (boot-failure and death draws). Engines
+	// default a zero Seed to the campaign seed, so every fleet shard ages
+	// differently but deterministically.
+	Seed int64
+
+	// WearLimit is the per-sector erase-cycle budget. Once a sector's
+	// lifetime erase count reaches the limit it turns marginal: its next
+	// WearFailStreak erase/program operations fail before recovering —
+	// marginal NOR cells that come back when the retry gives the charge
+	// pump a rest. Zero disables wear.
+	WearLimit int
+	// WearFailStreak is how many consecutive operations a worn sector
+	// refuses before recovering (default 1).
+	WearFailStreak int
+
+	// BootFailRate is the per-attempt probability that power-on self-test
+	// fails transiently: the board stays off (not bricked) and a later
+	// attempt may succeed. Cold boots (full power cycles) halve the rate —
+	// the recovery ladder's deepest rung really is more likely to work.
+	BootFailRate float64
+
+	// DeathRate is the per-boot-attempt probability of permanent death.
+	DeathRate float64
+	// DieAfterBoots, when positive, kills the board deterministically on
+	// the Nth boot attempt (the initial setup boot counts as attempt 1).
+	// Tests and ablations use it to doom a specific board mid-campaign.
+	DieAfterBoots int
+}
+
+// Enabled reports whether any degradation mode is configured.
+func (c DegradeConfig) Enabled() bool {
+	return c.WearLimit > 0 || c.BootFailRate > 0 || c.DeathRate > 0 || c.DieAfterBoots > 0
+}
+
+// degrader holds one board's accumulated degradation state.
+type degrader struct {
+	cfg          DegradeConfig
+	rnd          *rand.Rand
+	bootAttempts int
+	wearFails    map[int]int // failures already served per marginal sector
+}
+
+func newDegrader(cfg DegradeConfig) *degrader {
+	if cfg.WearFailStreak <= 0 {
+		cfg.WearFailStreak = 1
+	}
+	return &degrader{
+		cfg:       cfg,
+		rnd:       rand.New(rand.NewSource(cfg.Seed ^ 0x0DEAD)),
+		wearFails: make(map[int]int),
+	}
+}
+
+// bootFate draws one boot attempt's outcome: nil, a transient power-on
+// failure, or ErrDead. The draw order (death, then transient) is fixed so a
+// campaign's degradation sequence replays for a fixed seed.
+func (d *degrader) bootFate(cold bool) error {
+	d.bootAttempts++
+	if d.cfg.DieAfterBoots > 0 && d.bootAttempts >= d.cfg.DieAfterBoots {
+		return fmt.Errorf("boot attempt %d: %w", d.bootAttempts, ErrDead)
+	}
+	if d.cfg.DeathRate > 0 && d.rnd.Float64() < d.cfg.DeathRate {
+		return fmt.Errorf("boot attempt %d: %w", d.bootAttempts, ErrDead)
+	}
+	rate := d.cfg.BootFailRate
+	if cold {
+		rate /= 2
+	}
+	if d.cfg.BootFailRate > 0 && d.rnd.Float64() < rate {
+		return fmt.Errorf("power-on self-test failed (attempt %d)", d.bootAttempts)
+	}
+	return nil
+}
+
+// wearFail reports whether an erase/program operation touching the given
+// sector (at the given lifetime erase count) fails. A sector past the wear
+// limit refuses its next WearFailStreak operations, then recovers.
+func (d *degrader) wearFail(sector, cycles int) bool {
+	if d.cfg.WearLimit <= 0 || cycles < d.cfg.WearLimit {
+		return false
+	}
+	if d.wearFails[sector] >= d.cfg.WearFailStreak {
+		return false
+	}
+	d.wearFails[sector]++
+	return true
+}

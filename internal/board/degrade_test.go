@@ -1,0 +1,185 @@
+package board
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestWearFailsThenRecovers(t *testing.T) {
+	b := provisioned(t, false)
+	b.SetDegrade(DegradeConfig{WearLimit: 1, WearFailStreak: 2, Seed: 1})
+	sz := b.Spec.SectorSize
+	// Work in a region the provisioning step never touched, so the sectors
+	// start with a zero erase count.
+	off := 0x80000
+
+	// First erase: the sector is within its cycle budget.
+	if err := b.FlashErase(off, sz); err != nil {
+		t.Fatalf("fresh sector erase: %v", err)
+	}
+	// The sector is now at its wear limit: the next WearFailStreak
+	// operations fail...
+	for i := 0; i < 2; i++ {
+		err := b.FlashErase(off, sz)
+		if err == nil || !strings.Contains(err.Error(), "worn") {
+			t.Fatalf("worn erase %d: %v", i, err)
+		}
+	}
+	// ...and then the marginal cells recover.
+	if err := b.FlashErase(off, sz); err != nil {
+		t.Fatalf("erase after recovery: %v", err)
+	}
+	// Wear is per sector: a different sector is unaffected.
+	if err := b.FlashErase(off+sz, sz); err != nil {
+		t.Fatalf("unworn sector erase: %v", err)
+	}
+}
+
+func TestWornSectorTearsProgram(t *testing.T) {
+	b := provisioned(t, false)
+	sz := b.Spec.SectorSize
+	// Wear out sector 1 (the middle of a three-sector write).
+	if err := b.FlashErase(0, 3*sz); err != nil {
+		t.Fatal(err)
+	}
+	b.SetDegrade(DegradeConfig{WearLimit: 1, Seed: 1})
+	data := make([]byte, 3*sz)
+	for i := range data {
+		data[i] = 0xAB
+	}
+	err := b.FlashProgram(0, data)
+	if err == nil || !strings.Contains(err.Error(), "worn") {
+		t.Fatalf("program across worn sector: %v", err)
+	}
+	// Sector 0 is the only one that wore out first in iteration order...
+	// actually all three are at the limit; the failure hits sector 0, so no
+	// bytes land. Retry: sector 0 recovered (streak 1 served), sector 1
+	// fails next, and the first sector's bytes land — a torn image.
+	err = b.FlashProgram(0, data)
+	if err == nil {
+		t.Fatal("second program across worn range succeeded")
+	}
+	got, rerr := b.Flash().Read(0, sz)
+	if rerr != nil {
+		t.Fatal(rerr)
+	}
+	if got[0] != 0xAB || got[sz-1] != 0xAB {
+		t.Fatal("torn program left no prefix bytes")
+	}
+}
+
+func TestDieAfterBootsIsPermanent(t *testing.T) {
+	b := provisioned(t, false)
+	b.SetDegrade(DegradeConfig{DieAfterBoots: 2, Seed: 1})
+	if err := b.Boot(); err != nil {
+		t.Fatalf("first boot: %v", err)
+	}
+	err := b.Reset() // boot attempt 2: the board dies
+	if !errors.Is(err, ErrDead) {
+		t.Fatalf("second boot: %v", err)
+	}
+	if b.State() != Dead {
+		t.Fatalf("state: %v", b.State())
+	}
+	// No operation resurrects a dead board.
+	if err := b.Reset(); !errors.Is(err, ErrDead) {
+		t.Fatalf("reset on dead board: %v", err)
+	}
+	if err := b.PowerCycle(); !errors.Is(err, ErrDead) {
+		t.Fatalf("power-cycle on dead board: %v", err)
+	}
+	if err := b.FlashErase(0, b.Spec.SectorSize); !errors.Is(err, ErrDead) {
+		t.Fatalf("flash erase on dead board: %v", err)
+	}
+	if err := b.FlashProgram(0, []byte{1}); !errors.Is(err, ErrDead) {
+		t.Fatalf("flash program on dead board: %v", err)
+	}
+	if err := b.Provision("kernel", []byte{1}); !errors.Is(err, ErrDead) {
+		t.Fatalf("provision on dead board: %v", err)
+	}
+	if b.State() != Dead {
+		t.Fatalf("state after recovery attempts: %v", b.State())
+	}
+}
+
+func TestTransientBootFailureStaysOff(t *testing.T) {
+	b := provisioned(t, false)
+	b.SetDegrade(DegradeConfig{BootFailRate: 0.7, Seed: 3})
+	failures, booted := 0, false
+	for i := 0; i < 50; i++ {
+		err := b.Boot()
+		if err == nil {
+			booted = true
+			break
+		}
+		if errors.Is(err, ErrDead) {
+			t.Fatalf("transient-only config killed the board: %v", err)
+		}
+		if b.State() != Off {
+			t.Fatalf("state after transient failure: %v", b.State())
+		}
+		failures++
+	}
+	if !booted {
+		t.Fatal("board never booted in 50 attempts at rate 0.7")
+	}
+	if failures == 0 {
+		t.Fatal("rate-0.7 config produced no transient failure before success")
+	}
+	b.Core().Kill()
+}
+
+func TestPowerCycleCostsMoreThanReset(t *testing.T) {
+	b := provisioned(t, false)
+	if err := b.Boot(); err != nil {
+		t.Fatal(err)
+	}
+	t0 := b.Clock.Now()
+	if err := b.Reset(); err != nil {
+		t.Fatal(err)
+	}
+	resetCost := b.Clock.Now() - t0
+
+	t1 := b.Clock.Now()
+	if err := b.PowerCycle(); err != nil {
+		t.Fatal(err)
+	}
+	cycleCost := b.Clock.Now() - t1
+	if cycleCost <= resetCost {
+		t.Fatalf("power cycle (%v) not more expensive than reset (%v)", cycleCost, resetCost)
+	}
+	if cycleCost-resetCost != 750*time.Millisecond {
+		t.Fatalf("power-cycle settle delay: got %v extra", cycleCost-resetCost)
+	}
+	b.Core().Kill()
+}
+
+func TestDegradeDeterministic(t *testing.T) {
+	outcomes := func() []bool {
+		b := provisioned(t, false)
+		b.SetDegrade(DegradeConfig{BootFailRate: 0.5, DeathRate: 0.02, Seed: 9})
+		var out []bool
+		for i := 0; i < 30; i++ {
+			err := b.Boot()
+			out = append(out, err == nil)
+			if errors.Is(err, ErrDead) {
+				break
+			}
+		}
+		if b.State() == On {
+			b.Core().Kill()
+		}
+		return out
+	}
+	a, c := outcomes(), outcomes()
+	if len(a) != len(c) {
+		t.Fatalf("run lengths differ: %d vs %d", len(a), len(c))
+	}
+	for i := range a {
+		if a[i] != c[i] {
+			t.Fatalf("boot %d diverged: %v vs %v", i, a[i], c[i])
+		}
+	}
+}

@@ -107,6 +107,17 @@ type Config struct {
 	// doubling per attempt (0 = link.DefaultBackoff).
 	LinkBackoff time.Duration
 
+	// Health tunes the escalating recovery ladder (per-rung attempt
+	// budgets, resume cap, EWMA decay, sick threshold). Zero fields take
+	// the HealthConfig defaults.
+	Health HealthConfig
+	// Degrade configures the virtual board's degradation model: wear-
+	// limited flash sectors, intermittent boot failures, permanent death.
+	// The zero value is a perfect board. A zero Degrade.Seed defaults to
+	// the campaign Seed, so fleet shards age independently but
+	// deterministically.
+	Degrade board.DegradeConfig
+
 	// Shard tags this engine's trace events with its fleet shard index
 	// (0 in solo mode).
 	Shard int

@@ -50,6 +50,11 @@ type Stats struct {
 	// RestoresByReason breaks Restores down by trigger ("crash", "fault",
 	// "timeout", "pc-stall", "exec-timeout", ...).
 	RestoresByReason map[string]int
+	// RungEscalations counts recovery-ladder climbs past the first rung: a
+	// restore that a plain reset did not satisfy. PowerCycles counts the
+	// ladder reaching its most expensive rung.
+	RungEscalations int
+	PowerCycles     int
 	// LinkOps is the number of debug-link round trips the campaign issued
 	// (including retried attempts); LinkOps/Execs is the per-exec transport
 	// cost the vectored commands cut.
@@ -104,6 +109,8 @@ func (s *Stats) Merge(o Stats) {
 	s.ManualInterventions += o.ManualInterventions
 	s.CovFullTraps += o.CovFullTraps
 	s.DegradedMonitors += o.DegradedMonitors
+	s.RungEscalations += o.RungEscalations
+	s.PowerCycles += o.PowerCycles
 	s.LinkOps += o.LinkOps
 	s.LinkRetries += o.LinkRetries
 	s.LinkReconnects += o.LinkReconnects
@@ -132,6 +139,14 @@ type Report struct {
 	// to Duration exactly; a merged fleet report sums shard board time
 	// (Shards x the pool's wall-clock Duration).
 	TimeBy trace.TimeBy
+	// Health is the board's final health record. A merged fleet report
+	// carries the pool's sickest board here; BoardHealth lists every
+	// activated board in physical order (nil for solo reports).
+	Health      Health
+	BoardHealth []Health
+	// Quarantines lists the boards the fleet supervisor retired (empty for
+	// solo campaigns and healthy fleets).
+	Quarantines []Quarantine
 }
 
 // errRestart signals that the target was restored and the fuzzing loop must
@@ -191,6 +206,7 @@ type Engine struct {
 	logMon    *LogMonitor
 
 	stats   Stats
+	health  Health
 	bugs    []*BugReport
 	bugSigs map[string]bool
 	series  []CoverSample
@@ -235,6 +251,7 @@ func NewEngine(cfg Config) (*Engine, error) {
 	if cfg.SampleEvery <= 0 {
 		cfg.SampleEvery = 5 * time.Minute
 	}
+	cfg.Health = cfg.Health.WithDefaults()
 
 	osInfo := cfg.OS
 	if len(cfg.CovModules) > 0 {
@@ -272,6 +289,15 @@ func NewEngine(cfg Config) (*Engine, error) {
 	if err != nil {
 		return nil, err
 	}
+	if cfg.Degrade.Enabled() {
+		dcfg := cfg.Degrade
+		if dcfg.Seed == 0 {
+			// Like the link-fault injector: each engine (and fleet shard)
+			// derives its own deterministic aging sequence from its seed.
+			dcfg.Seed = cfg.Seed
+		}
+		brd.SetDegrade(dcfg)
+	}
 
 	ct := prog.NewChoiceTable(specRes.Spec)
 	gen := prog.NewGenerator(target, cfg.Seed, ct)
@@ -281,6 +307,7 @@ func NewEngine(cfg Config) (*Engine, error) {
 		cfg:       cfg,
 		clock:     clock,
 		brd:       brd,
+		health:    Health{Score: 1},
 		vectored:  !cfg.LegacyLink,
 		target:    target,
 		gen:       gen,
@@ -357,6 +384,10 @@ func (e *Engine) Tracer() *trace.Tracer { return e.tracer }
 // TimeBy returns the board-time budget accounted so far.
 func (e *Engine) TimeBy() trace.TimeBy { return e.acct.Snapshot() }
 
+// Health returns the board's health record so far; fleet supervisors poll it
+// at epoch barriers to spot chronically sick boards.
+func (e *Engine) Health() Health { return e.health }
+
 // SetSharedSink attaches a fleet-wide collector that every drained edge is
 // also ingested into. The sink is thread-safe and order-independent (set
 // union), so sibling shards can feed it concurrently without disturbing the
@@ -409,7 +440,7 @@ func (e *Engine) Setup() error {
 	if err := e.provision(); err != nil {
 		return err
 	}
-	if err := e.brd.Boot(); err != nil {
+	if err := e.bootWithRetry(); err != nil {
 		return fmt.Errorf("core: initial boot: %w", err)
 	}
 	e.srv = ocd.NewServer(e.brd, e.cfg.Latency)
@@ -427,6 +458,31 @@ func (e *Engine) Setup() error {
 	// and TimeBy sums to the report's Duration exactly.
 	e.acct.Reset()
 	return nil
+}
+
+// setupBootAttempts bounds initial bring-up retries against the degradation
+// model's transient power-on failures.
+const setupBootAttempts = 3
+
+// bootWithRetry boots the board directly (the probe is not attached yet),
+// absorbing transient power-on failures. A dead board surfaces as
+// ErrBoardDead so fleet supervisors can quarantine the slot before the
+// campaign starts; a bricked board (image/config problem) stays fatal.
+func (e *Engine) bootWithRetry() error {
+	var err error
+	for attempt := 0; attempt < setupBootAttempts; attempt++ {
+		if err = e.brd.Boot(); err == nil {
+			return nil
+		}
+		if errors.Is(err, board.ErrDead) {
+			e.health.Dead = true
+			return fmt.Errorf("%v: %w", err, ErrBoardDead)
+		}
+		if e.brd.State() != board.Off {
+			return err
+		}
+	}
+	return err
 }
 
 // buildLinkStack composes the layered debug link the fuzzing loop speaks.
@@ -578,6 +634,7 @@ func (e *Engine) Report() *Report {
 		rep.LinkPerCmd = e.metrics.Snapshot()
 	}
 	rep.TimeBy = e.acct.Snapshot()
+	rep.Health = e.health
 	return rep
 }
 
@@ -968,13 +1025,18 @@ func (e *Engine) recordBug(b *BugReport) {
 	e.tracer.Emit(trace.Event{Kind: trace.Bug, Exec: e.stats.Execs, Reason: b.Sig})
 }
 
-// restore is Algorithm 1's StateRestoration: reboot; if the image no longer
-// validates, reflash every partition from the build outputs and reboot
-// again. Afterwards the probe re-arms breakpoints and resynchronises at
-// executor_main.
+// restore generalises Algorithm 1's StateRestoration into an escalating
+// recovery ladder: reset → reflash+reset → power-cycle(+reflash) → declare
+// the board dead. Each rung has its own attempt budget (Config.Health) and
+// pays its own virtual-clock cost; every outcome feeds the board's EWMA
+// health score. Every exit path emits a terminal RestoreEnd event — success
+// with the triggering reason, failure with a ":failed" marker — so the
+// journal's begin/end pairs stay balanced and the restore time stays
+// attributed even when the board never comes back.
 func (e *Engine) restore(reason string) error {
 	e.stats.Restores++
 	e.stats.addRestoreReason(reason)
+	e.health.Restores++
 	e.stallRuns = 0
 	e.lastBudgetPC = 0
 
@@ -983,44 +1045,16 @@ func (e *Engine) restore(reason string) error {
 	e.restoring = true
 	defer func() { e.restoring = false }()
 
-	err := e.client.Reset()
+	rung, err := e.climbLadder(reason)
+	e.noteRestoreOutcome(rung, err)
 	if err != nil {
-		// Reboot failed: the image is damaged; reflash from the partition
-		// table (GetPartitionTable(KConfig) in the paper's pseudocode).
-		e.stats.Reflashes++
-		e.reflashing = true
-		tab := e.brd.PartitionTable()
-		for _, part := range []struct {
-			name string
-			data []byte
-		}{{"bootloader", e.images.Boot}, {"kernel", e.images.Kernel}} {
-			pt := tab.Lookup(part.name)
-			if pt == nil {
-				e.reflashing = false
-				return fmt.Errorf("core: restore: partition %q missing", part.name)
-			}
-			if err := e.client.FlashErase(pt.Offset, pt.Size); err != nil {
-				e.reflashing = false
-				return fmt.Errorf("core: restore erase: %w", err)
-			}
-			if err := e.client.FlashWrite(pt.Offset, part.data); err != nil {
-				e.reflashing = false
-				return fmt.Errorf("core: restore write: %w", err)
-			}
-		}
-		e.reflashing = false
-		e.tracer.Emit(trace.Event{Kind: trace.Reflash, Exec: e.stats.Execs, Reason: reason})
-		if err := e.client.Reset(); err != nil {
-			return fmt.Errorf("core: restore reboot after reflash: %w", err)
-		}
-	}
-	if err := e.armBreakpoints(); err != nil {
-		return err
-	}
-	// Flush boot chatter through the monitor without reporting.
-	e.scanLogQuiet()
-	if err := e.runToMain(); err != nil {
-		return err
+		e.tracer.Emit(trace.Event{
+			Kind:   trace.RestoreEnd,
+			Exec:   e.stats.Execs,
+			Reason: reason + ":failed",
+			Dur:    e.clock.Now() - restoreStart,
+		})
+		return fmt.Errorf("core: restore(%s): %w", reason, err)
 	}
 	e.tracer.Emit(trace.Event{
 		Kind:   trace.RestoreEnd,
@@ -1031,10 +1065,121 @@ func (e *Engine) restore(reason string) error {
 	return errRestart
 }
 
+// climbLadder walks the recovery rungs until the target is parked at
+// executor_main again, returning the rung that satisfied the restore. Any
+// command answered with the probe's dead code — or exhausting every rung's
+// budget — wraps ErrBoardDead.
+func (e *Engine) climbLadder(reason string) (int, error) {
+	budgets := [numRungs]int{
+		e.cfg.Health.ResetAttempts,
+		e.cfg.Health.ReflashAttempts,
+		e.cfg.Health.PowerCycleAttempts,
+	}
+	var lastErr error
+	for rung := 0; rung < numRungs; rung++ {
+		if rung > 0 {
+			e.stats.RungEscalations++
+			e.health.Escalations++
+			e.tracer.Emit(trace.Event{
+				Kind:   trace.RungEscalate,
+				Exec:   e.stats.Execs,
+				Reason: rungNames[rung] + ":" + reason,
+			})
+		}
+		for attempt := 0; attempt < budgets[rung]; attempt++ {
+			lastErr = e.runRung(rung, reason)
+			if lastErr == nil {
+				return rung, nil
+			}
+			if ocd.IsCode(lastErr, ocd.CodeDead) {
+				e.health.Dead = true
+				return rung, fmt.Errorf("%v: %w", lastErr, ErrBoardDead)
+			}
+		}
+	}
+	e.health.Dead = true
+	return numRungs - 1, fmt.Errorf("recovery ladder exhausted (last: %v): %w", lastErr, ErrBoardDead)
+}
+
+// runRung performs one attempt at the given rung: the rung's board action,
+// then the breakpoint re-arm and executor_main resynchronisation every rung
+// shares. Any failure escalates to the next rung instead of killing the
+// campaign.
+func (e *Engine) runRung(rung int, reason string) error {
+	switch rung {
+	case rungReset:
+		if err := e.client.Reset(); err != nil {
+			return err
+		}
+	case rungReflash:
+		// Reboot failed: the image is damaged; reflash from the partition
+		// table (GetPartitionTable(KConfig) in the paper's pseudocode).
+		if err := e.reflash(reason); err != nil {
+			return err
+		}
+		if err := e.client.Reset(); err != nil {
+			return err
+		}
+	case rungPowerCycle:
+		if err := e.reflash(reason); err != nil {
+			return err
+		}
+		if err := e.powerCycle(); err != nil {
+			return err
+		}
+	}
+	if err := e.armBreakpoints(); err != nil {
+		return err
+	}
+	// Flush boot chatter through the monitor without reporting.
+	e.scanLogQuiet()
+	return e.runToMain()
+}
+
+// reflash rewrites every partition from the build outputs.
+func (e *Engine) reflash(reason string) error {
+	e.stats.Reflashes++
+	e.health.Reflashes++
+	e.reflashing = true
+	defer func() { e.reflashing = false }()
+	tab := e.brd.PartitionTable()
+	for _, part := range []struct {
+		name string
+		data []byte
+	}{{"bootloader", e.images.Boot}, {"kernel", e.images.Kernel}} {
+		pt := tab.Lookup(part.name)
+		if pt == nil {
+			return fmt.Errorf("core: restore: partition %q missing", part.name)
+		}
+		if err := e.client.FlashErase(pt.Offset, pt.Size); err != nil {
+			return fmt.Errorf("core: restore erase: %w", err)
+		}
+		if err := e.client.FlashWrite(pt.Offset, part.data); err != nil {
+			return fmt.Errorf("core: restore write: %w", err)
+		}
+	}
+	e.tracer.Emit(trace.Event{Kind: trace.Reflash, Exec: e.stats.Execs, Reason: reason})
+	return nil
+}
+
+// powerCycle cold-boots the board through the probe. Probe firmware that
+// predates the command earns a warm reset instead, so the deepest rung still
+// does something useful on old adapters.
+func (e *Engine) powerCycle() error {
+	e.stats.PowerCycles++
+	e.health.PowerCycles++
+	err := e.client.PowerCycle()
+	if isBadCmd(err) {
+		return e.client.Reset()
+	}
+	return err
+}
+
 // runToMain resumes a freshly booted target until the executor_main
-// breakpoint parks it, ready for the first test case.
+// breakpoint parks it, ready for the first test case. Exhausting the resume
+// budget returns a ladder-escalatable error rather than a campaign-fatal one.
 func (e *Engine) runToMain() error {
-	for i := 0; i < 32; i++ {
+	for i := 0; i < e.cfg.Health.MaxResumes; i++ {
 		st, err := e.client.Continue(e.cfg.ContinueBudget)
 		if err != nil {
 			return fmt.Errorf("core: run to executor_main: %w", err)
@@ -1048,5 +1193,5 @@ func (e *Engine) runToMain() error {
 			}
 		}
 	}
-	return fmt.Errorf("core: target never reached executor_main")
+	return errResumesExhausted
 }

@@ -1,0 +1,270 @@
+package core
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/eof-fuzz/eof/internal/board"
+	"github.com/eof-fuzz/eof/internal/boards"
+	"github.com/eof-fuzz/eof/internal/targets"
+	"github.com/eof-fuzz/eof/internal/trace"
+)
+
+// newReadyEngine builds an engine, runs Setup and hands it over parked at
+// executor_main, ready for white-box ladder experiments.
+func newReadyEngine(t *testing.T, tweak func(*Config)) *Engine {
+	t.Helper()
+	info, err := targets.ByName("freertos")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig(info, boards.STM32H745())
+	cfg.Seed = 7
+	cfg.SampleEvery = time.Minute
+	if tweak != nil {
+		tweak(&cfg)
+	}
+	e, err := NewEngine(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Setup(); err != nil {
+		e.Close()
+		t.Fatal(err)
+	}
+	t.Cleanup(e.Close)
+	return e
+}
+
+// TestLadderRecoversPartialReflash is the torn-image integration case: the
+// warm reset cannot revive a corrupted kernel, the reflash rung's flash
+// write dies mid-partition on a worn sector (board stays bricked), and the
+// power-cycle rung — whose reflash finds the marginal sector recovered —
+// digs the board out.
+func TestLadderRecoversPartialReflash(t *testing.T) {
+	buf := trace.NewBuffer()
+	e := newReadyEngine(t, func(c *Config) { c.TraceSink = buf })
+	brd := e.Board()
+	dev := brd.Flash()
+	kp := brd.PartitionTable().Lookup("kernel")
+	if kp == nil {
+		t.Fatal("no kernel partition")
+	}
+	sz := brd.Spec.SectorSize
+	mid := (kp.Offset + kp.Size/2) / sz
+
+	// Pre-age the middle kernel sector two erase cycles past its siblings,
+	// then set the wear limit so only that sector crosses it during the
+	// first reflash — after its erase, right when the write starts.
+	base := dev.EraseCount(mid)
+	dev.Erase(mid)
+	dev.Erase(mid)
+	brd.SetDegrade(board.DegradeConfig{WearLimit: base + 3, WearFailStreak: 1, Seed: 1})
+
+	// Corrupt the kernel image so the reset rung cannot succeed.
+	dev.Corrupt(kp.Offset+64, 16, 0x5A)
+
+	err := e.restore("test")
+	if !errors.Is(err, errRestart) {
+		t.Fatalf("restore did not recover: %v", err)
+	}
+	if brd.State() != board.On {
+		t.Fatalf("board state after ladder: %v", brd.State())
+	}
+	if e.stats.RungEscalations != 2 {
+		t.Fatalf("escalations: %d, want 2 (reset->reflash->power-cycle)", e.stats.RungEscalations)
+	}
+	if e.stats.Reflashes != 2 || e.stats.PowerCycles != 1 {
+		t.Fatalf("reflashes=%d power-cycles=%d, want 2 and 1", e.stats.Reflashes, e.stats.PowerCycles)
+	}
+	h := e.Health()
+	if h.Dead || h.Score >= 1 || h.Escalations != 2 {
+		t.Fatalf("health after deep recovery: %+v", h)
+	}
+
+	// The journal records the climb: two escalations, exactly one successful
+	// reflash event (the torn attempt emits none), and a balanced, successful
+	// restore span.
+	var escalations []string
+	reflashes, ends := 0, 0
+	var lastEnd trace.Event
+	for _, ev := range buf.Events() {
+		switch ev.Kind {
+		case trace.RungEscalate:
+			escalations = append(escalations, ev.Reason)
+		case trace.Reflash:
+			reflashes++
+		case trace.RestoreEnd:
+			ends++
+			lastEnd = ev
+		}
+	}
+	if len(escalations) != 2 || !strings.HasPrefix(escalations[0], "reflash:") ||
+		!strings.HasPrefix(escalations[1], "power-cycle:") {
+		t.Fatalf("escalation events: %v", escalations)
+	}
+	if reflashes != 1 {
+		t.Fatalf("journal reflash events: %d, want 1 (failed attempt emits none)", reflashes)
+	}
+	if ends != 1 || lastEnd.Reason != "test" || lastEnd.Dur <= 0 {
+		t.Fatalf("restore-end: %+v", lastEnd)
+	}
+	checkJournalRestoreBalance(t, buf.Events())
+}
+
+// TestLadderExhaustionDeclaresBoardDead drives every rung into failure (a
+// zeroed resume budget makes re-synchronisation impossible) and checks the
+// full climb: all budgets spent, the board declared dead, and a terminal
+// ":failed" RestoreEnd keeping the journal balanced.
+func TestLadderExhaustionDeclaresBoardDead(t *testing.T) {
+	buf := trace.NewBuffer()
+	e := newReadyEngine(t, func(c *Config) { c.TraceSink = buf })
+	e.cfg.Health.MaxResumes = -1 // no resume ever succeeds
+
+	err := e.restore("test")
+	if !errors.Is(err, ErrBoardDead) {
+		t.Fatalf("exhausted ladder: %v", err)
+	}
+	if !e.Health().Dead {
+		t.Fatalf("health not marked dead: %+v", e.Health())
+	}
+	// Default budgets: 1 reset, 1 reflash, 2 power cycles.
+	if e.stats.RungEscalations != 2 || e.stats.Reflashes != 3 || e.stats.PowerCycles != 2 {
+		t.Fatalf("ladder effort: escalations=%d reflashes=%d power-cycles=%d",
+			e.stats.RungEscalations, e.stats.Reflashes, e.stats.PowerCycles)
+	}
+	var lastEnd trace.Event
+	ends := 0
+	for _, ev := range buf.Events() {
+		if ev.Kind == trace.RestoreEnd {
+			ends++
+			lastEnd = ev
+		}
+	}
+	if ends != 1 || lastEnd.Reason != "test:failed" {
+		t.Fatalf("terminal restore-end: %d events, last %+v", ends, lastEnd)
+	}
+	checkJournalRestoreBalance(t, buf.Events())
+}
+
+func TestResumeCapConfigurable(t *testing.T) {
+	info, err := targets.ByName("freertos")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig(info, boards.STM32H745())
+	e, err := NewEngine(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := e.cfg.Health.MaxResumes; got != 32 {
+		t.Fatalf("default resume cap: %d, want 32", got)
+	}
+	e.Close()
+
+	cfg.Health.MaxResumes = 7
+	e, err = NewEngine(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	if got := e.cfg.Health.MaxResumes; got != 7 {
+		t.Fatalf("configured resume cap: %d, want 7", got)
+	}
+}
+
+// TestCampaignDiesWithDoomedBoard runs a whole campaign on a board doomed to
+// die on its second boot: the first restore's reset kills it, the ladder
+// reports ErrBoardDead, and the journal still balances — the error path
+// emitted its terminal RestoreEnd.
+func TestCampaignDiesWithDoomedBoard(t *testing.T) {
+	info, err := targets.ByName("freertos")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig(info, boards.STM32H745())
+	cfg.Seed = 7
+	cfg.SampleEvery = time.Minute
+	buf := trace.NewBuffer()
+	cfg.TraceSink = buf
+	cfg.Degrade = board.DegradeConfig{DieAfterBoots: 2}
+	e, err := NewEngine(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	_, err = e.Run(30 * time.Minute)
+	if !errors.Is(err, ErrBoardDead) {
+		t.Fatalf("doomed campaign: %v", err)
+	}
+	if !e.Health().Dead {
+		t.Fatalf("health not marked dead: %+v", e.Health())
+	}
+	rep := e.Report()
+	checkReportInvariants(t, rep)
+	if !rep.Health.Dead {
+		t.Fatalf("report health not dead: %+v", rep.Health)
+	}
+
+	evs := buf.Events()
+	checkJournalRestoreBalance(t, evs)
+	begins, ends := 0, 0
+	var lastEnd trace.Event
+	for _, ev := range evs {
+		switch ev.Kind {
+		case trace.RestoreBegin:
+			begins++
+		case trace.RestoreEnd:
+			ends++
+			lastEnd = ev
+		}
+	}
+	if begins == 0 || begins != ends {
+		t.Fatalf("restore events unbalanced: %d begins, %d ends", begins, ends)
+	}
+	if !strings.HasSuffix(lastEnd.Reason, ":failed") {
+		t.Fatalf("terminal restore-end not marked failed: %+v", lastEnd)
+	}
+}
+
+func TestHealthScoreEWMA(t *testing.T) {
+	e := &Engine{cfg: Config{Health: HealthConfig{}.WithDefaults()}, health: Health{Score: 1}}
+
+	e.noteRestoreOutcome(rungReset, nil)
+	if e.health.Score != 1 || e.health.ConsecutiveEscalations != 0 {
+		t.Fatalf("clean reset moved the score: %+v", e.health)
+	}
+	e.noteRestoreOutcome(rungPowerCycle, nil)
+	if want := 0.25*0.25 + 0.75*1.0; e.health.Score != want {
+		t.Fatalf("score after power-cycle recovery: %v, want %v", e.health.Score, want)
+	}
+	if e.health.ConsecutiveEscalations != 1 {
+		t.Fatalf("consecutive escalations: %d", e.health.ConsecutiveEscalations)
+	}
+	prev := e.health.Score
+	e.noteRestoreOutcome(rungReset, errors.New("boom"))
+	if want := 0.75 * prev; e.health.Score != want || e.health.ConsecutiveEscalations != 2 {
+		t.Fatalf("score after failure: %+v, want score %v", e.health, want)
+	}
+	// Repeated deep-rung recoveries drive the board under the sick line.
+	for i := 0; i < 10; i++ {
+		e.noteRestoreOutcome(rungPowerCycle, nil)
+	}
+	if !e.health.Sick(0.3) {
+		t.Fatalf("chronically power-cycled board not sick: %+v", e.health)
+	}
+	// A clean streak rehabilitates it.
+	for i := 0; i < 10; i++ {
+		e.noteRestoreOutcome(rungReset, nil)
+	}
+	if e.health.Sick(0.3) || e.health.ConsecutiveEscalations != 0 {
+		t.Fatalf("recovered board still sick: %+v", e.health)
+	}
+	// Death is terminal regardless of score.
+	e.health.Dead = true
+	if !e.health.Sick(0.3) {
+		t.Fatal("dead board not sick")
+	}
+}

@@ -69,6 +69,12 @@ func (w *timedLink) Reset() error {
 	return w.inner.Reset()
 }
 
+func (w *timedLink) PowerCycle() error {
+	start := w.acct.Begin()
+	defer w.acct.End(w.cat(trace.CatRestore), start)
+	return w.inner.PowerCycle()
+}
+
 func (w *timedLink) FlashErase(off, n int) error {
 	start := w.acct.Begin()
 	defer w.acct.End(trace.CatReflash, start)

@@ -32,6 +32,47 @@ func checkReportInvariants(t *testing.T, rep *Report) {
 				i, rep.Series[i-1].Edges, rep.Series[i].Edges)
 		}
 	}
+	if rep.Health.Score < 0 || rep.Health.Score > 1 {
+		t.Fatalf("health score out of range: %+v", rep.Health)
+	}
+	if rep.BoardHealth == nil {
+		// Solo report: the stats recovery counters and the health record count
+		// the same events.
+		if rep.Health.Restores != rep.Stats.Restores ||
+			rep.Health.Reflashes != rep.Stats.Reflashes ||
+			rep.Health.PowerCycles != rep.Stats.PowerCycles ||
+			rep.Health.Escalations != rep.Stats.RungEscalations {
+			t.Fatalf("health/stats recovery counters disagree: %+v vs %+v",
+				rep.Health, rep.Stats)
+		}
+	}
+}
+
+// checkJournalRestoreBalance asserts the journal invariant every restore path
+// must keep: each shard's RestoreBegin is closed by exactly one terminal
+// RestoreEnd — including the error paths where the board never came back.
+func checkJournalRestoreBalance(t *testing.T, evs []trace.Event) {
+	t.Helper()
+	open := map[int]bool{}
+	for i, ev := range evs {
+		switch ev.Kind {
+		case trace.RestoreBegin:
+			if open[ev.Shard] {
+				t.Fatalf("event %d: shard %d restore-begin inside an open restore", i, ev.Shard)
+			}
+			open[ev.Shard] = true
+		case trace.RestoreEnd:
+			if !open[ev.Shard] {
+				t.Fatalf("event %d: shard %d restore-end without a begin", i, ev.Shard)
+			}
+			open[ev.Shard] = false
+		}
+	}
+	for shard, o := range open {
+		if o {
+			t.Fatalf("journal ends inside shard %d's restore (missing terminal RestoreEnd)", shard)
+		}
+	}
 }
 
 func TestTimeBySumsToDuration(t *testing.T) {
@@ -100,6 +141,7 @@ func TestJournalConsistentWithReport(t *testing.T) {
 	if len(evs) == 0 {
 		t.Fatal("journal empty")
 	}
+	checkJournalRestoreBalance(t, evs)
 	counts := map[trace.Kind]int{}
 	edges := 0
 	var lastAt time.Duration

@@ -132,3 +132,23 @@ func TestAblationLinkFaultsShape(t *testing.T) {
 	}
 	t.Logf("\n%s", tab.Render())
 }
+
+func TestAblationResilienceShape(t *testing.T) {
+	tab, err := AblationResilience(quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 4 {
+		t.Fatalf("rows: %d", len(tab.Rows))
+	}
+	healthy := tab.Rows[0]
+	// Columns: rate, execs, edges, edges/h, escalations, quarantines,
+	// promotions, dead boards, vs healthy.
+	if healthy[5] != "0.0" || healthy[7] != "0.0" {
+		t.Fatalf("healthy row reports quarantines/dead boards: %v", healthy)
+	}
+	if healthy[8] != "-" {
+		t.Fatalf("healthy row should not normalise against itself: %v", healthy)
+	}
+	t.Logf("\n%s", tab.Render())
+}

@@ -1,0 +1,113 @@
+package experiments
+
+import (
+	"fmt"
+
+	"github.com/eof-fuzz/eof/internal/board"
+	"github.com/eof-fuzz/eof/internal/core"
+	"github.com/eof-fuzz/eof/internal/fleet"
+	"github.com/eof-fuzz/eof/internal/targets"
+)
+
+// resilienceShards/resilienceSpares are the pool shape of the resilience
+// sweep: the paper's practical deployment of a few cheap boards per host,
+// with a small hot-spare reserve.
+const (
+	resilienceShards = 4
+	resilienceSpares = 2
+)
+
+// AblationResilience (E-resilience) sweeps the per-boot permanent-death rate
+// of the virtual boards on a FreeRTOS fleet and reports how much campaign
+// throughput the board-health supervisor retains: dead boards are
+// quarantined at the next epoch barrier and hot spares take over their
+// slots, re-seeded from the shared corpus. Rate 0 is the healthy-fleet
+// baseline every other row is normalised against.
+func AblationResilience(opts Options) (*Table, error) {
+	rates := []float64{0, 0.02, 0.05, 0.10}
+	t := &Table{
+		Title: fmt.Sprintf("E-resilience: Board death-rate sweep on a FreeRTOS fleet (%d shards + %d spares, %gh x %d runs)",
+			resilienceShards, resilienceSpares, opts.Hours, opts.Runs),
+		Columns: []string{
+			"Death rate", "Execs", "Edges", "Edges/h", "Escalations",
+			"Quarantines", "Promotions", "Dead boards", "Edges vs healthy",
+		},
+	}
+	reports := make([]*core.Report, len(rates)*opts.Runs)
+	err := runParallel(len(reports), opts.parallel(), func(i int) error {
+		rate := rates[i/opts.Runs]
+		info, err := targets.ByName("freertos")
+		if err != nil {
+			return err
+		}
+		cfg := core.DefaultConfig(info, evalBoards()["freertos"])
+		cfg.Seed = opts.SeedBase + int64(i%opts.Runs)
+		// Zero degrade seed: every board in the pool ages under its own
+		// deterministic sequence derived from its shard seed.
+		cfg.Degrade = board.DegradeConfig{DeathRate: rate}
+		pool, err := fleet.New(cfg, fleet.Options{
+			Shards: resilienceShards,
+			Spares: resilienceSpares,
+		})
+		if err != nil {
+			return err
+		}
+		defer pool.Close()
+		rep, err := pool.Run(opts.budget())
+		if err != nil {
+			return err
+		}
+		reports[i] = rep
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var healthyEdges float64
+	for ri, rate := range rates {
+		var execs, edges, escalations, quarantines, promotions, dead []float64
+		for r := 0; r < opts.Runs; r++ {
+			rep := reports[ri*opts.Runs+r]
+			execs = append(execs, float64(rep.Stats.Execs))
+			edges = append(edges, float64(rep.Edges))
+			escalations = append(escalations, float64(rep.Stats.RungEscalations))
+			quarantines = append(quarantines, float64(len(rep.Quarantines)))
+			promoted, deadBoards := 0, 0
+			for _, q := range rep.Quarantines {
+				if q.Spare >= 0 {
+					promoted++
+				}
+			}
+			for _, h := range rep.BoardHealth {
+				if h.Dead {
+					deadBoards++
+				}
+			}
+			promotions = append(promotions, float64(promoted))
+			dead = append(dead, float64(deadBoards))
+		}
+		if ri == 0 {
+			healthyEdges = mean(edges)
+		}
+		vsHealthy := "-"
+		if ri > 0 && healthyEdges > 0 {
+			vsHealthy = fmt.Sprintf("%.0f%%", 100*mean(edges)/healthyEdges)
+		}
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("%.0f%%", 100*rate),
+			fmt.Sprintf("%.1f", mean(execs)),
+			fmt.Sprintf("%.1f", mean(edges)),
+			fmt.Sprintf("%.1f", mean(edges)/opts.Hours),
+			fmt.Sprintf("%.1f", mean(escalations)),
+			fmt.Sprintf("%.1f", mean(quarantines)),
+			fmt.Sprintf("%.1f", mean(promotions)),
+			fmt.Sprintf("%.1f", mean(dead)),
+			vsHealthy,
+		})
+	}
+	t.Notes = append(t.Notes,
+		"death rate: per-boot probability of permanent hardware death, drawn per board from its shard seed",
+		"quarantines: boards the supervisor retired at an epoch barrier; promotions: hot spares that took over a slot",
+		"a quarantined slot loses at most one shard-epoch of fuzzing; the promoted spare resumes from the shared corpus")
+	return t, nil
+}

@@ -1,0 +1,171 @@
+package fleet
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"github.com/eof-fuzz/eof/internal/board"
+	"github.com/eof-fuzz/eof/internal/core"
+	"github.com/eof-fuzz/eof/internal/trace"
+)
+
+// TestFleetSurvivesBoardDeath is the resilience acceptance test: a 4-shard
+// campaign where one board dies permanently partway through must complete,
+// promote the hot spare into the vacated slot, report the quarantine in the
+// merged report, and retain most of the healthy fleet's throughput.
+func TestFleetSurvivesBoardDeath(t *testing.T) {
+	total := 24 * time.Minute
+	doomed := Options{
+		Shards: 4, Spares: 1, SyncEvery: 2 * time.Minute,
+		// Board 2 dies permanently on its fourth boot attempt — a few
+		// restores into the campaign.
+		Degrade: []board.DegradeConfig{2: {DieAfterBoots: 4}},
+	}
+	rep := runFleet(t, fleetConfig(t, "freertos", 11), doomed, total)
+
+	if len(rep.Quarantines) != 1 {
+		t.Fatalf("quarantines: %+v, want exactly one", rep.Quarantines)
+	}
+	q := rep.Quarantines[0]
+	if q.Slot != 2 || q.Board != 2 || q.Reason != "dead" {
+		t.Fatalf("quarantine record: %+v", q)
+	}
+	if q.Spare != 4 {
+		t.Fatalf("spare board 4 not promoted: %+v", q)
+	}
+	if q.At <= 0 {
+		t.Fatalf("board died at setup, not mid-campaign: %+v", q)
+	}
+	if !q.Health.Dead {
+		t.Fatalf("quarantined board's health not dead: %+v", q.Health)
+	}
+	// All five boards were activated: four shards plus the promoted spare.
+	if len(rep.BoardHealth) != 5 {
+		t.Fatalf("BoardHealth has %d entries, want 5: %+v", len(rep.BoardHealth), rep.BoardHealth)
+	}
+	if !rep.BoardHealth[2].Dead || rep.BoardHealth[4].Dead {
+		t.Fatalf("per-board health wrong: %+v", rep.BoardHealth)
+	}
+	if !rep.Health.Dead {
+		t.Fatalf("merged health should surface the pool's sickest board: %+v", rep.Health)
+	}
+
+	// Throughput: the doomed fleet must retain at least 70% of the healthy
+	// fleet's coverage rate — one board of four dying costs at most its
+	// unmanned fraction of one epoch plus the spare's catch-up.
+	healthy := runFleet(t, fleetConfig(t, "freertos", 11),
+		Options{Shards: 4, Spares: 1, SyncEvery: 2 * time.Minute}, total)
+	if len(healthy.Quarantines) != 0 {
+		t.Fatalf("healthy fleet quarantined boards: %+v", healthy.Quarantines)
+	}
+	doomedRate := float64(rep.Edges) / rep.Duration.Seconds()
+	healthyRate := float64(healthy.Edges) / healthy.Duration.Seconds()
+	t.Logf("doomed: %d edges (%.2f/s), healthy: %d edges (%.2f/s), retained %.0f%%",
+		rep.Edges, doomedRate, healthy.Edges, healthyRate, 100*doomedRate/healthyRate)
+	if doomedRate < 0.7*healthyRate {
+		t.Fatalf("doomed fleet retained only %.0f%% of healthy throughput (%.2f vs %.2f edges/s)",
+			100*doomedRate/healthyRate, doomedRate, healthyRate)
+	}
+}
+
+// TestFleetFailoverJournalDeterministic re-runs the death scenario twice and
+// demands byte-identical journals: quarantine and promotion must happen at
+// the same barrier with the same event stream for a fixed seed.
+func TestFleetFailoverJournalDeterministic(t *testing.T) {
+	run := func() []trace.Event {
+		cfg := fleetConfig(t, "freertos", 11)
+		buf := trace.NewBuffer()
+		cfg.TraceSink = buf
+		runFleet(t, cfg, Options{
+			Shards: 4, Spares: 1, SyncEvery: 2 * time.Minute,
+			Degrade: []board.DegradeConfig{2: {DieAfterBoots: 4}},
+		}, 24*time.Minute)
+		return buf.Events()
+	}
+	a, b := run(), run()
+	if len(a) == 0 {
+		t.Fatal("failover journal empty")
+	}
+	if len(a) != len(b) {
+		t.Fatalf("journal lengths differ across identical runs: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("journal event %d differs:\n%+v\n%+v", i, a[i], b[i])
+		}
+	}
+	// The stream must carry the supervision story: the dead board's
+	// quarantine (emitted on its own tracer) and the spare's promotion.
+	var sawQuarantine, sawPromote bool
+	for _, ev := range a {
+		switch ev.Kind {
+		case trace.Quarantine:
+			if ev.Shard != 2 || ev.Exec != 2 || ev.Reason != "dead" {
+				t.Fatalf("quarantine event: %+v", ev)
+			}
+			sawQuarantine = true
+		case trace.SparePromote:
+			if ev.Shard != 4 || ev.Exec != 2 {
+				t.Fatalf("spare-promote event: %+v", ev)
+			}
+			sawPromote = true
+		}
+	}
+	if !sawQuarantine || !sawPromote {
+		t.Fatalf("journal missing supervision events: quarantine=%v promote=%v",
+			sawQuarantine, sawPromote)
+	}
+}
+
+// TestFleetQuarantineWithoutSpares: with an empty spare pool a dead board's
+// slot goes unmanned, the quarantine records Spare -1, and the remaining
+// shards finish the campaign.
+func TestFleetQuarantineWithoutSpares(t *testing.T) {
+	opts := Options{
+		Shards: 3, SyncEvery: 2 * time.Minute,
+		Degrade: []board.DegradeConfig{1: {DieAfterBoots: 4}},
+	}
+	f, err := New(fleetConfig(t, "freertos", 11), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	rep, err := f.Run(12 * time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Quarantines) != 1 {
+		t.Fatalf("quarantines: %+v", rep.Quarantines)
+	}
+	q := rep.Quarantines[0]
+	if q.Slot != 1 || q.Spare != -1 || q.Reason != "dead" {
+		t.Fatalf("quarantine without spares: %+v", q)
+	}
+	if len(rep.BoardHealth) != 3 {
+		t.Fatalf("BoardHealth entries: %d, want 3", len(rep.BoardHealth))
+	}
+	if rep.Stats.Execs == 0 || rep.Edges == 0 {
+		t.Fatalf("surviving shards did not fuzz: %+v", rep.Stats)
+	}
+}
+
+// TestFleetAllBoardsDeadFails: when every board (spares included) dies, Run
+// must fail with core.ErrBoardDead instead of spinning on an empty pool.
+func TestFleetAllBoardsDeadFails(t *testing.T) {
+	cfg := fleetConfig(t, "freertos", 11)
+	cfg.Degrade = board.DegradeConfig{DieAfterBoots: 1} // every board dies at setup
+	f, err := New(cfg, Options{Shards: 2, Spares: 1, SyncEvery: 2 * time.Minute})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	_, err = f.Run(8 * time.Minute)
+	if !errors.Is(err, core.ErrBoardDead) {
+		t.Fatalf("all-dead fleet: %v", err)
+	}
+	// Every board earned a quarantine record; none could be replaced.
+	if got := len(f.Quarantines()); got != 3 {
+		t.Fatalf("quarantine records: %d, want 3", got)
+	}
+}

@@ -15,13 +15,23 @@
 // board wall-clock, so a fleet report's Duration is the pool's wall-clock —
 // total board-time divided by the shard count — and edges per Duration
 // second is the pool's effective throughput.
+//
+// A board-health supervisor runs at every epoch barrier: a board whose
+// engine reported core.ErrBoardDead — or whose health score fell below the
+// sick threshold while a spare is available — is quarantined, and the next
+// hot spare from the configured pool takes over its slot, re-seeded from the
+// cumulative broadcast history so the newcomer starts with the fleet's
+// collective corpus. One doomed board therefore costs the pool roughly one
+// shard-epoch of throughput instead of the whole campaign.
 package fleet
 
 import (
+	"errors"
 	"fmt"
 	"sync"
 	"time"
 
+	"github.com/eof-fuzz/eof/internal/board"
 	"github.com/eof-fuzz/eof/internal/core"
 	"github.com/eof-fuzz/eof/internal/cov"
 	"github.com/eof-fuzz/eof/internal/trace"
@@ -48,48 +58,86 @@ type Options struct {
 	// weight, without removing any call from any shard. Zero disables
 	// focus (all shards explore uniformly, differing only by seed).
 	FocusBoost float64
+	// Spares is the hot-spare pool size: boards built alongside the shards
+	// (physical indices Shards..Shards+Spares-1) but held powered off until
+	// the supervisor promotes one into a quarantined slot.
+	Spares int
+	// Degrade overrides the degradation model per physical board index
+	// (shards first, then spares); boards beyond the slice inherit
+	// cfg.Degrade. Tests and the resilience ablation use it to doom one
+	// specific board.
+	Degrade []board.DegradeConfig
 }
 
-// Fleet is one sharded campaign over a board pool.
+// Fleet is one sharded campaign over a board pool with hot-spare failover.
 type Fleet struct {
 	opts    Options
-	engines []*core.Engine
+	engines []*core.Engine // physical boards: shards first, then spares
 	shared  *cov.Collector
 	ran     bool
 
-	// journal is the campaign-level trace sink (cfg.TraceSink); each shard
-	// writes into its own buffer, drained into the journal in shard order at
-	// every epoch barrier so the merged stream is deterministic even though
-	// shards run concurrently.
-	journal trace.Sink
-	buffers []*trace.Buffer
+	// slots maps each shard slot to the physical board serving it (-1 when
+	// the slot is unmanned because the spare pool ran dry); spares is the
+	// FIFO of boards still in reserve; active marks boards that were ever
+	// powered on (their reports merge into the campaign report).
+	slots  []int
+	spares []int
+	active []bool
+
+	// history accumulates every broadcast delta so a promoted spare can be
+	// re-seeded with the fleet's collective feedback at promotion time.
+	history     core.SyncDelta
+	quarantines []core.Quarantine
+
+	sickThreshold float64
+
+	// journal is the campaign-level trace sink (cfg.TraceSink); each board
+	// writes into its own buffer, drained into the journal in slot order at
+	// every epoch barrier so the merged stream is deterministic. flushQueue
+	// holds, per slot, retired boards whose final events (ending in their
+	// quarantine) must flush before the slot's current occupant's stream.
+	journal    trace.Sink
+	buffers    []*trace.Buffer
+	flushQueue [][]int
 
 	shardReports []*core.Report
 }
 
-// New builds a pool of opts.Shards engines from cfg. Shard i runs with seed
-// cfg.Seed + i*stride and feeds the fleet-wide shared collector; with
-// FocusBoost set it also receives its round-robin slice of the API surface
-// as a soft generation bias. The shard seed also feeds each shard's
-// link-fault injector (when cfg.LinkFaults leaves its Seed at zero), so
-// every board in the pool sees its own deterministic flaky-adapter sequence.
+// New builds a pool of opts.Shards+opts.Spares engines from cfg. Physical
+// board i runs with seed cfg.Seed + i*stride and feeds the fleet-wide shared
+// collector; shard slots also receive their round-robin slice of the API
+// surface as a soft generation bias when FocusBoost is set (a promoted spare
+// inherits its slot's focus). The board seed also feeds each board's
+// link-fault injector and degradation model (when their Seeds are zero), so
+// every board in the pool ages and faults deterministically but differently.
 func New(cfg core.Config, opts Options) (*Fleet, error) {
 	if opts.Shards <= 0 {
 		opts.Shards = 1
 	}
+	if opts.Spares < 0 {
+		opts.Spares = 0
+	}
 	if opts.SyncEvery <= 0 {
 		opts.SyncEvery = DefaultSyncEvery
 	}
-	f := &Fleet{opts: opts, shared: cov.NewCollector()}
+	f := &Fleet{
+		opts:          opts,
+		shared:        cov.NewCollector(),
+		sickThreshold: cfg.Health.WithDefaults().SickThreshold,
+	}
 	if cfg.TraceSink != nil {
 		f.journal = cfg.TraceSink
 	}
-	for i := 0; i < opts.Shards; i++ {
+	total := opts.Shards + opts.Spares
+	for i := 0; i < total; i++ {
 		scfg := cfg
 		scfg.Seed = cfg.Seed + int64(i)*shardSeedStride
 		scfg.Shard = i
+		if i < len(opts.Degrade) {
+			scfg.Degrade = opts.Degrade[i]
+		}
 		if f.journal != nil {
-			// Buffer per shard; the Run loop merges in shard order at each
+			// Buffer per board; the Run loop merges in slot order at each
 			// barrier so the journal stays deterministic. The live StatusSink
 			// (thread-safe by contract) stays attached directly.
 			buf := trace.NewBuffer()
@@ -99,47 +147,82 @@ func New(cfg core.Config, opts Options) (*Fleet, error) {
 		e, err := core.NewEngine(scfg)
 		if err != nil {
 			f.Close()
-			return nil, fmt.Errorf("fleet: shard %d: %w", i, err)
+			return nil, fmt.Errorf("fleet: board %d: %w", i, err)
 		}
 		e.SetSharedSink(f.shared)
-		if opts.FocusBoost > 0 && opts.Shards > 1 {
-			var names []string
-			for j, name := range e.SpecCalls() {
-				if j%opts.Shards == i {
-					names = append(names, name)
-				}
-			}
-			e.SetFocus(names, opts.FocusBoost)
+		if i < opts.Shards {
+			f.setFocus(e, i)
+			f.slots = append(f.slots, i)
+		} else {
+			f.spares = append(f.spares, i)
 		}
 		f.engines = append(f.engines, e)
 	}
+	f.active = make([]bool, total)
+	f.flushQueue = make([][]int, opts.Shards)
 	return f, nil
 }
 
-// Engines exposes the pool for tests and experiment harnesses.
+// setFocus applies slot's round-robin soft partition of the API surface to e.
+func (f *Fleet) setFocus(e *core.Engine, slot int) {
+	if f.opts.FocusBoost <= 0 || f.opts.Shards <= 1 {
+		return
+	}
+	var names []string
+	for j, name := range e.SpecCalls() {
+		if j%f.opts.Shards == slot {
+			names = append(names, name)
+		}
+	}
+	e.SetFocus(names, f.opts.FocusBoost)
+}
+
+// Engines exposes the pool (shards first, then spares) for tests and
+// experiment harnesses.
 func (f *Fleet) Engines() []*core.Engine { return f.engines }
 
 // SharedEdges returns the fleet-wide distinct edge count so far.
 func (f *Fleet) SharedEdges() int { return f.shared.Total() }
 
+// Quarantines returns the quarantine records so far, in supervision order.
+func (f *Fleet) Quarantines() []core.Quarantine { return f.quarantines }
+
+// mannedCount returns how many shard slots currently have a board.
+func (f *Fleet) mannedCount() int {
+	n := 0
+	for _, b := range f.slots {
+		if b >= 0 {
+			n++
+		}
+	}
+	return n
+}
+
 // Run executes the campaign with the given total board-time budget, split
-// evenly across the pool: each shard fuzzes for total/N of virtual board
-// time, so the pool's wall-clock is total/N. Run may be called once.
+// evenly across the shard slots: each slot fuzzes for total/Shards of
+// virtual board time, so the pool's wall-clock is total/Shards. Boards that
+// die mid-campaign are quarantined at the next epoch barrier and replaced
+// from the spare pool; Run only fails when every slot is unmanned (or on a
+// non-death engine error). Run may be called once.
 func (f *Fleet) Run(total time.Duration) (*core.Report, error) {
 	if f.ran {
 		return nil, fmt.Errorf("fleet: Run called twice")
 	}
 	f.ran = true
-	n := len(f.engines)
+	n := f.opts.Shards
 	shardBudget := total / time.Duration(n)
 
 	// Provision and boot sequentially: board bring-up mutates no shared
-	// state, but a deterministic order keeps any setup-time bug report
-	// stable.
-	for i, e := range f.engines {
-		if err := e.Setup(); err != nil {
-			return nil, fmt.Errorf("fleet: shard %d setup: %w", i, err)
+	// state, but a deterministic order keeps any setup-time failure and its
+	// quarantine/promotion handling stable.
+	for slot := 0; slot < n; slot++ {
+		if err := f.manSlot(slot); err != nil {
+			return nil, err
 		}
+	}
+	if f.mannedCount() == 0 {
+		f.flushJournal()
+		return nil, fmt.Errorf("fleet: every board died during setup: %w", core.ErrBoardDead)
 	}
 
 	var series []core.CoverSample
@@ -150,83 +233,231 @@ func (f *Fleet) Run(total time.Duration) (*core.Report, error) {
 		if slice > remaining {
 			slice = remaining
 		}
-		// Run the epoch slice on every shard concurrently. Each engine owns
-		// its board, link and RNG; the only shared state is the mutex-
+		// Run the epoch slice on every manned slot concurrently. Each engine
+		// owns its board, link and RNG; the only shared state is the mutex-
 		// protected collector sink, whose set union is order-independent.
+		occupants := make([]int, n)
+		copy(occupants, f.slots)
 		errs := make([]error, n)
 		var wg sync.WaitGroup
-		for i, e := range f.engines {
+		for slot, b := range occupants {
+			if b < 0 {
+				continue
+			}
 			wg.Add(1)
-			go func(i int, e *core.Engine) {
+			go func(slot, b int) {
 				defer wg.Done()
-				errs[i] = e.RunFor(slice)
-			}(i, e)
+				errs[slot] = f.engines[b].RunFor(slice)
+			}(slot, b)
 		}
 		wg.Wait()
-		for i, err := range errs {
-			if err != nil {
-				return nil, fmt.Errorf("fleet: shard %d: %w", i, err)
+		// A dead board is the supervisor's job at the barrier below; any
+		// other engine error stays campaign-fatal.
+		died := make([]bool, n)
+		for slot, err := range errs {
+			if err == nil {
+				continue
 			}
-		}
-		// Barrier: exchange feedback in fixed shard order so every shard
-		// sees the same import sequence run to run.
-		deltas := make([]core.SyncDelta, n)
-		for i, e := range f.engines {
-			deltas[i] = e.DrainSyncDelta()
-		}
-		for i := range f.engines {
-			for j, e := range f.engines {
-				if j != i {
-					e.ImportSyncDelta(deltas[i])
-				}
+			if errors.Is(err, core.ErrBoardDead) {
+				died[slot] = true
+				continue
 			}
+			return nil, fmt.Errorf("fleet: shard %d: %w", slot, err)
 		}
 		elapsed += slice
 		epochs++
-		// Journal the barrier and flush each shard's buffered slice in shard
-		// order — the step that keeps a concurrent fleet's journal
-		// deterministic for a fixed seed.
-		for i, e := range f.engines {
+
+		// Barrier: exchange feedback in fixed slot order so every board sees
+		// the same import sequence run to run. A dying board's final partial
+		// delta still broadcasts — its discoveries outlive it.
+		deltas := make([]core.SyncDelta, n)
+		for slot, b := range occupants {
+			if b < 0 {
+				continue
+			}
+			deltas[slot] = f.engines[b].DrainSyncDelta()
+			f.appendHistory(deltas[slot])
+		}
+		for slot := range occupants {
+			for j, b := range occupants {
+				if j == slot || b < 0 || died[j] {
+					continue
+				}
+				f.engines[b].ImportSyncDelta(deltas[slot])
+			}
+		}
+
+		// Supervise in slot order: journal the epoch for survivors,
+		// quarantine dead boards, retire the chronically sick (only when a
+		// spare is ready — a sick board still beats an empty slot), promote
+		// spares.
+		for slot, b := range occupants {
+			if b < 0 {
+				continue
+			}
+			e := f.engines[b]
+			if died[slot] {
+				if err := f.quarantine(slot, "dead", elapsed); err != nil {
+					return nil, err
+				}
+				continue
+			}
 			e.Tracer().Emit(trace.Event{Kind: trace.SyncEpoch, Exec: epochs, Edges: f.shared.Total()})
-			if f.journal != nil {
-				for _, ev := range f.buffers[i].Drain() {
-					f.journal.Emit(ev)
+			if e.Health().Sick(f.sickThreshold) && len(f.spares) > 0 {
+				if err := f.quarantine(slot, "sick", elapsed); err != nil {
+					return nil, err
 				}
 			}
+		}
+		f.flushJournal()
+		if f.mannedCount() == 0 {
+			return nil, fmt.Errorf("fleet: every board dead after %v: %w", elapsed, core.ErrBoardDead)
 		}
 		series = append(series, core.CoverSample{At: elapsed, Edges: f.shared.Total()})
 	}
 	return f.mergeReport(series), nil
 }
 
-// ShardReports returns each shard's individual report from the finished
-// campaign, in shard order, with fleet sync-barrier idle time already
-// attributed (shard i's SyncBarrier is how much longer the slowest sibling
-// ran). Nil before Run completes.
+// manSlot performs initial bring-up of slot's board, quarantining setup-time
+// deaths and promoting spares until the slot is manned or the pool runs dry.
+func (f *Fleet) manSlot(slot int) error {
+	b := f.slots[slot]
+	f.active[b] = true
+	err := f.engines[b].Setup()
+	if err == nil {
+		return nil
+	}
+	if !errors.Is(err, core.ErrBoardDead) {
+		return fmt.Errorf("fleet: shard %d setup: %w", slot, err)
+	}
+	return f.quarantine(slot, "dead", 0)
+}
+
+// quarantine retires the board serving slot and promotes the next viable
+// spare into it. The retired board's buffered events (ending with its
+// quarantine event) flush ahead of the slot's next occupant, keeping the
+// journal deterministic.
+func (f *Fleet) quarantine(slot int, reason string, at time.Duration) error {
+	b := f.slots[slot]
+	e := f.engines[b]
+	e.Tracer().Emit(trace.Event{Kind: trace.Quarantine, Exec: slot, Reason: reason})
+	f.flushQueue[slot] = append(f.flushQueue[slot], b)
+	f.slots[slot] = -1
+	f.quarantines = append(f.quarantines, core.Quarantine{
+		Slot: slot, Board: b, Spare: -1, Reason: reason, At: at, Health: e.Health(),
+	})
+	qi := len(f.quarantines) - 1
+	spare, err := f.promote(slot, at)
+	if err != nil {
+		return err
+	}
+	f.quarantines[qi].Spare = spare
+	return nil
+}
+
+// promote mans slot with the next spare that survives bring-up, importing
+// the cumulative broadcast history so the newcomer starts from the fleet's
+// collective corpus. Returns -1 when the spare pool ran dry. A spare that is
+// dead on arrival earns its own quarantine record and the next one is tried.
+func (f *Fleet) promote(slot int, at time.Duration) (int, error) {
+	for len(f.spares) > 0 {
+		s := f.spares[0]
+		f.spares = f.spares[1:]
+		e := f.engines[s]
+		f.active[s] = true
+		if err := e.Setup(); err != nil {
+			if !errors.Is(err, core.ErrBoardDead) {
+				return -1, fmt.Errorf("fleet: spare %d setup: %w", s, err)
+			}
+			e.Tracer().Emit(trace.Event{Kind: trace.Quarantine, Exec: slot, Reason: "dead"})
+			f.flushQueue[slot] = append(f.flushQueue[slot], s)
+			f.quarantines = append(f.quarantines, core.Quarantine{
+				Slot: slot, Board: s, Spare: -1, Reason: "dead", At: at, Health: e.Health(),
+			})
+			continue
+		}
+		f.setFocus(e, slot)
+		e.ImportSyncDelta(f.history)
+		e.Tracer().Emit(trace.Event{Kind: trace.SparePromote, Exec: slot, Edges: len(f.history.Edges)})
+		f.slots[slot] = s
+		return s, nil
+	}
+	return -1, nil
+}
+
+// appendHistory accumulates a broadcast delta into the promotion history.
+// ImportSyncDelta clones seed programs on import, so sharing the slices with
+// the original broadcast is safe.
+func (f *Fleet) appendHistory(d core.SyncDelta) {
+	f.history.Edges = append(f.history.Edges, d.Edges...)
+	f.history.Seeds = append(f.history.Seeds, d.Seeds...)
+	f.history.Rewards = append(f.history.Rewards, d.Rewards...)
+}
+
+// flushJournal drains buffered events into the campaign journal in slot
+// order: first each slot's retired boards (their streams end with the
+// quarantine event), then the slot's current occupant. Supervision happens
+// in slot order before the flush, so the merged stream is identical run to
+// run.
+func (f *Fleet) flushJournal() {
+	if f.journal == nil {
+		return
+	}
+	for slot := 0; slot < f.opts.Shards; slot++ {
+		for _, b := range f.flushQueue[slot] {
+			f.flushBuffer(b)
+		}
+		f.flushQueue[slot] = nil
+		if b := f.slots[slot]; b >= 0 {
+			f.flushBuffer(b)
+		}
+	}
+}
+
+func (f *Fleet) flushBuffer(b int) {
+	for _, ev := range f.buffers[b].Drain() {
+		f.journal.Emit(ev)
+	}
+}
+
+// ShardReports returns each activated board's individual report from the
+// finished campaign, in physical-board order (quarantined boards and
+// promoted spares included), with fleet sync-barrier idle time already
+// attributed (a board's SyncBarrier covers how much longer the pool ran
+// than it did). Nil before Run completes.
 func (f *Fleet) ShardReports() []*core.Report { return f.shardReports }
 
-// mergeReport folds the shard reports into one campaign report with stable
-// ordering: stats summed in shard order, bugs deduplicated by signature in
-// (shard, discovery) order, Duration = the longest shard's virtual runtime
-// (= the pool's wall-clock, since shards run concurrently). Board-time
-// accounting: a shard that finished its slices early sat idle at epoch
-// barriers waiting for the slowest sibling, so the gap to the pool Duration
-// is charged to its SyncBarrier bucket — after which every shard's TimeBy
-// sums to the pool Duration and the merged TimeBy sums to Shards x Duration
-// (total board-time, not wall-clock).
+// mergeReport folds the activated boards' reports into one campaign report
+// with stable ordering: stats summed in physical-board order, bugs
+// deduplicated by signature in (board, discovery) order, Duration = the
+// longest board's virtual runtime (= the pool's wall-clock, since slots run
+// concurrently). Board-time accounting: a board that finished early — or
+// died early, or joined late as a spare — sat out the rest of the pool's
+// wall-clock, so the gap to the pool Duration is charged to its SyncBarrier
+// bucket; afterwards every activated board's TimeBy sums to the pool
+// Duration and the merged TimeBy sums to activated-boards x Duration. The
+// merged Health is the pool's sickest board; BoardHealth and Quarantines
+// carry the full story.
 func (f *Fleet) mergeReport(series []core.CoverSample) *core.Report {
-	out := &core.Report{Series: series, Edges: f.shared.Total()}
+	out := &core.Report{Series: series, Edges: f.shared.Total(), Quarantines: f.quarantines}
 	seen := make(map[string]bool)
-	f.shardReports = make([]*core.Report, 0, len(f.engines))
-	for _, e := range f.engines {
+	f.shardReports = f.shardReports[:0]
+	for b, e := range f.engines {
+		if !f.active[b] {
+			continue
+		}
 		r := e.Report()
 		f.shardReports = append(f.shardReports, r)
 		out.OS, out.Board = r.OS, r.Board
 		out.Stats.Merge(r.Stats)
-		for _, b := range r.Bugs {
-			if !seen[b.Sig] {
-				seen[b.Sig] = true
-				out.Bugs = append(out.Bugs, b)
+		out.BoardHealth = append(out.BoardHealth, r.Health)
+		if len(f.shardReports) == 1 || healthWorse(r.Health, out.Health) {
+			out.Health = r.Health
+		}
+		for _, bug := range r.Bugs {
+			if !seen[bug.Sig] {
+				seen[bug.Sig] = true
+				out.Bugs = append(out.Bugs, bug)
 			}
 		}
 		if r.Duration > out.Duration {
@@ -240,7 +471,15 @@ func (f *Fleet) mergeReport(series []core.CoverSample) *core.Report {
 	return out
 }
 
-// Close releases every shard's debug link and board.
+// healthWorse reports whether a is in worse shape than b.
+func healthWorse(a, b core.Health) bool {
+	if a.Dead != b.Dead {
+		return a.Dead
+	}
+	return a.Score < b.Score
+}
+
+// Close releases every board's debug link and core, spares included.
 func (f *Fleet) Close() {
 	for _, e := range f.engines {
 		e.Close()

@@ -199,6 +199,13 @@ func (f *Injector) Reset() error {
 	return f.inner.Reset()
 }
 
+func (f *Injector) PowerCycle() error {
+	if err := f.before("PowerCycle"); err != nil {
+		return err
+	}
+	return f.inner.PowerCycle()
+}
+
 func (f *Injector) FlashErase(off, n int) error {
 	if err := f.before("FlashErase"); err != nil {
 		return err

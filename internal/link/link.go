@@ -53,8 +53,12 @@ type Link interface {
 	ClearBreakpoint(addr uint64) error
 	// Continue resumes the target with a step budget and returns the stop.
 	Continue(budget int64) (cpu.Stop, error)
-	// Reset power-cycles the board.
+	// Reset warm-resets the board.
 	Reset() error
+	// PowerCycle drops board power and cold-boots — slower than Reset, but
+	// it clears marginal conditions a warm reset cannot. Older probe
+	// firmware answers Ebadcmd; callers fall back to Reset.
+	PowerCycle() error
 	// FlashErase erases the flash range [off, off+n).
 	FlashErase(off, n int) error
 	// FlashWrite programs data at flash offset off.

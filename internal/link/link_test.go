@@ -54,6 +54,7 @@ func (f *fakeLink) Continue(budget int64) (cpu.Stop, error) {
 	return cpu.Stop{Kind: cpu.StopBudget}, f.next("Continue")
 }
 func (f *fakeLink) Reset() error                { return f.next("Reset") }
+func (f *fakeLink) PowerCycle() error           { return f.next("PowerCycle") }
 func (f *fakeLink) FlashErase(off, n int) error { return f.next("FlashErase") }
 func (f *fakeLink) FlashWrite(off int, data []byte) error {
 	return f.next("FlashWrite")

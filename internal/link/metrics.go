@@ -163,6 +163,12 @@ func (w *measured) Reset() error {
 	return w.inner.Reset()
 }
 
+func (w *measured) PowerCycle() error {
+	start := w.m.begin()
+	defer w.m.observe("PowerCycle", start)
+	return w.inner.PowerCycle()
+}
+
 func (w *measured) FlashErase(off, n int) error {
 	start := w.m.begin()
 	defer w.m.observe("FlashErase", start)

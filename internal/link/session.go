@@ -242,6 +242,10 @@ func (s *Session) Reset() error {
 	return s.do("Reset", func() error { return s.inner.Reset() })
 }
 
+func (s *Session) PowerCycle() error {
+	return s.do("PowerCycle", func() error { return s.inner.PowerCycle() })
+}
+
 func (s *Session) FlashErase(off, n int) error {
 	return s.do("FlashErase", func() error { return s.inner.FlashErase(off, n) })
 }

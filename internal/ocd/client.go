@@ -166,10 +166,19 @@ func (c *Client) Continue(budget int64) (cpu.Stop, error) {
 	return decodeStop(resp)
 }
 
-// Reset power-cycles the board; a boot failure (corrupt image) surfaces as a
-// RemoteError with code "boot".
+// Reset warm-resets the board; a boot failure (corrupt image) surfaces as a
+// RemoteError with code "boot", permanent death as code "dead".
 func (c *Client) Reset() error {
 	_, err := c.call("r")
+	return err
+}
+
+// PowerCycle drops board power and cold-boots — the recovery ladder's last
+// rung before giving up on the board. Slower than Reset but clears marginal
+// conditions a warm reset cannot. Probe firmware that predates the command
+// answers Ebadcmd.
+func (c *Client) PowerCycle() error {
+	_, err := c.call("R")
 	return err
 }
 
@@ -296,6 +305,8 @@ func (c *Client) BoardState() (st board.State, boots int, lastBoot string, err e
 				st = board.On
 			case "bricked":
 				st = board.Bricked
+			case "dead":
+				st = board.Dead
 			default:
 				return 0, 0, "", fmt.Errorf("ocd: unknown state %q", v)
 			}

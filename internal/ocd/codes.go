@@ -34,6 +34,10 @@ const (
 	CodeBoot Code = "boot"
 	// CodeCov reports a corrupt coverage buffer header.
 	CodeCov Code = "cov"
+	// CodeDead reports permanent board death: the hardware will never boot
+	// again, so no recovery rung (reset, reflash, power cycle) can help.
+	// The engine maps it to core.ErrBoardDead for fleet supervisors.
+	CodeDead Code = "dead"
 )
 
 // IsCode reports whether err is a RemoteError carrying code c.

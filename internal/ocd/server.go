@@ -117,6 +117,8 @@ func (s *Server) handle(req string) (resp string, detach bool) {
 		return s.cont(req[1:]), false
 	case req == "r":
 		return s.reset(), false
+	case req == "R":
+		return s.powerCycle(), false
 	case strings.HasPrefix(req, "vFlashErase:"):
 		return s.flashErase(req[len("vFlashErase:"):]), false
 	case strings.HasPrefix(req, "vFlashWrite:"):
@@ -242,9 +244,27 @@ func (s *Server) cont(arg string) string {
 
 func (s *Server) reset() string {
 	if err := s.Board.Reset(); err != nil {
-		return ereplyMsg(CodeBoot, err.Error())
+		return ereplyMsg(bootCode(err), err.Error())
 	}
 	return "OK"
+}
+
+// powerCycle implements "R": drop board power, wait for the rails to settle
+// and cold-boot. The slow rung of the recovery ladder.
+func (s *Server) powerCycle() string {
+	if err := s.Board.PowerCycle(); err != nil {
+		return ereplyMsg(bootCode(err), err.Error())
+	}
+	return "OK"
+}
+
+// bootCode classifies a boot-path failure: permanent hardware death gets its
+// own code so the host can stop climbing the recovery ladder.
+func bootCode(err error) Code {
+	if errors.Is(err, board.ErrDead) {
+		return CodeDead
+	}
+	return CodeBoot
 }
 
 func (s *Server) flashErase(args string) string {
@@ -253,6 +273,9 @@ func (s *Server) flashErase(args string) string {
 		return ereply(CodeBadArgs)
 	}
 	if err := s.Board.FlashErase(int(off), n); err != nil {
+		if errors.Is(err, board.ErrDead) {
+			return ereplyMsg(CodeDead, err.Error())
+		}
 		return ereplyMsg(CodeFlash, err.Error())
 	}
 	return "OK"
@@ -272,6 +295,9 @@ func (s *Server) flashWrite(args string) string {
 		return ereply(CodeBadArgs)
 	}
 	if err := s.Board.FlashProgram(int(off), data); err != nil {
+		if errors.Is(err, board.ErrDead) {
+			return ereplyMsg(CodeDead, err.Error())
+		}
 		return ereplyMsg(CodeFlash, err.Error())
 	}
 	return "OK"

@@ -20,15 +20,16 @@ type Status struct {
 	now   func() time.Time // injectable for tests
 	next  time.Time
 
-	execs      int
-	edges      int // sum of per-shard fresh edges (exact in solo mode)
-	sharedMax  int // fleet-wide total carried by sync-epoch events
-	restores   int
-	bugs       int
-	faults     int64
-	retries    int64
-	reconnects int64
-	maxAt      time.Duration
+	execs       int
+	edges       int // sum of per-shard fresh edges (exact in solo mode)
+	sharedMax   int // fleet-wide total carried by sync-epoch events
+	restores    int
+	bugs        int
+	faults      int64
+	retries     int64
+	reconnects  int64
+	quarantines int
+	maxAt       time.Duration
 
 	lastExecs int
 	lastAt    time.Duration
@@ -66,6 +67,8 @@ func (s *Status) Emit(ev Event) {
 		if ev.Edges > s.sharedMax {
 			s.sharedMax = ev.Edges
 		}
+	case Quarantine:
+		s.quarantines++
 	}
 	if ev.At > s.maxAt {
 		s.maxAt = ev.At
@@ -100,8 +103,12 @@ func (s *Status) print() {
 	if s.faults > 0 || s.retries > 0 || s.reconnects > 0 {
 		link = fmt.Sprintf("%d faults, %d retries, %d reconnects", s.faults, s.retries, s.reconnects)
 	}
-	fmt.Fprintf(s.w, "[eof] t=%v execs=%d (%.1f/s) edges=%d restores=%d (%.1f%%/exec) bugs=%d link: %s\n",
-		s.maxAt.Round(time.Second), s.execs, rate, edges, s.restores, restorePct, s.bugs, link)
+	health := ""
+	if s.quarantines > 0 {
+		health = fmt.Sprintf(" quarantined=%d", s.quarantines)
+	}
+	fmt.Fprintf(s.w, "[eof] t=%v execs=%d (%.1f/s) edges=%d restores=%d (%.1f%%/exec) bugs=%d%s link: %s\n",
+		s.maxAt.Round(time.Second), s.execs, rate, edges, s.restores, restorePct, s.bugs, health, link)
 	s.lastExecs = s.execs
 	s.lastAt = s.maxAt
 }

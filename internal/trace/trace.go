@@ -68,6 +68,15 @@ const (
 	// SyncEpoch marks a fleet feedback-exchange barrier (Exec = epoch
 	// number, Edges = fleet-wide distinct edges after the exchange).
 	SyncEpoch
+	// RungEscalate records the recovery ladder climbing past a failed rung
+	// (Reason = "<rung>:<restore reason>").
+	RungEscalate
+	// Quarantine records the fleet supervisor retiring a board (Exec =
+	// slot, Reason = "dead" or "sick").
+	Quarantine
+	// SparePromote records a hot spare taking over a quarantined slot
+	// (Exec = slot, Edges = shared-history edges imported at promotion).
+	SparePromote
 
 	numKinds
 )
@@ -78,6 +87,7 @@ var kindNames = [numKinds]string{
 	"corpus-add", "bug",
 	"link-fault", "link-retry", "link-reconnect",
 	"sync-epoch",
+	"rung-escalate", "quarantine", "spare-promote",
 }
 
 func (k Kind) String() string {
