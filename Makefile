@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build check test race vet bench-fleet bench-trace
+.PHONY: build check test race vet fuzz-smoke bench-fleet bench-trace
 
 build:
 	$(GO) build ./...
@@ -16,6 +16,12 @@ race:
 
 # check is the CI gate: static analysis plus the race-enabled test suite.
 check: vet race
+
+# fuzz-smoke runs each native fuzz target briefly (the CI fuzz gate).
+fuzz-smoke:
+	$(GO) test -fuzz=FuzzRecv -fuzztime=10s -run='^$$' ./internal/rsp/
+	$(GO) test -fuzz=FuzzRoundTrip -fuzztime=10s -run='^$$' ./internal/rsp/
+	$(GO) test -fuzz=FuzzParseRepro -fuzztime=10s -run='^$$' ./internal/triage/
 
 # bench-fleet runs the fleet scaling/round-trip benchmark and records the
 # results in BENCH_fleet.json.

@@ -11,6 +11,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"sort"
 	"strings"
 	"time"
@@ -37,6 +38,11 @@ func main() {
 		statusDur = flag.Duration("status-every", 0, "print a live progress line at this host interval (e.g. 10s)")
 		verbose   = flag.Bool("v", false, "print crash logs and reproducers")
 
+		doTriage  = flag.Bool("triage", false, "triage findings: replay on restored state, classify reproducibility, minimize")
+		triageN   = flag.Int("triage-replays", 0, "confirmation replays per finding (0 = default 3)")
+		reproOut  = flag.String("repro-out", "", "write one portable repro file per triaged finding into this directory")
+		replayArg = flag.String("replay", "", "standalone mode: confirm the given repro file on a fresh board and exit")
+
 		healthResets  = flag.Int("health-reset-attempts", 0, "recovery-ladder reset-rung attempts (0 = default 1)")
 		healthReflash = flag.Int("health-reflash-attempts", 0, "recovery-ladder reflash-rung attempts (0 = default 1)")
 		healthCycles  = flag.Int("health-cycle-attempts", 0, "recovery-ladder power-cycle-rung attempts (0 = default 2)")
@@ -51,6 +57,10 @@ func main() {
 	)
 	flag.Parse()
 
+	if *replayArg != "" {
+		os.Exit(replayMain(*replayArg, *triageN))
+	}
+
 	opts := eof.Options{
 		OS:               *osName,
 		Board:            *board,
@@ -62,6 +72,8 @@ func main() {
 		LegacyLink:       *legacy,
 		LinkFaultRate:    *faults,
 		LinkRetries:      *retries,
+		Triage:           *doTriage,
+		TriageReplays:    *triageN,
 		StatusEvery:      *statusDur,
 		Health: eof.HealthOptions{
 			ResetAttempts:      *healthResets,
@@ -163,6 +175,9 @@ func main() {
 	if rep.DegradedMonitors > 0 {
 		fmt.Printf("warning: %d exception symbols unarmed (out of breakpoint comparators)\n", rep.DegradedMonitors)
 	}
+	if rep.TriagedBugs > 0 {
+		fmt.Printf("triage: %d findings confirmed in %d replays\n", rep.TriagedBugs, rep.TriageReplays)
+	}
 	if len(rep.Bugs) == 0 {
 		fmt.Println("\nno bugs found in this window")
 		return
@@ -170,6 +185,10 @@ func main() {
 	fmt.Printf("\n%d distinct bugs:\n", len(rep.Bugs))
 	for i, b := range rep.Bugs {
 		fmt.Printf("%2d. [%s/%s] %s (found at %v)\n", i+1, b.Monitor, b.Kind, b.Title, b.FoundAt.Round(time.Second))
+		if b.Reproducibility != "" {
+			fmt.Printf("      triage: %s (%d/%d replays), minimized %d -> %d calls\n",
+				b.Reproducibility, b.ReplayHits, b.Replays, b.OrigCalls, b.MinCalls)
+		}
 		if *verbose {
 			for j, fr := range b.Backtrace {
 				fmt.Printf("      Level: %d: %s\n", j+1, fr)
@@ -192,4 +211,79 @@ func main() {
 			}
 		}
 	}
+	if *reproOut != "" {
+		if err := writeRepros(*reproOut, rep.Bugs); err != nil {
+			fmt.Fprintln(os.Stderr, "eof:", err)
+			os.Exit(1)
+		}
+	}
+}
+
+// writeRepros saves every triaged finding's portable repro file into dir,
+// named deterministically after its cluster.
+func writeRepros(dir string, bugs []eof.Bug) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	written := 0
+	for i := range bugs {
+		b := &bugs[i]
+		if b.ReproJSON == "" {
+			continue
+		}
+		data, err := b.ReproFile()
+		if err != nil {
+			return err
+		}
+		path := filepath.Join(dir, sanitize(b.Cluster)+".repro.json")
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("repro written: %s\n", path)
+		written++
+	}
+	if written == 0 {
+		fmt.Println("no triaged findings to write (did the campaign run with -triage?)")
+	}
+	return nil
+}
+
+// sanitize maps a cluster key onto a filesystem-safe slug.
+func sanitize(s string) string {
+	return strings.Map(func(r rune) rune {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '-' || r == '_' || r == '.':
+			return r
+		default:
+			return '-'
+		}
+	}, s)
+}
+
+// replayMain is the standalone confirmation mode: load a repro file, build a
+// fresh board for its recorded target and replay. Exit 0 only when the crash
+// reproduces.
+func replayMain(path string, replays int) int {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "eof:", err)
+		return 1
+	}
+	res, err := eof.ReplayRepro(data, replays)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "eof:", err)
+		return 1
+	}
+	title := res.Title
+	if title == "" {
+		title = res.Signature
+	}
+	fmt.Printf("replaying %s on a fresh %s/%s board: %d/%d runs reproduced %s\n",
+		title, res.OS, res.Board, res.Hits, res.Replays, res.Cluster)
+	if !res.Confirmed {
+		fmt.Println("NOT CONFIRMED")
+		return 2
+	}
+	fmt.Println("confirmed")
+	return 0
 }

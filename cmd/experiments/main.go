@@ -20,6 +20,7 @@ func main() {
 		overhead = flag.String("overhead", "", "overhead experiment: mem or exec")
 		ablation = flag.String("ablation", "", "ablation: watchdogs, generation, link or resilience")
 		acct     = flag.Bool("accounting", false, "board-time accounting breakdown (E-time)")
+		triage   = flag.Bool("triage", false, "crash-triage evaluation: repro rate and minimization (E-triage)")
 		all      = flag.Bool("all", false, "run the full evaluation")
 		hours    = flag.Float64("hours", 24, "virtual campaign hours")
 		runs     = flag.Int("runs", 5, "repetitions per configuration")
@@ -138,8 +139,16 @@ func main() {
 		}
 		emitTable("time_accounting", t)
 	}
+	if *all || *triage {
+		ran = true
+		res, err := experiments.TriageEval(opts)
+		if err != nil {
+			fail(err)
+		}
+		emitTable("triage", res.Table)
+	}
 	if !ran {
-		fmt.Fprintln(os.Stderr, "nothing selected; use -all, -table N, -figure N, -overhead mem|exec, -ablation watchdogs|generation|link|resilience or -accounting")
+		fmt.Fprintln(os.Stderr, "nothing selected; use -all, -table N, -figure N, -overhead mem|exec, -ablation watchdogs|generation|link|resilience, -accounting or -triage")
 		os.Exit(2)
 	}
 }

@@ -31,6 +31,7 @@ import (
 	"github.com/eof-fuzz/eof/internal/specgen"
 	"github.com/eof-fuzz/eof/internal/targets"
 	"github.com/eof-fuzz/eof/internal/trace"
+	"github.com/eof-fuzz/eof/internal/triage"
 )
 
 // Targets lists the supported embedded OS names.
@@ -92,6 +93,17 @@ type Options struct {
 	// LegacyLink disables the vectored debug-link commands, forcing the
 	// multi-round-trip sequences older probe firmware needs.
 	LegacyLink bool
+
+	// Triage enables the crash-triage pipeline: every finding is replayed on
+	// freshly restored state to classify its reproducibility (stable / flaky
+	// / unreproducible), then ddmin-minimized while its crash cluster keeps
+	// matching. Solo campaigns triage between fuzzing iterations; fleets
+	// dedicate one extra board and triage at sync barriers, so confirmation
+	// happens on different hardware than discovery. Replay cost lands in the
+	// report's "triaging" time bucket.
+	Triage bool
+	// TriageReplays is the confirmation replay count per finding (default 3).
+	TriageReplays int
 
 	// LinkFaultRate injects deterministic debug-link faults at this
 	// per-command rate (flaky-adapter modelling): 60% dropped frames, 20%
@@ -197,6 +209,107 @@ type Bug struct {
 	// Trace is the flight recorder: the last trace events the finding
 	// shard emitted before detection, oldest first.
 	Trace []trace.Event
+
+	// Cluster is the normalized crash-clustering key (frame hash for faults,
+	// canonicalized expression for asserts); findings with equal clusters are
+	// the same bug.
+	Cluster string
+	// Triage outcome, zero unless the campaign ran with Options.Triage:
+	// Reproducibility is "stable", "flaky" or "unreproducible" after Replays
+	// confirmation replays, ReplayHits of which reproduced the cluster.
+	Reproducibility string
+	ReplayHits      int
+	Replays         int
+	// OrigCalls and MinCalls record the minimization ratio; ReproJSON is the
+	// minimized program in portable JSON form (see ReproFile).
+	OrigCalls int
+	MinCalls  int
+	ReproJSON string
+}
+
+// ReproFile renders a triaged finding as a portable repro file that
+// ReplayRepro (and `eof -replay`) can confirm on a fresh board.
+func (b *Bug) ReproFile() ([]byte, error) {
+	if b.ReproJSON == "" {
+		return nil, fmt.Errorf("eof: bug %q has no serialized reproducer (campaign ran without triage?)", b.Signature)
+	}
+	r := &triage.Repro{
+		OS:              b.OS,
+		Board:           b.Board,
+		Cluster:         b.Cluster,
+		Sig:             b.Signature,
+		Kind:            b.Kind,
+		Monitor:         b.Monitor,
+		Title:           b.Title,
+		Reproducibility: b.Reproducibility,
+		ReplayHits:      b.ReplayHits,
+		Replays:         b.Replays,
+		OrigCalls:       b.OrigCalls,
+		MinCalls:        b.MinCalls,
+		Prog:            []byte(b.ReproJSON),
+	}
+	return r.Encode()
+}
+
+// ReplayResult is the outcome of confirming a repro file on a fresh board.
+type ReplayResult struct {
+	OS        string
+	Board     string
+	Cluster   string
+	Signature string
+	Title     string
+	// Hits of Replays runs reproduced the recorded cluster; Confirmed is
+	// Hits > 0.
+	Hits      int
+	Replays   int
+	Confirmed bool
+}
+
+// ReplayRepro parses a repro file produced by a triage-enabled campaign,
+// builds a fresh campaign stack for its recorded OS and board, and replays
+// the program (replays = 0 uses the file's recorded count, else 3). This is
+// the cross-board confirmation path: the replaying board shares nothing with
+// the one that found the bug.
+func ReplayRepro(data []byte, replays int) (*ReplayResult, error) {
+	r, err := triage.ParseRepro(data)
+	if err != nil {
+		return nil, err
+	}
+	info, err := targets.ByName(r.OS)
+	if err != nil {
+		return nil, err
+	}
+	spec := boards.ByName(r.Board)
+	if spec == nil {
+		return nil, fmt.Errorf("eof: repro file names unknown board %q (have %v)", r.Board, Boards())
+	}
+	e, err := core.NewEngine(core.DefaultConfig(info, spec))
+	if err != nil {
+		return nil, err
+	}
+	defer e.Close()
+	p, err := e.ParseProgJSON(r.Prog)
+	if err != nil {
+		return nil, fmt.Errorf("eof: repro program: %w", err)
+	}
+	cluster := r.Cluster
+	if cluster == "" {
+		cluster = triage.Cluster(nil, r.Sig)
+	}
+	if replays <= 0 {
+		replays = r.Replays
+	}
+	if replays <= 0 {
+		replays = 3
+	}
+	hits, err := e.ConfirmRepro(p, cluster, replays)
+	if err != nil {
+		return nil, err
+	}
+	return &ReplayResult{
+		OS: r.OS, Board: r.Board, Cluster: cluster, Signature: r.Sig, Title: r.Title,
+		Hits: hits, Replays: replays, Confirmed: hits > 0,
+	}, nil
 }
 
 // Sample is one coverage-over-time point.
@@ -243,10 +356,15 @@ type Report struct {
 	// metrics layer: count, total and mean virtual latency per command,
 	// sorted by command name.
 	LinkPerCmd []link.CmdStat
+	// TriagedBugs counts findings the triage pipeline processed;
+	// TriageReplays counts the replay executions it spent (both zero when
+	// Options.Triage is off).
+	TriagedBugs   int
+	TriageReplays int
 	// TimeBy breaks board time down by activity: executing, restoring,
-	// reflashing, link overhead and (fleet) sync-barrier idling. Solo it
-	// sums to Duration exactly; in fleet mode it sums shard board time,
-	// i.e. Shards x Duration.
+	// reflashing, link overhead, triaging and (fleet) sync-barrier idling.
+	// Solo it sums to Duration exactly; in fleet mode it sums activated-board
+	// time, i.e. activated boards x Duration.
 	TimeBy trace.TimeBy
 	Bugs   []Bug
 	Series []Sample
@@ -334,6 +452,8 @@ func NewCampaign(opts Options) (*Campaign, error) {
 		cfg.LinkFaults = link.Profile(opts.LinkFaultRate, 0)
 	}
 	cfg.LinkRetries = opts.LinkRetries
+	cfg.Triage.Enabled = opts.Triage
+	cfg.Triage.Replays = opts.TriageReplays
 	cfg.Health = core.HealthConfig{
 		ResetAttempts:      opts.Health.ResetAttempts,
 		ReflashAttempts:    opts.Health.ReflashAttempts,
@@ -426,6 +546,8 @@ func convertReport(r *core.Report) *Report {
 		LinkRetries:      r.Stats.LinkRetries,
 		LinkReconnects:   r.Stats.LinkReconnects,
 		LinkPerCmd:       r.LinkPerCmd,
+		TriagedBugs:      r.Stats.TriagedBugs,
+		TriageReplays:    r.Stats.TriageReplays,
 		TimeBy:           r.TimeBy,
 		Duration:         r.Duration,
 		RungEscalations:  r.Stats.RungEscalations,
@@ -452,6 +574,9 @@ func convertReport(r *core.Report) *Report {
 			OS: b.OS, Board: b.Board, Title: b.Title, Signature: b.Sig,
 			Kind: b.Kind, Monitor: b.Monitor, Log: b.Log,
 			Reproducer: b.Prog, FoundAt: b.FoundAt, Trace: b.Trace,
+			Cluster: b.Cluster, Reproducibility: b.Reproducibility,
+			ReplayHits: b.ReplayHits, Replays: b.Replays,
+			OrigCalls: b.OrigCalls, MinCalls: b.MinCalls, ReproJSON: b.Repro,
 		}
 		if b.Fault != nil {
 			for _, fr := range b.Fault.Frames {

@@ -198,3 +198,56 @@ func TestPublicBugCarriesTrace(t *testing.T) {
 		}
 	}
 }
+
+// TestTriagePublicAPI drives the whole triage pipeline through the public
+// surface: a triage-enabled campaign yields classified, minimized findings;
+// a stable finding's repro file round-trips through ReplayRepro on a fresh
+// board and confirms.
+func TestTriagePublicAPI(t *testing.T) {
+	c, err := NewCampaign(Options{OS: "rtthread", Seed: 1234, Triage: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	rep, err := c.Run(20 * time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Bugs) == 0 {
+		t.Skip("no bugs in this short window")
+	}
+	if rep.TriagedBugs != len(rep.Bugs) || rep.TriageReplays == 0 {
+		t.Fatalf("triage stats: %d/%d triaged, %d replays", rep.TriagedBugs, len(rep.Bugs), rep.TriageReplays)
+	}
+	if rep.TimeBy.Triaging <= 0 {
+		t.Fatalf("no triaging time in the public report: %v", rep.TimeBy)
+	}
+	var stable *Bug
+	for i := range rep.Bugs {
+		b := &rep.Bugs[i]
+		if b.Cluster == "" || b.Reproducibility == "" {
+			t.Fatalf("bug %q missing triage fields", b.Signature)
+		}
+		if stable == nil && b.Reproducibility == "stable" {
+			stable = b
+		}
+	}
+	if stable == nil {
+		t.Skip("no stable finding in this window")
+	}
+	file, err := stable.ReproFile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := ReplayRepro(file, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cluster != stable.Cluster || res.OS != "rtthread" {
+		t.Fatalf("replay identity mismatch: %+v", res)
+	}
+	if !res.Confirmed {
+		t.Fatalf("stable repro did not confirm on a fresh board: %+v", res)
+	}
+	t.Logf("replayed %s: %d/%d", res.Cluster, res.Hits, res.Replays)
+}

@@ -8,6 +8,7 @@ import (
 	"strings"
 
 	"github.com/eof-fuzz/eof/internal/core"
+	"github.com/eof-fuzz/eof/internal/triage"
 )
 
 // Bug is one Table-2 entry.
@@ -51,10 +52,18 @@ func All() []Bug {
 
 // Match resolves a campaign finding to a registered bug, or ok=false for
 // incidental findings (generic invalid-free crashes, the extension driver
-// defect, ...).
+// defect, ...). Assert needles compare canonically (whitespace collapsed, the
+// same normalization triage clustering uses), so formatting jitter in the raw
+// signature cannot cost a detection in the score.
 func Match(rep *core.BugReport) (Bug, bool) {
 	for _, b := range All() {
 		if b.OS != rep.OS {
+			continue
+		}
+		if expr, isAssert := strings.CutPrefix(b.sigNeedle, "assert:"); isAssert {
+			if strings.Contains(canonAssertSig(rep), "assert:"+triage.CanonAssert(expr)) {
+				return b, true
+			}
 			continue
 		}
 		if strings.Contains(rep.Sig, b.sigNeedle) {
@@ -71,6 +80,18 @@ func Match(rep *core.BugReport) (Bug, bool) {
 		}
 	}
 	return Bug{}, false
+}
+
+// canonAssertSig returns the finding's assert signature in canonical form:
+// the triage cluster when present, else the raw signature re-canonicalized.
+func canonAssertSig(rep *core.BugReport) string {
+	if strings.HasPrefix(rep.Cluster, "assert:") {
+		return rep.Cluster
+	}
+	if expr, ok := strings.CutPrefix(rep.Sig, "assert:"); ok {
+		return "assert:" + triage.CanonAssert(expr)
+	}
+	return rep.Sig
 }
 
 // ByOS returns the registered bugs for one OS.

@@ -1,6 +1,8 @@
 package bugdb
 
 import (
+	"fmt"
+	"strings"
 	"testing"
 
 	"github.com/eof-fuzz/eof/internal/core"
@@ -89,5 +91,49 @@ func TestByOS(t *testing.T) {
 	}
 	if got := ByOS("nuttx"); len(got) != 6 {
 		t.Fatalf("nuttx bugs: %d", len(got))
+	}
+}
+
+// TestMatchEveryEntry table-drives Match over the full registry: every entry
+// must resolve from its raw signature (with whitespace jitter on asserts, to
+// pin the canonical comparison), exception entries must also resolve via the
+// backtrace fallback, and the identical finding tagged with the wrong OS must
+// be rejected.
+func TestMatchEveryEntry(t *testing.T) {
+	otherOS := map[string]string{
+		"zephyr": "nuttx", "rtthread": "zephyr", "freertos": "rtthread", "nuttx": "rtthread",
+	}
+	for _, b := range All() {
+		b := b
+		t.Run(fmt.Sprintf("bug%02d_%s", b.ID, b.OS), func(t *testing.T) {
+			rep := &core.BugReport{OS: b.OS}
+			if expr, isAssert := strings.CutPrefix(b.sigNeedle, "assert:"); isAssert {
+				rep.Monitor, rep.Kind = "log", "assert"
+				rep.Sig = "assert: " + strings.Replace(expr, " ", "   ", 1)
+			} else {
+				rep.Monitor = "exception"
+				rep.Sig = "BusFault" + b.sigNeedle
+			}
+			got, ok := Match(rep)
+			if !ok || got.ID != b.ID {
+				t.Fatalf("signature %q resolved to (ID %d, %v), want ID %d", rep.Sig, got.ID, ok, b.ID)
+			}
+			if rep.Monitor == "exception" {
+				// Unhelpful raw signature, operation only in the backtrace.
+				fb := &core.BugReport{OS: b.OS, Monitor: "exception", Sig: "HardFault@?",
+					Fault: &cpu.Fault{Kind: cpu.FaultHard, Frames: []cpu.Frame{
+						{Func: strings.TrimPrefix(b.sigNeedle, "@"), File: "x.c", Line: 1},
+					}}}
+				got, ok := Match(fb)
+				if !ok || got.ID != b.ID {
+					t.Fatalf("frame fallback resolved to (ID %d, %v), want ID %d", got.ID, ok, b.ID)
+				}
+			}
+			wrong := *rep
+			wrong.OS = otherOS[b.OS]
+			if got, ok := Match(&wrong); ok {
+				t.Fatalf("wrong-OS finding matched bug %d", got.ID)
+			}
+		})
 	}
 }

@@ -107,6 +107,11 @@ type Config struct {
 	// doubling per attempt (0 = link.DefaultBackoff).
 	LinkBackoff time.Duration
 
+	// Triage configures the crash-triage pipeline: replay confirmation,
+	// ddmin minimization and cluster-keyed repro emission. The zero value
+	// disables triage entirely (findings are reported exactly as before).
+	Triage TriageConfig
+
 	// Health tunes the escalating recovery ladder (per-rung attempt
 	// budgets, resume cap, EWMA decay, sick threshold). Zero fields take
 	// the HealthConfig defaults.

@@ -21,6 +21,7 @@ import (
 	"github.com/eof-fuzz/eof/internal/sym"
 	"github.com/eof-fuzz/eof/internal/syzlang"
 	"github.com/eof-fuzz/eof/internal/trace"
+	"github.com/eof-fuzz/eof/internal/triage"
 	"github.com/eof-fuzz/eof/internal/vtime"
 )
 
@@ -65,6 +66,12 @@ type Stats struct {
 	// LinkReconnects counts link deaths the session layer recovered from:
 	// adapter revived, breakpoints re-armed, capability latch refreshed.
 	LinkReconnects int64
+	// TriageReplays counts program re-executions spent confirming and
+	// minimizing findings; they are not Execs, and their board time lands
+	// in the triaging bucket. TriagedBugs counts findings that completed
+	// the pipeline.
+	TriageReplays int
+	TriagedBugs   int
 }
 
 // addRestoreReason records one restore attributed to reason.
@@ -114,6 +121,8 @@ func (s *Stats) Merge(o Stats) {
 	s.LinkOps += o.LinkOps
 	s.LinkRetries += o.LinkRetries
 	s.LinkReconnects += o.LinkReconnects
+	s.TriageReplays += o.TriageReplays
+	s.TriagedBugs += o.TriagedBugs
 	for k, v := range o.RestoresByReason {
 		if s.RestoresByReason == nil {
 			s.RestoresByReason = make(map[string]int)
@@ -220,6 +229,17 @@ type Engine struct {
 	restoring  bool
 	reflashing bool
 
+	// triaging flags replay/minimization mode: the timed link bills every
+	// round trip to the triaging bucket, recordBug diverts to captured
+	// instead of the findings list, and coverage is discarded. pristine
+	// tracks whether the board is freshly restored and untouched, so
+	// replays only pay for a restore when the state is actually dirty.
+	// triageQueue holds recorded findings awaiting the pipeline.
+	triaging    bool
+	pristine    bool
+	captured    *BugReport
+	triageQueue []TriageItem
+
 	// vectored tracks whether the probe accepts the single-round-trip
 	// commands; it latches off on the first Ebadcmd and the engine degrades
 	// to the legacy multi-round-trip sequences.
@@ -252,6 +272,7 @@ func NewEngine(cfg Config) (*Engine, error) {
 		cfg.SampleEvery = 5 * time.Minute
 	}
 	cfg.Health = cfg.Health.WithDefaults()
+	cfg.Triage = cfg.Triage.WithDefaults()
 
 	osInfo := cfg.OS
 	if len(cfg.CovModules) > 0 {
@@ -452,6 +473,7 @@ func (e *Engine) Setup() error {
 		return err
 	}
 	e.ready = true
+	e.pristine = true
 	e.started = e.clock.Now()
 	// Accounting starts at `started`, so setup round trips (provisioning,
 	// first boot, initial arm and resync) stay outside the reported budget
@@ -534,6 +556,7 @@ func (e *Engine) buildLinkStack() link.Link {
 		acct:       e.acct,
 		restoring:  &e.restoring,
 		reflashing: &e.reflashing,
+		triaging:   &e.triaging,
 	}
 }
 
@@ -606,6 +629,9 @@ func (e *Engine) RunFor(budget time.Duration) error {
 	deadline := e.clock.DeadlineIn(budget)
 	for !deadline.Expired(e.clock) {
 		if err := e.iteration(); err != nil && !errors.Is(err, errRestart) {
+			return err
+		}
+		if err := e.drainTriage(); err != nil {
 			return err
 		}
 		e.sample()
@@ -743,6 +769,7 @@ func isBadCmd(err error) bool {
 // timeouts.
 func (e *Engine) pumpToMain(p *prog.Prog, buf []byte) error {
 	start := e.clock.Now()
+	e.pristine = false
 	for i := 0; i < e.cfg.MaxContinues; i++ {
 		var st cpu.Stop
 		var delivered bool
@@ -780,7 +807,9 @@ func (e *Engine) pumpToMain(p *prog.Prog, buf []byte) error {
 			}
 			if name, isExc := e.excAddrs[st.PC]; isExc {
 				e.onException(name, p)
-				e.stats.Crashes++
+				if !e.triaging {
+					e.stats.Crashes++
+				}
 				return e.restore("crash")
 			}
 			// Foreign breakpoint: fall through and resume.
@@ -797,7 +826,9 @@ func (e *Engine) pumpToMain(p *prog.Prog, buf []byte) error {
 			// armed); the halt itself still reveals the crash on the link.
 			if e.cfg.Monitors.Exception {
 				e.onFaultStop(st, p)
-				e.stats.Crashes++
+				if !e.triaging {
+					e.stats.Crashes++
+				}
 			}
 			return e.restore("fault")
 		case cpu.StopBudget:
@@ -899,6 +930,11 @@ func (e *Engine) drainCoverageLegacy() (int, error) {
 // ingestEdges feeds drained entries into the local collector, the pending
 // fleet sync delta, and (when fleet-attached) the shared sink.
 func (e *Engine) ingestEdges(entries []uint32) int {
+	if e.triaging {
+		// Replays must not perturb the campaign's feedback state: the
+		// buffer is cleared on the target, the drained edges are dropped.
+		return 0
+	}
 	fresh := e.collector.Ingest(entries)
 	if len(fresh) > 0 {
 		e.delta.Edges = append(e.delta.Edges, fresh...)
@@ -937,7 +973,7 @@ func (e *Engine) scanLog(p *prog.Prog) error {
 		Monitor: "log",
 		Log:     e.logMon.Context(),
 		Prog:    p.String(),
-	})
+	}, p)
 	return nil
 }
 
@@ -956,7 +992,7 @@ func (e *Engine) onException(symName string, p *prog.Prog) {
 			Kind:    "panic",
 			Monitor: "exception",
 			Prog:    p.String(),
-		})
+		}, p)
 		return
 	}
 	fault, err := fsb.Decode(raw)
@@ -967,7 +1003,7 @@ func (e *Engine) onException(symName string, p *prog.Prog) {
 			Kind:    "panic",
 			Monitor: "exception",
 			Prog:    p.String(),
-		})
+		}, p)
 		return
 	}
 	e.scanLogQuiet()
@@ -979,7 +1015,7 @@ func (e *Engine) onException(symName string, p *prog.Prog) {
 		Fault:   fault,
 		Log:     e.logMon.Context(),
 		Prog:    p.String(),
-	})
+	}, p)
 }
 
 // onFaultStop handles a raw fault halt (no exception breakpoint armed).
@@ -997,7 +1033,7 @@ func (e *Engine) onFaultStop(st cpu.Stop, p *prog.Prog) {
 		Fault:   f,
 		Log:     e.logMon.Context(),
 		Prog:    p.String(),
-	})
+	}, p)
 }
 
 // scanLogQuiet pulls UART context without pattern-triggered reports (the
@@ -1010,11 +1046,21 @@ func (e *Engine) scanLogQuiet() {
 	e.logMon.Scan(lines)
 }
 
-func (e *Engine) recordBug(b *BugReport) {
-	if e.bugSigs[b.Sig] {
+func (e *Engine) recordBug(b *BugReport, p *prog.Prog) {
+	b.Cluster = triage.Cluster(b.Fault, b.Sig)
+	if e.triaging {
+		// Replay capture mode: the pipeline only wants the cluster of
+		// whatever this run hit; nothing joins the findings list.
+		e.captured = b
 		return
 	}
-	e.bugSigs[b.Sig] = true
+	// Dedup on the normalized cluster, not the raw signature: the same
+	// fault reached through two callers (or observed by two monitors with
+	// jittering message text) is one bug.
+	if e.bugSigs[b.Cluster] {
+		return
+	}
+	e.bugSigs[b.Cluster] = true
 	b.OS = e.cfg.OS.Name
 	b.Board = e.cfg.Board.Name
 	b.FoundAt = e.clock.Now() - e.started
@@ -1023,6 +1069,9 @@ func (e *Engine) recordBug(b *BugReport) {
 	b.Trace = e.tracer.Recent()
 	e.bugs = append(e.bugs, b)
 	e.tracer.Emit(trace.Event{Kind: trace.Bug, Exec: e.stats.Execs, Reason: b.Sig})
+	if e.cfg.Triage.Enabled && p != nil {
+		e.triageQueue = append(e.triageQueue, TriageItem{Bug: b, P: p.Clone()})
+	}
 }
 
 // restore generalises Algorithm 1's StateRestoration into an escalating
@@ -1056,6 +1105,7 @@ func (e *Engine) restore(reason string) error {
 		})
 		return fmt.Errorf("core: restore(%s): %w", reason, err)
 	}
+	e.pristine = true
 	e.tracer.Emit(trace.Event{
 		Kind:   trace.RestoreEnd,
 		Exec:   e.stats.Execs,

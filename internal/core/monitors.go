@@ -14,7 +14,7 @@ import (
 type BugReport struct {
 	OS      string
 	Board   string
-	Sig     string // dedup signature
+	Sig     string // raw signature as the monitor saw it
 	Title   string
 	Kind    string // "panic" or "assert"
 	Monitor string // "exception" or "log"
@@ -25,6 +25,21 @@ type BugReport struct {
 	// Trace is the flight recorder: the last trace events leading up to
 	// detection, oldest first.
 	Trace []trace.Event
+
+	// Cluster is the normalized dedup key (frame hash for faults,
+	// canonicalized needle for asserts); reports with equal clusters are
+	// the same bug.
+	Cluster string
+	// Triage outcome, filled when the pipeline ran: Reproducibility is
+	// stable / flaky / unreproducible after Replays confirmation runs
+	// (ReplayHits of which reproduced); OrigCalls / MinCalls record the
+	// minimization ratio; Repro is the minimal program in the JSON form.
+	Reproducibility string
+	ReplayHits      int
+	Replays         int
+	OrigCalls       int
+	MinCalls        int
+	Repro           string
 }
 
 // crashPatterns are the log monitor's regular expressions (§4.5.2: "output

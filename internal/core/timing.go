@@ -14,16 +14,23 @@ import (
 // everything else is link overhead — but while the engine is inside a
 // restoration the engine's mode flags coerce non-reflash commands to the
 // restoring category, so restoration's reboot/re-arm/resync round trips are
-// charged to restoration as the paper accounts them.
+// charged to restoration as the paper accounts them. The triage flag
+// outranks everything: during replay/minimization every round trip —
+// including restores and reflashes the replays themselves trigger — is
+// billed to triage, keeping the bucket an honest total cost of triage.
 type timedLink struct {
 	inner      link.Link
 	acct       *trace.Accountant
 	restoring  *bool // engine's in-restore flag
 	reflashing *bool // engine's in-reflash flag (within restore)
+	triaging   *bool // engine's in-triage flag
 }
 
 // cat resolves the category for a command whose default is def.
 func (w *timedLink) cat(def trace.Category) trace.Category {
+	if *w.triaging {
+		return trace.CatTriage
+	}
 	if *w.reflashing {
 		return trace.CatReflash
 	}
@@ -77,14 +84,23 @@ func (w *timedLink) PowerCycle() error {
 
 func (w *timedLink) FlashErase(off, n int) error {
 	start := w.acct.Begin()
-	defer w.acct.End(trace.CatReflash, start)
+	defer w.acct.End(w.flashCat(), start)
 	return w.inner.FlashErase(off, n)
 }
 
 func (w *timedLink) FlashWrite(off int, data []byte) error {
 	start := w.acct.Begin()
-	defer w.acct.End(trace.CatReflash, start)
+	defer w.acct.End(w.flashCat(), start)
 	return w.inner.FlashWrite(off, data)
+}
+
+// flashCat is the category for flash transfers: reflashing, unless the
+// reflash happens while replaying a finding, in which case it is triage cost.
+func (w *timedLink) flashCat() trace.Category {
+	if *w.triaging {
+		return trace.CatTriage
+	}
+	return trace.CatReflash
 }
 
 func (w *timedLink) DrainCov(addr uint64, maxEntries int) ([]uint32, uint32, error) {

@@ -1,0 +1,165 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"github.com/eof-fuzz/eof/internal/boards"
+	"github.com/eof-fuzz/eof/internal/cpu"
+	"github.com/eof-fuzz/eof/internal/targets"
+	"github.com/eof-fuzz/eof/internal/triage"
+)
+
+// TestTriageSoloCampaign runs a bug-rich campaign with the pipeline on and
+// checks the whole loop: findings get classified, minimized reproducers are
+// parseable, replay cost lands in the triaging bucket, and the accounting
+// invariant still holds exactly.
+func TestTriageSoloCampaign(t *testing.T) {
+	rep := runShort(t, "rtthread", 20*time.Minute, func(c *Config) {
+		c.Seed = 1234
+		c.Triage.Enabled = true
+	})
+	if len(rep.Bugs) == 0 {
+		t.Fatalf("no bugs in 20 virtual minutes; stats=%+v", rep.Stats)
+	}
+	if rep.Stats.TriagedBugs != len(rep.Bugs) {
+		t.Fatalf("triaged %d of %d bugs", rep.Stats.TriagedBugs, len(rep.Bugs))
+	}
+	if rep.Stats.TriageReplays == 0 {
+		t.Fatal("no triage replays recorded")
+	}
+	if rep.TimeBy.Triaging <= 0 {
+		t.Fatalf("no board time charged to triaging: %v", rep.TimeBy)
+	}
+	if rep.TimeBy.Sum() != rep.Duration {
+		t.Fatalf("accounting broke under triage: %v sums to %v, duration %v",
+			rep.TimeBy, rep.TimeBy.Sum(), rep.Duration)
+	}
+	reproducible := 0
+	for _, b := range rep.Bugs {
+		t.Logf("bug %s: %s %d/%d replays, %d->%d calls",
+			b.Cluster, b.Reproducibility, b.ReplayHits, b.Replays, b.OrigCalls, b.MinCalls)
+		if b.Cluster == "" {
+			t.Errorf("bug %q has no cluster", b.Sig)
+		}
+		if b.Reproducibility == "" {
+			t.Errorf("bug %q not classified", b.Sig)
+		}
+		if b.MinCalls > b.OrigCalls || b.OrigCalls == 0 {
+			t.Errorf("bug %q: bad minimization %d -> %d", b.Sig, b.OrigCalls, b.MinCalls)
+		}
+		if b.Repro == "" {
+			t.Errorf("bug %q has no serialized repro", b.Sig)
+		}
+		if b.Reproducibility != triage.ReproNone {
+			reproducible++
+		}
+	}
+	if reproducible == 0 {
+		t.Fatal("no finding confirmed reproducible")
+	}
+}
+
+// TestTriageDisabledUnchanged: the zero-value Triage config must leave the
+// campaign exactly as before — no replays, no triaging time, no queue.
+func TestTriageDisabledUnchanged(t *testing.T) {
+	rep := runShort(t, "rtthread", 10*time.Minute, func(c *Config) { c.Seed = 1234 })
+	if rep.Stats.TriageReplays != 0 || rep.Stats.TriagedBugs != 0 {
+		t.Fatalf("triage ran while disabled: %+v", rep.Stats)
+	}
+	if rep.TimeBy.Triaging != 0 {
+		t.Fatalf("triaging time charged while disabled: %v", rep.TimeBy)
+	}
+}
+
+// TestRecordBugClusterDedup is the regression test for the dedup fix: raw
+// signatures that differ only in normalized-away detail must collapse into
+// one finding.
+func TestRecordBugClusterDedup(t *testing.T) {
+	info, err := targets.ByName("rtthread")
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := NewEngine(DefaultConfig(info, boards.STM32H745()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+
+	// Same assert expression with formatting jitter: one bug.
+	e.recordBug(&BugReport{Sig: "assert:x ==  1", Monitor: "log", Kind: "assert"}, nil)
+	e.recordBug(&BugReport{Sig: "assert:x == 1", Monitor: "log", Kind: "assert"}, nil)
+	if len(e.bugs) != 1 {
+		t.Fatalf("assert jitter minted %d bugs, want 1", len(e.bugs))
+	}
+
+	// Same fault in the same kernel helper reached from two API entry
+	// points: one bug (the caller frame is excluded from the cluster).
+	mkFault := func(caller string) *cpu.Fault {
+		return &cpu.Fault{Kind: cpu.FaultBus, Frames: []cpu.Frame{
+			{Func: "__ipc_queue_push", File: "ipc.c", Line: 40},
+			{Func: caller, File: "api.c", Line: 7},
+		}}
+	}
+	e.recordBug(&BugReport{Sig: "BusFault@__ipc_queue_push via rt_mq_send", Monitor: "exception", Fault: mkFault("rt_mq_send")}, nil)
+	e.recordBug(&BugReport{Sig: "BusFault@__ipc_queue_push via rt_event_send", Monitor: "exception", Fault: mkFault("rt_event_send")}, nil)
+	if len(e.bugs) != 2 {
+		t.Fatalf("two-caller fault minted %d extra bugs, want 1 (total 2): %+v", len(e.bugs)-1, sigsOf(e.bugs))
+	}
+
+	// Distinct fault kinds at the same frame stay distinct bugs.
+	e.recordBug(&BugReport{Sig: "UsageFault@__ipc_queue_push", Monitor: "exception", Fault: &cpu.Fault{
+		Kind: cpu.FaultUsage, Frames: []cpu.Frame{{Func: "__ipc_queue_push"}},
+	}}, nil)
+	if len(e.bugs) != 3 {
+		t.Fatalf("distinct fault kind collapsed: %d bugs", len(e.bugs))
+	}
+}
+
+func sigsOf(bugs []*BugReport) []string {
+	out := make([]string, len(bugs))
+	for i, b := range bugs {
+		out[i] = b.Sig + " / " + b.Cluster
+	}
+	return out
+}
+
+// TestConfirmReproOnFreshEngine takes a stable reproducer out of one
+// campaign and confirms it on a brand-new engine — the -replay path.
+func TestConfirmReproOnFreshEngine(t *testing.T) {
+	rep := runShort(t, "rtthread", 20*time.Minute, func(c *Config) {
+		c.Seed = 1234
+		c.Triage.Enabled = true
+	})
+	var pick *BugReport
+	for _, b := range rep.Bugs {
+		if b.Reproducibility == triage.ReproStable && b.Repro != "" {
+			pick = b
+			break
+		}
+	}
+	if pick == nil {
+		t.Skip("no stable finding in this window")
+	}
+	info, err := targets.ByName("rtthread")
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := NewEngine(DefaultConfig(info, boards.STM32H745()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	p, err := e.ParseProgJSON([]byte(pick.Repro))
+	if err != nil {
+		t.Fatalf("repro does not round-trip: %v", err)
+	}
+	hits, err := e.ConfirmRepro(p, pick.Cluster, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("fresh-board confirmation: %d/3 for %s", hits, pick.Cluster)
+	if hits == 0 {
+		t.Fatalf("stable repro did not reproduce on a fresh board (cluster %s)", pick.Cluster)
+	}
+}

@@ -152,3 +152,26 @@ func TestAblationResilienceShape(t *testing.T) {
 	}
 	t.Logf("\n%s", tab.Render())
 }
+
+func TestTriageEvalQuick(t *testing.T) {
+	res, err := TriageEval(Options{Hours: 0.35, Runs: 1, SeedBase: 1234, Parallel: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Findings == 0 {
+		t.Fatal("no findings triaged even in the quick profile")
+	}
+	if !res.AccountingOK {
+		t.Fatal("board-time accounting broke under triage load")
+	}
+	// The acceptance bars from the paper's triage protocol: at least 90% of
+	// findings confirm on replay and the median minimized program is at most
+	// half the original.
+	if res.ReproRate < 0.9 {
+		t.Fatalf("repro rate %.0f%% below the 90%% bar (%d/%d)", res.ReproRate*100, res.Reproducible, res.Findings)
+	}
+	if res.MedianRatio > 0.5 {
+		t.Fatalf("median minimization ratio %.0f%% above the 50%% bar", res.MedianRatio*100)
+	}
+	t.Logf("\n%s", res.Table.Render())
+}

@@ -1,0 +1,158 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/eof-fuzz/eof/internal/bugdb"
+	"github.com/eof-fuzz/eof/internal/core"
+	"github.com/eof-fuzz/eof/internal/targets"
+	"github.com/eof-fuzz/eof/internal/triage"
+)
+
+// TriageResult carries the E-triage evaluation: how well the crash-triage
+// pipeline confirms and shrinks the Table-2 findings.
+type TriageResult struct {
+	Table *Table
+	// Findings counts triaged findings across every campaign; Reproducible
+	// counts those that reproduced at least once on replay.
+	Findings     int
+	Reproducible int
+	// ReproRate is Reproducible/Findings.
+	ReproRate float64
+	// MedianRatio is the median MinCalls/OrigCalls over reproducible
+	// findings (1.0 = minimization never removed a call).
+	MedianRatio float64
+	// AccountingOK reports whether every campaign's TimeBy — triaging bucket
+	// included — summed exactly to its Duration.
+	AccountingOK bool
+}
+
+// TriageEval runs triage-enabled campaigns on the four evaluated OSes and
+// scores the pipeline: repro rate across the planted-bug findings, the
+// minimization ratio, and the board-time accounting invariant under the
+// extra triaging load.
+func TriageEval(opts Options) (*TriageResult, error) {
+	type job struct {
+		os  string
+		run int
+	}
+	var jobs []job
+	for _, osName := range Table2OSes {
+		for r := 0; r < opts.Runs; r++ {
+			jobs = append(jobs, job{osName, r})
+		}
+	}
+	reports := make([]*core.Report, len(jobs))
+	err := runParallel(len(jobs), opts.parallel(), func(i int) error {
+		info, err := targets.ByName(jobs[i].os)
+		if err != nil {
+			return err
+		}
+		cfg := core.DefaultConfig(info, evalBoards()[jobs[i].os])
+		cfg.Seed = opts.SeedBase + int64(i)
+		cfg.Triage.Enabled = true
+		e, err := core.NewEngine(cfg)
+		if err != nil {
+			return err
+		}
+		defer e.Close()
+		rep, err := e.Run(opts.budget())
+		if err != nil {
+			return err
+		}
+		reports[i] = rep
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	res := &TriageResult{AccountingOK: true}
+	// Best outcome per registered bug: keep the most-reproducible, then
+	// smallest, finding across runs.
+	type outcome struct {
+		repro    string
+		hits, n  int
+		orig, mn int
+	}
+	best := make(map[int]outcome)
+	var ratios []float64
+	for _, rep := range reports {
+		if rep.TimeBy.Sum() != rep.Duration {
+			res.AccountingOK = false
+		}
+		for _, b := range rep.Bugs {
+			res.Findings++
+			if b.Reproducibility != triage.ReproNone {
+				res.Reproducible++
+				if b.OrigCalls > 0 {
+					ratios = append(ratios, float64(b.MinCalls)/float64(b.OrigCalls))
+				}
+			}
+			bug, ok := bugdb.Match(b)
+			if !ok {
+				continue
+			}
+			o := outcome{repro: b.Reproducibility, hits: b.ReplayHits, n: b.Replays, orig: b.OrigCalls, mn: b.MinCalls}
+			if prev, seen := best[bug.ID]; !seen || reproRank(o.repro) > reproRank(prev.repro) ||
+				(reproRank(o.repro) == reproRank(prev.repro) && o.mn < prev.mn) {
+				best[bug.ID] = o
+			}
+		}
+	}
+	if res.Findings > 0 {
+		res.ReproRate = float64(res.Reproducible) / float64(res.Findings)
+	}
+	res.MedianRatio = median(ratios)
+
+	t := &Table{
+		Title:   fmt.Sprintf("E-triage: replay confirmation and minimization of Table-2 findings (%gh x %d runs)", opts.Hours, opts.Runs),
+		Columns: []string{"#", "Target OS", "Operations", "Repro", "Replays", "Calls orig->min"},
+	}
+	for _, bug := range bugdb.All() {
+		o, found := best[bug.ID]
+		repro, replays, calls := "-", "-", "-"
+		if found {
+			repro = o.repro
+			replays = fmt.Sprintf("%d/%d", o.hits, o.n)
+			calls = fmt.Sprintf("%d -> %d", o.orig, o.mn)
+		}
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("%d", bug.ID), bug.OS, bug.Op, repro, replays, calls,
+		})
+	}
+	t.Notes = append(t.Notes,
+		fmt.Sprintf("findings triaged: %d, reproducible: %d (%.0f%%, target >=90%%)",
+			res.Findings, res.Reproducible, res.ReproRate*100),
+		fmt.Sprintf("median minimization ratio: %.0f%% of original calls (target <=50%%)", res.MedianRatio*100),
+		fmt.Sprintf("board-time accounting exact under triage: %v", res.AccountingOK),
+	)
+	res.Table = t
+	return res, nil
+}
+
+// reproRank orders reproducibility verdicts for best-outcome selection.
+func reproRank(r string) int {
+	switch r {
+	case triage.ReproStable:
+		return 2
+	case triage.ReproFlaky:
+		return 1
+	default:
+		return 0
+	}
+}
+
+// median returns the middle value of xs (0 when empty).
+func median(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	if len(s)%2 == 1 {
+		return s[len(s)/2]
+	}
+	return (s[len(s)/2-1] + s[len(s)/2]) / 2
+}

@@ -100,6 +100,17 @@ type Fleet struct {
 	buffers    []*trace.Buffer
 	flushQueue [][]int
 
+	// triageIdx is the dedicated triage board's physical index (after the
+	// spares; -1 when triage is disabled). Shards run with deferred triage
+	// and the fleet drains their queues onto this board at every epoch
+	// barrier in slot order, so findings are confirmed on different
+	// hardware than found them and the merged journal stays deterministic.
+	// triaged caches completed verdicts by cluster so a finding another
+	// shard already confirmed is copied, not replayed again.
+	triageIdx  int
+	triageDead bool
+	triaged    map[string]*core.BugReport
+
 	shardReports []*core.Report
 }
 
@@ -124,16 +135,28 @@ func New(cfg core.Config, opts Options) (*Fleet, error) {
 		opts:          opts,
 		shared:        cov.NewCollector(),
 		sickThreshold: cfg.Health.WithDefaults().SickThreshold,
+		triageIdx:     -1,
+		triaged:       make(map[string]*core.BugReport),
 	}
 	if cfg.TraceSink != nil {
 		f.journal = cfg.TraceSink
 	}
 	total := opts.Shards + opts.Spares
-	for i := 0; i < total; i++ {
+	boards := total
+	if cfg.Triage.Enabled {
+		// One extra physical board, dedicated to triage: shards defer
+		// (enqueue only) and the barrier drains their queues onto it.
+		f.triageIdx = total
+		boards = total + 1
+	}
+	for i := 0; i < boards; i++ {
 		scfg := cfg
 		scfg.Seed = cfg.Seed + int64(i)*shardSeedStride
 		scfg.Shard = i
-		if i < len(opts.Degrade) {
+		if scfg.Triage.Enabled {
+			scfg.Triage.Deferred = true
+		}
+		if i < len(opts.Degrade) && i < total {
 			scfg.Degrade = opts.Degrade[i]
 		}
 		if f.journal != nil {
@@ -150,15 +173,16 @@ func New(cfg core.Config, opts Options) (*Fleet, error) {
 			return nil, fmt.Errorf("fleet: board %d: %w", i, err)
 		}
 		e.SetSharedSink(f.shared)
-		if i < opts.Shards {
+		switch {
+		case i < opts.Shards:
 			f.setFocus(e, i)
 			f.slots = append(f.slots, i)
-		} else {
+		case i < total:
 			f.spares = append(f.spares, i)
 		}
 		f.engines = append(f.engines, e)
 	}
-	f.active = make([]bool, total)
+	f.active = make([]bool, boards)
 	f.flushQueue = make([][]int, opts.Shards)
 	return f, nil
 }
@@ -309,6 +333,9 @@ func (f *Fleet) Run(total time.Duration) (*core.Report, error) {
 				}
 			}
 		}
+		if err := f.runTriage(occupants); err != nil {
+			return nil, err
+		}
 		f.flushJournal()
 		if f.mannedCount() == 0 {
 			return nil, fmt.Errorf("fleet: every board dead after %v: %w", elapsed, core.ErrBoardDead)
@@ -385,6 +412,55 @@ func (f *Fleet) promote(slot int, at time.Duration) (int, error) {
 	return -1, nil
 }
 
+// runTriage drains every occupant's deferred triage queue onto the dedicated
+// triage board, in slot order so replay verdicts and journal events are
+// identical run to run. A finding whose cluster was already confirmed —
+// possibly by a different shard — inherits the cached verdict instead of
+// burning board time on a duplicate. Dead boards still appear in occupants,
+// so a dying shard's last findings get triaged too. If the triage board
+// itself dies, the remaining findings stay untriaged rather than killing the
+// campaign.
+func (f *Fleet) runTriage(occupants []int) error {
+	if f.triageIdx < 0 {
+		return nil
+	}
+	te := f.engines[f.triageIdx]
+	for _, b := range occupants {
+		if b < 0 {
+			continue
+		}
+		for _, item := range f.engines[b].DrainTriageQueue() {
+			if prior, ok := f.triaged[item.Bug.Cluster]; ok {
+				copyTriage(prior, item.Bug)
+				continue
+			}
+			if f.triageDead {
+				continue
+			}
+			f.active[f.triageIdx] = true
+			if err := te.TriageBug(item.Bug, item.P); err != nil {
+				if !errors.Is(err, core.ErrBoardDead) {
+					return fmt.Errorf("fleet: triage board: %w", err)
+				}
+				f.triageDead = true
+			}
+			f.triaged[item.Bug.Cluster] = item.Bug
+		}
+	}
+	return nil
+}
+
+// copyTriage copies a cached triage verdict onto a duplicate finding.
+func copyTriage(from, to *core.BugReport) {
+	to.Reproducibility = from.Reproducibility
+	to.ReplayHits = from.ReplayHits
+	to.Replays = from.Replays
+	to.OrigCalls = from.OrigCalls
+	to.MinCalls = from.MinCalls
+	to.Repro = from.Repro
+	to.Prog = from.Prog
+}
+
 // appendHistory accumulates a broadcast delta into the promotion history.
 // ImportSyncDelta clones seed programs on import, so sharing the slices with
 // the original broadcast is safe.
@@ -412,6 +488,11 @@ func (f *Fleet) flushJournal() {
 			f.flushBuffer(b)
 		}
 	}
+	// The triage board's events (all produced at the barrier, after every
+	// shard's slice) flush last.
+	if f.triageIdx >= 0 {
+		f.flushBuffer(f.triageIdx)
+	}
 }
 
 func (f *Fleet) flushBuffer(b int) {
@@ -429,7 +510,7 @@ func (f *Fleet) ShardReports() []*core.Report { return f.shardReports }
 
 // mergeReport folds the activated boards' reports into one campaign report
 // with stable ordering: stats summed in physical-board order, bugs
-// deduplicated by signature in (board, discovery) order, Duration = the
+// deduplicated by cluster in (board, discovery) order, Duration = the
 // longest board's virtual runtime (= the pool's wall-clock, since slots run
 // concurrently). Board-time accounting: a board that finished early — or
 // died early, or joined late as a spare — sat out the rest of the pool's
@@ -455,8 +536,12 @@ func (f *Fleet) mergeReport(series []core.CoverSample) *core.Report {
 			out.Health = r.Health
 		}
 		for _, bug := range r.Bugs {
-			if !seen[bug.Sig] {
-				seen[bug.Sig] = true
+			key := bug.Cluster
+			if key == "" {
+				key = bug.Sig
+			}
+			if !seen[key] {
+				seen[key] = true
 				out.Bugs = append(out.Bugs, bug)
 			}
 		}

@@ -230,6 +230,95 @@ func TestFleetJournalDeterministic(t *testing.T) {
 	}
 }
 
+// TestFleetTriage checks the dedicated-board pipeline: shards defer their
+// findings, the barrier drains them onto the extra triage board, every merged
+// finding carries a verdict, cross-shard duplicates collapse by cluster, and
+// the accounting invariant extends to the extra board.
+func TestFleetTriage(t *testing.T) {
+	cfg := fleetConfig(t, "rtthread", 1234)
+	cfg.Triage.Enabled = true
+	f, err := New(cfg, Options{Shards: 2, SyncEvery: 5 * time.Minute})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	rep, err := f.Run(40 * time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Bugs) == 0 {
+		t.Fatalf("no bugs found across the pool: %+v", rep.Stats)
+	}
+	if rep.Stats.TriagedBugs == 0 || rep.Stats.TriageReplays == 0 {
+		t.Fatalf("triage board never worked: %+v", rep.Stats)
+	}
+	if rep.TimeBy.Triaging <= 0 {
+		t.Fatalf("no board time charged to triaging: %v", rep.TimeBy)
+	}
+	seen := make(map[string]bool)
+	for _, b := range rep.Bugs {
+		if b.Cluster == "" || b.Reproducibility == "" {
+			t.Errorf("merged bug %q missing triage verdict (%q/%q)", b.Sig, b.Cluster, b.Reproducibility)
+		}
+		if seen[b.Cluster] {
+			t.Errorf("cluster %s appears twice in the merged report", b.Cluster)
+		}
+		seen[b.Cluster] = true
+	}
+	// 2 shards plus the triage board were activated, and every activated
+	// board's budget sums to the pool's wall-clock.
+	srs := f.ShardReports()
+	if len(srs) != 3 {
+		t.Fatalf("ShardReports returned %d reports, want 2 shards + triage board", len(srs))
+	}
+	for i, sr := range srs {
+		if sr.TimeBy.Sum() != rep.Duration {
+			t.Fatalf("board %d TimeBy sums to %v, want pool Duration %v (%s)",
+				i, sr.TimeBy.Sum(), rep.Duration, sr.TimeBy)
+		}
+	}
+	if want := rep.Duration * time.Duration(len(srs)); rep.TimeBy.Sum() != want {
+		t.Fatalf("merged TimeBy sums to %v, want %v (%d x %v)", rep.TimeBy.Sum(), want, len(srs), rep.Duration)
+	}
+	t.Logf("fleet triage: %d bugs, %d replays, %s", len(rep.Bugs), rep.Stats.TriageReplays, rep.TimeBy)
+}
+
+// TestFleetTriageDeterministic extends the journal-determinism guarantee to
+// triage-enabled campaigns: two identical seeded runs must produce identical
+// journals (triage events included) and identical reproducers.
+func TestFleetTriageDeterministic(t *testing.T) {
+	run := func() ([]trace.Event, *core.Report) {
+		cfg := fleetConfig(t, "rtthread", 1234)
+		cfg.Triage.Enabled = true
+		buf := trace.NewBuffer()
+		cfg.TraceSink = buf
+		rep := runFleet(t, cfg, Options{Shards: 2, SyncEvery: 5 * time.Minute}, 40*time.Minute)
+		return buf.Events(), rep
+	}
+	ea, ra := run()
+	eb, rb := run()
+	if len(ea) == 0 {
+		t.Fatal("fleet journal empty")
+	}
+	if len(ea) != len(eb) {
+		t.Fatalf("journal lengths differ across identical runs: %d vs %d", len(ea), len(eb))
+	}
+	for i := range ea {
+		if ea[i] != eb[i] {
+			t.Fatalf("journal event %d differs:\n%+v\n%+v", i, ea[i], eb[i])
+		}
+	}
+	if len(ra.Bugs) != len(rb.Bugs) {
+		t.Fatalf("bug counts differ: %d vs %d", len(ra.Bugs), len(rb.Bugs))
+	}
+	for i := range ra.Bugs {
+		x, y := ra.Bugs[i], rb.Bugs[i]
+		if x.Cluster != y.Cluster || x.Reproducibility != y.Reproducibility || x.Repro != y.Repro {
+			t.Fatalf("bug %d triage outcome differs:\n%s %s\n%s %s", i, x.Cluster, x.Reproducibility, y.Cluster, y.Reproducibility)
+		}
+	}
+}
+
 func TestFleetJournalMergesInShardOrder(t *testing.T) {
 	cfg := fleetConfig(t, "freertos", 11)
 	buf := trace.NewBuffer()

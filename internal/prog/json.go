@@ -1,0 +1,141 @@
+package prog
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"github.com/eof-fuzz/eof/internal/syzlang"
+)
+
+// The JSON program form is the repro-file payload: name-keyed calls with
+// typed arguments, stable field order, round-trippable through any Target
+// built for the same OS. It deliberately carries no dispatch indices — those
+// are rebound from the spec at load time, so a repro file survives spec
+// reorderings that keep call names and signatures.
+
+type jsonProg struct {
+	Calls []jsonCall `json:"calls"`
+}
+
+type jsonCall struct {
+	Name string    `json:"name"`
+	Args []jsonArg `json:"args,omitempty"`
+}
+
+type jsonArg struct {
+	// Kind is "const", "result" or "data".
+	Kind  string `json:"kind"`
+	Val   uint64 `json:"val,omitempty"`
+	Index int    `json:"index,omitempty"`
+	Data  []byte `json:"data,omitempty"`
+}
+
+// ToJSON serializes p into the portable JSON program form.
+func ToJSON(p *Prog) ([]byte, error) {
+	jp := jsonProg{Calls: make([]jsonCall, 0, len(p.Calls))}
+	for ci, c := range p.Calls {
+		jc := jsonCall{Name: c.Meta.Name}
+		for ai, a := range c.Args {
+			switch v := a.(type) {
+			case *ConstArg:
+				jc.Args = append(jc.Args, jsonArg{Kind: "const", Val: v.Val})
+			case *ResultArg:
+				jc.Args = append(jc.Args, jsonArg{Kind: "result", Index: v.Index})
+			case *DataArg:
+				jc.Args = append(jc.Args, jsonArg{Kind: "data", Data: v.Data})
+			default:
+				return nil, fmt.Errorf("prog: call %d arg %d: unknown arg kind %T", ci, ai, a)
+			}
+		}
+		jp.Calls = append(jp.Calls, jc)
+	}
+	return json.Marshal(jp)
+}
+
+// FromJSON parses the JSON program form against this target's spec, rebinding
+// each call by name and validating the result, so a corrupt or cross-OS repro
+// file fails loudly instead of executing garbage.
+func (t *Target) FromJSON(data []byte) (*Prog, error) {
+	var jp jsonProg
+	if err := json.Unmarshal(data, &jp); err != nil {
+		return nil, fmt.Errorf("prog: bad program JSON: %w", err)
+	}
+	if len(jp.Calls) == 0 {
+		return nil, fmt.Errorf("prog: program JSON has no calls")
+	}
+	byName := make(map[string]*syzlang.Call, len(t.Spec.Calls))
+	for _, c := range t.Spec.Calls {
+		byName[c.Name] = c
+	}
+	p := &Prog{Calls: make([]*Call, 0, len(jp.Calls))}
+	for ci, jc := range jp.Calls {
+		meta, ok := byName[jc.Name]
+		if !ok {
+			return nil, fmt.Errorf("prog: call %d: %q not in %s spec", ci, jc.Name, t.Info.Name)
+		}
+		c := &Call{Meta: meta, Args: make([]Arg, 0, len(jc.Args))}
+		for ai, ja := range jc.Args {
+			switch ja.Kind {
+			case "const":
+				c.Args = append(c.Args, &ConstArg{Val: ja.Val})
+			case "result":
+				c.Args = append(c.Args, &ResultArg{Index: ja.Index})
+			case "data":
+				d := make([]byte, len(ja.Data))
+				copy(d, ja.Data)
+				c.Args = append(c.Args, &DataArg{Data: d})
+			default:
+				return nil, fmt.Errorf("prog: call %d arg %d: unknown arg kind %q", ci, ai, ja.Kind)
+			}
+		}
+		p.Calls = append(p.Calls, c)
+	}
+	if err := p.Validate(); err != nil {
+		return nil, fmt.Errorf("prog: program JSON invalid: %w", err)
+	}
+	return p, nil
+}
+
+// Subset returns a copy of p keeping only the calls where keep[i] is true,
+// repairing result references the same way call removal does: a reference to
+// a dropped call is re-targeted at the nearest earlier kept producer of the
+// same resource, or degraded to a zero handle. The result always validates;
+// minimization relies on that to probe arbitrary call subsets.
+func Subset(p *Prog, keep []bool) *Prog {
+	// newIdx maps old call index → new, -1 for dropped calls.
+	newIdx := make([]int, len(p.Calls))
+	np := &Prog{}
+	for i, c := range p.Calls {
+		if i < len(keep) && keep[i] {
+			newIdx[i] = len(np.Calls)
+			np.Calls = append(np.Calls, c.clone())
+		} else {
+			newIdx[i] = -1
+		}
+	}
+	for ci, c := range np.Calls {
+		for ai, a := range c.Args {
+			ra, ok := a.(*ResultArg)
+			if !ok {
+				continue
+			}
+			if ni := newIdx[ra.Index]; ni >= 0 {
+				ra.Index = ni
+				continue
+			}
+			rt := c.Meta.Args[ai].Type.(*syzlang.ResourceType)
+			repaired := false
+			for i := ci - 1; i >= 0; i-- {
+				if np.Calls[i].Meta.Ret == rt.Name {
+					c.Args[ai] = &ResultArg{Index: i}
+					repaired = true
+					break
+				}
+			}
+			if !repaired {
+				c.Args[ai] = &ConstArg{Val: 0}
+			}
+		}
+	}
+	return np
+}

@@ -1,0 +1,89 @@
+package rsp
+
+import (
+	"bytes"
+	"io"
+	"strings"
+	"testing"
+)
+
+// rwPair glues an independent reader and writer into an io.ReadWriter, like
+// the two directions of a serial adapter.
+type rwPair struct {
+	r io.Reader
+	w io.Writer
+}
+
+func (p rwPair) Read(b []byte) (int, error)  { return p.r.Read(b) }
+func (p rwPair) Write(b []byte) (int, error) { return p.w.Write(b) }
+
+// FuzzRecv throws arbitrary wire bytes at the framing parser. It must never
+// panic, and any payload it accepts must verify against its own checksum
+// when re-framed — a corrupted frame can only ever surface as an error, not
+// as silently wrong bytes.
+func FuzzRecv(f *testing.F) {
+	f.Add([]byte("$OK#9a"))
+	f.Add([]byte("$#00"))
+	f.Add([]byte("noise before$qSupported#df"))
+	f.Add([]byte("$bad#zz"))
+	f.Add([]byte("$first#xx$m0,4#c5"))
+	f.Add(bytes.Repeat([]byte{'$'}, 64))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		c := NewConn(rwPair{bytes.NewReader(data), io.Discard})
+		payload, err := c.Recv()
+		if err != nil {
+			return
+		}
+		if len(payload) > MaxPayload {
+			t.Fatalf("accepted oversized payload: %d bytes", len(payload))
+		}
+		// The accepted payload must have arrived under a matching checksum:
+		// re-frame it and parse it back.
+		if bytes.ContainsRune(payload, '#') {
+			t.Fatalf("accepted payload containing the frame terminator: %q", payload)
+		}
+		var wire bytes.Buffer
+		tx := NewConn(rwPair{strings.NewReader("+"), &wire})
+		if err := tx.Send(payload); err != nil {
+			t.Fatalf("accepted payload does not re-frame: %v", err)
+		}
+		rx := NewConn(rwPair{bytes.NewReader(wire.Bytes()), io.Discard})
+		got, err := rx.Recv()
+		if err != nil {
+			t.Fatalf("re-framed payload does not re-parse: %v", err)
+		}
+		if !bytes.Equal(got, payload) {
+			t.Fatalf("round trip changed payload: %q -> %q", payload, got)
+		}
+	})
+}
+
+// FuzzRoundTrip feeds arbitrary payloads through Send and back through Recv:
+// every frame the sender can emit must decode to the identical bytes. The
+// framing has no escape mechanism, so payloads containing the terminator are
+// rejected from the property (the debug protocol's command vocabulary never
+// produces them).
+func FuzzRoundTrip(f *testing.F) {
+	f.Add([]byte("qSupported"))
+	f.Add([]byte(""))
+	f.Add([]byte("m8000000,40"))
+	f.Add([]byte{0x00, 0xFF, 0x7F, '$', '+', '-'})
+	f.Fuzz(func(t *testing.T, payload []byte) {
+		if len(payload) > MaxPayload || bytes.ContainsRune(payload, '#') {
+			return
+		}
+		var wire bytes.Buffer
+		tx := NewConn(rwPair{strings.NewReader("+"), &wire})
+		if err := tx.Send(payload); err != nil {
+			t.Fatalf("send failed: %v", err)
+		}
+		rx := NewConn(rwPair{bytes.NewReader(wire.Bytes()), io.Discard})
+		got, err := rx.Recv()
+		if err != nil {
+			t.Fatalf("recv failed on a well-formed frame: %v", err)
+		}
+		if !bytes.Equal(got, payload) {
+			t.Fatalf("round trip changed payload: %q -> %q", payload, got)
+		}
+	})
+}

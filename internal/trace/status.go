@@ -25,6 +25,7 @@ type Status struct {
 	sharedMax   int // fleet-wide total carried by sync-epoch events
 	restores    int
 	bugs        int
+	triaged     int
 	faults      int64
 	retries     int64
 	reconnects  int64
@@ -57,6 +58,8 @@ func (s *Status) Emit(ev Event) {
 		s.restores++
 	case Bug:
 		s.bugs++
+	case TriageEnd:
+		s.triaged++
 	case LinkFault:
 		s.faults++
 	case LinkRetry:
@@ -106,6 +109,9 @@ func (s *Status) print() {
 	health := ""
 	if s.quarantines > 0 {
 		health = fmt.Sprintf(" quarantined=%d", s.quarantines)
+	}
+	if s.triaged > 0 {
+		health += fmt.Sprintf(" triaged=%d", s.triaged)
 	}
 	fmt.Fprintf(s.w, "[eof] t=%v execs=%d (%.1f/s) edges=%d restores=%d (%.1f%%/exec) bugs=%d%s link: %s\n",
 		s.maxAt.Round(time.Second), s.execs, rate, edges, s.restores, restorePct, s.bugs, health, link)

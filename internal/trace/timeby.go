@@ -32,12 +32,16 @@ const (
 	// idle at epoch barriers because a sibling's slice ran longer. Always
 	// zero in solo mode.
 	CatSync
+	// CatTriage is crash-triage time: replay, minimization and repro
+	// confirmation round trips, including any restores they trigger. Zero
+	// unless triage is enabled.
+	CatTriage
 
 	NumCategories
 )
 
 var categoryNames = [NumCategories]string{
-	"executing", "restoring", "reflashing", "link-overhead", "sync-barrier",
+	"executing", "restoring", "reflashing", "link-overhead", "sync-barrier", "triaging",
 }
 
 func (c Category) String() string {
@@ -49,7 +53,7 @@ func (c Category) String() string {
 
 // Categories lists every board-time category in display order.
 func Categories() []Category {
-	return []Category{CatExec, CatRestore, CatReflash, CatLink, CatSync}
+	return []Category{CatExec, CatRestore, CatReflash, CatLink, CatSync, CatTriage}
 }
 
 // TimeBy is the board-time budget broken down by category — the report field
@@ -60,6 +64,7 @@ type TimeBy struct {
 	Reflashing   time.Duration
 	LinkOverhead time.Duration
 	SyncBarrier  time.Duration
+	Triaging     time.Duration
 }
 
 // Of returns the duration of one category.
@@ -75,6 +80,8 @@ func (t TimeBy) Of(c Category) time.Duration {
 		return t.LinkOverhead
 	case CatSync:
 		return t.SyncBarrier
+	case CatTriage:
+		return t.Triaging
 	}
 	return 0
 }
@@ -92,12 +99,14 @@ func (t *TimeBy) Add(c Category, d time.Duration) {
 		t.LinkOverhead += d
 	case CatSync:
 		t.SyncBarrier += d
+	case CatTriage:
+		t.Triaging += d
 	}
 }
 
 // Sum returns the total accounted board time.
 func (t TimeBy) Sum() time.Duration {
-	return t.Executing + t.Restoring + t.Reflashing + t.LinkOverhead + t.SyncBarrier
+	return t.Executing + t.Restoring + t.Reflashing + t.LinkOverhead + t.SyncBarrier + t.Triaging
 }
 
 // Merge accumulates o into t (fleet report aggregation: the merged TimeBy
@@ -108,6 +117,7 @@ func (t *TimeBy) Merge(o TimeBy) {
 	t.Reflashing += o.Reflashing
 	t.LinkOverhead += o.LinkOverhead
 	t.SyncBarrier += o.SyncBarrier
+	t.Triaging += o.Triaging
 }
 
 // Share returns category c's fraction of the accounted total, in [0,1].

@@ -77,6 +77,16 @@ const (
 	// SparePromote records a hot spare taking over a quarantined slot
 	// (Exec = slot, Edges = shared-history edges imported at promotion).
 	SparePromote
+	// TriageBegin marks the start of triaging one finding (Reason = cluster,
+	// Edges = the recorded program's call count).
+	TriageBegin
+	// TriageMinStep records one minimization probe (Reason =
+	// "<phase>:hit|miss", Edges = the candidate program's call count).
+	TriageMinStep
+	// TriageEnd marks a finding fully triaged (Reason =
+	// "<cluster>:<reproducibility>", Exec = replay hits, Edges = minimized
+	// call count, Dur = total triage cost).
+	TriageEnd
 
 	numKinds
 )
@@ -88,6 +98,7 @@ var kindNames = [numKinds]string{
 	"link-fault", "link-retry", "link-reconnect",
 	"sync-epoch",
 	"rung-escalate", "quarantine", "spare-promote",
+	"triage-begin", "triage-min-step", "triage-end",
 }
 
 func (k Kind) String() string {

@@ -1,0 +1,73 @@
+package triage
+
+import (
+	"fmt"
+	"hash/fnv"
+	"io"
+	"regexp"
+	"strings"
+
+	"github.com/eof-fuzz/eof/internal/cpu"
+)
+
+// Cluster derives the normalized dedup key for a finding. Fault-backed
+// findings hash the fault class plus the normalized innermost frames; log
+// findings canonicalize the assert expression or, failing that, the
+// signature text with volatile numerics stripped. Two reports with equal
+// clusters are the same bug, whatever path the target took to hit it.
+func Cluster(f *cpu.Fault, sig string) string {
+	if f != nil {
+		h := fnv.New64a()
+		io.WriteString(h, f.Kind.String())
+		for _, fn := range normalFrames(f.Frames) {
+			io.WriteString(h, "|")
+			io.WriteString(h, fn)
+		}
+		return fmt.Sprintf("frame:%v:%016x", f.Kind, h.Sum64())
+	}
+	if expr, ok := strings.CutPrefix(sig, "assert:"); ok {
+		return "assert:" + CanonAssert(expr)
+	}
+	return "sig:" + canonText(sig)
+}
+
+// normalFrames reduces a backtrace (innermost first) to the frames that
+// identify the bug: the faulting function plus any deeper run of "__"
+// kernel-helper frames, capped at three. File and line are dropped — they
+// shift with every unrelated source edit — and the public caller above the
+// helper chain is excluded, so the same helper fault reached from two API
+// entry points lands in one cluster.
+func normalFrames(frames []cpu.Frame) []string {
+	if len(frames) == 0 {
+		return []string{"?"}
+	}
+	out := []string{frames[0].Func}
+	for _, fr := range frames[1:] {
+		if len(out) >= 3 || !strings.HasPrefix(fr.Func, "__") {
+			break
+		}
+		out = append(out, fr.Func)
+	}
+	return out
+}
+
+// CanonAssert canonicalizes an assert expression: whitespace runs collapse
+// to single spaces so formatting jitter between the source needle and the
+// UART banner cannot split (or miss) a cluster.
+func CanonAssert(expr string) string {
+	return strings.Join(strings.Fields(expr), " ")
+}
+
+var (
+	hexRun = regexp.MustCompile(`0[xX][0-9a-fA-F]+`)
+	numRun = regexp.MustCompile(`[0-9]+`)
+)
+
+// canonText normalizes free-form signature text: whitespace collapses and
+// addresses / counters are replaced with '#' so per-run numerics (heap
+// addresses, slot indices, tick counts) do not mint fresh clusters.
+func canonText(s string) string {
+	s = strings.Join(strings.Fields(s), " ")
+	s = hexRun.ReplaceAllString(s, "#")
+	return numRun.ReplaceAllString(s, "#")
+}

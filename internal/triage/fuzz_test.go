@@ -1,0 +1,57 @@
+package triage
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+// FuzzParseRepro throws arbitrary bytes at the repro-file decoder. It must
+// never panic, and anything it accepts must re-encode and re-parse to the
+// same identity — a corrupted file can only surface as an error, never as a
+// replay against the wrong target.
+func FuzzParseRepro(f *testing.F) {
+	valid, err := (&Repro{
+		OS: "rtthread", Board: "stm32h745",
+		Cluster: "frame:BusFault:0123456789abcdef",
+		Sig:     "BusFault@rt_event_send",
+		Prog:    []byte(`{"calls":[{"name":"rt_event_send","args":[{"kind":"const","val":1}]}]}`),
+	}).Encode()
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(valid)
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`{"version":1}`))
+	f.Add([]byte(`{"version":99,"os":"rtthread","board":"x","sig":"s","prog":{}}`))
+	f.Add([]byte(`not json`))
+	f.Add(valid[:len(valid)/2])
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r, err := ParseRepro(data)
+		if err != nil {
+			return
+		}
+		if r.OS == "" || r.Board == "" || len(r.Prog) == 0 {
+			t.Fatalf("accepted repro without target identity or program: %+v", r)
+		}
+		out, err := r.Encode()
+		if err != nil {
+			t.Fatalf("accepted repro does not re-encode: %v", err)
+		}
+		r2, err := ParseRepro(out)
+		if err != nil {
+			t.Fatalf("re-encoded repro does not re-parse: %v", err)
+		}
+		if r2.OS != r.OS || r2.Board != r.Board || r2.Cluster != r.Cluster || r2.Sig != r.Sig {
+			t.Fatalf("identity changed across re-encode:\n%+v\n%+v", r, r2)
+		}
+		// MarshalIndent re-indents the embedded program, so compare it
+		// compacted.
+		var pa, pb bytes.Buffer
+		if json.Compact(&pa, r.Prog) == nil && json.Compact(&pb, r2.Prog) == nil {
+			if pa.String() != pb.String() {
+				t.Fatalf("program changed across re-encode: %s -> %s", pa.String(), pb.String())
+			}
+		}
+	})
+}

@@ -1,0 +1,148 @@
+package triage
+
+import (
+	"github.com/eof-fuzz/eof/internal/prog"
+)
+
+// TestFunc replays a candidate program and reports whether it reproduced the
+// finding's cluster. The engine supplies it as a closure over one board; an
+// error means the board (not the candidate) failed and minimization must
+// stop with the best program found so far.
+type TestFunc func(*prog.Prog) (bool, error)
+
+// StepFunc observes one minimization probe: the phase ("ddmin" or "args"),
+// the candidate that was replayed and whether it still reproduced.
+type StepFunc func(phase string, candidate *prog.Prog, hit bool)
+
+// Minimize shrinks p while the finding keeps reproducing under test: first a
+// ddmin-style pass over the call sequence (complement reduction with
+// granularity doubling), then per-argument simplification (result handles →
+// null, constants → zero, buffers emptied). Every probe costs one replay
+// from budget; when the budget runs dry the best reproducer found so far is
+// returned. p itself is never mutated. Returns the minimized program, the
+// number of replays spent, and the first board error if one cut the pass
+// short.
+func Minimize(p *prog.Prog, test TestFunc, budget int, onStep StepFunc) (*prog.Prog, int, error) {
+	m := &minimizer{test: test, budget: budget, onStep: onStep}
+	best := m.ddmin(p.Clone())
+	if m.err == nil {
+		best = m.simplifyArgs(best)
+	}
+	return best, m.spent, m.err
+}
+
+type minimizer struct {
+	test   TestFunc
+	onStep StepFunc
+	budget int
+	spent  int
+	err    error
+}
+
+// probe replays one candidate, spending budget. Returns false once the
+// budget is exhausted or the board has failed.
+func (m *minimizer) probe(phase string, cand *prog.Prog) bool {
+	if m.err != nil || m.spent >= m.budget {
+		return false
+	}
+	m.spent++
+	hit, err := m.test(cand)
+	if err != nil {
+		m.err = err
+		return false
+	}
+	if m.onStep != nil {
+		m.onStep(phase, cand, hit)
+	}
+	return hit
+}
+
+// ddmin is the classic delta-debugging loop over the call sequence: partition
+// the current best into n chunks, try dropping each chunk (testing the
+// complement); on success restart at coarser granularity, otherwise refine
+// until chunks are single calls.
+func (m *minimizer) ddmin(best *prog.Prog) *prog.Prog {
+	n := 2
+	for len(best.Calls) >= 2 && n <= len(best.Calls) {
+		if m.err != nil || m.spent >= m.budget {
+			break
+		}
+		reduced := false
+		size := (len(best.Calls) + n - 1) / n
+		for start := 0; start < len(best.Calls); start += size {
+			end := start + size
+			if end > len(best.Calls) {
+				end = len(best.Calls)
+			}
+			keep := make([]bool, len(best.Calls))
+			for i := range keep {
+				keep[i] = i < start || i >= end
+			}
+			cand := prog.Subset(best, keep)
+			if len(cand.Calls) == 0 {
+				continue
+			}
+			if m.probe("ddmin", cand) {
+				best = cand
+				n = max(n-1, 2)
+				reduced = true
+				break
+			}
+			if m.err != nil || m.spent >= m.budget {
+				return best
+			}
+		}
+		if !reduced {
+			if n >= len(best.Calls) {
+				break
+			}
+			n = min(n*2, len(best.Calls))
+		}
+	}
+	return best
+}
+
+// simplifyArgs flattens argument structure call by call: a result reference
+// becomes a null handle, a non-zero constant becomes zero, a data buffer is
+// emptied. Each accepted simplification keeps the cluster reproducing, so
+// the surviving arguments are exactly the ones the bug needs.
+func (m *minimizer) simplifyArgs(best *prog.Prog) *prog.Prog {
+	for ci := 0; ci < len(best.Calls); ci++ {
+		for ai := 0; ai < len(best.Calls[ci].Args); ai++ {
+			if m.err != nil || m.spent >= m.budget {
+				return best
+			}
+			simpler := simplerArg(best.Calls[ci].Args[ai])
+			if simpler == nil {
+				continue
+			}
+			cand := best.Clone()
+			cand.Calls[ci].Args[ai] = simpler
+			if cand.Validate() != nil {
+				continue
+			}
+			if m.probe("args", cand) {
+				best = cand
+			}
+		}
+	}
+	return best
+}
+
+// simplerArg proposes the next-simpler value for a, or nil if a is already
+// minimal.
+func simplerArg(a prog.Arg) prog.Arg {
+	switch v := a.(type) {
+	case *prog.ResultArg:
+		return &prog.ConstArg{Val: 0}
+	case *prog.ConstArg:
+		if v.Val != 0 {
+			return &prog.ConstArg{Val: 0}
+		}
+	case *prog.DataArg:
+		if len(v.Data) > 0 {
+			return &prog.DataArg{}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,70 @@
+package triage
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// ReproVersion is the current repro-file format version.
+const ReproVersion = 1
+
+// Repro is the portable reproducer file: everything needed to confirm a
+// finding on another host — target identity, the normalized cluster to match
+// against, triage provenance and the minimal program in the JSON form. It is
+// written by `eof -repro-out` and consumed by `eof -replay`.
+type Repro struct {
+	Version int    `json:"version"`
+	OS      string `json:"os"`
+	Board   string `json:"board"`
+	Cluster string `json:"cluster"`
+	Sig     string `json:"sig"`
+	Kind    string `json:"kind,omitempty"`
+	Monitor string `json:"monitor,omitempty"`
+	Title   string `json:"title,omitempty"`
+	// Reproducibility / ReplayHits / Replays record the original triage
+	// verdict so a replay host knows what stability to expect.
+	Reproducibility string `json:"reproducibility,omitempty"`
+	ReplayHits      int    `json:"replay_hits,omitempty"`
+	Replays         int    `json:"replays,omitempty"`
+	// OrigCalls / MinCalls record the minimization ratio.
+	OrigCalls int `json:"orig_calls,omitempty"`
+	MinCalls  int `json:"min_calls,omitempty"`
+	// Prog is the minimal program in the prog JSON form.
+	Prog json.RawMessage `json:"prog"`
+}
+
+// Encode renders the repro file deterministically (indented JSON plus a
+// trailing newline, stable field order).
+func (r *Repro) Encode() ([]byte, error) {
+	if r.Version == 0 {
+		r.Version = ReproVersion
+	}
+	out, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(out, '\n'), nil
+}
+
+// ParseRepro decodes and validates a repro file. It rejects unknown
+// versions, missing target identity and empty programs, so a truncated or
+// cross-format file fails here rather than on the board.
+func ParseRepro(data []byte) (*Repro, error) {
+	var r Repro
+	if err := json.Unmarshal(data, &r); err != nil {
+		return nil, fmt.Errorf("triage: bad repro file: %w", err)
+	}
+	if r.Version != ReproVersion {
+		return nil, fmt.Errorf("triage: repro version %d, want %d", r.Version, ReproVersion)
+	}
+	if r.OS == "" || r.Board == "" {
+		return nil, fmt.Errorf("triage: repro file missing target identity (os=%q board=%q)", r.OS, r.Board)
+	}
+	if r.Cluster == "" && r.Sig == "" {
+		return nil, fmt.Errorf("triage: repro file has neither cluster nor signature")
+	}
+	if len(r.Prog) == 0 {
+		return nil, fmt.Errorf("triage: repro file has no program")
+	}
+	return &r, nil
+}

@@ -1,0 +1,31 @@
+// Package triage turns raw crash findings into confirmed, minimal,
+// deduplicated reproducers. It owns the three pure pieces of the pipeline —
+// signature normalization + clustering, ddmin-style program minimization and
+// the portable repro-file format — while the replay mechanics (restoring a
+// board, re-running a program, matching the resulting stop) stay with the
+// engine that owns the hardware. The package deliberately depends only on
+// prog, cpu and trace so core, fleet and bugdb can all build on it without
+// cycles.
+package triage
+
+// Reproducibility classes assigned after N confirmation replays.
+const (
+	// ReproStable: every replay reproduced the cluster.
+	ReproStable = "stable"
+	// ReproFlaky: some, but not all, replays reproduced the cluster.
+	ReproFlaky = "flaky"
+	// ReproNone: no replay reproduced the cluster.
+	ReproNone = "unreproducible"
+)
+
+// Classify maps replay hits out of n attempts to a reproducibility class.
+func Classify(hits, n int) string {
+	switch {
+	case n > 0 && hits >= n:
+		return ReproStable
+	case hits > 0:
+		return ReproFlaky
+	default:
+		return ReproNone
+	}
+}
