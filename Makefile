@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build check test race vet fuzz-smoke bench-fleet bench-trace
+.PHONY: build check test race vet fuzz-smoke bench-fleet bench-trace bench-restore
 
 build:
 	$(GO) build ./...
@@ -32,3 +32,8 @@ bench-fleet:
 # and records the results in BENCH_trace.json.
 bench-trace:
 	./scripts/bench_trace.sh
+
+# bench-restore runs the restore-cost benchmark (full restoration vs the
+# snapshot/delta rung) and records the results in BENCH_restore.json.
+bench-restore:
+	./scripts/bench_restore.sh

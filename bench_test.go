@@ -294,3 +294,57 @@ func avg(xs []float64) float64 {
 	}
 	return s / float64(len(xs))
 }
+
+// BenchmarkRestore measures what the snapshot/delta rung saves: identical
+// FreeRTOS campaigns with classic full restoration and with snapshots
+// enabled, compared on mean per-restore board-time cost (restoring +
+// reflashing over the restore count, all virtual time so the comparison is
+// deterministic). The delta rung must cut the mean restore cost by at least
+// 3x, and restores must still leave the accounting identities intact.
+func BenchmarkRestore(b *testing.B) {
+	const budget = 2 * time.Hour
+	run := func(snapshots bool) *Report {
+		c, err := NewCampaign(Options{OS: "freertos", Seed: 42, Snapshots: snapshots})
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer c.Close()
+		rep, err := c.Run(budget)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if rep.Restores == 0 {
+			b.Fatalf("campaign needed no restores (snapshots=%v); nothing to compare", snapshots)
+		}
+		return rep
+	}
+	perRestoreMS := func(rep *Report) float64 {
+		cost := rep.TimeBy.Restoring + rep.TimeBy.Reflashing
+		return float64(cost) / float64(rep.Restores) / float64(time.Millisecond)
+	}
+	for i := 0; i < b.N; i++ {
+		full := run(false)
+		snap := run(true)
+		if snap.DeltaRestores == 0 {
+			b.Fatalf("snapshot campaign made no delta restores: %+v", snap)
+		}
+		if snap.DeltaRestores+snap.FullRestores != snap.Restores {
+			b.Fatalf("delta(%d)+full(%d) != restores(%d)",
+				snap.DeltaRestores, snap.FullRestores, snap.Restores)
+		}
+		if snap.TimeBy.RestoringDelta+snap.TimeBy.RestoringFull != snap.TimeBy.Restoring {
+			b.Fatalf("restore sub-buckets do not sum: %+v", snap.TimeBy)
+		}
+		fullMS, snapMS := perRestoreMS(full), perRestoreMS(snap)
+		ratio := fullMS / snapMS
+		if ratio < 3 {
+			b.Fatalf("delta restore saved only %.2fx (full %.1f ms/restore, snapshot %.1f ms/restore), want >= 3x",
+				ratio, fullMS, snapMS)
+		}
+		b.ReportMetric(fullMS, "full-ms/restore")
+		b.ReportMetric(snapMS, "delta-ms/restore")
+		b.ReportMetric(ratio, "restore-speedup-x")
+		b.ReportMetric(float64(snap.RestoreBytesShipped), "bytes-shipped")
+		b.ReportMetric(float64(snap.RestoreBytesSkipped), "bytes-skipped")
+	}
+}

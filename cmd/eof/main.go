@@ -32,6 +32,8 @@ func main() {
 		shards    = flag.Int("shards", 1, "board-pool size: shard the campaign across N boards with shared feedback")
 		spares    = flag.Int("spares", 0, "hot-spare boards held in reserve for fleet failover (needs -shards > 1)")
 		legacy    = flag.Bool("legacy-link", false, "disable vectored debug-link commands (older probe firmware)")
+		snapshots = flag.Bool("snapshots", false, "cache golden snapshots probe-side and restore by shipping only dirty state")
+		snapAt    = flag.String("snapshot-states", "", "kernel states to (re-)snapshot at: comma-separated subset of post-boot,post-init (empty = both)")
 		faults    = flag.Float64("link-faults", 0, "per-command debug-link fault rate (flaky-adapter model, e.g. 0.05)")
 		retries   = flag.Int("link-retries", 0, "max transparent retries per faulted command (0 = default 4, negative disables)")
 		traceOut  = flag.String("trace", "", "write the structured trace journal to this file as JSON Lines")
@@ -70,6 +72,8 @@ func main() {
 		Shards:           *shards,
 		Spares:           *spares,
 		LegacyLink:       *legacy,
+		Snapshots:        *snapshots,
+		SnapshotStates:   *snapAt,
 		LinkFaultRate:    *faults,
 		LinkRetries:      *retries,
 		Triage:           *doTriage,
@@ -146,6 +150,11 @@ func main() {
 			parts = append(parts, fmt.Sprintf("%s=%d", r, rep.RestoresByReason[r]))
 		}
 		fmt.Printf("restores by reason: %s\n", strings.Join(parts, " "))
+	}
+	if rep.SnapshotTakes > 0 && rep.Restores > 0 {
+		fmt.Printf("snapshot restores: %d delta / %d full (%d snapshots taken), %s shipped, %s proven clean\n",
+			rep.DeltaRestores, rep.FullRestores, rep.SnapshotTakes,
+			fmtBytes(rep.RestoreBytesShipped), fmtBytes(rep.RestoreBytesSkipped))
 	}
 	fmt.Printf("board time: %s\n", rep.TimeBy)
 	if rep.Execs > 0 {
@@ -246,6 +255,19 @@ func writeRepros(dir string, bugs []eof.Bug) error {
 		fmt.Println("no triaged findings to write (did the campaign run with -triage?)")
 	}
 	return nil
+}
+
+// fmtBytes renders a byte count with a binary unit suffix.
+func fmtBytes(n int64) string {
+	switch {
+	case n >= 1<<30:
+		return fmt.Sprintf("%.1f GiB", float64(n)/(1<<30))
+	case n >= 1<<20:
+		return fmt.Sprintf("%.1f MiB", float64(n)/(1<<20))
+	case n >= 1<<10:
+		return fmt.Sprintf("%.1f KiB", float64(n)/(1<<10))
+	}
+	return fmt.Sprintf("%d B", n)
 }
 
 // sanitize maps a cluster key onto a filesystem-safe slug.

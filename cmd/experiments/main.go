@@ -18,7 +18,7 @@ func main() {
 		table    = flag.Int("table", 0, "regenerate one table (1-4)")
 		figure   = flag.Int("figure", 0, "regenerate one figure (7 or 8)")
 		overhead = flag.String("overhead", "", "overhead experiment: mem or exec")
-		ablation = flag.String("ablation", "", "ablation: watchdogs, generation, link or resilience")
+		ablation = flag.String("ablation", "", "ablation: watchdogs, generation, link, resilience or restore")
 		acct     = flag.Bool("accounting", false, "board-time accounting breakdown (E-time)")
 		triage   = flag.Bool("triage", false, "crash-triage evaluation: repro rate and minimization (E-triage)")
 		all      = flag.Bool("all", false, "run the full evaluation")
@@ -131,6 +131,14 @@ func main() {
 		}
 		emitTable("ablation_resilience", t)
 	}
+	if *all || *ablation == "restore" {
+		ran = true
+		t, err := experiments.AblationRestore(opts)
+		if err != nil {
+			fail(err)
+		}
+		emitTable("ablation_restore", t)
+	}
 	if *all || *acct {
 		ran = true
 		t, err := experiments.TimeAccounting(opts)
@@ -148,7 +156,7 @@ func main() {
 		emitTable("triage", res.Table)
 	}
 	if !ran {
-		fmt.Fprintln(os.Stderr, "nothing selected; use -all, -table N, -figure N, -overhead mem|exec, -ablation watchdogs|generation|link|resilience, -accounting or -triage")
+		fmt.Fprintln(os.Stderr, "nothing selected; use -all, -table N, -figure N, -overhead mem|exec, -ablation watchdogs|generation|link|resilience|restore, -accounting or -triage")
 		os.Exit(2)
 	}
 }

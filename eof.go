@@ -93,6 +93,16 @@ type Options struct {
 	// LegacyLink disables the vectored debug-link commands, forcing the
 	// multi-round-trip sequences older probe firmware needs.
 	LegacyLink bool
+	// Snapshots enables the snapshot/delta restore rung: the probe caches a
+	// golden snapshot at interesting kernel states and most restores become
+	// one vRestore round trip shipping only dirty state, instead of a full
+	// reboot (or reflash+reboot). Requires a vectored-capable probe: with
+	// LegacyLink every restore silently falls back to the classic ladder.
+	Snapshots bool
+	// SnapshotStates selects which kernel states snapshots are (re-)taken
+	// at, as a comma-separated subset of "post-boot,post-init". Empty means
+	// both. Ignored unless Snapshots is set.
+	SnapshotStates string
 
 	// Triage enables the crash-triage pipeline: every finding is replayed on
 	// freshly restored state to classify its reproducibility (stable / flaky
@@ -340,6 +350,18 @@ type Report struct {
 	// PowerCycles counts full power cycles (the ladder's last rung).
 	RungEscalations int
 	PowerCycles     int
+	// DeltaRestores counts restores satisfied by the snapshot rung in one
+	// vRestore round trip; FullRestores counts restores that walked the
+	// classic ladder. They always sum to Restores. SnapshotTakes counts
+	// golden snapshots cached probe-side. All zero unless Options.Snapshots.
+	DeltaRestores int
+	FullRestores  int
+	SnapshotTakes int
+	// RestoreBytesShipped and RestoreBytesSkipped total the delta restores'
+	// re-shipped bytes vs bytes proven clean and left in place — the wire
+	// traffic the dirty tracking saved.
+	RestoreBytesShipped int64
+	RestoreBytesSkipped int64
 	// DegradedMonitors counts exception symbols left unarmed because the
 	// board ran out of breakpoint comparators.
 	DegradedMonitors int
@@ -446,6 +468,8 @@ func NewCampaign(opts Options) (*Campaign, error) {
 	cfg.CallFilter = opts.RestrictAPIs
 	cfg.CovModules = opts.InstrumentModules
 	cfg.LegacyLink = opts.LegacyLink
+	cfg.Snapshots = opts.Snapshots
+	cfg.SnapshotStates = opts.SnapshotStates
 	if opts.LinkFaultRate > 0 {
 		// Zero fault seed: each engine (and fleet shard) derives its own
 		// deterministic fault sequence from its campaign seed.
@@ -534,25 +558,30 @@ func (c *Campaign) Close() {
 
 func convertReport(r *core.Report) *Report {
 	out := &Report{
-		OS:               r.OS,
-		Board:            r.Board,
-		Execs:            r.Stats.Execs,
-		Edges:            r.Edges,
-		Crashes:          r.Stats.Crashes,
-		Restores:         r.Stats.Restores,
-		Reflashes:        r.Stats.Reflashes,
-		DegradedMonitors: r.Stats.DegradedMonitors,
-		LinkRoundTrips:   r.Stats.LinkOps,
-		LinkRetries:      r.Stats.LinkRetries,
-		LinkReconnects:   r.Stats.LinkReconnects,
-		LinkPerCmd:       r.LinkPerCmd,
-		TriagedBugs:      r.Stats.TriagedBugs,
-		TriageReplays:    r.Stats.TriageReplays,
-		TimeBy:           r.TimeBy,
-		Duration:         r.Duration,
-		RungEscalations:  r.Stats.RungEscalations,
-		PowerCycles:      r.Stats.PowerCycles,
-		Health:           convertHealth(r.Health),
+		OS:                  r.OS,
+		Board:               r.Board,
+		Execs:               r.Stats.Execs,
+		Edges:               r.Edges,
+		Crashes:             r.Stats.Crashes,
+		Restores:            r.Stats.Restores,
+		Reflashes:           r.Stats.Reflashes,
+		DegradedMonitors:    r.Stats.DegradedMonitors,
+		LinkRoundTrips:      r.Stats.LinkOps,
+		LinkRetries:         r.Stats.LinkRetries,
+		LinkReconnects:      r.Stats.LinkReconnects,
+		LinkPerCmd:          r.LinkPerCmd,
+		TriagedBugs:         r.Stats.TriagedBugs,
+		TriageReplays:       r.Stats.TriageReplays,
+		TimeBy:              r.TimeBy,
+		Duration:            r.Duration,
+		RungEscalations:     r.Stats.RungEscalations,
+		PowerCycles:         r.Stats.PowerCycles,
+		DeltaRestores:       r.Stats.DeltaRestores,
+		FullRestores:        r.Stats.FullRestores,
+		SnapshotTakes:       r.Stats.SnapshotTakes,
+		RestoreBytesShipped: r.Stats.RestoreBytesShipped,
+		RestoreBytesSkipped: r.Stats.RestoreBytesSkipped,
+		Health:              convertHealth(r.Health),
 	}
 	for _, h := range r.BoardHealth {
 		out.BoardHealth = append(out.BoardHealth, convertHealth(h))

@@ -6,6 +6,7 @@
 package board
 
 import (
+	"bytes"
 	"errors"
 	"fmt"
 	"time"
@@ -188,6 +189,7 @@ type Board struct {
 	bootCount int
 	lastBoot  error
 
+	snap    *snapshot // cached golden state for delta restore, nil until Snapshot
 	degrade *degrader // nil = perfect board
 }
 
@@ -329,14 +331,47 @@ func (b *Board) boot(cold bool) error {
 		}
 	}
 
+	rt, err := b.buildRuntime()
+	if err != nil {
+		b.state = Bricked
+		b.lastBoot = err
+		return err
+	}
+
+	b.memmap = rt.mm
+	b.core = rt.core
+	b.env = rt.env
+	b.fw = rt.fw
+	b.state = On
+	b.bootCount++
+	b.lastBoot = nil
+	b.uartd.WriteString(fmt.Sprintf("boot: %s build %#x instrumented=%v board=%s\n",
+		rt.kimg.OS, rt.kimg.BuildID, rt.kimg.Instrumented, b.Spec.Name))
+	rt.core.Start(rt.fw.Main)
+	return nil
+}
+
+// runtime bundles the per-boot objects a successful image validation yields.
+type runtime struct {
+	mm   *mem.Map
+	ram  *mem.Region
+	core *cpu.Core
+	env  *Env
+	fw   Firmware
+	kimg *flash.Image
+}
+
+// buildRuntime validates the flash images and constructs the live memory map,
+// core and firmware objects. It is shared by cold boots and by the snapshot
+// warm-restore path; callers commit the result and charge whatever timing
+// their path costs.
+func (b *Board) buildRuntime() (*runtime, error) {
 	kimg, err := b.validatePartition("bootloader", flash.MagicBoot)
 	if err == nil {
 		kimg, err = b.validatePartition("kernel", flash.MagicKernel)
 	}
 	if err != nil {
-		b.state = Bricked
-		b.lastBoot = err
-		return err
+		return nil, err
 	}
 
 	mm := mem.NewMap()
@@ -366,29 +401,21 @@ func (b *Board) boot(cold bool) error {
 		MailboxOut:   lay.MailboxOut,
 		ScratchBase:  lay.Scratch,
 	}
+	// The FSB and the coverage buffer are mutated by the runtime directly
+	// through the RAM slab, bypassing the map's write path: pin their pages
+	// permanently dirty so delta restores never miss them.
+	ram.PinDirty(FSBOffset, FSBSize)
 	if kimg.Instrumented {
 		slab := ram.Bytes()[CovOffset : CovOffset+uint64(lay.CovBytes)]
 		env.Cov = cov.NewRuntime(slab, b.Spec.CovEntries)
+		ram.PinDirty(CovOffset, lay.CovBytes)
 	}
 
 	fw, err := b.builder(env)
 	if err != nil {
-		b.state = Bricked
-		b.lastBoot = fmt.Errorf("boot: firmware init: %w", err)
-		return b.lastBoot
+		return nil, fmt.Errorf("boot: firmware init: %w", err)
 	}
-
-	b.memmap = mm
-	b.core = core
-	b.env = env
-	b.fw = fw
-	b.state = On
-	b.bootCount++
-	b.lastBoot = nil
-	b.uartd.WriteString(fmt.Sprintf("boot: %s build %#x instrumented=%v board=%s\n",
-		kimg.OS, kimg.BuildID, kimg.Instrumented, b.Spec.Name))
-	core.Start(fw.Main)
-	return nil
+	return &runtime{mm: mm, ram: ram, core: core, env: env, fw: fw, kimg: kimg}, nil
 }
 
 func (b *Board) validatePartition(name string, wantMagic uint32) (*flash.Image, error) {
@@ -487,4 +514,209 @@ func (b *Board) FlashProgram(off int, data []byte) error {
 		}
 	}
 	return b.flashDev.Program(off, data)
+}
+
+// Snapshot/delta-restore cost model. Capturing a snapshot reads the board
+// state back over the probe once; restoring ships dirty RAM pages at roughly
+// SWD bulk-write rate. Flash deltas go through FlashErase/FlashProgram and
+// pay the real erase/program timings, wear included.
+const (
+	snapshotCaptureTime = 10 * time.Millisecond
+	restorePageTime     = 50 * time.Microsecond // per dirty RAM page shipped
+)
+
+// ErrNoSnapshot is returned by RestoreSnapshot when no snapshot is cached.
+var ErrNoSnapshot = errors.New("board: no snapshot cached")
+
+// snapshot is the cached golden state RestoreSnapshot rolls back to.
+type snapshot struct {
+	flash []byte   // full flash contents at capture
+	ram   []byte   // full RAM contents at capture
+	bps   []uint64 // armed breakpoints at capture
+}
+
+// RestoreStats describes what one delta restore shipped and what it proved
+// clean and left in place.
+type RestoreStats struct {
+	FlashSectors  int   // flash sectors erased and re-programmed
+	RAMPages      int   // RAM pages shipped
+	RestoredBytes int64 // bytes actually re-shipped
+	SkippedBytes  int64 // bytes left untouched
+}
+
+// Snapshot captures the current board state — flash, RAM and the armed
+// breakpoint set — as the golden image RestoreSnapshot rolls back to, and
+// resets the dirty tracking so DirtySince diffs against this point. The board
+// must be On, and for restores to be byte-faithful it should be parked at a
+// state a plain boot deterministically reproduces (the engine snapshots at
+// the executor_main park).
+func (b *Board) Snapshot() error {
+	if b.state != On {
+		return fmt.Errorf("board: snapshot: board %v", b.state)
+	}
+	b.Clock.Advance(snapshotCaptureTime)
+	b.snap = &snapshot{
+		flash: append([]byte(nil), b.flashDev.Bytes()...),
+		ram:   append([]byte(nil), b.env.RAM.Bytes()...),
+		bps:   b.core.Breakpoints(),
+	}
+	b.flashDev.ClearDirty()
+	b.env.RAM.ClearDirty()
+	return nil
+}
+
+// HasSnapshot reports whether a golden snapshot is cached.
+func (b *Board) HasSnapshot() bool { return b.snap != nil }
+
+// DropSnapshot discards the cached snapshot (a newly provisioned image makes
+// the old golden state meaningless).
+func (b *Board) DropSnapshot() { b.snap = nil }
+
+// DirtySince returns the flash sectors and RAM pages touched since the last
+// Snapshot — the candidate set a delta restore diffs against the golden
+// image. RAM pages include the permanently pinned device-mutated pages.
+func (b *Board) DirtySince() (sectors, pages []int) {
+	sectors = b.flashDev.DirtySectors()
+	if b.env != nil {
+		pages = b.env.RAM.DirtyPages()
+	}
+	return sectors, pages
+}
+
+// RestoreSnapshot rolls the board back to the cached snapshot by shipping
+// only the delta: dirty flash sectors whose bytes actually diverged are
+// erased and re-programmed from the golden image, dirty RAM pages are
+// re-shipped at bulk-write cost, and the firmware runtime is rebuilt warm —
+// no power-on delay, no boot-fate roll, no boot banner — then replayed to
+// the snapshot's breakpoint park so the core ends up exactly where the
+// snapshot was taken. On failure (worn sector tearing the flash write, image
+// validation, replay fault) the board is left for the full recovery ladder
+// and the error is returned.
+func (b *Board) RestoreSnapshot() (RestoreStats, error) {
+	var st RestoreStats
+	if b.state == Dead {
+		return st, fmt.Errorf("board: restore: %w", ErrDead)
+	}
+	if b.snap == nil {
+		return st, ErrNoSnapshot
+	}
+	sec := b.Spec.SectorSize
+
+	// Flash delta. A worn sector failing mid-restore leaves the same torn
+	// state a full reflash would; the dirty bitmap is not cleared on that
+	// path, so the escalated restore still sees a conservative set.
+	for _, s := range b.flashDev.DirtySectors() {
+		off := s * sec
+		golden := b.snap.flash[off : off+sec]
+		cur, err := b.flashDev.Read(off, sec)
+		if err != nil {
+			return st, err
+		}
+		if bytes.Equal(cur, golden) {
+			continue // dirtied but unchanged: same bytes were re-programmed
+		}
+		if err := b.FlashErase(off, sec); err != nil {
+			return st, err
+		}
+		if err := b.FlashProgram(off, golden); err != nil {
+			return st, err
+		}
+		st.FlashSectors++
+		st.RestoredBytes += int64(sec)
+	}
+	b.flashDev.ClearDirty()
+
+	// RAM delta: count dirty pages that diverged from golden and charge the
+	// bulk-write cost of shipping them. The contents land wholesale after
+	// the warm rebuild below, which guarantees byte-identity.
+	if b.env != nil {
+		ram := b.env.RAM.Bytes()
+		for _, p := range b.env.RAM.DirtyPages() {
+			lo := p * mem.PageSize
+			hi := lo + mem.PageSize
+			if hi > len(ram) {
+				hi = len(ram)
+			}
+			if bytes.Equal(ram[lo:hi], b.snap.ram[lo:hi]) {
+				continue
+			}
+			st.RAMPages++
+			st.RestoredBytes += int64(hi - lo)
+			b.Clock.Advance(restorePageTime)
+		}
+	} else {
+		// No live RAM to diff against (the board is off or bricked): the
+		// whole image ships.
+		st.RAMPages = (len(b.snap.ram) + mem.PageSize - 1) / mem.PageSize
+		st.RestoredBytes += int64(len(b.snap.ram))
+		b.Clock.Advance(time.Duration(st.RAMPages) * restorePageTime)
+	}
+	st.SkippedBytes = int64(len(b.snap.flash)+len(b.snap.ram)) - st.RestoredBytes
+
+	// Warm rebuild: same construction as a boot, but the rails never drop.
+	b.shutdown()
+	rt, err := b.buildRuntime()
+	if err != nil {
+		b.state = Bricked
+		b.lastBoot = err
+		return st, err
+	}
+	b.memmap = rt.mm
+	b.core = rt.core
+	b.env = rt.env
+	b.fw = rt.fw
+	b.state = On
+	b.lastBoot = nil
+	rt.core.Start(rt.fw.Main)
+
+	// Re-arm the snapshot's breakpoints and replay to the first hit, parking
+	// the core where the snapshot captured it.
+	for _, a := range b.snap.bps {
+		if err := rt.core.SetBreakpoint(a); err != nil {
+			b.shutdown()
+			return st, err
+		}
+	}
+	if len(b.snap.bps) > 0 {
+		if err := b.replayToBreakpoint(rt); err != nil {
+			b.shutdown()
+			return st, err
+		}
+	}
+
+	// Overwrite RAM with the golden bytes wholesale. The replay reproduced
+	// the kernel's object state; this squashes any byte-level drift (e.g. a
+	// coverage buffer the host had already drained at capture time).
+	copy(rt.ram.Bytes(), b.snap.ram)
+	rt.ram.ClearDirty()
+	if rt.env.Cov != nil {
+		rt.env.Cov.SyncFromRAM()
+	}
+	b.uartd.Drain() // discard crash leftovers and replay boot chatter
+	return st, nil
+}
+
+// replayToBreakpoint drives the freshly rebuilt core to the snapshot's park
+// point, handling the same boot-time stops the host's run-to-main loop does.
+func (b *Board) replayToBreakpoint(rt *runtime) error {
+	budget := int64(b.Spec.HZ) // one virtual second per slice
+	for i := 0; i < 64; i++ {
+		stop := rt.core.Continue(budget)
+		switch stop.Kind {
+		case cpu.StopBreakpoint:
+			return nil
+		case cpu.StopBudget:
+			continue
+		case cpu.StopCovFull:
+			// Clear the buffer the way the host would and keep replaying;
+			// the golden RAM overwrite squashes the contents afterwards.
+			if err := rt.mm.PutU32(rt.env.CovAddr+4, 0); err != nil {
+				return err
+			}
+			rt.env.Cov.SyncFromRAM()
+		default:
+			return fmt.Errorf("board: restore replay stopped: %v at %#x", stop.Kind, stop.PC)
+		}
+	}
+	return fmt.Errorf("board: restore replay never reached a breakpoint")
 }

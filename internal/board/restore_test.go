@@ -1,0 +1,183 @@
+package board
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"github.com/eof-fuzz/eof/internal/flash"
+)
+
+// TestRestoreByteEquivalence is the delta-restore correctness invariant: after
+// a snapshot restore, flash and RAM are byte-identical to a twin board that
+// was fully reflashed from the same golden images and rebooted.
+func TestRestoreByteEquivalence(t *testing.T) {
+	b := provisioned(t, true) // delta-restored board
+	r := provisioned(t, true) // reference board: full reflash + reset
+	if err := b.Boot(); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Boot(); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Snapshot(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Damage flash (a torn image) and RAM (crash leftovers) on the delta
+	// board, the state a restore exists to repair.
+	b.Flash().Corrupt(0x8000+64, 16, 0xAA)
+	scratch := b.Env().ScratchBase
+	if err := b.Mem().PutU32(scratch, 0xDEADBEEF); err != nil {
+		t.Fatal(err)
+	}
+
+	st, err := b.RestoreSnapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.FlashSectors == 0 {
+		t.Fatalf("corrupted sector not re-shipped: %+v", st)
+	}
+	if st.RestoredBytes == 0 || st.SkippedBytes == 0 {
+		t.Fatalf("implausible restore stats: %+v", st)
+	}
+
+	// Reference path: full reflash of both partitions + reboot.
+	boot := (&flash.Image{Magic: flash.MagicBoot, OS: "x", BuildID: 1, CodeSize: 64}).Serialize()
+	kern := (&flash.Image{Magic: flash.MagicKernel, OS: "x", BuildID: 1, Instrumented: true, CodeSize: 256}).Serialize()
+	for _, part := range []struct {
+		off  int
+		data []byte
+	}{{0, boot}, {0x8000, kern}} {
+		if err := r.FlashErase(part.off, len(part.data)); err != nil {
+			t.Fatal(err)
+		}
+		if err := r.FlashProgram(part.off, part.data); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := r.Reset(); err != nil {
+		t.Fatal(err)
+	}
+
+	if !bytes.Equal(b.Flash().Bytes(), r.Flash().Bytes()) {
+		t.Fatal("flash differs from full-reflash reference after delta restore")
+	}
+	if !bytes.Equal(b.Env().RAM.Bytes(), r.Env().RAM.Bytes()) {
+		t.Fatal("RAM differs from reflash+reset reference after delta restore")
+	}
+	if b.State() != On {
+		t.Fatalf("restored board state: %v", b.State())
+	}
+	b.Core().Kill()
+	r.Core().Kill()
+}
+
+// TestRestoreSkipsCleanState asserts the delta property: dirtied-but-unchanged
+// state is proven clean by the byte diff and not re-shipped.
+func TestRestoreSkipsCleanState(t *testing.T) {
+	b := provisioned(t, true)
+	if err := b.Boot(); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Snapshot(); err != nil {
+		t.Fatal(err)
+	}
+	if secs, _ := b.DirtySince(); len(secs) != 0 {
+		t.Fatalf("snapshot left dirty sectors: %v", secs)
+	}
+
+	// Re-program a sector with its own bytes: dirty, but byte-equal.
+	sz := b.Spec.SectorSize
+	cur, err := b.Flash().Read(0, sz)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := b.FlashErase(0, sz); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.FlashProgram(0, cur); err != nil {
+		t.Fatal(err)
+	}
+	if secs, _ := b.DirtySince(); len(secs) == 0 {
+		t.Fatal("reprogram did not mark the sector dirty")
+	}
+
+	st, err := b.RestoreSnapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.FlashSectors != 0 {
+		t.Fatalf("byte-equal sector was re-shipped: %+v", st)
+	}
+	b.Core().Kill()
+}
+
+// TestRestoreTornSectorEscalates asserts the failure contract: a worn sector
+// tearing the delta restore's flash write surfaces the error, and the classic
+// reflash + boot path still recovers the board afterwards.
+func TestRestoreTornSectorEscalates(t *testing.T) {
+	b := provisioned(t, true)
+	if err := b.Boot(); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Snapshot(); err != nil {
+		t.Fatal(err)
+	}
+	// Diverge a kernel sector so the restore must erase + re-program it, then
+	// wear the flash out so that write tears.
+	b.Flash().Corrupt(0x8000, 32, 0x5A)
+	b.SetDegrade(DegradeConfig{WearLimit: 1, WearFailStreak: 2, Seed: 1})
+
+	_, err := b.RestoreSnapshot()
+	if err == nil || !strings.Contains(err.Error(), "worn") {
+		t.Fatalf("restore across worn sector: %v", err)
+	}
+	if secs, _ := b.DirtySince(); len(secs) == 0 {
+		t.Fatal("failed restore cleared the dirty bitmap")
+	}
+
+	// The recovery ladder's reflash rung repairs the torn image once the
+	// marginal cells recover (WearFailStreak operations later).
+	kern := (&flash.Image{Magic: flash.MagicKernel, OS: "x", BuildID: 1, Instrumented: true, CodeSize: 256}).Serialize()
+	var ferr error
+	for attempt := 0; attempt < 4; attempt++ {
+		if ferr = b.FlashErase(0x8000, len(kern)); ferr != nil {
+			continue
+		}
+		if ferr = b.FlashProgram(0x8000, kern); ferr == nil {
+			break
+		}
+	}
+	if ferr != nil {
+		t.Fatalf("reflash never recovered: %v", ferr)
+	}
+	if err := b.Boot(); err != nil {
+		t.Fatalf("boot after reflash: %v", err)
+	}
+	b.Core().Kill()
+}
+
+// TestRestoreWithoutSnapshotFails pins the ErrNoSnapshot contract the probe
+// maps to the Esnap wire code.
+func TestRestoreWithoutSnapshotFails(t *testing.T) {
+	b := provisioned(t, true)
+	if err := b.Boot(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.RestoreSnapshot(); err != ErrNoSnapshot {
+		t.Fatalf("restore without snapshot: %v", err)
+	}
+	if err := b.Snapshot(); err != nil {
+		t.Fatal(err)
+	}
+	b.DropSnapshot()
+	if b.HasSnapshot() {
+		t.Fatal("drop kept the snapshot")
+	}
+	if _, err := b.RestoreSnapshot(); err != ErrNoSnapshot {
+		t.Fatalf("restore after drop: %v", err)
+	}
+	b.Core().Kill()
+}

@@ -89,10 +89,24 @@ type Config struct {
 	SampleEvery time.Duration
 
 	// LegacyLink disables the vectored debug-link commands (vCovDrain,
-	// vRun), forcing the multi-round-trip sequences older probe firmware
-	// needs. Used by the round-trip-accounting comparisons; the engine also
-	// falls back automatically when the probe rejects a vectored command.
+	// vRun, vSnap, vRestore), forcing the multi-round-trip sequences older
+	// probe firmware needs. Used by the round-trip-accounting comparisons;
+	// the engine also falls back automatically when the probe rejects a
+	// vectored command.
 	LegacyLink bool
+
+	// Snapshots enables the snapshot/delta restore rung: the engine caches
+	// a golden snapshot probe-side at interesting kernel states and
+	// satisfies restores with a single vRestore round trip shipping only
+	// dirty state. Off by default, so classic campaigns (and their journals)
+	// are byte-identical to previous releases. Requires a vectored-capable
+	// probe; with LegacyLink (or after an Ebadcmd latch) every restore falls
+	// back to the classic ladder.
+	Snapshots bool
+	// SnapshotStates selects the kernel states snapshots are (re-)taken at,
+	// as a comma-separated subset of "post-boot,post-init". Empty selects
+	// both; with both enabled the cache ends at the quieter post-init park.
+	SnapshotStates string
 
 	// LinkFaults configures deterministic fault injection on the debug
 	// link (flaky-adapter modelling). The zero value injects nothing. A

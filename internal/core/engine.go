@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"math/rand"
 	"sort"
+	"strings"
 	"time"
 
 	"github.com/eof-fuzz/eof/internal/agent"
@@ -72,6 +73,18 @@ type Stats struct {
 	// the pipeline.
 	TriageReplays int
 	TriagedBugs   int
+	// DeltaRestores counts restores satisfied by the snapshot rung (one
+	// vRestore round trip shipping only dirty state); FullRestores counts
+	// restores that went through the classic reset/reflash ladder.
+	// DeltaRestores + FullRestores == Restores always holds.
+	DeltaRestores int
+	FullRestores  int
+	// SnapshotTakes counts golden snapshots cached probe-side.
+	SnapshotTakes int
+	// RestoreBytesShipped and RestoreBytesSkipped total the delta-restore
+	// bytes actually re-shipped vs proven clean and left in place.
+	RestoreBytesShipped int64
+	RestoreBytesSkipped int64
 }
 
 // addRestoreReason records one restore attributed to reason.
@@ -123,6 +136,11 @@ func (s *Stats) Merge(o Stats) {
 	s.LinkReconnects += o.LinkReconnects
 	s.TriageReplays += o.TriageReplays
 	s.TriagedBugs += o.TriagedBugs
+	s.DeltaRestores += o.DeltaRestores
+	s.FullRestores += o.FullRestores
+	s.SnapshotTakes += o.SnapshotTakes
+	s.RestoreBytesShipped += o.RestoreBytesShipped
+	s.RestoreBytesSkipped += o.RestoreBytesSkipped
 	for k, v := range o.RestoresByReason {
 		if s.RestoresByReason == nil {
 			s.RestoresByReason = make(map[string]int)
@@ -228,6 +246,14 @@ type Engine struct {
 	acct       *trace.Accountant
 	restoring  bool
 	reflashing bool
+	// deltaRestoring marks the vRestore round trip so the timed link bills
+	// it to the restoring-delta sub-bucket. snapValid tracks whether the
+	// probe holds a usable golden snapshot; snapPostBoot/snapPostInit are
+	// the configured (re-)snapshot states.
+	deltaRestoring bool
+	snapValid      bool
+	snapPostBoot   bool
+	snapPostInit   bool
 
 	// triaging flags replay/minimization mode: the timed link bills every
 	// round trip to the triaging bucket, recordBug diverts to captured
@@ -343,6 +369,7 @@ func NewEngine(cfg Config) (*Engine, error) {
 		bugSigs:   make(map[string]bool),
 		excAddrs:  make(map[uint64]string),
 	}
+	e.snapPostBoot, e.snapPostInit = parseSnapshotStates(cfg.SnapshotStates)
 	e.acct = trace.NewAccountant(clock)
 	e.tracer = trace.New(cfg.Shard, clock, cfg.FlightRecorder)
 	e.tracer.SetSink(cfg.TraceSink)
@@ -472,6 +499,9 @@ func (e *Engine) Setup() error {
 	if err := e.runToMain(); err != nil {
 		return err
 	}
+	// Cache the golden snapshot(s) before accounting starts, so the setup
+	// captures stay outside the reported budget like the rest of bring-up.
+	e.refreshSnapshot()
 	e.ready = true
 	e.pristine = true
 	e.started = e.clock.Now()
@@ -552,12 +582,30 @@ func (e *Engine) buildLinkStack() link.Link {
 	// below: session backoff, injected fault penalties, adapter latency,
 	// payload transfer and executed target cycles.
 	return &timedLink{
-		inner:      e.session,
-		acct:       e.acct,
-		restoring:  &e.restoring,
-		reflashing: &e.reflashing,
-		triaging:   &e.triaging,
+		inner:          e.session,
+		acct:           e.acct,
+		restoring:      &e.restoring,
+		reflashing:     &e.reflashing,
+		triaging:       &e.triaging,
+		deltaRestoring: &e.deltaRestoring,
 	}
+}
+
+// parseSnapshotStates interprets Config.SnapshotStates: a comma-separated
+// subset of "post-boot,post-init", empty meaning both.
+func parseSnapshotStates(s string) (postBoot, postInit bool) {
+	if strings.TrimSpace(s) == "" {
+		return true, true
+	}
+	for _, part := range strings.Split(s, ",") {
+		switch strings.TrimSpace(part) {
+		case "post-boot":
+			postBoot = true
+		case "post-init":
+			postInit = true
+		}
+	}
+	return postBoot, postInit
 }
 
 func (e *Engine) provision() error {
@@ -1074,6 +1122,73 @@ func (e *Engine) recordBug(b *BugReport, p *prog.Prog) {
 	}
 }
 
+// snapshotsActive reports whether the snapshot/delta rung can be used right
+// now: configured on, and the probe still speaking the vectored commands.
+func (e *Engine) snapshotsActive() bool {
+	return e.cfg.Snapshots && e.vectored
+}
+
+// takeSnapshot caches the board's current state probe-side as the golden
+// snapshot. A probe rejecting the command latches the legacy fallback; any
+// other failure just leaves the cache invalid, so the next restore walks the
+// classic ladder (and reports "snapshot-miss").
+func (e *Engine) takeSnapshot(state string) {
+	if !e.snapshotsActive() {
+		return
+	}
+	if err := e.client.Snapshot(); err != nil {
+		if isBadCmd(err) {
+			e.vectored = false
+		}
+		e.snapValid = false
+		return
+	}
+	e.snapValid = true
+	e.stats.SnapshotTakes++
+	e.tracer.Emit(trace.Event{Kind: trace.SnapshotTake, Exec: e.stats.Execs, Reason: state})
+}
+
+// refreshSnapshot (re-)caches the golden snapshot at the configured kernel
+// states. With post-init enabled the coverage slab is drained and the boot
+// chatter flushed first, so the cached state is the quiet post-init park a
+// restored board should resume from.
+func (e *Engine) refreshSnapshot() {
+	if !e.snapshotsActive() {
+		return
+	}
+	if e.snapPostBoot {
+		e.takeSnapshot("post-boot")
+	}
+	if e.snapPostInit {
+		e.drainCoverage()
+		e.scanLogQuiet()
+		e.takeSnapshot("post-init")
+	}
+}
+
+// tryDeltaRestore attempts the snapshot rung: one vRestore round trip that
+// rolls flash and RAM back to the golden snapshot, shipping only the dirty
+// delta. ok reports success; on failure the classic ladder takes over — a
+// torn sector escalates naturally (reset fails boot validation → reflash),
+// and a dead board surfaces through the ladder's dead-code handling.
+func (e *Engine) tryDeltaRestore() (board.RestoreStats, bool) {
+	e.deltaRestoring = true
+	defer func() { e.deltaRestoring = false }()
+	st, err := e.client.RestoreSnapshot()
+	if err == nil {
+		return st, true
+	}
+	if isBadCmd(err) {
+		e.vectored = false
+	}
+	if ocd.IsCode(err, ocd.CodeSnap) {
+		// The probe lost the cache (e.g. a replaced adapter): re-take before
+		// the next restore.
+		e.snapValid = false
+	}
+	return board.RestoreStats{}, false
+}
+
 // restore generalises Algorithm 1's StateRestoration into an escalating
 // recovery ladder: reset → reflash+reset → power-cycle(+reflash) → declare
 // the board dead. Each rung has its own attempt budget (Config.Health) and
@@ -1083,6 +1198,13 @@ func (e *Engine) recordBug(b *BugReport, p *prog.Prog) {
 // journal's begin/end pairs stay balanced and the restore time stays
 // attributed even when the board never comes back.
 func (e *Engine) restore(reason string) error {
+	snapActive := e.snapshotsActive()
+	if snapActive && !e.snapValid {
+		// Snapshots are on but the cache is cold (never taken, or dropped
+		// after a capture failure): the full ladder this restore pays is the
+		// snapshot rung's miss cost, so attribute the reason accordingly.
+		reason = "snapshot-miss"
+	}
 	e.stats.Restores++
 	e.stats.addRestoreReason(reason)
 	e.health.Restores++
@@ -1093,6 +1215,35 @@ func (e *Engine) restore(reason string) error {
 	e.tracer.Emit(trace.Event{Kind: trace.RestoreBegin, Exec: e.stats.Execs, Reason: reason})
 	e.restoring = true
 	defer func() { e.restoring = false }()
+
+	if snapActive && e.snapValid {
+		if st, ok := e.tryDeltaRestore(); ok {
+			// The delta rung leaves the board parked at executor_main with
+			// breakpoints re-armed, so none of the classic rung's re-arm /
+			// resync work is needed.
+			e.stats.DeltaRestores++
+			e.stats.RestoreBytesShipped += st.RestoredBytes
+			e.stats.RestoreBytesSkipped += st.SkippedBytes
+			e.noteRestoreOutcome(rungReset, nil)
+			e.tracer.Emit(trace.Event{
+				Kind:   trace.DeltaRestore,
+				Exec:   e.stats.Execs,
+				Reason: reason,
+				Edges:  int(st.RestoredBytes),
+			})
+			e.pristine = true
+			e.tracer.Emit(trace.Event{
+				Kind:   trace.RestoreEnd,
+				Exec:   e.stats.Execs,
+				Reason: reason,
+				Dur:    e.clock.Now() - restoreStart,
+			})
+			return errRestart
+		}
+		// Delta failed (torn flash, dead board, stale cache...): fall
+		// through to the classic ladder, which handles every such state.
+	}
+	e.stats.FullRestores++
 
 	rung, err := e.climbLadder(reason)
 	e.noteRestoreOutcome(rung, err)
@@ -1183,7 +1334,13 @@ func (e *Engine) runRung(rung int, reason string) error {
 	}
 	// Flush boot chatter through the monitor without reporting.
 	e.scanLogQuiet()
-	return e.runToMain()
+	if err := e.runToMain(); err != nil {
+		return err
+	}
+	// The board is freshly parked at a known-good state: re-cache the golden
+	// snapshot so the next restore can take the delta rung again.
+	e.refreshSnapshot()
+	return nil
 }
 
 // reflash rewrites every partition from the build outputs.

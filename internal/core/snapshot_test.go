@@ -1,0 +1,194 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"github.com/eof-fuzz/eof/internal/boards"
+	"github.com/eof-fuzz/eof/internal/targets"
+	"github.com/eof-fuzz/eof/internal/trace"
+)
+
+// TestSnapshotCampaignInvariants runs a snapshot-enabled campaign and asserts
+// the new accounting identities: every restore is either delta or full, the
+// restoring bucket splits exactly into its sub-buckets, TimeBy still sums to
+// Duration, and the journal carries the snapshot events in balance.
+func TestSnapshotCampaignInvariants(t *testing.T) {
+	buf := trace.NewBuffer()
+	rep := runShort(t, "freertos", 15*time.Minute, func(c *Config) {
+		c.Seed = 7
+		c.Snapshots = true
+		c.TraceSink = buf
+	})
+	checkReportInvariants(t, rep)
+	st := rep.Stats
+	if st.DeltaRestores == 0 {
+		t.Fatalf("snapshot campaign made no delta restores: %+v", st)
+	}
+	if st.SnapshotTakes == 0 {
+		t.Fatalf("snapshot campaign cached no snapshots: %+v", st)
+	}
+	if st.DeltaRestores+st.FullRestores != st.Restores {
+		t.Fatalf("DeltaRestores(%d) + FullRestores(%d) != Restores(%d)",
+			st.DeltaRestores, st.FullRestores, st.Restores)
+	}
+	if st.DeltaRestores > 0 && st.RestoreBytesShipped+st.RestoreBytesSkipped == 0 {
+		t.Fatalf("delta restores moved no bytes: %+v", st)
+	}
+	if got := rep.TimeBy.RestoringDelta + rep.TimeBy.RestoringFull; got != rep.TimeBy.Restoring {
+		t.Fatalf("RestoringDelta(%v) + RestoringFull(%v) != Restoring(%v)",
+			rep.TimeBy.RestoringDelta, rep.TimeBy.RestoringFull, rep.TimeBy.Restoring)
+	}
+	if rep.TimeBy.Sum() != rep.Duration {
+		t.Fatalf("TimeBy %v sums to %v, want Duration %v exactly",
+			rep.TimeBy, rep.TimeBy.Sum(), rep.Duration)
+	}
+
+	evs := buf.Events()
+	checkJournalRestoreBalance(t, evs)
+	counts := map[trace.Kind]int{}
+	openRestore := false
+	for i, ev := range evs {
+		counts[ev.Kind]++
+		if ev.Kind == trace.RestoreBegin {
+			openRestore = true
+		}
+		if ev.Kind == trace.RestoreEnd {
+			openRestore = false
+		}
+		if ev.Kind == trace.DeltaRestore {
+			if !openRestore {
+				t.Fatalf("event %d: delta-restore outside a restore span", i)
+			}
+			if ev.Edges <= 0 {
+				t.Fatalf("event %d: delta-restore shipped no bytes: %+v", i, ev)
+			}
+		}
+	}
+	if counts[trace.DeltaRestore] != st.DeltaRestores {
+		t.Fatalf("journal has %d delta-restore events, report says %d",
+			counts[trace.DeltaRestore], st.DeltaRestores)
+	}
+	if counts[trace.SnapshotTake] != st.SnapshotTakes {
+		t.Fatalf("journal has %d snapshot-take events, report says %d",
+			counts[trace.SnapshotTake], st.SnapshotTakes)
+	}
+	if counts[trace.RestoreBegin] != st.Restores {
+		t.Fatalf("journal has %d restore-begin events, report says %d restores",
+			counts[trace.RestoreBegin], st.Restores)
+	}
+	t.Logf("snapshots: %d takes, %d delta / %d full restores, %d B shipped / %d B skipped, restoring=%v (delta=%v full=%v)",
+		st.SnapshotTakes, st.DeltaRestores, st.FullRestores,
+		st.RestoreBytesShipped, st.RestoreBytesSkipped,
+		rep.TimeBy.Restoring, rep.TimeBy.RestoringDelta, rep.TimeBy.RestoringFull)
+}
+
+// TestSnapshotLegacyLinkFallsBack asserts that -snapshots with a legacy probe
+// degrades cleanly: no vectored commands means no snapshot is ever taken and
+// every restore walks the classic ladder.
+func TestSnapshotLegacyLinkFallsBack(t *testing.T) {
+	rep := runShort(t, "freertos", 10*time.Minute, func(c *Config) {
+		c.Seed = 7
+		c.Snapshots = true
+		c.LegacyLink = true
+	})
+	st := rep.Stats
+	if st.SnapshotTakes != 0 || st.DeltaRestores != 0 {
+		t.Fatalf("legacy link took snapshots anyway: %+v", st)
+	}
+	if st.FullRestores != st.Restores {
+		t.Fatalf("legacy link restores not all full: %+v", st)
+	}
+	if rep.TimeBy.RestoringDelta != 0 {
+		t.Fatalf("legacy link charged delta restore time: %v", rep.TimeBy.RestoringDelta)
+	}
+	if rep.TimeBy.Sum() != rep.Duration {
+		t.Fatalf("TimeBy %v sums to %v, want Duration %v", rep.TimeBy, rep.TimeBy.Sum(), rep.Duration)
+	}
+}
+
+// TestSnapshotsOffIsByteIdentical asserts the default-off promise: a campaign
+// with Snapshots=false produces the exact journal it produced before the
+// snapshot rung existed (no snapshot events, no delta stats).
+func TestSnapshotsOffIsByteIdentical(t *testing.T) {
+	run := func(snap bool) ([]trace.Event, *Report) {
+		buf := trace.NewBuffer()
+		rep := runShort(t, "freertos", 6*time.Minute, func(c *Config) {
+			c.Seed = 42
+			c.Snapshots = snap
+			c.LegacyLink = true // force identical link behavior in both runs
+			c.TraceSink = buf
+		})
+		return buf.Events(), rep
+	}
+	offEvs, offRep := run(false)
+	legEvs, legRep := run(true)
+	if len(offEvs) != len(legEvs) {
+		t.Fatalf("snapshots-on-legacy changed the journal: %d vs %d events", len(offEvs), len(legEvs))
+	}
+	for i := range offEvs {
+		if offEvs[i] != legEvs[i] {
+			t.Fatalf("journal diverges at %d:\n%+v\n%+v", i, offEvs[i], legEvs[i])
+		}
+	}
+	if offRep.Stats.Execs != legRep.Stats.Execs || offRep.Edges != legRep.Edges {
+		t.Fatalf("reports diverge: %d/%d execs, %d/%d edges",
+			offRep.Stats.Execs, legRep.Stats.Execs, offRep.Edges, legRep.Edges)
+	}
+}
+
+// TestSnapshotMissAttribution forces a cold cache on a snapshot-enabled
+// engine and asserts the resulting full restore is accounted under the
+// "snapshot-miss" reason (keeping sum(RestoresByReason) == Restores).
+func TestSnapshotMissAttribution(t *testing.T) {
+	info, err := targets.ByName("freertos")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig(info, boards.STM32H745())
+	cfg.Snapshots = true
+	e, err := NewEngine(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	if err := e.Setup(); err != nil {
+		t.Fatal(err)
+	}
+	if !e.snapValid {
+		t.Fatal("setup did not cache a snapshot")
+	}
+
+	// Cold cache: the restore must rewrite its reason and take the ladder.
+	e.snapValid = false
+	if err := e.restore("timeout"); err != errRestart {
+		t.Fatalf("restore: %v", err)
+	}
+	if e.stats.RestoresByReason["snapshot-miss"] != 1 {
+		t.Fatalf("miss not attributed: %v", e.stats.RestoresByReason)
+	}
+	if e.stats.FullRestores != 1 || e.stats.DeltaRestores != 0 {
+		t.Fatalf("miss not a full restore: %+v", e.stats)
+	}
+	if !e.snapValid {
+		t.Fatal("ladder recovery did not re-cache the snapshot")
+	}
+
+	// Warm cache: the next restore takes the delta rung under its own reason.
+	if err := e.restore("timeout"); err != errRestart {
+		t.Fatalf("restore: %v", err)
+	}
+	if e.stats.RestoresByReason["timeout"] != 1 {
+		t.Fatalf("warm restore misattributed: %v", e.stats.RestoresByReason)
+	}
+	if e.stats.DeltaRestores != 1 {
+		t.Fatalf("warm restore not delta: %+v", e.stats)
+	}
+	sum := 0
+	for _, n := range e.stats.RestoresByReason {
+		sum += n
+	}
+	if sum != e.stats.Restores || e.stats.DeltaRestores+e.stats.FullRestores != e.stats.Restores {
+		t.Fatalf("restore counts out of balance: %+v", e.stats)
+	}
+}

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"time"
+
 	"github.com/eof-fuzz/eof/internal/board"
 	"github.com/eof-fuzz/eof/internal/cpu"
 	"github.com/eof-fuzz/eof/internal/link"
@@ -24,6 +26,10 @@ type timedLink struct {
 	restoring  *bool // engine's in-restore flag
 	reflashing *bool // engine's in-reflash flag (within restore)
 	triaging   *bool // engine's in-triage flag
+	// deltaRestoring marks the snapshot-restore rung: restore-category time
+	// charged while it is set lands in the restoring-delta sub-bucket, the
+	// rest in restoring-full, keeping Restoring == Delta + Full exact.
+	deltaRestoring *bool
 }
 
 // cat resolves the category for a command whose default is def.
@@ -40,45 +46,55 @@ func (w *timedLink) cat(def trace.Category) trace.Category {
 	return def
 }
 
+// end attributes the command's clock delta, routing restore-category time
+// through the delta/full sub-accounting.
+func (w *timedLink) end(def trace.Category, start time.Duration) {
+	if c := w.cat(def); c == trace.CatRestore {
+		w.acct.EndRestore(*w.deltaRestoring, start)
+	} else {
+		w.acct.End(c, start)
+	}
+}
+
 func (w *timedLink) ReadMem(addr uint64, n int) ([]byte, error) {
 	start := w.acct.Begin()
-	defer w.acct.End(w.cat(trace.CatLink), start)
+	defer w.end(trace.CatLink, start)
 	return w.inner.ReadMem(addr, n)
 }
 
 func (w *timedLink) WriteMem(addr uint64, data []byte) error {
 	start := w.acct.Begin()
-	defer w.acct.End(w.cat(trace.CatLink), start)
+	defer w.end(trace.CatLink, start)
 	return w.inner.WriteMem(addr, data)
 }
 
 func (w *timedLink) SetBreakpoint(addr uint64) error {
 	start := w.acct.Begin()
-	defer w.acct.End(w.cat(trace.CatLink), start)
+	defer w.end(trace.CatLink, start)
 	return w.inner.SetBreakpoint(addr)
 }
 
 func (w *timedLink) ClearBreakpoint(addr uint64) error {
 	start := w.acct.Begin()
-	defer w.acct.End(w.cat(trace.CatLink), start)
+	defer w.end(trace.CatLink, start)
 	return w.inner.ClearBreakpoint(addr)
 }
 
 func (w *timedLink) Continue(budget int64) (cpu.Stop, error) {
 	start := w.acct.Begin()
-	defer w.acct.End(w.cat(trace.CatExec), start)
+	defer w.end(trace.CatExec, start)
 	return w.inner.Continue(budget)
 }
 
 func (w *timedLink) Reset() error {
 	start := w.acct.Begin()
-	defer w.acct.End(w.cat(trace.CatRestore), start)
+	defer w.end(trace.CatRestore, start)
 	return w.inner.Reset()
 }
 
 func (w *timedLink) PowerCycle() error {
 	start := w.acct.Begin()
-	defer w.acct.End(w.cat(trace.CatRestore), start)
+	defer w.end(trace.CatRestore, start)
 	return w.inner.PowerCycle()
 }
 
@@ -105,25 +121,37 @@ func (w *timedLink) flashCat() trace.Category {
 
 func (w *timedLink) DrainCov(addr uint64, maxEntries int) ([]uint32, uint32, error) {
 	start := w.acct.Begin()
-	defer w.acct.End(w.cat(trace.CatLink), start)
+	defer w.end(trace.CatLink, start)
 	return w.inner.DrainCov(addr, maxEntries)
 }
 
 func (w *timedLink) WriteMemContinue(addr uint64, data []byte, budget int64) (cpu.Stop, error) {
 	start := w.acct.Begin()
-	defer w.acct.End(w.cat(trace.CatExec), start)
+	defer w.end(trace.CatExec, start)
 	return w.inner.WriteMemContinue(addr, data, budget)
+}
+
+func (w *timedLink) Snapshot() error {
+	start := w.acct.Begin()
+	defer w.end(trace.CatLink, start)
+	return w.inner.Snapshot()
+}
+
+func (w *timedLink) RestoreSnapshot() (board.RestoreStats, error) {
+	start := w.acct.Begin()
+	defer w.end(trace.CatRestore, start)
+	return w.inner.RestoreSnapshot()
 }
 
 func (w *timedLink) DrainUART() ([]string, error) {
 	start := w.acct.Begin()
-	defer w.acct.End(w.cat(trace.CatLink), start)
+	defer w.end(trace.CatLink, start)
 	return w.inner.DrainUART()
 }
 
 func (w *timedLink) BoardState() (board.State, int, string, error) {
 	start := w.acct.Begin()
-	defer w.acct.End(w.cat(trace.CatLink), start)
+	defer w.end(trace.CatLink, start)
 	return w.inner.BoardState()
 }
 

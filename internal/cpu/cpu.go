@@ -12,6 +12,7 @@ package cpu
 
 import (
 	"fmt"
+	"sort"
 	"time"
 
 	"github.com/eof-fuzz/eof/internal/vtime"
@@ -238,6 +239,17 @@ func (c *Core) ClearAllBreakpoints() { c.bps = make(map[uint64]struct{}) }
 
 // BreakpointCount returns the number of armed breakpoints.
 func (c *Core) BreakpointCount() int { return len(c.bps) }
+
+// Breakpoints returns the armed breakpoint addresses in ascending order, so
+// a snapshot can record and later re-arm the comparator bank.
+func (c *Core) Breakpoints() []uint64 {
+	out := make([]uint64, 0, len(c.bps))
+	for a := range c.bps {
+		out = append(out, a)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
 
 // MaxBreakpoints returns the size of the debug unit's comparator bank.
 func (c *Core) MaxBreakpoints() int { return c.cfg.MaxBreakpoints }

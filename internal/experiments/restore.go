@@ -1,0 +1,108 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/eof-fuzz/eof/internal/core"
+	"github.com/eof-fuzz/eof/internal/targets"
+)
+
+// restoreOSes is the OS sweep of the delta-restore ablation — every evaluated
+// target, so the saving is shown to be mechanism-level, not a quirk of one
+// kernel's restore mix.
+var restoreOSes = []string{"freertos", "rtthread", "nuttx", "zephyr", "pokos"}
+
+// AblationRestore (E-restore) compares classic full restoration (reboot, and
+// reflash+reboot when the image is damaged) against the snapshot/delta rung
+// on every evaluated OS: same seeds, same budget, Snapshots off vs on. The
+// headline column is the mean per-restore board-time cost; the throughput
+// columns show where the saved time went.
+func AblationRestore(opts Options) (*Table, error) {
+	t := &Table{
+		Title: fmt.Sprintf("E-restore: Snapshot/delta state restoration vs full restoration (%gh x %d runs)",
+			opts.Hours, opts.Runs),
+		Columns: []string{
+			"OS", "Mode", "Execs", "Restores", "Delta", "Restore cost",
+			"ms/restore", "Bytes shipped", "Execs vs full",
+		},
+	}
+	type job struct {
+		os   string
+		snap bool
+	}
+	jobs := make([]job, 0, len(restoreOSes)*2)
+	for _, osName := range restoreOSes {
+		jobs = append(jobs, job{osName, false}, job{osName, true})
+	}
+	reports := make([]*core.Report, len(jobs)*opts.Runs)
+	err := runParallel(len(reports), opts.parallel(), func(i int) error {
+		j := jobs[i/opts.Runs]
+		info, err := targets.ByName(j.os)
+		if err != nil {
+			return err
+		}
+		cfg := core.DefaultConfig(info, evalBoards()[j.os])
+		cfg.Seed = opts.SeedBase + int64(i%opts.Runs)
+		cfg.Snapshots = j.snap
+		e, err := core.NewEngine(cfg)
+		if err != nil {
+			return err
+		}
+		defer e.Close()
+		rep, err := e.Run(opts.budget())
+		if err != nil {
+			return err
+		}
+		reports[i] = rep
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for ji, j := range jobs {
+		var execs, restores, deltas, cost, perRestore, shipped []float64
+		for r := 0; r < opts.Runs; r++ {
+			rep := reports[ji*opts.Runs+r]
+			// Restore cost is everything the classic path pays that the
+			// delta rung avoids: the restoring bucket plus in-restore
+			// reflash transfers.
+			c := rep.TimeBy.Restoring + rep.TimeBy.Reflashing
+			execs = append(execs, float64(rep.Stats.Execs))
+			restores = append(restores, float64(rep.Stats.Restores))
+			deltas = append(deltas, float64(rep.Stats.DeltaRestores))
+			cost = append(cost, float64(c))
+			if rep.Stats.Restores > 0 {
+				perRestore = append(perRestore, float64(c)/float64(rep.Stats.Restores)/float64(time.Millisecond))
+			}
+			shipped = append(shipped, float64(rep.Stats.RestoreBytesShipped))
+		}
+		mode := "full"
+		if j.snap {
+			mode = "snapshot"
+		}
+		vsFull := "-"
+		if j.snap {
+			var fullExecs []float64
+			for r := 0; r < opts.Runs; r++ {
+				fullExecs = append(fullExecs, float64(reports[(ji-1)*opts.Runs+r].Stats.Execs))
+			}
+			vsFull = improvement(mean(execs), mean(fullExecs))
+		}
+		t.Rows = append(t.Rows, []string{
+			j.os, mode,
+			fmt.Sprintf("%.1f", mean(execs)),
+			fmt.Sprintf("%.1f", mean(restores)),
+			fmt.Sprintf("%.1f", mean(deltas)),
+			time.Duration(mean(cost)).Round(time.Millisecond).String(),
+			fmt.Sprintf("%.1f", mean(perRestore)),
+			fmt.Sprintf("%.0f", mean(shipped)),
+			vsFull,
+		})
+	}
+	t.Notes = append(t.Notes,
+		"restore cost: restoring + reflashing board time; ms/restore is that cost over the restore count",
+		"delta: restores satisfied by one vRestore round trip shipping only dirty state (snapshot rows)",
+		"same seeds in both modes, so the restore triggers the campaigns face are comparable")
+	return t, nil
+}

@@ -23,6 +23,11 @@ type Device struct {
 	// eraseCount tracks per-sector erase cycles, useful for wear statistics
 	// in experiments and for tests asserting that reflash actually erased.
 	eraseCount []int
+	// dirty marks sectors whose contents may have changed since the last
+	// ClearDirty — every erase, program and corrupting write sets it. The
+	// snapshot/delta restoration path diffs against this bitmap instead of
+	// re-shipping whole partitions.
+	dirty []bool
 }
 
 // NewDevice creates an erased flash of size bytes with the given sector size.
@@ -34,6 +39,7 @@ func NewDevice(size, sectorSize int) *Device {
 		sectorSize: sectorSize,
 		data:       make([]byte, size),
 		eraseCount: make([]int, size/sectorSize),
+		dirty:      make([]bool, size/sectorSize),
 	}
 	for i := range d.data {
 		d.data[i] = Erased
@@ -66,6 +72,7 @@ func (d *Device) Erase(i int) error {
 		d.data[j] = Erased
 	}
 	d.eraseCount[i]++
+	d.dirty[i] = true
 	return nil
 }
 
@@ -93,6 +100,9 @@ func (d *Device) Program(off int, data []byte) error {
 	}
 	for i, b := range data {
 		d.data[off+i] &= b
+	}
+	if len(data) > 0 {
+		d.markDirty(off, len(data))
 	}
 	return nil
 }
@@ -123,8 +133,51 @@ func (d *Device) Corrupt(off, n int, pattern byte) {
 	if off < 0 {
 		off = 0
 	}
+	written := 0
 	for i := 0; i < n && off+i < len(d.data); i++ {
 		d.data[off+i] &= pattern
+		written++
+	}
+	if written > 0 {
+		d.markDirty(off, written)
+	}
+}
+
+// markDirty flags every sector overlapping [off, off+n).
+func (d *Device) markDirty(off, n int) {
+	for s := off / d.sectorSize; s <= (off+n-1)/d.sectorSize && s < len(d.dirty); s++ {
+		d.dirty[s] = true
+	}
+}
+
+// Dirty reports whether sector i has been touched since the last ClearDirty.
+func (d *Device) Dirty(i int) bool { return d.dirty[i] }
+
+// DirtySectors returns the indices of every sector touched since the last
+// ClearDirty, in ascending order.
+func (d *Device) DirtySectors() []int {
+	var out []int
+	for i, dt := range d.dirty {
+		if dt {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// ClearDirty resets the dirty bitmap — the snapshot point the next
+// DirtySectors call diffs against.
+func (d *Device) ClearDirty() {
+	for i := range d.dirty {
+		d.dirty[i] = false
+	}
+}
+
+// MarkAllDirty flags every sector, forcing the next delta restore to treat
+// the whole device as changed (used when tracking validity is lost).
+func (d *Device) MarkAllDirty() {
+	for i := range d.dirty {
+		d.dirty[i] = true
 	}
 }
 

@@ -4,6 +4,7 @@ import (
 	"testing"
 	"time"
 
+	"github.com/eof-fuzz/eof/internal/board"
 	"github.com/eof-fuzz/eof/internal/boards"
 	"github.com/eof-fuzz/eof/internal/core"
 	"github.com/eof-fuzz/eof/internal/link"
@@ -351,5 +352,110 @@ func TestFleetJournalMergesInShardOrder(t *testing.T) {
 	}
 	if epochs%3 != 0 {
 		t.Fatalf("sync-epoch events (%d) not a multiple of the shard count", epochs)
+	}
+}
+
+// TestFleetSnapshotJournalDeterministic extends the journal-determinism
+// guarantee to snapshot-enabled campaigns: two identical seeded runs produce
+// byte-identical journals, snapshot events included, and every shard's
+// restores split exactly into delta + full.
+func TestFleetSnapshotJournalDeterministic(t *testing.T) {
+	run := func() ([]trace.Event, *core.Report) {
+		cfg := fleetConfig(t, "rtthread", 42)
+		cfg.Snapshots = true
+		buf := trace.NewBuffer()
+		cfg.TraceSink = buf
+		rep := runFleet(t, cfg, Options{Shards: 3, SyncEvery: 2 * time.Minute}, 18*time.Minute)
+		return buf.Events(), rep
+	}
+	ea, ra := run()
+	eb, rb := run()
+	if len(ea) == 0 {
+		t.Fatal("fleet journal empty")
+	}
+	if len(ea) != len(eb) {
+		t.Fatalf("journal lengths differ across identical runs: %d vs %d", len(ea), len(eb))
+	}
+	for i := range ea {
+		if ea[i] != eb[i] {
+			t.Fatalf("journal event %d differs:\n%+v\n%+v", i, ea[i], eb[i])
+		}
+	}
+	snapTakes, deltaRestores := 0, 0
+	for _, ev := range ea {
+		switch ev.Kind {
+		case trace.SnapshotTake:
+			snapTakes++
+		case trace.DeltaRestore:
+			deltaRestores++
+		}
+	}
+	if snapTakes != ra.Stats.SnapshotTakes {
+		t.Fatalf("journal has %d snapshot-take events, merged report says %d", snapTakes, ra.Stats.SnapshotTakes)
+	}
+	if deltaRestores != ra.Stats.DeltaRestores {
+		t.Fatalf("journal has %d delta-restore events, merged report says %d", deltaRestores, ra.Stats.DeltaRestores)
+	}
+	if ra.Stats.DeltaRestores+ra.Stats.FullRestores != ra.Stats.Restores {
+		t.Fatalf("merged delta(%d)+full(%d) != restores(%d)",
+			ra.Stats.DeltaRestores, ra.Stats.FullRestores, ra.Stats.Restores)
+	}
+	if got := ra.TimeBy.RestoringDelta + ra.TimeBy.RestoringFull; got != ra.TimeBy.Restoring {
+		t.Fatalf("merged restore sub-buckets %v != Restoring %v", got, ra.TimeBy.Restoring)
+	}
+	if ra.Stats.DeltaRestores != rb.Stats.DeltaRestores || ra.Stats.SnapshotTakes != rb.Stats.SnapshotTakes {
+		t.Fatalf("snapshot stats differ across identical runs: %+v vs %+v", ra.Stats, rb.Stats)
+	}
+	t.Logf("snapshot fleet: %d takes, %d delta / %d full restores",
+		ra.Stats.SnapshotTakes, ra.Stats.DeltaRestores, ra.Stats.FullRestores)
+}
+
+// TestFleetSnapshotSparePromotion dooms one shard's board so a hot spare is
+// promoted mid-campaign, and asserts the promoted board rebuilds its own
+// snapshot cache: the campaign keeps delta-restoring after the failover and
+// the journal shows snapshot-take events following the promotion.
+func TestFleetSnapshotSparePromotion(t *testing.T) {
+	cfg := fleetConfig(t, "freertos", 11)
+	cfg.Snapshots = true
+	buf := trace.NewBuffer()
+	cfg.TraceSink = buf
+	rep := runFleet(t, cfg, Options{
+		Shards:    2,
+		Spares:    1,
+		SyncEvery: 2 * time.Minute,
+		// Board 0 dies on its first boot attempt; the spare takes its slot.
+		Degrade: []board.DegradeConfig{{DieAfterBoots: 1, Seed: 1}},
+	}, 12*time.Minute)
+
+	if len(rep.Quarantines) == 0 {
+		t.Fatalf("doomed board was never quarantined: %+v", rep.Stats)
+	}
+	if rep.Quarantines[0].Spare < 0 {
+		t.Fatalf("no spare promoted into the dead slot: %+v", rep.Quarantines[0])
+	}
+	if rep.Stats.DeltaRestores == 0 {
+		t.Fatalf("snapshot fleet with failover made no delta restores: %+v", rep.Stats)
+	}
+	// The promoted spare's stream must contain its own snapshot-take events:
+	// every board that ever delta-restored snapshotted first.
+	takesByShard := map[int]int{}
+	promoted := false
+	for _, ev := range buf.Events() {
+		switch ev.Kind {
+		case trace.SparePromote:
+			promoted = true
+		case trace.SnapshotTake:
+			takesByShard[ev.Shard]++
+		}
+	}
+	if !promoted {
+		t.Fatal("journal has no spare-promote event")
+	}
+	if len(takesByShard) < 2 {
+		t.Fatalf("expected snapshot takes from both manned slots, got %v", takesByShard)
+	}
+	if rep.Stats.DeltaRestores+rep.Stats.FullRestores != rep.Stats.Restores {
+		t.Fatalf("delta(%d)+full(%d) != restores(%d)",
+			rep.Stats.DeltaRestores, rep.Stats.FullRestores, rep.Stats.Restores)
 	}
 }

@@ -234,6 +234,20 @@ func (f *Injector) WriteMemContinue(addr uint64, data []byte, budget int64) (cpu
 	return f.inner.WriteMemContinue(addr, data, budget)
 }
 
+func (f *Injector) Snapshot() error {
+	if err := f.before("Snapshot"); err != nil {
+		return err
+	}
+	return f.inner.Snapshot()
+}
+
+func (f *Injector) RestoreSnapshot() (board.RestoreStats, error) {
+	if err := f.before("RestoreSnapshot"); err != nil {
+		return board.RestoreStats{}, err
+	}
+	return f.inner.RestoreSnapshot()
+}
+
 func (f *Injector) DrainUART() ([]string, error) {
 	if err := f.before("DrainUART"); err != nil {
 		return nil, err

@@ -67,6 +67,11 @@ type Link interface {
 	DrainCov(addr uint64, maxEntries int) (entries []uint32, lost uint32, err error)
 	// WriteMemContinue coalesces a mailbox write with a resume (vectored).
 	WriteMemContinue(addr uint64, data []byte, budget int64) (cpu.Stop, error)
+	// Snapshot captures the board's golden state probe-side (vectored).
+	Snapshot() error
+	// RestoreSnapshot rolls the board back to the cached snapshot, shipping
+	// only the dirty delta in one round trip (vectored).
+	RestoreSnapshot() (board.RestoreStats, error)
 	// DrainUART returns console lines emitted since the previous drain.
 	DrainUART() ([]string, error)
 	// BoardState queries power/liveness state, boot count and boot error.

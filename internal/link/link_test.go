@@ -65,6 +65,10 @@ func (f *fakeLink) DrainCov(addr uint64, maxEntries int) ([]uint32, uint32, erro
 func (f *fakeLink) WriteMemContinue(addr uint64, data []byte, budget int64) (cpu.Stop, error) {
 	return cpu.Stop{Kind: cpu.StopBudget}, f.next("WriteMemContinue")
 }
+func (f *fakeLink) Snapshot() error { return f.next("Snapshot") }
+func (f *fakeLink) RestoreSnapshot() (board.RestoreStats, error) {
+	return board.RestoreStats{}, f.next("RestoreSnapshot")
+}
 func (f *fakeLink) DrainUART() ([]string, error) { return nil, f.next("DrainUART") }
 func (f *fakeLink) BoardState() (board.State, int, string, error) {
 	return 0, 0, "", f.next("BoardState")

@@ -193,6 +193,18 @@ func (w *measured) WriteMemContinue(addr uint64, data []byte, budget int64) (cpu
 	return w.inner.WriteMemContinue(addr, data, budget)
 }
 
+func (w *measured) Snapshot() error {
+	start := w.m.begin()
+	defer w.m.observe("Snapshot", start)
+	return w.inner.Snapshot()
+}
+
+func (w *measured) RestoreSnapshot() (board.RestoreStats, error) {
+	start := w.m.begin()
+	defer w.m.observe("RestoreSnapshot", start)
+	return w.inner.RestoreSnapshot()
+}
+
 func (w *measured) DrainUART() ([]string, error) {
 	start := w.m.begin()
 	defer w.m.observe("DrainUART", start)

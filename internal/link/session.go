@@ -270,6 +270,18 @@ func (s *Session) WriteMemContinue(addr uint64, data []byte, budget int64) (st c
 	return st, err
 }
 
+func (s *Session) Snapshot() error {
+	return s.do("Snapshot", func() error { return s.inner.Snapshot() })
+}
+
+func (s *Session) RestoreSnapshot() (st board.RestoreStats, err error) {
+	err = s.do("RestoreSnapshot", func() error {
+		st, err = s.inner.RestoreSnapshot()
+		return err
+	})
+	return st, err
+}
+
 func (s *Session) DrainUART() (lines []string, err error) {
 	err = s.do("DrainUART", func() error {
 		lines, err = s.inner.DrainUART()

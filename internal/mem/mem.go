@@ -60,24 +60,39 @@ func IsBusFault(err error) bool {
 	return errors.As(err, &bf)
 }
 
+// PageSize is the dirty-tracking granularity of a region: writes mark the
+// covering pages dirty, and the snapshot/delta restoration path re-ships only
+// dirty pages.
+const PageSize = 1024
+
 // Region is a contiguous address range backed by a byte slab.
 type Region struct {
 	Name string
 	Base uint64
 	Perm Perm
 	data []byte
+	// dirty marks pages written through the map since the last ClearDirty.
+	// pinned marks pages that devices mutate directly through Bytes()
+	// (coverage buffer, mailbox, FSB): those bypass the map's write path, so
+	// they are treated as always dirty.
+	dirty  []bool
+	pinned []bool
 }
 
 // NewRegion allocates a region of the given size filled with zeros.
 func NewRegion(name string, base uint64, size int, perm Perm) *Region {
-	return &Region{Name: name, Base: base, Perm: perm, data: make([]byte, size)}
+	return &Region{Name: name, Base: base, Perm: perm, data: make([]byte, size),
+		dirty: make([]bool, pages(size)), pinned: make([]bool, pages(size))}
 }
 
 // BackedRegion wraps an existing slab (e.g. a flash device's array) so writes
 // through the map and through the device stay coherent.
 func BackedRegion(name string, base uint64, data []byte, perm Perm) *Region {
-	return &Region{Name: name, Base: base, Perm: perm, data: data}
+	return &Region{Name: name, Base: base, Perm: perm, data: data,
+		dirty: make([]bool, pages(len(data))), pinned: make([]bool, pages(len(data)))}
 }
+
+func pages(size int) int { return (size + PageSize - 1) / PageSize }
 
 // Size returns the region length in bytes.
 func (r *Region) Size() int { return len(r.data) }
@@ -92,6 +107,65 @@ func (r *Region) Contains(addr uint64, size int) bool {
 
 // Bytes exposes the raw slab. Intended for devices that own the region.
 func (r *Region) Bytes() []byte { return r.data }
+
+// markDirty flags every page overlapping [off, off+size).
+func (r *Region) markDirty(off uint64, size int) {
+	if size <= 0 {
+		return
+	}
+	last := (off + uint64(size) - 1) / PageSize
+	for p := off / PageSize; p <= last && p < uint64(len(r.dirty)); p++ {
+		r.dirty[p] = true
+	}
+}
+
+// PinDirty marks the pages covering [off, off+size) as permanently dirty:
+// device writes through Bytes() bypass the map's write path, so regions a
+// device mutates in place (coverage buffer, mailbox) stay conservatively
+// dirty across ClearDirty.
+func (r *Region) PinDirty(off uint64, size int) {
+	if size <= 0 {
+		return
+	}
+	last := (off + uint64(size) - 1) / PageSize
+	for p := off / PageSize; p <= last && p < uint64(len(r.pinned)); p++ {
+		r.pinned[p] = true
+	}
+}
+
+// Dirty reports whether page p is dirty (written since ClearDirty, or pinned).
+func (r *Region) Dirty(p int) bool {
+	return p < len(r.dirty) && (r.dirty[p] || r.pinned[p])
+}
+
+// Pages returns the region's page count at the dirty-tracking granularity.
+func (r *Region) Pages() int { return len(r.dirty) }
+
+// DirtyPages returns the indices of every dirty or pinned page, ascending.
+func (r *Region) DirtyPages() []int {
+	var out []int
+	for p := range r.dirty {
+		if r.dirty[p] || r.pinned[p] {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// ClearDirty resets the written-page bitmap; pinned pages stay dirty.
+func (r *Region) ClearDirty() {
+	for p := range r.dirty {
+		r.dirty[p] = false
+	}
+}
+
+// MarkAllDirty flags every page, forcing the next delta to re-ship the whole
+// region.
+func (r *Region) MarkAllDirty() {
+	for p := range r.dirty {
+		r.dirty[p] = true
+	}
+}
 
 // Map is an ordered set of non-overlapping regions.
 type Map struct {
@@ -161,6 +235,9 @@ func (m *Map) slice(addr uint64, size int, op string, need Perm) ([]byte, error)
 		return nil, &BusFault{Addr: addr, Size: size, Op: op, Why: "perm"}
 	}
 	off := addr - r.Base
+	if need&Write != 0 {
+		r.markDirty(off, size)
+	}
 	return r.data[off : off+uint64(size)], nil
 }
 

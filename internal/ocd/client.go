@@ -256,6 +256,48 @@ func (c *Client) WriteMemContinue(addr uint64, data []byte, budget int64) (cpu.S
 	return decodeStop(resp)
 }
 
+// Snapshot asks the probe to capture the board's current flash, RAM and
+// breakpoint state as the golden image RestoreSnapshot rolls back to. One
+// round trip; the capture itself happens probe-side. Probe firmware that
+// predates the vectored commands answers Ebadcmd.
+func (c *Client) Snapshot() error {
+	_, err := c.call("vSnap")
+	return err
+}
+
+// RestoreSnapshot asks the probe to roll the board back to the cached
+// snapshot, shipping only the dirty delta and replaying to the snapshot's
+// breakpoint park — the whole restore costs one round trip instead of the
+// reset/reflash/re-arm/run-to-main ladder. A missing snapshot surfaces as a
+// RemoteError with code "snap"; legacy probes answer Ebadcmd.
+func (c *Client) RestoreSnapshot() (board.RestoreStats, error) {
+	var st board.RestoreStats
+	resp, err := c.call("vRestore")
+	if err != nil {
+		return st, err
+	}
+	if !strings.HasPrefix(resp, "S") {
+		return st, fmt.Errorf("ocd: bad restore reply %q", resp)
+	}
+	parts := strings.Split(resp[1:], ",")
+	if len(parts) != 4 {
+		return st, fmt.Errorf("ocd: bad restore reply %q", resp)
+	}
+	vals := make([]int64, 4)
+	for i, p := range parts {
+		v, err := strconv.ParseInt(p, 16, 64)
+		if err != nil {
+			return st, fmt.Errorf("ocd: bad restore reply %q: %v", resp, err)
+		}
+		vals[i] = v
+	}
+	st.FlashSectors = int(vals[0])
+	st.RAMPages = int(vals[1])
+	st.RestoredBytes = vals[2]
+	st.SkippedBytes = vals[3]
+	return st, nil
+}
+
 // DrainUART returns console lines emitted since the previous drain.
 func (c *Client) DrainUART() ([]string, error) {
 	resp, err := c.call("qUART")

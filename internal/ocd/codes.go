@@ -38,6 +38,10 @@ const (
 	// again, so no recovery rung (reset, reflash, power cycle) can help.
 	// The engine maps it to core.ErrBoardDead for fleet supervisors.
 	CodeDead Code = "dead"
+	// CodeSnap reports a snapshot-restore failure with no snapshot cached:
+	// the probe has nothing to diff against, so the host must fall back to
+	// the full restore ladder and re-take a snapshot.
+	CodeSnap Code = "snap"
 )
 
 // IsCode reports whether err is a RemoteError carrying code c.

@@ -133,6 +133,16 @@ func (s *Server) handle(req string) (resp string, detach bool) {
 			return ereply(CodeBadCmd), false
 		}
 		return s.writeRun(req[len("vRun:"):]), false
+	case req == "vSnap":
+		if s.NoVectored {
+			return ereply(CodeBadCmd), false
+		}
+		return s.snapshot(), false
+	case req == "vRestore":
+		if s.NoVectored {
+			return ereply(CodeBadCmd), false
+		}
+		return s.restore(), false
 	default:
 		return ereply(CodeBadCmd), false
 	}
@@ -383,6 +393,46 @@ func (s *Server) writeRun(args string) string {
 	}
 	stop := s.Board.Core().Continue(budget)
 	return encodeStop(stop)
+}
+
+// snapshot implements vSnap: the probe captures the board's flash, RAM and
+// breakpoint state as the golden image vRestore rolls back to, and resets the
+// board's dirty tracking. The capture happens probe-side, so the host pays
+// one round trip, not a full state read-back.
+func (s *Server) snapshot() string {
+	if !s.live() {
+		return ereply(CodeTimeout)
+	}
+	if err := s.Board.Snapshot(); err != nil {
+		return ereplyMsg(CodeSnap, err.Error())
+	}
+	return "OK"
+}
+
+// restore implements vRestore: the probe diffs the board's dirty state
+// against the cached golden snapshot, re-ships only the delta, and replays
+// the target back to its snapshot park point. One round trip replaces the
+// reset/reflash/re-arm/run-to-main sequence. The reply is
+// S<flashSectors:x>,<ramPages:x>,<restoredBytes:x>,<skippedBytes:x>.
+func (s *Server) restore() string {
+	if s.Board.State() == board.Dead {
+		return ereplyMsg(CodeDead, "board dead")
+	}
+	if !s.Board.HasSnapshot() {
+		return ereply(CodeSnap)
+	}
+	st, err := s.Board.RestoreSnapshot()
+	if err != nil {
+		switch {
+		case errors.Is(err, board.ErrDead):
+			return ereplyMsg(CodeDead, err.Error())
+		case errors.Is(err, board.ErrNoSnapshot):
+			return ereply(CodeSnap)
+		default:
+			return ereplyMsg(CodeFlash, err.Error())
+		}
+	}
+	return fmt.Sprintf("S%x,%x,%x,%x", st.FlashSectors, st.RAMPages, st.RestoredBytes, st.SkippedBytes)
 }
 
 // le32 decodes a little-endian u32 at offset off.

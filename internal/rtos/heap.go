@@ -54,6 +54,9 @@ func (k *Kernel) NewHeap(addr uint64, size int, allocName, freeName, lockName, f
 		panic("rtos: heap outside RAM")
 	}
 	off := addr - k.Env.RAM.Base
+	// The allocator mutates the slab directly, bypassing the memory map's
+	// dirty tracking: pin its pages so delta restores always re-ship it.
+	k.Env.RAM.PinDirty(off, size)
 	h := &Heap{
 		k:       k,
 		slab:    k.Env.RAM.Bytes()[off : off+uint64(size)],

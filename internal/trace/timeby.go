@@ -65,6 +65,15 @@ type TimeBy struct {
 	LinkOverhead time.Duration
 	SyncBarrier  time.Duration
 	Triaging     time.Duration
+
+	// RestoringDelta and RestoringFull split Restoring by restore mechanism:
+	// delta is the snapshot-restore rung (vRestore shipping only dirty
+	// state), full is the classic reset/reflash ladder. They are sub-buckets,
+	// not categories — Sum() excludes them, and RestoringDelta +
+	// RestoringFull == Restoring whenever all restore time is attributed
+	// through Accountant.EndRestore (the report tests assert this).
+	RestoringDelta time.Duration
+	RestoringFull  time.Duration
 }
 
 // Of returns the duration of one category.
@@ -118,6 +127,8 @@ func (t *TimeBy) Merge(o TimeBy) {
 	t.LinkOverhead += o.LinkOverhead
 	t.SyncBarrier += o.SyncBarrier
 	t.Triaging += o.Triaging
+	t.RestoringDelta += o.RestoringDelta
+	t.RestoringFull += o.RestoringFull
 }
 
 // Share returns category c's fraction of the accounted total, in [0,1].
@@ -164,6 +175,20 @@ func (a *Accountant) Begin() time.Duration { return a.clock.Now() }
 // End attributes the delta since start to category c.
 func (a *Accountant) End(c Category, start time.Duration) {
 	a.by.Add(c, a.clock.Now()-start)
+}
+
+// EndRestore attributes the delta since start to the restoring category and
+// additionally to the delta or full sub-bucket, keeping RestoringDelta +
+// RestoringFull == Restoring. Every CatRestore attribution must go through
+// here for the sub-bucket invariant to hold.
+func (a *Accountant) EndRestore(delta bool, start time.Duration) {
+	d := a.clock.Now() - start
+	a.by.Restoring += d
+	if delta {
+		a.by.RestoringDelta += d
+	} else {
+		a.by.RestoringFull += d
+	}
 }
 
 // Reset zeroes the accumulated budget (the engine resets after Setup so the

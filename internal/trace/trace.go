@@ -87,6 +87,13 @@ const (
 	// "<cluster>:<reproducibility>", Exec = replay hits, Edges = minimized
 	// call count, Dur = total triage cost).
 	TriageEnd
+	// SnapshotTake records a golden snapshot being cached (Reason = kernel
+	// state: "post-boot", "post-init").
+	SnapshotTake
+	// DeltaRestore records a restoration satisfied by the snapshot rung
+	// (Reason = trigger, Edges = bytes shipped). It appears between
+	// RestoreBegin and RestoreEnd in place of any Reflash event.
+	DeltaRestore
 
 	numKinds
 )
@@ -99,6 +106,7 @@ var kindNames = [numKinds]string{
 	"sync-epoch",
 	"rung-escalate", "quarantine", "spare-promote",
 	"triage-begin", "triage-min-step", "triage-end",
+	"snapshot-take", "delta-restore",
 }
 
 func (k Kind) String() string {

@@ -1,0 +1,35 @@
+#!/bin/sh
+# Runs the restore-cost benchmark (classic full restoration vs the
+# snapshot/delta rung on identical campaigns) and records the reported
+# metrics in BENCH_restore.json next to the module root. Requires only the
+# Go toolchain. The benchmark itself fails unless the delta rung cuts the
+# mean per-restore cost by at least 3x.
+set -eu
+
+cd "$(dirname "$0")/.."
+out=BENCH_restore.json
+
+raw=$(go test -run '^$' -bench '^BenchmarkRestore$' -benchtime 1x . 2>&1) || {
+    echo "$raw" >&2
+    exit 1
+}
+echo "$raw"
+
+# The benchmark line looks like:
+#   BenchmarkRestore  1  8592165995 ns/op  2278400 bytes-shipped  ...  381.1 restore-speedup-x
+echo "$raw" | awk '
+/^BenchmarkRestore/ {
+    printf "{\n  \"benchmark\": \"BenchmarkRestore\",\n"
+    printf "  \"ns_per_op\": %s", $3
+    for (i = 5; i + 1 <= NF; i += 2) {
+        name = $(i + 1)
+        gsub(/[^a-zA-Z0-9_\/.-]/, "", name)
+        printf ",\n  \"%s\": %s", name, $i
+    }
+    printf "\n}\n"
+    found = 1
+}
+END { if (!found) exit 1 }
+' > "$out" || { echo "bench_restore: no BenchmarkRestore line in output" >&2; rm -f "$out"; exit 1; }
+
+echo "wrote $out"
