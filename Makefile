@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build check test race vet fuzz-smoke bench-fleet bench-trace bench-restore
+.PHONY: build check test race vet fuzz-smoke bench-fleet bench-trace bench-restore bench-tier
 
 build:
 	$(GO) build ./...
@@ -37,3 +37,8 @@ bench-trace:
 # snapshot/delta rung) and records the results in BENCH_restore.json.
 bench-restore:
 	./scripts/bench_restore.sh
+
+# bench-tier runs the tiered-execution benchmark (emulation explore tier vs
+# an all-hardware fleet) and records the results in BENCH_tier.json.
+bench-tier:
+	./scripts/bench_tier.sh

@@ -284,6 +284,78 @@ func BenchmarkTraceOverhead(b *testing.B) {
 	}
 }
 
+// BenchmarkTier compares the emulation explore tier against an all-hardware
+// fleet at equal shard count (2 emulated explore shards vs 2 hardware
+// boards) on coverage discovery rate. The campaign fuzzes the JSON module
+// with module-confined instrumentation — the Table-4 application-level
+// setup — because whole-image coverage is floored by boot edges both
+// substrates share and capped by a surface both saturate, which hides the
+// throughput difference tiering exists to exploit; deep parser coverage is
+// execution-bound, so discovery tracks the tier's real speed. The rate is
+// time-to-coverage: pick a target both runs reach (90% of the smaller final
+// edge count) and compare edges per virtual second as target over the time
+// each fleet needed to reach it, read off the per-tier barrier series. The
+// explore tier must discover at least 5x faster than the all-hardware pool.
+func BenchmarkTier(b *testing.B) {
+	const budget = 10 * time.Minute
+	const syncEvery = 15 * time.Second
+	run := func(opts Options) *Report {
+		opts.OS = "freertos"
+		opts.Seed = 77
+		opts.Shards = 2
+		opts.SyncEvery = syncEvery
+		opts.RestrictAPIs = []string{"json_parse", "json_encode", "json_free"}
+		opts.InstrumentModules = []string{"lib/json"}
+		c, err := NewCampaign(opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer c.Close()
+		rep, err := c.Run(budget)
+		if err != nil {
+			b.Fatal(err)
+		}
+		return rep
+	}
+	timeTo := func(series []Sample, target int) time.Duration {
+		for _, s := range series {
+			if s.Edges >= target {
+				return s.At
+			}
+		}
+		return 0
+	}
+	for i := 0; i < b.N; i++ {
+		allHW := run(Options{})
+		tiered := run(Options{Tiers: true, EmulShards: 2})
+		if len(tiered.Tiers) != 2 {
+			b.Fatalf("tiered report has %d tier entries", len(tiered.Tiers))
+		}
+		explore := tiered.Tiers[1]
+		target := allHW.Edges
+		if explore.Edges < target {
+			target = explore.Edges
+		}
+		target = target * 9 / 10
+		tEm := timeTo(explore.Series, target)
+		tHW := timeTo(allHW.Series, target)
+		if tEm == 0 || tHW == 0 {
+			b.Fatalf("a fleet never reached %d edges (explore %d, all-hw %d)", target, explore.Edges, allHW.Edges)
+		}
+		emRate := float64(target) / tEm.Seconds()
+		hwRate := float64(target) / tHW.Seconds()
+		if emRate < 5*hwRate {
+			b.Fatalf("explore tier only %.2fx the all-hardware fleet (%.2f vs %.2f edges/s to %d edges), want >= 5x",
+				emRate/hwRate, emRate, hwRate, target)
+		}
+		b.ReportMetric(emRate, "explore-edges/s")
+		b.ReportMetric(hwRate, "allhw-edges/s")
+		b.ReportMetric(emRate/hwRate, "tier-speedup-x")
+		b.ReportMetric(float64(explore.Execs), "explore-execs")
+		b.ReportMetric(float64(allHW.Execs), "allhw-execs")
+	}
+}
+
 func avg(xs []float64) float64 {
 	if len(xs) == 0 {
 		return 0

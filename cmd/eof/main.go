@@ -31,6 +31,9 @@ func main() {
 		modules   = flag.String("modules", "", "comma-separated source prefixes to instrument")
 		shards    = flag.Int("shards", 1, "board-pool size: shard the campaign across N boards with shared feedback")
 		spares    = flag.Int("spares", 0, "hot-spare boards held in reserve for fleet failover (needs -shards > 1)")
+		syncMin   = flag.Float64("sync-minutes", 0, "fleet feedback-exchange interval in virtual minutes (0 = default 10)")
+		tiers     = flag.Bool("tiers", false, "tiered execution: an emulation tier explores and the hardware pool confirms its findings at sync barriers")
+		emulWidth = flag.Int("emul-shards", 0, "emulation explore-tier width (0 = default 4, needs -tiers)")
 		legacy    = flag.Bool("legacy-link", false, "disable vectored debug-link commands (older probe firmware)")
 		snapshots = flag.Bool("snapshots", false, "cache golden snapshots probe-side and restore by shipping only dirty state")
 		snapAt    = flag.String("snapshot-states", "", "kernel states to (re-)snapshot at: comma-separated subset of post-boot,post-init (empty = both)")
@@ -71,6 +74,9 @@ func main() {
 		APIAwareDisabled: *random,
 		Shards:           *shards,
 		Spares:           *spares,
+		SyncEvery:        time.Duration(*syncMin * float64(time.Minute)),
+		Tiers:            *tiers,
+		EmulShards:       *emulWidth,
 		LegacyLink:       *legacy,
 		Snapshots:        *snapshots,
 		SnapshotStates:   *snapAt,
@@ -122,7 +128,14 @@ func main() {
 	defer c.Close()
 
 	budget := time.Duration(*minutes * float64(time.Minute))
-	if *shards > 1 {
+	if *tiers {
+		width := *emulWidth
+		if width <= 0 {
+			width = 4
+		}
+		fmt.Printf("fuzzing %s on %d %s boards + %d emulated explore shards for %v of total board time (seed %d)\n",
+			*osName, *shards, *board, width, budget, *seed)
+	} else if *shards > 1 {
 		fmt.Printf("fuzzing %s on a pool of %d %s boards for %v of total board time (seed %d)\n",
 			*osName, *shards, *board, budget, *seed)
 	} else {
@@ -177,9 +190,41 @@ func main() {
 		repl := "no spare left, slot unmanned"
 		if q.Spare >= 0 {
 			repl = fmt.Sprintf("spare board %d promoted", q.Spare)
+		} else if q.Tier == "emul" {
+			repl = "emulation shard, not replaced"
 		}
 		fmt.Printf("quarantine: board %d (slot %d) retired %s at %v — %s\n",
 			q.Board, q.Slot, q.Reason, q.At.Round(time.Second), repl)
+	}
+	for _, tr := range rep.Tiers {
+		line := fmt.Sprintf("tier %s: %d boards, %d execs, %d edges", tr.Class, tr.Boards, tr.Execs, tr.Edges)
+		if tr.Class == "emul" {
+			line += " (provisional until confirmed)"
+		} else if tr.ConfirmReplays > 0 {
+			line += fmt.Sprintf(" — %d confirmation replays: %d confirmed, %d diverged",
+				tr.ConfirmReplays, tr.Confirmed, tr.Diverged)
+		}
+		fmt.Println(line)
+	}
+	if len(rep.Divergences) > 0 {
+		fmt.Printf("cross-tier divergences: %d\n", len(rep.Divergences))
+		shown := len(rep.Divergences)
+		if !*verbose && shown > 8 {
+			shown = 8
+		}
+		for _, d := range rep.Divergences[:shown] {
+			detail := ""
+			switch {
+			case d.Cluster != "":
+				detail = " " + d.Cluster
+			case d.Edges > 0:
+				detail = fmt.Sprintf(" %d unconfirmed edges", d.Edges)
+			}
+			fmt.Printf("  %s%s (emul shard %d, at %v)\n", d.Kind, detail, d.Shard, d.At.Round(time.Second))
+		}
+		if shown < len(rep.Divergences) {
+			fmt.Printf("  ... %d more (run with -v to list all)\n", len(rep.Divergences)-shown)
+		}
 	}
 	if rep.DegradedMonitors > 0 {
 		fmt.Printf("warning: %d exception symbols unarmed (out of breakpoint comparators)\n", rep.DegradedMonitors)

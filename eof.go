@@ -90,6 +90,17 @@ type Options struct {
 	// chronically sick, re-seeded from the shared corpus at the next sync
 	// barrier. Ignored when Shards <= 1.
 	Spares int
+	// Tiers enables tiered execution: alongside the hardware pool, a tier
+	// of EmulShards emulated boards explores the same campaign at emulation
+	// speed, and every corpus admission or crash the tier finds is
+	// re-executed on a hardware board at the next sync barrier. Confirmed
+	// findings enter the hardware campaign; unconfirmed ones are recorded
+	// as cross-tier Divergences on the report. Works with any Shards count
+	// (Shards = 1 hardware board confirms by default).
+	Tiers bool
+	// EmulShards is the emulation tier's width (default 4 when Tiers is
+	// set). Ignored unless Tiers is set.
+	EmulShards int
 	// LegacyLink disables the vectored debug-link commands, forcing the
 	// multi-round-trip sequences older probe firmware needs.
 	LegacyLink bool
@@ -401,6 +412,54 @@ type Report struct {
 	// Quarantines lists the boards the fleet supervisor retired, in
 	// supervision order (nil in solo mode or on a healthy fleet).
 	Quarantines []QuarantineEvent
+	// Tiers breaks the campaign down by execution tier (hardware first,
+	// then emulation). Nil unless the campaign ran with Options.Tiers.
+	Tiers []TierReport
+	// Divergences lists every cross-tier disagreement the confirmation
+	// replays uncovered. Nil unless the campaign ran with Options.Tiers.
+	Divergences []Divergence
+}
+
+// TierReport summarises one execution tier of a tiered campaign.
+type TierReport struct {
+	// Class is "hw" (ground truth) or "emul" (the explore tier).
+	Class string
+	// Boards counts the tier's activated boards, Execs their summed test
+	// cases and Edges the tier's distinct branch coverage (for "hw" this
+	// equals the report's Edges).
+	Boards int
+	Execs  int
+	Edges  int
+	// TimeBy is the tier's summed board-time budget.
+	TimeBy trace.TimeBy
+	// Series is the tier's coverage growth sampled at epoch barriers.
+	Series []Sample
+	// ConfirmReplays counts hardware re-executions of emulation-tier
+	// findings (hardware tier only); Confirmed and Diverged count how many
+	// emulation findings those replays reproduced vs contradicted.
+	ConfirmReplays int
+	Confirmed      int
+	Diverged       int
+}
+
+// Divergence is one cross-tier disagreement: something one tier observed
+// that the other did not when re-executing the same program.
+type Divergence struct {
+	// Kind is "emul-only-cov" (claimed edges hardware never executed),
+	// "emul-only-crash" (an emulation crash hardware cannot reproduce) or
+	// "hw-only-crash" (a hardware crash the emulation run never hit).
+	Kind string
+	// Cluster is the crash cluster, for crash divergences.
+	Cluster string
+	// Edges counts the emulation-claimed edges the hardware replay never
+	// executed, for coverage divergences.
+	Edges int
+	// Prog is the diverging program in textual form; Shard is the emulation
+	// shard (physical pool index) that proposed it; At is the pool
+	// wall-clock time of the confirmation replay.
+	Prog  string
+	Shard int
+	At    time.Duration
 }
 
 // HealthReport is one board's accumulated condition record.
@@ -435,6 +494,9 @@ type QuarantineEvent struct {
 	At time.Duration
 	// Health is the board's final health record.
 	Health HealthReport
+	// Tier is the tier the board served ("" or "hw" for the hardware pool,
+	// "emul" for an emulation explore shard).
+	Tier string
 }
 
 // Campaign is one configured fuzzing run.
@@ -510,16 +572,28 @@ func NewCampaign(opts Options) (*Campaign, error) {
 		}
 		cfg.StatusSink = trace.NewStatus(w, opts.StatusEvery)
 	}
-	if opts.Shards > 1 {
+	emulShards := 0
+	if opts.Tiers {
+		emulShards = opts.EmulShards
+		if emulShards <= 0 {
+			emulShards = 4
+		}
+	}
+	if opts.Shards > 1 || emulShards > 0 {
 		pool, err := fleet.New(cfg, fleet.Options{
-			Shards:    opts.Shards,
-			SyncEvery: opts.SyncEvery,
-			Spares:    opts.Spares,
+			Shards:     opts.Shards,
+			SyncEvery:  opts.SyncEvery,
+			Spares:     opts.Spares,
+			EmulShards: emulShards,
 		})
 		if err != nil {
 			return nil, err
 		}
-		return &Campaign{pool: pool, shards: opts.Shards}, nil
+		shards := opts.Shards
+		if shards < 1 {
+			shards = 1
+		}
+		return &Campaign{pool: pool, shards: shards}, nil
 	}
 	engine, err := core.NewEngine(cfg)
 	if err != nil {
@@ -590,6 +664,24 @@ func convertReport(r *core.Report) *Report {
 		out.Quarantines = append(out.Quarantines, QuarantineEvent{
 			Slot: q.Slot, Board: q.Board, Spare: q.Spare,
 			Reason: q.Reason, At: q.At, Health: convertHealth(q.Health),
+			Tier: q.Tier,
+		})
+	}
+	for _, t := range r.Tiers {
+		tr := TierReport{
+			Class: t.Class, Boards: t.Boards, Execs: t.Execs, Edges: t.Edges,
+			TimeBy: t.TimeBy, ConfirmReplays: t.ConfirmReplays,
+			Confirmed: t.Confirmed, Diverged: t.Diverged,
+		}
+		for _, s := range t.Series {
+			tr.Series = append(tr.Series, Sample{At: s.At, Edges: s.Edges})
+		}
+		out.Tiers = append(out.Tiers, tr)
+	}
+	for _, d := range r.Divergences {
+		out.Divergences = append(out.Divergences, Divergence{
+			Kind: d.Kind, Cluster: d.Cluster, Edges: d.Edges,
+			Prog: d.Prog, Shard: d.Shard, At: d.At,
 		})
 	}
 	if len(r.Stats.RestoresByReason) > 0 {

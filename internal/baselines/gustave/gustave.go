@@ -10,11 +10,11 @@ import (
 	"math/rand"
 	"time"
 
+	"github.com/eof-fuzz/eof/internal/backend"
 	"github.com/eof-fuzz/eof/internal/baselines"
 	"github.com/eof-fuzz/eof/internal/board"
 	"github.com/eof-fuzz/eof/internal/core"
 	"github.com/eof-fuzz/eof/internal/cov"
-	"github.com/eof-fuzz/eof/internal/emul"
 	"github.com/eof-fuzz/eof/internal/osinfo"
 	"github.com/eof-fuzz/eof/internal/wire"
 )
@@ -58,7 +58,7 @@ func Run(cfg Config, budget time.Duration) (*core.Report, error) {
 	if cfg.SampleEvery <= 0 {
 		cfg.SampleEvery = 5 * time.Minute
 	}
-	vm, err := emul.New(cfg.OS, cfg.Board, true)
+	vm, err := backend.OpenVM(cfg.OS, cfg.Board, true)
 	if err != nil {
 		return nil, err
 	}

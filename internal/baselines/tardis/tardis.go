@@ -12,11 +12,11 @@ import (
 	"math/rand"
 	"time"
 
+	"github.com/eof-fuzz/eof/internal/backend"
 	"github.com/eof-fuzz/eof/internal/baselines"
 	"github.com/eof-fuzz/eof/internal/board"
 	"github.com/eof-fuzz/eof/internal/core"
 	"github.com/eof-fuzz/eof/internal/cov"
-	"github.com/eof-fuzz/eof/internal/emul"
 	"github.com/eof-fuzz/eof/internal/osinfo"
 	"github.com/eof-fuzz/eof/internal/prog"
 	"github.com/eof-fuzz/eof/internal/specgen"
@@ -60,7 +60,7 @@ func Run(cfg Config, budget time.Duration) (*core.Report, error) {
 	if err != nil {
 		return nil, err
 	}
-	vm, err := emul.New(cfg.OS, cfg.Board, true)
+	vm, err := backend.OpenVM(cfg.OS, cfg.Board, true)
 	if err != nil {
 		return nil, err
 	}

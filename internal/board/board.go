@@ -79,6 +79,11 @@ type Spec struct {
 	// Emulated marks QEMU-style boards; peripheral-dependent APIs behave
 	// differently there (the Tardis/Gustave comparison hinges on this).
 	Emulated bool
+	// IdleWarp divides the wall-clock cost of idle waits (kernel tick
+	// periods): a fuzzing emulator fast-forwards virtual timers instead of
+	// idling in host wall-clock, so sleeps and timeouts resolve IdleWarp
+	// times faster than on hardware. 0 or 1 leaves time unwarped.
+	IdleWarp uint64
 	// Peripherals lists hardware blocks present on this board.
 	Peripherals map[string]bool
 

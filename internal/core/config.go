@@ -9,6 +9,7 @@ package core
 import (
 	"time"
 
+	"github.com/eof-fuzz/eof/internal/backend"
 	"github.com/eof-fuzz/eof/internal/board"
 	"github.com/eof-fuzz/eof/internal/link"
 	"github.com/eof-fuzz/eof/internal/ocd"
@@ -57,6 +58,17 @@ type Config struct {
 	OS    *osinfo.Info
 	Board *board.Spec
 	Seed  int64
+
+	// Backend selects the execution substrate the engine drives. Nil picks
+	// the classic hardware stack (debug probe over the board model);
+	// backend.Emulated swaps in VM facilities behind the same link contract,
+	// turning this engine into an emulation explore shard.
+	Backend backend.Factory
+	// ConfirmCapture makes the engine queue every corpus-admitted input
+	// (with the fresh edges that earned its slot) and every recorded crash
+	// as ConfirmItems for re-execution on a hardware board. Set on emulation
+	// tier shards; the fleet drains the queue at epoch barriers.
+	ConfirmCapture bool
 
 	// Instrumented selects the SanCov-instrumented image (off only for the
 	// overhead experiments).

@@ -1,0 +1,108 @@
+package core
+
+import (
+	"errors"
+
+	"github.com/eof-fuzz/eof/internal/ocd"
+	"github.com/eof-fuzz/eof/internal/prog"
+	"github.com/eof-fuzz/eof/internal/trace"
+)
+
+// ConfirmItem is one emulation-tier observation awaiting hardware
+// re-execution: a corpus-admitted input together with the fresh edges that
+// earned its slot, or a crashing input together with the recorded bug.
+type ConfirmItem struct {
+	P *prog.Prog
+	// Edges are the fresh edge IDs the emulation exec contributed (coverage
+	// items; nil for crash items).
+	Edges []uint32
+	// Bug is the emulation-tier finding (crash items; nil for coverage).
+	Bug *BugReport
+}
+
+// DrainConfirmQueue returns the confirmation items queued since the last
+// drain and clears the queue. The fleet calls it on emulation shards at
+// epoch barriers and replays the items on the hardware pool.
+func (e *Engine) DrainConfirmQueue() []ConfirmItem {
+	q := e.confirmQueue
+	e.confirmQueue = nil
+	return q
+}
+
+// ConfirmResult is what one hardware re-execution observed.
+type ConfirmResult struct {
+	// Edges is every edge the replay drained (its ground-truth execution
+	// footprint, including any post-restore boot coverage).
+	Edges []uint32
+	// Bug is the crash the replay hit, nil when it ran clean. Unlike triage
+	// capture, the crash was also recorded as a regular finding: hardware
+	// observations are ground truth, whatever tier asked for the replay.
+	Bug *BugReport
+}
+
+// ConfirmProg re-executes p on this engine's (hardware) substrate from
+// pristine state and reports the ground truth: the edges the run actually
+// executed and the crash it actually hit. Board time lands in the confirming
+// bucket; coverage and crashes feed the campaign normally, so a confirmed
+// emulation seed propagates to the hardware corpus and sync delta, and a
+// confirmed crash enters triage like any native finding.
+func (e *Engine) ConfirmProg(p *prog.Prog) (ConfirmResult, error) {
+	if err := e.Setup(); err != nil {
+		return ConfirmResult{}, err
+	}
+	buf, err := e.packProg(p)
+	if err != nil {
+		return ConfirmResult{}, err
+	}
+	e.confirming = true
+	e.confirmSeen = nil
+	e.confirmCaptured = nil
+	defer func() {
+		e.confirming = false
+		e.confirmSeen = nil
+		e.confirmCaptured = nil
+	}()
+	e.stats.ConfirmReplays++
+	// Start from clean state like a triage replay: an emulation exec always
+	// runs on a freshly reset VM, so the hardware comparison must too.
+	if !e.pristine {
+		if rerr := e.restore("confirm"); rerr != nil && !errors.Is(rerr, errRestart) {
+			return ConfirmResult{}, rerr
+		}
+	}
+	res := ConfirmResult{}
+	if err := e.pumpToMain(p, buf); err != nil {
+		if !errors.Is(err, errRestart) {
+			return ConfirmResult{}, err
+		}
+		// Crashed (or otherwise restored): the capture below holds whatever
+		// the run hit; coverage drained before the restore was ingested.
+		res.Edges = e.confirmSeen
+		res.Bug = e.confirmCaptured
+		return res, nil
+	}
+	// Parked at executor_main: collect the run's feedback like an iteration.
+	fresh, cerr := e.drainCoverage()
+	if cerr != nil {
+		if !errors.Is(cerr, ocd.ErrTimeout) {
+			return ConfirmResult{}, cerr
+		}
+		if rerr := e.restore("timeout"); rerr != nil && !errors.Is(rerr, errRestart) {
+			return ConfirmResult{}, rerr
+		}
+	} else if fresh > 0 && e.cfg.FeedbackGuided {
+		// The emulation tier's seed is hardware-novel too: admit it so it
+		// propagates to the hardware corpus and, via the sync delta, to the
+		// sibling shards at the next barrier.
+		seed := p.Clone()
+		e.corpus.Add(seed, fresh)
+		e.tracer.Emit(trace.Event{Kind: trace.CorpusAdd, Exec: e.stats.Execs, Edges: fresh})
+		e.delta.Seeds = append(e.delta.Seeds, SeedShare{P: seed, NewEdges: fresh})
+	}
+	if serr := e.scanLog(p); serr != nil {
+		return ConfirmResult{}, serr
+	}
+	res.Edges = e.confirmSeen
+	res.Bug = e.confirmCaptured
+	return res, nil
+}

@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"github.com/eof-fuzz/eof/internal/agent"
+	"github.com/eof-fuzz/eof/internal/backend"
 	"github.com/eof-fuzz/eof/internal/board"
 	"github.com/eof-fuzz/eof/internal/cov"
 	"github.com/eof-fuzz/eof/internal/cpu"
@@ -73,6 +74,11 @@ type Stats struct {
 	// the pipeline.
 	TriageReplays int
 	TriagedBugs   int
+	// ConfirmReplays counts cross-tier confirmation re-executions this
+	// (hardware) engine ran on behalf of emulation shards; like triage
+	// replays they are not Execs, and their board time lands in the
+	// confirming bucket.
+	ConfirmReplays int
 	// DeltaRestores counts restores satisfied by the snapshot rung (one
 	// vRestore round trip shipping only dirty state); FullRestores counts
 	// restores that went through the classic reset/reflash ladder.
@@ -136,6 +142,7 @@ func (s *Stats) Merge(o Stats) {
 	s.LinkReconnects += o.LinkReconnects
 	s.TriageReplays += o.TriageReplays
 	s.TriagedBugs += o.TriagedBugs
+	s.ConfirmReplays += o.ConfirmReplays
 	s.DeltaRestores += o.DeltaRestores
 	s.FullRestores += o.FullRestores
 	s.SnapshotTakes += o.SnapshotTakes
@@ -174,6 +181,58 @@ type Report struct {
 	// Quarantines lists the boards the fleet supervisor retired (empty for
 	// solo campaigns and healthy fleets).
 	Quarantines []Quarantine
+	// Tiers summarises each capability tier of a heterogeneous fleet in
+	// display order (hw first); nil for solo campaigns and tiers-off fleets.
+	Tiers []TierStats
+	// Divergences lists every cross-tier disagreement the confirmation
+	// pipeline recorded: emulation-claimed coverage or crashes the hardware
+	// tier could not reproduce, and crashes only the hardware replay hit.
+	Divergences []TierDivergence
+}
+
+// TierStats summarises one capability tier of a heterogeneous fleet.
+type TierStats struct {
+	// Class is the tier's capability class ("hw" or "emul").
+	Class string
+	// Boards is how many boards the tier activated (including promoted
+	// spares and the triage board for the hardware tier).
+	Boards int
+	// Execs / Edges are the tier's test-case and distinct-edge totals; the
+	// emulation tier's edge set is provisional until confirmed.
+	Execs int
+	Edges int
+	// TimeBy sums the tier's board-time budgets.
+	TimeBy trace.TimeBy
+	// Series is the tier's coverage growth sampled at epoch barriers, so
+	// the tiers' discovery rates compare on a common timeline.
+	Series []CoverSample
+	// ConfirmReplays / Confirmed / Diverged summarise the confirmation
+	// pipeline from this tier's perspective: the hardware tier counts
+	// replays it ran, the emulation tier counts its items' verdicts.
+	ConfirmReplays int
+	Confirmed      int
+	Diverged       int
+}
+
+// TierDivergence is one cross-tier disagreement, promoted to a first-class
+// finding on the merged report: what one substrate observed, the other did
+// not reproduce.
+type TierDivergence struct {
+	// Kind is "emul-only-cov" (claimed fresh edges the hardware replay did
+	// not execute), "emul-only-crash" (an emulation crash the hardware
+	// replay did not reproduce) or "hw-only-crash" (a crash only the
+	// hardware replay of an emulation-admitted input hit).
+	Kind string
+	// Cluster is the crash cluster for crash kinds ("" for coverage).
+	Cluster string
+	// Edges counts the unconfirmed fresh edges for emul-only-cov.
+	Edges int
+	// Prog is the program that produced the divergence.
+	Prog string
+	// Shard is the emulation shard whose item diverged.
+	Shard int
+	// At is the virtual campaign time of the classification.
+	At time.Duration
 }
 
 // errRestart signals that the target was restored and the fuzzing loop must
@@ -207,8 +266,11 @@ type SyncDelta struct {
 type Engine struct {
 	cfg   Config
 	clock *vtime.Clock
+	bk    backend.Backend
 	brd   *board.Board
-	srv   *ocd.Server
+	// srv is the hardware backend's debug server (nil on other substrates);
+	// retained for tests that poke probe capabilities.
+	srv *ocd.Server
 	// client is the top of the layered debug-link stack the fuzzing loop
 	// speaks: session → metrics → (injector) → transport. The layers
 	// below are retained for accounting and test access.
@@ -265,6 +327,20 @@ type Engine struct {
 	pristine    bool
 	captured    *BugReport
 	triageQueue []TriageItem
+
+	// confirming flags cross-tier confirmation mode on a hardware engine:
+	// the timed link bills round trips to the confirming bucket, ingested
+	// edges are additionally accumulated in confirmSeen, and recordBug notes
+	// the replay's hit in confirmCaptured (while still recording normally —
+	// hardware observations are ground truth). confirmQueue is the emulation
+	// side: ConfirmCapture engines append every corpus-admitted input and
+	// recorded crash for the fleet to drain. lastFresh keeps the most recent
+	// drain's fresh edge IDs so capture knows what earned a corpus slot.
+	confirming      bool
+	confirmSeen     []uint32
+	confirmCaptured *BugReport
+	confirmQueue    []ConfirmItem
+	lastFresh       []uint32
 
 	// vectored tracks whether the probe accepts the single-round-trip
 	// commands; it latches off on the first Ebadcmd and the engine degrades
@@ -327,24 +403,29 @@ func NewEngine(cfg Config) (*Engine, error) {
 	if err != nil {
 		return nil, err
 	}
-	table, err := osInfo.PartTable()
-	if err != nil {
-		return nil, err
+	dcfg := cfg.Degrade
+	if dcfg.Enabled() && dcfg.Seed == 0 {
+		// Like the link-fault injector: each engine (and fleet shard)
+		// derives its own deterministic aging sequence from its seed.
+		dcfg.Seed = cfg.Seed
+	}
+	factory := cfg.Backend
+	if factory == nil {
+		factory = backend.Hardware()
 	}
 	clock := &vtime.Clock{}
-	brd, err := board.New(cfg.Board, table, osInfo.Builder, clock)
+	bk, err := factory(backend.Env{
+		Info:    osInfo,
+		Spec:    cfg.Board,
+		Images:  images,
+		Clock:   clock,
+		Latency: cfg.Latency,
+		Degrade: dcfg,
+	})
 	if err != nil {
 		return nil, err
 	}
-	if cfg.Degrade.Enabled() {
-		dcfg := cfg.Degrade
-		if dcfg.Seed == 0 {
-			// Like the link-fault injector: each engine (and fleet shard)
-			// derives its own deterministic aging sequence from its seed.
-			dcfg.Seed = cfg.Seed
-		}
-		brd.SetDegrade(dcfg)
-	}
+	brd := bk.Board()
 
 	ct := prog.NewChoiceTable(specRes.Spec)
 	gen := prog.NewGenerator(target, cfg.Seed, ct)
@@ -353,6 +434,7 @@ func NewEngine(cfg Config) (*Engine, error) {
 	e := &Engine{
 		cfg:       cfg,
 		clock:     clock,
+		bk:        bk,
 		brd:       brd,
 		health:    Health{Score: 1},
 		vectored:  !cfg.LegacyLink,
@@ -403,6 +485,9 @@ func filterSpec(spec *syzlang.Spec, names []string) {
 // experiment harnesses (never used by the fuzzing loop itself, which talks
 // only through the debug client).
 func (e *Engine) Board() *board.Board { return e.brd }
+
+// Class returns the engine's execution-substrate capability class.
+func (e *Engine) Class() backend.Class { return e.bk.Class() }
 
 // Clock returns the campaign's virtual clock.
 func (e *Engine) Clock() *vtime.Clock { return e.clock }
@@ -485,13 +570,12 @@ func (e *Engine) Setup() error {
 	if e.ready {
 		return nil
 	}
-	if err := e.provision(); err != nil {
+	if err := e.bk.Provision(); err != nil {
 		return err
 	}
 	if err := e.bootWithRetry(); err != nil {
 		return fmt.Errorf("core: initial boot: %w", err)
 	}
-	e.srv = ocd.NewServer(e.brd, e.cfg.Latency)
 	e.client = e.buildLinkStack()
 	if err := e.armBreakpoints(); err != nil {
 		return err
@@ -523,7 +607,7 @@ const setupBootAttempts = 3
 func (e *Engine) bootWithRetry() error {
 	var err error
 	for attempt := 0; attempt < setupBootAttempts; attempt++ {
-		if err = e.brd.Boot(); err == nil {
+		if err = e.bk.Boot(); err == nil {
 			return nil
 		}
 		if errors.Is(err, board.ErrDead) {
@@ -538,12 +622,16 @@ func (e *Engine) bootWithRetry() error {
 }
 
 // buildLinkStack composes the layered debug link the fuzzing loop speaks.
-// Bottom-up: the ocd transport, an optional fault injector (flaky-adapter
-// model), the metrics layer (so faulted and retried attempts count as the
-// real round trips they cost), and on top the session layer that absorbs
-// the injector's faults via retries and reconnects.
+// Bottom-up: the backend's transport (the ocd client on hardware, VM
+// facilities on the emulation tier), an optional fault injector
+// (flaky-adapter model), the metrics layer (so faulted and retried attempts
+// count as the real round trips they cost), and on top the session layer
+// that absorbs the injector's faults via retries and reconnects.
 func (e *Engine) buildLinkStack() link.Link {
-	var l link.Link = ocd.ConnectDirect(e.srv)
+	l := e.bk.Connect()
+	if s, ok := e.bk.(interface{ Server() *ocd.Server }); ok {
+		e.srv = s.Server()
+	}
 	if fcfg := e.cfg.LinkFaults; fcfg.Enabled() {
 		if fcfg.Seed == 0 {
 			fcfg.Seed = e.cfg.Seed
@@ -587,6 +675,7 @@ func (e *Engine) buildLinkStack() link.Link {
 		restoring:      &e.restoring,
 		reflashing:     &e.reflashing,
 		triaging:       &e.triaging,
+		confirming:     &e.confirming,
 		deltaRestoring: &e.deltaRestoring,
 	}
 }
@@ -606,23 +695,6 @@ func parseSnapshotStates(s string) (postBoot, postInit bool) {
 		}
 	}
 	return postBoot, postInit
-}
-
-func (e *Engine) provision() error {
-	tab := e.brd.PartitionTable()
-	for _, part := range []struct {
-		name string
-		data []byte
-	}{{"bootloader", e.images.Boot}, {"kernel", e.images.Kernel}} {
-		p := tab.Lookup(part.name)
-		if p == nil {
-			return fmt.Errorf("core: partition %q missing", part.name)
-		}
-		if err := e.brd.Provision(part.name, part.data); err != nil {
-			return err
-		}
-	}
-	return nil
 }
 
 func (e *Engine) armBreakpoints() error {
@@ -649,14 +721,12 @@ func (e *Engine) armBreakpoints() error {
 	return nil
 }
 
-// Close releases the debug link and kills the board.
+// Close releases the debug link and the execution substrate.
 func (e *Engine) Close() {
 	if e.client != nil {
 		e.client.Close()
 	}
-	if e.brd.State() == board.On {
-		e.brd.Core().Kill()
-	}
+	e.bk.Close()
 }
 
 // Run executes a campaign for the given virtual-time budget.
@@ -761,6 +831,12 @@ func (e *Engine) iteration() error {
 		e.corpus.Add(p, fresh)
 		e.tracer.Emit(trace.Event{Kind: trace.CorpusAdd, Exec: e.stats.Execs, Edges: fresh})
 		e.delta.Seeds = append(e.delta.Seeds, SeedShare{P: p, NewEdges: fresh})
+		if e.cfg.ConfirmCapture {
+			e.confirmQueue = append(e.confirmQueue, ConfirmItem{
+				P:     p.Clone(),
+				Edges: append([]uint32(nil), e.lastFresh...),
+			})
+		}
 		names := p.CallNames()
 		for i := 1; i < len(names); i++ {
 			e.ct.Reward(names[i-1], names[i], 0.5)
@@ -983,7 +1059,15 @@ func (e *Engine) ingestEdges(entries []uint32) int {
 		// buffer is cleared on the target, the drained edges are dropped.
 		return 0
 	}
+	if e.confirming {
+		// Confirmation replays additionally record everything the hardware
+		// actually executed, so the fleet can check the emulation tier's
+		// claimed edges against ground truth. Unlike triage, the edges still
+		// feed the campaign normally — hardware observations are real.
+		e.confirmSeen = append(e.confirmSeen, entries...)
+	}
 	fresh := e.collector.Ingest(entries)
+	e.lastFresh = fresh
 	if len(fresh) > 0 {
 		e.delta.Edges = append(e.delta.Edges, fresh...)
 	}
@@ -1102,6 +1186,11 @@ func (e *Engine) recordBug(b *BugReport, p *prog.Prog) {
 		e.captured = b
 		return
 	}
+	if e.confirming {
+		// Note what the confirmation replay hit (even if it dedups below):
+		// the fleet compares it against the emulation tier's claim.
+		e.confirmCaptured = b
+	}
 	// Dedup on the normalized cluster, not the raw signature: the same
 	// fault reached through two callers (or observed by two monitors with
 	// jittering message text) is one bug.
@@ -1111,6 +1200,7 @@ func (e *Engine) recordBug(b *BugReport, p *prog.Prog) {
 	e.bugSigs[b.Cluster] = true
 	b.OS = e.cfg.OS.Name
 	b.Board = e.cfg.Board.Name
+	b.Tier = e.bk.Class().String()
 	b.FoundAt = e.clock.Now() - e.started
 	// Flight recorder: attach the last events leading up to the detection,
 	// then journal the detection itself.
@@ -1119,6 +1209,9 @@ func (e *Engine) recordBug(b *BugReport, p *prog.Prog) {
 	e.tracer.Emit(trace.Event{Kind: trace.Bug, Exec: e.stats.Execs, Reason: b.Sig})
 	if e.cfg.Triage.Enabled && p != nil {
 		e.triageQueue = append(e.triageQueue, TriageItem{Bug: b, P: p.Clone()})
+	}
+	if e.cfg.ConfirmCapture && p != nil {
+		e.confirmQueue = append(e.confirmQueue, ConfirmItem{P: p.Clone(), Bug: b})
 	}
 }
 

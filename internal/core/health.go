@@ -141,4 +141,8 @@ type Quarantine struct {
 	At time.Duration
 	// Health is the board's final health record.
 	Health Health
+	// Tier is the tier the board served ("" or "hw" for the hardware pool,
+	// "emul" for an emulation explore shard; emulation shards have no spares,
+	// so their Spare is always -1).
+	Tier string
 }

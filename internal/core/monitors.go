@@ -21,6 +21,11 @@ type BugReport struct {
 	Fault   *cpu.Fault
 	Log     []string
 	Prog    string
+	// Tier is the capability class of the substrate that found the bug
+	// ("hw" or "emul"). Emulation-tier findings are provisional: a merged
+	// fleet report only lists them once hardware confirmed the crash, and
+	// records a TierDivergence otherwise.
+	Tier    string
 	FoundAt time.Duration
 	// Trace is the flight recorder: the last trace events leading up to
 	// detection, oldest first.

@@ -1,0 +1,202 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/eof-fuzz/eof/internal/backend"
+	"github.com/eof-fuzz/eof/internal/boards"
+	"github.com/eof-fuzz/eof/internal/prog"
+	"github.com/eof-fuzz/eof/internal/targets"
+)
+
+// sharedPathCalls is the FreeRTOS API surface both tiers model completely —
+// kernel objects, scheduler, heap and library code with no hardware
+// peripheral behind any call — so a program drawn from it must execute
+// identically on the emulation twin and the real board.
+var sharedPathCalls = []string{
+	"xTaskCreate", "vTaskDelete", "vTaskDelay", "vTaskPrioritySet",
+	"xQueueCreate", "xQueueSend", "xQueueReceive", "vQueueDelete",
+	"xSemaphoreCreateMutex", "xSemaphoreTake", "xSemaphoreGive",
+	"xEventGroupCreate", "xEventGroupSetBits", "xEventGroupWaitBits",
+	"xTimerCreate", "xTimerStart", "xTimerStop",
+	"pvPortMalloc", "vPortFree", "xPortGetFreeHeapSize",
+	"vLoggingPrintf", "json_parse", "json_encode", "json_free",
+}
+
+// tierPair builds a hardware engine and its emulation twin over the same OS
+// build and seed, so programs replay against byte-identical images on both
+// substrates.
+func tierPair(t *testing.T, seed int64, filter []string) (hw, em *Engine) {
+	t.Helper()
+	info, err := targets.ByName("freertos")
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := boards.STM32H745()
+	mk := func(cfg Config) *Engine {
+		cfg.Seed = seed
+		cfg.SampleEvery = time.Minute
+		cfg.CallFilter = filter
+		e, err := NewEngine(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { e.Close() })
+		return e
+	}
+	hw = mk(DefaultConfig(info, spec))
+	emCfg := DefaultConfig(info, backend.EmulSpecFor(spec))
+	emCfg.Backend = backend.Emulated()
+	em = mk(emCfg)
+	return hw, em
+}
+
+func edgeSet(edges []uint32) map[uint32]bool {
+	s := make(map[uint32]bool, len(edges))
+	for _, e := range edges {
+		s[e] = true
+	}
+	return s
+}
+
+// edgeDiff returns the edges in a but not in b, sorted.
+func edgeDiff(a, b map[uint32]bool) []uint32 {
+	var out []uint32
+	for e := range a {
+		if !b[e] {
+			out = append(out, e)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// TestTierParitySharedPath is the cross-tier parity property the confirmation
+// protocol rests on: a program touching no peripheral executes the same
+// control flow on the emulation twin as on hardware — identical coverage edge
+// sets, identical crash verdicts — because the twin keeps the hardware memory
+// map and image and only the unmodelled peripherals diverge.
+func TestTierParitySharedPath(t *testing.T) {
+	hw, em := tierPair(t, 11, sharedPathCalls)
+	for i := 0; i < 6; i++ {
+		p := hw.gen.Generate(hw.cfg.MaxCalls)
+		hwRes, err := hw.ConfirmProg(p.Clone())
+		if err != nil {
+			t.Fatalf("prog %d on hardware: %v", i, err)
+		}
+		emRes, err := em.ConfirmProg(p.Clone())
+		if err != nil {
+			t.Fatalf("prog %d on emulation: %v", i, err)
+		}
+		hwSet, emSet := edgeSet(hwRes.Edges), edgeSet(emRes.Edges)
+		if miss, extra := edgeDiff(hwSet, emSet), edgeDiff(emSet, hwSet); len(miss) > 0 || len(extra) > 0 {
+			t.Fatalf("prog %d %v diverged on the shared path:\nhw-only edges:   %v\nemul-only edges: %v",
+				i, p.CallNames(), miss, extra)
+		}
+		switch {
+		case (hwRes.Bug == nil) != (emRes.Bug == nil):
+			t.Fatalf("prog %d crash verdicts differ: hw=%v emul=%v", i, hwRes.Bug, emRes.Bug)
+		case hwRes.Bug != nil && hwRes.Bug.Sig != emRes.Bug.Sig:
+			t.Fatalf("prog %d crash signatures differ: hw=%s emul=%s", i, hwRes.Bug.Sig, emRes.Bug.Sig)
+		}
+	}
+}
+
+// TestTierDivergencePeripheralPath asserts the divergence surface itself:
+// peripheral-gated APIs split at the device check, so the same program takes
+// driver paths on hardware and ErrNoDev paths on the emulation twin — each
+// tier reaches edges the other cannot.
+func TestTierDivergencePeripheralPath(t *testing.T) {
+	hw, em := tierPair(t, 12, nil)
+	p, err := hw.ParseProgJSON([]byte(`{"calls":[
+		{"name":"xGpioConfig","args":[{"kind":"const","val":1}]},
+		{"name":"xGpioRead","args":[{"kind":"const","val":3}]},
+		{"name":"xAdcConfig","args":[{"kind":"const","val":1}]},
+		{"name":"xAdcRead","args":[{"kind":"const","val":2}]},
+		{"name":"xCanConfig","args":[{"kind":"const","val":1}]}
+	]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	hwRes, err := hw.ConfirmProg(p.Clone())
+	if err != nil {
+		t.Fatal(err)
+	}
+	emRes, err := em.ConfirmProg(p.Clone())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hwRes.Bug != nil || emRes.Bug != nil {
+		t.Fatalf("peripheral config/read crashed: hw=%v emul=%v", hwRes.Bug, emRes.Bug)
+	}
+	hwSet, emSet := edgeSet(hwRes.Edges), edgeSet(emRes.Edges)
+	hwOnly, emOnly := edgeDiff(hwSet, emSet), edgeDiff(emSet, hwSet)
+	if len(hwOnly) == 0 {
+		t.Fatal("hardware reached no driver edges the emulation twin missed")
+	}
+	if len(emOnly) == 0 {
+		t.Fatal("emulation twin took no ErrNoDev edges absent on hardware")
+	}
+	t.Logf("peripheral divergence: %d hw-only edges, %d emul-only edges", len(hwOnly), len(emOnly))
+}
+
+// stagedDMAProg is the correctly ordered, correctly parameterised session
+// chain that reaches the DMA driver's deep liveness defect: init, channel,
+// arm, calibrate with word 7, then sustained runs until the session's op
+// count wraps the descriptor ring (ops >= 20, runs >= 6, calib == 7).
+func stagedDMAProg(t *testing.T, e *Engine) *prog.Prog {
+	t.Helper()
+	var b strings.Builder
+	b.WriteString(`{"calls":[{"name":"xDmaAcquire"}`)
+	ctl := func(cmd, val int) {
+		fmt.Fprintf(&b, `,{"name":"xDmaControl","args":[{"kind":"result","index":0},{"kind":"const","val":%d},{"kind":"const","val":%d}]}`, cmd, val)
+	}
+	ctl(1, 0) // init
+	ctl(2, 0) // channel 0
+	ctl(3, 0) // arm
+	ctl(5, 7) // calibrate word 7
+	for i := 0; i < 16; i++ {
+		ctl(6, 0) // run
+	}
+	b.WriteString(`]}`)
+	p, err := e.ParseProgJSON([]byte(b.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+// TestPeripheralBugReproducesOnlyOnHardware is the tiered-fleet rationale in
+// one program: a crash in driver code behind a real peripheral fires on the
+// hardware tier and is unreachable on the emulation twin, where the driver's
+// open fails with ENODEV before any session state exists.
+func TestPeripheralBugReproducesOnlyOnHardware(t *testing.T) {
+	hw, em := tierPair(t, 13, nil)
+	p := stagedDMAProg(t, hw)
+
+	hwRes, err := hw.ConfirmProg(p.Clone())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hwRes.Bug == nil {
+		t.Fatal("staged DMA session chain did not crash on hardware")
+	}
+	if !strings.Contains(hwRes.Bug.Title, "descriptor ring") {
+		t.Fatalf("wrong hardware crash: %q", hwRes.Bug.Title)
+	}
+	if hwRes.Bug.Tier != backend.HW.String() {
+		t.Fatalf("hardware crash attributed to tier %q", hwRes.Bug.Tier)
+	}
+
+	emRes, err := em.ConfirmProg(p.Clone())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if emRes.Bug != nil {
+		t.Fatalf("peripheral-gated bug reproduced on the emulation twin: %v", emRes.Bug)
+	}
+}

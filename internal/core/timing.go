@@ -26,6 +26,11 @@ type timedLink struct {
 	restoring  *bool // engine's in-restore flag
 	reflashing *bool // engine's in-reflash flag (within restore)
 	triaging   *bool // engine's in-triage flag
+	// confirming is the cross-tier confirmation flag: like triage, every
+	// round trip of a confirmation replay — including the restores it
+	// triggers — bills to the confirming bucket, keeping that bucket an
+	// honest total cost of hardware confirmation.
+	confirming *bool
 	// deltaRestoring marks the snapshot-restore rung: restore-category time
 	// charged while it is set lands in the restoring-delta sub-bucket, the
 	// rest in restoring-full, keeping Restoring == Delta + Full exact.
@@ -36,6 +41,9 @@ type timedLink struct {
 func (w *timedLink) cat(def trace.Category) trace.Category {
 	if *w.triaging {
 		return trace.CatTriage
+	}
+	if *w.confirming {
+		return trace.CatConfirm
 	}
 	if *w.reflashing {
 		return trace.CatReflash
@@ -111,10 +119,14 @@ func (w *timedLink) FlashWrite(off int, data []byte) error {
 }
 
 // flashCat is the category for flash transfers: reflashing, unless the
-// reflash happens while replaying a finding, in which case it is triage cost.
+// reflash happens while replaying a finding, in which case it is triage
+// (or confirmation) cost.
 func (w *timedLink) flashCat() trace.Category {
 	if *w.triaging {
 		return trace.CatTriage
+	}
+	if *w.confirming {
+		return trace.CatConfirm
 	}
 	return trace.CatReflash
 }

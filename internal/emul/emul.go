@@ -18,11 +18,23 @@ import (
 	"github.com/eof-fuzz/eof/internal/vtime"
 )
 
-// sharedMemOpCost is the hypervisor-mediated shared-memory access cost.
-const sharedMemOpCost = 300 * time.Microsecond
+// OpCost is the hypervisor-mediated cost of one VM facility operation
+// (shared-memory access, control command). Exported so the tiered backend
+// adapter charges the same virtual-clock cost the baselines pay.
+const OpCost = 300 * time.Microsecond
 
-// vmResetCost is a QEMU machine reset plus image reload.
-const vmResetCost = 900 * time.Millisecond
+// ResetCost is a QEMU machine reset plus image reload.
+const ResetCost = 900 * time.Millisecond
+
+// HostSpeedup is how much faster a dynamic-translation emulator on a
+// server-class host retires target basic blocks than the MCU it models:
+// virtual time on an emulated shard is host wall-clock, and a multi-GHz
+// translator comfortably outruns a ~100-500MHz embedded core. Applied as a
+// clock-rate multiplier on emulation twin specs (backend.EmulSpecFor), it
+// is — together with the near-zero per-command cost — why the emulation
+// tier explores an order of magnitude faster than hardware at equal shard
+// counts.
+const HostSpeedup = 16
 
 // VM hosts one emulated target.
 type VM struct {
@@ -35,30 +47,27 @@ type VM struct {
 	lay    board.Layout
 }
 
-// New builds the VM: images, board, first boot. spec must be an emulated
-// board model.
-func New(info *osinfo.Info, spec *board.Spec, instrumented bool) (*VM, error) {
+// NewVM is the single VM construction path: board model over pre-built
+// images and an externally owned clock, with no provisioning or boot. The
+// backend adapter uses it directly (its engine owns bring-up and the clock);
+// backend.OpenVM layers image building and the first boot on top for the
+// emulation-bound baselines. A nil clock gets a private one.
+func NewVM(info *osinfo.Info, spec *board.Spec, images *osinfo.Images, clock *vtime.Clock) (*VM, error) {
 	if !spec.Emulated {
 		return nil, fmt.Errorf("emul: board %s is not an emulated model", spec.Name)
-	}
-	images, err := info.BuildImages(spec, instrumented)
-	if err != nil {
-		return nil, err
 	}
 	table, err := info.PartTable()
 	if err != nil {
 		return nil, err
 	}
-	clock := &vtime.Clock{}
+	if clock == nil {
+		clock = &vtime.Clock{}
+	}
 	brd, err := board.New(spec, table, info.Builder, clock)
 	if err != nil {
 		return nil, err
 	}
-	vm := &VM{Info: info, Spec: spec, Clock: clock, brd: brd, images: images, lay: board.LayoutFor(spec)}
-	if err := vm.Reset(); err != nil {
-		return nil, err
-	}
-	return vm, nil
+	return &VM{Info: info, Spec: spec, Clock: clock, brd: brd, images: images, lay: board.LayoutFor(spec)}, nil
 }
 
 // Layout exposes the shared RAM structure addresses.
@@ -67,15 +76,25 @@ func (v *VM) Layout() board.Layout { return v.lay }
 // Board exposes the underlying board (tests only).
 func (v *VM) Board() *board.Board { return v.brd }
 
+// Provision writes the pristine images into the VM's backing flash without
+// booting — the construction half of Reset, exposed so the tiered backend
+// can drive bring-up in the same order the hardware path does.
+func (v *VM) Provision() error {
+	if err := v.brd.Provision("bootloader", v.images.Boot); err != nil {
+		return err
+	}
+	return v.brd.Provision("kernel", v.images.Kernel)
+}
+
+// Boot cold-boots the provisioned VM.
+func (v *VM) Boot() error { return v.brd.Boot() }
+
 // Reset reloads the pristine image and reboots — the VM-snapshot-style
 // restoration emulator fuzzers enjoy; it cannot fail the way hardware
 // reflash can.
 func (v *VM) Reset() error {
-	v.Clock.Advance(vmResetCost)
-	if err := v.brd.Provision("bootloader", v.images.Boot); err != nil {
-		return err
-	}
-	if err := v.brd.Provision("kernel", v.images.Kernel); err != nil {
+	v.Clock.Advance(ResetCost)
+	if err := v.Provision(); err != nil {
 		return err
 	}
 	if err := v.brd.Boot(); err != nil {
@@ -93,7 +112,7 @@ func (v *VM) Close() {
 
 // ReadMem reads guest memory through the shared-memory mapping.
 func (v *VM) ReadMem(addr uint64, n int) ([]byte, error) {
-	v.Clock.Advance(sharedMemOpCost)
+	v.Clock.Advance(OpCost)
 	if v.brd.State() != board.On {
 		return nil, fmt.Errorf("emul: VM not running")
 	}
@@ -102,7 +121,7 @@ func (v *VM) ReadMem(addr uint64, n int) ([]byte, error) {
 
 // WriteMem writes guest memory through the shared-memory mapping.
 func (v *VM) WriteMem(addr uint64, data []byte) error {
-	v.Clock.Advance(sharedMemOpCost)
+	v.Clock.Advance(OpCost)
 	if v.brd.State() != board.On {
 		return fmt.Errorf("emul: VM not running")
 	}

@@ -3,17 +3,36 @@ package emul
 import (
 	"testing"
 
+	"github.com/eof-fuzz/eof/internal/board"
 	"github.com/eof-fuzz/eof/internal/boards"
 	"github.com/eof-fuzz/eof/internal/cpu"
+	"github.com/eof-fuzz/eof/internal/osinfo"
 	"github.com/eof-fuzz/eof/internal/targets"
 )
+
+// openVM is the backend.OpenVM bring-up sequence, inlined because this
+// in-package test cannot import backend (which imports emul).
+func openVM(info *osinfo.Info, spec *board.Spec, instrumented bool) (*VM, error) {
+	images, err := info.BuildImages(spec, instrumented)
+	if err != nil {
+		return nil, err
+	}
+	vm, err := NewVM(info, spec, images, nil)
+	if err != nil {
+		return nil, err
+	}
+	if err := vm.Reset(); err != nil {
+		return nil, err
+	}
+	return vm, nil
+}
 
 func TestVMLifecycle(t *testing.T) {
 	info, err := targets.ByName("freertos")
 	if err != nil {
 		t.Fatal(err)
 	}
-	vm, err := New(info, boards.QEMUVirt(), true)
+	vm, err := openVM(info, boards.QEMUVirt(), true)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -46,14 +65,14 @@ func TestVMLifecycle(t *testing.T) {
 
 func TestVMRejectsHardwareSpec(t *testing.T) {
 	info, _ := targets.ByName("freertos")
-	if _, err := New(info, boards.STM32H745(), true); err == nil {
+	if _, err := openVM(info, boards.STM32H745(), true); err == nil {
 		t.Fatal("hardware board accepted as a VM")
 	}
 }
 
 func TestVMChargesSharedMemoryCost(t *testing.T) {
 	info, _ := targets.ByName("pokos")
-	vm, err := New(info, boards.QEMUVirt(), false)
+	vm, err := openVM(info, boards.QEMUVirt(), false)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -175,3 +175,30 @@ func TestTriageEvalQuick(t *testing.T) {
 	}
 	t.Logf("\n%s", res.Table.Render())
 }
+
+func TestAblationTierShape(t *testing.T) {
+	tab, err := AblationTier(quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := tab.Render()
+	if len(tab.Rows) != len(tierOSes)*2 {
+		t.Fatalf("rows: %d\n%s", len(tab.Rows), out)
+	}
+	for i, row := range tab.Rows {
+		wantMode := "all-hw"
+		if i%2 == 1 {
+			wantMode = "tiered"
+		}
+		if row[1] != wantMode {
+			t.Fatalf("row %d mode %q, want %q\n%s", i, row[1], wantMode, out)
+		}
+		if wantMode == "all-hw" && row[3] != "-" {
+			t.Fatalf("all-hw row carries emulation execs: %v", row)
+		}
+		if wantMode == "tiered" && (row[3] == "-" || row[6] == "-") {
+			t.Fatalf("tiered row missing tier columns: %v", row)
+		}
+	}
+	t.Log("\n" + out)
+}

@@ -1,0 +1,121 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/eof-fuzz/eof/internal/core"
+	"github.com/eof-fuzz/eof/internal/fleet"
+	"github.com/eof-fuzz/eof/internal/targets"
+)
+
+// Tier-experiment pool shape: an all-hardware pool of tierShards boards
+// against the same pool widened by tierEmulShards emulated explore shards,
+// so the emulation tier's contribution is measured at equal hardware cost.
+const (
+	tierShards     = 2
+	tierEmulShards = 2
+	tierSyncEvery  = 2 * time.Minute
+)
+
+// tierOSes is the OS sweep of the tiered-execution experiment.
+var tierOSes = []string{"freertos", "rtthread", "zephyr"}
+
+// AblationTier (E-tier) measures what the heterogeneous fleet buys: for each
+// OS it runs an all-hardware pool and a tiered pool (same hardware width plus
+// an emulation explore tier) on the same seeds and budget. The tiered rows
+// report both tiers' throughput, the confirmation pipeline's verdict counts
+// and the cross-tier divergences — the emulation findings hardware refused
+// to ratify, which an emulation-only deployment would have reported as fact.
+func AblationTier(opts Options) (*Table, error) {
+	t := &Table{
+		Title: fmt.Sprintf("E-tier: Emulation explore tier + hardware confirmation (%d hw boards, %d emul shards, %gh x %d runs)",
+			tierShards, tierEmulShards, opts.Hours, opts.Runs),
+		Columns: []string{
+			"OS", "Mode", "HW execs", "Emul execs", "Edges", "Emul edges",
+			"Replays", "Confirmed", "Diverged", "Emul execs/board vs hw",
+		},
+	}
+	type job struct {
+		os    string
+		tiers bool
+	}
+	jobs := make([]job, 0, len(tierOSes)*2)
+	for _, osName := range tierOSes {
+		jobs = append(jobs, job{osName, false}, job{osName, true})
+	}
+	reports := make([]*core.Report, len(jobs)*opts.Runs)
+	err := runParallel(len(reports), opts.parallel(), func(i int) error {
+		j := jobs[i/opts.Runs]
+		info, err := targets.ByName(j.os)
+		if err != nil {
+			return err
+		}
+		cfg := core.DefaultConfig(info, evalBoards()[j.os])
+		cfg.Seed = opts.SeedBase + int64(i%opts.Runs)
+		fo := fleet.Options{Shards: tierShards, SyncEvery: tierSyncEvery}
+		if j.tiers {
+			fo.EmulShards = tierEmulShards
+		}
+		pool, err := fleet.New(cfg, fo)
+		if err != nil {
+			return err
+		}
+		defer pool.Close()
+		rep, err := pool.Run(opts.budget())
+		if err != nil {
+			return err
+		}
+		reports[i] = rep
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for ji, j := range jobs {
+		var hwExecs, emExecs, edges, emEdges, replays, confirmed, diverged []float64
+		for r := 0; r < opts.Runs; r++ {
+			rep := reports[ji*opts.Runs+r]
+			edges = append(edges, float64(rep.Edges))
+			if len(rep.Tiers) == 2 {
+				hw, em := rep.Tiers[0], rep.Tiers[1]
+				hwExecs = append(hwExecs, float64(hw.Execs))
+				emExecs = append(emExecs, float64(em.Execs))
+				emEdges = append(emEdges, float64(em.Edges))
+				replays = append(replays, float64(hw.ConfirmReplays))
+				confirmed = append(confirmed, float64(hw.Confirmed))
+				diverged = append(diverged, float64(hw.Diverged))
+			} else {
+				hwExecs = append(hwExecs, float64(rep.Stats.Execs))
+			}
+		}
+		mode, emCell, emEdgeCell, repCell, confCell, divCell, speedCell :=
+			"all-hw", "-", "-", "-", "-", "-", "-"
+		if j.tiers {
+			mode = "tiered"
+			emCell = fmt.Sprintf("%.1f", mean(emExecs))
+			emEdgeCell = fmt.Sprintf("%.1f", mean(emEdges))
+			repCell = fmt.Sprintf("%.1f", mean(replays))
+			confCell = fmt.Sprintf("%.1f", mean(confirmed))
+			divCell = fmt.Sprintf("%.1f", mean(diverged))
+			perBoardEm := mean(emExecs) / tierEmulShards
+			perBoardHW := mean(hwExecs) / tierShards
+			if perBoardHW > 0 {
+				speedCell = fmt.Sprintf("%.1fx", perBoardEm/perBoardHW)
+			}
+		}
+		t.Rows = append(t.Rows, []string{
+			j.os, mode,
+			fmt.Sprintf("%.1f", mean(hwExecs)),
+			emCell,
+			fmt.Sprintf("%.1f", mean(edges)),
+			emEdgeCell, repCell, confCell, divCell, speedCell,
+		})
+	}
+	t.Notes = append(t.Notes,
+		"Edges is hardware-tier (ground-truth) coverage; Emul edges is the explore tier's provisional set",
+		"every emulation corpus admission and crash is re-executed on a hardware board at the next sync barrier",
+		"Confirmed: hardware reproduced the finding; Diverged: it did not (emulation-only coverage or crash, or a hardware-only crash surfaced by the replay)",
+		"same seeds and total budget in both modes; the tiered mode adds emulated shards, not hardware")
+	return t, nil
+}

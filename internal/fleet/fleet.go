@@ -23,6 +23,20 @@
 // cumulative broadcast history so the newcomer starts with the fleet's
 // collective corpus. One doomed board therefore costs the pool roughly one
 // shard-epoch of throughput instead of the whole campaign.
+//
+// With EmulShards > 0 the fleet runs tiered: alongside the hardware pool, a
+// wide pool of cheap emulated shards (backend.Emulated over a spec twin that
+// keeps edge IDs comparable) explores the same campaign at emulation speed.
+// The tiers share one direction of feedback — every hardware broadcast also
+// reaches the emulation shards, but emulation discoveries never enter the
+// hardware corpus or shared collector directly. Instead, each emulation
+// shard queues its corpus admissions and crashes as confirmation items, and
+// at every epoch barrier the fleet replays them on the hardware pool
+// (round-robin over manned slots): a replay that reproduces the coverage or
+// crash emits TierConfirm and feeds the hardware campaign normally, while a
+// replay that does not emits TierDiverge and records a first-class
+// cross-tier divergence on the merged report. Hardware stays the ground
+// truth; emulation only proposes.
 package fleet
 
 import (
@@ -31,9 +45,11 @@ import (
 	"sync"
 	"time"
 
+	"github.com/eof-fuzz/eof/internal/backend"
 	"github.com/eof-fuzz/eof/internal/board"
 	"github.com/eof-fuzz/eof/internal/core"
 	"github.com/eof-fuzz/eof/internal/cov"
+	"github.com/eof-fuzz/eof/internal/link"
 	"github.com/eof-fuzz/eof/internal/trace"
 )
 
@@ -67,6 +83,13 @@ type Options struct {
 	// cfg.Degrade. Tests and the resilience ablation use it to doom one
 	// specific board.
 	Degrade []board.DegradeConfig
+	// EmulShards is the emulation explore tier's width: that many emulated
+	// shards (physical indices after the hardware pool and the triage board)
+	// run alongside the hardware slots, with their corpus admissions and
+	// crashes re-executed on hardware at every epoch barrier. Zero disables
+	// tiering entirely — the fleet behaves (and journals) exactly as an
+	// all-hardware pool.
+	EmulShards int
 }
 
 // Fleet is one sharded campaign over a board pool with hot-spare failover.
@@ -111,6 +134,21 @@ type Fleet struct {
 	triageDead bool
 	triaged    map[string]*core.BugReport
 
+	// Emulation tier state. emulIdx lists the emulated boards' physical
+	// indices (immutable, used for journal flushing); emulSlots mirrors it
+	// but drops to -1 when a shard is quarantined. Emulation coverage feeds
+	// its own shared collector — emulation edges reach the hardware
+	// collector only through a confirmed hardware replay. confirmNext is the
+	// persistent round-robin cursor over manned hardware slots for
+	// confirmation replays.
+	emulIdx     []int
+	emulSlots   []int
+	emulShared  *cov.Collector
+	confirmNext int
+	divergences []core.TierDivergence
+	confirmed   int
+	diverged    int
+
 	shardReports []*core.Report
 }
 
@@ -131,12 +169,18 @@ func New(cfg core.Config, opts Options) (*Fleet, error) {
 	if opts.SyncEvery <= 0 {
 		opts.SyncEvery = DefaultSyncEvery
 	}
+	if opts.EmulShards < 0 {
+		opts.EmulShards = 0
+	}
 	f := &Fleet{
 		opts:          opts,
 		shared:        cov.NewCollector(),
 		sickThreshold: cfg.Health.WithDefaults().SickThreshold,
 		triageIdx:     -1,
 		triaged:       make(map[string]*core.BugReport),
+	}
+	if opts.EmulShards > 0 {
+		f.emulShared = cov.NewCollector()
 	}
 	if cfg.TraceSink != nil {
 		f.journal = cfg.TraceSink
@@ -182,7 +226,39 @@ func New(cfg core.Config, opts Options) (*Fleet, error) {
 		}
 		f.engines = append(f.engines, e)
 	}
-	f.active = make([]bool, boards)
+	// The emulation tier's boards come last, so every hardware board keeps
+	// the physical index — and therefore the seed, fault stream and journal
+	// position — it would have in an untiered fleet.
+	for j := 0; j < opts.EmulShards; j++ {
+		i := boards + j
+		scfg := cfg
+		scfg.Seed = cfg.Seed + int64(i)*shardSeedStride
+		scfg.Shard = i
+		scfg.Backend = backend.Emulated()
+		scfg.Board = backend.EmulSpecFor(cfg.Board)
+		scfg.ConfirmCapture = true
+		// Emulation findings are provisional: no triage, no link faults, no
+		// hardware aging — the VM substrate has none of those failure modes,
+		// and crashes are confirmed (and then triaged) on hardware instead.
+		scfg.Triage = core.TriageConfig{}
+		scfg.LinkFaults = link.FaultConfig{}
+		scfg.Degrade = board.DegradeConfig{}
+		if f.journal != nil {
+			buf := trace.NewBuffer()
+			f.buffers = append(f.buffers, buf)
+			scfg.TraceSink = buf
+		}
+		e, err := core.NewEngine(scfg)
+		if err != nil {
+			f.Close()
+			return nil, fmt.Errorf("fleet: emul shard %d: %w", j, err)
+		}
+		e.SetSharedSink(f.emulShared)
+		f.emulIdx = append(f.emulIdx, i)
+		f.emulSlots = append(f.emulSlots, i)
+		f.engines = append(f.engines, e)
+	}
+	f.active = make([]bool, len(f.engines))
 	f.flushQueue = make([][]int, opts.Shards)
 	return f, nil
 }
@@ -205,8 +281,21 @@ func (f *Fleet) setFocus(e *core.Engine, slot int) {
 // experiment harnesses.
 func (f *Fleet) Engines() []*core.Engine { return f.engines }
 
-// SharedEdges returns the fleet-wide distinct edge count so far.
+// SharedEdges returns the hardware tier's fleet-wide distinct edge count so
+// far (the campaign's ground-truth coverage).
 func (f *Fleet) SharedEdges() int { return f.shared.Total() }
+
+// EmulEdges returns the emulation tier's distinct edge count so far (zero in
+// an untiered fleet).
+func (f *Fleet) EmulEdges() int {
+	if f.emulShared == nil {
+		return 0
+	}
+	return f.emulShared.Total()
+}
+
+// Divergences returns the cross-tier divergences recorded so far.
+func (f *Fleet) Divergences() []core.TierDivergence { return f.divergences }
 
 // Quarantines returns the quarantine records so far, in supervision order.
 func (f *Fleet) Quarantines() []core.Quarantine { return f.quarantines }
@@ -248,8 +337,20 @@ func (f *Fleet) Run(total time.Duration) (*core.Report, error) {
 		f.flushJournal()
 		return nil, fmt.Errorf("fleet: every board died during setup: %w", core.ErrBoardDead)
 	}
+	// Bring up the emulation tier after the hardware pool. A VM that fails
+	// setup is quarantined like a dead board (the tier has no spares); any
+	// other error is campaign-fatal.
+	for j, b := range f.emulSlots {
+		f.active[b] = true
+		if err := f.engines[b].Setup(); err != nil {
+			if !errors.Is(err, core.ErrBoardDead) {
+				return nil, fmt.Errorf("fleet: emul shard %d setup: %w", j, err)
+			}
+			f.quarantineEmul(j, 0)
+		}
+	}
 
-	var series []core.CoverSample
+	var series, emulSeries []core.CoverSample
 	var elapsed time.Duration
 	epochs := 0
 	for remaining := shardBudget; remaining > 0; remaining -= f.opts.SyncEvery {
@@ -257,12 +358,16 @@ func (f *Fleet) Run(total time.Duration) (*core.Report, error) {
 		if slice > remaining {
 			slice = remaining
 		}
-		// Run the epoch slice on every manned slot concurrently. Each engine
-		// owns its board, link and RNG; the only shared state is the mutex-
-		// protected collector sink, whose set union is order-independent.
+		// Run the epoch slice on every manned slot concurrently — hardware
+		// and emulation tiers alike. Each engine owns its board, link and
+		// RNG; the only shared state is a mutex-protected collector sink
+		// (one per tier), whose set union is order-independent.
 		occupants := make([]int, n)
 		copy(occupants, f.slots)
+		emulOcc := make([]int, len(f.emulSlots))
+		copy(emulOcc, f.emulSlots)
 		errs := make([]error, n)
+		emulErrs := make([]error, len(emulOcc))
 		var wg sync.WaitGroup
 		for slot, b := range occupants {
 			if b < 0 {
@@ -273,6 +378,16 @@ func (f *Fleet) Run(total time.Duration) (*core.Report, error) {
 				defer wg.Done()
 				errs[slot] = f.engines[b].RunFor(slice)
 			}(slot, b)
+		}
+		for j, b := range emulOcc {
+			if b < 0 {
+				continue
+			}
+			wg.Add(1)
+			go func(j, b int) {
+				defer wg.Done()
+				emulErrs[j] = f.engines[b].RunFor(slice)
+			}(j, b)
 		}
 		wg.Wait()
 		// A dead board is the supervisor's job at the barrier below; any
@@ -287,6 +402,17 @@ func (f *Fleet) Run(total time.Duration) (*core.Report, error) {
 				continue
 			}
 			return nil, fmt.Errorf("fleet: shard %d: %w", slot, err)
+		}
+		emulDied := make([]bool, len(emulOcc))
+		for j, err := range emulErrs {
+			if err == nil {
+				continue
+			}
+			if errors.Is(err, core.ErrBoardDead) {
+				emulDied[j] = true
+				continue
+			}
+			return nil, fmt.Errorf("fleet: emul shard %d: %w", j, err)
 		}
 		elapsed += slice
 		epochs++
@@ -308,6 +434,35 @@ func (f *Fleet) Run(total time.Duration) (*core.Report, error) {
 					continue
 				}
 				f.engines[b].ImportSyncDelta(deltas[slot])
+			}
+		}
+		// Tier exchange: feedback flows hardware -> emulation and between
+		// emulation siblings, never emulation -> hardware. The hardware
+		// corpus only sees emulation discoveries through a confirmed replay,
+		// so an emulation-only artifact cannot steer the ground-truth tier.
+		emulDeltas := make([]core.SyncDelta, len(emulOcc))
+		for j, b := range emulOcc {
+			if b < 0 {
+				continue
+			}
+			emulDeltas[j] = f.engines[b].DrainSyncDelta()
+		}
+		for j, b := range emulOcc {
+			if b < 0 || emulDied[j] {
+				continue
+			}
+			e := f.engines[b]
+			for slot, ob := range occupants {
+				if ob < 0 {
+					continue
+				}
+				e.ImportSyncDelta(deltas[slot])
+			}
+			for k := range emulOcc {
+				if k == j || emulOcc[k] < 0 {
+					continue
+				}
+				e.ImportSyncDelta(emulDeltas[k])
 			}
 		}
 
@@ -333,6 +488,22 @@ func (f *Fleet) Run(total time.Duration) (*core.Report, error) {
 				}
 			}
 		}
+		// Supervise the emulation tier: journal the epoch against its own
+		// shared collector, quarantine dead VMs. No spares — a lost explore
+		// shard just narrows the tier.
+		for j, b := range emulOcc {
+			if b < 0 {
+				continue
+			}
+			if emulDied[j] {
+				f.quarantineEmul(j, elapsed)
+				continue
+			}
+			f.engines[b].Tracer().Emit(trace.Event{Kind: trace.SyncEpoch, Exec: epochs, Edges: f.emulShared.Total()})
+		}
+		if err := f.runConfirm(emulOcc, elapsed); err != nil {
+			return nil, err
+		}
 		if err := f.runTriage(occupants); err != nil {
 			return nil, err
 		}
@@ -341,8 +512,11 @@ func (f *Fleet) Run(total time.Duration) (*core.Report, error) {
 			return nil, fmt.Errorf("fleet: every board dead after %v: %w", elapsed, core.ErrBoardDead)
 		}
 		series = append(series, core.CoverSample{At: elapsed, Edges: f.shared.Total()})
+		if f.emulShared != nil {
+			emulSeries = append(emulSeries, core.CoverSample{At: elapsed, Edges: f.emulShared.Total()})
+		}
 	}
-	return f.mergeReport(series), nil
+	return f.mergeReport(series, emulSeries), nil
 }
 
 // manSlot performs initial bring-up of slot's board, quarantining setup-time
@@ -450,6 +624,131 @@ func (f *Fleet) runTriage(occupants []int) error {
 	return nil
 }
 
+// quarantineEmul retires emulation shard j. The tier has no spares, so the
+// slot stays unmanned; the shard's buffered events (ending with its
+// quarantine) flush with the tier at the barrier.
+func (f *Fleet) quarantineEmul(j int, at time.Duration) {
+	b := f.emulSlots[j]
+	e := f.engines[b]
+	e.Tracer().Emit(trace.Event{Kind: trace.Quarantine, Exec: j, Reason: "dead"})
+	f.emulSlots[j] = -1
+	f.quarantines = append(f.quarantines, core.Quarantine{
+		Slot: j, Board: b, Spare: -1, Reason: "dead", At: at, Health: e.Health(), Tier: "emul",
+	})
+}
+
+// runConfirm drains every emulation shard's confirmation queue, in tier-slot
+// order, and replays each item on the hardware pool round-robin (the cursor
+// persists across barriers so replay load spreads evenly). Dead emulation
+// shards still appear in emulOcc, so a dying shard's last findings are
+// confirmed too.
+func (f *Fleet) runConfirm(emulOcc []int, at time.Duration) error {
+	for _, b := range emulOcc {
+		if b < 0 {
+			continue
+		}
+		for _, item := range f.engines[b].DrainConfirmQueue() {
+			if err := f.confirmOne(b, item, at); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// confirmOne re-executes one emulation-tier item on the next manned hardware
+// slot and classifies the outcome. A replay that kills its board quarantines
+// the slot and retries the item on the next one; the campaign only fails when
+// no hardware board remains to confirm on.
+func (f *Fleet) confirmOne(src int, item core.ConfirmItem, at time.Duration) error {
+	for {
+		slot := f.nextConfirmSlot()
+		if slot < 0 {
+			return fmt.Errorf("fleet: every hardware board dead during confirmation: %w", core.ErrBoardDead)
+		}
+		e := f.engines[f.slots[slot]]
+		res, err := e.ConfirmProg(item.P)
+		if err != nil {
+			if errors.Is(err, core.ErrBoardDead) {
+				if qerr := f.quarantine(slot, "dead", at); qerr != nil {
+					return qerr
+				}
+				continue
+			}
+			return fmt.Errorf("fleet: confirm replay: %w", err)
+		}
+		f.classify(e, src, item, res, at)
+		return nil
+	}
+}
+
+// nextConfirmSlot returns the next manned hardware slot in round-robin
+// order, or -1 when every slot is unmanned.
+func (f *Fleet) nextConfirmSlot() int {
+	n := f.opts.Shards
+	for i := 0; i < n; i++ {
+		slot := (f.confirmNext + i) % n
+		if f.slots[slot] >= 0 {
+			f.confirmNext = (slot + 1) % n
+			return slot
+		}
+	}
+	return -1
+}
+
+// classify compares what the emulation tier claimed against what the
+// hardware replay observed, emitting TierConfirm / TierDiverge on the
+// confirming engine's tracer (src is the emulation shard's physical index).
+// Three divergence kinds exist: coverage the hardware run never executed,
+// an emulation crash hardware cannot reproduce, and a hardware crash the
+// emulation run never hit. The replay itself already fed the hardware
+// campaign — a confirmed seed joined the corpus and sync delta inside
+// ConfirmProg, and a hardware crash was recorded as a native finding — so
+// classification only has to score the comparison.
+func (f *Fleet) classify(e *core.Engine, src int, item core.ConfirmItem, res core.ConfirmResult, at time.Duration) {
+	tr := e.Tracer()
+	if item.Bug != nil {
+		if res.Bug != nil && res.Bug.Cluster == item.Bug.Cluster {
+			f.confirmed++
+			tr.Emit(trace.Event{Kind: trace.TierConfirm, Exec: src, Reason: "crash:" + item.Bug.Cluster})
+		} else {
+			f.diverged++
+			tr.Emit(trace.Event{Kind: trace.TierDiverge, Exec: src, Reason: "emul-only-crash:" + item.Bug.Cluster})
+			f.divergences = append(f.divergences, core.TierDivergence{
+				Kind: "emul-only-crash", Cluster: item.Bug.Cluster, Prog: item.P.String(), Shard: src, At: at,
+			})
+		}
+		return
+	}
+	got := make(map[uint32]bool, len(res.Edges))
+	for _, id := range res.Edges {
+		got[id] = true
+	}
+	missing := 0
+	for _, id := range item.Edges {
+		if !got[id] {
+			missing++
+		}
+	}
+	if missing == 0 {
+		f.confirmed++
+		tr.Emit(trace.Event{Kind: trace.TierConfirm, Exec: src, Reason: "cov", Edges: len(item.Edges)})
+	} else {
+		f.diverged++
+		tr.Emit(trace.Event{Kind: trace.TierDiverge, Exec: src, Reason: "emul-only-cov", Edges: missing})
+		f.divergences = append(f.divergences, core.TierDivergence{
+			Kind: "emul-only-cov", Edges: missing, Prog: item.P.String(), Shard: src, At: at,
+		})
+	}
+	if res.Bug != nil {
+		f.diverged++
+		tr.Emit(trace.Event{Kind: trace.TierDiverge, Exec: src, Reason: "hw-only-crash:" + res.Bug.Cluster})
+		f.divergences = append(f.divergences, core.TierDivergence{
+			Kind: "hw-only-crash", Cluster: res.Bug.Cluster, Prog: item.P.String(), Shard: src, At: at,
+		})
+	}
+}
+
 // copyTriage copies a cached triage verdict onto a duplicate finding.
 func copyTriage(from, to *core.BugReport) {
 	to.Reproducibility = from.Reproducibility
@@ -489,9 +788,14 @@ func (f *Fleet) flushJournal() {
 		}
 	}
 	// The triage board's events (all produced at the barrier, after every
-	// shard's slice) flush last.
+	// shard's slice) flush next, then the emulation tier in slot order —
+	// appending the tier's streams keeps the hardware prefix of a tiered
+	// journal identical to the untiered journal.
 	if f.triageIdx >= 0 {
 		f.flushBuffer(f.triageIdx)
+	}
+	for _, b := range f.emulIdx {
+		f.flushBuffer(b)
 	}
 }
 
@@ -519,23 +823,49 @@ func (f *Fleet) ShardReports() []*core.Report { return f.shardReports }
 // Duration and the merged TimeBy sums to activated-boards x Duration. The
 // merged Health is the pool's sickest board; BoardHealth and Quarantines
 // carry the full story.
-func (f *Fleet) mergeReport(series []core.CoverSample) *core.Report {
-	out := &core.Report{Series: series, Edges: f.shared.Total(), Quarantines: f.quarantines}
+func (f *Fleet) mergeReport(series, emulSeries []core.CoverSample) *core.Report {
+	out := &core.Report{
+		Series: series, Edges: f.shared.Total(),
+		Quarantines: f.quarantines, Divergences: f.divergences,
+	}
+	tiered := len(f.emulIdx) > 0
+	emulStart := len(f.engines)
+	if tiered {
+		emulStart = f.emulIdx[0]
+	}
+	hwTier := core.TierStats{Class: backend.HW.String(), Edges: f.shared.Total(), Confirmed: f.confirmed, Diverged: f.diverged}
+	emTier := core.TierStats{Class: backend.Emul.String()}
+	if tiered {
+		emTier.Edges = f.emulShared.Total()
+		hwTier.Series = series
+		emTier.Series = emulSeries
+	}
 	seen := make(map[string]bool)
 	f.shardReports = f.shardReports[:0]
+	var emul []bool // aligned with shardReports
 	for b, e := range f.engines {
 		if !f.active[b] {
 			continue
 		}
 		r := e.Report()
 		f.shardReports = append(f.shardReports, r)
-		out.OS, out.Board = r.OS, r.Board
+		emul = append(emul, b >= emulStart)
+		if b < emulStart {
+			out.OS, out.Board = r.OS, r.Board
+		}
 		out.Stats.Merge(r.Stats)
 		out.BoardHealth = append(out.BoardHealth, r.Health)
 		if len(f.shardReports) == 1 || healthWorse(r.Health, out.Health) {
 			out.Health = r.Health
 		}
 		for _, bug := range r.Bugs {
+			// An emulation-tier finding is provisional: if hardware
+			// reproduced it, the confirmation replay recorded it natively on
+			// the hardware tier; if not, it lives on as a TierDivergence.
+			// Either way the merged bug list carries only ground truth.
+			if bug.Tier == backend.Emul.String() {
+				continue
+			}
 			key := bug.Cluster
 			if key == "" {
 				key = bug.Sig
@@ -549,9 +879,22 @@ func (f *Fleet) mergeReport(series []core.CoverSample) *core.Report {
 			out.Duration = r.Duration
 		}
 	}
-	for _, r := range f.shardReports {
+	for i, r := range f.shardReports {
 		r.TimeBy.SyncBarrier += out.Duration - r.Duration
 		out.TimeBy.Merge(r.TimeBy)
+		if emul[i] {
+			emTier.Boards++
+			emTier.Execs += r.Stats.Execs
+			emTier.TimeBy.Merge(r.TimeBy)
+		} else {
+			hwTier.Boards++
+			hwTier.Execs += r.Stats.Execs
+			hwTier.ConfirmReplays += r.Stats.ConfirmReplays
+			hwTier.TimeBy.Merge(r.TimeBy)
+		}
+	}
+	if tiered {
+		out.Tiers = []core.TierStats{hwTier, emTier}
 	}
 	return out
 }

@@ -227,7 +227,13 @@ func (k *Kernel) HangForever(why string) {
 // keeps sleeps and timeouts on wall-clock scale.
 func (k *Kernel) Tick() {
 	k.Ticks++
-	k.Env.Clock.Advance(time.Second / TickHZ)
+	period := time.Second / TickHZ
+	// An emulator warps idle time: virtual timers fast-forward instead of
+	// the host idling out the tick period (Spec.IdleWarp).
+	if k.Env.Spec != nil && k.Env.Spec.IdleWarp > 1 {
+		period /= time.Duration(k.Env.Spec.IdleWarp)
+	}
+	k.Env.Clock.Advance(period)
 	k.Timers.tick()
 	k.Sched.tick()
 }

@@ -36,12 +36,16 @@ const (
 	// confirmation round trips, including any restores they trigger. Zero
 	// unless triage is enabled.
 	CatTriage
+	// CatConfirm is cross-tier confirmation time: hardware re-execution of
+	// emulation-tier findings, including any restores the replays trigger.
+	// Zero unless the fleet runs a tiered campaign.
+	CatConfirm
 
 	NumCategories
 )
 
 var categoryNames = [NumCategories]string{
-	"executing", "restoring", "reflashing", "link-overhead", "sync-barrier", "triaging",
+	"executing", "restoring", "reflashing", "link-overhead", "sync-barrier", "triaging", "confirming",
 }
 
 func (c Category) String() string {
@@ -53,7 +57,7 @@ func (c Category) String() string {
 
 // Categories lists every board-time category in display order.
 func Categories() []Category {
-	return []Category{CatExec, CatRestore, CatReflash, CatLink, CatSync, CatTriage}
+	return []Category{CatExec, CatRestore, CatReflash, CatLink, CatSync, CatTriage, CatConfirm}
 }
 
 // TimeBy is the board-time budget broken down by category — the report field
@@ -65,6 +69,7 @@ type TimeBy struct {
 	LinkOverhead time.Duration
 	SyncBarrier  time.Duration
 	Triaging     time.Duration
+	Confirming   time.Duration
 
 	// RestoringDelta and RestoringFull split Restoring by restore mechanism:
 	// delta is the snapshot-restore rung (vRestore shipping only dirty
@@ -91,6 +96,8 @@ func (t TimeBy) Of(c Category) time.Duration {
 		return t.SyncBarrier
 	case CatTriage:
 		return t.Triaging
+	case CatConfirm:
+		return t.Confirming
 	}
 	return 0
 }
@@ -110,12 +117,14 @@ func (t *TimeBy) Add(c Category, d time.Duration) {
 		t.SyncBarrier += d
 	case CatTriage:
 		t.Triaging += d
+	case CatConfirm:
+		t.Confirming += d
 	}
 }
 
 // Sum returns the total accounted board time.
 func (t TimeBy) Sum() time.Duration {
-	return t.Executing + t.Restoring + t.Reflashing + t.LinkOverhead + t.SyncBarrier + t.Triaging
+	return t.Executing + t.Restoring + t.Reflashing + t.LinkOverhead + t.SyncBarrier + t.Triaging + t.Confirming
 }
 
 // Merge accumulates o into t (fleet report aggregation: the merged TimeBy
@@ -127,6 +136,7 @@ func (t *TimeBy) Merge(o TimeBy) {
 	t.LinkOverhead += o.LinkOverhead
 	t.SyncBarrier += o.SyncBarrier
 	t.Triaging += o.Triaging
+	t.Confirming += o.Confirming
 	t.RestoringDelta += o.RestoringDelta
 	t.RestoringFull += o.RestoringFull
 }

@@ -94,6 +94,15 @@ const (
 	// (Reason = trigger, Edges = bytes shipped). It appears between
 	// RestoreBegin and RestoreEnd in place of any Reflash event.
 	DeltaRestore
+	// TierConfirm records the hardware tier reproducing an emulation-tier
+	// finding (Reason = "cov" or "crash:<cluster>", Exec = the emulation
+	// shard, Edges = the confirmed fresh-edge count for coverage items).
+	TierConfirm
+	// TierDiverge records a cross-tier disagreement (Reason =
+	// "emul-only-cov", "emul-only-crash:<cluster>" or
+	// "hw-only-crash:<cluster>", Exec = the emulation shard, Edges = the
+	// unconfirmed fresh-edge count for coverage items).
+	TierDiverge
 
 	numKinds
 )
@@ -107,6 +116,7 @@ var kindNames = [numKinds]string{
 	"rung-escalate", "quarantine", "spare-promote",
 	"triage-begin", "triage-min-step", "triage-end",
 	"snapshot-take", "delta-restore",
+	"tier-confirm", "tier-diverge",
 }
 
 func (k Kind) String() string {

@@ -1,0 +1,36 @@
+#!/bin/sh
+# Runs the tiered-execution benchmark (emulation explore tier vs an
+# all-hardware fleet at equal shard count, compared on time-to-coverage of
+# the JSON module) and records the reported metrics in BENCH_tier.json next
+# to the module root. Requires only the Go toolchain. The benchmark itself
+# fails unless the explore tier discovers coverage at least 5x faster than
+# the all-hardware pool.
+set -eu
+
+cd "$(dirname "$0")/.."
+out=BENCH_tier.json
+
+raw=$(go test -run '^$' -bench '^BenchmarkTier$' -benchtime 1x . 2>&1) || {
+    echo "$raw" >&2
+    exit 1
+}
+echo "$raw"
+
+# The benchmark line looks like:
+#   BenchmarkTier  1  48770486558 ns/op  0.85 allhw-edges/s  ...  8.0 tier-speedup-x
+echo "$raw" | awk '
+/^BenchmarkTier/ {
+    printf "{\n  \"benchmark\": \"BenchmarkTier\",\n"
+    printf "  \"ns_per_op\": %s", $3
+    for (i = 5; i + 1 <= NF; i += 2) {
+        name = $(i + 1)
+        gsub(/[^a-zA-Z0-9_\/.-]/, "", name)
+        printf ",\n  \"%s\": %s", name, $i
+    }
+    printf "\n}\n"
+    found = 1
+}
+END { if (!found) exit 1 }
+' > "$out" || { echo "bench_tier: no BenchmarkTier line in output" >&2; rm -f "$out"; exit 1; }
+
+echo "wrote $out"
