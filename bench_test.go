@@ -234,15 +234,17 @@ func BenchmarkFleet(b *testing.B) {
 }
 
 // BenchmarkTraceOverhead measures what the observability layer costs the
-// campaign: identical FreeRTOS runs with the default nop sink and with the
-// JSONL journal streaming to io.Discard, compared on host time. Virtual
+// campaign: identical FreeRTOS runs with the default nop sink, with the JSONL
+// journal streaming to io.Discard, and with the full telemetry stack on top
+// (journal + metrics registry + HTTP server), compared on host time. Virtual
 // throughput is sink-independent (trace emission burns no virtual time), so
-// host time is the honest metric; best-of-3 pairs damp host noise. The JSONL
-// journal must cost at most 5% over the nop sink.
+// host time is the honest metric; best-of-3 damps host noise. Both the JSONL
+// journal and the metrics-on configuration must cost at most 5% over the nop
+// sink each.
 func BenchmarkTraceOverhead(b *testing.B) {
 	const budget = 2 * time.Hour
-	run := func(journal io.Writer) (*Report, float64) {
-		c, err := NewCampaign(Options{OS: "freertos", Seed: 42, TraceJSONL: journal})
+	run := func(journal io.Writer, metricsAddr string) (*Report, float64) {
+		c, err := NewCampaign(Options{OS: "freertos", Seed: 42, TraceJSONL: journal, MetricsAddr: metricsAddr})
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -255,32 +257,47 @@ func BenchmarkTraceOverhead(b *testing.B) {
 		}
 		return rep, host
 	}
-	run(nil) // warm caches so round 0 doesn't penalise whichever sink goes first
+	run(nil, "") // warm caches so round 0 doesn't penalise whichever sink goes first
 	for i := 0; i < b.N; i++ {
-		nopBest, jsonlBest := -1.0, -1.0
-		var nopRep, jsonlRep *Report
+		nopBest, jsonlBest, metrBest := -1.0, -1.0, -1.0
+		var nopRep, jsonlRep, metrRep *Report
 		for round := 0; round < 3; round++ {
-			rep, host := run(nil)
+			rep, host := run(nil, "")
 			if nopBest < 0 || host < nopBest {
 				nopBest, nopRep = host, rep
 			}
-			rep, host = run(io.Discard)
+			rep, host = run(io.Discard, "")
 			if jsonlBest < 0 || host < jsonlBest {
 				jsonlBest, jsonlRep = host, rep
+			}
+			rep, host = run(io.Discard, "127.0.0.1:0")
+			if metrBest < 0 || host < metrBest {
+				metrBest, metrRep = host, rep
 			}
 		}
 		if nopRep.Execs != jsonlRep.Execs || nopRep.Edges != jsonlRep.Edges {
 			b.Fatalf("journal changed campaign behaviour: %d/%d execs, %d/%d edges",
 				nopRep.Execs, jsonlRep.Execs, nopRep.Edges, jsonlRep.Edges)
 		}
+		if nopRep.Execs != metrRep.Execs || nopRep.Edges != metrRep.Edges {
+			b.Fatalf("metrics changed campaign behaviour: %d/%d execs, %d/%d edges",
+				nopRep.Execs, metrRep.Execs, nopRep.Edges, metrRep.Edges)
+		}
 		overhead := 100 * (jsonlBest - nopBest) / nopBest
 		if overhead > 5 {
 			b.Fatalf("JSONL journal costs %.1f%% host time (nop %.3fs, jsonl %.3fs), budget is 5%%",
 				overhead, nopBest, jsonlBest)
 		}
+		metrOverhead := 100 * (metrBest - nopBest) / nopBest
+		if metrOverhead > 5 {
+			b.Fatalf("metrics-on telemetry costs %.1f%% host time (nop %.3fs, metrics %.3fs), budget is 5%%",
+				metrOverhead, nopBest, metrBest)
+		}
 		b.ReportMetric(float64(nopRep.Execs)/nopBest, "nop-execs/host-s")
 		b.ReportMetric(float64(jsonlRep.Execs)/jsonlBest, "jsonl-execs/host-s")
 		b.ReportMetric(overhead, "overhead-%")
+		b.ReportMetric(float64(metrRep.Execs)/metrBest, "metrics-execs/host-s")
+		b.ReportMetric(metrOverhead, "metrics-overhead-%")
 	}
 }
 

@@ -41,6 +41,8 @@ func main() {
 		retries   = flag.Int("link-retries", 0, "max transparent retries per faulted command (0 = default 4, negative disables)")
 		traceOut  = flag.String("trace", "", "write the structured trace journal to this file as JSON Lines")
 		statusDur = flag.Duration("status-every", 0, "print a live progress line at this host interval (e.g. 10s)")
+		metrics   = flag.String("metrics-addr", "", "serve /metrics, /status and /debug/pprof/ on this address while the campaign runs (e.g. :9100)")
+		hold      = flag.Duration("metrics-hold", 0, "keep the telemetry server up this long after the campaign finishes (for a final scrape)")
 		verbose   = flag.Bool("v", false, "print crash logs and reproducers")
 
 		doTriage  = flag.Bool("triage", false, "triage findings: replay on restored state, classify reproducibility, minimize")
@@ -85,6 +87,7 @@ func main() {
 		Triage:           *doTriage,
 		TriageReplays:    *triageN,
 		StatusEvery:      *statusDur,
+		MetricsAddr:      *metrics,
 		Health: eof.HealthOptions{
 			ResetAttempts:      *healthResets,
 			ReflashAttempts:    *healthReflash,
@@ -127,6 +130,9 @@ func main() {
 	}
 	defer c.Close()
 
+	if addr := c.MetricsAddr(); addr != "" {
+		fmt.Printf("telemetry: http://%s/metrics (/status, /debug/pprof/)\n", addr)
+	}
 	budget := time.Duration(*minutes * float64(time.Minute))
 	if *tiers {
 		width := *emulWidth
@@ -146,6 +152,14 @@ func main() {
 		fmt.Fprintln(os.Stderr, "eof:", err)
 		os.Exit(1)
 	}
+	defer func() {
+		if *hold > 0 && c.MetricsAddr() != "" {
+			// The final report is already published into the registry, so a
+			// scraper has this window to collect the authoritative end state.
+			fmt.Printf("holding telemetry server at %s for %v\n", c.MetricsAddr(), *hold)
+			time.Sleep(*hold)
+		}
+	}()
 
 	fmt.Printf("\nexecs: %d   branches: %d   crashes: %d   restores: %d (reflashes: %d)\n",
 		rep.Execs, rep.Edges, rep.Crashes, rep.Restores, rep.Reflashes)

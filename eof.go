@@ -19,6 +19,7 @@ package eof
 
 import (
 	"fmt"
+	"hash/fnv"
 	"io"
 	"os"
 	"time"
@@ -28,6 +29,7 @@ import (
 	"github.com/eof-fuzz/eof/internal/core"
 	"github.com/eof-fuzz/eof/internal/fleet"
 	"github.com/eof-fuzz/eof/internal/link"
+	"github.com/eof-fuzz/eof/internal/metrics"
 	"github.com/eof-fuzz/eof/internal/specgen"
 	"github.com/eof-fuzz/eof/internal/targets"
 	"github.com/eof-fuzz/eof/internal/trace"
@@ -149,6 +151,14 @@ type Options struct {
 	StatusEvery time.Duration
 	// StatusWriter receives the live status lines (default os.Stderr).
 	StatusWriter io.Writer
+	// MetricsAddr, when non-empty, serves campaign telemetry over HTTP on
+	// this address while Run executes: Prometheus text exposition at
+	// /metrics, a JSON status document (per-shard and per-tier breakdown) at
+	// /status, and net/http/pprof at /debug/pprof/. ":0" picks a free port —
+	// see Campaign.MetricsAddr. The metric registry subscribes to the same
+	// trace stream as the journal, so enabling it never perturbs journals or
+	// reports.
+	MetricsAddr string
 	// FlightRecorder overrides the size of the pre-crash event ring
 	// attached to every Bug (0 = the default of 64 events).
 	FlightRecorder int
@@ -504,6 +514,24 @@ type Campaign struct {
 	engine *core.Engine // solo mode
 	pool   *fleet.Fleet // fleet mode (Shards > 1)
 	shards int
+
+	metricsSink *metrics.Sink   // non-nil with Options.MetricsAddr
+	metricsSrv  *metrics.Server // ditto
+}
+
+// MetricsAddr returns the telemetry server's bound address (useful when
+// Options.MetricsAddr was ":0"), or "" when the campaign serves no metrics.
+func (c *Campaign) MetricsAddr() string {
+	if c.metricsSrv == nil {
+		return ""
+	}
+	return c.metricsSrv.Addr()
+}
+
+func (c *Campaign) closeMetrics() {
+	if c.metricsSrv != nil {
+		_ = c.metricsSrv.Close()
+	}
 }
 
 // NewCampaign builds the full stack for the given options.
@@ -562,16 +590,6 @@ func NewCampaign(opts Options) (*Campaign, error) {
 		cfg.SampleEvery = opts.SampleEvery
 	}
 	cfg.FlightRecorder = opts.FlightRecorder
-	if opts.TraceJSONL != nil {
-		cfg.TraceSink = trace.NewJSONL(opts.TraceJSONL)
-	}
-	if opts.StatusEvery > 0 {
-		w := opts.StatusWriter
-		if w == nil {
-			w = os.Stderr
-		}
-		cfg.StatusSink = trace.NewStatus(w, opts.StatusEvery)
-	}
 	emulShards := 0
 	if opts.Tiers {
 		emulShards = opts.EmulShards
@@ -579,7 +597,57 @@ func NewCampaign(opts Options) (*Campaign, error) {
 			emulShards = 4
 		}
 	}
-	if opts.Shards > 1 || emulShards > 0 {
+	shards := opts.Shards
+	if shards < 1 {
+		shards = 1
+	}
+	fleetMode := shards > 1 || emulShards > 0
+	// emulStart is the emulation tier's first physical board index: the
+	// hardware slots, then the spares, then the triage board when manned.
+	emulStart := -1
+	if emulShards > 0 {
+		emulStart = shards + opts.Spares
+		if opts.Triage {
+			emulStart++
+		}
+	}
+	if opts.TraceJSONL != nil {
+		hdr := trace.Header{
+			OS: info.Name, Board: boardName, Seed: cfg.Seed, Shards: shards,
+			EmulShards: emulShards, Digest: optionsDigest(opts),
+		}
+		if fleetMode {
+			hdr.Spares = opts.Spares
+			hdr.Triage = opts.Triage
+		}
+		if _, err := opts.TraceJSONL.Write(trace.AppendHeaderJSON(nil, hdr)); err != nil {
+			return nil, fmt.Errorf("eof: journal header: %w", err)
+		}
+		cfg.TraceSink = trace.NewJSONL(opts.TraceJSONL)
+	}
+	if opts.StatusEvery > 0 {
+		w := opts.StatusWriter
+		if w == nil {
+			w = os.Stderr
+		}
+		status := trace.NewStatus(w, opts.StatusEvery)
+		status.SetEmulStart(emulStart)
+		cfg.StatusSink = status
+	}
+	c := &Campaign{shards: shards}
+	if opts.MetricsAddr != "" {
+		reg := metrics.NewRegistry()
+		c.metricsSink = metrics.NewSink(reg, emulStart)
+		srv, err := metrics.Serve(opts.MetricsAddr, reg, c.metricsSink.Status)
+		if err != nil {
+			return nil, err
+		}
+		c.metricsSrv = srv
+		// The registry rides the live sink path next to the status line;
+		// the deterministic journal path is untouched.
+		cfg.StatusSink = trace.Multi(cfg.StatusSink, c.metricsSink)
+	}
+	if fleetMode {
 		pool, err := fleet.New(cfg, fleet.Options{
 			Shards:     opts.Shards,
 			SyncEvery:  opts.SyncEvery,
@@ -587,19 +655,33 @@ func NewCampaign(opts Options) (*Campaign, error) {
 			EmulShards: emulShards,
 		})
 		if err != nil {
+			c.closeMetrics()
 			return nil, err
 		}
-		shards := opts.Shards
-		if shards < 1 {
-			shards = 1
-		}
-		return &Campaign{pool: pool, shards: shards}, nil
+		c.pool = pool
+		return c, nil
 	}
 	engine, err := core.NewEngine(cfg)
 	if err != nil {
+		c.closeMetrics()
 		return nil, err
 	}
-	return &Campaign{engine: engine, shards: 1}, nil
+	c.engine = engine
+	return c, nil
+}
+
+// optionsDigest fingerprints the campaign options for the journal header:
+// FNV-64a over their canonical rendering, with the observability attachments
+// (writers, status interval, metrics address) zeroed so replaying the same
+// campaign with different telemetry wiring yields the same digest.
+func optionsDigest(opts Options) string {
+	opts.TraceJSONL = nil
+	opts.StatusWriter = nil
+	opts.StatusEvery = 0
+	opts.MetricsAddr = ""
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%+v", opts)
+	return fmt.Sprintf("%016x", h.Sum64())
 }
 
 // Run fuzzes for the given virtual-time budget and returns the report. In
@@ -618,11 +700,43 @@ func (c *Campaign) Run(budget time.Duration) (*Report, error) {
 	}
 	out := convertReport(rep)
 	out.Shards = c.shards
+	if c.metricsSink != nil {
+		// Pin the scraped counters to the authoritative report: a scrape
+		// after Run equals the Report field for field.
+		c.metricsSink.PublishFinal(finalOf(out))
+	}
 	return out, nil
 }
 
-// Close releases the debug link(s) and the board(s).
+// finalOf converts the public report into the metrics publish record.
+func finalOf(r *Report) metrics.Final {
+	f := metrics.Final{
+		Execs:          r.Execs,
+		Edges:          r.Edges,
+		Restores:       r.Restores,
+		ByReason:       r.RestoresByReason,
+		DeltaRestores:  r.DeltaRestores,
+		FullRestores:   r.FullRestores,
+		Bugs:           len(r.Bugs),
+		LinkRetries:    r.LinkRetries,
+		LinkReconnects: r.LinkReconnects,
+		Quarantines:    len(r.Quarantines),
+		TimeBy:         r.TimeBy,
+		Duration:       r.Duration,
+	}
+	if len(r.Tiers) > 0 {
+		f.TierExecs = make(map[string]int, len(r.Tiers))
+		for _, t := range r.Tiers {
+			f.TierExecs[t.Class] = t.Execs
+		}
+	}
+	return f
+}
+
+// Close releases the debug link(s) and the board(s), and shuts down the
+// telemetry server if one is running.
 func (c *Campaign) Close() {
+	c.closeMetrics()
 	if c.pool != nil {
 		c.pool.Close()
 		return

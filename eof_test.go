@@ -6,6 +6,8 @@ import (
 	"strings"
 	"testing"
 	"time"
+
+	"github.com/eof-fuzz/eof/internal/trace"
 )
 
 func TestTargetsAndBoards(t *testing.T) {
@@ -155,6 +157,18 @@ func TestObservabilityPublicAPI(t *testing.T) {
 	if len(lines) < 10 {
 		t.Fatalf("journal too short: %d lines", len(lines))
 	}
+	// The first line is the versioned journal header, not an event.
+	hdr, err := trace.ParseHeader([]byte(lines[0]))
+	if err != nil {
+		t.Fatalf("journal header: %v", err)
+	}
+	if hdr.V != trace.JournalVersion || hdr.OS != "freertos" || hdr.Seed != 7 || hdr.Shards != 1 {
+		t.Fatalf("bad journal header: %+v", hdr)
+	}
+	if hdr.Digest == "" {
+		t.Fatal("journal header missing the options digest")
+	}
+	lines = lines[1:]
 	execEnds := 0
 	for i, l := range lines {
 		var ev map[string]any

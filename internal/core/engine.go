@@ -737,7 +737,9 @@ func (e *Engine) Run(budget time.Duration) (*Report, error) {
 	if err := e.RunFor(budget); err != nil {
 		return nil, err
 	}
-	return e.Report(), nil
+	rep := e.Report()
+	e.EmitTimeBudget(rep.TimeBy, rep.Duration)
+	return rep, nil
 }
 
 // RunFor fuzzes for one slice of the campaign budget. Fleet campaigns call
@@ -780,6 +782,22 @@ func (e *Engine) Report() *Report {
 	rep.TimeBy = e.acct.Snapshot()
 	rep.Health = e.health
 	return rep
+}
+
+// EmitTimeBudget journals the end-of-campaign board-time budget: one
+// TimeBudget event per category (zero buckets included), the restore
+// sub-buckets, and a terminal "duration" record carrying the accounted
+// campaign Duration. Solo campaigns call it with their own snapshot; the
+// fleet calls it per shard after barrier-idle attribution, so the journalled
+// buckets always sum to the duration record exactly — the invariant eoftrace
+// rebuilds and checks offline.
+func (e *Engine) EmitTimeBudget(by trace.TimeBy, duration time.Duration) {
+	for _, c := range trace.Categories() {
+		e.tracer.Emit(trace.Event{Kind: trace.TimeBudget, Reason: c.String(), Dur: by.Of(c)})
+	}
+	e.tracer.Emit(trace.Event{Kind: trace.TimeBudget, Reason: "restoring-delta", Dur: by.RestoringDelta})
+	e.tracer.Emit(trace.Event{Kind: trace.TimeBudget, Reason: "restoring-full", Dur: by.RestoringFull})
+	e.tracer.Emit(trace.Event{Kind: trace.TimeBudget, Reason: "duration", Dur: duration})
 }
 
 func (e *Engine) sample() {
@@ -836,6 +854,7 @@ func (e *Engine) iteration() error {
 				P:     p.Clone(),
 				Edges: append([]uint32(nil), e.lastFresh...),
 			})
+			e.tracer.Emit(trace.Event{Kind: trace.ConfirmEnqueue, Exec: e.stats.Execs, Edges: fresh})
 		}
 		names := p.CallNames()
 		for i := 1; i < len(names); i++ {
@@ -1212,6 +1231,7 @@ func (e *Engine) recordBug(b *BugReport, p *prog.Prog) {
 	}
 	if e.cfg.ConfirmCapture && p != nil {
 		e.confirmQueue = append(e.confirmQueue, ConfirmItem{P: p.Clone(), Bug: b})
+		e.tracer.Emit(trace.Event{Kind: trace.ConfirmEnqueue, Exec: e.stats.Execs, Reason: b.Cluster})
 	}
 }
 

@@ -896,6 +896,26 @@ func (f *Fleet) mergeReport(series, emulSeries []core.CoverSample) *core.Report 
 	if tiered {
 		out.Tiers = []core.TierStats{hwTier, emTier}
 	}
+	// Journal each activated board's final time budget now that barrier-idle
+	// time is attributed (every shard's buckets sum to the pool Duration), then
+	// drain the buffers one last time. The last barrier already flushed the
+	// per-slot queues, so a straight physical-order pass over the activated
+	// boards is deterministic.
+	i := 0
+	for b, e := range f.engines {
+		if !f.active[b] {
+			continue
+		}
+		e.EmitTimeBudget(f.shardReports[i].TimeBy, out.Duration)
+		i++
+	}
+	if f.journal != nil {
+		for b := range f.engines {
+			if f.active[b] {
+				f.flushBuffer(b)
+			}
+		}
+	}
 	return out
 }
 

@@ -330,11 +330,41 @@ func TestFleetJournalMergesInShardOrder(t *testing.T) {
 	if len(evs) == 0 {
 		t.Fatal("fleet journal empty")
 	}
-	// The journal is a sequence of epochs; within each epoch, shard streams
-	// appear in shard order, each ending with that shard's sync-epoch event.
+	// The journal ends with each board's time-budget block, flushed in
+	// physical-board order after the last barrier.
+	tail := len(evs)
+	for i, ev := range evs {
+		if ev.Kind == trace.TimeBudget {
+			tail = i
+			break
+		}
+	}
+	if tail == len(evs) {
+		t.Fatal("no time-budget block at the end of the fleet journal")
+	}
+	lastShard := -1
+	budgets := 0
+	for i, ev := range evs[tail:] {
+		if ev.Kind != trace.TimeBudget {
+			t.Fatalf("event %d (%s) interleaved with the time-budget tail", tail+i, ev.Kind)
+		}
+		if ev.Shard < lastShard {
+			t.Fatalf("time-budget block for shard %d after shard %d", ev.Shard, lastShard)
+		}
+		lastShard = ev.Shard
+		if ev.Reason == "duration" {
+			budgets++
+		}
+	}
+	if budgets != 3 {
+		t.Fatalf("time-budget duration records = %d, want one per shard", budgets)
+	}
+	// Before the budget tail, the journal is a sequence of epochs; within
+	// each epoch, shard streams appear in shard order, each ending with that
+	// shard's sync-epoch event.
 	epochs := 0
 	shard := 0
-	for i, ev := range evs {
+	for i, ev := range evs[:tail] {
 		if ev.Shard != shard {
 			t.Fatalf("event %d from shard %d, expected shard %d's stream (kind %s)",
 				i, ev.Shard, shard, ev.Kind)

@@ -1,0 +1,67 @@
+package metrics
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/eof-fuzz/eof/internal/trace"
+)
+
+var update = flag.Bool("update", false, "rewrite the exposition golden file")
+
+// TestExpositionGolden pins the /metrics text format — family ordering,
+// HELP/TYPE lines, label quoting, histogram buckets — against a golden file.
+// Run with -update after intentionally changing the exposition.
+func TestExpositionGolden(t *testing.T) {
+	reg := NewRegistry()
+	s := NewSink(reg, 3)
+	for _, ev := range []trace.Event{
+		{Kind: trace.ExecEnd, Shard: 0, Exec: 1, At: 250 * time.Millisecond},
+		{Kind: trace.CovGain, Shard: 0, Edges: 12, At: 250 * time.Millisecond},
+		{Kind: trace.CorpusAdd, Shard: 0, Edges: 12, At: 250 * time.Millisecond},
+		{Kind: trace.ExecEnd, Shard: 3, Exec: 1, At: 300 * time.Millisecond},
+		{Kind: trace.ConfirmEnqueue, Shard: 3, Edges: 4, At: 310 * time.Millisecond},
+		{Kind: trace.RestoreBegin, Shard: 0, Reason: "crash", At: 400 * time.Millisecond},
+		{Kind: trace.Reflash, Shard: 0, At: time.Second},
+		{Kind: trace.RestoreEnd, Shard: 0, Reason: "crash", Dur: 2 * time.Second, At: 2400 * time.Millisecond},
+		{Kind: trace.RestoreBegin, Shard: 0, Reason: "timeout", At: 3 * time.Second},
+		{Kind: trace.DeltaRestore, Shard: 0, Reason: "timeout", Edges: 4096, At: 3 * time.Second},
+		{Kind: trace.RestoreEnd, Shard: 0, Reason: "timeout", Dur: 50 * time.Millisecond, At: 3050 * time.Millisecond},
+		{Kind: trace.Bug, Shard: 0, Reason: "sig#1", At: 4 * time.Second},
+		{Kind: trace.LinkRetry, Shard: 0, Reason: "vRun", At: 5 * time.Second},
+		{Kind: trace.SyncEpoch, Shard: 0, Exec: 1, Edges: 15, At: 6 * time.Second},
+		{Kind: trace.TierConfirm, Shard: 0, Exec: 3, Reason: "cov", Edges: 4, At: 6 * time.Second},
+		{Kind: trace.TimeBudget, Shard: 0, Reason: "executing", Dur: 3 * time.Second, At: 6 * time.Second},
+		{Kind: trace.TimeBudget, Shard: 0, Reason: "restoring", Dur: 2050 * time.Millisecond, At: 6 * time.Second},
+		{Kind: trace.TimeBudget, Shard: 0, Reason: "duration", Dur: 6 * time.Second, At: 6 * time.Second},
+	} {
+		s.Emit(ev)
+	}
+
+	var b strings.Builder
+	if err := reg.WriteText(&b); err != nil {
+		t.Fatal(err)
+	}
+	got := b.String()
+
+	path := filepath.Join("testdata", "exposition.golden")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("%v (run with -update to regenerate)", err)
+	}
+	if got != string(want) {
+		t.Fatalf("exposition drifted from golden file (run with -update if intentional):\n--- got ---\n%s\n--- want ---\n%s", got, want)
+	}
+}

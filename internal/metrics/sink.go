@@ -1,0 +1,374 @@
+package metrics
+
+import (
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"github.com/eof-fuzz/eof/internal/trace"
+)
+
+// restoreBounds are the eof_restore_duration_seconds histogram buckets,
+// spanning delta restores (tens of milliseconds) through full
+// reflash+power-cycle ladders (tens of seconds).
+var restoreBounds = []float64{0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10, 30}
+
+// Sink folds the campaign trace-event stream into a Registry — the fourth
+// consumer of the stream after the flight recorder, the journal and the
+// status line. Attaching it as a live sink means the engine, fleet and link
+// layers need no metric call sites at all. It is safe for concurrent use
+// (fleet shards emit from their own goroutines): the hot counters are
+// lock-free, and only the per-shard breakdown behind /status takes the mutex.
+type Sink struct {
+	execs       *Counter
+	execsTier   *CounterVec
+	edges       *Gauge
+	corpusAdds  *Counter
+	restores    *Counter
+	restoresBy  *CounterVec
+	restoresMod *CounterVec
+	reflashes   *Counter
+	snapshots   *Counter
+	bugs        *Counter
+	triaged     *Counter
+	linkFaults  *Counter
+	linkRetries *Counter
+	linkReconns *Counter
+	quarantines *Counter
+	promotes    *Counter
+	syncEpochs  *Counter
+	confirmEnq  *Counter
+	confirms    *CounterVec
+	diverges    *CounterVec
+	confirmQ    *Gauge
+	timeBy      *CounterVec
+	duration    *Gauge
+	virtual     *Gauge
+	restoreDur  *Histogram
+
+	mu        sync.Mutex
+	emulStart int
+	shards    map[int]*shardStat
+	enq       int64 // confirmation enqueues
+	fin       int64 // confirmation verdicts drawn
+	started   time.Time
+}
+
+// shardStat is the per-shard slice of the /status document.
+type shardStat struct {
+	Execs    int           `json:"execs"`
+	Edges    int           `json:"edges"`
+	Restores int           `json:"restores"`
+	Bugs     int           `json:"bugs"`
+	At       time.Duration `json:"-"`
+	inDelta  bool          // a delta-restore event seen since restore-begin
+}
+
+// NewSink registers the campaign metric families on reg and returns the
+// folding sink. emulStart is the first emulation-tier shard index (negative
+// for untiered campaigns); it routes per-tier attribution.
+func NewSink(reg *Registry, emulStart int) *Sink {
+	s := &Sink{
+		execs:       reg.NewCounter("eof_execs_total", "Completed test-case executions."),
+		execsTier:   reg.NewCounterVec("eof_execs_tier_total", "Completed executions by tier.", "tier"),
+		edges:       reg.NewGauge("eof_edges", "Distinct coverage edges observed (fleet-wide)."),
+		corpusAdds:  reg.NewCounter("eof_corpus_adds_total", "Coverage-increasing inputs admitted to the corpus."),
+		restores:    reg.NewCounter("eof_restores_total", "State restorations."),
+		restoresBy:  reg.NewCounterVec("eof_restores_reason_total", "State restorations by trigger.", "reason"),
+		restoresMod: reg.NewCounterVec("eof_restores_mode_total", "State restorations by mechanism (delta vs full).", "mode"),
+		reflashes:   reg.NewCounter("eof_reflashes_total", "Full image reflashes."),
+		snapshots:   reg.NewCounter("eof_snapshot_takes_total", "Golden snapshots cached."),
+		bugs:        reg.NewCounter("eof_bugs_total", "Deduplicated findings."),
+		triaged:     reg.NewCounter("eof_triaged_total", "Findings fully triaged."),
+		linkFaults:  reg.NewCounter("eof_link_faults_total", "Debug-link faults observed or injected."),
+		linkRetries: reg.NewCounter("eof_link_retries_total", "Transparent debug-link command retries."),
+		linkReconns: reg.NewCounter("eof_link_reconnects_total", "Recovered debug-link deaths."),
+		quarantines: reg.NewCounter("eof_quarantines_total", "Boards retired by the fleet supervisor."),
+		promotes:    reg.NewCounter("eof_spare_promotes_total", "Hot spares promoted into vacated slots."),
+		syncEpochs:  reg.NewCounter("eof_sync_epochs_total", "Fleet feedback-exchange barriers."),
+		confirmEnq:  reg.NewCounter("eof_confirm_enqueues_total", "Emulation observations queued for hardware confirmation."),
+		confirms:    reg.NewCounterVec("eof_tier_confirms_total", "Hardware-confirmed emulation observations by kind.", "kind"),
+		diverges:    reg.NewCounterVec("eof_tier_divergences_total", "Cross-tier divergences by kind.", "kind"),
+		confirmQ:    reg.NewGauge("eof_confirm_queue_depth", "Emulation observations awaiting hardware confirmation."),
+		timeBy:      reg.NewCounterVec("eof_time_by_seconds_total", "Board-time budget by category (virtual seconds).", "category"),
+		duration:    reg.NewGauge("eof_duration_seconds", "Accounted campaign duration (virtual seconds, per shard)."),
+		virtual:     reg.NewGauge("eof_virtual_seconds", "Campaign virtual clock high-water mark."),
+		restoreDur:  reg.NewHistogram("eof_restore_duration_seconds", "State-restoration cost (virtual seconds).", restoreBounds),
+		emulStart:   emulStart,
+		shards:      make(map[int]*shardStat),
+		started:     time.Now(),
+	}
+	// Materialise the fixed label sets up front so a scrape of an idle
+	// campaign already shows every series at zero.
+	for _, c := range trace.Categories() {
+		s.timeBy.With(c.String())
+	}
+	s.restoresMod.With("delta")
+	s.restoresMod.With("full")
+	if emulStart >= 0 {
+		s.execsTier.With("hw")
+		s.execsTier.With("emul")
+	}
+	return s
+}
+
+func (s *Sink) tierOf(shard int) string {
+	if s.emulStart >= 0 && shard >= s.emulStart {
+		return "emul"
+	}
+	return "hw"
+}
+
+func (s *Sink) shard(id int) *shardStat {
+	st := s.shards[id]
+	if st == nil {
+		st = &shardStat{}
+		s.shards[id] = st
+	}
+	return st
+}
+
+// Emit folds one trace event into the registry.
+func (s *Sink) Emit(ev trace.Event) {
+	switch ev.Kind {
+	case trace.ExecEnd:
+		s.execs.Inc()
+		if s.emulStart >= 0 {
+			s.execsTier.With(s.tierOf(ev.Shard)).Inc()
+		}
+		s.mu.Lock()
+		s.shard(ev.Shard).Execs++
+		s.mu.Unlock()
+	case trace.CovGain:
+		s.mu.Lock()
+		s.shard(ev.Shard).Edges += ev.Edges
+		total := 0
+		for _, st := range s.shards {
+			total += st.Edges
+		}
+		s.mu.Unlock()
+		s.edges.SetMax(float64(total))
+	case trace.SyncEpoch:
+		s.syncEpochs.Inc()
+		s.edges.SetMax(float64(ev.Edges))
+	case trace.CorpusAdd:
+		s.corpusAdds.Inc()
+	case trace.RestoreBegin:
+		s.restores.Inc()
+		s.restoresBy.With(ev.Reason).Inc()
+		s.mu.Lock()
+		st := s.shard(ev.Shard)
+		st.Restores++
+		st.inDelta = false
+		s.mu.Unlock()
+	case trace.DeltaRestore:
+		s.mu.Lock()
+		s.shard(ev.Shard).inDelta = true
+		s.mu.Unlock()
+	case trace.RestoreEnd:
+		s.restoreDur.Observe(ev.Dur.Seconds())
+		s.mu.Lock()
+		delta := s.shard(ev.Shard).inDelta
+		s.mu.Unlock()
+		if delta {
+			s.restoresMod.With("delta").Inc()
+		} else {
+			s.restoresMod.With("full").Inc()
+		}
+	case trace.Reflash:
+		s.reflashes.Inc()
+	case trace.SnapshotTake:
+		s.snapshots.Inc()
+	case trace.Bug:
+		s.bugs.Inc()
+		s.mu.Lock()
+		s.shard(ev.Shard).Bugs++
+		s.mu.Unlock()
+	case trace.TriageEnd:
+		s.triaged.Inc()
+	case trace.LinkFault:
+		s.linkFaults.Inc()
+	case trace.LinkRetry:
+		s.linkRetries.Inc()
+	case trace.LinkReconnect:
+		s.linkReconns.Inc()
+	case trace.Quarantine:
+		s.quarantines.Inc()
+	case trace.SparePromote:
+		s.promotes.Inc()
+	case trace.ConfirmEnqueue:
+		s.confirmEnq.Inc()
+		s.mu.Lock()
+		s.enq++
+		depth := s.enq - s.fin
+		s.mu.Unlock()
+		s.confirmQ.Set(float64(depth))
+	case trace.TierConfirm:
+		kind := "cov"
+		if strings.HasPrefix(ev.Reason, "crash:") {
+			kind = "crash"
+		}
+		s.confirms.With(kind).Inc()
+		s.retire()
+	case trace.TierDiverge:
+		kind := ev.Reason
+		if i := strings.IndexByte(kind, ':'); i >= 0 {
+			kind = kind[:i]
+		}
+		s.diverges.With(kind).Inc()
+		// hw-only-crash verdicts are extras discovered while replaying a
+		// coverage item; they do not retire a queue entry.
+		if kind != "hw-only-crash" {
+			s.retire()
+		}
+	case trace.TimeBudget:
+		switch ev.Reason {
+		case "duration":
+			s.duration.Set(ev.Dur.Seconds())
+		case "restoring-delta", "restoring-full":
+			// Sub-buckets of "restoring"; skip so the category counters sum
+			// to the duration.
+		default:
+			s.timeBy.With(ev.Reason).Add(ev.Dur.Seconds())
+		}
+	}
+	s.virtual.SetMax(ev.At.Seconds())
+	s.mu.Lock()
+	if st := s.shard(ev.Shard); ev.At > st.At {
+		st.At = ev.At
+	}
+	s.mu.Unlock()
+}
+
+func (s *Sink) retire() {
+	s.mu.Lock()
+	s.fin++
+	depth := s.enq - s.fin
+	s.mu.Unlock()
+	if depth < 0 {
+		depth = 0
+	}
+	s.confirmQ.Set(float64(depth))
+}
+
+// Final pins the scraped counters to the campaign's authoritative final
+// Report: event folding is exact for a deterministic journal, but the report
+// remains the source of truth (fleet-wide edge totals, barrier-attributed
+// TimeBy), so Campaign.Run publishes it here when it completes. After the
+// publish a scrape equals the Report field for field.
+type Final struct {
+	Execs          int
+	Edges          int
+	Restores       int
+	ByReason       map[string]int
+	DeltaRestores  int
+	FullRestores   int
+	Bugs           int
+	LinkRetries    int64
+	LinkReconnects int64
+	Quarantines    int
+	TimeBy         trace.TimeBy
+	Duration       time.Duration
+	TierExecs      map[string]int // by tier class name, nil when untiered
+}
+
+// PublishFinal overwrites the live-folded values with the final report's.
+func (s *Sink) PublishFinal(f Final) {
+	s.execs.Set(float64(f.Execs))
+	s.edges.Set(float64(f.Edges))
+	s.restores.Set(float64(f.Restores))
+	for reason, n := range f.ByReason {
+		s.restoresBy.With(reason).Set(float64(n))
+	}
+	s.restoresMod.With("delta").Set(float64(f.DeltaRestores))
+	s.restoresMod.With("full").Set(float64(f.FullRestores))
+	s.bugs.Set(float64(f.Bugs))
+	s.linkRetries.Set(float64(f.LinkRetries))
+	s.linkReconns.Set(float64(f.LinkReconnects))
+	s.quarantines.Set(float64(f.Quarantines))
+	for _, c := range trace.Categories() {
+		s.timeBy.With(c.String()).Set(f.TimeBy.Of(c).Seconds())
+	}
+	s.duration.Set(f.Duration.Seconds())
+	for tier, n := range f.TierExecs {
+		s.execsTier.With(tier).Set(float64(n))
+	}
+}
+
+// StatusDoc is the JSON document served at /status: the live status line's
+// counters with a per-shard and per-tier breakdown.
+type StatusDoc struct {
+	VirtualSeconds float64         `json:"virtual_seconds"`
+	Execs          int             `json:"execs"`
+	ExecsPerSec    float64         `json:"execs_per_sec"`
+	Edges          int             `json:"edges"`
+	Restores       int             `json:"restores"`
+	Bugs           int             `json:"bugs"`
+	Quarantines    int             `json:"quarantines"`
+	Shards         []ShardStatus   `json:"shards"`
+	Tiers          map[string]Tier `json:"tiers,omitempty"`
+}
+
+// ShardStatus is one shard's slice of the status document.
+type ShardStatus struct {
+	Shard    int    `json:"shard"`
+	Tier     string `json:"tier,omitempty"`
+	Execs    int    `json:"execs"`
+	Edges    int    `json:"edges"`
+	Restores int    `json:"restores"`
+	Bugs     int    `json:"bugs"`
+}
+
+// Tier is a per-tier rollup inside the status document.
+type Tier struct {
+	Shards            int `json:"shards"`
+	Execs             int `json:"execs"`
+	ConfirmQueueDepth int `json:"confirm_queue_depth,omitempty"`
+}
+
+// Status snapshots the live campaign into the /status document.
+func (s *Sink) Status() StatusDoc {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	doc := StatusDoc{
+		VirtualSeconds: s.virtual.Value(),
+		Execs:          int(s.execs.Value()),
+		Edges:          int(s.edges.Value()),
+		Restores:       int(s.restores.Value()),
+		Bugs:           int(s.bugs.Value()),
+		Quarantines:    int(s.quarantines.Value()),
+	}
+	if doc.VirtualSeconds > 0 {
+		doc.ExecsPerSec = float64(doc.Execs) / doc.VirtualSeconds
+	}
+	ids := make([]int, 0, len(s.shards))
+	for id := range s.shards {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	tiered := s.emulStart >= 0
+	if tiered {
+		doc.Tiers = map[string]Tier{}
+	}
+	for _, id := range ids {
+		st := s.shards[id]
+		ss := ShardStatus{Shard: id, Execs: st.Execs, Edges: st.Edges, Restores: st.Restores, Bugs: st.Bugs}
+		if tiered {
+			ss.Tier = s.tierOf(id)
+			t := doc.Tiers[ss.Tier]
+			t.Shards++
+			t.Execs += st.Execs
+			doc.Tiers[ss.Tier] = t
+		}
+		doc.Shards = append(doc.Shards, ss)
+	}
+	if tiered {
+		t := doc.Tiers["emul"]
+		if d := int(s.enq - s.fin); d > 0 {
+			t.ConfirmQueueDepth = d
+		}
+		doc.Tiers["emul"] = t
+	}
+	return doc
+}

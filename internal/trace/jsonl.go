@@ -1,10 +1,103 @@
 package trace
 
 import (
+	"encoding/json"
+	"fmt"
 	"io"
 	"strconv"
+	"strings"
 	"sync"
 )
+
+// JournalVersion is the schema version stamped into every journal header.
+// Bump it whenever the event wire format changes incompatibly; readers refuse
+// versions they do not know.
+const JournalVersion = 1
+
+// HeaderKind is the "kind" discriminator of the journal header record, chosen
+// so it can never collide with an event kind name.
+const HeaderKind = "journal"
+
+// Header is the versioned journal preamble written as the first JSONL line:
+// schema version plus enough campaign identity (target, topology, seed and an
+// options digest) for offline tooling to interpret the stream — in particular
+// the tier layout, so eoftrace can attribute shard indices to the hardware or
+// emulation tier without guessing.
+type Header struct {
+	// Kind is always HeaderKind; it keeps the header distinguishable from
+	// events when a reader scans line by line.
+	Kind string `json:"kind"`
+	// V is the journal schema version (JournalVersion at write time).
+	V int `json:"v"`
+	// OS, Board and Seed identify the campaign.
+	OS    string `json:"os"`
+	Board string `json:"board"`
+	Seed  int64  `json:"seed"`
+	// Shards, Spares, Triage and EmulShards describe the board topology; the
+	// emulation tier's physical indices start at Shards+Spares(+1 if Triage).
+	Shards     int  `json:"shards"`
+	Spares     int  `json:"spares,omitempty"`
+	Triage     bool `json:"triage,omitempty"`
+	EmulShards int  `json:"emul_shards,omitempty"`
+	// Digest fingerprints the full campaign options (FNV-64a over their
+	// canonical rendering), so two journals can be compared for config drift
+	// without replaying either.
+	Digest string `json:"digest,omitempty"`
+}
+
+// EmulStart returns the physical board index where the emulation tier begins,
+// or -1 for an untiered campaign.
+func (h Header) EmulStart() int {
+	if h.EmulShards <= 0 {
+		return -1
+	}
+	start := h.Shards + h.Spares
+	if h.Triage {
+		start++
+	}
+	return start
+}
+
+// ParseHeader decodes a journal header line. It returns an error when the
+// line is not a header record or names a schema version this build does not
+// understand.
+func ParseHeader(line []byte) (Header, error) {
+	var h Header
+	if err := json.Unmarshal(line, &h); err != nil {
+		return Header{}, fmt.Errorf("trace: journal header: %w", err)
+	}
+	if h.Kind != HeaderKind {
+		return Header{}, fmt.Errorf("trace: first journal line has kind %q, not a %q header", h.Kind, HeaderKind)
+	}
+	if h.V > JournalVersion || h.V < 1 {
+		return Header{}, fmt.Errorf("trace: journal schema v%d is not supported (this build reads v1..v%d)", h.V, JournalVersion)
+	}
+	return h, nil
+}
+
+// AppendHeaderJSON appends h's JSON-line form (including the trailing
+// newline) to b. Field order is fixed by the struct, so the header is as
+// deterministic as the event stream it precedes.
+func AppendHeaderJSON(b []byte, h Header) []byte {
+	h.Kind = HeaderKind
+	if h.V == 0 {
+		h.V = JournalVersion
+	}
+	enc, err := json.Marshal(h)
+	if err != nil {
+		// A Header holds only scalars; Marshal cannot fail. Keep the
+		// signature append-style anyway.
+		panic("trace: header marshal: " + err.Error())
+	}
+	b = append(b, enc...)
+	return append(b, '\n')
+}
+
+// IsHeaderLine reports whether a journal line is the header record, letting
+// readers skip it cheaply without a full parse.
+func IsHeaderLine(line []byte) bool {
+	return strings.Contains(string(line), `"kind":"`+HeaderKind+`"`)
+}
 
 // JSONL writes every event as one JSON object per line — the `-trace <file>`
 // journal format. Serialisation is hand-rolled (no reflection, one buffer

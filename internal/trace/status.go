@@ -3,6 +3,7 @@ package trace
 import (
 	"fmt"
 	"io"
+	"strings"
 	"sync"
 	"time"
 )
@@ -32,8 +33,16 @@ type Status struct {
 	quarantines int
 	maxAt       time.Duration
 
-	lastExecs int
-	lastAt    time.Duration
+	// Tier breakdown (heterogeneous pools only). emulStart is the first
+	// emulation-tier shard index, or -1 when the pool is untiered.
+	emulStart  int
+	emulExecs  int
+	confirmEnq int // emulation observations queued for hardware confirmation
+	confirmFin int // verdicts drawn from the queue (confirm or diverge)
+
+	lastExecs     int
+	lastEmulExecs int
+	lastAt        time.Duration
 }
 
 // NewStatus builds a status sink printing to w every host interval (values
@@ -42,7 +51,17 @@ func NewStatus(w io.Writer, every time.Duration) *Status {
 	if every <= 0 {
 		every = 10 * time.Second
 	}
-	return &Status{w: w, every: every, now: time.Now}
+	return &Status{w: w, every: every, now: time.Now, emulStart: -1}
+}
+
+// SetEmulStart tells the sink where the emulation tier begins (the first
+// emulation shard's physical index) so the status line can break execs/s down
+// per tier and show the confirmation-queue depth. Call before the campaign
+// starts; a negative value (the default) keeps the untiered line.
+func (s *Status) SetEmulStart(start int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.emulStart = start
 }
 
 // Emit folds ev into the counters and prints when the interval is due.
@@ -52,6 +71,19 @@ func (s *Status) Emit(ev Event) {
 	switch ev.Kind {
 	case ExecEnd:
 		s.execs++
+		if s.emulStart >= 0 && ev.Shard >= s.emulStart {
+			s.emulExecs++
+		}
+	case ConfirmEnqueue:
+		s.confirmEnq++
+	case TierConfirm:
+		s.confirmFin++
+	case TierDiverge:
+		// hw-only-crash divergences are extra verdicts discovered while
+		// replaying a coverage item; they do not retire a queue entry.
+		if !strings.HasPrefix(ev.Reason, "hw-only-crash:") {
+			s.confirmFin++
+		}
 	case CovGain:
 		s.edges += ev.Edges
 	case RestoreBegin:
@@ -94,6 +126,19 @@ func (s *Status) print() {
 	if dt := (s.maxAt - s.lastAt).Seconds(); dt > 0 {
 		rate = float64(s.execs-s.lastExecs) / dt
 	}
+	tiers := ""
+	if s.emulStart >= 0 {
+		hwRate, emulRate := 0.0, 0.0
+		if dt := (s.maxAt - s.lastAt).Seconds(); dt > 0 {
+			emulRate = float64(s.emulExecs-s.lastEmulExecs) / dt
+			hwRate = float64((s.execs-s.lastExecs)-(s.emulExecs-s.lastEmulExecs)) / dt
+		}
+		depth := s.confirmEnq - s.confirmFin
+		if depth < 0 {
+			depth = 0
+		}
+		tiers = fmt.Sprintf(" hw=%.1f/s emul=%.1f/s confirmq=%d", hwRate, emulRate, depth)
+	}
 	restorePct := 0.0
 	if s.execs > 0 {
 		restorePct = 100 * float64(s.restores) / float64(s.execs)
@@ -113,8 +158,9 @@ func (s *Status) print() {
 	if s.triaged > 0 {
 		health += fmt.Sprintf(" triaged=%d", s.triaged)
 	}
-	fmt.Fprintf(s.w, "[eof] t=%v execs=%d (%.1f/s) edges=%d restores=%d (%.1f%%/exec) bugs=%d%s link: %s\n",
-		s.maxAt.Round(time.Second), s.execs, rate, edges, s.restores, restorePct, s.bugs, health, link)
+	fmt.Fprintf(s.w, "[eof] t=%v execs=%d (%.1f/s)%s edges=%d restores=%d (%.1f%%/exec) bugs=%d%s link: %s\n",
+		s.maxAt.Round(time.Second), s.execs, rate, tiers, edges, s.restores, restorePct, s.bugs, health, link)
 	s.lastExecs = s.execs
+	s.lastEmulExecs = s.emulExecs
 	s.lastAt = s.maxAt
 }

@@ -103,6 +103,21 @@ const (
 	// "hw-only-crash:<cluster>", Exec = the emulation shard, Edges = the
 	// unconfirmed fresh-edge count for coverage items).
 	TierDiverge
+	// ConfirmEnqueue records an emulation-tier observation joining the
+	// confirmation queue (coverage items: Edges = the claimed fresh edges;
+	// crash items: Reason = the cluster). Only ConfirmCapture engines emit
+	// it, so untiered journals are unchanged. The live consumers derive the
+	// confirmation-queue depth from enqueues minus drawn verdicts.
+	ConfirmEnqueue
+	// TimeBudget is the end-of-campaign accounting record: one event per
+	// board-time category (Reason = the category name, Dur = the accounted
+	// time, zero buckets included), plus the "restoring-delta" /
+	// "restoring-full" sub-buckets and a terminal "duration" record carrying
+	// the shard's accounted campaign Duration. In fleet mode the budgets are
+	// emitted after barrier-idle attribution, so each shard's buckets sum to
+	// the pool wall-clock exactly — eoftrace rebuilds Report.TimeBy from
+	// these events and cross-checks that invariant.
+	TimeBudget
 
 	numKinds
 )
@@ -117,6 +132,7 @@ var kindNames = [numKinds]string{
 	"triage-begin", "triage-min-step", "triage-end",
 	"snapshot-take", "delta-restore",
 	"tier-confirm", "tier-diverge",
+	"confirm-enqueue", "time-budget",
 }
 
 func (k Kind) String() string {
@@ -124,6 +140,17 @@ func (k Kind) String() string {
 		return kindNames[k]
 	}
 	return "unknown"
+}
+
+// KindByName maps a journal kind string back to its Kind — the decoder-side
+// inverse of Kind.String used by the journal analytics reader.
+func KindByName(name string) (Kind, bool) {
+	for k, n := range kindNames {
+		if n == name {
+			return Kind(k), true
+		}
+	}
+	return 0, false
 }
 
 // Event is one journal entry. The Tracer stamps Seq, At and Shard; emitters

@@ -1,0 +1,190 @@
+package eof
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/eof-fuzz/eof/internal/journal"
+	"github.com/eof-fuzz/eof/internal/metrics"
+	"github.com/eof-fuzz/eof/internal/trace"
+)
+
+// scrape fetches and parses a Prometheus text exposition into
+// "name" / `name{label="v"}` -> value.
+func scrape(t *testing.T, addr string) map[string]float64 {
+	t.Helper()
+	resp, err := http.Get("http://" + addr + "/metrics")
+	if err != nil {
+		t.Fatalf("scrape: %v", err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("scrape read: %v", err)
+	}
+	out := map[string]float64{}
+	for _, line := range strings.Split(string(body), "\n") {
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		sp := strings.LastIndexByte(line, ' ')
+		if sp < 0 {
+			t.Fatalf("unparseable exposition line: %q", line)
+		}
+		v, err := strconv.ParseFloat(line[sp+1:], 64)
+		if err != nil {
+			t.Fatalf("unparseable value in %q: %v", line, err)
+		}
+		out[line[:sp]] = v
+	}
+	if len(out) == 0 {
+		t.Fatal("empty scrape")
+	}
+	return out
+}
+
+// TestMetricsScrapeMatchesReport runs a fleet campaign with the telemetry
+// server attached and asserts the acceptance criteria: the scraped counters
+// equal the final Report exactly (execs, edges, TimeBy), /status mirrors the
+// per-shard breakdown, and the journal analytics reproduce Report.TimeBy to
+// the tick.
+func TestMetricsScrapeMatchesReport(t *testing.T) {
+	var buf bytes.Buffer
+	c, err := NewCampaign(Options{
+		OS:          "freertos",
+		Seed:        11,
+		Shards:      2,
+		MetricsAddr: "127.0.0.1:0",
+		TraceJSONL:  &buf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	addr := c.MetricsAddr()
+	if addr == "" {
+		t.Fatal("no telemetry address with MetricsAddr set")
+	}
+	rep, err := c.Run(16 * time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	m := scrape(t, addr)
+	if got := m["eof_execs_total"]; got != float64(rep.Execs) {
+		t.Fatalf("scraped execs %v, report %d", got, rep.Execs)
+	}
+	if got := m["eof_edges"]; got != float64(rep.Edges) {
+		t.Fatalf("scraped edges %v, report %d", got, rep.Edges)
+	}
+	if got := m["eof_restores_total"]; got != float64(rep.Restores) {
+		t.Fatalf("scraped restores %v, report %d", got, rep.Restores)
+	}
+	if got := m["eof_duration_seconds"]; got != rep.Duration.Seconds() {
+		t.Fatalf("scraped duration %v, report %v", got, rep.Duration.Seconds())
+	}
+	for _, cat := range trace.Categories() {
+		key := fmt.Sprintf("eof_time_by_seconds_total{category=%q}", cat.String())
+		if got := m[key]; got != rep.TimeBy.Of(cat).Seconds() {
+			t.Fatalf("scraped %s = %v, report %v", key, got, rep.TimeBy.Of(cat).Seconds())
+		}
+	}
+
+	resp, err := http.Get("http://" + addr + "/status")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var doc metrics.StatusDoc
+	if err := json.NewDecoder(resp.Body).Decode(&doc); err != nil {
+		t.Fatalf("/status decode: %v", err)
+	}
+	if doc.Execs != rep.Execs {
+		t.Fatalf("/status execs %d, report %d", doc.Execs, rep.Execs)
+	}
+	if len(doc.Shards) != 2 {
+		t.Fatalf("/status shards: %+v", doc.Shards)
+	}
+	shardExecs := 0
+	for _, s := range doc.Shards {
+		shardExecs += s.Execs
+	}
+	if shardExecs != rep.Execs {
+		t.Fatalf("/status per-shard execs sum to %d, report %d", shardExecs, rep.Execs)
+	}
+
+	// pprof must be mounted on the campaign mux.
+	pr, err := http.Get("http://" + addr + "/debug/pprof/cmdline")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pr.Body.Close()
+	if pr.StatusCode != http.StatusOK {
+		t.Fatalf("/debug/pprof/cmdline: %s", pr.Status)
+	}
+
+	// The journal analytics must rebuild Report.TimeBy from the TimeBudget
+	// records exactly.
+	j, err := journal.Read(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !j.HasHeader {
+		t.Fatal("fleet journal missing the header record")
+	}
+	sum := journal.Summarize(j)
+	if sum.Execs != rep.Execs {
+		t.Fatalf("journal summary execs %d, report %d", sum.Execs, rep.Execs)
+	}
+	if sum.TimeBy != rep.TimeBy {
+		t.Fatalf("journal summary TimeBy %+v, report %+v", sum.TimeBy, rep.TimeBy)
+	}
+	if sum.Duration != rep.Duration {
+		t.Fatalf("journal summary duration %v, report %v", sum.Duration, rep.Duration)
+	}
+	for _, b := range sum.Budgets {
+		if b.Drift != 0 {
+			t.Fatalf("shard %d budget drift %v", b.Shard, b.Drift)
+		}
+	}
+}
+
+// TestMetricsOffJournalByteIdentical asserts attaching the telemetry server
+// never perturbs the deterministic journal or the report: the same seeded
+// campaign with and without MetricsAddr produces byte-identical journals.
+func TestMetricsOffJournalByteIdentical(t *testing.T) {
+	run := func(metricsAddr string) ([]byte, *Report) {
+		var buf bytes.Buffer
+		c, err := NewCampaign(Options{
+			OS:          "rtthread",
+			Seed:        23,
+			Shards:      2,
+			MetricsAddr: metricsAddr,
+			TraceJSONL:  &buf,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer c.Close()
+		rep, err := c.Run(12 * time.Minute)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes(), rep
+	}
+	offJournal, offRep := run("")
+	onJournal, onRep := run("127.0.0.1:0")
+	if !bytes.Equal(offJournal, onJournal) {
+		t.Fatal("journal bytes differ between metrics-off and metrics-on runs")
+	}
+	if offRep.Execs != onRep.Execs || offRep.Edges != onRep.Edges || offRep.TimeBy != onRep.TimeBy {
+		t.Fatalf("reports differ between metrics-off and metrics-on runs:\n%+v\n%+v", offRep, onRep)
+	}
+}
