@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build check test race vet fuzz-smoke bench-fleet bench-trace bench-restore bench-tier
+.PHONY: build check test race vet fuzz-smoke resume-smoke bench-fleet bench-trace bench-restore bench-tier
 
 build:
 	$(GO) build ./...
@@ -22,6 +22,14 @@ fuzz-smoke:
 	$(GO) test -fuzz=FuzzRecv -fuzztime=10s -run='^$$' ./internal/rsp/
 	$(GO) test -fuzz=FuzzRoundTrip -fuzztime=10s -run='^$$' ./internal/rsp/
 	$(GO) test -fuzz=FuzzParseRepro -fuzztime=10s -run='^$$' ./internal/triage/
+	$(GO) test -fuzz=FuzzParseManifestLine -fuzztime=10s -run='^$$' ./internal/corpus/
+	$(GO) test -fuzz=FuzzDecodeCheckpoint -fuzztime=10s -run='^$$' ./internal/corpus/
+
+# resume-smoke kills a persisted campaign with SIGKILL, verifies the durable
+# store, resumes it and asserts coverage is a superset (the CI crash-safety
+# gate).
+resume-smoke:
+	./scripts/resume_smoke.sh
 
 # bench-fleet runs the fleet scaling/round-trip benchmark and records the
 # results in BENCH_fleet.json.

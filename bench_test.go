@@ -1,4 +1,4 @@
-package eof
+package eof_test
 
 // Benchmark harness: one benchmark per table and figure of the paper's
 // evaluation. Each runs the corresponding experiment at a reduced ("quick")
@@ -13,6 +13,7 @@ import (
 	"testing"
 	"time"
 
+	eof "github.com/eof-fuzz/eof"
 	"github.com/eof-fuzz/eof/internal/experiments"
 )
 
@@ -169,7 +170,7 @@ func BenchmarkAblationGeneration(b *testing.B) {
 // second of host time for a one-virtual-hour FreeRTOS campaign.
 func BenchmarkCampaignThroughput(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		c, err := NewCampaign(Options{OS: "freertos", Seed: int64(i) + 1})
+		c, err := eof.NewCampaign(eof.Options{OS: "freertos", Seed: int64(i) + 1})
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -192,8 +193,8 @@ func BenchmarkCampaignThroughput(b *testing.B) {
 // per exec against the legacy multi-command sequences.
 func BenchmarkFleet(b *testing.B) {
 	const budget = 30 * time.Minute
-	run := func(shards int, legacy bool) *Report {
-		c, err := NewCampaign(Options{
+	run := func(shards int, legacy bool) *eof.Report {
+		c, err := eof.NewCampaign(eof.Options{
 			OS: "freertos", Seed: 77, Shards: shards,
 			SyncEvery: 5 * time.Minute, LegacyLink: legacy,
 		})
@@ -243,8 +244,8 @@ func BenchmarkFleet(b *testing.B) {
 // sink each.
 func BenchmarkTraceOverhead(b *testing.B) {
 	const budget = 2 * time.Hour
-	run := func(journal io.Writer, metricsAddr string) (*Report, float64) {
-		c, err := NewCampaign(Options{OS: "freertos", Seed: 42, TraceJSONL: journal, MetricsAddr: metricsAddr})
+	run := func(journal io.Writer, metricsAddr string) (*eof.Report, float64) {
+		c, err := eof.NewCampaign(eof.Options{OS: "freertos", Seed: 42, TraceJSONL: journal, MetricsAddr: metricsAddr})
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -260,7 +261,7 @@ func BenchmarkTraceOverhead(b *testing.B) {
 	run(nil, "") // warm caches so round 0 doesn't penalise whichever sink goes first
 	for i := 0; i < b.N; i++ {
 		nopBest, jsonlBest, metrBest := -1.0, -1.0, -1.0
-		var nopRep, jsonlRep, metrRep *Report
+		var nopRep, jsonlRep, metrRep *eof.Report
 		for round := 0; round < 3; round++ {
 			rep, host := run(nil, "")
 			if nopBest < 0 || host < nopBest {
@@ -316,14 +317,14 @@ func BenchmarkTraceOverhead(b *testing.B) {
 func BenchmarkTier(b *testing.B) {
 	const budget = 10 * time.Minute
 	const syncEvery = 15 * time.Second
-	run := func(opts Options) *Report {
+	run := func(opts eof.Options) *eof.Report {
 		opts.OS = "freertos"
 		opts.Seed = 77
 		opts.Shards = 2
 		opts.SyncEvery = syncEvery
 		opts.RestrictAPIs = []string{"json_parse", "json_encode", "json_free"}
 		opts.InstrumentModules = []string{"lib/json"}
-		c, err := NewCampaign(opts)
+		c, err := eof.NewCampaign(opts)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -334,7 +335,7 @@ func BenchmarkTier(b *testing.B) {
 		}
 		return rep
 	}
-	timeTo := func(series []Sample, target int) time.Duration {
+	timeTo := func(series []eof.Sample, target int) time.Duration {
 		for _, s := range series {
 			if s.Edges >= target {
 				return s.At
@@ -343,8 +344,8 @@ func BenchmarkTier(b *testing.B) {
 		return 0
 	}
 	for i := 0; i < b.N; i++ {
-		allHW := run(Options{})
-		tiered := run(Options{Tiers: true, EmulShards: 2})
+		allHW := run(eof.Options{})
+		tiered := run(eof.Options{Tiers: true, EmulShards: 2})
 		if len(tiered.Tiers) != 2 {
 			b.Fatalf("tiered report has %d tier entries", len(tiered.Tiers))
 		}
@@ -392,8 +393,8 @@ func avg(xs []float64) float64 {
 // 3x, and restores must still leave the accounting identities intact.
 func BenchmarkRestore(b *testing.B) {
 	const budget = 2 * time.Hour
-	run := func(snapshots bool) *Report {
-		c, err := NewCampaign(Options{OS: "freertos", Seed: 42, Snapshots: snapshots})
+	run := func(snapshots bool) *eof.Report {
+		c, err := eof.NewCampaign(eof.Options{OS: "freertos", Seed: 42, Snapshots: snapshots})
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -407,7 +408,7 @@ func BenchmarkRestore(b *testing.B) {
 		}
 		return rep
 	}
-	perRestoreMS := func(rep *Report) float64 {
+	perRestoreMS := func(rep *eof.Report) float64 {
 		cost := rep.TimeBy.Restoring + rep.TimeBy.Reflashing
 		return float64(cost) / float64(rep.Restores) / float64(time.Millisecond)
 	}

@@ -11,9 +11,11 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"sort"
 	"strings"
+	"syscall"
 	"time"
 
 	"github.com/eof-fuzz/eof"
@@ -39,6 +41,9 @@ func main() {
 		snapAt    = flag.String("snapshot-states", "", "kernel states to (re-)snapshot at: comma-separated subset of post-boot,post-init (empty = both)")
 		faults    = flag.Float64("link-faults", 0, "per-command debug-link fault rate (flaky-adapter model, e.g. 0.05)")
 		retries   = flag.Int("link-retries", 0, "max transparent retries per faulted command (0 = default 4, negative disables)")
+		corpusDir = flag.String("corpus", "", "persist the corpus and epoch checkpoints into this directory (crash-safe store)")
+		resumeDir = flag.String("resume", "", "resume a persisted campaign from this corpus directory (implies -corpus)")
+		distillN  = flag.Int("distill-every", 0, "distill the on-disk corpus to a minimal covering set every N checkpoints (0 = never)")
 		traceOut  = flag.String("trace", "", "write the structured trace journal to this file as JSON Lines")
 		statusDur = flag.Duration("status-every", 0, "print a live progress line at this host interval (e.g. 10s)")
 		metrics   = flag.String("metrics-addr", "", "serve /metrics, /status and /debug/pprof/ on this address while the campaign runs (e.g. :9100)")
@@ -103,6 +108,16 @@ func main() {
 			DieAfterBoots: *boardDieAfter,
 		},
 	}
+	opts.CorpusDir = *corpusDir
+	opts.DistillEvery = *distillN
+	if *resumeDir != "" {
+		if *corpusDir != "" && *corpusDir != *resumeDir {
+			fmt.Fprintln(os.Stderr, "eof: -corpus and -resume name different directories")
+			os.Exit(1)
+		}
+		opts.CorpusDir = *resumeDir
+		opts.Resume = true
+	}
 	if *apis != "" {
 		opts.RestrictAPIs = strings.Split(*apis, ",")
 	}
@@ -129,6 +144,21 @@ func main() {
 		os.Exit(1)
 	}
 	defer c.Close()
+
+	// Graceful shutdown: the first SIGINT/SIGTERM drains the campaign at the
+	// next epoch barrier (final checkpoint included when -corpus is set) and
+	// the report below covers the completed portion; a second signal aborts
+	// immediately.
+	sigs := make(chan os.Signal, 2)
+	signal.Notify(sigs, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		<-sigs
+		fmt.Fprintln(os.Stderr, "eof: signal received, draining at the next barrier (signal again to abort)")
+		c.RequestStop()
+		<-sigs
+		fmt.Fprintln(os.Stderr, "eof: second signal, aborting")
+		os.Exit(130)
+	}()
 
 	if addr := c.MetricsAddr(); addr != "" {
 		fmt.Printf("telemetry: http://%s/metrics (/status, /debug/pprof/)\n", addr)
@@ -182,6 +212,21 @@ func main() {
 		fmt.Printf("snapshot restores: %d delta / %d full (%d snapshots taken), %s shipped, %s proven clean\n",
 			rep.DeltaRestores, rep.FullRestores, rep.SnapshotTakes,
 			fmtBytes(rep.RestoreBytesShipped), fmtBytes(rep.RestoreBytesSkipped))
+	}
+	if p := rep.Persist; p != nil {
+		line := fmt.Sprintf("corpus store: %d entries (%d new) in %s, %d checkpoints",
+			p.Entries, p.Admitted, p.Dir, p.Checkpoints)
+		if p.Distills > 0 {
+			line += fmt.Sprintf(", %d distillations dropped %d entries", p.Distills, p.Dropped)
+		}
+		fmt.Println(line)
+		if p.Resumed {
+			fmt.Printf("resumed: %d seeds re-imported, %d prior epochs (%v of prior campaign time)\n",
+				p.ResumedSeeds, p.PriorEpochs, p.PriorElapsed.Round(time.Second))
+		}
+		for _, w := range p.Warnings {
+			fmt.Printf("store warning: %s\n", w)
+		}
 	}
 	fmt.Printf("board time: %s\n", rep.TimeBy)
 	if rep.Execs > 0 {

@@ -77,6 +77,9 @@ func load(path string) (*journal.Journal, error) {
 	if err != nil {
 		return nil, err
 	}
+	if j.TornTail != "" {
+		fmt.Fprintf(os.Stderr, "eoftrace: warning: %s — campaign likely killed mid-write\n", j.TornTail)
+	}
 	if !j.HasHeader {
 		fmt.Fprintln(os.Stderr, "eoftrace: warning: journal has no header record (pre-versioning journal); tier attribution unavailable")
 	}

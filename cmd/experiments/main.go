@@ -18,7 +18,7 @@ func main() {
 		table    = flag.Int("table", 0, "regenerate one table (1-4)")
 		figure   = flag.Int("figure", 0, "regenerate one figure (7 or 8)")
 		overhead = flag.String("overhead", "", "overhead experiment: mem or exec")
-		ablation = flag.String("ablation", "", "ablation: watchdogs, generation, link, resilience, restore or tier")
+		ablation = flag.String("ablation", "", "ablation: watchdogs, generation, link, resilience, restore, tier or persist")
 		acct     = flag.Bool("accounting", false, "board-time accounting breakdown (E-time)")
 		triage   = flag.Bool("triage", false, "crash-triage evaluation: repro rate and minimization (E-triage)")
 		all      = flag.Bool("all", false, "run the full evaluation")
@@ -147,6 +147,14 @@ func main() {
 		}
 		emitTable("ablation_tier", t)
 	}
+	if *all || *ablation == "persist" {
+		ran = true
+		t, err := experiments.AblationPersist(opts)
+		if err != nil {
+			fail(err)
+		}
+		emitTable("ablation_persist", t)
+	}
 	if *all || *acct {
 		ran = true
 		t, err := experiments.TimeAccounting(opts)
@@ -164,7 +172,7 @@ func main() {
 		emitTable("triage", res.Table)
 	}
 	if !ran {
-		fmt.Fprintln(os.Stderr, "nothing selected; use -all, -table N, -figure N, -overhead mem|exec, -ablation watchdogs|generation|link|resilience|restore|tier, -accounting or -triage")
+		fmt.Fprintln(os.Stderr, "nothing selected; use -all, -table N, -figure N, -overhead mem|exec, -ablation watchdogs|generation|link|resilience|restore|tier|persist, -accounting or -triage")
 		os.Exit(2)
 	}
 }

@@ -22,14 +22,17 @@ import (
 	"hash/fnv"
 	"io"
 	"os"
+	"sync/atomic"
 	"time"
 
 	"github.com/eof-fuzz/eof/internal/board"
 	"github.com/eof-fuzz/eof/internal/boards"
 	"github.com/eof-fuzz/eof/internal/core"
+	"github.com/eof-fuzz/eof/internal/corpus"
 	"github.com/eof-fuzz/eof/internal/fleet"
 	"github.com/eof-fuzz/eof/internal/link"
 	"github.com/eof-fuzz/eof/internal/metrics"
+	"github.com/eof-fuzz/eof/internal/prog"
 	"github.com/eof-fuzz/eof/internal/specgen"
 	"github.com/eof-fuzz/eof/internal/targets"
 	"github.com/eof-fuzz/eof/internal/trace"
@@ -162,6 +165,33 @@ type Options struct {
 	// FlightRecorder overrides the size of the pre-crash event ring
 	// attached to every Bug (0 = the default of 64 events).
 	FlightRecorder int
+
+	// CorpusDir, when non-empty, makes the campaign crash-safe: every corpus
+	// admission is written to a content-addressed on-disk store under this
+	// directory (namespaced by OS and board), and the full resumable campaign
+	// state — corpus membership, cumulative coverage, crash clusters,
+	// per-shard RNG cursors and elapsed virtual time — is checkpointed at
+	// every sync barrier with write-ahead, atomically renamed, fsynced
+	// writes. A kill -9 loses at most the epoch in flight. Persistence runs
+	// between epochs and journals on its own campaign-level stream
+	// (shard -1), so reports and per-shard journals are byte-identical with
+	// it on or off.
+	CorpusDir string
+	// Resume, with CorpusDir set, rebuilds the campaign from the store's
+	// last good checkpoint before fuzzing: persisted seeds rejoin every
+	// corpus, checkpointed edges become pre-seen, known crash clusters are
+	// not re-reported, and the RNG continues from the checkpoint's recorded
+	// cursor, so resuming twice from the same checkpoint explores
+	// identically. Corrupt or torn store files are quarantined under
+	// <CorpusDir>/damaged/ and the campaign degrades to the previous good
+	// checkpoint instead of failing.
+	Resume bool
+	// DistillEvery, when positive, distills the on-disk store every that
+	// many checkpoints: the manifest is rewritten to a minimal set of
+	// entries covering the union of attributed edges (greedy set cover in
+	// admission order) and unreferenced blobs are removed. Only the store
+	// shrinks — the running campaign's in-memory corpus is untouched.
+	DistillEvery int
 
 	// Health tunes the escalating recovery ladder and the per-board health
 	// score; zero fields take the documented defaults.
@@ -428,6 +458,35 @@ type Report struct {
 	// Divergences lists every cross-tier disagreement the confirmation
 	// replays uncovered. Nil unless the campaign ran with Options.Tiers.
 	Divergences []Divergence
+	// Persist summarises the durable store. Nil unless the campaign ran
+	// with Options.CorpusDir.
+	Persist *PersistReport
+}
+
+// PersistReport summarises what the persistence layer did during a campaign
+// run with Options.CorpusDir.
+type PersistReport struct {
+	// Dir is the store's namespaced directory (<CorpusDir>/<os>/<board>).
+	Dir string
+	// Entries is the store's final corpus size; Admitted counts the new
+	// entries this run persisted (deduplicated re-admissions excluded).
+	Entries  int
+	Admitted int
+	// Checkpoints counts the epoch checkpoints this run committed; Distills
+	// the store distillations, which removed Dropped entries in total.
+	Checkpoints int
+	Distills    int
+	Dropped     int
+	// Resumed reports whether the campaign continued from a checkpoint;
+	// ResumedSeeds counts the persisted programs that re-entered the corpus,
+	// and PriorEpochs/PriorElapsed the resumed history carried forward.
+	Resumed      bool
+	ResumedSeeds int
+	PriorEpochs  int
+	PriorElapsed time.Duration
+	// Warnings lists recoverable store damage encountered (torn manifest
+	// lines, corrupt blobs or checkpoints — all quarantined, none fatal).
+	Warnings []string
 }
 
 // TierReport summarises one execution tier of a tiered campaign.
@@ -517,6 +576,17 @@ type Campaign struct {
 
 	metricsSink *metrics.Sink   // non-nil with Options.MetricsAddr
 	metricsSrv  *metrics.Server // ditto
+
+	// Persistence state (Options.CorpusDir). syncEvery is the solo-mode
+	// checkpoint cadence; stop mirrors the engines' stop flags so the solo
+	// persist loop drains after the current epoch's checkpoint.
+	persist      *corpus.Persister
+	syncEvery    time.Duration
+	stop         atomic.Bool
+	resumed      bool
+	resumedSeeds int
+	priorEpochs  int
+	priorElapsed time.Duration
 }
 
 // MetricsAddr returns the telemetry server's bound address (useful when
@@ -551,6 +621,31 @@ func NewCampaign(opts Options) (*Campaign, error) {
 	cfg := core.DefaultConfig(info, spec)
 	if opts.Seed != 0 {
 		cfg.Seed = opts.Seed
+	}
+	// Open the durable store (and load any resume state) before anything
+	// derives from the seed: a resumed campaign continues from the
+	// checkpoint's NextSeed, and the journal header below records it.
+	var store *corpus.Store
+	var resume *corpus.Resume
+	if opts.Resume && opts.CorpusDir == "" {
+		return nil, fmt.Errorf("eof: Resume requires CorpusDir")
+	}
+	if opts.CorpusDir != "" {
+		s, err := corpus.Open(opts.CorpusDir, info.Name, boardName)
+		if err != nil {
+			return nil, err
+		}
+		store = s
+		if opts.Resume {
+			r, err := s.LoadResume()
+			if err != nil {
+				return nil, err
+			}
+			resume = r
+			if r.Ck != nil {
+				cfg.Seed = r.Ck.NextSeed
+			}
+		}
 	}
 	cfg.FeedbackGuided = !opts.FeedbackDisabled
 	cfg.APIAware = !opts.APIAwareDisabled
@@ -635,6 +730,28 @@ func NewCampaign(opts Options) (*Campaign, error) {
 		cfg.StatusSink = status
 	}
 	c := &Campaign{shards: shards}
+	if store != nil {
+		popts := corpus.PersisterOptions{
+			Seed:         cfg.Seed,
+			DistillEvery: opts.DistillEvery,
+			Sink:         cfg.TraceSink,
+		}
+		if resume != nil && resume.Ck != nil {
+			popts.PriorEpochs = resume.Ck.Epoch
+			popts.PriorElapsed = resume.Ck.Elapsed
+			popts.Clusters = resume.Ck.Clusters
+			c.resumed = true
+			c.priorEpochs = resume.Ck.Epoch
+			c.priorElapsed = resume.Ck.Elapsed
+		} else if resume != nil {
+			c.resumed = true
+		}
+		c.persist = corpus.NewPersister(store, popts)
+		c.syncEvery = opts.SyncEvery
+		if c.syncEvery <= 0 {
+			c.syncEvery = fleet.DefaultSyncEvery
+		}
+	}
 	if opts.MetricsAddr != "" {
 		reg := metrics.NewRegistry()
 		c.metricsSink = metrics.NewSink(reg, emulStart)
@@ -653,12 +770,18 @@ func NewCampaign(opts Options) (*Campaign, error) {
 			SyncEvery:  opts.SyncEvery,
 			Spares:     opts.Spares,
 			EmulShards: emulShards,
+			Persist:    c.persist,
 		})
 		if err != nil {
 			c.closeMetrics()
 			return nil, err
 		}
 		c.pool = pool
+		if resume != nil {
+			d, clusters, seeds := buildResumeDelta(pool.Engines()[0].ParseProgJSON, resume)
+			pool.SeedFrom(d, clusters)
+			c.resumedSeeds = seeds
+		}
 		return c, nil
 	}
 	engine, err := core.NewEngine(cfg)
@@ -667,7 +790,42 @@ func NewCampaign(opts Options) (*Campaign, error) {
 		return nil, err
 	}
 	c.engine = engine
+	if resume != nil {
+		d, clusters, seeds := buildResumeDelta(engine.ParseProgJSON, resume)
+		engine.ImportSyncDelta(d)
+		engine.MarkKnownClusters(clusters)
+		c.resumedSeeds = seeds
+	}
 	return c, nil
+}
+
+// buildResumeDelta converts persisted store state into the sync delta that
+// re-seeds a campaign: the checkpoint's cumulative edges plus every verified
+// corpus entry (manifest entries persisted after the last checkpoint
+// included — work from the interrupted epoch is kept, never lost). A blob
+// that no longer parses under the current spec is skipped; the hash check in
+// the store already proved it undamaged, so a parse failure means the spec
+// drifted, not the disk.
+func buildResumeDelta(parse func([]byte) (*prog.Prog, error), r *corpus.Resume) (core.SyncDelta, []string, int) {
+	var d core.SyncDelta
+	var clusters []string
+	if r.Ck != nil {
+		d.Edges = append(d.Edges, r.Ck.Edges...)
+		clusters = r.Ck.Clusters
+	}
+	seeds := 0
+	for _, en := range r.Entries {
+		p, err := parse(en.Prog)
+		if err != nil {
+			continue
+		}
+		d.Seeds = append(d.Seeds, core.SeedShare{
+			P: p, NewEdges: en.NewEdges, Edges: append([]uint32(nil), en.Edges...),
+		})
+		d.Edges = append(d.Edges, en.Edges...)
+		seeds++
+	}
+	return d, clusters, seeds
 }
 
 // optionsDigest fingerprints the campaign options for the journal header:
@@ -679,6 +837,12 @@ func optionsDigest(opts Options) string {
 	opts.StatusWriter = nil
 	opts.StatusEvery = 0
 	opts.MetricsAddr = ""
+	// Persistence never perturbs the campaign (checkpointing runs between
+	// epochs on its own journal stream), so the store attachment is zeroed
+	// too: a persisted run and a plain run of the same campaign share a
+	// digest. Resume stays in — it changes the starting state.
+	opts.CorpusDir = ""
+	opts.DistillEvery = 0
 	h := fnv.New64a()
 	fmt.Fprintf(h, "%+v", opts)
 	return fmt.Sprintf("%016x", h.Sum64())
@@ -690,9 +854,12 @@ func optionsDigest(opts Options) string {
 func (c *Campaign) Run(budget time.Duration) (*Report, error) {
 	var rep *core.Report
 	var err error
-	if c.pool != nil {
+	switch {
+	case c.pool != nil:
 		rep, err = c.pool.Run(budget)
-	} else {
+	case c.persist != nil:
+		rep, err = c.runSoloPersist(budget)
+	default:
 		rep, err = c.engine.Run(budget)
 	}
 	if err != nil {
@@ -700,12 +867,108 @@ func (c *Campaign) Run(budget time.Duration) (*Report, error) {
 	}
 	out := convertReport(rep)
 	out.Shards = c.shards
+	out.Persist = c.persistReport()
 	if c.metricsSink != nil {
 		// Pin the scraped counters to the authoritative report: a scrape
 		// after Run equals the Report field for field.
 		c.metricsSink.PublishFinal(finalOf(out))
 	}
 	return out, nil
+}
+
+// RequestStop asks the campaign to drain gracefully: every engine stops at
+// its next iteration boundary, the current epoch's barrier runs normally —
+// including the final durable checkpoint when CorpusDir is set — and Run
+// returns the report for the completed portion. Safe to call from another
+// goroutine (signal handlers).
+func (c *Campaign) RequestStop() {
+	c.stop.Store(true)
+	if c.pool != nil {
+		c.pool.RequestStop()
+		return
+	}
+	c.engine.RequestStop()
+}
+
+// runSoloPersist is engine.Run with the budget cut into checkpoint epochs:
+// RunFor slices toward absolute virtual deadlines, with a persistence barrier
+// after each slice. Because the engine checks its deadline only between
+// iterations and the barrier touches no engine state (the sync delta it
+// drains is solo-idle), the iteration sequence — and thus the journal and
+// report — is exactly what one unsliced RunFor would produce.
+func (c *Campaign) runSoloPersist(budget time.Duration) (*core.Report, error) {
+	e := c.engine
+	if err := e.Setup(); err != nil {
+		return nil, err
+	}
+	clock := e.Clock()
+	start := clock.Now()
+	end := start + budget
+	for epoch := 1; clock.Now() < end; epoch++ {
+		slice := c.syncEvery
+		if rem := end - clock.Now(); slice > rem {
+			slice = rem
+		}
+		if err := e.RunFor(slice); err != nil {
+			return nil, err
+		}
+		if err := c.soloBarrier(epoch, clock.Now()-start); err != nil {
+			return nil, err
+		}
+		if c.stop.Load() {
+			break
+		}
+	}
+	rep := e.Report()
+	e.EmitTimeBudget(rep.TimeBy, rep.Duration)
+	return rep, nil
+}
+
+// soloBarrier persists one solo epoch: the slice's corpus admissions (the
+// engine's drained sync delta), the cumulative collector edges, the known
+// crash clusters and the single shard cursor.
+func (c *Campaign) soloBarrier(epoch int, elapsed time.Duration) error {
+	e := c.engine
+	d := e.DrainSyncDelta()
+	b := corpus.Barrier{
+		Epoch:    epoch,
+		Elapsed:  elapsed,
+		Edges:    e.CollectorEdges(),
+		Clusters: e.KnownClusters(),
+		Cursors:  []corpus.ShardCursor{{Shard: 0, Execs: e.Execs()}},
+	}
+	for _, s := range d.Seeds {
+		blob, err := prog.ToJSON(s.P)
+		if err != nil {
+			return fmt.Errorf("eof: persist seed: %w", err)
+		}
+		b.Admissions = append(b.Admissions, corpus.Admission{
+			Prog: blob, NewEdges: s.NewEdges, Edges: s.Edges,
+		})
+	}
+	return c.persist.Barrier(b)
+}
+
+// persistReport snapshots the persistence layer for the public report (nil
+// without Options.CorpusDir).
+func (c *Campaign) persistReport() *PersistReport {
+	if c.persist == nil {
+		return nil
+	}
+	st := c.persist.Stats()
+	return &PersistReport{
+		Dir:          c.persist.Store().Dir(),
+		Entries:      st.Entries,
+		Admitted:     st.Admitted,
+		Checkpoints:  st.Checkpoints,
+		Distills:     st.Distills,
+		Dropped:      st.Dropped,
+		Resumed:      c.resumed,
+		ResumedSeeds: c.resumedSeeds,
+		PriorEpochs:  c.priorEpochs,
+		PriorElapsed: c.priorElapsed,
+		Warnings:     c.persist.Store().Warnings(),
+	}
 }
 
 // finalOf converts the public report into the metrics publish record.

@@ -97,7 +97,9 @@ func (e *Engine) ConfirmProg(p *prog.Prog) (ConfirmResult, error) {
 		seed := p.Clone()
 		e.corpus.Add(seed, fresh)
 		e.tracer.Emit(trace.Event{Kind: trace.CorpusAdd, Exec: e.stats.Execs, Edges: fresh})
-		e.delta.Seeds = append(e.delta.Seeds, SeedShare{P: seed, NewEdges: fresh})
+		e.delta.Seeds = append(e.delta.Seeds, SeedShare{
+			P: seed, NewEdges: fresh, Edges: append([]uint32(nil), e.lastFresh...),
+		})
 	}
 	if serr := e.scanLog(p); serr != nil {
 		return ConfirmResult{}, serr

@@ -7,6 +7,7 @@ import (
 	"math/rand"
 	"sort"
 	"strings"
+	"sync/atomic"
 	"time"
 
 	"github.com/eof-fuzz/eof/internal/agent"
@@ -243,6 +244,9 @@ var errRestart = errors.New("core: target restored")
 type SeedShare struct {
 	P        *prog.Prog
 	NewEdges int
+	// Edges lists the fresh edge IDs the seed contributed — the attribution
+	// the persistent corpus store records and distillation minimizes over.
+	Edges []uint32
 }
 
 // RewardShare is one choice-table adjacency reward exported for siblings.
@@ -348,6 +352,12 @@ type Engine struct {
 	vectored bool
 	ready    bool
 	delta    SyncDelta
+
+	// stop is the graceful-shutdown request flag: set from a signal-handler
+	// goroutine (hence atomic, unlike the rest of the single-goroutine
+	// engine), checked by RunFor between iterations so the campaign drains
+	// at a clean test-case boundary.
+	stop atomic.Bool
 
 	lastBudgetPC uint64
 	stallRuns    int
@@ -538,6 +548,35 @@ func (e *Engine) SpecCalls() []string {
 		out[i] = c.Name
 	}
 	return out
+}
+
+// RequestStop asks the engine to stop fuzzing at the next iteration
+// boundary. Safe to call from another goroutine (signal handlers); RunFor
+// then returns early and the campaign drains normally.
+func (e *Engine) RequestStop() { e.stop.Store(true) }
+
+// Execs returns the completed test-case count so far.
+func (e *Engine) Execs() int { return e.stats.Execs }
+
+// KnownClusters returns the crash-dedup cluster keys recorded so far,
+// sorted. The persistence layer checkpoints them so a resumed campaign does
+// not re-report the previous run's findings.
+func (e *Engine) KnownClusters() []string {
+	out := make([]string, 0, len(e.bugSigs))
+	for c := range e.bugSigs {
+		out = append(out, c)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// MarkKnownClusters pre-seeds the crash dedup set: findings matching these
+// cluster keys are treated as already reported. Campaign resume uses it to
+// suppress duplicates of the previous run's bugs.
+func (e *Engine) MarkKnownClusters(clusters []string) {
+	for _, c := range clusters {
+		e.bugSigs[c] = true
+	}
 }
 
 // DrainSyncDelta returns the feedback accumulated since the last drain and
@@ -747,7 +786,7 @@ func (e *Engine) Run(budget time.Duration) (*Report, error) {
 // Run calls it once with the whole budget. Setup must have succeeded first.
 func (e *Engine) RunFor(budget time.Duration) error {
 	deadline := e.clock.DeadlineIn(budget)
-	for !deadline.Expired(e.clock) {
+	for !deadline.Expired(e.clock) && !e.stop.Load() {
 		if err := e.iteration(); err != nil && !errors.Is(err, errRestart) {
 			return err
 		}
@@ -848,7 +887,9 @@ func (e *Engine) iteration() error {
 	if fresh > 0 && e.cfg.FeedbackGuided {
 		e.corpus.Add(p, fresh)
 		e.tracer.Emit(trace.Event{Kind: trace.CorpusAdd, Exec: e.stats.Execs, Edges: fresh})
-		e.delta.Seeds = append(e.delta.Seeds, SeedShare{P: p, NewEdges: fresh})
+		e.delta.Seeds = append(e.delta.Seeds, SeedShare{
+			P: p, NewEdges: fresh, Edges: append([]uint32(nil), e.lastFresh...),
+		})
 		if e.cfg.ConfirmCapture {
 			e.confirmQueue = append(e.confirmQueue, ConfirmItem{
 				P:     p.Clone(),

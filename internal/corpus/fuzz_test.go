@@ -1,0 +1,101 @@
+package corpus
+
+import (
+	"bytes"
+	"testing"
+	"time"
+)
+
+// FuzzParseManifestLine throws arbitrary bytes at the manifest line decoder.
+// It must never panic, and any line it accepts must survive a re-encode /
+// re-parse round trip unchanged — a half-written manifest line can only ever
+// surface as an error (which the loader turns into truncation), never as a
+// silently different entry.
+func FuzzParseManifestLine(f *testing.F) {
+	seed := &Entry{
+		Hash:     HashBlob([]byte("prog")),
+		NewEdges: 3,
+		Edges:    []uint32{1, 7, 9},
+		Shard:    2,
+		Epoch:    5,
+		At:       3 * time.Second,
+	}
+	f.Add(bytes.TrimRight(AppendManifestLine(nil, seed), "\n"))
+	f.Add([]byte(`{"hash":"zz"}`))
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`{"hash":"` + HashBlob(nil) + `","shard":-1}`))
+	f.Add([]byte(`not json at all`))
+	f.Fuzz(func(t *testing.T, line []byte) {
+		e, err := ParseManifestLine(line)
+		if err != nil {
+			return
+		}
+		if len(e.Hash) != 64 {
+			t.Fatalf("accepted entry with malformed hash %q", e.Hash)
+		}
+		if e.NewEdges < 0 || e.Epoch < 0 || e.At < 0 || e.Shard < -1 {
+			t.Fatalf("accepted entry with negative provenance: %+v", e)
+		}
+		enc := AppendManifestLine(nil, e)
+		e2, err := ParseManifestLine(bytes.TrimRight(enc, "\n"))
+		if err != nil {
+			t.Fatalf("accepted entry does not re-parse: %v", err)
+		}
+		enc2 := AppendManifestLine(nil, e2)
+		if !bytes.Equal(enc, enc2) {
+			t.Fatalf("round trip changed entry: %q -> %q", enc, enc2)
+		}
+	})
+}
+
+// FuzzDecodeCheckpoint throws arbitrary bytes at the checkpoint decoder. The
+// self-checksum means a mutated checkpoint must be rejected, never partially
+// believed; anything accepted must re-encode to the identical bytes.
+func FuzzDecodeCheckpoint(f *testing.F) {
+	valid, err := EncodeCheckpoint(&Checkpoint{
+		V:        CheckpointVersion,
+		OS:       "freertos",
+		Board:    "stm32h745",
+		Seed:     42,
+		NextSeed: 42 + ResumeSeedStride,
+		Epoch:    3,
+		Elapsed:  90 * time.Second,
+		Edges:    []uint32{1, 2, 3},
+		Corpus:   []string{HashBlob([]byte("p"))},
+		Clusters: []string{"hf:0x2000_pc:0x8000"},
+		Cursors:  []ShardCursor{{Shard: 0, Seed: 99, Execs: 1000}},
+		Distills: 1,
+	})
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(valid)
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`{"v":1,"checksum":"nope"}`))
+	f.Add([]byte(`null`))
+	f.Add(bytes.Replace(valid, []byte("freertos"), []byte("fxeertos"), 1))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		ck, err := DecodeCheckpoint(data)
+		if err != nil {
+			return
+		}
+		if ck.V != CheckpointVersion {
+			t.Fatalf("accepted checkpoint with version %d", ck.V)
+		}
+		enc, err := EncodeCheckpoint(ck)
+		if err != nil {
+			t.Fatalf("accepted checkpoint does not re-encode: %v", err)
+		}
+		ck2, err := DecodeCheckpoint(enc)
+		if err != nil {
+			t.Fatalf("re-encoded checkpoint does not decode: %v", err)
+		}
+		enc2, err := EncodeCheckpoint(ck2)
+		if err != nil {
+			t.Fatalf("second re-encode failed: %v", err)
+		}
+		if !bytes.Equal(enc, enc2) {
+			t.Fatalf("round trip changed checkpoint: %q -> %q", enc, enc2)
+		}
+	})
+}

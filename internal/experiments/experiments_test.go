@@ -202,3 +202,39 @@ func TestAblationTierShape(t *testing.T) {
 	}
 	t.Log("\n" + out)
 }
+
+func TestAblationPersistShape(t *testing.T) {
+	tab, err := AblationPersist(quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := tab.Render()
+	if len(tab.Rows) != len(persistOSes)*4 {
+		t.Fatalf("rows: %d\n%s", len(tab.Rows), out)
+	}
+	for i, row := range tab.Rows {
+		mode := []string{"fresh", "persist", "resume", "cold"}[i%4]
+		if row[1] != mode {
+			t.Fatalf("row %d mode %q, want %q\n%s", i, row[1], mode, out)
+		}
+		switch mode {
+		case "fresh":
+			if row[5] != "-" || row[4] != "0.0" {
+				t.Fatalf("fresh row carries store columns: %v", row)
+			}
+		case "persist":
+			// The store must not perturb the campaign: identical coverage.
+			if row[5] != "+0.00%" {
+				t.Fatalf("persist row diverged from fresh: %v\n%s", row, out)
+			}
+			if row[4] == "0.0" {
+				t.Fatalf("persist row committed no checkpoints: %v", row)
+			}
+		case "resume":
+			if row[4] == "0.0" {
+				t.Fatalf("resume row committed no checkpoints: %v", row)
+			}
+		}
+	}
+	t.Log("\n" + out)
+}

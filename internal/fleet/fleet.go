@@ -43,13 +43,16 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"github.com/eof-fuzz/eof/internal/backend"
 	"github.com/eof-fuzz/eof/internal/board"
 	"github.com/eof-fuzz/eof/internal/core"
+	"github.com/eof-fuzz/eof/internal/corpus"
 	"github.com/eof-fuzz/eof/internal/cov"
 	"github.com/eof-fuzz/eof/internal/link"
+	"github.com/eof-fuzz/eof/internal/prog"
 	"github.com/eof-fuzz/eof/internal/trace"
 )
 
@@ -90,6 +93,12 @@ type Options struct {
 	// tiering entirely — the fleet behaves (and journals) exactly as an
 	// all-hardware pool.
 	EmulShards int
+	// Persist, when non-nil, makes campaign state durable at every epoch
+	// barrier: broadcast corpus admissions, the cumulative coverage bitmap,
+	// crash clusters and per-shard cursors all land in the on-disk store
+	// before the next epoch starts. Persistence runs on the supervisor
+	// goroutine between epochs, so it never perturbs engine determinism.
+	Persist *corpus.Persister
 }
 
 // Fleet is one sharded campaign over a board pool with hot-spare failover.
@@ -98,6 +107,11 @@ type Fleet struct {
 	engines []*core.Engine // physical boards: shards first, then spares
 	shared  *cov.Collector
 	ran     bool
+
+	// stop is the graceful-shutdown flag: set from a signal handler, checked
+	// after each epoch barrier so the campaign drains with a final durable
+	// checkpoint instead of dying mid-epoch.
+	stop atomic.Bool
 
 	// slots maps each shard slot to the physical board serving it (-1 when
 	// the slot is unmanned because the spare pool ran dry); spares is the
@@ -299,6 +313,33 @@ func (f *Fleet) Divergences() []core.TierDivergence { return f.divergences }
 
 // Quarantines returns the quarantine records so far, in supervision order.
 func (f *Fleet) Quarantines() []core.Quarantine { return f.quarantines }
+
+// RequestStop asks the fleet to drain at the next epoch barrier: every
+// engine ends its current slice at an iteration boundary, the barrier runs
+// normally (feedback exchange, supervision, journal flush, and the final
+// persistence checkpoint when configured), then Run returns the merged
+// report. Safe to call from another goroutine.
+func (f *Fleet) RequestStop() {
+	f.stop.Store(true)
+	for _, e := range f.engines {
+		e.RequestStop()
+	}
+}
+
+// SeedFrom pre-seeds the whole pool from a resumed campaign's persisted
+// state before Run: the delta's edges become pre-seen in the shared
+// collector and every engine, its seeds join every corpus, and the cluster
+// keys are marked known so the previous run's findings are not re-reported.
+// The delta also joins the broadcast history, so spares promoted later
+// inherit the resumed corpus exactly like live discoveries.
+func (f *Fleet) SeedFrom(d core.SyncDelta, clusters []string) {
+	f.shared.Ingest(d.Edges)
+	for _, e := range f.engines {
+		e.ImportSyncDelta(d)
+		e.MarkKnownClusters(clusters)
+	}
+	f.appendHistory(d)
+}
 
 // mannedCount returns how many shard slots currently have a board.
 func (f *Fleet) mannedCount() int {
@@ -508,6 +549,9 @@ func (f *Fleet) Run(total time.Duration) (*core.Report, error) {
 			return nil, err
 		}
 		f.flushJournal()
+		if err := f.persistBarrier(epochs, elapsed, deltas); err != nil {
+			return nil, err
+		}
 		if f.mannedCount() == 0 {
 			return nil, fmt.Errorf("fleet: every board dead after %v: %w", elapsed, core.ErrBoardDead)
 		}
@@ -515,8 +559,59 @@ func (f *Fleet) Run(total time.Duration) (*core.Report, error) {
 		if f.emulShared != nil {
 			emulSeries = append(emulSeries, core.CoverSample{At: elapsed, Edges: f.emulShared.Total()})
 		}
+		if f.stop.Load() {
+			// Graceful shutdown: the barrier above already exchanged the last
+			// feedback, flushed the journal and committed the final
+			// checkpoint; end the campaign cleanly with a merged report.
+			break
+		}
 	}
 	return f.mergeReport(series, emulSeries), nil
+}
+
+// persistBarrier commits one completed epoch to the durable store: every
+// broadcast seed with its edge attribution, the fleet-wide coverage bitmap,
+// the known crash clusters and each slot's resume cursor. Runs after the
+// journal flush so persistence events land at a deterministic stream
+// position; errors are campaign-fatal (a store that cannot accept writes is
+// losing the work the campaign exists to accumulate).
+func (f *Fleet) persistBarrier(epoch int, elapsed time.Duration, deltas []core.SyncDelta) error {
+	p := f.opts.Persist
+	if p == nil {
+		return nil
+	}
+	b := corpus.Barrier{Epoch: epoch, Elapsed: elapsed, Edges: f.shared.Edges()}
+	for slot, d := range deltas {
+		for _, s := range d.Seeds {
+			blob, err := prog.ToJSON(s.P)
+			if err != nil {
+				return fmt.Errorf("fleet: persist slot %d seed: %w", slot, err)
+			}
+			b.Admissions = append(b.Admissions, corpus.Admission{
+				Prog: blob, NewEdges: s.NewEdges, Edges: s.Edges, Shard: slot,
+			})
+		}
+	}
+	clusters := make(map[string]bool)
+	for bd, e := range f.engines {
+		if !f.active[bd] {
+			continue
+		}
+		for _, c := range e.KnownClusters() {
+			clusters[c] = true
+		}
+	}
+	for c := range clusters {
+		b.Clusters = append(b.Clusters, c)
+	}
+	for slot, bd := range f.slots {
+		cur := corpus.ShardCursor{Shard: slot}
+		if bd >= 0 {
+			cur.Execs = f.engines[bd].Execs()
+		}
+		b.Cursors = append(b.Cursors, cur)
+	}
+	return p.Barrier(b)
 }
 
 // manSlot performs initial bring-up of slot's board, quarantining setup-time

@@ -24,6 +24,12 @@ type Journal struct {
 	Header    trace.Header
 	HasHeader bool
 	Events    []trace.Event
+	// TornTail is non-empty when the journal's final line failed to decode:
+	// a campaign killed mid-write (crash, kill -9, power loss) tears at most
+	// the last line, so readers treat it as a warning — the events before it
+	// are intact — instead of rejecting the whole journal. A decode failure
+	// anywhere but the final line is still an error.
+	TornTail string
 }
 
 // wireEvent mirrors trace.AppendJSON's field names for decoding.
@@ -42,17 +48,25 @@ type wireEvent struct {
 // unknown schema versions are an error (the wire format may have changed
 // under the reader), a missing header is tolerated for pre-versioning
 // journals. Unknown event kinds within a supported version are an error —
-// they indicate a corrupt or newer-than-claimed journal.
+// they indicate a corrupt or newer-than-claimed journal — unless they occur
+// on the final line, where a decode failure of either sort means the writer
+// was killed mid-line: the journal is returned with TornTail set instead.
 func Read(r io.Reader) (*Journal, error) {
 	j := &Journal{}
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
 	lineNo := 0
+	// pending holds a decode failure until the next line proves it was not
+	// the journal's torn tail.
+	var pending error
 	for sc.Scan() {
 		line := sc.Bytes()
 		lineNo++
 		if len(line) == 0 {
 			continue
+		}
+		if pending != nil {
+			return nil, pending
 		}
 		if lineNo == 1 && trace.IsHeaderLine(line) {
 			h, err := trace.ParseHeader(line)
@@ -65,11 +79,13 @@ func Read(r io.Reader) (*Journal, error) {
 		}
 		var we wireEvent
 		if err := json.Unmarshal(line, &we); err != nil {
-			return nil, fmt.Errorf("journal: line %d: %w", lineNo, err)
+			pending = fmt.Errorf("journal: line %d: %w", lineNo, err)
+			continue
 		}
 		kind, ok := trace.KindByName(we.Kind)
 		if !ok {
-			return nil, fmt.Errorf("journal: line %d: unknown event kind %q", lineNo, we.Kind)
+			pending = fmt.Errorf("journal: line %d: unknown event kind %q", lineNo, we.Kind)
+			continue
 		}
 		j.Events = append(j.Events, trace.Event{
 			Seq:    we.Seq,
@@ -84,6 +100,9 @@ func Read(r io.Reader) (*Journal, error) {
 	}
 	if err := sc.Err(); err != nil {
 		return nil, fmt.Errorf("journal: %w", err)
+	}
+	if pending != nil {
+		j.TornTail = fmt.Sprintf("torn final line tolerated (%v)", pending)
 	}
 	return j, nil
 }
@@ -155,7 +174,11 @@ func Summarize(j *Journal) *Summary {
 	budgets := map[int]*ShardBudget{}
 	covSum := 0
 	for _, ev := range j.Events {
-		shards[ev.Shard] = true
+		if ev.Shard >= 0 {
+			// Negative shards are campaign-level streams (the persistence
+			// layer's checkpoint/distill events), not boards.
+			shards[ev.Shard] = true
+		}
 		if ev.At > s.VirtualEnd {
 			s.VirtualEnd = ev.At
 		}

@@ -62,10 +62,65 @@ func TestReadRejectsFutureVersionAndUnknownKind(t *testing.T) {
 	if _, err := Read(strings.NewReader(future)); err == nil {
 		t.Fatal("future schema version accepted")
 	}
-	unknown := synth(nil, []trace.Event{{Kind: trace.ExecEnd}})
-	unknown = append(unknown, []byte(`{"seq":1,"at_ns":2,"shard":0,"kind":"warp-drive"}`+"\n")...)
+	// An unknown kind (or any decode failure) anywhere but the final line is
+	// a hard error: later well-formed lines prove the journal was not torn.
+	unknown := synth(nil, nil)
+	unknown = append(unknown, []byte(`{"seq":0,"at_ns":2,"shard":0,"kind":"warp-drive"}`+"\n")...)
+	unknown = append(unknown, trace.AppendJSON(nil, trace.Event{Kind: trace.ExecEnd})...)
 	if _, err := Read(bytes.NewReader(unknown)); err == nil {
-		t.Fatal("unknown event kind accepted")
+		t.Fatal("unknown event kind followed by more lines accepted")
+	}
+}
+
+// TestReadToleratesTornTail checks the crash-consistency contract: a journal
+// whose writer was killed mid-line (kill -9, power loss) parses with a
+// TornTail warning instead of an error, keeping every intact event.
+func TestReadToleratesTornTail(t *testing.T) {
+	raw := synth(nil, []trace.Event{
+		{Kind: trace.ExecEnd, Shard: 0, At: time.Second},
+		{Kind: trace.CovGain, Shard: 0, Edges: 3, At: 2 * time.Second},
+	})
+	// Tear the final line mid-record.
+	torn := raw[:len(raw)-15]
+	j, err := Read(bytes.NewReader(torn))
+	if err != nil {
+		t.Fatalf("torn tail rejected: %v", err)
+	}
+	if len(j.Events) != 1 || j.Events[0].Kind != trace.ExecEnd {
+		t.Fatalf("intact prefix lost: %+v", j.Events)
+	}
+	if j.TornTail == "" {
+		t.Fatal("torn tail not reported")
+	}
+	// An unknown kind on the final line is the same story: the writer may
+	// have died mid-word.
+	unk := synth(nil, []trace.Event{{Kind: trace.ExecEnd}})
+	unk = append(unk, []byte(`{"seq":1,"at_ns":2,"shard":0,"kind":"warp`)...)
+	j, err = Read(bytes.NewReader(unk))
+	if err != nil || j.TornTail == "" || len(j.Events) != 1 {
+		t.Fatalf("final-line decode failure: j=%+v err=%v", j, err)
+	}
+	// An intact journal reports no tear.
+	j = mustRead(t, raw)
+	if j.TornTail != "" {
+		t.Fatalf("phantom tear: %s", j.TornTail)
+	}
+}
+
+// TestSummarizeSkipsCampaignStream checks that the persistence layer's
+// shard -1 events count as zero boards.
+func TestSummarizeSkipsCampaignStream(t *testing.T) {
+	evs := []trace.Event{
+		{Kind: trace.ExecEnd, Shard: 0, At: time.Second},
+		{Kind: trace.Checkpoint, Shard: -1, Exec: 1, Edges: 12, At: time.Second},
+		{Kind: trace.Distill, Shard: -1, Exec: 2, Edges: 3, Reason: "kept:4", At: 2 * time.Second},
+	}
+	s := Summarize(mustRead(t, synth(nil, evs)))
+	if s.Shards != 1 {
+		t.Fatalf("shards = %d, want 1 (campaign stream is not a board)", s.Shards)
+	}
+	if s.Events != 3 {
+		t.Fatalf("events = %d", s.Events)
 	}
 }
 

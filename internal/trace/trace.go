@@ -118,6 +118,16 @@ const (
 	// the pool wall-clock exactly — eoftrace rebuilds Report.TimeBy from
 	// these events and cross-checks that invariant.
 	TimeBudget
+	// Checkpoint records a durable campaign checkpoint committed at an epoch
+	// barrier (Exec = the campaign-lifetime epoch ordinal, Edges = the
+	// checkpointed cumulative edge count). Emitted by the persistence layer
+	// with Shard = -1 (campaign level, its own sequence space), so per-shard
+	// streams are untouched by `-corpus`.
+	Checkpoint
+	// Distill records a corpus distillation shrinking the on-disk store to a
+	// minimal covering set (Exec = the epoch, Edges = entries dropped,
+	// Reason = "kept:<n>"). Shard = -1, like Checkpoint.
+	Distill
 
 	numKinds
 )
@@ -133,6 +143,7 @@ var kindNames = [numKinds]string{
 	"snapshot-take", "delta-restore",
 	"tier-confirm", "tier-diverge",
 	"confirm-enqueue", "time-budget",
+	"checkpoint", "distill",
 }
 
 func (k Kind) String() string {
