@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build check test race vet fuzz-smoke resume-smoke bench-fleet bench-trace bench-restore bench-tier
+.PHONY: build check test race vet fuzz-smoke resume-smoke daemon-smoke bench-fleet bench-trace bench-restore bench-tier
 
 build:
 	$(GO) build ./...
@@ -30,6 +30,12 @@ fuzz-smoke:
 # gate).
 resume-smoke:
 	./scripts/resume_smoke.sh
+
+# daemon-smoke boots eofd over a 2-board pool, drives it with eofctl as two
+# tenants (one preempted mid-flight), then kill -9s the daemon under a third
+# campaign and asserts the restart re-adopts it (the CI control-plane gate).
+daemon-smoke:
+	./scripts/daemon_smoke.sh
 
 # bench-fleet runs the fleet scaling/round-trip benchmark and records the
 # results in BENCH_fleet.json.

@@ -55,6 +55,11 @@ func main() {
 		reproOut  = flag.String("repro-out", "", "write one portable repro file per triaged finding into this directory")
 		replayArg = flag.String("replay", "", "standalone mode: confirm the given repro file on a fresh board and exit")
 
+		submitURL = flag.String("submit", "", "client mode: submit this campaign to the eofd daemon at the given base URL instead of running locally")
+		tenant    = flag.String("tenant", "default", "tenant name for -submit (fair-share accounting identity)")
+		priority  = flag.Int("priority", 1, "tenant fair-share weight for -submit")
+		waitJob   = flag.Bool("wait", false, "with -submit, wait for the job to finish and print its final status")
+
 		healthResets  = flag.Int("health-reset-attempts", 0, "recovery-ladder reset-rung attempts (0 = default 1)")
 		healthReflash = flag.Int("health-reflash-attempts", 0, "recovery-ladder reflash-rung attempts (0 = default 1)")
 		healthCycles  = flag.Int("health-cycle-attempts", 0, "recovery-ladder power-cycle-rung attempts (0 = default 2)")
@@ -123,6 +128,9 @@ func main() {
 	}
 	if *modules != "" {
 		opts.InstrumentModules = strings.Split(*modules, ",")
+	}
+	if *submitURL != "" {
+		os.Exit(submitMain(*submitURL, *tenant, *priority, *minutes, opts, *waitJob))
 	}
 	if *traceOut != "" {
 		f, err := os.Create(*traceOut)

@@ -1,0 +1,61 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"os"
+	"time"
+
+	"github.com/eof-fuzz/eof"
+	"github.com/eof-fuzz/eof/internal/server"
+)
+
+// submitMain is the thin -submit client mode: the same flags that would
+// configure a local campaign are marshalled as an eof.Options spec and
+// posted to an eofd daemon, which owns persistence and telemetry for the
+// job (so the local -corpus/-resume/-trace/-metrics-addr settings are
+// stripped rather than sent).
+func submitMain(url, tenant string, priority int, minutes float64, opts eof.Options, wait bool) int {
+	opts.CorpusDir = ""
+	opts.CorpusNamespace = ""
+	opts.Resume = false
+	opts.MetricsAddr = ""
+	opts.StatusEvery = 0
+	opts.TraceJSONL = nil
+	opts.StatusWriter = nil
+	raw, err := json.Marshal(opts)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "eof: -submit:", err)
+		return 1
+	}
+	cl := &server.Client{Base: url, Tenant: tenant}
+	js, err := cl.Submit(server.SubmitRequest{
+		Minutes:  int(math.Ceil(minutes)),
+		Priority: priority,
+		Options:  raw,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "eof: -submit:", err)
+		return 1
+	}
+	fmt.Printf("%s\tsubmitted to %s (tenant %s, state %s)\n", js.ID, url, js.Tenant, js.State)
+	if !wait {
+		fmt.Printf("follow with: eofctl -server %s -tenant %s status %s\n", url, tenant, js.ID)
+		return 0
+	}
+	js, err = cl.Wait(js.ID, 500*time.Millisecond)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "eof: -submit:", err)
+		return 1
+	}
+	fmt.Printf("%s\tstate=%s used=%.0fs/%.0fs slices=%d preempts=%d execs=%d edges=%d bugs=%d\n",
+		js.ID, js.State, js.UsedS, js.BudgetS, js.Slices, js.Preempts, js.Execs, js.Edges, js.Bugs)
+	if js.Error != "" {
+		fmt.Fprintln(os.Stderr, "eof: job failed:", js.Error)
+	}
+	if js.State != "done" {
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,249 @@
+// Command eofctl is the CLI client for the eofd daemon.
+//
+// Usage:
+//
+//	eofctl [-server URL] [-tenant NAME] <command> [flags] [args]
+//
+// Commands:
+//
+//	submit   submit a campaign (flags mirror cmd/eof, or -spec for raw JSON)
+//	status   print one campaign's status
+//	list     list campaigns (all tenants unless -mine)
+//	events   stream a campaign's trace journal to stdout (NDJSON)
+//	preempt  requeue a running campaign at its next epoch barrier
+//	cancel   cancel a campaign (idempotent)
+//	wait     block until a campaign reaches a terminal state
+//	pool     print the board inventory and fair-share ledger
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+	"time"
+
+	eof "github.com/eof-fuzz/eof"
+	"github.com/eof-fuzz/eof/internal/server"
+)
+
+var (
+	serverURL = flag.String("server", "http://127.0.0.1:9290", "eofd base URL")
+	tenant    = flag.String("tenant", "default", "tenant name (fair-share accounting identity)")
+)
+
+func usage() {
+	fmt.Fprintf(os.Stderr, "usage: eofctl [-server URL] [-tenant NAME] <command> [flags] [args]\n")
+	fmt.Fprintf(os.Stderr, "commands: submit status list events preempt cancel wait pool\n")
+	flag.PrintDefaults()
+}
+
+func main() {
+	flag.Usage = usage
+	flag.Parse()
+	if flag.NArg() == 0 {
+		usage()
+		os.Exit(2)
+	}
+	cl := &server.Client{Base: *serverURL, Tenant: *tenant}
+	cmd, args := flag.Arg(0), flag.Args()[1:]
+	var err error
+	switch cmd {
+	case "submit":
+		err = submitCmd(cl, args)
+	case "status":
+		err = statusCmd(cl, args)
+	case "list":
+		err = listCmd(cl, args)
+	case "events":
+		err = eventsCmd(cl, args)
+	case "preempt":
+		err = oneArg(args, "preempt", cl.Preempt)
+	case "cancel":
+		err = oneArg(args, "cancel", cl.Cancel)
+	case "wait":
+		err = waitCmd(cl, args)
+	case "pool":
+		err = poolCmd(cl, args)
+	default:
+		fmt.Fprintf(os.Stderr, "eofctl: unknown command %q\n", cmd)
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "eofctl:", err)
+		os.Exit(1)
+	}
+}
+
+func submitCmd(cl *server.Client, args []string) error {
+	fs := flag.NewFlagSet("submit", flag.ExitOnError)
+	var (
+		osName    = fs.String("os", "freertos", "target OS")
+		board     = fs.String("board", "", "board (daemon default when empty)")
+		minutes   = fs.Int("minutes", 30, "board-time budget in virtual minutes")
+		priority  = fs.Int("priority", 1, "tenant fair-share weight")
+		seed      = fs.Int64("seed", 1, "deterministic campaign seed")
+		shards    = fs.Int("shards", 1, "fleet shard count")
+		spares    = fs.Int("spares", 0, "hot-spare boards")
+		syncMin   = fs.Float64("sync-minutes", 0, "fleet sync interval in virtual minutes (0 = default)")
+		tiersFlag = fs.Bool("tiers", false, "tiered execution (emulation explore tier)")
+		snapshots = fs.Bool("snapshots", false, "probe-side snapshot caching")
+		triage    = fs.Bool("triage", false, "triage findings after the campaign")
+		spec      = fs.String("spec", "", "raw eof.Options JSON (inline, or @file); overrides the option flags")
+		wait      = fs.Bool("wait", false, "wait for the campaign to finish and print its final status")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	var raw json.RawMessage
+	if *spec != "" {
+		if strings.HasPrefix(*spec, "@") {
+			b, err := os.ReadFile((*spec)[1:])
+			if err != nil {
+				return err
+			}
+			raw = b
+		} else {
+			raw = []byte(*spec)
+		}
+	} else {
+		opts := eof.Options{
+			OS:        *osName,
+			Board:     *board,
+			Seed:      *seed,
+			Shards:    *shards,
+			Spares:    *spares,
+			SyncEvery: time.Duration(*syncMin * float64(time.Minute)),
+			Tiers:     *tiersFlag,
+			Snapshots: *snapshots,
+			Triage:    *triage,
+		}
+		b, err := json.Marshal(opts)
+		if err != nil {
+			return err
+		}
+		raw = b
+	}
+	js, err := cl.Submit(server.SubmitRequest{Minutes: *minutes, Priority: *priority, Options: raw})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%s\tsubmitted (tenant %s, state %s)\n", js.ID, js.Tenant, js.State)
+	if *wait {
+		js, err = cl.Wait(js.ID, 500*time.Millisecond)
+		if err != nil {
+			return err
+		}
+		printJob(js)
+	}
+	return nil
+}
+
+func statusCmd(cl *server.Client, args []string) error {
+	if len(args) != 1 {
+		return fmt.Errorf("usage: eofctl status <id>")
+	}
+	js, err := cl.Job(args[0])
+	if err != nil {
+		return err
+	}
+	printJob(js)
+	return nil
+}
+
+func listCmd(cl *server.Client, args []string) error {
+	fs := flag.NewFlagSet("list", flag.ExitOnError)
+	mine := fs.Bool("mine", false, "only this tenant's campaigns")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	t := ""
+	if *mine {
+		t = cl.Tenant
+	}
+	jobs, err := cl.Jobs(t)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%-10s %-12s %-9s %4s %8s %8s %7s %8s\n",
+		"ID", "TENANT", "STATE", "PRI", "USED", "BUDGET", "SLICES", "PREEMPTS")
+	for _, j := range jobs {
+		fmt.Printf("%-10s %-12s %-9s %4d %7.0fs %7.0fs %7d %8d\n",
+			j.ID, j.Tenant, j.State, j.Priority, j.UsedS, j.BudgetS, j.Slices, j.Preempts)
+	}
+	return nil
+}
+
+func eventsCmd(cl *server.Client, args []string) error {
+	if len(args) != 1 {
+		return fmt.Errorf("usage: eofctl events <id>")
+	}
+	rc, err := cl.Events(args[0])
+	if err != nil {
+		return err
+	}
+	defer rc.Close()
+	_, err = io.Copy(os.Stdout, rc)
+	return err
+}
+
+func oneArg(args []string, name string, f func(string) error) error {
+	if len(args) != 1 {
+		return fmt.Errorf("usage: eofctl %s <id>", name)
+	}
+	if err := f(args[0]); err != nil {
+		return err
+	}
+	fmt.Printf("%s\t%sed\n", args[0], name)
+	return nil
+}
+
+func waitCmd(cl *server.Client, args []string) error {
+	if len(args) != 1 {
+		return fmt.Errorf("usage: eofctl wait <id>")
+	}
+	js, err := cl.Wait(args[0], 500*time.Millisecond)
+	if err != nil {
+		return err
+	}
+	printJob(js)
+	if js.State != "done" {
+		os.Exit(1)
+	}
+	return nil
+}
+
+func poolCmd(cl *server.Client, args []string) error {
+	ps, err := cl.Pool()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("pool: %d x %s, %d free\n", len(ps.Boards), ps.BoardType, ps.Free)
+	for _, b := range ps.Boards {
+		state := "idle"
+		if b.JobID != "" {
+			state = fmt.Sprintf("leased to %s (%s)", b.JobID, b.Tenant)
+		}
+		fmt.Printf("  %-16s %-28s %6.0fs busy, %d leases\n", b.Name, state, b.BusyS, b.Leases)
+	}
+	if len(ps.Tenants) > 0 {
+		fmt.Println("fair-share ledger:")
+		for _, t := range ps.Tenants {
+			fmt.Printf("  %-12s weight %d, %8.0fs board time\n", t.Tenant, t.Weight, t.UsedS)
+		}
+	}
+	return nil
+}
+
+func printJob(j *server.JobStatus) {
+	fmt.Printf("%s\ttenant=%s state=%s priority=%d boards=%d\n", j.ID, j.Tenant, j.State, j.Priority, j.Boards)
+	fmt.Printf("\tbudget %.0fs, used %.0fs (charged %.0fs), %d slices, %d preempts, resumed=%v\n",
+		j.BudgetS, j.UsedS, j.ChargedS, j.Slices, j.Preempts, j.Resumed)
+	fmt.Printf("\texecs=%d edges=%d bugs=%d checkpoints=%d\n", j.Execs, j.Edges, j.Bugs, j.Checkpoints)
+	if j.Error != "" {
+		fmt.Printf("\terror: %s\n", j.Error)
+	}
+}

@@ -1,0 +1,94 @@
+// Command eofd is the EOF control-plane daemon: fuzzing as a service.
+// It owns a shared pool of boards and an HTTP/JSON API through which many
+// tenants submit campaigns; a fair-share scheduler multiplexes the jobs
+// over the pool in checkpoint-bounded slices, preempting only at epoch
+// barriers and resuming preempted work from its durable corpus store.
+// The job table persists under the data directory, so restarting the
+// daemon (or kill -9) re-adopts every queued and checkpointed campaign.
+//
+// Usage:
+//
+//	eofd -addr :9290 -data /var/lib/eofd -boards 4
+//
+// API (tenant named by the X-EOF-Tenant header):
+//
+//	POST   /v1/campaigns               submit {minutes, priority, options}
+//	GET    /v1/campaigns[?tenant=]     list jobs
+//	GET    /v1/campaigns/{id}          one job's status
+//	GET    /v1/campaigns/{id}/events   stream the trace journal (NDJSON)
+//	POST   /v1/campaigns/{id}/preempt  requeue at the next epoch barrier
+//	DELETE /v1/campaigns/{id}          cancel (idempotent)
+//	GET    /v1/pool                    board inventory + fair-share ledger
+//	GET    /metrics                    Prometheus exposition (per-tenant)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"github.com/eof-fuzz/eof/internal/server"
+)
+
+func main() {
+	var (
+		addr       = flag.String("addr", "127.0.0.1:9290", "HTTP listen address (\":0\" picks a free port)")
+		dataDir    = flag.String("data", "", "data directory: job table, corpus store and event journals (required)")
+		boards     = flag.Int("boards", 2, "board-pool size")
+		boardType  = flag.String("board", "", "pool board model, for inventory naming (default stm32h745)")
+		quantumMin = flag.Float64("quantum-minutes", 20, "board-time per scheduling slice in virtual minutes")
+	)
+	flag.Parse()
+	if *dataDir == "" {
+		fmt.Fprintln(os.Stderr, "eofd: -data is required")
+		os.Exit(2)
+	}
+	logger := log.New(os.Stderr, "", log.LstdFlags)
+	srv, err := server.New(server.Options{
+		DataDir:   *dataDir,
+		BoardType: *boardType,
+		Boards:    *boards,
+		Quantum:   time.Duration(*quantumMin * float64(time.Minute)),
+		Logf:      logger.Printf,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "eofd:", err)
+		os.Exit(1)
+	}
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "eofd:", err)
+		os.Exit(1)
+	}
+	httpSrv := &http.Server{Handler: srv.Handler()}
+	// The serving line goes to stdout so scripts can poll for readiness
+	// and discover the bound port.
+	fmt.Printf("eofd: serving on http://%s (pool: %d boards, data: %s)\n", ln.Addr(), *boards, *dataDir)
+	go func() {
+		if err := httpSrv.Serve(ln); err != nil && err != http.ErrServerClosed {
+			logger.Printf("eofd: http: %v", err)
+		}
+	}()
+
+	// First signal: drain — running slices stop at their next epoch
+	// barrier with a final durable checkpoint, the job table keeps its
+	// running rows for the next daemon to adopt. Second signal: abort.
+	sigs := make(chan os.Signal, 2)
+	signal.Notify(sigs, os.Interrupt, syscall.SIGTERM)
+	<-sigs
+	logger.Printf("eofd: signal received, draining at epoch barriers (signal again to abort)")
+	go func() {
+		<-sigs
+		logger.Printf("eofd: second signal, aborting")
+		os.Exit(130)
+	}()
+	_ = httpSrv.Close()
+	srv.Stop()
+	logger.Printf("eofd: drained, job table persisted")
+}

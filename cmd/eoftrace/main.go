@@ -108,6 +108,10 @@ func summary(j *journal.Journal, csvOut bool) {
 		row("link_retries", s.Retries)
 		row("link_reconnects", s.Reconns)
 		row("quarantines", s.Quarant)
+		row("checkpoints", s.Checkpoints)
+		row("durable_edges", s.DurableEdges)
+		row("distills", s.Distills)
+		row("distill_dropped", s.DistillDropped)
 		row("duration_s", strconv.FormatFloat(s.Duration.Seconds(), 'f', 3, 64))
 		for _, c := range trace.Categories() {
 			row("time_"+c.String()+"_s", strconv.FormatFloat(s.TimeBy.Of(c).Seconds(), 'f', 3, 64))
@@ -155,6 +159,10 @@ func summary(j *journal.Journal, csvOut bool) {
 	}
 	fmt.Printf("bugs: %d (%d triaged)  link: %d retries, %d reconnects  quarantines: %d\n",
 		s.Bugs, s.Triaged, s.Retries, s.Reconns, s.Quarant)
+	if s.Checkpoints > 0 || s.Distills > 0 {
+		fmt.Printf("persistence: %d checkpoints (%d edges durable), %d distills (%d entries dropped)\n",
+			s.Checkpoints, s.DurableEdges, s.Distills, s.DistillDropped)
+	}
 	if len(s.Budgets) == 0 {
 		fmt.Printf("time budget: not recorded (journal predates time-budget records); virtual end %v\n", s.VirtualEnd.Round(time.Millisecond))
 		return

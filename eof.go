@@ -177,6 +177,13 @@ type Options struct {
 	// (shard -1), so reports and per-shard journals are byte-identical with
 	// it on or off.
 	CorpusDir string
+	// CorpusNamespace isolates this campaign's store under
+	// <CorpusDir>/ns/<namespace>/<os>/<board> instead of the shared
+	// per-target layout — the daemon gives every job its own namespace so
+	// many campaigns can persist into one store root without mixing
+	// corpora. Single path segment of [a-zA-Z0-9._-]; ignored when
+	// CorpusDir is empty.
+	CorpusNamespace string
 	// Resume, with CorpusDir set, rebuilds the campaign from the store's
 	// last good checkpoint before fuzzing: persisted seeds rejoin every
 	// corpus, checkpointed edges become pre-seen, known crash clusters are
@@ -631,7 +638,7 @@ func NewCampaign(opts Options) (*Campaign, error) {
 		return nil, fmt.Errorf("eof: Resume requires CorpusDir")
 	}
 	if opts.CorpusDir != "" {
-		s, err := corpus.Open(opts.CorpusDir, info.Name, boardName)
+		s, err := corpus.OpenNamespace(opts.CorpusDir, opts.CorpusNamespace, info.Name, boardName)
 		if err != nil {
 			return nil, err
 		}
@@ -842,6 +849,7 @@ func optionsDigest(opts Options) string {
 	// too: a persisted run and a plain run of the same campaign share a
 	// digest. Resume stays in — it changes the starting state.
 	opts.CorpusDir = ""
+	opts.CorpusNamespace = ""
 	opts.DistillEvery = 0
 	h := fnv.New64a()
 	fmt.Fprintf(h, "%+v", opts)

@@ -96,9 +96,49 @@ func HashBlob(blob []byte) string {
 // a damaged blob quarantined), a warning is recorded, and the store carries
 // on with every verified entry.
 func Open(root, osName, board string) (*Store, error) {
+	return openDir(root, filepath.Join(root, osName, board), osName, board)
+}
+
+// OpenNamespace opens a per-campaign namespace of the store root: the same
+// layout and crash-consistency protocol as Open, but rooted at
+// <root>/ns/<namespace>/<os>/<board> so many campaigns (a daemon's jobs)
+// can share one store root without ever seeing each other's corpora. The
+// literal "ns" path segment keeps namespaced campaigns disjoint from the
+// plain per-target layout, whatever the namespace is called. An empty
+// namespace degrades to Open; quarantined damage still lands in the shared
+// <root>/damaged/.
+func OpenNamespace(root, namespace, osName, board string) (*Store, error) {
+	if namespace == "" {
+		return Open(root, osName, board)
+	}
+	if !ValidNamespace(namespace) {
+		return nil, fmt.Errorf("corpus: invalid namespace %q (want [a-zA-Z0-9._-]+, not . or ..)", namespace)
+	}
+	return openDir(root, filepath.Join(root, "ns", namespace, osName, board), osName, board)
+}
+
+// ValidNamespace reports whether a campaign namespace is safe to use as a
+// single path segment: ASCII letters, digits, dot, underscore and dash,
+// and not a relative-path alias.
+func ValidNamespace(ns string) bool {
+	if ns == "" || ns == "." || ns == ".." || len(ns) > 128 {
+		return false
+	}
+	for _, r := range ns {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9':
+		case r == '.' || r == '_' || r == '-':
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+func openDir(root, dir, osName, board string) (*Store, error) {
 	s := &Store{
 		root:    root,
-		dir:     filepath.Join(root, osName, board),
+		dir:     dir,
 		os:      osName,
 		brd:     board,
 		entries: make(map[string]*Entry),

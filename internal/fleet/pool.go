@@ -1,0 +1,140 @@
+package fleet
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// BoardPool is the daemon's shared board inventory: a fixed set of named
+// hardware slots that campaigns lease for the duration of a scheduling
+// slice and release at the next epoch barrier. Where a CLI campaign owns
+// its boards for its whole run, daemon jobs borrow them — the pool is what
+// turns the fleet into a multiplexed resource.
+//
+// The pool tracks occupancy and lifetime lease accounting only; which job
+// gets boards next is the scheduler's call. All methods are
+// goroutine-safe.
+type BoardPool struct {
+	mu     sync.Mutex
+	boards []PoolBoard
+	busy   time.Duration // lifetime leased board time, all boards
+}
+
+// PoolBoard is one pool slot's inventory record.
+type PoolBoard struct {
+	// Index is the stable slot number; Name the human-facing board ID.
+	Index int
+	Name  string
+	// JobID and Tenant identify the current lease ("" when free).
+	JobID  string
+	Tenant string
+	// Leases counts lifetime grants; Busy totals the board time charged
+	// to this slot at release.
+	Leases int
+	Busy   time.Duration
+}
+
+// NewBoardPool builds a pool of n boards of the given type, named
+// <board>-00, <board>-01, ...
+func NewBoardPool(board string, n int) *BoardPool {
+	if n < 1 {
+		n = 1
+	}
+	p := &BoardPool{boards: make([]PoolBoard, n)}
+	for i := range p.boards {
+		p.boards[i] = PoolBoard{Index: i, Name: fmt.Sprintf("%s-%02d", board, i)}
+	}
+	return p
+}
+
+// Size returns the pool's board count.
+func (p *BoardPool) Size() int { return len(p.boards) }
+
+// Free returns the number of unleased boards.
+func (p *BoardPool) Free() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	free := 0
+	for i := range p.boards {
+		if p.boards[i].JobID == "" {
+			free++
+		}
+	}
+	return free
+}
+
+// Lease grants n boards to a job, lowest free slots first, and returns
+// their indices. A job may hold at most one lease at a time; asking for
+// more boards than are free is an error (the scheduler should have
+// prevented both).
+func (p *BoardPool) Lease(jobID, tenant string, n int) ([]int, error) {
+	if jobID == "" || n < 1 {
+		return nil, fmt.Errorf("fleet: bad lease request (job %q, %d boards)", jobID, n)
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	var slots []int
+	for i := range p.boards {
+		if p.boards[i].JobID == jobID {
+			return nil, fmt.Errorf("fleet: job %q already holds board %s", jobID, p.boards[i].Name)
+		}
+		if p.boards[i].JobID == "" && len(slots) < n {
+			slots = append(slots, i)
+		}
+	}
+	if len(slots) < n {
+		return nil, fmt.Errorf("fleet: %d boards free, job %q wants %d", len(slots), jobID, n)
+	}
+	for _, i := range slots {
+		p.boards[i].JobID = jobID
+		p.boards[i].Tenant = tenant
+		p.boards[i].Leases++
+	}
+	return slots, nil
+}
+
+// Release returns a job's boards to the pool, charging the slice's
+// consumed board time (split evenly across the leased boards) to the slot
+// accounting. Releasing a job that holds nothing is a no-op, so the
+// barrier path is idempotent.
+func (p *BoardPool) Release(jobID string, used time.Duration) {
+	if jobID == "" {
+		return
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	var held []int
+	for i := range p.boards {
+		if p.boards[i].JobID == jobID {
+			held = append(held, i)
+		}
+	}
+	if len(held) == 0 {
+		return
+	}
+	per := used / time.Duration(len(held))
+	for _, i := range held {
+		p.boards[i].JobID = ""
+		p.boards[i].Tenant = ""
+		p.boards[i].Busy += per
+	}
+	p.busy += used
+}
+
+// Busy returns the lifetime leased board time across all slots.
+func (p *BoardPool) Busy() time.Duration {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.busy
+}
+
+// Snapshot returns a copy of every slot in index order — the /v1/pool
+// inventory.
+func (p *BoardPool) Snapshot() []PoolBoard {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	out := make([]PoolBoard, len(p.boards))
+	copy(out, p.boards)
+	return out
+}

@@ -1,0 +1,63 @@
+package fleet
+
+import (
+	"testing"
+	"time"
+)
+
+func TestBoardPoolLeaseRelease(t *testing.T) {
+	p := NewBoardPool("stm32h745", 3)
+	if p.Size() != 3 || p.Free() != 3 {
+		t.Fatalf("fresh pool: size=%d free=%d", p.Size(), p.Free())
+	}
+	slots, err := p.Lease("job-a", "alice", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(slots) != 2 || slots[0] != 0 || slots[1] != 1 {
+		t.Fatalf("lease slots = %v, want lowest-first [0 1]", slots)
+	}
+	if p.Free() != 1 {
+		t.Fatalf("free after lease = %d", p.Free())
+	}
+	// A job holds at most one lease; over-asking fails.
+	if _, err := p.Lease("job-a", "alice", 1); err == nil {
+		t.Fatal("double lease accepted")
+	}
+	if _, err := p.Lease("job-b", "bob", 2); err == nil {
+		t.Fatal("over-capacity lease accepted")
+	}
+	p.Release("job-a", 20*time.Minute)
+	if p.Free() != 3 {
+		t.Fatalf("free after release = %d", p.Free())
+	}
+	if p.Busy() != 20*time.Minute {
+		t.Fatalf("pool busy = %v", p.Busy())
+	}
+	snap := p.Snapshot()
+	if snap[0].Busy != 10*time.Minute || snap[1].Busy != 10*time.Minute || snap[0].Leases != 1 {
+		t.Fatalf("slot accounting: %+v", snap[:2])
+	}
+	if snap[0].Name != "stm32h745-00" || snap[0].JobID != "" {
+		t.Fatalf("slot 0: %+v", snap[0])
+	}
+	// Idempotent: releasing a job with no lease changes nothing.
+	p.Release("job-a", time.Hour)
+	if p.Busy() != 20*time.Minute {
+		t.Fatalf("phantom release charged: %v", p.Busy())
+	}
+}
+
+func TestBoardPoolTenantVisibility(t *testing.T) {
+	p := NewBoardPool("esp32c3", 2)
+	if _, err := p.Lease("j1", "alice", 1); err != nil {
+		t.Fatal(err)
+	}
+	snap := p.Snapshot()
+	if snap[0].JobID != "j1" || snap[0].Tenant != "alice" {
+		t.Fatalf("lease not visible: %+v", snap[0])
+	}
+	if snap[1].JobID != "" {
+		t.Fatalf("free slot dirty: %+v", snap[1])
+	}
+}

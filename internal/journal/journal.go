@@ -145,6 +145,16 @@ type Summary struct {
 	Reconns  int
 	Quarant  int
 
+	// Checkpoints and Distills count the persistence layer's campaign-level
+	// (shard -1) stream events; DistillDropped totals the entries
+	// distillation removed and DurableEdges is the edge count the last
+	// checkpoint made durable — the audit trail for daemon-run campaigns.
+	// All zero for campaigns run without a corpus store.
+	Checkpoints    int
+	Distills       int
+	DistillDropped int
+	DurableEdges   int
+
 	// VirtualEnd is the journal's clock high-water mark; Duration is the
 	// accounted campaign duration from the TimeBudget records (zero for
 	// journals predating them).
@@ -218,6 +228,16 @@ func Summarize(j *Journal) *Summary {
 			s.Reconns++
 		case trace.Quarantine:
 			s.Quarant++
+		case trace.Checkpoint:
+			// Campaign-level persister stream: Exec is the epoch ordinal,
+			// Edges the durable coverage the checkpoint committed.
+			s.Checkpoints++
+			if ev.Edges > s.DurableEdges {
+				s.DurableEdges = ev.Edges
+			}
+		case trace.Distill:
+			s.Distills++
+			s.DistillDropped += ev.Edges
 		case trace.TimeBudget:
 			b := budgets[ev.Shard]
 			if b == nil {

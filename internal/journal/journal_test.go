@@ -108,19 +108,32 @@ func TestReadToleratesTornTail(t *testing.T) {
 }
 
 // TestSummarizeSkipsCampaignStream checks that the persistence layer's
-// shard -1 events count as zero boards.
+// shard -1 events count as zero boards but still surface in the summary's
+// checkpoint/distill audit counters (they used to vanish silently).
 func TestSummarizeSkipsCampaignStream(t *testing.T) {
 	evs := []trace.Event{
 		{Kind: trace.ExecEnd, Shard: 0, At: time.Second},
 		{Kind: trace.Checkpoint, Shard: -1, Exec: 1, Edges: 12, At: time.Second},
+		{Kind: trace.Checkpoint, Shard: -1, Exec: 2, Edges: 20, At: 2 * time.Second},
 		{Kind: trace.Distill, Shard: -1, Exec: 2, Edges: 3, Reason: "kept:4", At: 2 * time.Second},
 	}
 	s := Summarize(mustRead(t, synth(nil, evs)))
 	if s.Shards != 1 {
 		t.Fatalf("shards = %d, want 1 (campaign stream is not a board)", s.Shards)
 	}
-	if s.Events != 3 {
+	if s.Events != 4 {
 		t.Fatalf("events = %d", s.Events)
+	}
+	if s.Checkpoints != 2 || s.DurableEdges != 20 {
+		t.Fatalf("checkpoints = %d durable edges = %d, want 2 and 20", s.Checkpoints, s.DurableEdges)
+	}
+	if s.Distills != 1 || s.DistillDropped != 3 {
+		t.Fatalf("distills = %d dropped = %d, want 1 and 3", s.Distills, s.DistillDropped)
+	}
+	// A store-less campaign reports a clean zero audit trail.
+	plain := Summarize(mustRead(t, synth(nil, evs[:1])))
+	if plain.Checkpoints != 0 || plain.Distills != 0 || plain.DurableEdges != 0 {
+		t.Fatalf("phantom persistence counters: %+v", plain)
 	}
 }
 

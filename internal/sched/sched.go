@@ -1,0 +1,424 @@
+// Package sched is the daemon's job scheduler: it multiplexes many
+// campaigns from many tenants over one shared board pool with per-tenant
+// fair-share board-time quotas.
+//
+// The scheduler is a pure deterministic state machine. It never reads a
+// clock and never starts a goroutine; the daemon's runner drives it by
+// calling Schedule to start queued jobs, charging consumed board-seconds
+// with Yield at every epoch barrier, and Finish/Cancel at terminal
+// transitions. Fairness is stride scheduling over normalized usage: every
+// tenant accumulates the board-seconds its jobs consume (the same
+// `Report.TimeBy` accounting the reports print), and the queued job whose
+// tenant has the lowest usage/weight ratio starts first. A running job is
+// asked to requeue — only ever at a Yield, i.e. an epoch barrier — when a
+// queued tenant has fallen further below its share, so long-run board time
+// converges to the configured weight ratio and no tenant starves.
+//
+// Preemption is cooperative and barrier-aligned by construction: the only
+// transition out of Running is a Yield/Cancel/Finish call from the runner,
+// which the daemon makes exclusively between campaign epochs (the PR 9
+// RequestStop/checkpoint path). Preempt merely marks the job; the mark
+// takes effect at the next barrier.
+package sched
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+)
+
+// State is a job's lifecycle state.
+type State string
+
+const (
+	// Queued jobs wait for boards; Running jobs hold them. Done, Failed
+	// and Canceled are terminal.
+	Queued   State = "queued"
+	Running  State = "running"
+	Done     State = "done"
+	Failed   State = "failed"
+	Canceled State = "canceled"
+)
+
+// Terminal reports whether a state is final.
+func (s State) Terminal() bool {
+	return s == Done || s == Failed || s == Canceled
+}
+
+// Decision is the scheduler's answer to a Yield: keep the boards and run
+// another slice, requeue (release the boards to a needier tenant and
+// reschedule later via the resume path), or stop (a cancel landed
+// mid-slice).
+type Decision int
+
+const (
+	Continue Decision = iota
+	Requeue
+	Stop
+)
+
+func (d Decision) String() string {
+	switch d {
+	case Continue:
+		return "continue"
+	case Requeue:
+		return "requeue"
+	case Stop:
+		return "stop"
+	}
+	return fmt.Sprintf("sched.Decision(%d)", int(d))
+}
+
+// Job is one schedulable campaign.
+type Job struct {
+	ID     string
+	Tenant string
+	// Weight is the tenant's fair-share weight (higher = larger share).
+	Weight int
+	// Boards is how many pool boards the job occupies while running.
+	Boards int
+	// Budget is the total board-time ask; Used is the board-seconds
+	// consumed so far (charged at Yield); Remaining is their difference.
+	Budget time.Duration
+	Used   time.Duration
+	State  State
+	// Seq is the submit ordinal — the deterministic tiebreak.
+	Seq int
+	// Slices counts scheduling grants; Preempts counts barrier requeues
+	// (explicit or fair-share).
+	Slices   int
+	Preempts int
+	// Err records the failure reason for Failed jobs.
+	Err string
+
+	preempt bool // explicit preempt requested; applied at next Yield
+	cancel  bool // cancel requested while running; applied at next Yield
+}
+
+// Remaining is the board-time budget the job has left.
+func (j *Job) Remaining() time.Duration {
+	if j.Used >= j.Budget {
+		return 0
+	}
+	return j.Budget - j.Used
+}
+
+// Scheduler multiplexes jobs over a fixed board pool.
+type Scheduler struct {
+	mu     sync.Mutex
+	boards int
+	free   int
+	seq    int
+	jobs   map[string]*Job
+	order  []string // submit order
+	// usage is the per-tenant consumed board-seconds; weight the
+	// per-tenant fair-share weight (the tenant's most recent submit wins).
+	usage  map[string]time.Duration
+	weight map[string]int
+}
+
+// New builds a scheduler over a pool of the given size.
+func New(boards int) *Scheduler {
+	if boards < 1 {
+		boards = 1
+	}
+	return &Scheduler{
+		boards: boards,
+		free:   boards,
+		jobs:   make(map[string]*Job),
+		usage:  make(map[string]time.Duration),
+		weight: make(map[string]int),
+	}
+}
+
+// Boards returns the pool size; Free the boards not currently leased.
+func (s *Scheduler) Boards() int { return s.boards }
+
+// Free returns the number of unleased boards.
+func (s *Scheduler) Free() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.free
+}
+
+// Spec describes one job submission.
+type Spec struct {
+	ID     string
+	Tenant string
+	// Weight is the tenant's fair-share weight (default 1).
+	Weight int
+	// Boards is the job's pool footprint (default 1). A job wider than
+	// the whole pool is rejected — it could never start.
+	Boards int
+	// Budget is the total board-time ask.
+	Budget time.Duration
+}
+
+// Submit enqueues a job. It does not start it — call Schedule.
+func (s *Scheduler) Submit(spec Spec) (Job, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if spec.ID == "" {
+		return Job{}, fmt.Errorf("sched: empty job ID")
+	}
+	if _, dup := s.jobs[spec.ID]; dup {
+		return Job{}, fmt.Errorf("sched: duplicate job ID %q", spec.ID)
+	}
+	if spec.Tenant == "" {
+		return Job{}, fmt.Errorf("sched: empty tenant")
+	}
+	if spec.Weight < 1 {
+		spec.Weight = 1
+	}
+	if spec.Boards < 1 {
+		spec.Boards = 1
+	}
+	if spec.Boards > s.boards {
+		return Job{}, fmt.Errorf("sched: job wants %d boards, pool has %d", spec.Boards, s.boards)
+	}
+	if spec.Budget <= 0 {
+		return Job{}, fmt.Errorf("sched: non-positive budget %v", spec.Budget)
+	}
+	s.seq++
+	j := &Job{
+		ID: spec.ID, Tenant: spec.Tenant, Weight: spec.Weight,
+		Boards: spec.Boards, Budget: spec.Budget,
+		State: Queued, Seq: s.seq,
+	}
+	s.jobs[spec.ID] = j
+	s.order = append(s.order, spec.ID)
+	s.weight[spec.Tenant] = spec.Weight
+	if _, ok := s.usage[spec.Tenant]; !ok {
+		s.usage[spec.Tenant] = 0
+	}
+	return *j, nil
+}
+
+// normUsage is the tenant's stride-scheduling pass value: consumed
+// board-nanoseconds divided by weight. Lower = further below its share.
+func (s *Scheduler) normUsage(tenant string) float64 {
+	w := s.weight[tenant]
+	if w < 1 {
+		w = 1
+	}
+	return float64(s.usage[tenant]) / float64(w)
+}
+
+// pickLocked returns the queued job that should start next — lowest
+// normalized tenant usage, submit order as the deterministic tiebreak —
+// or nil when nothing queued fits the free boards.
+func (s *Scheduler) pickLocked() *Job {
+	var pick *Job
+	for _, id := range s.order {
+		j := s.jobs[id]
+		if j.State != Queued || j.Boards > s.free {
+			continue
+		}
+		if pick == nil || s.normUsage(j.Tenant) < s.normUsage(pick.Tenant) {
+			pick = j
+		}
+	}
+	return pick
+}
+
+// Schedule starts as many queued jobs as the free boards allow, fairest
+// tenant first, and returns the started jobs in grant order.
+func (s *Scheduler) Schedule() []Job {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var started []Job
+	for {
+		j := s.pickLocked()
+		if j == nil {
+			return started
+		}
+		j.State = Running
+		j.Slices++
+		s.free -= j.Boards
+		started = append(started, *j)
+	}
+}
+
+// Yield is the epoch-barrier call: the runner charges the board-seconds
+// the finished slice consumed and asks whether to keep the boards. The
+// charge lands on the tenant's usage either way. Requeue is returned when
+// a queued job is waiting whose tenant sits strictly further below its
+// fair share (or the job was explicitly preempted); Stop when a cancel
+// landed mid-slice. On Requeue/Stop the job's boards are released and the
+// job transitions to Queued/Canceled; the runner must not start another
+// slice.
+func (s *Scheduler) Yield(id string, used time.Duration) (Decision, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j := s.jobs[id]
+	if j == nil {
+		return Stop, fmt.Errorf("sched: unknown job %q", id)
+	}
+	if j.State != Running {
+		return Stop, fmt.Errorf("sched: yield on %s job %q", j.State, id)
+	}
+	if used > 0 {
+		j.Used += used
+		s.usage[j.Tenant] += used
+	}
+	if j.cancel {
+		j.cancel, j.preempt = false, false
+		j.State = Canceled
+		s.free += j.Boards
+		return Stop, nil
+	}
+	if j.preempt || s.starvedWaiterLocked(j) {
+		j.preempt = false
+		j.State = Queued
+		j.Preempts++
+		s.free += j.Boards
+		return Requeue, nil
+	}
+	return Continue, nil
+}
+
+// starvedWaiterLocked reports whether a queued job exists whose tenant's
+// normalized usage is strictly below the running job's tenant — the
+// fair-share condition under which the running job gives up its boards at
+// this barrier. Queued work from the same tenant never preempts: it can
+// wait its own turn without moving the tenant's share.
+func (s *Scheduler) starvedWaiterLocked(run *Job) bool {
+	runU := s.normUsage(run.Tenant)
+	for _, id := range s.order {
+		j := s.jobs[id]
+		if j.State != Queued || j.Tenant == run.Tenant {
+			continue
+		}
+		// Only waiters that could actually use the released boards count:
+		// a job wider than the running job's boards plus the current free
+		// pool would stay stuck anyway.
+		if j.Boards > s.free+run.Boards {
+			continue
+		}
+		if s.normUsage(j.Tenant) < runU {
+			return true
+		}
+	}
+	return false
+}
+
+// Preempt marks a running job to requeue at its next barrier. Queued and
+// terminal jobs are left untouched (preempting them is meaningless, not an
+// error — the call is idempotent).
+func (s *Scheduler) Preempt(id string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j := s.jobs[id]
+	if j == nil {
+		return fmt.Errorf("sched: unknown job %q", id)
+	}
+	if j.State == Running {
+		j.preempt = true
+	}
+	return nil
+}
+
+// Cancel requests a job's termination. A queued job cancels immediately;
+// a running job is marked and stops at its next barrier (the returned
+// flag tells the runner to interrupt the in-flight slice). Canceling a
+// terminal job is a no-op, so DELETE is idempotent.
+func (s *Scheduler) Cancel(id string) (running bool, err error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j := s.jobs[id]
+	if j == nil {
+		return false, fmt.Errorf("sched: unknown job %q", id)
+	}
+	switch j.State {
+	case Queued:
+		j.State = Canceled
+		return false, nil
+	case Running:
+		j.cancel = true
+		return true, nil
+	default:
+		return false, nil
+	}
+}
+
+// Finish retires a running job: errMsg == "" marks it Done, anything else
+// Failed. The job's boards return to the pool.
+func (s *Scheduler) Finish(id string, errMsg string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j := s.jobs[id]
+	if j == nil {
+		return fmt.Errorf("sched: unknown job %q", id)
+	}
+	if j.State != Running {
+		return fmt.Errorf("sched: finish on %s job %q", j.State, id)
+	}
+	s.free += j.Boards
+	if errMsg != "" {
+		j.State = Failed
+		j.Err = errMsg
+	} else {
+		j.State = Done
+	}
+	return nil
+}
+
+// Charge adds already-consumed board-seconds to a tenant's usage without
+// touching any job — the restart-adoption path, where a rebuilt scheduler
+// inherits the usage ledger the crashed daemon had persisted so fairness
+// survives the restart.
+func (s *Scheduler) Charge(tenant string, used time.Duration) {
+	if tenant == "" || used <= 0 {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.usage[tenant] += used
+}
+
+// Get returns a copy of the job.
+func (s *Scheduler) Get(id string) (Job, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	if !ok {
+		return Job{}, false
+	}
+	return *j, true
+}
+
+// Jobs returns copies of every job in submit order.
+func (s *Scheduler) Jobs() []Job {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]Job, 0, len(s.order))
+	for _, id := range s.order {
+		out = append(out, *s.jobs[id])
+	}
+	return out
+}
+
+// Usage returns the per-tenant consumed board-seconds ledger, tenants
+// sorted for deterministic iteration.
+func (s *Scheduler) Usage() []TenantUsage {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]TenantUsage, 0, len(s.usage))
+	for t, u := range s.usage {
+		w := s.weight[t]
+		if w < 1 {
+			w = 1
+		}
+		out = append(out, TenantUsage{Tenant: t, Weight: w, Used: u})
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a].Tenant < out[b].Tenant })
+	return out
+}
+
+// TenantUsage is one tenant's fair-share ledger entry.
+type TenantUsage struct {
+	Tenant string
+	Weight int
+	Used   time.Duration
+}

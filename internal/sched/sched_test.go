@@ -1,0 +1,314 @@
+package sched
+
+import (
+	"fmt"
+	"testing"
+	"time"
+)
+
+// sim drives a Scheduler the way the daemon's runner does, against a
+// virtual clock: every running job consumes one quantum of board time per
+// tick, then Yields at the barrier. Nothing here sleeps or reads a real
+// clock, so the fairness numbers are exact and deterministic.
+type sim struct {
+	t       *testing.T
+	s       *Scheduler
+	q       time.Duration
+	running []string
+	// transitions records every observed state change of running jobs so
+	// tests can assert preemption happened only at barriers.
+	now time.Duration
+}
+
+func newSim(t *testing.T, boards int, quantum time.Duration) *sim {
+	return &sim{t: t, s: New(boards), q: quantum}
+}
+
+// tick runs one barrier round: each running job consumes quantum×boards
+// board-seconds, yields, and freed boards are rescheduled.
+func (m *sim) tick() {
+	m.now += m.q
+	var keep []string
+	for _, id := range m.running {
+		j, ok := m.s.Get(id)
+		if !ok {
+			m.t.Fatalf("running job %q vanished", id)
+		}
+		used := m.q * time.Duration(j.Boards)
+		d, err := m.s.Yield(id, used)
+		if err != nil {
+			m.t.Fatalf("yield %q: %v", id, err)
+		}
+		if d == Continue {
+			keep = append(keep, id)
+		}
+	}
+	m.running = keep
+	for _, j := range m.s.Schedule() {
+		m.running = append(m.running, j.ID)
+	}
+}
+
+func (m *sim) submit(id, tenant string, weight int, budget time.Duration) {
+	m.t.Helper()
+	if _, err := m.s.Submit(Spec{ID: id, Tenant: tenant, Weight: weight, Boards: 1, Budget: budget}); err != nil {
+		m.t.Fatalf("submit %q: %v", id, err)
+	}
+}
+
+func usageOf(s *Scheduler, tenant string) time.Duration {
+	for _, u := range s.Usage() {
+		if u.Tenant == tenant {
+			return u.Used
+		}
+	}
+	return 0
+}
+
+// TestFairShareConvergence is the headline quota test: two tenants with
+// 3:1 weights contending for one board must converge to a 3:1±5% split of
+// board-seconds.
+func TestFairShareConvergence(t *testing.T) {
+	m := newSim(t, 1, 10*time.Minute)
+	m.submit("a1", "alice", 3, 1000*time.Hour)
+	m.submit("b1", "bob", 1, 1000*time.Hour)
+	for _, j := range m.s.Schedule() {
+		m.running = append(m.running, j.ID)
+	}
+	for i := 0; i < 400; i++ {
+		m.tick()
+	}
+	a, b := usageOf(m.s, "alice"), usageOf(m.s, "bob")
+	if a == 0 || b == 0 {
+		t.Fatalf("a tenant starved: alice=%v bob=%v", a, b)
+	}
+	ratio := float64(a) / float64(b)
+	if ratio < 3*0.95 || ratio > 3*1.05 {
+		t.Fatalf("board-time ratio %.3f outside 3:1±5%% (alice=%v bob=%v)", ratio, a, b)
+	}
+	// The whole pool was busy the whole time: charges sum to the pool
+	// wall clock.
+	if got, want := a+b, m.now; got != want {
+		t.Fatalf("usage sum %v != pool wall clock %v", got, want)
+	}
+}
+
+// TestFairShareManyWeights checks convergence for a less convenient
+// weight vector on a wider pool.
+func TestFairShareManyWeights(t *testing.T) {
+	m := newSim(t, 2, 5*time.Minute)
+	weights := map[string]int{"w5": 5, "w2": 2, "w1": 1}
+	for tenant, w := range weights {
+		for i := 0; i < 2; i++ {
+			m.submit(fmt.Sprintf("%s-%d", tenant, i), tenant, w, 1000*time.Hour)
+		}
+	}
+	for _, j := range m.s.Schedule() {
+		m.running = append(m.running, j.ID)
+	}
+	for i := 0; i < 800; i++ {
+		m.tick()
+	}
+	total := time.Duration(0)
+	for _, u := range m.s.Usage() {
+		total += u.Used
+	}
+	wsum := 0
+	for _, w := range weights {
+		wsum += w
+	}
+	for tenant, w := range weights {
+		got := float64(usageOf(m.s, tenant)) / float64(total)
+		want := float64(w) / float64(wsum)
+		if got < want*0.95 || got > want*1.05 {
+			t.Fatalf("tenant %s share %.4f outside %.4f±5%%", tenant, got, want)
+		}
+	}
+}
+
+// TestPreemptOnlyAtBarriers asserts the structural guarantee: a Preempt
+// (or a fair-share imbalance) never moves a Running job until its next
+// Yield — the epoch barrier.
+func TestPreemptOnlyAtBarriers(t *testing.T) {
+	s := New(1)
+	if _, err := s.Submit(Spec{ID: "a", Tenant: "alice", Budget: time.Hour}); err != nil {
+		t.Fatal(err)
+	}
+	started := s.Schedule()
+	if len(started) != 1 || started[0].ID != "a" {
+		t.Fatalf("schedule = %+v, want [a]", started)
+	}
+	// A starving waiter appears and an explicit preempt lands mid-slice...
+	if _, err := s.Submit(Spec{ID: "b", Tenant: "bob", Budget: time.Hour}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Preempt("a"); err != nil {
+		t.Fatal(err)
+	}
+	// ...but between barriers the job keeps running and holds its board.
+	if j, _ := s.Get("a"); j.State != Running {
+		t.Fatalf("mid-slice state = %s, want running", j.State)
+	}
+	if got := s.Free(); got != 0 {
+		t.Fatalf("free boards mid-slice = %d, want 0", got)
+	}
+	if got := s.Schedule(); len(got) != 0 {
+		t.Fatalf("schedule started %+v with no free boards", got)
+	}
+	// The barrier is where the preemption takes effect.
+	d, err := s.Yield("a", 10*time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d != Requeue {
+		t.Fatalf("yield = %v, want requeue", d)
+	}
+	j, _ := s.Get("a")
+	if j.State != Queued || j.Preempts != 1 {
+		t.Fatalf("post-barrier job = %+v, want queued with 1 preempt", j)
+	}
+	if next := s.Schedule(); len(next) != 1 || next[0].ID != "b" {
+		t.Fatalf("schedule after requeue = %+v, want [b]", next)
+	}
+}
+
+// TestNoStarvationUnderSaturatingSubmits floods the scheduler with new
+// jobs from a heavy tenant every tick; the light tenant's single job must
+// still receive board time promptly and its long-run share must not fall
+// below its weight fraction.
+func TestNoStarvationUnderSaturatingSubmits(t *testing.T) {
+	m := newSim(t, 2, 10*time.Minute)
+	m.submit("light", "small", 1, 1000*time.Hour)
+	firstServed := time.Duration(-1)
+	for i := 0; i < 300; i++ {
+		// The saturating loop: two fresh heavy jobs per tick, forever.
+		m.submit(fmt.Sprintf("h%d-a", i), "big", 10, 1000*time.Hour)
+		m.submit(fmt.Sprintf("h%d-b", i), "big", 10, 1000*time.Hour)
+		m.tick()
+		if firstServed < 0 && usageOf(m.s, "small") > 0 {
+			firstServed = m.now
+		}
+	}
+	if firstServed < 0 {
+		t.Fatalf("light tenant starved for the whole run")
+	}
+	if firstServed > 30*time.Minute {
+		t.Fatalf("light tenant first served at %v, want within 3 ticks", firstServed)
+	}
+	small, big := usageOf(m.s, "small"), usageOf(m.s, "big")
+	share := float64(small) / float64(small+big)
+	if want := 1.0 / 11.0; share < want*0.90 {
+		t.Fatalf("light tenant share %.4f below weight fraction %.4f", share, want)
+	}
+}
+
+// TestCancelSemantics covers the queued/running/terminal cancel paths and
+// DELETE idempotency.
+func TestCancelSemantics(t *testing.T) {
+	s := New(1)
+	for _, id := range []string{"a", "b"} {
+		if _, err := s.Submit(Spec{ID: id, Tenant: "t", Budget: time.Hour}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.Schedule() // a running, b queued
+	if running, err := s.Cancel("b"); err != nil || running {
+		t.Fatalf("cancel queued = (%v, %v), want immediate", running, err)
+	}
+	if j, _ := s.Get("b"); j.State != Canceled {
+		t.Fatalf("queued cancel state = %s", j.State)
+	}
+	if running, err := s.Cancel("a"); err != nil || !running {
+		t.Fatalf("cancel running = (%v, %v), want running=true", running, err)
+	}
+	// Mid-slice the job still holds its board; the barrier stops it.
+	if j, _ := s.Get("a"); j.State != Running {
+		t.Fatalf("mid-slice cancel state = %s", j.State)
+	}
+	if d, err := s.Yield("a", time.Minute); err != nil || d != Stop {
+		t.Fatalf("yield after cancel = (%v, %v), want stop", d, err)
+	}
+	if j, _ := s.Get("a"); j.State != Canceled {
+		t.Fatalf("post-barrier cancel state = %s", j.State)
+	}
+	if got := s.Free(); got != 1 {
+		t.Fatalf("free after cancel = %d, want 1", got)
+	}
+	// Idempotent: canceling a terminal job is a quiet no-op.
+	for i := 0; i < 2; i++ {
+		if running, err := s.Cancel("a"); err != nil || running {
+			t.Fatalf("re-cancel = (%v, %v), want no-op", running, err)
+		}
+	}
+}
+
+// TestChargeRestoresFairnessAcrossRestart replays a persisted usage
+// ledger into a fresh scheduler and checks the next grant goes to the
+// tenant the ledger says is owed.
+func TestChargeRestoresFairnessAcrossRestart(t *testing.T) {
+	s := New(1)
+	// The "crashed daemon" had charged alice far past her share.
+	s.Charge("alice", 10*time.Hour)
+	s.Charge("bob", time.Hour)
+	if _, err := s.Submit(Spec{ID: "a2", Tenant: "alice", Budget: time.Hour}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Submit(Spec{ID: "b2", Tenant: "bob", Budget: time.Hour}); err != nil {
+		t.Fatal(err)
+	}
+	started := s.Schedule()
+	if len(started) != 1 || started[0].ID != "b2" {
+		t.Fatalf("post-restart grant = %+v, want bob first", started)
+	}
+}
+
+// TestSubmitValidation rejects the specs the HTTP layer must 4xx on.
+func TestSubmitValidation(t *testing.T) {
+	s := New(2)
+	cases := []Spec{
+		{ID: "", Tenant: "t", Budget: time.Hour},
+		{ID: "x", Tenant: "", Budget: time.Hour},
+		{ID: "x", Tenant: "t", Budget: 0},
+		{ID: "x", Tenant: "t", Budget: time.Hour, Boards: 3}, // wider than pool
+	}
+	for i, spec := range cases {
+		if _, err := s.Submit(spec); err == nil {
+			t.Fatalf("case %d: submit %+v succeeded, want error", i, spec)
+		}
+	}
+	if _, err := s.Submit(Spec{ID: "ok", Tenant: "t", Budget: time.Hour}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Submit(Spec{ID: "ok", Tenant: "t", Budget: time.Hour}); err == nil {
+		t.Fatal("duplicate ID accepted")
+	}
+}
+
+// TestFinishTransitions retires jobs through the done and failed paths
+// and verifies boards return to the pool.
+func TestFinishTransitions(t *testing.T) {
+	s := New(2)
+	for _, id := range []string{"a", "b"} {
+		if _, err := s.Submit(Spec{ID: id, Tenant: "t", Budget: time.Hour}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.Schedule()
+	if err := s.Finish("a", ""); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Finish("b", "boom"); err != nil {
+		t.Fatal(err)
+	}
+	ja, _ := s.Get("a")
+	jb, _ := s.Get("b")
+	if ja.State != Done || jb.State != Failed || jb.Err != "boom" {
+		t.Fatalf("states = %s/%s err=%q", ja.State, jb.State, jb.Err)
+	}
+	if got := s.Free(); got != 2 {
+		t.Fatalf("free = %d, want 2", got)
+	}
+	if err := s.Finish("a", ""); err == nil {
+		t.Fatal("double finish accepted")
+	}
+}

@@ -1,0 +1,275 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"time"
+
+	"github.com/eof-fuzz/eof/internal/sched"
+)
+
+// TenantHeader carries the caller's tenant identity. The API is
+// deliberately auth-less (a trusted-network control plane, like a build
+// farm): the header names the tenant for fair-share accounting, it does
+// not authenticate it.
+const TenantHeader = "X-EOF-Tenant"
+
+// SubmitRequest is the POST /v1/campaigns body.
+type SubmitRequest struct {
+	// Minutes is the board-time budget in virtual minutes (fleet specs
+	// split it across their shards, exactly like the CLI's -minutes).
+	Minutes int `json:"minutes"`
+	// Priority is the tenant's fair-share weight (default 1).
+	Priority int `json:"priority,omitempty"`
+	// Options is the campaign spec: the public eof.Options in JSON form.
+	// Persistence and telemetry fields are daemon-managed and rejected.
+	Options json.RawMessage `json:"options"`
+}
+
+// JobStatus is the wire form of one job.
+type JobStatus struct {
+	ID          string  `json:"id"`
+	Tenant      string  `json:"tenant"`
+	State       string  `json:"state"`
+	Priority    int     `json:"priority"`
+	Boards      int     `json:"boards"`
+	BudgetS     float64 `json:"budget_s"`
+	UsedS       float64 `json:"used_s"`
+	ChargedS    float64 `json:"charged_s"`
+	Slices      int     `json:"slices"`
+	Preempts    int     `json:"preempts"`
+	Resumed     bool    `json:"resumed"`
+	Execs       int     `json:"execs"`
+	Edges       int     `json:"edges"`
+	Bugs        int     `json:"bugs"`
+	Checkpoints int     `json:"checkpoints"`
+	Error       string  `json:"error,omitempty"`
+}
+
+func statusOf(r *Record) JobStatus {
+	return JobStatus{
+		ID: r.ID, Tenant: r.Tenant, State: r.State, Priority: r.Priority,
+		Boards:   r.Boards,
+		BudgetS:  time.Duration(r.BudgetNS).Seconds(),
+		UsedS:    time.Duration(r.UsedNS).Seconds(),
+		ChargedS: time.Duration(r.ChargedNS).Seconds(),
+		Slices:   r.Slices, Preempts: r.Preempts, Resumed: r.Resumed,
+		Execs: r.Execs, Edges: r.Edges, Bugs: r.Bugs,
+		Checkpoints: r.Checkpoints, Error: r.Error,
+	}
+}
+
+// PoolStatus is the GET /v1/pool document: board inventory plus the
+// per-tenant fair-share ledger.
+type PoolStatus struct {
+	BoardType string         `json:"board_type"`
+	Boards    []BoardStatus  `json:"boards"`
+	Free      int            `json:"free"`
+	BusyS     float64        `json:"busy_s"`
+	Tenants   []TenantStatus `json:"tenants"`
+}
+
+// BoardStatus is one pool slot.
+type BoardStatus struct {
+	Name   string  `json:"name"`
+	JobID  string  `json:"job_id,omitempty"`
+	Tenant string  `json:"tenant,omitempty"`
+	Leases int     `json:"leases"`
+	BusyS  float64 `json:"busy_s"`
+}
+
+// TenantStatus is one fair-share ledger row.
+type TenantStatus struct {
+	Tenant string  `json:"tenant"`
+	Weight int     `json:"weight"`
+	UsedS  float64 `json:"used_s"`
+}
+
+// Handler returns the daemon's HTTP API.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/campaigns", s.handleSubmit)
+	mux.HandleFunc("GET /v1/campaigns", s.handleList)
+	mux.HandleFunc("GET /v1/campaigns/{id}", s.handleGet)
+	mux.HandleFunc("DELETE /v1/campaigns/{id}", s.handleCancel)
+	mux.HandleFunc("POST /v1/campaigns/{id}/preempt", s.handlePreempt)
+	mux.HandleFunc("GET /v1/campaigns/{id}/events", s.handleEvents)
+	mux.HandleFunc("GET /v1/pool", s.handlePool)
+	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+		_ = s.reg.WriteText(w)
+	})
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprintln(w, "ok")
+	})
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, code int, v interface{}) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func writeErr(w http.ResponseWriter, code int, format string, args ...interface{}) {
+	writeJSON(w, code, map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	tenant := r.Header.Get(TenantHeader)
+	if tenant == "" {
+		writeErr(w, http.StatusBadRequest, "missing %s header", TenantHeader)
+		return
+	}
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	var req SubmitRequest
+	if err := dec.Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, "bad request body: %v", err)
+		return
+	}
+	rec, err := s.Submit(tenant, req)
+	if err != nil {
+		if IsBadRequest(err) {
+			writeErr(w, http.StatusBadRequest, "%v", err)
+		} else {
+			writeErr(w, http.StatusServiceUnavailable, "%v", err)
+		}
+		return
+	}
+	writeJSON(w, http.StatusCreated, statusOf(rec))
+}
+
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	tenant := r.URL.Query().Get("tenant")
+	var out []JobStatus
+	for _, rec := range s.Jobs() {
+		if tenant != "" && rec.Tenant != tenant {
+			continue
+		}
+		out = append(out, statusOf(&rec))
+	}
+	if out == nil {
+		out = []JobStatus{}
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) handleGet(w http.ResponseWriter, r *http.Request) {
+	rec := s.snapshot(r.PathValue("id"))
+	if rec == nil {
+		writeErr(w, http.StatusNotFound, "unknown campaign %q", r.PathValue("id"))
+		return
+	}
+	writeJSON(w, http.StatusOK, statusOf(rec))
+}
+
+func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	if s.snapshot(id) == nil {
+		writeErr(w, http.StatusNotFound, "unknown campaign %q", id)
+		return
+	}
+	if err := s.Cancel(id); err != nil {
+		writeErr(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+func (s *Server) handlePreempt(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	if s.snapshot(id) == nil {
+		writeErr(w, http.StatusNotFound, "unknown campaign %q", id)
+		return
+	}
+	if err := s.Preempt(id); err != nil {
+		writeErr(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	w.WriteHeader(http.StatusAccepted)
+}
+
+// handleEvents streams the job's trace journal as NDJSON: the durable
+// journal replays from its first line (the versioned header — each
+// campaign slice contributes its own header-prefixed segment), then the
+// live tail follows until the job reaches a terminal state or the client
+// disconnects.
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	rec := s.snapshot(id)
+	if rec == nil {
+		writeErr(w, http.StatusNotFound, "unknown campaign %q", id)
+		return
+	}
+	h, err := s.hubOf(id)
+	if err != nil {
+		writeErr(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	replay, tail, cancel, err := h.Subscribe()
+	if err != nil {
+		writeErr(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	defer cancel()
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+	if len(replay) > 0 {
+		if _, err := w.Write(replay); err != nil {
+			return
+		}
+	}
+	if flusher != nil {
+		flusher.Flush()
+	}
+	// Terminal jobs have a complete journal: replay is the whole story.
+	if rec := s.snapshot(id); rec != nil && sched.State(rec.State).Terminal() {
+		return
+	}
+	for {
+		select {
+		case line, ok := <-tail:
+			if !ok {
+				return
+			}
+			if _, err := w.Write(line); err != nil {
+				return
+			}
+			if flusher != nil {
+				flusher.Flush()
+			}
+		case <-r.Context().Done():
+			return
+		}
+	}
+}
+
+func (s *Server) handlePool(w http.ResponseWriter, r *http.Request) {
+	boards := s.Pool()
+	ps := PoolStatus{
+		BoardType: s.opts.BoardType,
+		BusyS:     s.PoolBusy().Seconds(),
+		Boards:    make([]BoardStatus, 0, len(boards)),
+		Tenants:   []TenantStatus{},
+	}
+	for _, b := range boards {
+		if b.JobID == "" {
+			ps.Free++
+		}
+		ps.Boards = append(ps.Boards, BoardStatus{
+			Name: b.Name, JobID: b.JobID, Tenant: b.Tenant,
+			Leases: b.Leases, BusyS: b.Busy.Seconds(),
+		})
+	}
+	for _, u := range s.Usage() {
+		ps.Tenants = append(ps.Tenants, TenantStatus{
+			Tenant: u.Tenant, Weight: u.Weight, UsedS: u.Used.Seconds(),
+		})
+	}
+	writeJSON(w, http.StatusOK, ps)
+}

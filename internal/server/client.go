@@ -1,0 +1,165 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+)
+
+// Client is the thin HTTP client for the daemon API, shared by cmd/eofctl
+// and cmd/eof's -submit mode.
+type Client struct {
+	// Base is the daemon's base URL (e.g. "http://127.0.0.1:9290").
+	Base string
+	// Tenant is sent as the X-EOF-Tenant header on every request.
+	Tenant string
+	// HTTPClient overrides http.DefaultClient when non-nil.
+	HTTPClient *http.Client
+}
+
+func (c *Client) http() *http.Client {
+	if c.HTTPClient != nil {
+		return c.HTTPClient
+	}
+	return http.DefaultClient
+}
+
+func (c *Client) url(path string) string {
+	return strings.TrimRight(c.Base, "/") + path
+}
+
+// do issues a request and decodes a JSON response into out (nil skips the
+// body). Non-2xx responses become errors carrying the server's message.
+func (c *Client) do(method, path string, body, out interface{}) error {
+	var rd io.Reader
+	if body != nil {
+		raw, err := json.Marshal(body)
+		if err != nil {
+			return err
+		}
+		rd = bytes.NewReader(raw)
+	}
+	req, err := http.NewRequest(method, c.url(path), rd)
+	if err != nil {
+		return err
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	if c.Tenant != "" {
+		req.Header.Set(TenantHeader, c.Tenant)
+	}
+	resp, err := c.http().Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode < 200 || resp.StatusCode > 299 {
+		var e struct {
+			Error string `json:"error"`
+		}
+		raw, _ := io.ReadAll(io.LimitReader(resp.Body, 64*1024))
+		if json.Unmarshal(raw, &e) == nil && e.Error != "" {
+			return fmt.Errorf("%s: %s", resp.Status, e.Error)
+		}
+		return fmt.Errorf("%s: %s", resp.Status, strings.TrimSpace(string(raw)))
+	}
+	if out == nil {
+		return nil
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+// Submit posts a campaign and returns its job status.
+func (c *Client) Submit(req SubmitRequest) (*JobStatus, error) {
+	var js JobStatus
+	if err := c.do(http.MethodPost, "/v1/campaigns", req, &js); err != nil {
+		return nil, err
+	}
+	return &js, nil
+}
+
+// Job fetches one campaign's status.
+func (c *Client) Job(id string) (*JobStatus, error) {
+	var js JobStatus
+	if err := c.do(http.MethodGet, "/v1/campaigns/"+id, nil, &js); err != nil {
+		return nil, err
+	}
+	return &js, nil
+}
+
+// Jobs lists campaigns (tenant == "" lists every tenant's).
+func (c *Client) Jobs(tenant string) ([]JobStatus, error) {
+	path := "/v1/campaigns"
+	if tenant != "" {
+		path += "?tenant=" + tenant
+	}
+	var out []JobStatus
+	if err := c.do(http.MethodGet, path, nil, &out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Cancel deletes a campaign (idempotent).
+func (c *Client) Cancel(id string) error {
+	return c.do(http.MethodDelete, "/v1/campaigns/"+id, nil, nil)
+}
+
+// Preempt asks the scheduler to requeue a running campaign at its next
+// epoch barrier.
+func (c *Client) Preempt(id string) error {
+	return c.do(http.MethodPost, "/v1/campaigns/"+id+"/preempt", nil, nil)
+}
+
+// Pool fetches the board inventory and fair-share ledger.
+func (c *Client) Pool() (*PoolStatus, error) {
+	var ps PoolStatus
+	if err := c.do(http.MethodGet, "/v1/pool", nil, &ps); err != nil {
+		return nil, err
+	}
+	return &ps, nil
+}
+
+// Events opens the campaign's NDJSON event stream. The caller must close
+// the reader.
+func (c *Client) Events(id string) (io.ReadCloser, error) {
+	req, err := http.NewRequest(http.MethodGet, c.url("/v1/campaigns/"+id+"/events"), nil)
+	if err != nil {
+		return nil, err
+	}
+	if c.Tenant != "" {
+		req.Header.Set(TenantHeader, c.Tenant)
+	}
+	resp, err := c.http().Do(req)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		raw, _ := io.ReadAll(io.LimitReader(resp.Body, 64*1024))
+		resp.Body.Close()
+		return nil, fmt.Errorf("%s: %s", resp.Status, strings.TrimSpace(string(raw)))
+	}
+	return resp.Body, nil
+}
+
+// Wait polls until the campaign reaches a terminal state.
+func (c *Client) Wait(id string, poll time.Duration) (*JobStatus, error) {
+	if poll <= 0 {
+		poll = 200 * time.Millisecond
+	}
+	for {
+		js, err := c.Job(id)
+		if err != nil {
+			return nil, err
+		}
+		if js.State == "done" || js.State == "failed" || js.State == "canceled" {
+			return js, nil
+		}
+		time.Sleep(poll)
+	}
+}

@@ -1,0 +1,108 @@
+package server
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+)
+
+// hub is one job's event stream: every journal line the job's campaign
+// slices emit is appended to a durable per-job JSONL file and fanned out
+// to live subscribers. The file is the replay source — a subscriber
+// always sees the journal from its first line (the versioned header) —
+// and it survives daemon restarts, so /events works for adopted jobs too.
+type hub struct {
+	mu    sync.Mutex
+	path  string
+	f     *os.File
+	subs  map[int]chan []byte
+	next  int
+	ended bool
+}
+
+func openHub(path string) (*hub, error) {
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return nil, fmt.Errorf("server: journal dir: %w", err)
+	}
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("server: journal: %w", err)
+	}
+	return &hub{path: path, f: f, subs: make(map[int]chan []byte)}, nil
+}
+
+// Write implements io.Writer for Options.TraceJSONL: durable append, then
+// best-effort fan-out. A subscriber that cannot keep up loses lines from
+// its live tail — never from the replay, which always re-reads the file.
+func (h *hub) Write(p []byte) (int, error) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if _, err := h.f.Write(p); err != nil {
+		return 0, err
+	}
+	if len(h.subs) > 0 {
+		cp := append([]byte(nil), p...)
+		for _, ch := range h.subs {
+			select {
+			case ch <- cp:
+			default:
+			}
+		}
+	}
+	return len(p), nil
+}
+
+// Subscribe atomically snapshots the journal-so-far and attaches a live
+// tail channel, so no line is ever lost between replay and stream. The
+// channel is closed when the job ends; cancel detaches early.
+func (h *hub) Subscribe() (replay []byte, tail <-chan []byte, cancel func(), err error) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	replay, err = os.ReadFile(h.path)
+	if err != nil && !os.IsNotExist(err) {
+		return nil, nil, nil, fmt.Errorf("server: journal replay: %w", err)
+	}
+	ch := make(chan []byte, 1024)
+	if h.ended {
+		close(ch)
+		return replay, ch, func() {}, nil
+	}
+	id := h.next
+	h.next++
+	h.subs[id] = ch
+	cancel = func() {
+		h.mu.Lock()
+		defer h.mu.Unlock()
+		if c, ok := h.subs[id]; ok {
+			delete(h.subs, id)
+			close(c)
+		}
+	}
+	return replay, ch, cancel, nil
+}
+
+// End marks the stream complete (the job reached a terminal state): every
+// live subscriber's channel closes after the lines already queued.
+func (h *hub) End() {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.ended {
+		return
+	}
+	h.ended = true
+	for id, ch := range h.subs {
+		delete(h.subs, id)
+		close(ch)
+	}
+}
+
+func (h *hub) Close() {
+	h.End()
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.f != nil {
+		_ = h.f.Close()
+		h.f = nil
+	}
+}

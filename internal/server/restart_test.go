@@ -1,0 +1,188 @@
+package server
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	eof "github.com/eof-fuzz/eof"
+	"github.com/eof-fuzz/eof/internal/sched"
+)
+
+// TestRestartAdoptsCheckpointedJob is the daemon crash/restart contract:
+// a daemon stops (crash-equivalently — running job rows stay "running" on
+// disk, exactly what kill -9 leaves behind, except the in-flight epoch
+// also drained to a checkpoint), a second daemon opens the same data
+// directory, re-adopts the job as queued-with-resume, rebuilds the tenant
+// fair-share ledger from the table, and runs the job to completion without
+// losing the board time or coverage already banked.
+func TestRestartAdoptsCheckpointedJob(t *testing.T) {
+	dataDir := t.TempDir()
+	opts := Options{
+		DataDir: dataDir,
+		Boards:  1,
+		Quantum: 30 * time.Second,
+		Logf:    t.Logf,
+	}
+	srv1, err := New(opts)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	raw, _ := json.Marshal(eof.Options{OS: "freertos", SyncEvery: 15 * time.Second})
+	rec, err := srv1.Submit("alice", SubmitRequest{Minutes: 5, Options: raw})
+	if err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	id := rec.ID
+
+	// Let at least one slice land a durable checkpoint, then go down while
+	// the job is mid-budget.
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		r := srv1.snapshot(id)
+		if r.UsedNS > 0 && r.Checkpoints > 0 {
+			break
+		}
+		if sched.State(r.State).Terminal() {
+			t.Fatalf("job reached %s before the daemon could stop mid-flight", r.State)
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job never banked a checkpoint: %+v", r)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	srv1.Stop()
+
+	pre := srv1.snapshot(id)
+	if pre.UsedNS >= pre.BudgetNS {
+		t.Fatalf("job finished (%v used of %v) before the stop; cannot exercise adoption",
+			time.Duration(pre.UsedNS), time.Duration(pre.BudgetNS))
+	}
+	// The row on disk must still say "running" — that is the crash shape
+	// adoption exists for.
+	diskRaw, err := os.ReadFile(filepath.Join(dataDir, "jobs", id+".json"))
+	if err != nil {
+		t.Fatalf("job row: %v", err)
+	}
+	var disk Record
+	if err := json.Unmarshal(diskRaw, &disk); err != nil {
+		t.Fatalf("job row: %v", err)
+	}
+	if disk.State != string(sched.Running) {
+		t.Fatalf("on-disk state after stop = %q, want running (the crash shape)", disk.State)
+	}
+
+	srv2, err := New(opts)
+	if err != nil {
+		t.Fatalf("restart New: %v", err)
+	}
+	defer srv2.Stop()
+
+	adopted := srv2.snapshot(id)
+	if adopted == nil {
+		t.Fatalf("restarted daemon lost job %s", id)
+	}
+	if !adopted.Resumed {
+		t.Errorf("adopted job not marked Resumed: %+v", adopted)
+	}
+	if adopted.UsedNS != pre.UsedNS {
+		t.Errorf("adoption changed banked board time: %v -> %v",
+			time.Duration(pre.UsedNS), time.Duration(adopted.UsedNS))
+	}
+	if adopted.Edges < pre.Edges {
+		t.Errorf("adoption lost coverage: %d -> %d edges", pre.Edges, adopted.Edges)
+	}
+
+	// The fair-share ledger is rebuilt from the table's charges.
+	var alice time.Duration
+	for _, u := range srv2.Usage() {
+		if u.Tenant == "alice" {
+			alice = u.Used
+		}
+	}
+	if alice < time.Duration(pre.ChargedNS) {
+		t.Errorf("ledger after restart = %v, want >= the %v already charged",
+			alice, time.Duration(pre.ChargedNS))
+	}
+
+	// The adopted job resumes from its checkpoint and finishes its budget;
+	// coverage is a superset of what the first daemon banked.
+	deadline = time.Now().Add(60 * time.Second)
+	var fin *Record
+	for {
+		fin = srv2.snapshot(id)
+		if sched.State(fin.State).Terminal() {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("adopted job never finished: %+v", fin)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if fin.State != string(sched.Done) {
+		t.Fatalf("adopted job state = %s (error %q), want done", fin.State, fin.Error)
+	}
+	if fin.UsedNS < fin.BudgetNS {
+		t.Errorf("adopted job used %v of its %v budget",
+			time.Duration(fin.UsedNS), time.Duration(fin.BudgetNS))
+	}
+	if fin.Edges < pre.Edges {
+		t.Errorf("final coverage %d edges < pre-restart %d", fin.Edges, pre.Edges)
+	}
+	if fin.Checkpoints <= pre.Checkpoints {
+		t.Errorf("no new checkpoints after restart: %d -> %d", pre.Checkpoints, fin.Checkpoints)
+	}
+}
+
+// TestRestartAdoptsQueuedJob: a job the first daemon never started still
+// survives the restart and runs under the second.
+func TestRestartAdoptsQueuedJob(t *testing.T) {
+	dataDir := t.TempDir()
+	opts := Options{
+		DataDir: dataDir,
+		Boards:  1,
+		Quantum: 30 * time.Second,
+		Logf:    t.Logf,
+	}
+	srv1, err := New(opts)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	raw, _ := json.Marshal(eof.Options{OS: "freertos"})
+	runner, err := srv1.Submit("alice", SubmitRequest{Minutes: 10, Options: raw})
+	if err != nil {
+		t.Fatalf("Submit runner: %v", err)
+	}
+	queued, err := srv1.Submit("bob", SubmitRequest{Minutes: 1, Options: raw})
+	if err != nil {
+		t.Fatalf("Submit queued: %v", err)
+	}
+	if s := srv1.snapshot(queued.ID).State; s != string(sched.Queued) {
+		t.Fatalf("second job on a 1-board pool = %s, want queued", s)
+	}
+	srv1.Stop()
+
+	srv2, err := New(opts)
+	if err != nil {
+		t.Fatalf("restart New: %v", err)
+	}
+	defer srv2.Stop()
+	_ = runner
+
+	deadline := time.Now().Add(60 * time.Second)
+	for {
+		fin := srv2.snapshot(queued.ID)
+		if sched.State(fin.State).Terminal() {
+			if fin.State != string(sched.Done) {
+				t.Fatalf("queued job after restart = %s (error %q), want done", fin.State, fin.Error)
+			}
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("queued job never ran after restart: %+v", fin)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}

@@ -1,0 +1,102 @@
+#!/usr/bin/env bash
+# Daemon smoke test: boot eofd over a 2-board pool, drive it with eofctl as
+# two tenants, preempt one campaign mid-flight and check both still finish;
+# then kill -9 the daemon under a third campaign and assert the restarted
+# daemon re-adopts it from its durable checkpoint and runs it to done. The
+# fair-share ledger on /metrics must account every board-second: the
+# per-tenant sums add up to the pool total, restart included.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+workdir=$(mktemp -d)
+trap 'kill -9 "${daemon_pid:-0}" 2>/dev/null || true; rm -rf "$workdir"' EXIT
+data="$workdir/data"
+
+go build -o "$workdir/eofd" ./cmd/eofd
+go build -o "$workdir/eofctl" ./cmd/eofctl
+go build -o "$workdir/eof" ./cmd/eof
+
+start_daemon() {
+  "$workdir/eofd" -addr 127.0.0.1:0 -data "$data" -boards 2 -quantum-minutes 1 \
+    > "$workdir/eofd.log" 2> "$workdir/eofd.err" &
+  daemon_pid=$!
+  url=""
+  for _ in $(seq 1 100); do
+    url=$(grep -o 'http://[0-9.:]*' "$workdir/eofd.log" | head -1 || true)
+    [ -n "$url" ] && curl -fsS "$url/healthz" > /dev/null 2>&1 && return 0
+    sleep 0.1
+  done
+  echo "eofd never came up" >&2
+  cat "$workdir/eofd.err" >&2
+  exit 1
+}
+
+ctl() { "$workdir/eofctl" -server "$url" "$@"; }
+
+start_daemon
+echo "eofd up at $url (pid $daemon_pid)"
+
+# Two tenants share the pool; alice gets preempted mid-flight and must
+# still run her full budget after the barrier requeue.
+a_id=$(ctl -tenant alice submit -os freertos -minutes 10 -sync-minutes 0.5 | awk 'NR==1{print $1}')
+b_id=$(ctl -tenant bob submit -os freertos -minutes 3 -sync-minutes 0.5 | awk 'NR==1{print $1}')
+echo "submitted alice=$a_id bob=$b_id"
+ctl -tenant alice preempt "$a_id"
+
+ctl -tenant bob wait "$b_id"
+ctl -tenant alice wait "$a_id"
+curl -fsS "$url/v1/campaigns/$a_id" | grep -q '"state": "done"'
+curl -fsS "$url/v1/campaigns/$b_id" | grep -q '"state": "done"'
+curl -fsS "$url/v1/campaigns/$a_id" | grep -Eq '"preempts": [1-9]' || {
+  echo "alice's campaign was never preempted" >&2
+  curl -fsS "$url/v1/campaigns/$a_id" >&2
+  exit 1
+}
+
+# The event stream replays the journal from its versioned header line.
+# (The job is terminal, so the stream is the complete journal and ends.)
+ctl -tenant alice events "$a_id" > "$workdir/events.jsonl"
+head -1 "$workdir/events.jsonl" | grep -q '"kind":"journal"'
+
+# Kill -9 the daemon while carol's campaign is mid-budget with at least one
+# durable checkpoint banked.
+c_id=$(ctl -tenant carol submit -os freertos -minutes 10 -sync-minutes 0.5 | awk 'NR==1{print $1}')
+ckpt="$data/corpus/ns/$c_id/freertos/stm32h745/checkpoint.json"
+for _ in $(seq 1 240); do
+  [ -s "$ckpt" ] && break
+  sleep 0.1
+done
+test -s "$ckpt" || { echo "no checkpoint appeared before the kill" >&2; exit 1; }
+kill -9 "$daemon_pid"
+wait "$daemon_pid" 2>/dev/null || true
+echo "killed eofd with carol's campaign mid-flight"
+
+# The restarted daemon re-adopts the checkpointed job and finishes it.
+: > "$workdir/eofd.log"
+start_daemon
+echo "eofd back up at $url"
+status=$(curl -fsS "$url/v1/campaigns/$c_id")
+echo "$status" | grep -q '"resumed": true' || {
+  echo "restarted daemon did not adopt carol's campaign: $status" >&2
+  exit 1
+}
+ctl -tenant carol wait "$c_id"
+curl -fsS "$url/v1/campaigns/$c_id" | grep -q '"state": "done"'
+
+# Every board-second is accounted: the per-tenant counters on /metrics sum
+# to the pool counter, across the restart.
+curl -fsS "$url/metrics" > "$workdir/metrics.txt"
+awk '
+  /^eofd_tenant_board_seconds_total\{/ { tenants += $2 }
+  /^eofd_pool_board_seconds_total[ ]/  { pool = $2 }
+  END {
+    if (pool <= 0) { print "no pool board time recorded"; exit 1 }
+    d = tenants - pool; if (d < 0) d = -d
+    if (d > 0.01 + pool / 1000) {
+      printf "tenant sums %.3f != pool total %.3f\n", tenants, pool; exit 1
+    }
+    printf "ledger OK: %.0f tenant board-seconds == %.0f pool\n", tenants, pool
+  }
+' "$workdir/metrics.txt"
+
+echo "daemon smoke OK: preemption, kill -9 adoption and ledger all held"
